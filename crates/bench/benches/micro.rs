@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the hot paths underneath the
+//! experiment suite: the wire codec, reference traversal/degrade, the
+//! local invocation path, marshal, movement, and script parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fargo_core::{CompletId, RefDescriptor, Value};
+use fargo_wire::{decode_value, encode_value};
+
+fn sample_state(refs: usize) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("text".to_owned(), Value::from("the quick brown fox")),
+        ("count".to_owned(), Value::I64(42)),
+        ("blob".to_owned(), Value::Bytes(vec![7u8; 512])),
+    ];
+    for i in 0..refs {
+        fields.push((
+            format!("ref{i}"),
+            Value::Ref(RefDescriptor::link(
+                CompletId::new(1, i as u64),
+                "Servant",
+                2,
+            )),
+        ));
+    }
+    Value::Map(fields.into_iter().collect())
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for refs in [0usize, 8] {
+        let v = sample_state(refs);
+        let bytes = encode_value(&v);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", refs), &v, |b, v| {
+            b.iter(|| encode_value(std::hint::black_box(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", refs), &bytes, |b, bytes| {
+            b.iter(|| decode_value(std::hint::black_box(bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value");
+    let v = sample_state(16);
+    group.bench_function("collect_refs/16", |b| {
+        b.iter(|| std::hint::black_box(&v).collect_refs())
+    });
+    group.bench_function("degrade_transform/16", |b| {
+        b.iter(|| {
+            std::hint::black_box(v.clone()).transform_refs(&mut |r| r.degraded())
+        })
+    });
+    group.bench_function("deep_size", |b| {
+        b.iter(|| std::hint::black_box(&v).deep_size())
+    });
+    group.finish();
+}
+
+fn bench_invocation(c: &mut Criterion) {
+    use fargo_bench::Cluster;
+    let cluster = Cluster::instant(2);
+    let local = cluster.cores[0].new_complet("Servant", &[]).unwrap();
+    let remote = cluster.cores[0]
+        .new_complet_at("core1", "Servant", &[])
+        .unwrap();
+    remote.call("touch", &[]).unwrap();
+
+    let mut group = c.benchmark_group("invocation");
+    group.bench_function("local_stub", |b| {
+        b.iter(|| local.call("touch", &[]).unwrap())
+    });
+    group.bench_function("remote_instant_link", |b| {
+        b.iter(|| remote.call("touch", &[]).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_movement(c: &mut Criterion) {
+    use fargo_bench::Cluster;
+    let cluster = Cluster::instant(2);
+    let servant = cluster.cores[0].new_complet("Servant", &[]).unwrap();
+    let mut at_zero = false;
+    let mut group = c.benchmark_group("movement");
+    group.sample_size(20);
+    group.bench_function("pingpong_move", |b| {
+        b.iter(|| {
+            let dest = if at_zero { "core1" } else { "core0" };
+            at_zero = !at_zero;
+            servant.move_to(dest).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_script(c: &mut Criterion) {
+    const SRC: &str = r#"
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3) from $comps[0] to $comps[1] do
+  move $comps[0] to coreOf $comps[1]
+end
+"#;
+    c.bench_function("script/parse_paper_example", |b| {
+        b.iter(|| fargo_script::parse(std::hint::black_box(SRC)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_value_ops,
+    bench_invocation,
+    bench_movement,
+    bench_script
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates every experiment table (E1–E12).
+//!
+//! Usage:
+//!   cargo run -p fargo-bench --bin experiments --release          # quick sweeps
+//!   cargo run -p fargo-bench --bin experiments --release -- full  # larger sweeps
+//!   cargo run -p fargo-bench --bin experiments --release -- E4 E8 # a subset
+
+use std::time::Instant;
+
+use fargo_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "full");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| a.as_str() != "full")
+        .map(String::as_str)
+        .collect();
+
+    println!("# FarGo-RS experiment suite ({})", if full { "full" } else { "quick" });
+    println!();
+    let t0 = Instant::now();
+    for exp in experiments::all() {
+        if !selected.is_empty() && !selected.iter().any(|s| s.eq_ignore_ascii_case(exp.id)) {
+            continue;
+        }
+        let t = Instant::now();
+        println!("[{}] {}", exp.id, exp.summary);
+        let table = (exp.run)(full);
+        println!("{table}");
+        println!("({} finished in {:.1?})", exp.id, t.elapsed());
+        println!();
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}

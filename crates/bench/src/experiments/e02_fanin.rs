@@ -1,0 +1,77 @@
+//! E2 — Reference fan-in scalability (§3.1).
+//!
+//! "This design enhances scalability": however many references at one
+//! Core point at the same target, a single tracker serves them all.
+//! We create `n` stubs to one remote target, verify the tracker table
+//! holds exactly one entry (vs the `n` a per-reference proxy design
+//! would need), and show invocation latency is independent of `n`.
+
+use crate::harness::Cluster;
+use crate::table::Table;
+use crate::workload::{fmt_duration, Samples};
+
+pub fn run(full: bool) -> Table {
+    let ns: &[usize] = if full {
+        &[1, 10, 100, 1000, 10_000]
+    } else {
+        &[1, 10, 100, 1000]
+    };
+    let mut table = Table::new(
+        "E2: reference fan-in — trackers and latency vs number of stubs",
+        &["stubs n", "trackers (shared)", "proxies (per-ref design)", "call latency"],
+    )
+    .with_note("shape: the tracker column stays at 1 while the per-reference design grows with n.");
+
+    for &n in ns {
+        let (trackers, latency) = fanin_run(n);
+        table.row([
+            n.to_string(),
+            trackers.to_string(),
+            n.to_string(),
+            fmt_duration(latency),
+        ]);
+    }
+    table
+}
+
+fn fanin_run(n: usize) -> (usize, std::time::Duration) {
+    let cluster = Cluster::instant(2);
+    let target = cluster.cores[0]
+        .new_complet_at("core1", "Servant", &[])
+        .expect("create");
+    // n independent stubs at core0, all to the same target.
+    let stubs: Vec<_> = (0..n)
+        .map(|_| cluster.cores[0].stub(target.complet_ref().degraded()))
+        .collect();
+    for s in &stubs {
+        s.call("touch", &[]).expect("warm");
+    }
+    let tracker_entries = cluster.cores[0]
+        .tracker_snapshot()
+        .iter()
+        .filter(|t| t.id == target.id())
+        .count();
+    let samples = Samples::collect(20, || {
+        stubs[n / 2].call("touch", &[]).expect("call");
+    });
+    (tracker_entries, samples.mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_tracker_regardless_of_fanin() {
+        let (trackers, _) = fanin_run(50);
+        assert_eq!(trackers, 1, "all stubs must share one tracker");
+    }
+
+    #[test]
+    fn table_reports_sharing() {
+        let t = run(false);
+        for row in 0..t.len() {
+            assert_eq!(t.cell(row, 1), Some("1"));
+        }
+    }
+}

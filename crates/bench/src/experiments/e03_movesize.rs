@@ -1,0 +1,80 @@
+//! E3 — Movement cost vs complet state size (§3.3).
+//!
+//! The mobility protocol marshals the closure into one stream; moving
+//! cost should therefore scale with state size: a fixed protocol
+//! overhead plus marshal + transfer. We move complets of increasing
+//! payload over a bandwidth-limited link and account the bytes on the
+//! wire.
+
+use std::time::Duration;
+
+use simnet::LinkConfig;
+
+use crate::harness::ClusterSpec;
+use crate::table::Table;
+use crate::workload::{fmt_duration, payload_of, time_once};
+
+pub fn run(full: bool) -> Table {
+    let sizes: &[usize] = if full {
+        &[1_000, 10_000, 100_000, 1_000_000, 4_000_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let mut table = Table::new(
+        "E3: movement cost vs complet state size (1ms, 100MB/s link)",
+        &["state bytes", "move time", "wire bytes", "round trips"],
+    )
+    .with_note("shape: flat protocol floor for small complets, linear in size once transfer dominates.");
+
+    for &size in sizes {
+        let (elapsed, wire, msgs) = move_run(size);
+        table.row([
+            size.to_string(),
+            fmt_duration(elapsed),
+            wire.to_string(),
+            msgs.to_string(),
+        ]);
+    }
+    table
+}
+
+fn move_run(size: usize) -> (Duration, u64, u64) {
+    let cluster = ClusterSpec::instant(2)
+        .link(LinkConfig::new(Duration::from_millis(1)).with_bandwidth(100_000_000))
+        .build();
+    let servant = cluster.cores[0].new_complet("Servant", &[]).expect("create");
+    servant
+        .call("set_payload", &[payload_of(size)])
+        .expect("fill payload");
+    let before_bytes = cluster.bytes(0, 1);
+    let before_msgs = cluster.messages(0, 1);
+    let (_, elapsed) = time_once(|| servant.move_to("core1").expect("move"));
+    (
+        elapsed,
+        cluster.bytes(0, 1) - before_bytes,
+        cluster.messages(0, 1) - before_msgs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_track_state_size() {
+        let (_, small, msgs_small) = move_run(1_000);
+        let (_, big, _) = move_run(200_000);
+        assert!(big > small + 150_000, "wire bytes must grow with state");
+        assert_eq!(msgs_small, 1, "one move request message on the 0->1 link");
+    }
+
+    #[test]
+    fn move_time_grows_with_size() {
+        let (t_small, _, _) = move_run(1_000);
+        let (t_big, _, _) = move_run(2_000_000);
+        assert!(
+            t_big > t_small,
+            "2MB over 100MB/s must beat the protocol floor: {t_big:?} vs {t_small:?}"
+        );
+    }
+}

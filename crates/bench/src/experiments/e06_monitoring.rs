@@ -1,0 +1,104 @@
+//! E6 — Monitoring overhead (§4.1).
+//!
+//! The paper's design keeps overhead low by (a) monitoring only what
+//! somebody asked for, (b) caching instant results. We measure local
+//! invocation throughput with monitoring off, with a cached instant
+//! probe per call, with an uncached probe per call, and with continuous
+//! profiling running.
+
+use std::time::{Duration, Instant};
+
+use fargo_core::{Core, CoreConfig, Service};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+use crate::table::Table;
+use crate::workload::bench_registry;
+
+pub fn run(full: bool) -> Table {
+    let calls = if full { 200_000 } else { 50_000 };
+    let mut table = Table::new(
+        "E6: monitoring overhead on local invocation throughput",
+        &["mode", "calls/s", "sampler evals", "cache hits"],
+    )
+    .with_note("shape: cached instant probing costs little; uncached probing pays a sampler eval per call; idle continuous profiling is nearly free.");
+
+    for mode in ["off", "instant-cached", "instant-uncached", "continuous"] {
+        let (rate, evals, hits) = mode_run(mode, calls);
+        table.row([
+            mode.to_owned(),
+            format!("{rate:.0}"),
+            evals.to_string(),
+            hits.to_string(),
+        ]);
+    }
+    table
+}
+
+/// A standalone single-core network with the given instant-cache TTL.
+pub(crate) fn fresh_core(ttl: Duration) -> Core {
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant()),
+        ..NetworkConfig::default()
+    });
+    Core::builder(&net, "core0")
+        .registry(&bench_registry())
+        .config(CoreConfig {
+            monitor_cache_ttl: ttl,
+            monitor_tick: Duration::from_millis(5),
+            ..CoreConfig::default()
+        })
+        .spawn()
+        .expect("core")
+}
+
+fn mode_run(mode: &str, calls: usize) -> (f64, u64, u64) {
+    let ttl = if mode == "instant-uncached" {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(100)
+    };
+    let core = fresh_core(ttl);
+    let servant = core.new_complet("Servant", &[]).expect("servant");
+    if mode == "continuous" {
+        core.profile_start(Service::CompletLoad, Duration::from_millis(5));
+        core.profile_start(Service::MemoryUse, Duration::from_millis(5));
+    }
+    let probe = matches!(mode, "instant-cached" | "instant-uncached");
+
+    let t = Instant::now();
+    for _ in 0..calls {
+        servant.call("touch", &[]).expect("call");
+        if probe {
+            let _ = core.profile_instant(&Service::CompletLoad);
+        }
+    }
+    let elapsed = t.elapsed();
+    let stats = core.monitor().stats();
+    core.stop();
+    (calls as f64 / elapsed.as_secs_f64(), stats.samples, stats.cache_hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_absorbs_instant_probes() {
+        let (_, evals, hits) = mode_run("instant-cached", 2_000);
+        assert!(hits > 1_500, "most probes served from cache, got {hits}");
+        assert!(evals < 500, "few sampler evaluations, got {evals}");
+    }
+
+    #[test]
+    fn uncached_probes_hit_the_sampler() {
+        let (_, evals, hits) = mode_run("instant-uncached", 1_000);
+        assert!(evals >= 1_000, "every probe evaluates, got {evals}");
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn monitoring_off_keeps_sampler_idle() {
+        let (_, evals, _) = mode_run("off", 1_000);
+        assert_eq!(evals, 0, "nothing requested, nothing measured");
+    }
+}

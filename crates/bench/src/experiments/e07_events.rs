@@ -1,0 +1,167 @@
+//! E7 — Asynchronous events vs polling (§4.2).
+//!
+//! Applications "need to be notified asynchronously when certain
+//! resource levels change beyond some threshold, instead of having to
+//! continuously poll". We measure the detection latency of a
+//! `completLoad` threshold crossing under the event mechanism and under
+//! poll loops of several periods, then the cost of fanning one event out
+//! to many threshold-filtered listeners.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fargo_core::Service;
+
+use crate::harness::Cluster;
+use crate::table::Table;
+use crate::workload::fmt_duration;
+
+pub fn run(full: bool) -> Table {
+    let mut table = Table::new(
+        "E7: threshold detection latency — events vs polling",
+        &["mechanism", "detection latency", "probes used"],
+    )
+    .with_note("shape: events detect within one sampling tick with zero application probes; polling trades probe traffic for latency.");
+
+    let (event_lat, _) = event_run();
+    table.row(["event (10ms tick)".to_owned(), fmt_duration(event_lat), "0".to_owned()]);
+    for period_ms in [5u64, 25, 100] {
+        let (lat, probes) = poll_run(Duration::from_millis(period_ms));
+        table.row([
+            format!("poll every {period_ms}ms"),
+            fmt_duration(lat),
+            probes.to_string(),
+        ]);
+    }
+
+    // Listener fan-out.
+    let fan = if full { vec![1usize, 10, 100, 500] } else { vec![1, 10, 100] };
+    for n in fan {
+        let lat = fanout_run(n);
+        table.row([
+            format!("event -> {n} listeners"),
+            fmt_duration(lat),
+            "0".to_owned(),
+        ]);
+    }
+    table
+}
+
+/// Time from threshold crossing to asynchronous notification.
+fn event_run() -> (Duration, u64) {
+    let cluster = Cluster::instant(1);
+    let core = &cluster.cores[0];
+    let notified_at = Arc::new(AtomicU64::new(0));
+    let n2 = notified_at.clone();
+    let t0 = Instant::now();
+    core.on_event(
+        "completLoad",
+        Some(3.0),
+        true,
+        Arc::new(move |_| {
+            n2.store(t0.elapsed().as_micros() as u64, Ordering::SeqCst);
+        }),
+    );
+    core.profile_start(Service::CompletLoad, Duration::from_millis(10));
+    std::thread::sleep(Duration::from_millis(60));
+    let crossing = t0.elapsed();
+    // Overshoot the threshold: the exponential average converges to the
+    // sampled load, so it must exceed (not merely equal) the threshold.
+    for _ in 0..5 {
+        core.new_complet("Servant", &[]).expect("create");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while notified_at.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "event never fired");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let lat = Duration::from_micros(notified_at.load(Ordering::SeqCst)) - crossing;
+    (lat, 0)
+}
+
+/// Time for a poll loop to notice a crossing that happens mid-polling,
+/// and how many probes it spent getting there.
+fn poll_run(period: Duration) -> (Duration, u64) {
+    // Polling wants fresh values: a long instant-result cache would only
+    // add staleness, so this core runs with a near-zero cache TTL.
+    let core = crate::experiments::e06_monitoring::fresh_core(Duration::from_millis(1));
+    // The resource crosses the threshold some time after polling begins.
+    let creator = core.clone();
+    let crossing_at = Arc::new(AtomicU64::new(0));
+    let c2 = crossing_at.clone();
+    let t0 = Instant::now();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(35));
+        for _ in 0..5 {
+            creator.new_complet("Servant", &[]).expect("create");
+        }
+        c2.store(t0.elapsed().as_micros() as u64, Ordering::SeqCst);
+    });
+    let mut probes = 0u64;
+    loop {
+        probes += 1;
+        let v = core.profile_instant(&Service::CompletLoad).expect("probe");
+        if v >= 3.0 {
+            handle.join().expect("creator");
+            let crossed = Duration::from_micros(crossing_at.load(Ordering::SeqCst));
+            let out = (t0.elapsed().saturating_sub(crossed), probes);
+            core.stop();
+            return out;
+        }
+        std::thread::sleep(period);
+    }
+}
+
+/// Fan one crossing out to n listeners; time until all are notified.
+fn fanout_run(n: usize) -> Duration {
+    let cluster = Cluster::instant(1);
+    let core = &cluster.cores[0];
+    let notified = Arc::new(AtomicU64::new(0));
+    for _ in 0..n {
+        let c = notified.clone();
+        core.on_event(
+            "completLoad",
+            Some(2.0),
+            true,
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+    }
+    core.profile_start(Service::CompletLoad, Duration::from_millis(5));
+    let t0 = Instant::now();
+    for _ in 0..4 {
+        core.new_complet("Servant", &[]).expect("create");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (notified.load(Ordering::SeqCst) as usize) < n {
+        assert!(Instant::now() < deadline, "not all listeners notified");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_use_no_application_probes() {
+        let (lat, probes) = event_run();
+        assert_eq!(probes, 0);
+        assert!(lat < Duration::from_secs(1), "detection took {lat:?}");
+    }
+
+    #[test]
+    fn polling_uses_probes() {
+        let (_, probes) = poll_run(Duration::from_millis(5));
+        assert!(probes >= 1);
+    }
+
+    #[test]
+    fn fanout_notifies_everyone() {
+        let lat = fanout_run(25);
+        assert!(lat < Duration::from_secs(5));
+    }
+}

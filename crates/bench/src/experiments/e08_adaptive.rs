@@ -1,0 +1,121 @@
+//! E8 — HEADLINE: adaptive layout end-to-end (§1 motivation, §4).
+//!
+//! A client on a laptop Core issues a burst of `B` lookups against a
+//! directory across a WAN link. *Static* layout leaves the directory in
+//! the data center, paying the WAN on every call. *Dynamic* layout runs
+//! the paper's relocation policy (invocation rate over a threshold ⇒
+//! co-locate), paying monitoring ramp-up plus one move, then local calls.
+//! The crossover in burst length is the paper's core value proposition.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fargo_core::Service;
+use simnet::LinkConfig;
+
+use crate::harness::{Cluster, ClusterSpec};
+use crate::table::Table;
+use crate::workload::fmt_duration;
+
+const WAN_LATENCY: Duration = Duration::from_millis(8);
+
+pub fn run(full: bool) -> Table {
+    let bursts: &[usize] = if full {
+        &[5, 20, 50, 150, 400, 1000]
+    } else {
+        &[5, 20, 50, 150, 400]
+    };
+    let mut table = Table::new(
+        "E8: adaptive vs static layout — chatty client over a WAN (8ms one-way)",
+        &["burst B", "static total", "dynamic total", "moved after", "winner"],
+    )
+    .with_note("shape: static wins short bursts (no move to amortise); dynamic wins long ones; the crossover sits between.");
+
+    for &b in bursts {
+        let static_t = burst_run(b, false).0;
+        let (dyn_t, moved_after) = burst_run(b, true);
+        let winner = if dyn_t < static_t { "dynamic" } else { "static" };
+        table.row([
+            b.to_string(),
+            fmt_duration(static_t),
+            fmt_duration(dyn_t),
+            moved_after.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            winner.to_owned(),
+        ]);
+    }
+    table
+}
+
+fn wan_cluster() -> Cluster {
+    ClusterSpec::instant(2)
+        .link(LinkConfig::new(WAN_LATENCY).with_bandwidth(2_000_000))
+        .build()
+}
+
+/// Runs a burst of `b` lookups; with `adaptive` the relocation policy is
+/// armed. Returns total time and (for adaptive) the lookup count at which
+/// the directory arrived locally.
+fn burst_run(b: usize, adaptive: bool) -> (Duration, Option<usize>) {
+    let cluster = wan_cluster();
+    let laptop = cluster.cores[0].clone();
+    let directory = laptop
+        .new_complet_at("core1", "Servant", &[])
+        .expect("directory");
+
+    if adaptive {
+        let app = fargo_core::CompletId::new(laptop.node().index(), 0);
+        let service = Service::MethodInvokeRate {
+            src: app,
+            dst: directory.id(),
+        };
+        laptop.profile_start(service.clone(), Duration::from_millis(20));
+        let mover = laptop.clone();
+        let dir = directory.id();
+        laptop.on_event(
+            &service.to_string(),
+            Some(10.0),
+            true,
+            Arc::new(move |_| {
+                let _ = mover.move_complet(dir, "core0", None);
+            }),
+        );
+    }
+
+    let mut moved_after = None;
+    let t0 = Instant::now();
+    for i in 0..b {
+        directory.call("touch", &[]).expect("lookup");
+        if adaptive && moved_after.is_none() && laptop.hosts(directory.id()) {
+            moved_after = Some(i + 1);
+        }
+    }
+    (t0.elapsed(), moved_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_wins_long_bursts() {
+        let (static_t, _) = burst_run(300, false);
+        let (dyn_t, moved) = burst_run(300, true);
+        assert!(moved.is_some(), "policy must have relocated the directory");
+        assert!(
+            dyn_t < static_t,
+            "dynamic {dyn_t:?} must beat static {static_t:?} on long bursts"
+        );
+    }
+
+    #[test]
+    fn static_wins_trivial_bursts() {
+        let (static_t, _) = burst_run(3, false);
+        let (dyn_t, _) = burst_run(3, true);
+        // With only 3 calls there is nothing to amortise; dynamic must
+        // not be better by more than noise (usually worse).
+        assert!(
+            dyn_t + Duration::from_millis(5) > static_t,
+            "short bursts should not favour dynamic: {dyn_t:?} vs {static_t:?}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! E9 — The reliability rule (§4.2/§4.3).
+//!
+//! "The CoreShutdown event … can be used by applications to migrate
+//! their complets to another Core in order to keep their applications
+//! alive." We run the paper's script rule over several trials: with the
+//! rule, complets survive the Core's death and stay callable; without
+//! it, they die with the Core.
+
+use std::time::{Duration, Instant};
+
+use fargo_script::{ScriptEngine, ScriptValue};
+
+use crate::harness::Cluster;
+use crate::table::Table;
+use crate::workload::fmt_duration;
+
+const EVACUATION_SCRIPT: &str = r#"
+$guarded = %1
+$safe = %2
+on shutdown firedby $core listenAt $guarded do
+  move completsIn $core to $safe
+end
+"#;
+
+pub fn run(full: bool) -> Table {
+    let trials = if full { 10 } else { 5 };
+    let mut table = Table::new(
+        "E9: shutdown evacuation — application survival across Core death",
+        &["policy", "survived", "trials", "mean evacuation time"],
+    )
+    .with_note("shape: with the rule every trial survives with sub-second evacuation; without it, none do.");
+
+    for policy in [true, false] {
+        let mut survived = 0usize;
+        let mut evac_total = Duration::ZERO;
+        for _ in 0..trials {
+            if let Some(evac) = trial(policy) {
+                survived += 1;
+                evac_total += evac;
+            }
+        }
+        let mean = if survived > 0 {
+            fmt_duration(evac_total / survived as u32)
+        } else {
+            "-".to_owned()
+        };
+        table.row([
+            if policy { "evacuation rule" } else { "no policy" }.to_owned(),
+            survived.to_string(),
+            trials.to_string(),
+            mean,
+        ]);
+    }
+    table
+}
+
+/// One trial: a complet on a doomed Core; returns the evacuation time if
+/// the application survived (callable after the Core is gone).
+fn trial(policy: bool) -> Option<Duration> {
+    let cluster = Cluster::instant(3);
+    let admin = cluster.cores[0].clone();
+    let worker = admin.new_complet_at("core1", "Servant", &[]).expect("worker");
+    worker.call("touch", &[]).expect("pre-shutdown call");
+
+    let engine = ScriptEngine::new(admin.clone());
+    let _script = policy.then(|| {
+        engine
+            .load(
+                EVACUATION_SCRIPT,
+                vec![
+                    ScriptValue::List(vec![ScriptValue::Str("core1".into())]),
+                    ScriptValue::Str("core2".into()),
+                ],
+            )
+            .expect("script loads")
+    });
+
+    let t0 = Instant::now();
+    let dying = cluster.cores[1].clone();
+    let announcer = std::thread::spawn(move || dying.shutdown(Duration::from_millis(400)));
+
+    // Wait out the evacuation (if any) and refresh the reference while
+    // the grace window keeps the forwarding tracker reachable.
+    let mut evacuated_at = None;
+    while t0.elapsed() < Duration::from_millis(350) {
+        if cluster.cores[2].hosts(worker.id()) {
+            evacuated_at.get_or_insert(t0.elapsed());
+            let _ = worker.call("touch", &[]);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    announcer.join().expect("announcer");
+
+    // The Core is now down. Does the application still answer?
+    match worker.call("touch", &[]) {
+        Ok(_) => Some(evacuated_at.unwrap_or_else(|| t0.elapsed())),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_saves_the_application() {
+        assert!(trial(true).is_some(), "evacuation must keep the app alive");
+    }
+
+    #[test]
+    fn without_rule_the_application_dies() {
+        assert!(trial(false).is_none(), "no policy, no survival");
+    }
+}

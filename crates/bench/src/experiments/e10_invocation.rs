@@ -1,0 +1,112 @@
+//! E10 — Invocation overhead across locality tiers (Figure 3, §3.1).
+//!
+//! The stub/tracker split buys transparency "with a small price of an
+//! extra local method invocation". We quantify the tiers: a direct Rust
+//! dispatch (no runtime), an invocation through a local stub+tracker, a
+//! co-located-Core LAN call, and a WAN call.
+
+use std::time::Duration;
+
+use fargo_core::Value;
+use simnet::LinkConfig;
+
+use crate::harness::ClusterSpec;
+use crate::table::Table;
+use crate::workload::{bench_registry, Samples};
+
+pub fn run(full: bool) -> Table {
+    let n = if full { 20_000 } else { 5_000 };
+    let mut table = Table::new(
+        "E10: invocation cost per locality tier",
+        &["tier", "mean latency", "relative"],
+    )
+    .with_note("shape: the stub adds a small constant over direct dispatch; network tiers are dominated by link latency.");
+
+    let direct = direct_dispatch(n);
+    let local = tier_run(n, None);
+    let lan = tier_run(n / 5, Some(LinkConfig::new(Duration::from_micros(500))));
+    let wan = tier_run(200, Some(LinkConfig::new(Duration::from_millis(8))));
+
+    let base = direct.as_secs_f64().max(1e-12);
+    for (name, d) in [
+        ("direct Rust dispatch", direct),
+        ("local stub+tracker", local),
+        ("remote LAN (0.5ms)", lan),
+        ("remote WAN (8ms)", wan),
+    ] {
+        table.row([
+            name.to_owned(),
+            crate::workload::fmt_duration(d),
+            format!("{:.0}x", d.as_secs_f64() / base),
+        ]);
+    }
+    table
+}
+
+/// Baseline: calling `invoke` on the boxed complet with no runtime.
+fn direct_dispatch(n: usize) -> Duration {
+    let registry = bench_registry();
+    let mut servant = registry.construct("Servant", &[]).expect("construct");
+    // A Ctx requires a core; measure pure dispatch through a throwaway
+    // local core's ctx-free marshal path instead: time `marshal` +
+    // method body via invoke on a real core but without the stub layer.
+    // Simplest honest baseline: dispatch through the trait with a real
+    // ctx from a local core.
+    let cluster = ClusterSpec::instant(1).build();
+    let holder = cluster.cores[0].new_complet("Servant", &[]).expect("c");
+    let _ = holder; // keep a core alive for ctx
+    let core = cluster.cores[0].clone();
+    let id = holder.id();
+    let samples = Samples::collect(n, || {
+        let mut ctx = core.test_ctx(id, "Servant");
+        servant.invoke(&mut ctx, "touch", &[]).expect("invoke");
+    });
+    samples.mean()
+}
+
+/// Invocation through the full runtime, optionally across a link.
+fn tier_run(n: usize, link: Option<LinkConfig>) -> Duration {
+    let spec = match link {
+        Some(l) => ClusterSpec::instant(2).link(l),
+        None => ClusterSpec::instant(1),
+    };
+    let remote = spec.cores > 1;
+    let cluster = spec.build();
+    let servant = if remote {
+        cluster.cores[0]
+            .new_complet_at("core1", "Servant", &[])
+            .expect("remote servant")
+    } else {
+        cluster.cores[0].new_complet("Servant", &[]).expect("servant")
+    };
+    servant.call("touch", &[]).expect("warm");
+    let samples = Samples::collect(n, || {
+        servant.call("touch", &[Value::Null]).expect("call");
+    });
+    samples.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_overhead_is_modest() {
+        let direct = direct_dispatch(2_000);
+        let local = tier_run(2_000, None);
+        // The local stub path includes tracker routing, profiling, and a
+        // slot lock; it should stay within two orders of magnitude of a
+        // bare dynamic dispatch, and well under a LAN round trip.
+        assert!(local < Duration::from_millis(1), "local call is {local:?}");
+        assert!(local >= direct, "stub cannot be faster than direct");
+    }
+
+    #[test]
+    fn network_tiers_are_ordered() {
+        let local = tier_run(500, None);
+        let lan = tier_run(200, Some(LinkConfig::new(Duration::from_micros(500))));
+        let wan = tier_run(50, Some(LinkConfig::new(Duration::from_millis(8))));
+        assert!(local < lan, "{local:?} < {lan:?}");
+        assert!(lan < wan, "{lan:?} < {wan:?}");
+    }
+}

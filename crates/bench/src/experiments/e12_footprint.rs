@@ -1,0 +1,77 @@
+//! E12 — Footprint: repository capacity and per-complet overhead (§5).
+//!
+//! The paper reports its Core at ~40 kLoC / 260 KB of bytecode; our
+//! analog is runtime capacity: how fast complets instantiate, what each
+//! resident complet costs the Core, and that lookup structures stay
+//! healthy at scale.
+
+use std::time::Instant;
+
+use fargo_core::Service;
+
+use crate::harness::Cluster;
+use crate::table::Table;
+
+pub fn run(full: bool) -> Table {
+    let ns: &[usize] = if full { &[100, 1_000, 10_000, 50_000] } else { &[100, 1_000, 10_000] };
+    let mut table = Table::new(
+        "E12: repository capacity — instantiation and per-complet footprint",
+        &["complets", "create rate (/s)", "state bytes/complet", "call after fill"],
+    )
+    .with_note("shape: creation rate and call latency stay flat as the repository grows (hash-map repository).");
+
+    for &n in ns {
+        let cluster = Cluster::instant(1);
+        let core = &cluster.cores[0];
+        let t0 = Instant::now();
+        let mut first = None;
+        for _ in 0..n {
+            let b = core.new_complet("Servant", &[]).expect("create");
+            first.get_or_insert(b);
+        }
+        let create_rate = n as f64 / t0.elapsed().as_secs_f64();
+        let mem = core
+            .profile_instant(&Service::MemoryUse)
+            .unwrap_or(0.0);
+        let per = mem / n as f64;
+        let t1 = Instant::now();
+        first
+            .as_ref()
+            .expect("created at least one")
+            .call("touch", &[])
+            .expect("call");
+        let call = t1.elapsed();
+        table.row([
+            n.to_string(),
+            format!("{create_rate:.0}"),
+            format!("{per:.0}"),
+            crate::workload::fmt_duration(call),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repository_scales_without_collapse() {
+        let cluster = Cluster::instant(1);
+        let core = &cluster.cores[0];
+        for _ in 0..5_000 {
+            core.new_complet("Servant", &[]).unwrap();
+        }
+        assert_eq!(core.complet_count(), 5_000);
+        // Lookup and call remain cheap at size.
+        let b = core.new_complet("Servant", &[]).unwrap();
+        let t = Instant::now();
+        b.call("touch", &[]).unwrap();
+        assert!(t.elapsed() < std::time::Duration::from_millis(50));
+    }
+
+    #[test]
+    fn quick_table_rows() {
+        assert_eq!(run(false).len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cluster setup shared by all experiments.
+
+use std::time::Duration;
+
+use fargo_core::{Core, CoreConfig, TrackingMode};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+use crate::workload::bench_registry;
+
+/// What kind of cluster an experiment wants.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of Cores.
+    pub cores: usize,
+    /// Link applied between every pair.
+    pub link: LinkConfig,
+    /// Scale factor applied to all link delays.
+    pub time_scale: f64,
+    /// Tracking strategy.
+    pub tracking: TrackingMode,
+    /// Monitor tick (drives profiling resolution).
+    pub monitor_tick: Duration,
+}
+
+impl ClusterSpec {
+    /// `n` Cores with effectively instantaneous links.
+    pub fn instant(n: usize) -> Self {
+        ClusterSpec {
+            cores: n,
+            link: LinkConfig::instant(),
+            time_scale: 1.0,
+            tracking: TrackingMode::Chains,
+            monitor_tick: Duration::from_millis(10),
+        }
+    }
+
+    /// `n` Cores joined by links of the given one-way latency.
+    pub fn with_latency(n: usize, latency: Duration) -> Self {
+        ClusterSpec {
+            link: LinkConfig::new(latency),
+            ..ClusterSpec::instant(n)
+        }
+    }
+
+    /// Replaces the link model.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Switches the tracking strategy.
+    pub fn tracking(mut self, tracking: TrackingMode) -> Self {
+        self.tracking = tracking;
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Cluster {
+        let net = Network::new(NetworkConfig {
+            default_link: Some(self.link),
+            time_scale: self.time_scale,
+            ..NetworkConfig::default()
+        });
+        let registry = bench_registry();
+        let config = CoreConfig {
+            tracking: self.tracking,
+            monitor_tick: self.monitor_tick,
+            rpc_timeout: Duration::from_secs(30),
+            ..CoreConfig::default()
+        };
+        let cores = (0..self.cores)
+            .map(|i| {
+                Core::builder(&net, &format!("core{i}"))
+                    .registry(&registry)
+                    .config(config.clone())
+                    .spawn()
+                    .expect("core must spawn")
+            })
+            .collect();
+        Cluster { net, cores }
+    }
+}
+
+/// A running cluster; stops its Cores on drop.
+pub struct Cluster {
+    /// The simulated network.
+    pub net: Network,
+    /// The Cores, `core0..coreN-1`.
+    pub cores: Vec<Core>,
+}
+
+impl Cluster {
+    /// Shorthand for [`ClusterSpec::instant`]`.build()`.
+    pub fn instant(n: usize) -> Cluster {
+        ClusterSpec::instant(n).build()
+    }
+
+    /// Messages sent so far on the directed link `a → b`.
+    pub fn messages(&self, a: usize, b: usize) -> u64 {
+        self.net
+            .link_stats(self.cores[a].node(), self.cores[b].node())
+            .messages
+    }
+
+    /// Bytes sent so far on the directed link `a → b`.
+    pub fn bytes(&self, a: usize, b: usize) -> u64 {
+        self.net
+            .link_stats(self.cores[a].node(), self.cores[b].node())
+            .bytes
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for c in &self.cores {
+            c.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fargo_core::Value;
+
+    #[test]
+    fn cluster_spins_up_and_counts_traffic() {
+        let cluster = Cluster::instant(2);
+        let s = cluster.cores[0]
+            .new_complet_at("core1", "Servant", &[])
+            .unwrap();
+        let before = cluster.messages(0, 1);
+        s.call("touch", &[Value::Null]).unwrap();
+        assert!(cluster.messages(0, 1) > before);
+    }
+}

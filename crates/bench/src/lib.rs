@@ -1,0 +1,20 @@
+//! # fargo-bench — the experiment harness
+//!
+//! The FarGo paper (ICDCS 1999) is a systems-design paper: its evaluation
+//! artifacts are the architecture and mechanisms of Figures 1–4 rather
+//! than quantitative tables. This crate regenerates each figure's
+//! mechanism as a measurable experiment (E1–E12, indexed in DESIGN.md)
+//! and records the results in EXPERIMENTS.md.
+//!
+//! Run everything: `cargo run -p fargo-bench --bin experiments --release`
+//! (add `full` for the larger parameter sweeps). Criterion
+//! micro-benchmarks live in `benches/micro.rs` (`cargo bench`).
+
+pub mod experiments;
+mod harness;
+mod table;
+mod workload;
+
+pub use harness::{Cluster, ClusterSpec};
+pub use table::Table;
+pub use workload::{percentile, time_once, Samples};

@@ -1,0 +1,64 @@
+//! The `Carrier` — the paper's movement façade (§3.3).
+//!
+//! FarGo exposes movement as a static service:
+//!
+//! ```java
+//! Carrier.move(msg,                 // the moved complet
+//!              "acadia",            // destination
+//!              "start",             // continuation method
+//!              new Object[] {a1});  // arguments
+//! ```
+//!
+//! [`BoundRef::move_to`](crate::BoundRef::move_to) and
+//! [`BoundRef::move_with`](crate::BoundRef::move_with) are the idiomatic
+//! Rust spelling; this module provides the paper-shaped free functions for
+//! code that wants to read like the original.
+
+use fargo_wire::Value;
+
+use crate::error::Result;
+use crate::reference::CompletRef;
+use crate::runtime::Core;
+
+/// The movement service.
+#[derive(Debug, Clone, Copy)]
+pub struct Carrier;
+
+impl Carrier {
+    /// Moves the complet behind `target` to the Core named `dest`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Core::move_complet`].
+    pub fn r#move(core: &Core, target: &CompletRef, dest: &str) -> Result<()> {
+        core.move_complet(target.id(), dest, None)
+    }
+
+    /// Moves the complet and invokes `continuation(args)` on it at the
+    /// destination — the full Figure-style call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Core::move_complet`].
+    pub fn move_with(
+        core: &Core,
+        target: &CompletRef,
+        dest: &str,
+        continuation: &str,
+        args: Vec<Value>,
+    ) -> Result<()> {
+        core.move_complet(target.id(), dest, Some((continuation.to_owned(), args)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end in the crate's integration tests; here we only
+    // assert the façade's signatures exist and delegate (compile-time).
+    use super::*;
+
+    #[test]
+    fn carrier_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Carrier>(), 0);
+    }
+}

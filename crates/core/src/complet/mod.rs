@@ -1,0 +1,126 @@
+//! The complet model: the paper's unit of composition and relocation.
+//!
+//! A *complet* is a collection of state that performs a task and is
+//! accessed through a well-defined interface — its **anchor** (§2). In
+//! FarGo-RS the anchor is a type implementing [`Complet`]: its `invoke`
+//! method is the anchor's method table, and `marshal`/`unmarshal` capture
+//! the closure (everything reachable from the anchor, with outgoing
+//! complet references represented as [`fargo_wire::Value::Ref`] cut
+//! points).
+
+mod registry;
+mod state;
+
+pub use registry::CompletRegistry;
+pub use state::StateValue;
+
+use fargo_wire::Value;
+
+use crate::ctx::Ctx;
+use crate::error::Result;
+
+/// A complet anchor: the programmable unit of a FarGo application.
+///
+/// Implementations are usually produced with the
+/// [`define_complet!`](crate::define_complet) macro, which generates the
+/// method dispatch and state (un)marshaling; the trait can also be
+/// implemented by hand for full control.
+///
+/// # Lifecycle callbacks
+///
+/// The four movement callbacks mirror the paper's §3.3: `pre_departure`
+/// runs at the sending Core before marshaling; `pre_arrival` at the
+/// receiving Core after construction but before the complet becomes
+/// invocable; `post_arrival` once it is installed; `post_departure` on the
+/// old copy just before it is discarded.
+pub trait Complet: Send {
+    /// The anchor's type name; must match the name this type was
+    /// registered under in the [`CompletRegistry`].
+    fn type_name(&self) -> &str;
+
+    /// Dispatches a method invocation on the anchor.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should return
+    /// [`FargoError::NoSuchMethod`](crate::FargoError::NoSuchMethod) for
+    /// unknown methods and may fail with any other error.
+    fn invoke(&mut self, ctx: &mut Ctx, method: &str, args: &[Value]) -> Result<Value>;
+
+    /// Captures the complet's closure as a state tree.
+    fn marshal(&self) -> Value;
+
+    /// Restores the complet's closure from a state tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the state tree does not match this complet's schema.
+    fn unmarshal(&mut self, state: Value) -> Result<()>;
+
+    /// Called at the sending Core before the complet is marshaled.
+    fn pre_departure(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called at the receiving Core before the complet becomes invocable.
+    fn pre_arrival(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called at the receiving Core once the complet is installed.
+    fn post_arrival(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called at the sending Core on the stale copy after a successful
+    /// move, right before it is released.
+    fn post_departure(&mut self, _ctx: &mut Ctx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FargoError;
+
+    /// A minimal hand-written complet used by module tests.
+    pub(crate) struct Counter {
+        pub n: i64,
+    }
+
+    impl Complet for Counter {
+        fn type_name(&self) -> &str {
+            "Counter"
+        }
+        fn invoke(&mut self, _ctx: &mut Ctx, method: &str, args: &[Value]) -> Result<Value> {
+            match method {
+                "add" => {
+                    self.n += args.first().and_then(Value::as_i64).unwrap_or(1);
+                    Ok(Value::I64(self.n))
+                }
+                "get" => Ok(Value::I64(self.n)),
+                other => Err(FargoError::NoSuchMethod {
+                    complet_type: self.type_name().to_owned(),
+                    method: other.to_owned(),
+                }),
+            }
+        }
+        fn marshal(&self) -> Value {
+            Value::map([("n", Value::I64(self.n))])
+        }
+        fn unmarshal(&mut self, state: Value) -> Result<()> {
+            self.n = state
+                .get("n")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| FargoError::App("bad Counter state".into()))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn marshal_roundtrip_preserves_state() {
+        let c = Counter { n: 41 };
+        let mut d = Counter { n: 0 };
+        d.unmarshal(c.marshal()).unwrap();
+        assert_eq!(d.n, 41);
+    }
+
+    #[test]
+    fn bad_state_is_rejected() {
+        let mut c = Counter { n: 0 };
+        assert!(c.unmarshal(Value::Null).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The complet type registry — FarGo-RS's stand-in for the Java classpath.
+//!
+//! FarGo supports *weak* mobility: complet state moves, code does not —
+//! the destination JVM loads the complet's class from its own classpath or
+//! codebase. In Rust there is no runtime code loading, so the registry
+//! plays that role: every Core sharing the registry can construct any
+//! registered complet type, which is exactly the precondition weak
+//! mobility imposes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use fargo_wire::Value;
+use parking_lot::RwLock;
+
+use crate::complet::Complet;
+use crate::error::{FargoError, Result};
+
+/// Constructor for a complet type: receives the instantiation arguments.
+pub type CompletFactory =
+    Arc<dyn Fn(&[Value]) -> Result<Box<dyn Complet>> + Send + Sync + 'static>;
+
+/// A shared map from complet type names to constructors.
+///
+/// ```
+/// # use fargo_core::CompletRegistry;
+/// let registry = CompletRegistry::new();
+/// assert!(!registry.contains("Message"));
+/// ```
+#[derive(Clone, Default)]
+pub struct CompletRegistry {
+    factories: Arc<RwLock<HashMap<String, CompletFactory>>>,
+}
+
+impl CompletRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CompletRegistry::default()
+    }
+
+    /// Registers a constructor under `type_name`, replacing any previous
+    /// registration of the same name.
+    pub fn register<F>(&self, type_name: &str, factory: F)
+    where
+        F: Fn(&[Value]) -> Result<Box<dyn Complet>> + Send + Sync + 'static,
+    {
+        self.factories
+            .write()
+            .insert(type_name.to_owned(), Arc::new(factory));
+    }
+
+    /// Whether a type is registered.
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.read().contains_key(type_name)
+    }
+
+    /// All registered type names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Constructs a fresh instance of `type_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FargoError::UnknownType`] when the type is unregistered,
+    /// or the factory's own error.
+    pub fn construct(&self, type_name: &str, args: &[Value]) -> Result<Box<dyn Complet>> {
+        let factory = self
+            .factories
+            .read()
+            .get(type_name)
+            .cloned()
+            .ok_or_else(|| FargoError::UnknownType(type_name.to_owned()))?;
+        factory(args)
+    }
+
+    /// Constructs an instance and immediately restores marshaled state
+    /// into it — the unmarshal path of complet arrival.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the type is unknown or the state does not match.
+    pub fn reconstruct(&self, type_name: &str, state: Value) -> Result<Box<dyn Complet>> {
+        let mut complet = self.construct(type_name, &[])?;
+        complet.unmarshal(state)?;
+        Ok(complet)
+    }
+}
+
+impl fmt::Debug for CompletRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletRegistry")
+            .field("types", &self.type_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+
+    struct Echo;
+    impl Complet for Echo {
+        fn type_name(&self) -> &str {
+            "Echo"
+        }
+        fn invoke(&mut self, _ctx: &mut Ctx, _m: &str, args: &[Value]) -> Result<Value> {
+            Ok(args.first().cloned().unwrap_or(Value::Null))
+        }
+        fn marshal(&self) -> Value {
+            Value::Null
+        }
+        fn unmarshal(&mut self, _state: Value) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_and_construct() {
+        let reg = CompletRegistry::new();
+        reg.register("Echo", |_args| Ok(Box::new(Echo)));
+        assert!(reg.contains("Echo"));
+        assert_eq!(reg.type_names(), vec!["Echo".to_owned()]);
+        let c = reg.construct("Echo", &[]).unwrap();
+        assert_eq!(c.type_name(), "Echo");
+    }
+
+    #[test]
+    fn unknown_type_fails() {
+        let reg = CompletRegistry::new();
+        let err = reg.construct("Ghost", &[]).err().expect("must fail");
+        assert!(matches!(err, FargoError::UnknownType(_)));
+    }
+
+    #[test]
+    fn factories_receive_arguments() {
+        struct N(i64);
+        impl Complet for N {
+            fn type_name(&self) -> &str {
+                "N"
+            }
+            fn invoke(&mut self, _c: &mut Ctx, _m: &str, _a: &[Value]) -> Result<Value> {
+                Ok(Value::I64(self.0))
+            }
+            fn marshal(&self) -> Value {
+                Value::I64(self.0)
+            }
+            fn unmarshal(&mut self, state: Value) -> Result<()> {
+                self.0 = state.as_i64().unwrap_or(0);
+                Ok(())
+            }
+        }
+        let reg = CompletRegistry::new();
+        reg.register("N", |args| {
+            Ok(Box::new(N(args.first().and_then(Value::as_i64).unwrap_or(0))))
+        });
+        let c = reg.construct("N", &[Value::I64(7)]).unwrap();
+        assert_eq!(c.marshal(), Value::I64(7));
+    }
+
+    #[test]
+    fn reconstruct_restores_state() {
+        let reg = CompletRegistry::new();
+        reg.register("Echo", |_| Ok(Box::new(Echo)));
+        assert!(reg.reconstruct("Echo", Value::Null).is_ok());
+        assert!(reg.reconstruct("Nope", Value::Null).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Core runtime configuration.
+
+use std::time::Duration;
+
+/// How moved complets are found again by their references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackingMode {
+    /// The paper's design: each Core a complet leaves keeps a *tracker*
+    /// forwarding to the next Core, forming a chain that is shortened on
+    /// every invocation return (§3.1).
+    #[default]
+    Chains,
+    /// The paper's stated future-work alternative (§7): the complet's
+    /// origin Core maintains its authoritative current location, and a
+    /// reference that misses consults the origin instead of following a
+    /// chain. Used as the ablation baseline in experiment E1.
+    HomeBased,
+}
+
+/// Tunables of one Core.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// How long a requester waits for a peer reply before failing with
+    /// [`crate::FargoError::Timeout`].
+    pub rpc_timeout: Duration,
+    /// Reference tracking strategy.
+    pub tracking: TrackingMode,
+    /// Maximum tracker hops an invocation may traverse.
+    pub max_hops: u32,
+    /// How long instant profiling results are served from cache (§4.1).
+    pub monitor_cache_ttl: Duration,
+    /// Granularity of the continuous-profiling sampler thread.
+    pub monitor_tick: Duration,
+    /// Smoothing factor of the exponential average, in `(0, 1]`;
+    /// higher weighs recent samples more.
+    pub monitor_alpha: f64,
+    /// If `true`, a `stamp` reference that finds no same-typed complet at
+    /// the destination fails the move; if `false`, it keeps its old target.
+    pub stamp_strict: bool,
+    /// How long an invocation waits for a complet that is in transit
+    /// before giving up.
+    pub transit_wait: Duration,
+    /// Maximum complets this Core admits (instantiation and arrival); the
+    /// §7 resource-negotiation hook. `None` means unbounded.
+    pub capacity: Option<usize>,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            rpc_timeout: Duration::from_secs(10),
+            tracking: TrackingMode::Chains,
+            max_hops: 64,
+            monitor_cache_ttl: Duration::from_millis(100),
+            monitor_tick: Duration::from_millis(20),
+            monitor_alpha: 0.3,
+            stamp_strict: false,
+            transit_wait: Duration::from_secs(5),
+            capacity: None,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Configuration with `tracking` replaced.
+    pub fn with_tracking(mut self, tracking: TrackingMode) -> Self {
+        self.tracking = tracking;
+        self
+    }
+
+    /// Configuration with `rpc_timeout` replaced.
+    pub fn with_rpc_timeout(mut self, timeout: Duration) -> Self {
+        self.rpc_timeout = timeout;
+        self
+    }
+
+    /// Configuration with strict stamp resolution.
+    pub fn strict_stamps(mut self) -> Self {
+        self.stamp_strict = true;
+        self
+    }
+
+    /// Configuration with a complet capacity (admission control).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_chain_tracking() {
+        let c = CoreConfig::default();
+        assert_eq!(c.tracking, TrackingMode::Chains);
+        assert!(c.max_hops > 0);
+        assert!(c.monitor_alpha > 0.0 && c.monitor_alpha <= 1.0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = CoreConfig::default()
+            .with_tracking(TrackingMode::HomeBased)
+            .with_rpc_timeout(Duration::from_millis(5))
+            .strict_stamps();
+        assert_eq!(c.tracking, TrackingMode::HomeBased);
+        assert_eq!(c.rpc_timeout, Duration::from_millis(5));
+        assert!(c.stamp_strict);
+    }
+}

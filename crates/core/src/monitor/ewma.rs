@@ -1,0 +1,118 @@
+//! Exponentially weighted moving average — the paper's "exponential
+//! average" for continuous profiling (§4.1).
+
+/// An exponentially weighted moving average.
+///
+/// `alpha` in `(0, 1]` is the weight of the newest sample; the first
+/// sample initialises the average directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an empty average with the given smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in a new sample and returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current average, if any sample has been folded in.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Drops accumulated history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+    }
+
+    #[test]
+    fn smoothing_blends_towards_new_samples() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        assert_eq!(e.update(10.0), 5.0);
+        assert_eq!(e.update(10.0), 7.5);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(3.0);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.3);
+        e.update(5.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+
+    proptest! {
+        /// The average always stays within the range of observed samples.
+        #[test]
+        fn prop_average_is_bounded(
+            alpha in 0.01f64..=1.0,
+            samples in proptest::collection::vec(-1e6f64..1e6, 1..50)
+        ) {
+            let mut e = Ewma::new(alpha);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in &samples {
+                lo = lo.min(*s);
+                hi = hi.max(*s);
+                let v = e.update(*s);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        /// With constant input the average converges to that constant.
+        #[test]
+        fn prop_converges_on_constant(alpha in 0.05f64..=1.0, c in -1e6f64..1e6) {
+            let mut e = Ewma::new(alpha);
+            for _ in 0..500 {
+                e.update(c);
+            }
+            prop_assert!((e.value().unwrap() - c).abs() < 1e-3 + c.abs() * 1e-6);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The Core's monitoring facility (§4.1).
+//!
+//! Two interfaces per service, as in the paper:
+//!
+//! * **instant** — [`Monitor::instant`] measures now, with a small result
+//!   cache so bursts of instant requests are served without re-evaluation;
+//! * **continuous** — [`Monitor::start`] / [`Monitor::get`] /
+//!   [`Monitor::stop`] maintain an exponential average sampled on the
+//!   requested interval, with interest counting so the Core only monitors
+//!   resources some client cares about.
+//!
+//! The monitor itself does not know how to measure anything: the Core
+//! installs a [`Sampler`] that maps a [`Service`] to a number. This keeps
+//! the facility independent of runtime internals and lets tests drive it
+//! with synthetic samplers.
+
+mod ewma;
+mod services;
+
+pub use ewma::Ewma;
+pub use services::Service;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fargo_wire::CompletId;
+use parking_lot::Mutex;
+
+use crate::error::{FargoError, Result};
+use crate::events::EventPayload;
+
+/// Measures the current value of a profiling service.
+pub type Sampler = Arc<dyn Fn(&Service) -> Option<f64> + Send + Sync + 'static>;
+
+#[derive(Debug)]
+struct Continuous {
+    interval: Duration,
+    average: Ewma,
+    last_sampled: Option<Instant>,
+    /// Number of clients that issued `start` without a matching `stop`.
+    interest: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cached {
+    value: f64,
+    at: Instant,
+}
+
+/// Counters for the monitoring-overhead experiment (E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Evaluations of the underlying sampler.
+    pub samples: u64,
+    /// Instant requests served from the cache.
+    pub cache_hits: u64,
+    /// Profile events produced by continuous sampling.
+    pub events_emitted: u64,
+}
+
+/// Rolling invocation counters backing `methodInvokeRate`.
+#[derive(Debug, Default)]
+pub(crate) struct InvocationCounters {
+    counts: Mutex<HashMap<(CompletId, CompletId), u64>>,
+}
+
+impl InvocationCounters {
+    pub fn record(&self, src: CompletId, dst: CompletId) {
+        *self.counts.lock().entry((src, dst)).or_insert(0) += 1;
+    }
+
+    pub fn total(&self, src: CompletId, dst: CompletId) -> u64 {
+        self.counts.lock().get(&(src, dst)).copied().unwrap_or(0)
+    }
+}
+
+/// The monitoring facility of one Core.
+pub struct Monitor {
+    sampler: Mutex<Option<Sampler>>,
+    continuous: Mutex<HashMap<Service, Continuous>>,
+    cache: Mutex<HashMap<Service, Cached>>,
+    cache_ttl: Duration,
+    alpha: f64,
+    stats: Mutex<MonitorStats>,
+    pub(crate) invocations: InvocationCounters,
+    /// Rate bookkeeping: last total seen per rate-style service.
+    last_totals: Mutex<HashMap<Service, (u64, Instant)>>,
+}
+
+impl Monitor {
+    /// Creates a monitor; the Core installs the sampler before use.
+    pub(crate) fn new(cache_ttl: Duration, alpha: f64) -> Self {
+        Monitor {
+            sampler: Mutex::new(None),
+            continuous: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            cache_ttl,
+            alpha,
+            stats: Mutex::new(MonitorStats::default()),
+            invocations: InvocationCounters::default(),
+            last_totals: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn install_sampler(&self, sampler: Sampler) {
+        *self.sampler.lock() = Some(sampler);
+    }
+
+    fn sample(&self, service: &Service) -> Result<f64> {
+        let sampler = self
+            .sampler
+            .lock()
+            .clone()
+            .ok_or_else(|| FargoError::App("monitor has no sampler installed".into()))?;
+        self.stats.lock().samples += 1;
+        sampler(service)
+            .ok_or_else(|| FargoError::InvalidArgument(format!("cannot measure {service}")))
+    }
+
+    /// Measures a service *now* (the instant interface).
+    ///
+    /// Results are cached for the configured TTL, so bursts of instant
+    /// requests do not re-evaluate expensive measures.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the service cannot be measured on this Core.
+    pub fn instant(&self, service: &Service) -> Result<f64> {
+        let now = Instant::now();
+        if let Some(c) = self.cache.lock().get(service) {
+            if now.duration_since(c.at) < self.cache_ttl {
+                self.stats.lock().cache_hits += 1;
+                return Ok(c.value);
+            }
+        }
+        let value = self.sample(service)?;
+        self.cache
+            .lock()
+            .insert(service.clone(), Cached { value, at: now });
+        Ok(value)
+    }
+
+    /// Begins (or joins) continuous profiling of `service` with the given
+    /// sampling interval.
+    ///
+    /// Multiple clients may `start` the same service; it keeps being
+    /// sampled until every one of them called [`Monitor::stop`]. A later
+    /// `start` with a shorter interval tightens the sampling rate.
+    pub fn start(&self, service: Service, interval: Duration) {
+        let mut map = self.continuous.lock();
+        map.entry(service)
+            .and_modify(|c| {
+                c.interest += 1;
+                if interval < c.interval {
+                    c.interval = interval;
+                }
+            })
+            .or_insert_with(|| Continuous {
+                interval,
+                average: Ewma::new(self.alpha),
+                last_sampled: None,
+                interest: 1,
+            });
+    }
+
+    /// The current exponential average of a continuously profiled service.
+    ///
+    /// Returns `None` when the service is not being profiled or has not
+    /// produced a sample yet.
+    pub fn get(&self, service: &Service) -> Option<f64> {
+        self.continuous
+            .lock()
+            .get(service)
+            .and_then(|c| c.average.value())
+    }
+
+    /// Releases one client's interest; profiling stops when no client
+    /// remains (§4.1: "the stop method terminates the profiling if no
+    /// other application has requested it").
+    pub fn stop(&self, service: &Service) {
+        let mut map = self.continuous.lock();
+        if let Some(c) = map.get_mut(service) {
+            c.interest = c.interest.saturating_sub(1);
+            if c.interest == 0 {
+                map.remove(service);
+            }
+        }
+    }
+
+    /// Whether the service is under continuous profiling.
+    pub fn is_profiling(&self, service: &Service) -> bool {
+        self.continuous.lock().contains_key(service)
+    }
+
+    /// Number of services under continuous profiling.
+    pub fn active_services(&self) -> usize {
+        self.continuous.lock().len()
+    }
+
+    /// Snapshot of overhead counters.
+    pub fn stats(&self) -> MonitorStats {
+        *self.stats.lock()
+    }
+
+    /// Advances continuous sampling: samples every due service and
+    /// returns the resulting profile events for the Core to route through
+    /// its event hub (whose per-listener thresholds filter them).
+    ///
+    /// Called by the Core's monitor thread on each tick.
+    pub(crate) fn tick(&self, core_node: u32) -> Vec<EventPayload> {
+        let now = Instant::now();
+        let mut due: Vec<Service> = Vec::new();
+        {
+            let map = self.continuous.lock();
+            for (service, c) in map.iter() {
+                let is_due = match c.last_sampled {
+                    None => true,
+                    Some(t) => now.duration_since(t) >= c.interval,
+                };
+                if is_due {
+                    due.push(service.clone());
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for service in due {
+            // Sample outside the map lock: samplers may take other locks.
+            let Ok(raw) = self.sample(&service) else {
+                continue;
+            };
+            let mut map = self.continuous.lock();
+            let Some(c) = map.get_mut(&service) else {
+                continue;
+            };
+            c.last_sampled = Some(now);
+            let avg = c.average.update(raw);
+            drop(map);
+            events.push(EventPayload::Profile {
+                service: service.name().to_owned(),
+                key: service.key(),
+                value: avg,
+                core: core_node,
+            });
+        }
+        self.stats.lock().events_emitted += events.len() as u64;
+        events
+    }
+
+    /// Converts a monotone total into a rate (events/second) since this
+    /// method was last called for `service`. Used by the Core's sampler to
+    /// implement `methodInvokeRate`.
+    pub(crate) fn rate_from_total(&self, service: &Service, total: u64) -> f64 {
+        let now = Instant::now();
+        let mut last = self.last_totals.lock();
+        match last.insert(service.clone(), (total, now)) {
+            Some((prev_total, prev_at)) => {
+                let dt = now.duration_since(prev_at).as_secs_f64();
+                if dt <= 0.0 {
+                    0.0
+                } else {
+                    (total.saturating_sub(prev_total)) as f64 / dt
+                }
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("active_services", &self.active_services())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn with_sampler(f: impl Fn(&Service) -> Option<f64> + Send + Sync + 'static) -> Monitor {
+        let m = Monitor::new(Duration::from_millis(50), 0.5);
+        m.install_sampler(Arc::new(f));
+        m
+    }
+
+    #[test]
+    fn instant_uses_cache_within_ttl() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = calls.clone();
+        let m = with_sampler(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Some(7.0)
+        });
+        assert_eq!(m.instant(&Service::CompletLoad).unwrap(), 7.0);
+        assert_eq!(m.instant(&Service::CompletLoad).unwrap(), 7.0);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(m.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_expires() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = calls.clone();
+        let m = Monitor::new(Duration::from_millis(1), 0.5);
+        m.install_sampler(Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Some(1.0)
+        }));
+        m.instant(&Service::CompletLoad).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        m.instant(&Service::CompletLoad).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn continuous_interest_counting() {
+        let m = with_sampler(|_| Some(1.0));
+        let s = Service::CompletLoad;
+        m.start(s.clone(), Duration::from_millis(10));
+        m.start(s.clone(), Duration::from_millis(10));
+        assert!(m.is_profiling(&s));
+        m.stop(&s);
+        assert!(m.is_profiling(&s), "second client still interested");
+        m.stop(&s);
+        assert!(!m.is_profiling(&s));
+        // Extra stop is harmless.
+        m.stop(&s);
+    }
+
+    #[test]
+    fn tick_samples_due_services_and_averages() {
+        let v = Arc::new(AtomicU64::new(10));
+        let vv = v.clone();
+        let m = with_sampler(move |_| Some(vv.load(Ordering::SeqCst) as f64));
+        let s = Service::CompletLoad;
+        m.start(s.clone(), Duration::ZERO);
+        let ev = m.tick(0);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(m.get(&s), Some(10.0));
+        v.store(20, Ordering::SeqCst);
+        m.tick(0);
+        // alpha = 0.5: average of 10 and 20.
+        assert_eq!(m.get(&s), Some(15.0));
+    }
+
+    #[test]
+    fn tick_respects_intervals() {
+        let m = with_sampler(|_| Some(1.0));
+        m.start(Service::CompletLoad, Duration::from_secs(3600));
+        assert_eq!(m.tick(0).len(), 1, "first sample is immediate");
+        assert_eq!(m.tick(0).len(), 0, "not due again for an hour");
+    }
+
+    #[test]
+    fn get_without_profiling_is_none() {
+        let m = with_sampler(|_| Some(1.0));
+        assert_eq!(m.get(&Service::MemoryUse), None);
+    }
+
+    #[test]
+    fn unmeasurable_service_errors() {
+        let m = with_sampler(|_| None);
+        assert!(m.instant(&Service::QueueLen).is_err());
+    }
+
+    #[test]
+    fn rate_from_total_computes_deltas() {
+        let m = with_sampler(|_| Some(0.0));
+        let s = Service::CompletLoad;
+        assert_eq!(m.rate_from_total(&s, 10), 0.0, "first call has no baseline");
+        std::thread::sleep(Duration::from_millis(20));
+        let r = m.rate_from_total(&s, 30);
+        assert!(r > 0.0, "20 events over ~20ms must be positive, got {r}");
+    }
+
+    #[test]
+    fn invocation_counters_accumulate() {
+        let m = with_sampler(|_| Some(0.0));
+        let a = CompletId::new(0, 1);
+        let b = CompletId::new(0, 2);
+        m.invocations.record(a, b);
+        m.invocations.record(a, b);
+        assert_eq!(m.invocations.total(a, b), 2);
+        assert_eq!(m.invocations.total(b, a), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Profiling service identification.
+
+use std::fmt;
+
+use fargo_wire::CompletId;
+
+use crate::error::{FargoError, Result};
+
+/// The profiling services a Core can measure (§4.1).
+///
+/// *System* services measure the environment; *application* services
+/// measure the running application through its complet references — the
+/// capability FarGo gets "due to the fact that complet references are
+/// accessible by the Core".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// Number of complets resident in this Core (system).
+    CompletLoad,
+    /// Bytes/second of the link towards a peer Core node (system).
+    Bandwidth {
+        /// The peer Core's node index.
+        peer: u32,
+    },
+    /// One-way latency towards a peer Core node, in seconds (system).
+    Latency {
+        /// The peer Core's node index.
+        peer: u32,
+    },
+    /// Invocations/second along the reference `src → dst` (application).
+    MethodInvokeRate {
+        /// Source complet (the stub's holder).
+        src: CompletId,
+        /// Target complet.
+        dst: CompletId,
+    },
+    /// Approximate state size of one complet, in bytes (application).
+    CompletSize {
+        /// The measured complet.
+        id: CompletId,
+    },
+    /// Total approximate state bytes of all resident complets (system).
+    MemoryUse,
+    /// Pending messages in the Core's receive queue (system).
+    QueueLen,
+}
+
+impl Service {
+    /// The service family name (the event selector prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Service::CompletLoad => "completLoad",
+            Service::Bandwidth { .. } => "bandwidth",
+            Service::Latency { .. } => "latency",
+            Service::MethodInvokeRate { .. } => "methodInvokeRate",
+            Service::CompletSize { .. } => "completSize",
+            Service::MemoryUse => "memoryUse",
+            Service::QueueLen => "queueLen",
+        }
+    }
+
+    /// The service-specific key (empty for keyless services).
+    pub fn key(&self) -> String {
+        match self {
+            Service::CompletLoad | Service::MemoryUse | Service::QueueLen => String::new(),
+            Service::Bandwidth { peer } | Service::Latency { peer } => format!("n{peer}"),
+            Service::MethodInvokeRate { src, dst } => format!("{src}->{dst}"),
+            Service::CompletSize { id } => id.to_string(),
+        }
+    }
+
+    /// Parses the textual form produced by [`Display`](fmt::Display)
+    /// (`name` or `name:key`) — used by the scripting layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FargoError::InvalidArgument`] on unknown names or
+    /// malformed keys.
+    pub fn parse(s: &str) -> Result<Service> {
+        let (name, key) = match s.split_once(':') {
+            Some((n, k)) => (n, k),
+            None => (s, ""),
+        };
+        let bad = |what: &str| FargoError::InvalidArgument(format!("{what} in service {s:?}"));
+        let parse_node = |k: &str| -> Result<u32> {
+            k.strip_prefix('n')
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad("bad node key"))
+        };
+        match name {
+            "completLoad" => Ok(Service::CompletLoad),
+            "memoryUse" => Ok(Service::MemoryUse),
+            "queueLen" => Ok(Service::QueueLen),
+            "bandwidth" => Ok(Service::Bandwidth {
+                peer: parse_node(key)?,
+            }),
+            "latency" => Ok(Service::Latency {
+                peer: parse_node(key)?,
+            }),
+            "completSize" => Ok(Service::CompletSize {
+                id: parse_id(key).ok_or_else(|| bad("bad complet id"))?,
+            }),
+            "methodInvokeRate" => {
+                let (a, b) = key.split_once("->").ok_or_else(|| bad("bad rate key"))?;
+                Ok(Service::MethodInvokeRate {
+                    src: parse_id(a).ok_or_else(|| bad("bad src id"))?,
+                    dst: parse_id(b).ok_or_else(|| bad("bad dst id"))?,
+                })
+            }
+            _ => Err(bad("unknown service")),
+        }
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let key = self.key();
+        if key.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            write!(f, "{}:{}", self.name(), key)
+        }
+    }
+}
+
+fn parse_id(s: &str) -> Option<CompletId> {
+    let rest = s.strip_prefix('c')?;
+    let (origin, seq) = rest.split_once('.')?;
+    Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let services = [
+            Service::CompletLoad,
+            Service::MemoryUse,
+            Service::QueueLen,
+            Service::Bandwidth { peer: 3 },
+            Service::Latency { peer: 0 },
+            Service::MethodInvokeRate {
+                src: CompletId::new(0, 1),
+                dst: CompletId::new(2, 3),
+            },
+            Service::CompletSize {
+                id: CompletId::new(1, 7),
+            },
+        ];
+        for s in services {
+            assert_eq!(Service::parse(&s.to_string()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "nope",
+            "bandwidth",
+            "bandwidth:x3",
+            "methodInvokeRate:c0.1",
+            "methodInvokeRate:c0.1->garbage",
+            "completSize:9",
+        ] {
+            assert!(Service::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn names_match_paper_vocabulary() {
+        assert_eq!(Service::CompletLoad.name(), "completLoad");
+        assert_eq!(
+            Service::MethodInvokeRate {
+                src: CompletId::new(0, 0),
+                dst: CompletId::new(0, 1)
+            }
+            .name(),
+            "methodInvokeRate"
+        );
+    }
+}

@@ -1,0 +1,933 @@
+//! The Core-to-Core peer protocol (the paper's *Peer Interface*).
+//!
+//! Every message is a [`Value`] tree encoded with `fargo-wire`. Requests
+//! carry a correlation id minted by the origin Core; replies walk back
+//! along the recorded forwarding path so every tracker on an invocation
+//! chain learns the target's final location (§3.1's chain shortening).
+
+use fargo_wire::{decode_value, encode_value, CompletId, RefDescriptor, Value};
+
+use crate::error::{FargoError, Result};
+use crate::events::EventPayload;
+
+/// A request's correlation id (unique per origin Core).
+pub(crate) type ReqId = u64;
+
+/// Continuation attached to a move: method + args invoked on the moved
+/// complet at the destination (§3.3's call-with-continuation style).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Continuation {
+    pub target: CompletId,
+    pub method: String,
+    pub args: Vec<Value>,
+}
+
+/// One complet inside a move stream.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CompletPacket {
+    pub id: CompletId,
+    pub type_name: String,
+    pub state: Value,
+    /// Logical names bound to this complet at the sending Core that
+    /// travel with it.
+    pub names: Vec<String>,
+}
+
+/// Where an event subscription delivers.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ListenerAddr {
+    /// Deliver by invoking `on_event` on this complet (follows moves).
+    Complet(RefDescriptor),
+    /// Deliver to a Core-level sink registered under a token.
+    Core { node: u32, token: u64 },
+}
+
+/// Request bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Request {
+    /// Invoke a method on a (possibly forwarded) complet.
+    Invoke {
+        target: CompletId,
+        method: String,
+        args: Vec<Value>,
+        /// Complet ids already on the synchronous call chain
+        /// (re-entrancy detection).
+        chain: Vec<CompletId>,
+        /// Node indices the request has traversed, origin first.
+        path: Vec<u32>,
+        hops: u32,
+    },
+    /// A marshaled move stream: the root complet plus all co-movers.
+    Move {
+        packets: Vec<CompletPacket>,
+        continuation: Option<Continuation>,
+    },
+    /// Remote instantiation of a complet.
+    NewComplet { type_name: String, args: Vec<Value> },
+    /// Look up a logical name in the receiver's naming service.
+    NameLookup { name: String },
+    /// Fetch a complet's marshaled state (remote `duplicate`).
+    FetchState { id: CompletId },
+    /// Ask the receiver (the complet's current host) to move it.
+    MoveRequest { id: CompletId, dest: u32 },
+    /// Where does the receiver (a home registry) believe this complet is?
+    WhereIs { id: CompletId },
+    /// Subscribe a listener to the receiver's events.
+    Subscribe {
+        selector: String,
+        threshold: Option<f64>,
+        above: bool,
+        listener: ListenerAddr,
+    },
+    /// Cancel a subscription previously installed with the same listener
+    /// address and selector.
+    Unsubscribe { selector: String, listener: ListenerAddr },
+    /// List the complets resident at the receiver (admin tooling).
+    ListComplets,
+    /// List the receiver's tracker table (reference inspection).
+    ListTrackers,
+    /// Latency probe.
+    Ping,
+}
+
+/// Reply bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Reply {
+    InvokeOk {
+        value: Value,
+        /// Node index where the target actually executed — used by every
+        /// tracker on the way back to shorten the chain.
+        final_location: u32,
+        /// The invoked complet, so intermediate Cores know whose tracker
+        /// to repoint.
+        target: CompletId,
+    },
+    MoveOk {
+        arrived: Vec<CompletId>,
+    },
+    NewOk {
+        desc: RefDescriptor,
+    },
+    NameOk {
+        desc: Option<RefDescriptor>,
+    },
+    StateOk {
+        type_name: String,
+        state: Value,
+    },
+    WhereOk {
+        node: Option<u32>,
+    },
+    /// Complets resident at the replying Core: `(id, type_name)`.
+    Complets {
+        items: Vec<(CompletId, String)>,
+    },
+    /// The replying Core's trackers: `(target, forward-to node if any,
+    /// hits)`; `None` forward means the target is local there.
+    Trackers {
+        items: Vec<(CompletId, Option<u32>, u64)>,
+    },
+    Ok,
+    Pong,
+    Err(FargoError),
+}
+
+/// One-way notifications (no reply expected).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Notify {
+    /// A complet now lives at `now_at` (home-registry update, and direct
+    /// tracker refresh after moves).
+    LocationUpdate { target: CompletId, now_at: u32 },
+    /// An event fired at a remote Core this Core subscribed to.
+    Event { token: u64, payload: EventPayload },
+    /// The sending Core is about to shut down.
+    CoreShutdown { node: u32 },
+}
+
+/// The full message envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Message {
+    Request {
+        req_id: ReqId,
+        /// Node index of the Core awaiting the reply.
+        origin: u32,
+        body: Request,
+    },
+    Reply {
+        req_id: ReqId,
+        /// Remaining nodes the reply must traverse, ending at the origin.
+        route: Vec<u32>,
+        body: Reply,
+    },
+    Notify(Notify),
+}
+
+// --- encoding helpers ----------------------------------------------------
+
+fn id_to_value(id: CompletId) -> Value {
+    Value::list([Value::from(id.origin), Value::I64(id.seq as i64)])
+}
+
+fn id_from_value(v: &Value) -> Result<CompletId> {
+    let origin = v
+        .index(0)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| FargoError::Protocol("bad complet id".into()))?;
+    let seq = v
+        .index(1)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| FargoError::Protocol("bad complet id".into()))?;
+    Ok(CompletId::new(origin as u32, seq as u64))
+}
+
+fn ids_to_value(ids: &[CompletId]) -> Value {
+    Value::List(ids.iter().map(|&i| id_to_value(i)).collect())
+}
+
+fn ids_from_value(v: &Value) -> Result<Vec<CompletId>> {
+    v.as_list()
+        .ok_or_else(|| FargoError::Protocol("bad id list".into()))?
+        .iter()
+        .map(id_from_value)
+        .collect()
+}
+
+fn nodes_to_value(nodes: &[u32]) -> Value {
+    Value::List(nodes.iter().map(|&n| Value::from(n)).collect())
+}
+
+fn nodes_from_value(v: &Value) -> Result<Vec<u32>> {
+    v.as_list()
+        .ok_or_else(|| FargoError::Protocol("bad node list".into()))?
+        .iter()
+        .map(|n| {
+            n.as_i64()
+                .map(|x| x as u32)
+                .ok_or_else(|| FargoError::Protocol("bad node index".into()))
+        })
+        .collect()
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| FargoError::Protocol(format!("missing string field {key:?}")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .map(|x| x as u64)
+        .ok_or_else(|| FargoError::Protocol(format!("missing int field {key:?}")))
+}
+
+fn value_field(v: &Value, key: &str) -> Result<Value> {
+    v.get(key)
+        .cloned()
+        .ok_or_else(|| FargoError::Protocol(format!("missing field {key:?}")))
+}
+
+fn list_field(v: &Value, key: &str) -> Result<Vec<Value>> {
+    match v.get(key) {
+        Some(Value::List(items)) => Ok(items.clone()),
+        _ => Err(FargoError::Protocol(format!("missing list field {key:?}"))),
+    }
+}
+
+fn ref_to_value(d: &RefDescriptor) -> Value {
+    Value::Ref(d.clone())
+}
+
+fn ref_from_value(v: &Value) -> Result<RefDescriptor> {
+    v.as_ref_desc()
+        .cloned()
+        .ok_or_else(|| FargoError::Protocol("expected ref descriptor".into()))
+}
+
+/// Errors cross the wire as `(code, detail)`; unrecognised codes decode to
+/// [`FargoError::App`] so peers never fail to decode an error reply.
+fn error_to_value(e: &FargoError) -> Value {
+    let (code, detail) = match e {
+        FargoError::UnknownComplet(id) => ("unknown_complet", id.to_string()),
+        FargoError::UnknownType(t) => ("unknown_type", t.clone()),
+        FargoError::NoSuchMethod {
+            complet_type,
+            method,
+        } => ("no_such_method", format!("{complet_type}/{method}")),
+        FargoError::App(m) => ("app", m.clone()),
+        FargoError::ReentrantInvocation(id) => ("reentrant", id.to_string()),
+        FargoError::Timeout => ("timeout", String::new()),
+        FargoError::NameNotBound(n) => ("name_not_bound", n.clone()),
+        FargoError::StampUnresolved(t) => ("stamp_unresolved", t.clone()),
+        FargoError::AlreadyMoving(id) => ("already_moving", id.to_string()),
+        FargoError::UnknownRelocator(n) => ("unknown_relocator", n.clone()),
+        FargoError::HopLimit(n) => ("hop_limit", n.to_string()),
+        FargoError::ShuttingDown => ("shutting_down", String::new()),
+        FargoError::CapacityExceeded { core, capacity } => {
+            ("capacity", format!("{core}/{capacity}"))
+        }
+        other => ("app", other.to_string()),
+    };
+    Value::map([("code", Value::from(code)), ("detail", Value::from(detail))])
+}
+
+fn error_from_value(v: &Value) -> Result<FargoError> {
+    let code = str_field(v, "code")?;
+    let detail = str_field(v, "detail")?;
+    Ok(match code.as_str() {
+        "unknown_type" => FargoError::UnknownType(detail),
+        "no_such_method" => {
+            let (t, m) = detail.split_once('/').unwrap_or((detail.as_str(), ""));
+            FargoError::NoSuchMethod {
+                complet_type: t.to_owned(),
+                method: m.to_owned(),
+            }
+        }
+        "timeout" => FargoError::Timeout,
+        "name_not_bound" => FargoError::NameNotBound(detail),
+        "stamp_unresolved" => FargoError::StampUnresolved(detail),
+        "unknown_relocator" => FargoError::UnknownRelocator(detail),
+        "shutting_down" => FargoError::ShuttingDown,
+        "capacity" => {
+            let (core, cap) = detail.rsplit_once('/').unwrap_or((detail.as_str(), "0"));
+            FargoError::CapacityExceeded {
+                core: core.to_owned(),
+                capacity: cap.parse().unwrap_or(0),
+            }
+        }
+        "hop_limit" => FargoError::HopLimit(detail.parse().unwrap_or(0)),
+        // Complet ids inside error details are informational; decode as App
+        // if unparsable rather than failing the whole reply.
+        "unknown_complet" | "reentrant" | "already_moving" => {
+            match parse_id(&detail) {
+                Some(id) if code == "unknown_complet" => FargoError::UnknownComplet(id),
+                Some(id) if code == "reentrant" => FargoError::ReentrantInvocation(id),
+                Some(id) => FargoError::AlreadyMoving(id),
+                None => FargoError::App(format!("{code}: {detail}")),
+            }
+        }
+        _ => FargoError::App(detail),
+    })
+}
+
+fn parse_id(s: &str) -> Option<CompletId> {
+    let rest = s.strip_prefix('c')?;
+    let (origin, seq) = rest.split_once('.')?;
+    Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}
+
+fn listener_to_value(l: &ListenerAddr) -> Value {
+    match l {
+        ListenerAddr::Complet(d) => Value::map([("complet", ref_to_value(d))]),
+        ListenerAddr::Core { node, token } => Value::map([
+            ("node", Value::from(*node)),
+            ("token", Value::I64(*token as i64)),
+        ]),
+    }
+}
+
+fn listener_from_value(v: &Value) -> Result<ListenerAddr> {
+    if let Some(r) = v.get("complet") {
+        return Ok(ListenerAddr::Complet(ref_from_value(r)?));
+    }
+    Ok(ListenerAddr::Core {
+        node: u64_field(v, "node")? as u32,
+        token: u64_field(v, "token")?,
+    })
+}
+
+fn packet_to_value(p: &CompletPacket) -> Value {
+    Value::map([
+        ("id", id_to_value(p.id)),
+        ("type", Value::from(p.type_name.as_str())),
+        ("state", p.state.clone()),
+        (
+            "names",
+            Value::List(p.names.iter().map(|n| Value::from(n.as_str())).collect()),
+        ),
+    ])
+}
+
+fn packet_from_value(v: &Value) -> Result<CompletPacket> {
+    let names = list_field(v, "names")?
+        .iter()
+        .map(|n| {
+            n.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| FargoError::Protocol("bad name".into()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(CompletPacket {
+        id: id_from_value(&value_field(v, "id")?)?,
+        type_name: str_field(v, "type")?,
+        state: value_field(v, "state")?,
+        names,
+    })
+}
+
+impl Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Invoke {
+                target,
+                method,
+                args,
+                chain,
+                path,
+                hops,
+            } => Value::map([
+                ("kind", Value::from("invoke")),
+                ("target", id_to_value(*target)),
+                ("method", Value::from(method.as_str())),
+                ("args", Value::List(args.clone())),
+                ("chain", ids_to_value(chain)),
+                ("path", nodes_to_value(path)),
+                ("hops", Value::from(*hops)),
+            ]),
+            Request::Move {
+                packets,
+                continuation,
+            } => {
+                let mut m = Value::map([
+                    ("kind", Value::from("move")),
+                    (
+                        "packets",
+                        Value::List(packets.iter().map(packet_to_value).collect()),
+                    ),
+                ]);
+                if let Some(c) = continuation {
+                    m.insert(
+                        "cont",
+                        Value::map([
+                            ("target", id_to_value(c.target)),
+                            ("method", Value::from(c.method.as_str())),
+                            ("args", Value::List(c.args.clone())),
+                        ]),
+                    );
+                }
+                m
+            }
+            Request::NewComplet { type_name, args } => Value::map([
+                ("kind", Value::from("new")),
+                ("type", Value::from(type_name.as_str())),
+                ("args", Value::List(args.clone())),
+            ]),
+            Request::NameLookup { name } => Value::map([
+                ("kind", Value::from("lookup")),
+                ("name", Value::from(name.as_str())),
+            ]),
+            Request::FetchState { id } => Value::map([
+                ("kind", Value::from("fetch")),
+                ("id", id_to_value(*id)),
+            ]),
+            Request::MoveRequest { id, dest } => Value::map([
+                ("kind", Value::from("move_req")),
+                ("id", id_to_value(*id)),
+                ("dest", Value::from(*dest)),
+            ]),
+            Request::WhereIs { id } => Value::map([
+                ("kind", Value::from("where")),
+                ("id", id_to_value(*id)),
+            ]),
+            Request::Subscribe {
+                selector,
+                threshold,
+                above,
+                listener,
+            } => Value::map([
+                ("kind", Value::from("subscribe")),
+                ("selector", Value::from(selector.as_str())),
+                ("threshold", Value::from(*threshold)),
+                ("above", Value::from(*above)),
+                ("listener", listener_to_value(listener)),
+            ]),
+            Request::Unsubscribe { selector, listener } => Value::map([
+                ("kind", Value::from("unsubscribe")),
+                ("selector", Value::from(selector.as_str())),
+                ("listener", listener_to_value(listener)),
+            ]),
+            Request::ListComplets => Value::map([("kind", Value::from("list"))]),
+            Request::ListTrackers => Value::map([("kind", Value::from("list_trk"))]),
+            Request::Ping => Value::map([("kind", Value::from("ping"))]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Request> {
+        match str_field(v, "kind")?.as_str() {
+            "invoke" => Ok(Request::Invoke {
+                target: id_from_value(&value_field(v, "target")?)?,
+                method: str_field(v, "method")?,
+                args: list_field(v, "args")?,
+                chain: ids_from_value(&value_field(v, "chain")?)?,
+                path: nodes_from_value(&value_field(v, "path")?)?,
+                hops: u64_field(v, "hops")? as u32,
+            }),
+            "move" => {
+                let packets = list_field(v, "packets")?
+                    .iter()
+                    .map(packet_from_value)
+                    .collect::<Result<Vec<_>>>()?;
+                let continuation = match v.get("cont") {
+                    Some(c) => Some(Continuation {
+                        target: id_from_value(&value_field(c, "target")?)?,
+                        method: str_field(c, "method")?,
+                        args: list_field(c, "args")?,
+                    }),
+                    None => None,
+                };
+                Ok(Request::Move {
+                    packets,
+                    continuation,
+                })
+            }
+            "new" => Ok(Request::NewComplet {
+                type_name: str_field(v, "type")?,
+                args: list_field(v, "args")?,
+            }),
+            "lookup" => Ok(Request::NameLookup {
+                name: str_field(v, "name")?,
+            }),
+            "fetch" => Ok(Request::FetchState {
+                id: id_from_value(&value_field(v, "id")?)?,
+            }),
+            "move_req" => Ok(Request::MoveRequest {
+                id: id_from_value(&value_field(v, "id")?)?,
+                dest: u64_field(v, "dest")? as u32,
+            }),
+            "where" => Ok(Request::WhereIs {
+                id: id_from_value(&value_field(v, "id")?)?,
+            }),
+            "subscribe" => Ok(Request::Subscribe {
+                selector: str_field(v, "selector")?,
+                threshold: v.get("threshold").and_then(Value::as_f64),
+                above: v
+                    .get("above")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(true),
+                listener: listener_from_value(&value_field(v, "listener")?)?,
+            }),
+            "unsubscribe" => Ok(Request::Unsubscribe {
+                selector: str_field(v, "selector")?,
+                listener: listener_from_value(&value_field(v, "listener")?)?,
+            }),
+            "list" => Ok(Request::ListComplets),
+            "list_trk" => Ok(Request::ListTrackers),
+            "ping" => Ok(Request::Ping),
+            other => Err(FargoError::Protocol(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+impl Reply {
+    fn to_value(&self) -> Value {
+        match self {
+            Reply::InvokeOk {
+                value,
+                final_location,
+                target,
+            } => Value::map([
+                ("kind", Value::from("invoke_ok")),
+                ("value", value.clone()),
+                ("loc", Value::from(*final_location)),
+                ("target", id_to_value(*target)),
+            ]),
+            Reply::MoveOk { arrived } => Value::map([
+                ("kind", Value::from("move_ok")),
+                ("arrived", ids_to_value(arrived)),
+            ]),
+            Reply::NewOk { desc } => Value::map([
+                ("kind", Value::from("new_ok")),
+                ("desc", ref_to_value(desc)),
+            ]),
+            Reply::NameOk { desc } => {
+                let mut m = Value::map([("kind", Value::from("name_ok"))]);
+                if let Some(d) = desc {
+                    m.insert("desc", ref_to_value(d));
+                }
+                m
+            }
+            Reply::StateOk { type_name, state } => Value::map([
+                ("kind", Value::from("state_ok")),
+                ("type", Value::from(type_name.as_str())),
+                ("state", state.clone()),
+            ]),
+            Reply::WhereOk { node } => Value::map([
+                ("kind", Value::from("where_ok")),
+                ("node", Value::from(node.map(i64::from))),
+            ]),
+            Reply::Complets { items } => Value::map([
+                ("kind", Value::from("complets")),
+                (
+                    "items",
+                    Value::List(
+                        items
+                            .iter()
+                            .map(|(id, t)| {
+                                Value::list([id_to_value(*id), Value::from(t.as_str())])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Reply::Trackers { items } => Value::map([
+                ("kind", Value::from("trackers")),
+                (
+                    "items",
+                    Value::List(
+                        items
+                            .iter()
+                            .map(|(id, fwd, hits)| {
+                                Value::list([
+                                    id_to_value(*id),
+                                    Value::from(fwd.map(i64::from)),
+                                    Value::I64(*hits as i64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Reply::Ok => Value::map([("kind", Value::from("ok"))]),
+            Reply::Pong => Value::map([("kind", Value::from("pong"))]),
+            Reply::Err(e) => Value::map([
+                ("kind", Value::from("err")),
+                ("error", error_to_value(e)),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Reply> {
+        match str_field(v, "kind")?.as_str() {
+            "invoke_ok" => Ok(Reply::InvokeOk {
+                value: value_field(v, "value")?,
+                final_location: u64_field(v, "loc")? as u32,
+                target: id_from_value(&value_field(v, "target")?)?,
+            }),
+            "move_ok" => Ok(Reply::MoveOk {
+                arrived: ids_from_value(&value_field(v, "arrived")?)?,
+            }),
+            "new_ok" => Ok(Reply::NewOk {
+                desc: ref_from_value(&value_field(v, "desc")?)?,
+            }),
+            "name_ok" => Ok(Reply::NameOk {
+                desc: match v.get("desc") {
+                    Some(d) => Some(ref_from_value(d)?),
+                    None => None,
+                },
+            }),
+            "state_ok" => Ok(Reply::StateOk {
+                type_name: str_field(v, "type")?,
+                state: value_field(v, "state")?,
+            }),
+            "where_ok" => Ok(Reply::WhereOk {
+                node: v.get("node").and_then(Value::as_i64).map(|n| n as u32),
+            }),
+            "complets" => {
+                let items = list_field(v, "items")?
+                    .iter()
+                    .map(|item| {
+                        let id = id_from_value(
+                            item.index(0)
+                                .ok_or_else(|| FargoError::Protocol("bad item".into()))?,
+                        )?;
+                        let t = item
+                            .index(1)
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| FargoError::Protocol("bad item type".into()))?;
+                        Ok((id, t.to_owned()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Reply::Complets { items })
+            }
+            "trackers" => {
+                let items = list_field(v, "items")?
+                    .iter()
+                    .map(|item| {
+                        let id = id_from_value(
+                            item.index(0)
+                                .ok_or_else(|| FargoError::Protocol("bad tracker".into()))?,
+                        )?;
+                        let fwd = item.index(1).and_then(Value::as_i64).map(|n| n as u32);
+                        let hits = item
+                            .index(2)
+                            .and_then(Value::as_i64)
+                            .ok_or_else(|| FargoError::Protocol("bad tracker hits".into()))?
+                            as u64;
+                        Ok((id, fwd, hits))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Reply::Trackers { items })
+            }
+            "ok" => Ok(Reply::Ok),
+            "pong" => Ok(Reply::Pong),
+            "err" => Ok(Reply::Err(error_from_value(&value_field(v, "error")?)?)),
+            other => Err(FargoError::Protocol(format!("unknown reply kind {other:?}"))),
+        }
+    }
+}
+
+impl Notify {
+    fn to_value(&self) -> Value {
+        match self {
+            Notify::LocationUpdate { target, now_at } => Value::map([
+                ("kind", Value::from("loc")),
+                ("target", id_to_value(*target)),
+                ("at", Value::from(*now_at)),
+            ]),
+            Notify::Event { token, payload } => Value::map([
+                ("kind", Value::from("event")),
+                ("token", Value::I64(*token as i64)),
+                ("payload", payload.to_value()),
+            ]),
+            Notify::CoreShutdown { node } => Value::map([
+                ("kind", Value::from("shutdown")),
+                ("node", Value::from(*node)),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Notify> {
+        match str_field(v, "kind")?.as_str() {
+            "loc" => Ok(Notify::LocationUpdate {
+                target: id_from_value(&value_field(v, "target")?)?,
+                now_at: u64_field(v, "at")? as u32,
+            }),
+            "event" => Ok(Notify::Event {
+                token: u64_field(v, "token")?,
+                payload: EventPayload::from_value(&value_field(v, "payload")?)?,
+            }),
+            "shutdown" => Ok(Notify::CoreShutdown {
+                node: u64_field(v, "node")? as u32,
+            }),
+            other => Err(FargoError::Protocol(format!("unknown notify kind {other:?}"))),
+        }
+    }
+}
+
+impl Message {
+    /// Encodes the message for transmission.
+    pub fn encode(&self) -> bytes::Bytes {
+        let v = match self {
+            Message::Request {
+                req_id,
+                origin,
+                body,
+            } => Value::map([
+                ("t", Value::from("req")),
+                ("id", Value::I64(*req_id as i64)),
+                ("origin", Value::from(*origin)),
+                ("body", body.to_value()),
+            ]),
+            Message::Reply {
+                req_id,
+                route,
+                body,
+            } => Value::map([
+                ("t", Value::from("rep")),
+                ("id", Value::I64(*req_id as i64)),
+                ("route", nodes_to_value(route)),
+                ("body", body.to_value()),
+            ]),
+            Message::Notify(n) => Value::map([
+                ("t", Value::from("ntf")),
+                ("body", n.to_value()),
+            ]),
+        };
+        encode_value(&v)
+    }
+
+    /// Decodes a message received from a peer.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`FargoError::Protocol`] or a wire error on malformed
+    /// input.
+    pub fn decode(bytes: &[u8]) -> Result<Message> {
+        let v = decode_value(bytes)?;
+        match str_field(&v, "t")?.as_str() {
+            "req" => Ok(Message::Request {
+                req_id: u64_field(&v, "id")?,
+                origin: u64_field(&v, "origin")? as u32,
+                body: Request::from_value(&value_field(&v, "body")?)?,
+            }),
+            "rep" => Ok(Message::Reply {
+                req_id: u64_field(&v, "id")?,
+                route: nodes_from_value(&value_field(&v, "route")?)?,
+                body: Reply::from_value(&value_field(&v, "body")?)?,
+            }),
+            "ntf" => Ok(Message::Notify(Notify::from_value(&value_field(
+                &v, "body",
+            )?)?)),
+            other => Err(FargoError::Protocol(format!("unknown envelope {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let bytes = m.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn invoke_roundtrips() {
+        roundtrip(Message::Request {
+            req_id: 42,
+            origin: 1,
+            body: Request::Invoke {
+                target: CompletId::new(0, 7),
+                method: "print".into(),
+                args: vec![Value::from("hi"), Value::Null],
+                chain: vec![CompletId::new(1, 1)],
+                path: vec![1, 2, 3],
+                hops: 2,
+            },
+        });
+    }
+
+    #[test]
+    fn move_stream_roundtrips() {
+        roundtrip(Message::Request {
+            req_id: 1,
+            origin: 0,
+            body: Request::Move {
+                packets: vec![CompletPacket {
+                    id: CompletId::new(0, 1),
+                    type_name: "Message".into(),
+                    state: Value::map([("text", Value::from("x"))]),
+                    names: vec!["msg".into()],
+                }],
+                continuation: Some(Continuation {
+                    target: CompletId::new(0, 1),
+                    method: "start".into(),
+                    args: vec![Value::I64(1)],
+                }),
+            },
+        });
+    }
+
+    #[test]
+    fn move_without_continuation_roundtrips() {
+        roundtrip(Message::Request {
+            req_id: 1,
+            origin: 0,
+            body: Request::Move {
+                packets: vec![],
+                continuation: None,
+            },
+        });
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for body in [
+            Reply::InvokeOk {
+                value: Value::from(5i64),
+                final_location: 3,
+                target: CompletId::new(0, 7),
+            },
+            Reply::MoveOk {
+                arrived: vec![CompletId::new(1, 1)],
+            },
+            Reply::NewOk {
+                desc: RefDescriptor::link(CompletId::new(2, 2), "T", 2),
+            },
+            Reply::NameOk { desc: None },
+            Reply::StateOk {
+                type_name: "T".into(),
+                state: Value::Null,
+            },
+            Reply::WhereOk { node: Some(4) },
+            Reply::WhereOk { node: None },
+            Reply::Complets {
+                items: vec![(CompletId::new(0, 1), "Message".into())],
+            },
+            Reply::Trackers {
+                items: vec![
+                    (CompletId::new(0, 1), Some(3), 7),
+                    (CompletId::new(1, 2), None, 0),
+                ],
+            },
+            Reply::Ok,
+            Reply::Pong,
+        ] {
+            roundtrip(Message::Reply {
+                req_id: 9,
+                route: vec![2, 1],
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn errors_roundtrip_typed() {
+        let cases = [
+            FargoError::UnknownComplet(CompletId::new(3, 4)),
+            FargoError::Timeout,
+            FargoError::NoSuchMethod {
+                complet_type: "A".into(),
+                method: "b".into(),
+            },
+            FargoError::App("boom".into()),
+            FargoError::ReentrantInvocation(CompletId::new(1, 1)),
+            FargoError::StampUnresolved("Printer".into()),
+            FargoError::NameNotBound("x".into()),
+            FargoError::ShuttingDown,
+            FargoError::HopLimit(64),
+        ];
+        for e in cases {
+            let m = Message::Reply {
+                req_id: 1,
+                route: vec![],
+                body: Reply::Err(e.clone()),
+            };
+            let back = Message::decode(&m.encode()).unwrap();
+            match back {
+                Message::Reply {
+                    body: Reply::Err(got),
+                    ..
+                } => assert_eq!(got, e),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn notifies_roundtrip() {
+        roundtrip(Message::Notify(Notify::LocationUpdate {
+            target: CompletId::new(1, 2),
+            now_at: 5,
+        }));
+        roundtrip(Message::Notify(Notify::CoreShutdown { node: 2 }));
+    }
+
+    #[test]
+    fn subscribe_roundtrips_both_listener_kinds() {
+        for listener in [
+            ListenerAddr::Complet(RefDescriptor::link(CompletId::new(1, 1), "L", 0)),
+            ListenerAddr::Core { node: 3, token: 99 },
+        ] {
+            roundtrip(Message::Request {
+                req_id: 5,
+                origin: 0,
+                body: Request::Subscribe {
+                    selector: "completLoad".into(),
+                    threshold: Some(3.0),
+                    above: true,
+                    listener,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Message::decode(b"garbage").is_err());
+        let v = Value::map([("t", Value::from("nope"))]);
+        assert!(Message::decode(&encode_value(&v)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Meta-references: reflection on complet references (§3.2).
+//!
+//! FarGo reflects on the *reference* rather than the object: every complet
+//! reference owns a meta-reference that reifies its relocation semantics
+//! and lets a program inspect and change them at runtime, without touching
+//! the invocation syntax. The Rust analog of:
+//!
+//! ```java
+//! MetaRef metaRef = Core.getMetaRef(msg);
+//! if (metaRef.getRelocator() instanceof Link)
+//!     metaRef.setRelocator(new Pull());
+//! ```
+//!
+//! is:
+//!
+//! ```no_run
+//! # use fargo_core::{Core, CompletRegistry};
+//! # use simnet::{Network, NetworkConfig};
+//! # fn main() -> Result<(), fargo_core::FargoError> {
+//! # let net = Network::new(NetworkConfig::default());
+//! # let registry = CompletRegistry::new();
+//! # let core = Core::builder(&net, "acadia").registry(&registry).spawn()?;
+//! # let msg = core.new_complet("Message", &[])?;
+//! let meta = msg.meta();
+//! if meta.relocator_name() == "link" {
+//!     meta.set_relocator("pull")?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::reference::relocator::Relocator;
+use crate::reference::CompletRef;
+use crate::runtime::Core;
+
+/// The reflective handle of one complet reference.
+///
+/// Obtained with [`Core::meta_ref`] or
+/// [`BoundRef::meta`](crate::BoundRef::meta). Changes made through a
+/// `MetaRef` are visible to every clone of the underlying reference (they
+/// share one meta-reference, as in Figure 2).
+#[derive(Debug)]
+pub struct MetaRef {
+    core: Core,
+    r: CompletRef,
+}
+
+impl MetaRef {
+    pub(crate) fn new(core: Core, r: CompletRef) -> Self {
+        MetaRef { core, r }
+    }
+
+    /// The reified relocator object of this reference.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reference carries a relocator name that is not
+    /// registered at this Core.
+    pub fn relocator(&self) -> Result<Arc<dyn Relocator>> {
+        self.core.relocators().resolve(&self.r.relocator())
+    }
+
+    /// The relocator's name (`"link"`, `"pull"`, …).
+    pub fn relocator_name(&self) -> String {
+        self.r.relocator()
+    }
+
+    /// Replaces the reference's relocation semantics — the runtime
+    /// evolution of reference types (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails with
+    /// [`FargoError::UnknownRelocator`](crate::FargoError::UnknownRelocator)
+    /// if `name` is not registered.
+    pub fn set_relocator(&self, name: &str) -> Result<()> {
+        // Validate against the registry before mutating.
+        self.core.relocators().resolve(name)?;
+        self.r.set_relocator_unchecked(name);
+        Ok(())
+    }
+
+    /// The name of the Core currently hosting the reference's target.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target cannot be located.
+    pub fn location(&self) -> Result<String> {
+        let node = self.core.locate(self.r.id())?;
+        Ok(self.core.core_name_of(node))
+    }
+
+    /// The underlying reference.
+    pub fn complet_ref(&self) -> &CompletRef {
+        &self.r
+    }
+}

@@ -1,0 +1,171 @@
+//! Complet references: stubs, trackers, meta-references, relocators.
+//!
+//! The paper splits the classic proxy into a **stub** (local, interface-
+//! identical, held by the source) and a **tracker** (one per target
+//! complet per Core, doing the actual forwarding) — §3.1. In FarGo-RS:
+//!
+//! * [`CompletRef`] is the stub's portable core: the reference descriptor
+//!   plus its meta-reference state. It is what complet state stores and
+//!   what crosses the wire.
+//! * [`BoundRef`](crate::BoundRef) (in the runtime module) binds a
+//!   `CompletRef` to a local Core, yielding the callable stub.
+//! * [`TrackerTable`](tracker::TrackerTable) is the per-Core tracker map.
+//! * [`Relocator`](relocator::Relocator) reifies reference relocation
+//!   semantics; [`MetaRef`](meta::MetaRef) is the reflective handle that
+//!   lets a program inspect and change them at runtime (§3.2).
+
+pub(crate) mod meta;
+pub(crate) mod relocator;
+pub(crate) mod tracker;
+
+pub use meta::MetaRef;
+pub use relocator::{ArrivalAction, MarshalAction, Relocator, RelocatorRegistry};
+pub use tracker::{TrackerSnapshot, TrackerTarget};
+
+use std::fmt;
+use std::sync::Arc;
+
+use fargo_wire::{CompletId, RefDescriptor};
+use parking_lot::RwLock;
+
+/// A complet reference — the portable heart of a stub.
+///
+/// Cloning a `CompletRef` yields another handle to the *same* reference:
+/// both clones share one meta-reference, so retyping the reference through
+/// either is visible through both (one meta-ref per reference, as in
+/// Figure 2 of the paper).
+///
+/// A `CompletRef` on its own carries no Core affiliation; to invoke
+/// through it, bind it with [`Core::stub`](crate::Core::stub) (application
+/// code) or call it through [`Ctx::call`](crate::Ctx::call) (complet
+/// code).
+#[derive(Clone)]
+pub struct CompletRef {
+    inner: Arc<RwLock<RefDescriptor>>,
+}
+
+impl CompletRef {
+    /// Wraps a wire descriptor into a live reference.
+    pub fn from_descriptor(desc: RefDescriptor) -> Self {
+        CompletRef {
+            inner: Arc::new(RwLock::new(desc)),
+        }
+    }
+
+    /// A snapshot of the current descriptor.
+    pub fn descriptor(&self) -> RefDescriptor {
+        self.inner.read().clone()
+    }
+
+    /// The referenced complet's identity.
+    pub fn id(&self) -> CompletId {
+        self.inner.read().target
+    }
+
+    /// The target anchor's type name.
+    pub fn target_type(&self) -> String {
+        self.inner.read().target_type.clone()
+    }
+
+    /// The current relocator (reference type) name.
+    pub fn relocator(&self) -> String {
+        self.inner.read().relocator.clone()
+    }
+
+    /// Whether the reference currently has the default `link` type.
+    pub fn is_link(&self) -> bool {
+        self.inner.read().is_link()
+    }
+
+    /// The node index of the Core where the target was last observed.
+    pub fn last_known(&self) -> u32 {
+        self.inner.read().last_known
+    }
+
+    /// Overwrites the relocator name without registry validation.
+    ///
+    /// Public code should go through [`MetaRef::set_relocator`], which
+    /// validates the name; the runtime uses this directly for degrades.
+    pub(crate) fn set_relocator_unchecked(&self, name: &str) {
+        self.inner.write().relocator = name.to_owned();
+    }
+
+    /// Updates the location hint after learning the target's position.
+    pub(crate) fn set_last_known(&self, node: u32) {
+        self.inner.write().last_known = node;
+    }
+
+    /// Returns a *new, independent* reference to the same target with the
+    /// relocator degraded to `link` — the form in which references cross
+    /// complet boundaries (§3.1).
+    pub fn degraded(&self) -> CompletRef {
+        CompletRef::from_descriptor(self.inner.read().degraded())
+    }
+}
+
+impl fmt::Debug for CompletRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompletRef({})", self.inner.read())
+    }
+}
+
+impl fmt::Display for CompletRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner.read())
+    }
+}
+
+impl PartialEq for CompletRef {
+    /// Two references are equal when they point at the same complet
+    /// (relocator type does not affect identity).
+    fn eq(&self, other: &Self) -> bool {
+        self.id() == other.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> CompletRef {
+        CompletRef::from_descriptor(RefDescriptor::link(CompletId::new(1, 5), "Message", 2))
+    }
+
+    #[test]
+    fn accessors_reflect_descriptor() {
+        let r = make();
+        assert_eq!(r.id(), CompletId::new(1, 5));
+        assert_eq!(r.target_type(), "Message");
+        assert_eq!(r.relocator(), "link");
+        assert_eq!(r.last_known(), 2);
+        assert!(r.is_link());
+    }
+
+    #[test]
+    fn clones_share_the_meta_reference() {
+        let r = make();
+        let clone = r.clone();
+        clone.set_relocator_unchecked("pull");
+        assert_eq!(r.relocator(), "pull");
+    }
+
+    #[test]
+    fn degraded_is_independent() {
+        let r = make();
+        r.set_relocator_unchecked("pull");
+        let d = r.degraded();
+        assert!(d.is_link());
+        assert_eq!(d.id(), r.id());
+        // Changing the degraded copy does not affect the original.
+        d.set_relocator_unchecked("stamp");
+        assert_eq!(r.relocator(), "pull");
+    }
+
+    #[test]
+    fn equality_is_target_identity() {
+        let a = make();
+        let b = make();
+        b.set_relocator_unchecked("pull");
+        assert_eq!(a, b);
+    }
+}

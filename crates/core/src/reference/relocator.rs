@@ -1,0 +1,255 @@
+//! Relocators: reified reference relocation semantics (§2, §3.3).
+//!
+//! Each complet reference carries a relocator *name*; the Core resolves it
+//! through the [`RelocatorRegistry`] when a movement touches the
+//! reference. The four built-in relocators implement the paper's
+//! `link` / `pull` / `duplicate` / `stamp` types; applications extend the
+//! hierarchy by registering their own [`Relocator`] implementations,
+//! exactly as new Java `Relocator` subclasses plug into FarGo's movement
+//! protocol.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{FargoError, Result};
+
+/// What the movement unit does with an outgoing reference while marshaling
+/// the source complet (§3.3's per-reference marshal routine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarshalAction {
+    /// Leave the target where it is; the reference keeps tracking it.
+    KeepTracking,
+    /// Recurse into the target: it joins the move stream and relocates
+    /// along with the source.
+    PullTarget,
+    /// Marshal a *copy* of the target into the stream; the original stays,
+    /// and the moved source is re-bound to the copy.
+    DuplicateTarget,
+    /// Marshal only the target's type; the destination re-binds the
+    /// reference to a local complet of that type.
+    StampType,
+}
+
+/// What the receiving Core does with the reference while unmarshaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalAction {
+    /// Keep the (possibly re-bound) target carried by the stream.
+    Keep,
+    /// Look up a local complet of the target's type and re-bind to it.
+    ResolveByType,
+}
+
+/// Reified relocation semantics of a reference type.
+///
+/// Implementations must be stateless (they describe a *kind* of
+/// reference); per-reference state lives in the reference descriptor.
+pub trait Relocator: Send + Sync {
+    /// The reference type name stored in descriptors (e.g. `"pull"`).
+    fn name(&self) -> &str;
+
+    /// Marshal-side behaviour when the *source* complet moves.
+    fn marshal_action(&self) -> MarshalAction {
+        MarshalAction::KeepTracking
+    }
+
+    /// Unmarshal-side behaviour at the destination Core.
+    fn arrival_action(&self) -> ArrivalAction {
+        ArrivalAction::Keep
+    }
+
+    /// One-line human description (shown by the shell and monitor).
+    fn describe(&self) -> String {
+        format!("user-defined relocator {:?}", self.name())
+    }
+}
+
+macro_rules! builtin_relocator {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $marshal:expr, $arrival:expr, $desc:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Relocator for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn marshal_action(&self) -> MarshalAction {
+                $marshal
+            }
+            fn arrival_action(&self) -> ArrivalAction {
+                $arrival
+            }
+            fn describe(&self) -> String {
+                $desc.to_owned()
+            }
+        }
+    };
+}
+
+builtin_relocator!(
+    /// The default reference type: a remote reference that keeps tracking
+    /// its (possibly moving) target.
+    Link,
+    "link",
+    MarshalAction::KeepTracking,
+    ArrivalAction::Keep,
+    "remote reference that tracks its moving target"
+);
+
+builtin_relocator!(
+    /// When the source moves, the target automatically moves along.
+    Pull,
+    "pull",
+    MarshalAction::PullTarget,
+    ArrivalAction::Keep,
+    "target is pulled along when the source relocates"
+);
+
+builtin_relocator!(
+    /// When the source moves, a copy of the target moves along instead of
+    /// the original (useful for read-only data sources).
+    Duplicate,
+    "duplicate",
+    MarshalAction::DuplicateTarget,
+    ArrivalAction::Keep,
+    "a copy of the target accompanies the relocating source"
+);
+
+builtin_relocator!(
+    /// When the source relocates, re-bind to an equivalent-typed complet
+    /// at the new location (e.g. the local printer).
+    Stamp,
+    "stamp",
+    MarshalAction::StampType,
+    ArrivalAction::ResolveByType,
+    "re-binds to a same-typed complet at the new location"
+);
+
+/// The extensible name → relocator map, shared by the Cores of a process.
+#[derive(Clone)]
+pub struct RelocatorRegistry {
+    map: Arc<RwLock<HashMap<String, Arc<dyn Relocator>>>>,
+}
+
+impl RelocatorRegistry {
+    /// A registry pre-populated with the four built-in relocators.
+    pub fn with_builtins() -> Self {
+        let reg = RelocatorRegistry {
+            map: Arc::new(RwLock::new(HashMap::new())),
+        };
+        reg.register(Arc::new(Link));
+        reg.register(Arc::new(Pull));
+        reg.register(Arc::new(Duplicate));
+        reg.register(Arc::new(Stamp));
+        reg
+    }
+
+    /// Registers (or replaces) a relocator under its own name.
+    pub fn register(&self, relocator: Arc<dyn Relocator>) {
+        self.map
+            .write()
+            .insert(relocator.name().to_owned(), relocator);
+    }
+
+    /// Resolves a relocator by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FargoError::UnknownRelocator`] for unregistered names.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn Relocator>> {
+        self.map
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FargoError::UnknownRelocator(name.to_owned()))
+    }
+
+    /// Whether a name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.read().contains_key(name)
+    }
+
+    /// All registered relocator names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.map.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for RelocatorRegistry {
+    fn default() -> Self {
+        RelocatorRegistry::with_builtins()
+    }
+}
+
+impl fmt::Debug for RelocatorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RelocatorRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered() {
+        let reg = RelocatorRegistry::with_builtins();
+        assert_eq!(reg.names(), vec!["duplicate", "link", "pull", "stamp"]);
+        assert_eq!(
+            reg.resolve("pull").unwrap().marshal_action(),
+            MarshalAction::PullTarget
+        );
+        assert_eq!(
+            reg.resolve("stamp").unwrap().arrival_action(),
+            ArrivalAction::ResolveByType
+        );
+    }
+
+    #[test]
+    fn unknown_name_fails() {
+        let reg = RelocatorRegistry::with_builtins();
+        assert!(matches!(
+            reg.resolve("tether"),
+            Err(FargoError::UnknownRelocator(_))
+        ));
+    }
+
+    #[test]
+    fn user_relocators_extend_the_hierarchy() {
+        // A user-defined type that behaves like pull on departure but
+        // resolves by type on arrival — a combination no builtin has.
+        struct Tether;
+        impl Relocator for Tether {
+            fn name(&self) -> &str {
+                "tether"
+            }
+            fn marshal_action(&self) -> MarshalAction {
+                MarshalAction::PullTarget
+            }
+            fn arrival_action(&self) -> ArrivalAction {
+                ArrivalAction::ResolveByType
+            }
+        }
+        let reg = RelocatorRegistry::with_builtins();
+        reg.register(Arc::new(Tether));
+        assert!(reg.contains("tether"));
+        let t = reg.resolve("tether").unwrap();
+        assert_eq!(t.marshal_action(), MarshalAction::PullTarget);
+        assert!(t.describe().contains("tether"));
+    }
+
+    #[test]
+    fn builtin_descriptions_are_meaningful() {
+        let reg = RelocatorRegistry::with_builtins();
+        for name in reg.names() {
+            assert!(!reg.resolve(&name).unwrap().describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The per-Core tracker table.
+//!
+//! A tracker is the second half of the stub/tracker split (§3.1): exactly
+//! one exists per target complet per Core, shared by every local stub
+//! pointing at that target. While the target is local the tracker points
+//! at it directly; when the target leaves, the tracker is repointed to the
+//! destination Core, forming a forwarding chain that invocation returns
+//! shorten.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fargo_wire::CompletId;
+use parking_lot::Mutex;
+
+/// Where a tracker currently points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerTarget {
+    /// The complet lives in this Core.
+    Local,
+    /// The complet left; forward to the Core at this node index.
+    Forward(u32),
+}
+
+#[derive(Debug)]
+struct Tracker {
+    target: TrackerTarget,
+    /// Invocations routed through this tracker.
+    hits: u64,
+    updated_at: Instant,
+}
+
+/// An externally visible view of one tracker (for the shell and monitor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerSnapshot {
+    /// The tracked complet.
+    pub id: CompletId,
+    /// Current direction.
+    pub target: TrackerTarget,
+    /// Invocations routed through this tracker so far.
+    pub hits: u64,
+}
+
+/// The Core's map of trackers, keyed by target complet id.
+#[derive(Debug, Default)]
+pub(crate) struct TrackerTable {
+    map: Mutex<HashMap<CompletId, Tracker>>,
+}
+
+impl TrackerTable {
+    pub fn new() -> Self {
+        TrackerTable::default()
+    }
+
+    /// Looks up where invocations for `id` should go, recording a hit.
+    pub fn route(&self, id: CompletId) -> Option<TrackerTarget> {
+        let mut map = self.map.lock();
+        map.get_mut(&id).map(|t| {
+            t.hits += 1;
+            t.target
+        })
+    }
+
+    /// Reads a tracker without recording a hit.
+    pub fn peek(&self, id: CompletId) -> Option<TrackerTarget> {
+        self.map.lock().get(&id).map(|t| t.target)
+    }
+
+    /// Points the tracker for `id` at the given target, creating it if
+    /// needed. This is both tracker creation on arrival (`Local`) and
+    /// repointing on departure or chain shortening (`Forward`).
+    pub fn point(&self, id: CompletId, target: TrackerTarget) {
+        let mut map = self.map.lock();
+        let now = Instant::now();
+        map.entry(id)
+            .and_modify(|t| {
+                t.target = target;
+                t.updated_at = now;
+            })
+            .or_insert(Tracker {
+                target,
+                hits: 0,
+                updated_at: now,
+            });
+    }
+
+    /// Creates a forwarding tracker only if none exists yet (used when a
+    /// reference with a location hint arrives at a Core that has never
+    /// seen the target).
+    pub fn seed_forward(&self, id: CompletId, node: u32) {
+        let mut map = self.map.lock();
+        map.entry(id).or_insert(Tracker {
+            target: TrackerTarget::Forward(node),
+            hits: 0,
+            updated_at: Instant::now(),
+        });
+    }
+
+    /// Removes the tracker for `id` (complet garbage collected).
+    pub fn remove(&self, id: CompletId) -> bool {
+        self.map.lock().remove(&id).is_some()
+    }
+
+    /// Drops forwarding trackers that have not been touched for `max_idle`
+    /// — the runtime's analog of the paper's tracker garbage collection.
+    /// Local trackers are never collected. Returns how many were dropped.
+    pub fn collect_idle(&self, max_idle: std::time::Duration) -> usize {
+        let mut map = self.map.lock();
+        let now = Instant::now();
+        let before = map.len();
+        map.retain(|_, t| {
+            t.target == TrackerTarget::Local || now.duration_since(t.updated_at) < max_idle
+        });
+        before - map.len()
+    }
+
+    /// Snapshot of every tracker, for inspection tools.
+    pub fn snapshot(&self) -> Vec<TrackerSnapshot> {
+        let map = self.map.lock();
+        let mut out: Vec<TrackerSnapshot> = map
+            .iter()
+            .map(|(&id, t)| TrackerSnapshot {
+                id,
+                target: t.target,
+                hits: t.hits,
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Number of trackers currently in the table.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn id(n: u64) -> CompletId {
+        CompletId::new(0, n)
+    }
+
+    #[test]
+    fn point_and_route() {
+        let t = TrackerTable::new();
+        assert_eq!(t.route(id(1)), None);
+        t.point(id(1), TrackerTarget::Local);
+        assert_eq!(t.route(id(1)), Some(TrackerTarget::Local));
+        t.point(id(1), TrackerTarget::Forward(3));
+        assert_eq!(t.route(id(1)), Some(TrackerTarget::Forward(3)));
+    }
+
+    #[test]
+    fn hits_accumulate_on_route_not_peek() {
+        let t = TrackerTable::new();
+        t.point(id(1), TrackerTarget::Local);
+        t.route(id(1));
+        t.route(id(1));
+        t.peek(id(1));
+        assert_eq!(t.snapshot()[0].hits, 2);
+    }
+
+    #[test]
+    fn seed_forward_does_not_clobber() {
+        let t = TrackerTable::new();
+        t.point(id(1), TrackerTarget::Local);
+        t.seed_forward(id(1), 9);
+        assert_eq!(t.peek(id(1)), Some(TrackerTarget::Local));
+        t.seed_forward(id(2), 9);
+        assert_eq!(t.peek(id(2)), Some(TrackerTarget::Forward(9)));
+    }
+
+    #[test]
+    fn collect_idle_spares_local_trackers() {
+        let t = TrackerTable::new();
+        t.point(id(1), TrackerTarget::Local);
+        t.point(id(2), TrackerTarget::Forward(4));
+        std::thread::sleep(Duration::from_millis(5));
+        let dropped = t.collect_idle(Duration::from_millis(1));
+        assert_eq!(dropped, 1);
+        assert_eq!(t.peek(id(1)), Some(TrackerTarget::Local));
+        assert_eq!(t.peek(id(2)), None);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let t = TrackerTable::new();
+        t.point(id(1), TrackerTarget::Local);
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(id(1)));
+        assert!(!t.remove(id(1)));
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! The Invocation unit: parameter passing and tracker-routed dispatch
+//! (§3.1).
+//!
+//! * Regular values are passed **by value**; complet references inside a
+//!   passed object graph travel with it but are **degraded to `link`**,
+//!   and the referenced complets themselves are never copied.
+//! * An invocation is routed by the local tracker: directly when the
+//!   target is local, along the tracker chain otherwise. The reply walks
+//!   the chain back, repointing every tracker to the target's final
+//!   location (chain shortening).
+
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fargo_wire::{CompletId, Value};
+
+use crate::config::TrackingMode;
+use crate::error::{FargoError, Result};
+use crate::proto::{Message, Reply, ReqId, Request};
+use crate::reference::tracker::TrackerTarget;
+use crate::reference::CompletRef;
+use crate::runtime::{Core, SlotState, APP_SEQ};
+
+/// Outcome of attempting to run an invocation on a local slot.
+enum LocalExec {
+    /// The invocation ran; here is its result.
+    Done(Result<Value>),
+    /// The complet moved away meanwhile; re-route.
+    Moved,
+}
+
+/// Where the router decided an invocation should go.
+enum Route {
+    Local,
+    Remote(u32),
+    Unknown,
+}
+
+impl Core {
+    /// Invokes `method(args)` on the complet behind `target`.
+    ///
+    /// This is the stub's call path for application code; complet code
+    /// calls through [`Ctx::call`](crate::Ctx::call) so the call chain is
+    /// threaded for re-entrancy detection.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target cannot be found, the chain exceeds the hop
+    /// limit, the method is unknown, or the application method fails.
+    pub fn invoke(&self, target: &CompletRef, method: &str, args: &[Value]) -> Result<Value> {
+        self.invoke_chained(target, method, args, Vec::new())
+    }
+
+    pub(crate) fn invoke_chained(
+        &self,
+        target: &CompletRef,
+        method: &str,
+        args: &[Value],
+        chain: Vec<CompletId>,
+    ) -> Result<Value> {
+        let id = target.id();
+        if chain.contains(&id) {
+            return Err(FargoError::ReentrantInvocation(id));
+        }
+        // Application-level profiling at the reference's source (§4.1).
+        let src = chain
+            .last()
+            .copied()
+            .unwrap_or(CompletId::new(self.inner.node.index(), APP_SEQ));
+        self.inner.monitor.invocations.record(src, id);
+
+        // By-value parameter semantics: the argument graph is copied and
+        // every complet reference inside it is degraded to `link`.
+        let args: Vec<Value> = args
+            .iter()
+            .cloned()
+            .map(|v| v.transform_refs(&mut |r| r.degraded()))
+            .collect();
+
+        let me = self.inner.node.index();
+        let deadline = Instant::now() + self.inner.config.rpc_timeout;
+        let mut missing_retries = 0u32;
+        loop {
+            match self.route(id, target) {
+                Route::Local => match self.execute_local(id, method, &args, &chain) {
+                    LocalExec::Done(res) => {
+                        if res.is_ok() {
+                            target.set_last_known(me);
+                        }
+                        return res;
+                    }
+                    LocalExec::Moved => continue,
+                },
+                Route::Remote(node) => {
+                    match self.rpc_invoke(node, id, method, args.clone(), chain.clone())? {
+                        Reply::InvokeOk {
+                            value,
+                            final_location,
+                            ..
+                        } => {
+                            target.set_last_known(final_location);
+                            return Ok(value);
+                        }
+                        Reply::Err(FargoError::UnknownComplet(_)) if missing_retries < 3 => {
+                            // Location knowledge may lag a concurrent
+                            // move; back off briefly and re-resolve.
+                            missing_retries += 1;
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Reply::Err(e) => return Err(e),
+                        other => {
+                            return Err(FargoError::Protocol(format!(
+                                "unexpected invoke reply {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Route::Unknown => return Err(FargoError::UnknownComplet(id)),
+            }
+            if Instant::now() > deadline {
+                return Err(FargoError::Timeout);
+            }
+        }
+    }
+
+    /// Decides where an invocation of `id` should go from this Core.
+    fn route(&self, id: CompletId, target: &CompletRef) -> Route {
+        let me = self.inner.node.index();
+        match self.inner.config.tracking {
+            TrackingMode::Chains => match self.inner.trackers.route(id) {
+                Some(TrackerTarget::Local) => Route::Local,
+                Some(TrackerTarget::Forward(n)) if n != me => Route::Remote(n),
+                Some(TrackerTarget::Forward(_)) => {
+                    // A forward pointing at ourselves is stale.
+                    if self.hosts(id) {
+                        self.inner.trackers.point(id, TrackerTarget::Local);
+                        Route::Local
+                    } else {
+                        Route::Unknown
+                    }
+                }
+                None => {
+                    // First use of a received reference: seed a tracker
+                    // from the descriptor's location hint.
+                    let hint = target.last_known();
+                    if hint != me {
+                        self.inner.trackers.seed_forward(id, hint);
+                        Route::Remote(hint)
+                    } else if self.hosts(id) {
+                        self.inner.trackers.point(id, TrackerTarget::Local);
+                        Route::Local
+                    } else {
+                        // The tracker may have been garbage-collected;
+                        // fall back to the home registry before failing.
+                        self.route_via_home(id)
+                    }
+                }
+            },
+            TrackingMode::HomeBased => {
+                if self.hosts(id) {
+                    return Route::Local;
+                }
+                // Consult the authoritative home registry at the origin
+                // Core instead of following chains (§7 future work).
+                if id.origin == me {
+                    match self.inner.home.lock().get(&id) {
+                        Some(&n) if n != me => Route::Remote(n),
+                        _ => Route::Unknown,
+                    }
+                } else {
+                    match self.rpc(id.origin, Request::WhereIs { id }) {
+                        Ok(Reply::WhereOk { node: Some(n) }) if n != me => Route::Remote(n),
+                        Ok(Reply::WhereOk { node: Some(_) }) => {
+                            // Home says "here" but the complet is gone:
+                            // knowledge is stale.
+                            Route::Unknown
+                        }
+                        _ => {
+                            // Home unreachable: fall back to the hint.
+                            let hint = target.last_known();
+                            if hint != me {
+                                Route::Remote(hint)
+                            } else {
+                                Route::Unknown
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Last-resort routing through the home registry (the complet's
+    /// origin Core knows its current location).
+    fn route_via_home(&self, id: CompletId) -> Route {
+        let me = self.inner.node.index();
+        if id.origin == me {
+            return match self.inner.home.lock().get(&id) {
+                Some(&n) if n != me => Route::Remote(n),
+                _ => Route::Unknown,
+            };
+        }
+        match self.rpc(id.origin, Request::WhereIs { id }) {
+            Ok(Reply::WhereOk { node: Some(n) }) if n != me => Route::Remote(n),
+            _ => Route::Unknown,
+        }
+    }
+
+    /// Runs an invocation against a local slot, waiting out transits.
+    fn execute_local(
+        &self,
+        id: CompletId,
+        method: &str,
+        args: &[Value],
+        chain: &[CompletId],
+    ) -> LocalExec {
+        let wait_deadline = Instant::now() + self.inner.config.transit_wait;
+        loop {
+            let Some(slot) = self.inner.complets.read().get(&id).cloned() else {
+                return LocalExec::Moved;
+            };
+            let Some(mut guard) = slot
+                .state
+                .try_lock_for(self.inner.config.transit_wait)
+            else {
+                return LocalExec::Done(Err(FargoError::Timeout));
+            };
+            match &mut *guard {
+                SlotState::Present(complet) => {
+                    let mut ctx = self.make_ctx(
+                        id,
+                        &slot.type_name,
+                        chain.iter().copied().chain([id]).collect(),
+                    );
+                    let result = complet.invoke(&mut ctx, method, args);
+                    drop(guard);
+                    // Weak mobility: deferred self-moves run only now,
+                    // after the method body released the complet (§3.3).
+                    self.run_deferred(ctx);
+                    return LocalExec::Done(result);
+                }
+                SlotState::InTransit => {
+                    drop(guard);
+                    if Instant::now() > wait_deadline {
+                        return LocalExec::Done(Err(FargoError::Timeout));
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                SlotState::Gone => return LocalExec::Moved,
+            }
+        }
+    }
+
+    /// Sends an Invoke request and waits for its (possibly chain-routed)
+    /// reply.
+    fn rpc_invoke(
+        &self,
+        node: u32,
+        target: CompletId,
+        method: &str,
+        args: Vec<Value>,
+        chain: Vec<CompletId>,
+    ) -> Result<Reply> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(FargoError::ShuttingDown);
+        }
+        let me = self.inner.node.index();
+        let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.inner.pending.lock().insert(req_id, tx);
+        let msg = Message::Request {
+            req_id,
+            origin: me,
+            body: Request::Invoke {
+                target,
+                method: method.to_owned(),
+                args,
+                chain,
+                path: vec![me],
+                hops: 0,
+            },
+        };
+        if let Err(e) = self.send_to(node, &msg) {
+            self.inner.pending.lock().remove(&req_id);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.inner.config.rpc_timeout) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                self.inner.pending.lock().remove(&req_id);
+                Err(FargoError::Timeout)
+            }
+        }
+    }
+
+    /// Network-side handler: executes, forwards along the chain, or fails.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_invoke(
+        &self,
+        origin: u32,
+        req_id: ReqId,
+        target: CompletId,
+        method: String,
+        args: Vec<Value>,
+        chain: Vec<CompletId>,
+        path: Vec<u32>,
+        hops: u32,
+    ) {
+        let me = self.inner.node.index();
+        let send_reply = |body: Reply| {
+            // The reply walks the request path backwards so every tracker
+            // on the chain learns the final location.
+            let mut route: Vec<u32> = path.iter().rev().copied().collect();
+            if route.is_empty() {
+                route.push(origin);
+            }
+            let first = route.remove(0);
+            let msg = Message::Reply {
+                req_id,
+                route,
+                body,
+            };
+            let _ = self.send_to(first, &msg);
+        };
+
+        loop {
+            match self.inner.trackers.route(target) {
+                Some(TrackerTarget::Local) => {
+                    match self.execute_local(target, &method, &args, &chain) {
+                        LocalExec::Done(Ok(value)) => {
+                            return send_reply(Reply::InvokeOk {
+                                value,
+                                final_location: me,
+                                target,
+                            });
+                        }
+                        LocalExec::Done(Err(e)) => return send_reply(Reply::Err(e)),
+                        LocalExec::Moved => continue,
+                    }
+                }
+                Some(TrackerTarget::Forward(next)) if next != me => {
+                    if hops + 1 > self.inner.config.max_hops {
+                        return send_reply(Reply::Err(FargoError::HopLimit(
+                            self.inner.config.max_hops,
+                        )));
+                    }
+                    let mut fwd_path = path.clone();
+                    fwd_path.push(me);
+                    let msg = Message::Request {
+                        req_id,
+                        origin,
+                        body: Request::Invoke {
+                            target,
+                            method: method.clone(),
+                            args: args.clone(),
+                            chain: chain.clone(),
+                            path: fwd_path,
+                            hops: hops + 1,
+                        },
+                    };
+                    if let Err(e) = self.send_to(next, &msg) {
+                        return send_reply(Reply::Err(e));
+                    }
+                    return;
+                }
+                Some(TrackerTarget::Forward(_)) | None => {
+                    if self.hosts(target) {
+                        self.inner.trackers.point(target, TrackerTarget::Local);
+                        continue;
+                    }
+                    return send_reply(Reply::Err(FargoError::UnknownComplet(target)));
+                }
+            }
+        }
+    }
+}

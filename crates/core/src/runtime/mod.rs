@@ -1,0 +1,1164 @@
+//! The Core: FarGo's stationary per-host runtime component (§3).
+//!
+//! One [`Core`] runs per network node. It hosts complets, realises complet
+//! references (stub/tracker), moves complets under layout constraints,
+//! implements the invocation parameter-passing scheme, serves naming, and
+//! runs the monitoring facility — the architecture of the paper's
+//! Figure 1, with `simnet` as the Peer Interface.
+
+pub(crate) mod invocation;
+pub(crate) mod movement;
+pub(crate) mod naming;
+pub(crate) mod persistence;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use fargo_wire::{CompletId, RefDescriptor, Value};
+use parking_lot::{Mutex, RwLock};
+use simnet::{Endpoint, NetError, Network, NodeId};
+
+use crate::complet::{Complet, CompletRegistry};
+use crate::config::CoreConfig;
+use crate::ctx::Ctx;
+use crate::error::{FargoError, Result};
+use crate::events::{Delivery, EventHandler, EventHub, EventPayload};
+use crate::monitor::{Monitor, Service};
+use crate::proto::{ListenerAddr, Message, Notify, Reply, ReqId, Request};
+use crate::reference::relocator::RelocatorRegistry;
+use crate::reference::tracker::{TrackerSnapshot, TrackerTable, TrackerTarget};
+use crate::reference::{CompletRef, MetaRef};
+
+/// The synthetic "source complet" id used when application code outside
+/// any complet invokes through a reference; profiling keys on it.
+pub(crate) const APP_SEQ: u64 = 0;
+
+/// Lifecycle of a complet slot.
+pub(crate) enum SlotState {
+    /// The complet lives here and is invocable.
+    Present(Box<dyn Complet>),
+    /// The complet is being marshaled away; invocations wait.
+    InTransit,
+    /// The complet has left; the tracker knows where.
+    Gone,
+}
+
+pub(crate) struct CompletSlot {
+    pub id: CompletId,
+    pub type_name: String,
+    pub state: Mutex<SlotState>,
+}
+
+pub(crate) struct CoreInner {
+    pub name: String,
+    pub node: NodeId,
+    pub net: Network,
+    pub endpoint: Arc<Endpoint>,
+    pub registry: CompletRegistry,
+    pub relocators: RelocatorRegistry,
+    pub config: CoreConfig,
+    pub complets: RwLock<HashMap<CompletId, Arc<CompletSlot>>>,
+    pub trackers: TrackerTable,
+    pub naming: Mutex<HashMap<String, RefDescriptor>>,
+    /// For complets originated here: their authoritative current node
+    /// (the §7 future-work home registry; also the E1 ablation baseline).
+    pub home: Mutex<HashMap<CompletId, u32>>,
+    pub pending: Mutex<HashMap<ReqId, Sender<Reply>>>,
+    /// Local sinks receiving events from remote subscriptions.
+    pub sinks: Mutex<HashMap<u64, EventHandler>>,
+    pub sink_seq: AtomicU64,
+    pub req_seq: AtomicU64,
+    pub complet_seq: AtomicU64,
+    pub monitor: Monitor,
+    pub hub: EventHub,
+    pub shutdown: AtomicBool,
+}
+
+/// A handle to a running Core. Cloning yields another handle to the same
+/// Core.
+///
+/// ```no_run
+/// # use fargo_core::{Core, CompletRegistry};
+/// # use simnet::{Network, NetworkConfig};
+/// # fn main() -> Result<(), fargo_core::FargoError> {
+/// let net = Network::new(NetworkConfig::default());
+/// let registry = CompletRegistry::new();
+/// let core = Core::builder(&net, "acadia").registry(&registry).spawn()?;
+/// assert_eq!(core.name(), "acadia");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Core {
+    pub(crate) inner: Arc<CoreInner>,
+}
+
+/// Configures and starts a [`Core`]; created by [`Core::builder`].
+pub struct CoreBuilder<'a> {
+    net: &'a Network,
+    name: String,
+    endpoint: Option<Endpoint>,
+    registry: Option<CompletRegistry>,
+    relocators: Option<RelocatorRegistry>,
+    config: CoreConfig,
+}
+
+impl<'a> CoreBuilder<'a> {
+    /// Runs the Core on an endpoint that already exists on the network
+    /// (e.g. one produced by [`simnet::Topology::build`]); the Core takes
+    /// the endpoint's registered name.
+    pub fn endpoint(mut self, endpoint: Endpoint) -> Self {
+        self.endpoint = Some(endpoint);
+        self
+    }
+
+    /// Shares a complet type registry (the "classpath") with this Core.
+    pub fn registry(mut self, registry: &CompletRegistry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Shares a relocator registry with this Core.
+    pub fn relocators(mut self, relocators: &RelocatorRegistry) -> Self {
+        self.relocators = Some(relocators.clone());
+        self
+    }
+
+    /// Replaces the Core configuration.
+    pub fn config(mut self, config: CoreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers the node, starts the Core's threads, and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Core name is already registered on the network.
+    pub fn spawn(self) -> Result<Core> {
+        let (endpoint, name) = match self.endpoint {
+            Some(ep) => {
+                let name = self.net.node_name(ep.id())?;
+                (Arc::new(ep), name)
+            }
+            None => (Arc::new(self.net.add_node(&self.name)?), self.name),
+        };
+        let node = endpoint.id();
+        let config = self.config;
+        let inner = Arc::new(CoreInner {
+            name,
+            node,
+            net: self.net.clone(),
+            endpoint,
+            registry: self.registry.unwrap_or_default(),
+            relocators: self.relocators.unwrap_or_default(),
+            monitor: Monitor::new(config.monitor_cache_ttl, config.monitor_alpha),
+            config,
+            complets: RwLock::new(HashMap::new()),
+            trackers: TrackerTable::new(),
+            naming: Mutex::new(HashMap::new()),
+            home: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            sinks: Mutex::new(HashMap::new()),
+            sink_seq: AtomicU64::new(1),
+            req_seq: AtomicU64::new(1),
+            // Seq 0 is reserved for the application pseudo-complet.
+            complet_seq: AtomicU64::new(1),
+            hub: EventHub::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let core = Core { inner };
+        core.install_sampler();
+        core.spawn_receiver();
+        core.spawn_monitor_thread();
+        Ok(core)
+    }
+}
+
+impl Core {
+    /// Starts building a Core named `name` on `net`.
+    pub fn builder<'a>(net: &'a Network, name: &str) -> CoreBuilder<'a> {
+        CoreBuilder {
+            net,
+            name: name.to_owned(),
+            endpoint: None,
+            registry: None,
+            relocators: None,
+            config: CoreConfig::default(),
+        }
+    }
+
+    /// This Core's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// This Core's network node id.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The network this Core is attached to.
+    pub fn network(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// The complet type registry this Core constructs from.
+    pub fn registry(&self) -> &CompletRegistry {
+        &self.inner.registry
+    }
+
+    /// The relocator registry governing reference semantics here.
+    pub fn relocators(&self) -> &RelocatorRegistry {
+        &self.inner.relocators
+    }
+
+    /// The monitoring facility (§4.1).
+    pub fn monitor(&self) -> &Monitor {
+        &self.inner.monitor
+    }
+
+    /// Whether the Core is still accepting work.
+    pub fn is_running(&self) -> bool {
+        !self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    // --- complet management ----------------------------------------------
+
+    /// Instantiates a complet of a registered type on this Core and
+    /// returns a bound reference to it — the Rust form of Figure 3's
+    /// `msg = new Message_()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the type is unregistered or its constructor fails.
+    pub fn new_complet(&self, type_name: &str, args: &[Value]) -> Result<BoundRef> {
+        self.admit(1)?;
+        let complet = self.inner.registry.construct(type_name, args)?;
+        let id = self.install_complet(type_name, complet);
+        self.fire_event(EventPayload::CompletArrived {
+            id,
+            type_name: type_name.to_owned(),
+            core: self.inner.node.index(),
+        });
+        Ok(self.stub(self.make_ref(id, type_name)))
+    }
+
+    /// Instantiates a complet on a *remote* Core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Core is unknown, unreachable, or cannot construct the
+    /// type.
+    pub fn new_complet_at(&self, core_name: &str, type_name: &str, args: &[Value]) -> Result<BoundRef> {
+        if core_name == self.inner.name {
+            return self.new_complet(type_name, args);
+        }
+        let node = self.resolve_core(core_name)?;
+        match self.rpc(
+            node,
+            Request::NewComplet {
+                type_name: type_name.to_owned(),
+                args: args.to_vec(),
+            },
+        )? {
+            Reply::NewOk { desc } => Ok(self.stub(CompletRef::from_descriptor(desc))),
+            Reply::Err(e) => Err(e),
+            other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    pub(crate) fn install_complet(&self, type_name: &str, complet: Box<dyn Complet>) -> CompletId {
+        let id = CompletId::new(
+            self.inner.node.index(),
+            self.inner.complet_seq.fetch_add(1, Ordering::Relaxed),
+        );
+        self.install_complet_with_id(id, type_name, complet);
+        id
+    }
+
+    pub(crate) fn install_complet_with_id(
+        &self,
+        id: CompletId,
+        type_name: &str,
+        complet: Box<dyn Complet>,
+    ) {
+        let slot = Arc::new(CompletSlot {
+            id,
+            type_name: type_name.to_owned(),
+            state: Mutex::new(SlotState::Present(complet)),
+        });
+        self.inner.complets.write().insert(id, slot);
+        self.inner.trackers.point(id, TrackerTarget::Local);
+        self.note_location(id, self.inner.node.index());
+    }
+
+    /// Whether a complet currently lives on this Core.
+    pub fn hosts(&self, id: CompletId) -> bool {
+        self.inner.complets.read().contains_key(&id)
+    }
+
+    /// Ids of all complets resident here.
+    pub fn complet_ids(&self) -> Vec<CompletId> {
+        let mut ids: Vec<CompletId> = self.inner.complets.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// `(id, type_name)` of all complets resident here.
+    pub fn complet_inventory(&self) -> Vec<(CompletId, String)> {
+        let map = self.inner.complets.read();
+        let mut out: Vec<(CompletId, String)> =
+            map.values().map(|s| (s.id, s.type_name.clone())).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of complets resident here (the `completLoad` measure).
+    pub fn complet_count(&self) -> usize {
+        self.inner.complets.read().len()
+    }
+
+    /// The first local complet whose anchor type is `type_name` (stamp
+    /// resolution, §3.3).
+    pub fn find_local_by_type(&self, type_name: &str) -> Option<CompletId> {
+        let map = self.inner.complets.read();
+        let mut ids: Vec<CompletId> = map
+            .values()
+            .filter(|s| s.type_name == type_name)
+            .map(|s| s.id)
+            .collect();
+        ids.sort();
+        ids.first().copied()
+    }
+
+    /// Snapshot of this Core's tracker table.
+    pub fn tracker_snapshot(&self) -> Vec<TrackerSnapshot> {
+        self.inner.trackers.snapshot()
+    }
+
+    /// Garbage-collects forwarding trackers idle for at least `max_idle`
+    /// (local trackers are never collected). Returns how many were
+    /// dropped — the runtime analog of the paper's tracker reclamation.
+    pub fn collect_trackers(&self, max_idle: Duration) -> usize {
+        self.inner.trackers.collect_idle(max_idle)
+    }
+
+    /// Drops a complet hosted here, releasing its tracker and bindings.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the complet is not hosted on this Core.
+    pub fn release_complet(&self, id: CompletId) -> Result<()> {
+        let slot = self
+            .inner
+            .complets
+            .write()
+            .remove(&id)
+            .ok_or(FargoError::UnknownComplet(id))?;
+        *slot.state.lock() = SlotState::Gone;
+        self.inner.trackers.remove(id);
+        let mut naming = self.inner.naming.lock();
+        naming.retain(|_, d| d.target != id);
+        Ok(())
+    }
+
+    /// Number of active event subscriptions at this Core.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.hub.len()
+    }
+
+    /// Number of trackers (local and forwarding) in this Core's table.
+    pub fn tracker_count(&self) -> usize {
+        self.inner.trackers.len()
+    }
+
+    // --- references --------------------------------------------------------
+
+    /// Binds a portable reference to this Core, yielding a callable stub.
+    pub fn stub(&self, r: CompletRef) -> BoundRef {
+        BoundRef {
+            core: self.clone(),
+            r,
+        }
+    }
+
+    /// The reflective meta-reference of a reference (§3.2) — the Rust form
+    /// of `Core.getMetaRef(msg)`.
+    pub fn meta_ref(&self, r: &CompletRef) -> MetaRef {
+        MetaRef::new(self.clone(), r.clone())
+    }
+
+    pub(crate) fn make_ref(&self, id: CompletId, type_name: &str) -> CompletRef {
+        CompletRef::from_descriptor(RefDescriptor::link(
+            id,
+            type_name,
+            self.inner.node.index(),
+        ))
+    }
+
+    // --- events ------------------------------------------------------------
+
+    /// Registers a local listener for this Core's events; returns a token
+    /// for [`Core::unsubscribe`].
+    ///
+    /// Subscribing to a profiling-service selector implicitly starts
+    /// continuous profiling of that service, as in §4.2: "the event
+    /// registration mechanism invokes the proper start method".
+    pub fn on_event(
+        &self,
+        selector: &str,
+        threshold: Option<f64>,
+        above: bool,
+        handler: EventHandler,
+    ) -> u64 {
+        self.start_profiling_for_selector(selector);
+        self.inner
+            .hub
+            .subscribe_local(selector, threshold, above, handler)
+    }
+
+    /// If the selector names a profiling service, begin continuous
+    /// profiling so the corresponding events are produced.
+    ///
+    /// The implicit sampling interval is ten monitor ticks — coarse
+    /// enough that sporadic traffic does not alias into rate spikes; an
+    /// explicit [`Core::profile_start`] with a finer interval tightens it.
+    fn start_profiling_for_selector(&self, selector: &str) {
+        if let Ok(service) = Service::parse(selector) {
+            self.inner.monitor.start(
+                service,
+                (self.inner.config.monitor_tick * 10).max(Duration::from_millis(1)),
+            );
+        }
+    }
+
+    fn stop_profiling_for_selector(&self, selector: &str) {
+        if let Ok(service) = Service::parse(selector) {
+            self.inner.monitor.stop(&service);
+        }
+    }
+
+    /// The tracker table of a (possibly remote) Core, for reference
+    /// inspection: `(target, forward-to node — None when local, hits)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the Core is unknown or unreachable.
+    pub fn trackers_at(&self, core_name: &str) -> Result<Vec<(CompletId, Option<u32>, u64)>> {
+        if core_name == self.inner.name {
+            return Ok(self
+                .tracker_snapshot()
+                .into_iter()
+                .map(|t| {
+                    let fwd = match t.target {
+                        TrackerTarget::Local => None,
+                        TrackerTarget::Forward(n) => Some(n),
+                    };
+                    (t.id, fwd, t.hits)
+                })
+                .collect());
+        }
+        let node = self.resolve_core(core_name)?;
+        match self.rpc(node, Request::ListTrackers)? {
+            Reply::Trackers { items } => Ok(items),
+            Reply::Err(e) => Err(e),
+            other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The complets resident at a (possibly remote) Core:
+    /// `(id, type_name)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the Core is unknown or unreachable.
+    pub fn complets_at(&self, core_name: &str) -> Result<Vec<(CompletId, String)>> {
+        if core_name == self.inner.name {
+            return Ok(self.complet_inventory());
+        }
+        let node = self.resolve_core(core_name)?;
+        match self.rpc(node, Request::ListComplets)? {
+            Reply::Complets { items } => Ok(items),
+            Reply::Err(e) => Err(e),
+            other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Removes a local subscription.
+    pub fn unsubscribe(&self, token: u64) -> bool {
+        self.inner.hub.unsubscribe(token)
+    }
+
+    /// Registers a complet as a listener at this Core. Delivery is an
+    /// `on_event` invocation through the reference, so it follows the
+    /// listener when it moves (distributed events, §4.2).
+    pub fn subscribe_complet(
+        &self,
+        selector: &str,
+        threshold: Option<f64>,
+        above: bool,
+        listener: CompletRef,
+    ) -> u64 {
+        self.start_profiling_for_selector(selector);
+        self.inner.hub.subscribe_remote(
+            selector,
+            threshold,
+            above,
+            ListenerAddr::Complet(listener.descriptor()),
+        )
+    }
+
+    /// Subscribes a local handler to events fired by a **remote** Core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the remote Core is unknown or unreachable.
+    pub fn subscribe_at(
+        &self,
+        core_name: &str,
+        selector: &str,
+        threshold: Option<f64>,
+        above: bool,
+        handler: EventHandler,
+    ) -> Result<RemoteSubscription> {
+        if core_name == self.inner.name {
+            let token = self.on_event(selector, threshold, above, handler);
+            return Ok(RemoteSubscription {
+                core: self.clone(),
+                peer: None,
+                token,
+                selector: selector.to_owned(),
+            });
+        }
+        let node = self.resolve_core(core_name)?;
+        let token = self.inner.sink_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.sinks.lock().insert(token, handler);
+        let listener = ListenerAddr::Core {
+            node: self.inner.node.index(),
+            token,
+        };
+        match self.rpc(
+            node,
+            Request::Subscribe {
+                selector: selector.to_owned(),
+                threshold,
+                above,
+                listener,
+            },
+        )? {
+            Reply::Ok => Ok(RemoteSubscription {
+                core: self.clone(),
+                peer: Some(node),
+                token,
+                selector: selector.to_owned(),
+            }),
+            Reply::Err(e) => {
+                self.inner.sinks.lock().remove(&token);
+                Err(e)
+            }
+            other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fires an event: delivers to every matching listener, each on its
+    /// own thread (the paper's asynchronous notification).
+    pub(crate) fn fire_event(&self, payload: EventPayload) {
+        for delivery in self.inner.hub.matching(&payload) {
+            match delivery {
+                Delivery::Local(handler) => {
+                    let p = payload.clone();
+                    thread::spawn(move || handler(&p));
+                }
+                Delivery::Remote(ListenerAddr::Core { node, token }) => {
+                    let msg = Message::Notify(Notify::Event {
+                        token,
+                        payload: payload.clone(),
+                    });
+                    let _ = self.send_to(node, &msg);
+                }
+                Delivery::Remote(ListenerAddr::Complet(desc)) => {
+                    let core = self.clone();
+                    let p = payload.clone();
+                    thread::spawn(move || {
+                        let r = CompletRef::from_descriptor(desc);
+                        let _ = core.invoke(&r, "on_event", &[p.to_value()]);
+                    });
+                }
+            }
+        }
+    }
+
+    // --- monitoring convenience ---------------------------------------------
+
+    /// Instant measurement of a profiling service (cached, §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the service cannot be measured on this Core.
+    pub fn profile_instant(&self, service: &Service) -> Result<f64> {
+        self.inner.monitor.instant(service)
+    }
+
+    /// Starts continuous profiling of a service.
+    pub fn profile_start(&self, service: Service, interval: Duration) {
+        self.inner.monitor.start(service, interval);
+    }
+
+    /// Current exponential average of a continuously profiled service.
+    pub fn profile_get(&self, service: &Service) -> Option<f64> {
+        self.inner.monitor.get(service)
+    }
+
+    /// Releases interest in a continuously profiled service.
+    pub fn profile_stop(&self, service: &Service) {
+        self.inner.monitor.stop(service);
+    }
+
+    // --- lifecycle -----------------------------------------------------------
+
+    /// Measures round-trip time to a peer Core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer is unknown or unreachable.
+    pub fn ping(&self, core_name: &str) -> Result<Duration> {
+        let node = self.resolve_core(core_name)?;
+        let start = Instant::now();
+        match self.rpc(node, Request::Ping)? {
+            Reply::Pong => Ok(start.elapsed()),
+            Reply::Err(e) => Err(e),
+            other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Announces shutdown: fires `coreShutdown` to local and remote
+    /// listeners (who typically evacuate complets), waits out the grace
+    /// period, then stops the Core.
+    pub fn shutdown(&self, grace: Duration) {
+        let payload = EventPayload::CoreShutdown {
+            core: self.inner.node.index(),
+        };
+        self.fire_event(payload);
+        thread::sleep(grace);
+        self.stop();
+    }
+
+    /// Stops the Core immediately: no more requests are served.
+    pub fn stop(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.inner.net.set_node_up(self.inner.node, false);
+    }
+
+    // --- internals -------------------------------------------------------------
+
+    /// Admission control (§7 resource negotiation): refuses work that
+    /// would push the Core past its configured complet capacity.
+    pub(crate) fn admit(&self, incoming: usize) -> Result<()> {
+        if let Some(capacity) = self.inner.config.capacity {
+            let resident = self.inner.complets.read().len();
+            if resident + incoming > capacity {
+                return Err(FargoError::CapacityExceeded {
+                    core: self.inner.name.clone(),
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn resolve_core(&self, core_name: &str) -> Result<u32> {
+        self.inner
+            .net
+            .node_by_name(core_name)
+            .map(|n| n.index())
+            .ok_or_else(|| FargoError::UnknownCore(core_name.to_owned()))
+    }
+
+    /// The name of the Core at a node index.
+    pub fn core_name_of(&self, node: u32) -> String {
+        self.inner
+            .net
+            .node_name(NodeId::from_index(node))
+            .unwrap_or_else(|_| format!("n{node}"))
+    }
+
+    pub(crate) fn send_to(&self, node: u32, msg: &Message) -> Result<()> {
+        self.inner
+            .net
+            .send(self.inner.node, NodeId::from_index(node), msg.encode())
+            .map_err(FargoError::from)
+    }
+
+    /// Sends a request and waits for its reply.
+    pub(crate) fn rpc(&self, node: u32, body: Request) -> Result<Reply> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(FargoError::ShuttingDown);
+        }
+        let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(req_id, tx);
+        let msg = Message::Request {
+            req_id,
+            origin: self.inner.node.index(),
+            body,
+        };
+        if let Err(e) = self.send_to(node, &msg) {
+            self.inner.pending.lock().remove(&req_id);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.inner.config.rpc_timeout) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                self.inner.pending.lock().remove(&req_id);
+                Err(FargoError::Timeout)
+            }
+        }
+    }
+
+    pub(crate) fn reply_to(&self, node: u32, req_id: ReqId, body: Reply) {
+        let msg = Message::Reply {
+            req_id,
+            route: vec![],
+            body,
+        };
+        let _ = self.send_to(node, &msg);
+    }
+
+    // --- background threads -----------------------------------------------------
+
+    fn spawn_receiver(&self) {
+        let core = self.clone();
+        thread::Builder::new()
+            .name(format!("fargo-core-{}", self.inner.name))
+            .spawn(move || core.receiver_loop())
+            .expect("failed to spawn core receiver thread");
+    }
+
+    fn receiver_loop(&self) {
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.inner.endpoint.recv_timeout(Duration::from_millis(25)) {
+                Ok(incoming) => match Message::decode(&incoming.payload) {
+                    Ok(msg) => self.dispatch(msg),
+                    Err(_) => { /* malformed datagram: drop, as a real core would */ }
+                },
+                Err(NetError::RecvTimeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn dispatch(&self, msg: Message) {
+        match msg {
+            Message::Request {
+                req_id,
+                origin,
+                body,
+            } => {
+                let core = self.clone();
+                thread::spawn(move || core.handle_request(origin, req_id, body));
+            }
+            Message::Reply {
+                req_id,
+                route,
+                body,
+            } => self.handle_reply(req_id, route, body),
+            Message::Notify(n) => self.handle_notify(n),
+        }
+    }
+
+    fn handle_request(&self, origin: u32, req_id: ReqId, body: Request) {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            self.reply_to(origin, req_id, Reply::Err(FargoError::ShuttingDown));
+            return;
+        }
+        match body {
+            Request::Invoke {
+                target,
+                method,
+                args,
+                chain,
+                path,
+                hops,
+            } => self.handle_invoke(origin, req_id, target, method, args, chain, path, hops),
+            Request::Move {
+                packets,
+                continuation,
+            } => {
+                let reply = self.handle_move_stream(packets, continuation);
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::NewComplet { type_name, args } => {
+                let reply = match self.new_complet(&type_name, &args) {
+                    Ok(b) => Reply::NewOk {
+                        desc: b.r.descriptor(),
+                    },
+                    Err(e) => Reply::Err(e),
+                };
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::NameLookup { name } => {
+                let reply = Reply::NameOk {
+                    desc: self.lookup(&name).map(|r| r.descriptor()),
+                };
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::FetchState { id } => {
+                let reply = self.handle_fetch_state(id);
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::MoveRequest { id, dest } => {
+                let dest_name = self.core_name_of(dest);
+                let reply = match self.move_complet(id, &dest_name, None) {
+                    Ok(()) => Reply::Ok,
+                    Err(e) => Reply::Err(e),
+                };
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::WhereIs { id } => {
+                let reply = Reply::WhereOk {
+                    node: self.local_belief(id),
+                };
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::Subscribe {
+                selector,
+                threshold,
+                above,
+                listener,
+            } => {
+                self.start_profiling_for_selector(&selector);
+                self.inner
+                    .hub
+                    .subscribe_remote(&selector, threshold, above, listener);
+                self.reply_to(origin, req_id, Reply::Ok);
+            }
+            Request::Unsubscribe { selector, listener } => {
+                if self.inner.hub.unsubscribe_remote(&selector, &listener) > 0 {
+                    self.stop_profiling_for_selector(&selector);
+                }
+                self.reply_to(origin, req_id, Reply::Ok);
+            }
+            Request::ListComplets => {
+                let reply = Reply::Complets {
+                    items: self.complet_inventory(),
+                };
+                self.reply_to(origin, req_id, reply);
+            }
+            Request::ListTrackers => {
+                let items = self
+                    .tracker_snapshot()
+                    .into_iter()
+                    .map(|t| {
+                        let fwd = match t.target {
+                            TrackerTarget::Local => None,
+                            TrackerTarget::Forward(n) => Some(n),
+                        };
+                        (t.id, fwd, t.hits)
+                    })
+                    .collect();
+                self.reply_to(origin, req_id, Reply::Trackers { items });
+            }
+            Request::Ping => self.reply_to(origin, req_id, Reply::Pong),
+        }
+    }
+
+    fn handle_reply(&self, req_id: ReqId, route: Vec<u32>, body: Reply) {
+        // Chain shortening (§3.1): every Core a reply passes through
+        // learns the target's final location and repoints its tracker.
+        if let Reply::InvokeOk {
+            final_location,
+            target,
+            ..
+        } = &body
+        {
+            self.learn_location(*target, *final_location);
+        }
+        if route.is_empty() {
+            if let Some(tx) = self.inner.pending.lock().remove(&req_id) {
+                let _ = tx.send(body);
+            }
+            return;
+        }
+        let next = route[0];
+        let msg = Message::Reply {
+            req_id,
+            route: route[1..].to_vec(),
+            body,
+        };
+        let _ = self.send_to(next, &msg);
+    }
+
+    fn handle_notify(&self, n: Notify) {
+        match n {
+            Notify::LocationUpdate { target, now_at } => {
+                self.note_location(target, now_at);
+            }
+            Notify::Event { token, payload } => {
+                let handler = self.inner.sinks.lock().get(&token).cloned();
+                if let Some(h) = handler {
+                    thread::spawn(move || h(&payload));
+                }
+            }
+            Notify::CoreShutdown { node } => {
+                self.fire_event(EventPayload::CoreShutdown { core: node });
+            }
+        }
+    }
+
+    /// Updates tracker knowledge after learning where a complet is now.
+    pub(crate) fn learn_location(&self, target: CompletId, node: u32) {
+        if node == self.inner.node.index() {
+            if self.hosts(target) {
+                self.inner.trackers.point(target, TrackerTarget::Local);
+            }
+        } else {
+            self.inner.trackers.point(target, TrackerTarget::Forward(node));
+        }
+    }
+
+    /// Records a complet's current node in the home registry (only kept
+    /// for complets originated here) and in the tracker cache.
+    pub(crate) fn note_location(&self, id: CompletId, node: u32) {
+        if id.origin == self.inner.node.index() {
+            self.inner.home.lock().insert(id, node);
+        }
+    }
+
+    /// This Core's best belief of where a complet is (for `WhereIs`).
+    fn local_belief(&self, id: CompletId) -> Option<u32> {
+        if self.hosts(id) {
+            return Some(self.inner.node.index());
+        }
+        if id.origin == self.inner.node.index() {
+            if let Some(&n) = self.inner.home.lock().get(&id) {
+                return Some(n);
+            }
+        }
+        match self.inner.trackers.peek(id) {
+            Some(TrackerTarget::Forward(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn spawn_monitor_thread(&self) {
+        let core = self.clone();
+        thread::Builder::new()
+            .name(format!("fargo-monitor-{}", self.inner.name))
+            .spawn(move || {
+                while !core.inner.shutdown.load(Ordering::SeqCst) {
+                    thread::sleep(core.inner.config.monitor_tick);
+                    for event in core.inner.monitor.tick(core.inner.node.index()) {
+                        core.fire_event(event);
+                    }
+                }
+            })
+            .expect("failed to spawn monitor thread");
+    }
+
+    fn install_sampler(&self) {
+        let weak: Weak<CoreInner> = Arc::downgrade(&self.inner);
+        self.inner
+            .monitor
+            .install_sampler(Arc::new(move |service: &Service| {
+                let inner = weak.upgrade()?;
+                sample_service(&inner, service)
+            }));
+    }
+}
+
+/// Measures one profiling service against the live Core state.
+fn sample_service(inner: &Arc<CoreInner>, service: &Service) -> Option<f64> {
+    match service {
+        Service::CompletLoad => Some(inner.complets.read().len() as f64),
+        Service::Bandwidth { peer } => {
+            let bw = inner
+                .net
+                .model_bandwidth(inner.node, NodeId::from_index(*peer))
+                .ok()?;
+            Some(bw.map(|b| b as f64).unwrap_or(f64::MAX / 4.0))
+        }
+        Service::Latency { peer } => Some(
+            inner
+                .net
+                .model_latency(inner.node, NodeId::from_index(*peer))
+                .ok()?
+                .as_secs_f64(),
+        ),
+        Service::MethodInvokeRate { src, dst } => {
+            let total = inner.monitor.invocations.total(*src, *dst);
+            Some(inner.monitor.rate_from_total(service, total))
+        }
+        Service::CompletSize { id } => {
+            let slot = inner.complets.read().get(id).cloned()?;
+            let guard = slot.state.try_lock()?;
+            match &*guard {
+                SlotState::Present(c) => Some(c.marshal().deep_size() as f64),
+                _ => None,
+            }
+        }
+        Service::MemoryUse => {
+            let slots: Vec<_> = inner.complets.read().values().cloned().collect();
+            let mut total = 0usize;
+            for slot in slots {
+                if let Some(guard) = slot.state.try_lock() {
+                    if let SlotState::Present(c) = &*guard {
+                        total += c.marshal().deep_size();
+                    }
+                }
+            }
+            Some(total as f64)
+        }
+        Service::QueueLen => Some(inner.endpoint.queue_len() as f64),
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("name", &self.inner.name)
+            .field("node", &self.inner.node)
+            .field("complets", &self.complet_count())
+            .finish()
+    }
+}
+
+/// A handle for cancelling a subscription made with [`Core::subscribe_at`].
+#[derive(Debug)]
+pub struct RemoteSubscription {
+    core: Core,
+    /// `None` when the subscription was local after all.
+    peer: Option<u32>,
+    token: u64,
+    selector: String,
+}
+
+impl RemoteSubscription {
+    /// Cancels the subscription on both sides.
+    pub fn cancel(self) {
+        match self.peer {
+            None => {
+                self.core.unsubscribe(self.token);
+            }
+            Some(node) => {
+                self.core.inner.sinks.lock().remove(&self.token);
+                let listener = ListenerAddr::Core {
+                    node: self.core.inner.node.index(),
+                    token: self.token,
+                };
+                let _ = self.core.rpc(
+                    node,
+                    Request::Unsubscribe {
+                        selector: self.selector.clone(),
+                        listener,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// A complet reference bound to a local Core: the callable **stub**.
+///
+/// `BoundRef` is what application code outside any complet holds; it
+/// plays the role of the stub object in Figure 2 — interface-identical
+/// calls (`call`), plus access to the meta-reference (`meta`).
+#[derive(Clone)]
+pub struct BoundRef {
+    core: Core,
+    r: CompletRef,
+}
+
+impl BoundRef {
+    /// Invokes a method on the target complet, wherever it currently is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation failures (unknown complet, no such method,
+    /// application errors, network failures, …).
+    pub fn call(&self, method: &str, args: &[Value]) -> Result<Value> {
+        self.core.invoke(&self.r, method, args)
+    }
+
+    /// The underlying portable reference (shared, not a copy: retyping
+    /// through it is visible to this stub too).
+    pub fn complet_ref(&self) -> &CompletRef {
+        &self.r
+    }
+
+    /// The target's identity.
+    pub fn id(&self) -> CompletId {
+        self.r.id()
+    }
+
+    /// The target anchor's type name.
+    pub fn target_type(&self) -> String {
+        self.r.target_type()
+    }
+
+    /// The Core this stub is bound to.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// The reference's meta-reference (§3.2).
+    pub fn meta(&self) -> MetaRef {
+        self.core.meta_ref(&self.r)
+    }
+
+    /// Moves the target complet to another Core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the destination is unknown or the move cannot complete.
+    pub fn move_to(&self, core_name: &str) -> Result<()> {
+        self.core.move_complet(self.r.id(), core_name, None)
+    }
+
+    /// Moves the target complet and invokes `method(args)` on it at the
+    /// destination (call-with-continuation, §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the destination is unknown or the move cannot complete.
+    pub fn move_with(&self, core_name: &str, method: &str, args: Vec<Value>) -> Result<()> {
+        self.core
+            .move_complet(self.r.id(), core_name, Some((method.to_owned(), args)))
+    }
+}
+
+impl std::fmt::Debug for BoundRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoundRef({} @ {})", self.r, self.core.name())
+    }
+}
+
+/// Invocation context plumbing shared by the invocation and movement
+/// units.
+impl Core {
+    pub(crate) fn make_ctx(&self, id: CompletId, type_name: &str, chain: Vec<CompletId>) -> Ctx {
+        Ctx::new(self.clone(), id, type_name.to_owned(), chain)
+    }
+
+    /// Builds a bare invocation context for driving complet code outside
+    /// the normal dispatch path — benchmarking and test tooling only.
+    #[doc(hidden)]
+    pub fn test_ctx(&self, id: CompletId, type_name: &str) -> Ctx {
+        self.make_ctx(id, type_name, vec![id])
+    }
+
+    /// Executes the deferred relocations a [`Ctx`] accumulated.
+    pub(crate) fn run_deferred(&self, ctx: Ctx) {
+        for d in ctx.deferred {
+            let _ = self.move_complet(d.target, &d.dest, d.continuation);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The Movement unit: relocation under layout constraints (§3.3).
+//!
+//! Movement marshals the moved complet's closure, applying a per-relocator
+//! routine to every outgoing complet reference it detects:
+//!
+//! * `link` — keep tracking;
+//! * `pull` — the target joins the move stream (transitively);
+//! * `duplicate` — a *copy* of the target joins the stream and the moved
+//!   source is re-bound to the copy;
+//! * `stamp` — only the target's type travels; the destination re-binds
+//!   to a local complet of that type.
+//!
+//! Everything that moves as a result of one request ships in **one**
+//! inter-Core message. Incoming references are preserved by repointing
+//! the local trackers to the destination; outgoing references are
+//! preserved because descriptors keep tracking their targets.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::thread;
+
+use fargo_wire::{CompletId, RefDescriptor, Value};
+
+use crate::complet::Complet;
+use crate::error::{FargoError, Result};
+use crate::events::EventPayload;
+use crate::proto::{CompletPacket, Continuation, Reply, Request};
+use crate::reference::relocator::{ArrivalAction, MarshalAction};
+use crate::reference::tracker::TrackerTarget;
+use crate::reference::CompletRef;
+use crate::runtime::{Core, CompletSlot, SlotState};
+
+/// A complet taken out of its slot for departure.
+struct Departing {
+    id: CompletId,
+    type_name: String,
+    complet: Box<dyn Complet>,
+    names: Vec<String>,
+}
+
+impl Core {
+    /// Moves a complet (and everything its references co-locate with it)
+    /// to the Core named `dest`, optionally invoking
+    /// `continuation = (method, args)` on it after arrival.
+    ///
+    /// The complet need not be hosted here: the request is forwarded to
+    /// its current host.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the destination or complet is unknown, the complet is
+    /// already in transit, or the transfer fails. On failure the complet
+    /// remains usable at its current Core.
+    pub fn move_complet(
+        &self,
+        id: CompletId,
+        dest: &str,
+        continuation: Option<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        let dest_node = self.resolve_core(dest)?;
+        if !self.hosts(id) {
+            let host = self.locate(id)?;
+            if host == self.inner.node.index() {
+                return Err(FargoError::UnknownComplet(id));
+            }
+            if host == dest_node {
+                return Ok(());
+            }
+            return match self.rpc(host, Request::MoveRequest { id, dest: dest_node })? {
+                Reply::Ok => Ok(()),
+                Reply::Err(e) => Err(e),
+                other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
+            };
+        }
+        if dest_node == self.inner.node.index() {
+            return Ok(());
+        }
+        self.move_local(id, dest_node, continuation)
+    }
+
+    /// The sending half of the mobility protocol for a locally hosted
+    /// root complet.
+    fn move_local(
+        &self,
+        root: CompletId,
+        dest_node: u32,
+        continuation: Option<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        let me = self.inner.node.index();
+        let mut queue = VecDeque::from([root]);
+        let mut visited: HashSet<CompletId> = HashSet::from([root]);
+        let mut departing: Vec<Departing> = Vec::new();
+        let mut packets: Vec<CompletPacket> = Vec::new();
+        // Original target -> (copy id, type, state) for `duplicate` refs.
+        let mut copies: HashMap<CompletId, (CompletId, String, Value)> = HashMap::new();
+        let mut remote_pulls: Vec<(CompletId, u32)> = Vec::new();
+
+        // Restores everything taken out so far after a failed move.
+        let restore = |departing: Vec<Departing>, core: &Core| {
+            for d in departing {
+                let slot = core.inner.complets.read().get(&d.id).cloned();
+                if let Some(slot) = slot {
+                    *slot.state.lock() = SlotState::Present(d.complet);
+                }
+                let mut naming = core.inner.naming.lock();
+                for name in d.names {
+                    naming.insert(
+                        name,
+                        RefDescriptor::link(d.id, &d.type_name, core.inner.node.index()),
+                    );
+                }
+            }
+        };
+
+        while let Some(cur) = queue.pop_front() {
+            let Some(slot) = self.inner.complets.read().get(&cur).cloned() else {
+                if cur == root {
+                    restore(departing, self);
+                    return Err(FargoError::UnknownComplet(root));
+                }
+                // A pull target hosted elsewhere: moved separately below.
+                remote_pulls.push((cur, self.hint_for(cur)));
+                continue;
+            };
+            let mut complet = match self.take_out(&slot) {
+                Ok(c) => c,
+                Err(e) => {
+                    restore(departing, self);
+                    return Err(e);
+                }
+            };
+
+            let mut ctx = self.make_ctx(cur, &slot.type_name, vec![]);
+            complet.pre_departure(&mut ctx);
+            let mut state = complet.marshal();
+
+            // The per-relocator marshal routines (§3.3).
+            for r in state.collect_refs() {
+                let action = match self.inner.relocators.resolve(&r.relocator) {
+                    Ok(rl) => rl.marshal_action(),
+                    Err(e) => {
+                        *slot.state.lock() = SlotState::Present(complet);
+                        restore(departing, self);
+                        return Err(e);
+                    }
+                };
+                match action {
+                    MarshalAction::KeepTracking | MarshalAction::StampType => {}
+                    MarshalAction::PullTarget => {
+                        if visited.insert(r.target) {
+                            queue.push_back(r.target);
+                        }
+                    }
+                    MarshalAction::DuplicateTarget => {
+                        if !copies.contains_key(&r.target) {
+                            match self.snapshot_complet(r.target, r.last_known) {
+                                Some((type_name, dup_state)) => {
+                                    let copy_id = CompletId::new(
+                                        me,
+                                        self.inner.complet_seq.fetch_add(1, Ordering::Relaxed),
+                                    );
+                                    copies.insert(r.target, (copy_id, type_name, dup_state));
+                                }
+                                // Unreachable target: fall back to
+                                // tracking the original.
+                                None => {}
+                            }
+                        }
+                    }
+                }
+            }
+            // Re-bind duplicate references in the marshaled state to
+            // their copies.
+            if !copies.is_empty() {
+                state = state.transform_refs(&mut |r| match copies.get(&r.target) {
+                    Some((copy_id, _, _)) if r.relocator == "duplicate" => RefDescriptor {
+                        target: *copy_id,
+                        last_known: dest_node,
+                        ..r
+                    },
+                    _ => r,
+                });
+            }
+
+            let names = self.take_names(cur);
+            packets.push(CompletPacket {
+                id: cur,
+                type_name: slot.type_name.clone(),
+                state,
+                names: names.clone(),
+            });
+            departing.push(Departing {
+                id: cur,
+                type_name: slot.type_name.clone(),
+                complet,
+                names,
+            });
+        }
+
+        for (orig, (copy_id, type_name, state)) in &copies {
+            let _ = orig;
+            packets.push(CompletPacket {
+                id: *copy_id,
+                type_name: type_name.clone(),
+                state: state.clone(),
+                names: vec![],
+            });
+        }
+
+        // One inter-Core message carries the whole co-moving closure.
+        let continuation = continuation.map(|(method, args)| Continuation {
+            target: root,
+            method,
+            args,
+        });
+        match self.rpc(
+            dest_node,
+            Request::Move {
+                packets,
+                continuation,
+            },
+        ) {
+            Ok(Reply::MoveOk { .. }) => {
+                for mut d in departing {
+                    let mut ctx = self.make_ctx(d.id, &d.type_name, vec![]);
+                    d.complet.post_departure(&mut ctx);
+                    // Release the old copy; the tracker forwards from now
+                    // on (the incoming-reference fix-up of §3.3).
+                    if let Some(slot) = self.inner.complets.write().remove(&d.id) {
+                        *slot.state.lock() = SlotState::Gone;
+                    }
+                    self.inner
+                        .trackers
+                        .point(d.id, TrackerTarget::Forward(dest_node));
+                    self.note_location(d.id, dest_node);
+                    if d.id.origin != me {
+                        let _ = self.send_to(
+                            d.id.origin,
+                            &crate::proto::Message::Notify(
+                                crate::proto::Notify::LocationUpdate {
+                                    target: d.id,
+                                    now_at: dest_node,
+                                },
+                            ),
+                        );
+                    }
+                    self.fire_event(EventPayload::CompletDeparted {
+                        id: d.id,
+                        type_name: d.type_name,
+                        dest: dest_node,
+                        core: me,
+                    });
+                }
+                // Pull targets hosted elsewhere follow with their own
+                // (asynchronous) moves.
+                for (id, _) in remote_pulls {
+                    let core = self.clone();
+                    let dest_name = self.core_name_of(dest_node);
+                    thread::spawn(move || {
+                        let _ = core.move_complet(id, &dest_name, None);
+                    });
+                }
+                Ok(())
+            }
+            Ok(Reply::Err(e)) => {
+                restore(departing, self);
+                Err(e)
+            }
+            Ok(other) => {
+                restore(departing, self);
+                Err(FargoError::Protocol(format!("unexpected reply {other:?}")))
+            }
+            Err(e) => {
+                restore(departing, self);
+                Err(e)
+            }
+        }
+    }
+
+    /// Takes a complet out of its slot, marking it in transit.
+    fn take_out(&self, slot: &CompletSlot) -> Result<Box<dyn Complet>> {
+        let Some(mut guard) = slot.state.try_lock_for(self.inner.config.transit_wait) else {
+            return Err(FargoError::Timeout);
+        };
+        match std::mem::replace(&mut *guard, SlotState::InTransit) {
+            SlotState::Present(c) => Ok(c),
+            SlotState::InTransit => Err(FargoError::AlreadyMoving(slot.id)),
+            SlotState::Gone => {
+                *guard = SlotState::Gone;
+                Err(FargoError::UnknownComplet(slot.id))
+            }
+        }
+    }
+
+    /// Marshals a complet's state without removing it (for `duplicate`).
+    /// Falls back to fetching from a remote host when not local.
+    fn snapshot_complet(&self, id: CompletId, hint: u32) -> Option<(String, Value)> {
+        if let Some(slot) = self.inner.complets.read().get(&id).cloned() {
+            let guard = slot.state.try_lock_for(self.inner.config.transit_wait)?;
+            if let SlotState::Present(c) = &*guard {
+                return Some((slot.type_name.clone(), c.marshal()));
+            }
+            return None;
+        }
+        let host = self.locate(id).ok().or(Some(hint))?;
+        match self.rpc(host, Request::FetchState { id }).ok()? {
+            Reply::StateOk { type_name, state } => Some((type_name, state)),
+            _ => None,
+        }
+    }
+
+    fn hint_for(&self, id: CompletId) -> u32 {
+        match self.inner.trackers.peek(id) {
+            Some(TrackerTarget::Forward(n)) => n,
+            _ => id.origin,
+        }
+    }
+
+    /// Unbinds and returns every logical name bound to `id` here; the
+    /// bindings travel with the complet.
+    fn take_names(&self, id: CompletId) -> Vec<String> {
+        let mut naming = self.inner.naming.lock();
+        let names: Vec<String> = naming
+            .iter()
+            .filter(|(_, d)| d.target == id)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in &names {
+            naming.remove(n);
+        }
+        names
+    }
+
+    /// The receiving half of the mobility protocol.
+    pub(crate) fn handle_move_stream(
+        &self,
+        packets: Vec<CompletPacket>,
+        continuation: Option<Continuation>,
+    ) -> Reply {
+        let me = self.inner.node.index();
+
+        // Admission control (§7): refuse the whole stream if it would
+        // exceed this Core's capacity; the sender restores everything.
+        if let Err(e) = self.admit(packets.len()) {
+            return Reply::Err(e);
+        }
+
+        // Pass 1 — resolve arrival actions (notably `stamp`) for every
+        // packet before installing anything, so a strict stamp failure
+        // rejects the whole stream and the sender can restore.
+        let mut prepared: Vec<(CompletPacket, Value)> = Vec::new();
+        let arriving: HashSet<CompletId> = packets.iter().map(|p| p.id).collect();
+        for packet in packets {
+            let mut stamp_failure: Option<String> = None;
+            let state = packet.state.clone().transform_refs(&mut |r| {
+                let action = self
+                    .inner
+                    .relocators
+                    .resolve(&r.relocator)
+                    .map(|rl| rl.arrival_action())
+                    .unwrap_or(ArrivalAction::Keep);
+                match action {
+                    ArrivalAction::Keep => r,
+                    ArrivalAction::ResolveByType => {
+                        match self.find_local_by_type(&r.target_type) {
+                            Some(local) => RefDescriptor {
+                                target: local,
+                                last_known: me,
+                                ..r
+                            },
+                            None if arriving.contains(&r.target) => r,
+                            None => {
+                                if self.inner.config.stamp_strict {
+                                    stamp_failure = Some(r.target_type.clone());
+                                }
+                                r
+                            }
+                        }
+                    }
+                }
+            });
+            if let Some(t) = stamp_failure {
+                return Reply::Err(FargoError::StampUnresolved(t));
+            }
+            prepared.push((packet, state));
+        }
+
+        // Pass 2 — reconstruct and install.
+        let mut arrived: Vec<CompletId> = Vec::new();
+        for (packet, state) in prepared {
+            let mut complet = match self.inner.registry.construct(&packet.type_name, &[]) {
+                Ok(c) => c,
+                Err(e) => return Reply::Err(e),
+            };
+            if let Err(e) = complet.unmarshal(state) {
+                return Reply::Err(e);
+            }
+            let mut ctx = self.make_ctx(packet.id, &packet.type_name, vec![]);
+            complet.pre_arrival(&mut ctx);
+            self.install_complet_with_id(packet.id, &packet.type_name, complet);
+
+            // Names travel with the complet.
+            {
+                let mut naming = self.inner.naming.lock();
+                for name in &packet.names {
+                    naming.insert(
+                        name.clone(),
+                        RefDescriptor::link(packet.id, &packet.type_name, me),
+                    );
+                }
+            }
+            if packet.id.origin != me {
+                let _ = self.send_to(
+                    packet.id.origin,
+                    &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
+                        target: packet.id,
+                        now_at: me,
+                    }),
+                );
+            }
+            self.run_post_arrival(packet.id);
+            self.fire_event(EventPayload::CompletArrived {
+                id: packet.id,
+                type_name: packet.type_name.clone(),
+                core: me,
+            });
+            arrived.push(packet.id);
+        }
+
+        if let Some(cont) = continuation {
+            let core = self.clone();
+            thread::spawn(move || {
+                let r = CompletRef::from_descriptor(RefDescriptor::link(
+                    cont.target,
+                    "",
+                    core.inner.node.index(),
+                ));
+                let _ = core.invoke(&r, &cont.method, &cont.args);
+            });
+        }
+        Reply::MoveOk { arrived }
+    }
+
+    /// Runs the `post_arrival` callback on a freshly installed complet,
+    /// honouring any deferred moves it requests (itineraries).
+    fn run_post_arrival(&self, id: CompletId) {
+        let Some(slot) = self.inner.complets.read().get(&id).cloned() else {
+            return;
+        };
+        let mut guard = slot.state.lock();
+        if let SlotState::Present(complet) = &mut *guard {
+            let mut ctx = self.make_ctx(id, &slot.type_name, vec![]);
+            complet.post_arrival(&mut ctx);
+            drop(guard);
+            self.run_deferred(ctx);
+        }
+    }
+
+    /// Serves `FetchState` (remote duplicate).
+    pub(crate) fn handle_fetch_state(&self, id: CompletId) -> Reply {
+        let Some(slot) = self.inner.complets.read().get(&id).cloned() else {
+            return Reply::Err(FargoError::UnknownComplet(id));
+        };
+        let Some(guard) = slot.state.try_lock_for(self.inner.config.transit_wait) else {
+            return Reply::Err(FargoError::Timeout);
+        };
+        match &*guard {
+            SlotState::Present(c) => Reply::StateOk {
+                type_name: slot.type_name.clone(),
+                state: c.marshal(),
+            },
+            _ => Reply::Err(FargoError::AlreadyMoving(id)),
+        }
+    }
+
+    /// Resolves a complet's current host by walking location knowledge
+    /// (trackers or the home registry, depending on the mode of the Cores
+    /// consulted).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no Core admits to knowing the complet.
+    pub fn locate(&self, id: CompletId) -> Result<u32> {
+        let me = self.inner.node.index();
+        if self.hosts(id) {
+            return Ok(me);
+        }
+        let mut cur = match self.inner.trackers.peek(id) {
+            Some(TrackerTarget::Forward(n)) => n,
+            _ => id.origin,
+        };
+        if cur == me {
+            return Err(FargoError::UnknownComplet(id));
+        }
+        for _ in 0..self.inner.config.max_hops {
+            match self.rpc(cur, Request::WhereIs { id })? {
+                Reply::WhereOk { node: Some(n) } => {
+                    if n == cur {
+                        return Ok(n);
+                    }
+                    cur = n;
+                }
+                Reply::WhereOk { node: None } => return Err(FargoError::UnknownComplet(id)),
+                Reply::Err(e) => return Err(e),
+                other => {
+                    return Err(FargoError::Protocol(format!("unexpected reply {other:?}")))
+                }
+            }
+        }
+        Err(FargoError::HopLimit(self.inner.config.max_hops))
+    }
+}

@@ -1,0 +1,141 @@
+//! Core checkpointing — the paper's §7 "persistence model" future work.
+//!
+//! A checkpoint captures every complet resident on a Core (state, type,
+//! and logical names) as one self-describing [`Value`] tree, using the
+//! same marshal path movement uses. Restoring installs the complets into
+//! another (or a restarted) Core with their identities preserved, so
+//! naming re-binds and home registries re-learn locations exactly as if
+//! the complets had moved there.
+//!
+//! A checkpoint is a *cold* snapshot: like movement, it waits for each
+//! complet's current invocation to finish, and complets in transit are
+//! skipped (they are owned by the move in progress).
+
+use fargo_wire::{CompletId, Value};
+
+use crate::error::{FargoError, Result};
+use crate::events::EventPayload;
+use crate::runtime::{Core, SlotState};
+
+impl Core {
+    /// Captures all resident complets into a portable snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`FargoError::Timeout`] if a complet stays locked past
+    /// the configured transit wait.
+    pub fn checkpoint(&self) -> Result<Value> {
+        let slots: Vec<_> = self.inner.complets.read().values().cloned().collect();
+        let mut complets = Vec::new();
+        for slot in slots {
+            let guard = slot
+                .state
+                .try_lock_for(self.inner.config.transit_wait)
+                .ok_or(FargoError::Timeout)?;
+            if let SlotState::Present(c) = &*guard {
+                complets.push(Value::map([
+                    ("id", Value::from(slot.id.to_string())),
+                    ("type", Value::from(slot.type_name.as_str())),
+                    ("state", c.marshal()),
+                ]));
+            }
+        }
+        let names: Vec<Value> = self
+            .inner
+            .naming
+            .lock()
+            .iter()
+            .map(|(name, desc)| {
+                Value::map([
+                    ("name", Value::from(name.as_str())),
+                    ("ref", Value::Ref(desc.clone())),
+                ])
+            })
+            .collect();
+        Ok(Value::map([
+            ("fargo_checkpoint", Value::from(1i64)),
+            ("core", Value::from(self.name())),
+            ("complets", Value::List(complets)),
+            ("names", Value::List(names)),
+        ]))
+    }
+
+    /// Installs a snapshot's complets (and name bindings) into this Core.
+    ///
+    /// Identities are preserved: references that tracked the complets
+    /// re-resolve here once their chains or home registries learn the new
+    /// location (which this method announces, as arrival does).
+    ///
+    /// Returns the ids restored.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed snapshot, unknown complet types, or state
+    /// mismatches; partially restored complets are kept (restoring is
+    /// idempotent per complet — re-restore overwrites).
+    pub fn restore_checkpoint(&self, snapshot: &Value) -> Result<Vec<CompletId>> {
+        if snapshot.get("fargo_checkpoint").and_then(Value::as_i64) != Some(1) {
+            return Err(FargoError::InvalidArgument(
+                "not a fargo checkpoint".to_owned(),
+            ));
+        }
+        let complets = snapshot
+            .get("complets")
+            .and_then(Value::as_list)
+            .ok_or_else(|| FargoError::InvalidArgument("checkpoint missing complets".into()))?;
+        let me = self.node().index();
+        let mut restored = Vec::new();
+        for entry in complets {
+            let id = entry
+                .get("id")
+                .and_then(Value::as_str)
+                .and_then(parse_id)
+                .ok_or_else(|| FargoError::InvalidArgument("bad complet id".into()))?;
+            let type_name = entry
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| FargoError::InvalidArgument("bad complet type".into()))?
+                .to_owned();
+            let state = entry
+                .get("state")
+                .cloned()
+                .ok_or_else(|| FargoError::InvalidArgument("missing state".into()))?;
+            let mut complet = self.inner.registry.construct(&type_name, &[])?;
+            complet.unmarshal(state)?;
+            self.install_complet_with_id(id, &type_name, complet);
+            if id.origin != me {
+                let _ = self.send_to(
+                    id.origin,
+                    &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
+                        target: id,
+                        now_at: me,
+                    }),
+                );
+            }
+            self.fire_event(EventPayload::CompletArrived {
+                id,
+                type_name,
+                core: me,
+            });
+            restored.push(id);
+        }
+        if let Some(names) = snapshot.get("names").and_then(Value::as_list) {
+            let mut naming = self.inner.naming.lock();
+            for entry in names {
+                if let (Some(name), Some(desc)) = (
+                    entry.get("name").and_then(Value::as_str),
+                    entry.get("ref").and_then(Value::as_ref_desc),
+                ) {
+                    naming.insert(name.to_owned(), desc.clone());
+                }
+            }
+        }
+        Ok(restored)
+    }
+}
+
+fn parse_id(s: &str) -> Option<CompletId> {
+    let rest = s.strip_prefix('c')?;
+    let (origin, seq) = rest.split_once('.')?;
+    Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}

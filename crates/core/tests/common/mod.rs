@@ -1,0 +1,102 @@
+//! Shared fixtures for fargo-core integration tests.
+
+use std::time::Duration;
+
+use fargo_core::{define_complet, CompletRegistry, Core, CoreConfig, Value};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+define_complet! {
+    /// The paper's Figure 3 complet.
+    pub complet Message {
+        state {
+            text: String = "hello fargo".to_owned(),
+        }
+        init(&mut self, args) {
+            if let Some(t) = args.first().and_then(Value::as_str) {
+                self.text = t.to_owned();
+            }
+            Ok(())
+        }
+        fn print(&mut self, _ctx, _args) {
+            Ok(Value::from(self.text.as_str()))
+        }
+        fn set_text(&mut self, _ctx, args) {
+            self.text = args.first().and_then(Value::as_str).unwrap_or("").to_owned();
+            Ok(Value::Null)
+        }
+    }
+}
+
+define_complet! {
+    /// A counter with history, for state-preservation checks.
+    pub complet Counter {
+        state {
+            n: i64 = 0,
+            history: Vec<i64> = Vec::new(),
+        }
+        fn add(&mut self, _ctx, args) {
+            self.n += args.first().and_then(Value::as_i64).unwrap_or(1);
+            self.history.push(self.n);
+            Ok(Value::I64(self.n))
+        }
+        fn get(&mut self, _ctx, _args) {
+            Ok(Value::I64(self.n))
+        }
+        fn history_len(&mut self, _ctx, _args) {
+            Ok(Value::I64(self.history.len() as i64))
+        }
+    }
+}
+
+/// Registers the shared complet types.
+pub fn registry() -> CompletRegistry {
+    let reg = CompletRegistry::new();
+    Message::register(&reg);
+    Counter::register(&reg);
+    reg
+}
+
+/// A fast network: instant links, deterministic.
+pub fn fast_network() -> Network {
+    Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant()),
+        ..NetworkConfig::default()
+    })
+}
+
+/// Spawns `n` cores named `core0..core{n-1}` with shared registry.
+pub fn cluster(n: usize) -> (Network, CompletRegistry, Vec<Core>) {
+    cluster_with_config(n, test_config())
+}
+
+/// Spawns `n` cores with a custom configuration.
+pub fn cluster_with_config(n: usize, config: CoreConfig) -> (Network, CompletRegistry, Vec<Core>) {
+    let net = fast_network();
+    let reg = registry();
+    let cores = (0..n)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(config.clone())
+                .spawn()
+                .expect("core must spawn")
+        })
+        .collect();
+    (net, reg, cores)
+}
+
+/// Short timeouts so failing paths fail fast in tests.
+pub fn test_config() -> CoreConfig {
+    CoreConfig {
+        rpc_timeout: Duration::from_secs(5),
+        transit_wait: Duration::from_secs(2),
+        ..CoreConfig::default()
+    }
+}
+
+/// Stops every core (idempotent).
+pub fn teardown(cores: &[Core]) {
+    for c in cores {
+        c.stop();
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's §4.1 compound relocation policy, verbatim:
+//!
+//! > "one relocation policy in an application may be to move two disparate
+//! > complets to the same site only if the bandwidth between the sites is
+//! > below some threshold value and the invocationRate is above some
+//! > threshold value. Otherwise it keeps them apart to spread the load."
+//!
+//! The network degrades *while the application runs* (the environment
+//! change dynamic layout exists for); the policy combines two profiling
+//! services before acting.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::{registry, teardown};
+use fargo_core::{CompletId, Core, CoreConfig, Service, Value};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+const GOOD_BANDWIDTH: u64 = 10_000_000;
+const BAD_BANDWIDTH: u64 = 40_000;
+const BANDWIDTH_FLOOR: f64 = 100_000.0;
+const RATE_FLOOR: f64 = 5.0;
+
+fn setup() -> (Network, Vec<Core>) {
+    let net = Network::new(NetworkConfig::default());
+    let reg = registry();
+    let cores: Vec<Core> = (0..2)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(CoreConfig {
+                    monitor_tick: Duration::from_millis(10),
+                    ..CoreConfig::default()
+                })
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    net.set_link(
+        cores[0].node(),
+        cores[1].node(),
+        LinkConfig::new(Duration::from_micros(200)).with_bandwidth(GOOD_BANDWIDTH),
+    )
+    .unwrap();
+    (net, cores)
+}
+
+#[test]
+fn colocate_only_when_bandwidth_low_and_rate_high() {
+    let (net, cores) = setup();
+    let local = cores[0].clone();
+    let server = local.new_complet_at("core1", "Counter", &[]).unwrap();
+    let peer = cores[1].node().index();
+    let app = CompletId::new(local.node().index(), 0);
+
+    let rate_service = Service::MethodInvokeRate {
+        src: app,
+        dst: server.id(),
+    };
+    let bw_service = Service::Bandwidth { peer };
+    local.profile_start(rate_service.clone(), Duration::from_millis(25));
+    local.profile_start(bw_service.clone(), Duration::from_millis(25));
+
+    // The compound policy (§4.1's AND of two profiled measures): when the
+    // link degrades below the floor, co-locate — but only if the
+    // reference is actually chatty at that moment.
+    let moved = Arc::new(AtomicUsize::new(0));
+    let m = moved.clone();
+    let mover = local.clone();
+    let rate = rate_service.clone();
+    let server_id = server.id();
+    local.on_event(
+        &bw_service.to_string(),
+        Some(BANDWIDTH_FLOOR),
+        false, // fire when bandwidth falls *below* the floor
+        Arc::new(move |_| {
+            let invocation_rate = mover.profile_get(&rate).unwrap_or(0.0);
+            if invocation_rate > RATE_FLOOR
+                && mover.move_complet(server_id, "core0", None).is_ok()
+            {
+                m.fetch_add(1, Ordering::SeqCst);
+            }
+        }),
+    );
+
+    // Phase 1 — chatty over a GOOD link: rate crosses, bandwidth is fine,
+    // so the complets stay apart (spread the load).
+    for _ in 0..120 {
+        server.call("add", &[Value::I64(1)]).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(cores[1].hosts(server.id()), "good bandwidth: stay apart");
+    assert_eq!(moved.load(Ordering::SeqCst), 0);
+
+    // Phase 2 — the WAN degrades mid-run while the chatter continues:
+    // the bandwidth event fires, the rate check passes, the server moves.
+    net.set_link(
+        cores[0].node(),
+        cores[1].node(),
+        LinkConfig::new(Duration::from_micros(200)).with_bandwidth(BAD_BANDWIDTH),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cores[0].hosts(server.id()) {
+        assert!(
+            Instant::now() < deadline,
+            "degraded bandwidth + high rate must trigger co-location"
+        );
+        let _ = server.call("add", &[Value::I64(1)]);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(moved.load(Ordering::SeqCst) >= 1);
+    // The state survived the whole journey.
+    assert!(server.call("get", &[]).unwrap().as_i64().unwrap() >= 120);
+    teardown(&cores);
+}
+
+#[test]
+fn quiet_reference_never_triggers_even_on_bad_links() {
+    // Bandwidth collapses but the reference is idle: the AND must hold
+    // the policy back.
+    let (net, cores) = setup();
+    let local = cores[0].clone();
+    let server = local.new_complet_at("core1", "Counter", &[]).unwrap();
+    let app = CompletId::new(local.node().index(), 0);
+    let rate_service = Service::MethodInvokeRate {
+        src: app,
+        dst: server.id(),
+    };
+    let bw_service = Service::Bandwidth {
+        peer: cores[1].node().index(),
+    };
+    // Coarse rate sampling: sporadic single calls do not alias into
+    // spikes when judged over 300ms windows.
+    local.profile_start(rate_service.clone(), Duration::from_millis(300));
+    local.profile_start(bw_service.clone(), Duration::from_millis(50));
+    let mover = local.clone();
+    let rate = rate_service.clone();
+    let server_id = server.id();
+    local.on_event(
+        &bw_service.to_string(),
+        Some(BANDWIDTH_FLOOR),
+        false,
+        Arc::new(move |_| {
+            if mover.profile_get(&rate).unwrap_or(0.0) > RATE_FLOOR {
+                let _ = mover.move_complet(server_id, "core0", None);
+            }
+        }),
+    );
+    net.set_link(
+        cores[0].node(),
+        cores[1].node(),
+        LinkConfig::new(Duration::from_micros(200)).with_bandwidth(BAD_BANDWIDTH),
+    )
+    .unwrap();
+    // A trickle of calls, well under the rate floor.
+    for _ in 0..5 {
+        server.call("add", &[Value::I64(1)]).unwrap();
+        std::thread::sleep(Duration::from_millis(500));
+    }
+    assert!(
+        cores[1].hosts(server.id()),
+        "idle references must not trigger relocation"
+    );
+    teardown(&cores);
+}

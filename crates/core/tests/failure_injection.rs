@@ -1,0 +1,179 @@
+//! Failure-injection tests: packet loss, partitions, dead Cores, and
+//! races between failures and layout operations.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{registry, teardown, test_config};
+use fargo_core::{Core, FargoError, Value};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+fn lossy_cluster(loss: f64, n: usize) -> (Network, Vec<Core>) {
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant().with_loss(loss)),
+        seed: 7,
+        ..NetworkConfig::default()
+    });
+    let reg = registry();
+    let cores = (0..n)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(test_config().with_rpc_timeout(Duration::from_millis(150)))
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    (net, cores)
+}
+
+#[test]
+fn total_loss_times_out_cleanly() {
+    let (net, cores) = lossy_cluster(0.0, 2);
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    // Break the link silently (loss, not an admin-down error).
+    net.set_link(
+        cores[0].node(),
+        cores[1].node(),
+        LinkConfig::instant().with_loss(1.0),
+    )
+    .unwrap();
+    let err = msg.call("print", &[]).unwrap_err();
+    assert_eq!(err, FargoError::Timeout);
+    // Restore the link: the same stub works again.
+    net.set_link(cores[0].node(), cores[1].node(), LinkConfig::instant())
+        .unwrap();
+    assert!(msg.call("print", &[]).is_ok());
+    teardown(&cores);
+}
+
+#[test]
+fn moderate_loss_is_survivable_by_application_retry() {
+    // FarGo (like RMI) does not retransmit; callers retry. With 30% loss
+    // each attempt succeeds with p ≈ 0.49, so a few retries get through.
+    let (_net, cores) = lossy_cluster(0.30, 2);
+    // Even instantiation may need retries under loss.
+    let msg = (0..10)
+        .find_map(|_| cores[0].new_complet_at("core1", "Message", &[]).ok())
+        .expect("instantiation should succeed within ten attempts");
+    let mut successes = 0;
+    for _ in 0..20 {
+        if msg.call("print", &[]).is_ok() {
+            successes += 1;
+        }
+    }
+    assert!(successes >= 5, "some calls must get through, got {successes}");
+    teardown(&cores);
+}
+
+#[test]
+fn move_to_dead_core_fails_and_complet_survives() {
+    let (_net, cores) = lossy_cluster(0.0, 2);
+    let msg = cores[0].new_complet("Message", &[Value::from("alive")]).unwrap();
+    cores[1].stop();
+    let err = msg.move_to("core1").unwrap_err();
+    assert!(
+        matches!(err, FargoError::Net(_) | FargoError::Timeout | FargoError::ShuttingDown),
+        "got {err:?}"
+    );
+    assert!(cores[0].hosts(msg.id()));
+    assert_eq!(msg.call("print", &[]).unwrap(), Value::from("alive"));
+    teardown(&cores);
+}
+
+#[test]
+fn partition_heals_and_chains_recover() {
+    let (net, cores) = lossy_cluster(0.0, 3);
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    // Partition core0 from core1: the chain's first hop is cut.
+    net.partition(cores[0].node(), cores[1].node()).unwrap();
+    assert!(msg.call("print", &[]).is_err());
+    // Heal: the same reference works again, and after the complet moves
+    // on, the chain routes around through core1 to core2.
+    net.heal(cores[0].node(), cores[1].node()).unwrap();
+    assert!(msg.call("print", &[]).is_ok());
+    msg.move_to("core2").unwrap();
+    assert_eq!(msg.call("print", &[]).unwrap(), Value::from("hello fargo"));
+    teardown(&cores);
+}
+
+#[test]
+fn half_open_partition_times_out() {
+    // Requests arrive but replies are dropped: the requester must time
+    // out rather than hang.
+    let (net, cores) = lossy_cluster(0.0, 2);
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    net.set_link_directed(
+        cores[1].node(),
+        cores[0].node(),
+        LinkConfig::instant().with_loss(1.0),
+    )
+    .unwrap();
+    assert_eq!(msg.call("print", &[]).unwrap_err(), FargoError::Timeout);
+    teardown(&cores);
+}
+
+#[test]
+fn shutdown_mid_stream_of_invocations_degrades_cleanly() {
+    let (_net, cores) = lossy_cluster(0.0, 2);
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    let m2 = msg.clone();
+    let worker = std::thread::spawn(move || {
+        let mut errs = 0;
+        for _ in 0..200 {
+            if m2.call("print", &[]).is_err() {
+                errs += 1;
+            }
+        }
+        errs
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    cores[1].stop();
+    let errs = worker.join().unwrap();
+    // After the stop, calls fail with clean errors rather than panics or
+    // hangs; before it, they succeeded.
+    assert!(errs > 0, "the stop must have been observed");
+    teardown(&cores);
+}
+
+#[test]
+fn slow_link_queueing_under_concurrent_load() {
+    // A bandwidth-limited link with many concurrent callers: everything
+    // completes, nothing interleaves corruptly.
+    let net = Network::new(NetworkConfig {
+        default_link: Some(
+            LinkConfig::new(Duration::from_micros(100)).with_bandwidth(2_000_000),
+        ),
+        ..NetworkConfig::default()
+    });
+    let reg = registry();
+    let cores: Vec<Core> = (0..2)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(test_config())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    let counter = cores[0].new_complet_at("core1", "Counter", &[]).unwrap();
+    let payload = Value::Bytes(vec![1u8; 20_000]);
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let c = counter.clone();
+        let p = payload.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                // Big argument exercises serialisation queueing.
+                c.call("add", &[Value::I64(1), p.clone()]).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.call("get", &[]).unwrap(), Value::I64(60));
+    teardown(&cores);
+}

@@ -1,0 +1,50 @@
+//! Typed-stub generation tests: the `stub <Name>` macro section.
+
+mod common;
+
+use common::{cluster, teardown};
+use fargo_core::{define_complet, Value};
+
+define_complet! {
+    /// An anchor with a generated typed stub.
+    pub complet Greeter stub GreeterStub {
+        state { greeting: String = "hello".to_owned() }
+        fn greet(&mut self, _ctx, args) {
+            let who = args.first().and_then(Value::as_str).unwrap_or("world");
+            Ok(Value::from(format!("{} {}", self.greeting, who)))
+        }
+        fn set_greeting(&mut self, _ctx, args) {
+            self.greeting = args.first().and_then(Value::as_str).unwrap_or("").to_owned();
+            Ok(Value::Null)
+        }
+    }
+}
+
+#[test]
+fn typed_stub_forwards_methods() {
+    let (_net, reg, cores) = cluster(2);
+    Greeter::register(&reg);
+    let stub = GreeterStub::new(cores[0].new_complet("Greeter", &[]).unwrap());
+    assert_eq!(stub.greet(&[]).unwrap(), Value::from("hello world"));
+    stub.set_greeting(&[Value::from("shalom")]).unwrap();
+    assert_eq!(
+        stub.greet(&[Value::from("fargo")]).unwrap(),
+        Value::from("shalom fargo")
+    );
+    teardown(&cores);
+}
+
+#[test]
+fn typed_stub_keeps_working_after_moves() {
+    let (_net, reg, cores) = cluster(2);
+    Greeter::register(&reg);
+    let stub: GreeterStub = cores[0].new_complet("Greeter", &[]).unwrap().into();
+    // Deref gives the full BoundRef surface (move_to, meta, …).
+    stub.move_to("core1").unwrap();
+    assert!(cores[1].hosts(stub.id()));
+    assert_eq!(stub.greet(&[]).unwrap(), Value::from("hello world"));
+    assert_eq!(stub.meta().relocator_name(), "link");
+    // Unknown methods still fail through the dynamic path.
+    assert!(stub.bound().call("nope", &[]).is_err());
+    teardown(&cores);
+}

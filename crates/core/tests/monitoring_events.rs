@@ -1,0 +1,323 @@
+//! Monitoring and event tests: profiling services, threshold events,
+//! distributed events, and monitoring-driven relocation (§4).
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use common::{cluster, teardown};
+use fargo_core::{define_complet, CompletId, EventPayload, Service, Value};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn instant_complet_load_counts_complets() {
+    let (_net, _reg, cores) = cluster(1);
+    assert_eq!(cores[0].profile_instant(&Service::CompletLoad).unwrap(), 0.0);
+    cores[0].new_complet("Message", &[]).unwrap();
+    cores[0].new_complet("Message", &[]).unwrap();
+    // Within the cache TTL the stale value may be served; wait it out.
+    assert!(wait_until(Duration::from_secs(2), || {
+        cores[0].profile_instant(&Service::CompletLoad).unwrap() == 2.0
+    }));
+    teardown(&cores);
+}
+
+#[test]
+fn instant_bandwidth_and_latency_reflect_link_model() {
+    let (net, _reg, cores) = cluster(2);
+    net.set_link(
+        cores[0].node(),
+        cores[1].node(),
+        simnet::LinkConfig::new(Duration::from_millis(30)).with_bandwidth(1_000_000),
+    )
+    .unwrap();
+    let peer = cores[1].node().index();
+    let bw = cores[0]
+        .profile_instant(&Service::Bandwidth { peer })
+        .unwrap();
+    assert_eq!(bw, 1_000_000.0);
+    let lat = cores[0].profile_instant(&Service::Latency { peer }).unwrap();
+    assert!((lat - 0.030).abs() < 1e-6);
+    teardown(&cores);
+}
+
+#[test]
+fn complet_size_grows_with_state() {
+    let (_net, _reg, cores) = cluster(1);
+    let c = cores[0].new_complet("Counter", &[]).unwrap();
+    let small = cores[0]
+        .profile_instant(&Service::CompletSize { id: c.id() })
+        .unwrap();
+    for _ in 0..200 {
+        c.call("add", &[Value::I64(1)]).unwrap();
+    }
+    // Wait out the instant-cache TTL so we re-measure.
+    assert!(wait_until(Duration::from_secs(2), || {
+        cores[0]
+            .profile_instant(&Service::CompletSize { id: c.id() })
+            .map(|big| big > small)
+            .unwrap_or(false)
+    }));
+    teardown(&cores);
+}
+
+#[test]
+fn continuous_invocation_rate_is_measured() {
+    let (_net, _reg, cores) = cluster(2);
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    let app = CompletId::new(cores[0].node().index(), 0);
+    let service = Service::MethodInvokeRate {
+        src: app,
+        dst: msg.id(),
+    };
+    cores[0].profile_start(service.clone(), Duration::from_millis(20));
+    // Generate a steady call stream.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let s2 = stop.clone();
+    let m2 = msg.clone();
+    let driver = std::thread::spawn(move || {
+        while !s2.load(Ordering::SeqCst) {
+            let _ = m2.call("print", &[]);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let observed = wait_until(Duration::from_secs(5), || {
+        cores[0].profile_get(&service).map(|r| r > 10.0).unwrap_or(false)
+    });
+    stop.store(true, Ordering::SeqCst);
+    driver.join().unwrap();
+    assert!(observed, "invocation rate should exceed 10/s");
+    cores[0].profile_stop(&service);
+    teardown(&cores);
+}
+
+#[test]
+fn threshold_event_fires_on_crossing() {
+    let (_net, _reg, cores) = cluster(1);
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f = fired.clone();
+    cores[0].on_event(
+        "completLoad",
+        Some(3.0),
+        true,
+        Arc::new(move |e| {
+            assert!(e.value().unwrap() >= 3.0);
+            f.fetch_add(1, Ordering::SeqCst);
+        }),
+    );
+    cores[0].profile_start(Service::CompletLoad, Duration::from_millis(10));
+    for _ in 0..2 {
+        cores[0].new_complet("Message", &[]).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(fired.load(Ordering::SeqCst), 0, "below threshold: no event");
+    for _ in 0..2 {
+        cores[0].new_complet("Message", &[]).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(3), || {
+        fired.load(Ordering::SeqCst) >= 1
+    }));
+    // Edge triggering: staying above the threshold does not re-fire.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+    teardown(&cores);
+}
+
+#[test]
+fn layout_events_fire_on_arrival_and_departure() {
+    let (_net, _reg, cores) = cluster(2);
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let l1 = log.clone();
+    cores[0].on_event(
+        "completDeparted",
+        None,
+        true,
+        Arc::new(move |e| {
+            if let EventPayload::CompletDeparted { id, dest, .. } = e {
+                l1.lock().unwrap().push(format!("departed {id} -> n{dest}"));
+            }
+        }),
+    );
+    let l2 = log.clone();
+    cores[1].on_event(
+        "completArrived",
+        None,
+        true,
+        Arc::new(move |e| {
+            if let EventPayload::CompletArrived { id, .. } = e {
+                l2.lock().unwrap().push(format!("arrived {id}"));
+            }
+        }),
+    );
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    assert!(wait_until(Duration::from_secs(3), || log.lock().unwrap().len() >= 2));
+    let entries = log.lock().unwrap().clone();
+    assert!(entries.iter().any(|e| e.starts_with("departed")));
+    assert!(entries.iter().any(|e| e.starts_with("arrived")));
+    teardown(&cores);
+}
+
+#[test]
+fn remote_subscription_receives_events_across_cores() {
+    let (_net, _reg, cores) = cluster(2);
+    let seen = Arc::new(AtomicUsize::new(0));
+    let s = seen.clone();
+    // core0 subscribes to arrivals at core1.
+    let sub = cores[0]
+        .subscribe_at(
+            "core1",
+            "completArrived",
+            None,
+            true,
+            Arc::new(move |_| {
+                s.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+    cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    assert!(wait_until(Duration::from_secs(3), || seen.load(Ordering::SeqCst) == 1));
+    // After cancel, no more notifications.
+    sub.cancel();
+    cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+    teardown(&cores);
+}
+
+define_complet! {
+    /// A complet that counts events delivered to it via `on_event`.
+    pub complet Watcher {
+        state { seen: i64 = 0 }
+        fn on_event(&mut self, _ctx, _args) {
+            self.seen += 1;
+            Ok(Value::Null)
+        }
+        fn seen(&mut self, _ctx, _args) {
+            Ok(Value::I64(self.seen))
+        }
+        fn watch(&mut self, ctx, _args) {
+            ctx.subscribe_self("completArrived", None, true);
+            Ok(Value::Null)
+        }
+    }
+}
+
+#[test]
+fn complet_listeners_keep_receiving_after_they_migrate() {
+    // The distributed-events property of §4.2: a complet registers for
+    // events, moves to another Core, and still gets notified.
+    let (_net, reg, cores) = cluster(2);
+    Watcher::register(&reg);
+    let watcher = cores[0].new_complet("Watcher", &[]).unwrap();
+    watcher.call("watch", &[]).unwrap();
+
+    // Trigger an event at core0: the local watcher hears it.
+    cores[0].new_complet("Message", &[]).unwrap();
+    assert!(wait_until(Duration::from_secs(3), || {
+        watcher.call("seen", &[]).unwrap().as_i64().unwrap() >= 1
+    }));
+
+    // Move the watcher away; events fired at core0 must still reach it
+    // (via its tracked reference), at its new home.
+    watcher.move_to("core1").unwrap();
+    let before = watcher.call("seen", &[]).unwrap().as_i64().unwrap();
+    cores[0].new_complet("Message", &[]).unwrap();
+    assert!(wait_until(Duration::from_secs(3), || {
+        watcher.call("seen", &[]).unwrap().as_i64().unwrap() > before
+    }));
+    assert!(cores[1].hosts(watcher.id()));
+    teardown(&cores);
+}
+
+#[test]
+fn shutdown_event_reaches_remote_subscribers() {
+    let (_net, _reg, cores) = cluster(2);
+    let heard = Arc::new(AtomicUsize::new(0));
+    let h = heard.clone();
+    cores[0]
+        .subscribe_at(
+            "core1",
+            "coreShutdown",
+            None,
+            true,
+            Arc::new(move |e| {
+                assert!(matches!(e, EventPayload::CoreShutdown { .. }));
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+    cores[1].shutdown(Duration::from_millis(50));
+    assert!(wait_until(Duration::from_secs(3), || heard.load(Ordering::SeqCst) == 1));
+    teardown(&cores);
+}
+
+#[test]
+fn monitoring_driven_relocation_end_to_end() {
+    // The paper's §4.1 policy sketch: when the invocation rate along a
+    // reference exceeds a threshold, co-locate the complets.
+    let (_net, _reg, cores) = cluster(2);
+    let server = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    let app = CompletId::new(cores[0].node().index(), 0);
+    let service = Service::MethodInvokeRate {
+        src: app,
+        dst: server.id(),
+    };
+    let core0 = cores[0].clone();
+    let server_id = server.id();
+    let moved = Arc::new(AtomicUsize::new(0));
+    let m = moved.clone();
+    cores[0].profile_start(service.clone(), Duration::from_millis(20));
+    cores[0].on_event(
+        &service.to_string(),
+        Some(3.0),
+        true,
+        Arc::new(move |_| {
+            if core0.move_complet(server_id, "core0", None).is_ok() {
+                m.fetch_add(1, Ordering::SeqCst);
+            }
+        }),
+    );
+    // Chatty phase: drive the rate above 3/s.
+    for _ in 0..200 {
+        let _ = server.call("print", &[]);
+        std::thread::sleep(Duration::from_millis(1));
+        if cores[0].hosts(server.id()) {
+            break;
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || cores[0].hosts(server.id())),
+        "the chatty server should have been pulled to core0"
+    );
+    // The mover's own bookkeeping trails the arrival by one RPC leg.
+    assert!(wait_until(Duration::from_secs(2), || {
+        moved.load(Ordering::SeqCst) >= 1
+    }));
+    teardown(&cores);
+}
+
+#[test]
+fn monitor_stats_expose_cache_effect() {
+    let (_net, _reg, cores) = cluster(1);
+    cores[0].new_complet("Message", &[]).unwrap();
+    let before = cores[0].monitor().stats();
+    for _ in 0..10 {
+        cores[0].profile_instant(&Service::CompletLoad).unwrap();
+    }
+    let after = cores[0].monitor().stats();
+    assert!(after.cache_hits >= before.cache_hits + 8);
+    teardown(&cores);
+}

@@ -1,0 +1,101 @@
+//! Tracking-strategy tests: tracker chains vs the home-based registry
+//! (§3.1 vs the §7 future-work scheme, the E1 ablation pair).
+
+mod common;
+
+use std::time::Duration;
+
+use common::{cluster_with_config, teardown, test_config};
+use fargo_core::{TrackingMode, Value};
+
+fn wanderer_scenario(mode: TrackingMode) {
+    let (_net, _reg, cores) =
+        cluster_with_config(5, test_config().with_tracking(mode));
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("found me")])
+        .unwrap();
+    for dest in ["core1", "core2", "core3", "core4"] {
+        msg.move_to(dest).unwrap();
+    }
+    // Give asynchronous home updates a moment to land.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(msg.call("print", &[]).unwrap(), Value::from("found me"));
+    assert!(cores[4].hosts(msg.id()));
+    teardown(&cores);
+}
+
+#[test]
+fn chains_mode_finds_wanderer() {
+    wanderer_scenario(TrackingMode::Chains);
+}
+
+#[test]
+fn home_mode_finds_wanderer() {
+    wanderer_scenario(TrackingMode::HomeBased);
+}
+
+#[test]
+fn home_mode_uses_constant_messages_regardless_of_hops() {
+    // In home-based tracking an invocation from the origin core costs the
+    // same number of messages no matter how far the complet wandered —
+    // whereas chains walk every hop. This is the mechanism E1 measures
+    // as latency; here we assert it by message count.
+    for hops in [1usize, 4] {
+        let (net, _reg, cores) =
+            cluster_with_config(6, test_config().with_tracking(TrackingMode::HomeBased));
+        let msg = cores[0].new_complet("Message", &[]).unwrap();
+        for i in 1..=hops {
+            msg.move_to(&format!("core{i}")).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let final_node = cores[hops].node();
+        let before = net.link_stats(cores[0].node(), final_node).messages;
+        msg.call("print", &[]).unwrap();
+        let after = net.link_stats(cores[0].node(), final_node).messages;
+        // Exactly one request flowed directly from core0 to the host —
+        // origin is core0 itself, so the home lookup is local.
+        assert_eq!(after - before, 1, "hops={hops}");
+        teardown(&cores);
+    }
+}
+
+#[test]
+fn chains_mode_walks_every_intermediate_core() {
+    let (net, _reg, cores) =
+        cluster_with_config(4, test_config().with_tracking(TrackingMode::Chains));
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    msg.move_to("core2").unwrap();
+    msg.move_to("core3").unwrap();
+    let hop01_before = net.link_stats(cores[0].node(), cores[1].node()).messages;
+    let hop12_before = net.link_stats(cores[1].node(), cores[2].node()).messages;
+    msg.call("print", &[]).unwrap();
+    let hop01 = net.link_stats(cores[0].node(), cores[1].node()).messages - hop01_before;
+    let hop12 = net.link_stats(cores[1].node(), cores[2].node()).messages - hop12_before;
+    assert!(hop01 >= 1, "first chain hop must carry the request");
+    assert!(hop12 >= 1, "second chain hop must carry the request");
+    // After shortening, a second call goes direct: intermediate links are
+    // quiet.
+    let hop12_before = net.link_stats(cores[1].node(), cores[2].node()).messages;
+    msg.call("print", &[]).unwrap();
+    let hop12_second = net.link_stats(cores[1].node(), cores[2].node()).messages - hop12_before;
+    assert_eq!(hop12_second, 0, "shortened chain must bypass intermediates");
+    teardown(&cores);
+}
+
+#[test]
+fn fresh_core_reaches_wanderer_via_hint_and_learns() {
+    // A reference handed to a core that never saw the complet: its first
+    // call follows the stale hint, later calls go direct.
+    let (_net, _reg, cores) = cluster_with_config(4, test_config());
+    let msg = cores[0].new_complet("Message", &[Value::from("hi")]).unwrap();
+    let stale_ref = msg.complet_ref().clone(); // last_known = core0
+    msg.move_to("core1").unwrap();
+    msg.move_to("core2").unwrap();
+    // core3 got the (now stale) reference out of band.
+    let from_core3 = cores[3].stub(stale_ref.degraded());
+    assert_eq!(from_core3.call("print", &[]).unwrap(), Value::from("hi"));
+    // After the first call, core3's knowledge is direct.
+    assert_eq!(from_core3.complet_ref().last_known(), cores[2].node().index());
+    teardown(&cores);
+}

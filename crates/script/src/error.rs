@@ -1,0 +1,102 @@
+//! Script errors, with line information for parse-time failures.
+
+use std::error::Error;
+use std::fmt;
+
+use fargo_core::FargoError;
+
+/// Errors from loading or running a layout script.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScriptError {
+    /// A character that cannot start any token.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `%n` parameter beyond those supplied at load time.
+    MissingParam(usize),
+    /// An undefined `$variable`.
+    UndefinedVar(String),
+    /// Index out of bounds or indexing a non-list.
+    BadIndex {
+        /// The indexed variable.
+        var: String,
+        /// The requested index.
+        index: usize,
+    },
+    /// A value had the wrong shape for where it was used.
+    TypeMismatch {
+        /// What the construct needed.
+        expected: &'static str,
+        /// What it got.
+        got: String,
+    },
+    /// An action name with no built-in or registered handler.
+    UnknownAction(String),
+    /// A runtime failure reported by the Core.
+    Core(FargoError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex { line, ch } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            ScriptError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ScriptError::MissingParam(n) => write!(f, "script parameter %{n} was not supplied"),
+            ScriptError::UndefinedVar(v) => write!(f, "undefined variable ${v}"),
+            ScriptError::BadIndex { var, index } => {
+                write!(f, "${var}[{index}] is out of bounds or not a list")
+            }
+            ScriptError::TypeMismatch { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            ScriptError::UnknownAction(a) => write!(f, "unknown action {a:?}"),
+            ScriptError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for ScriptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScriptError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FargoError> for ScriptError {
+    fn from(e: FargoError) -> Self {
+        ScriptError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ScriptError::Lex { line: 3, ch: '#' }.to_string().contains("line 3"));
+        assert!(ScriptError::MissingParam(2).to_string().contains("%2"));
+        assert!(ScriptError::UndefinedVar("x".into()).to_string().contains("$x"));
+    }
+
+    #[test]
+    fn core_errors_chain() {
+        let e = ScriptError::from(FargoError::Timeout);
+        assert!(e.source().is_some());
+    }
+}

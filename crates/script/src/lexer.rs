@@ -1,0 +1,255 @@
+//! Tokenizer for the layout scripting language.
+
+use crate::error::ScriptError;
+
+/// One lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based source line, for error reporting.
+    pub line: usize,
+}
+
+/// The kinds of tokens the language has.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: keywords and action/event names (`on`, `move`, …).
+    Ident(String),
+    /// `$name` — a script variable.
+    Var(String),
+    /// `%3` — a positional parameter.
+    Param(usize),
+    /// A number literal (integers and decimals).
+    Number(f64),
+    /// A quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Equals,
+    /// `,`
+    Comma,
+}
+
+/// Tokenizes a script. Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`ScriptError::Lex`] on a character that cannot start a token.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ScriptError::Lex { line, ch: '/' });
+                }
+            }
+            '(' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RParen, line });
+            }
+            '[' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LBracket, line });
+            }
+            ']' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RBracket, line });
+            }
+            '=' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Equals, line });
+            }
+            ',' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Comma, line });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some(other) => s.push(other),
+                            None => return Err(ScriptError::Lex { line, ch: '\\' }),
+                        },
+                        Some('\n') => return Err(ScriptError::Lex { line, ch: '\n' }),
+                        Some(other) => s.push(other),
+                        None => return Err(ScriptError::Lex { line, ch: '"' }),
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), line });
+            }
+            '$' => {
+                chars.next();
+                let name = take_word(&mut chars);
+                if name.is_empty() {
+                    return Err(ScriptError::Lex { line, ch: '$' });
+                }
+                out.push(Token { kind: TokenKind::Var(name), line });
+            }
+            '%' => {
+                chars.next();
+                let digits = take_digits(&mut chars);
+                match digits.parse::<usize>() {
+                    Ok(n) if !digits.is_empty() => {
+                        out.push(Token { kind: TokenKind::Param(n), line });
+                    }
+                    _ => return Err(ScriptError::Lex { line, ch: '%' }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut digits = take_digits(&mut chars);
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    digits.push('.');
+                    digits.push_str(&take_digits(&mut chars));
+                }
+                let n = digits
+                    .parse::<f64>()
+                    .map_err(|_| ScriptError::Lex { line, ch: c })?;
+                out.push(Token { kind: TokenKind::Number(n), line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let word = take_word(&mut chars);
+                out.push(Token { kind: TokenKind::Ident(word), line });
+            }
+            other => return Err(ScriptError::Lex { line, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+fn take_word(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn take_digits(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_paper_example_line() {
+        let got = kinds("on methodInvokeRate(3) from $comps[0] to $comps[1] do");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Ident("on".into()),
+                TokenKind::Ident("methodInvokeRate".into()),
+                TokenKind::LParen,
+                TokenKind::Number(3.0),
+                TokenKind::RParen,
+                TokenKind::Ident("from".into()),
+                TokenKind::Var("comps".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::RBracket,
+                TokenKind::Ident("to".into()),
+                TokenKind::Var("comps".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(1.0),
+                TokenKind::RBracket,
+                TokenKind::Ident("do".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn params_vars_strings_numbers() {
+        let got = kinds("$a = %2 \"hi there\" 3.5");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Var("a".into()),
+                TokenKind::Equals,
+                TokenKind::Param(2),
+                TokenKind::Str("hi there".into()),
+                TokenKind::Number(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("// header\non\nend").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\nc""#), vec![TokenKind::Str("a\"b\nc".into())]);
+    }
+
+    #[test]
+    fn lex_errors_carry_position() {
+        match tokenize("on\n  @").unwrap_err() {
+            ScriptError::Lex { line, ch } => {
+                assert_eq!(line, 2);
+                assert_eq!(ch, '@');
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("%x").is_err());
+        assert!(tokenize("$ ").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # fargo-script — the FarGo layout scripting language
+//!
+//! The paper's §4.3 describes an external, event-driven scripting
+//! interface for relocation programming: scripts are sets of
+//! *event–action* rules that administrators attach to a running
+//! application — after deployment, without touching application code.
+//!
+//! This crate implements that language: a lexer, parser, and interpreter
+//! whose rules subscribe to Core monitoring events and whose actions
+//! issue layout commands. The paper's own example runs verbatim:
+//!
+//! ```text
+//! $coreList = %1
+//! $targetCore = %2
+//! $comps = %3
+//! on shutdown firedby $core
+//!  listenAt $coreList do
+//!   move completsIn $core to $targetCore
+//! end
+//! on methodInvokeRate(3)
+//!   from $comps[0] to $comps[1] do
+//!  move $comps[0] to coreOf $comps[1]
+//! end
+//! ```
+//!
+//! ## Language summary
+//!
+//! * `$name = expr` — bind a script variable; `%1`, `%2`, … are the
+//!   positional parameters supplied by the administrator at load time.
+//! * `on <event> [modifiers] [listenAt expr] do <actions> end` — a rule.
+//!   Events are `shutdown`, `arrived`, `departed`, or any profiling
+//!   service (`methodInvokeRate(3)`, `completLoad(10)`,
+//!   `bandwidth below(1000) towards $core`, …). `firedby $var` binds the
+//!   name of the Core that fired the event inside the action body.
+//! * Actions: `move <target> to <dest>` where the target may be
+//!   `completsIn $core` and the destination `coreOf $comp`; `unbind`/
+//!   custom actions may be registered on the engine
+//!   ([`ScriptEngine::register_action`]), mirroring the paper's
+//!   user-defined (Java) action classes.
+//!
+//! ## Example
+//!
+//! ```
+//! # use fargo_core::{Core, CompletRegistry};
+//! # use simnet::{Network, NetworkConfig, LinkConfig};
+//! use fargo_script::{ScriptEngine, ScriptValue};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let net = Network::new(NetworkConfig::default());
+//! # let registry = CompletRegistry::new();
+//! # let admin = Core::builder(&net, "admin").registry(&registry).spawn()?;
+//! let engine = ScriptEngine::new(admin.clone());
+//! let script = engine.load(
+//!     "$cores = %1\non arrived firedby $core listenAt $cores do log $core end",
+//!     vec![ScriptValue::List(vec![ScriptValue::Str("admin".into())])],
+//! )?;
+//! script.cancel();
+//! # admin.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use ast::{Action, EventSpec, Expr, Rule, Script, Stmt};
+pub use error::ScriptError;
+pub use interp::{ActionCtx, LoadedScript, ScriptEngine};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse;
+pub use value::ScriptValue;

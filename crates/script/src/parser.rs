@@ -1,0 +1,340 @@
+//! Recursive-descent parser for the layout scripting language.
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! script    := { assign | rule }
+//! assign    := VAR '=' expr
+//! rule      := 'on' event [ 'listenAt' expr ] 'do' { action } 'end'
+//! event     := IDENT [ '(' NUMBER ')' ] [ 'below' '(' NUMBER ')' ]
+//!              { 'firedby' VAR | 'from' expr | 'to' expr | 'towards' expr }
+//! action    := 'move' expr 'to' expr
+//!            | IDENT { expr }
+//! expr      := STRING | NUMBER | PARAM
+//!            | VAR [ '[' NUMBER ']' ]
+//!            | 'completsIn' expr | 'coreOf' expr
+//! ```
+
+use crate::ast::{Action, EventSpec, Expr, Rule, Script, Stmt};
+use crate::error::ScriptError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a script source into its AST.
+///
+/// # Errors
+///
+/// Returns [`ScriptError::Lex`] or [`ScriptError::Parse`] with the source
+/// line of the problem.
+pub fn parse(src: &str) -> Result<Script, ScriptError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Script { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ScriptError {
+        ScriptError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ScriptError> {
+        if self.eat_ident(word) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ScriptError> {
+        if self.peek() == Some(&kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ScriptError> {
+        match self.next() {
+            Some(TokenKind::Number(n)) => Ok(n),
+            _ => Err(self.err("expected a number")),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScriptError> {
+        match self.peek() {
+            Some(TokenKind::Var(_)) => {
+                let Some(TokenKind::Var(name)) = self.next() else {
+                    unreachable!("peeked a var");
+                };
+                self.expect(TokenKind::Equals, "'=' after variable")?;
+                let value = self.expr()?;
+                Ok(Stmt::Assign { name, value })
+            }
+            Some(TokenKind::Ident(w)) if w == "on" => {
+                self.pos += 1;
+                Ok(Stmt::Rule(self.rule()?))
+            }
+            _ => Err(self.err("expected an assignment or an 'on' rule")),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ScriptError> {
+        let event = self.event_spec()?;
+        let listen_at = if self.eat_ident("listenAt") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_ident("do")?;
+        let mut actions = Vec::new();
+        while !self.eat_ident("end") {
+            if self.at_end() {
+                return Err(self.err("rule is missing 'end'"));
+            }
+            actions.push(self.action()?);
+        }
+        Ok(Rule {
+            event,
+            listen_at,
+            actions,
+        })
+    }
+
+    fn event_spec(&mut self) -> Result<EventSpec, ScriptError> {
+        let name = match self.next() {
+            Some(TokenKind::Ident(w)) => w,
+            _ => return Err(self.err("expected an event name after 'on'")),
+        };
+        let mut spec = EventSpec {
+            name,
+            threshold: None,
+            below: false,
+            firedby: None,
+            from: None,
+            to: None,
+            towards: None,
+        };
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            spec.threshold = Some(self.number()?);
+            self.expect(TokenKind::RParen, "')'")?;
+        }
+        loop {
+            if self.eat_ident("below") {
+                self.expect(TokenKind::LParen, "'(' after below")?;
+                spec.threshold = Some(self.number()?);
+                spec.below = true;
+                self.expect(TokenKind::RParen, "')'")?;
+            } else if self.eat_ident("firedby") {
+                match self.next() {
+                    Some(TokenKind::Var(v)) => spec.firedby = Some(v),
+                    _ => return Err(self.err("expected a $variable after 'firedby'")),
+                }
+            } else if self.eat_ident("from") {
+                spec.from = Some(self.expr()?);
+            } else if self.eat_ident("to") {
+                spec.to = Some(self.expr()?);
+            } else if self.eat_ident("towards") {
+                spec.towards = Some(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(spec)
+    }
+
+    fn action(&mut self) -> Result<Action, ScriptError> {
+        if self.eat_ident("move") {
+            let target = self.expr()?;
+            self.expect_ident("to")?;
+            let dest = self.expr()?;
+            return Ok(Action::Move { target, dest });
+        }
+        let name = match self.next() {
+            Some(TokenKind::Ident(w)) => w,
+            _ => return Err(self.err("expected an action name")),
+        };
+        // Arguments run until the next action keyword, 'end', or a
+        // non-expression token.
+        let mut args = Vec::new();
+        while self.starts_expr() {
+            args.push(self.expr()?);
+        }
+        Ok(Action::Custom { name, args })
+    }
+
+    fn starts_expr(&self) -> bool {
+        match self.peek() {
+            Some(TokenKind::Str(_))
+            | Some(TokenKind::Number(_))
+            | Some(TokenKind::Var(_))
+            | Some(TokenKind::Param(_)) => true,
+            Some(TokenKind::Ident(w)) => w == "completsIn" || w == "coreOf",
+            _ => false,
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        if self.eat_ident("completsIn") {
+            return Ok(Expr::CompletsIn(Box::new(self.expr()?)));
+        }
+        if self.eat_ident("coreOf") {
+            return Ok(Expr::CoreOf(Box::new(self.expr()?)));
+        }
+        match self.next() {
+            Some(TokenKind::Str(s)) => Ok(Expr::Str(s)),
+            Some(TokenKind::Number(n)) => Ok(Expr::Num(n)),
+            Some(TokenKind::Param(n)) => Ok(Expr::Param(n)),
+            Some(TokenKind::Var(name)) => {
+                if self.peek() == Some(&TokenKind::LBracket) {
+                    self.pos += 1;
+                    let idx = self.number()? as usize;
+                    self.expect(TokenKind::RBracket, "']'")?;
+                    Ok(Expr::Index(name, idx))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The verbatim script from the paper's §4.3.
+    pub const PAPER_SCRIPT: &str = r#"
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+"#;
+
+    #[test]
+    fn parses_the_paper_script() {
+        let script = parse(PAPER_SCRIPT).unwrap();
+        assert_eq!(script.stmts.len(), 5);
+        let Stmt::Rule(r1) = &script.stmts[3] else {
+            panic!("stmt 3 must be the reliability rule");
+        };
+        assert_eq!(r1.event.name, "shutdown");
+        assert_eq!(r1.event.firedby.as_deref(), Some("core"));
+        assert!(r1.listen_at.is_some());
+        assert_eq!(r1.actions.len(), 1);
+        assert!(matches!(
+            &r1.actions[0],
+            Action::Move {
+                target: Expr::CompletsIn(_),
+                dest: Expr::Var(v)
+            } if v == "targetCore"
+        ));
+
+        let Stmt::Rule(r2) = &script.stmts[4] else {
+            panic!("stmt 4 must be the performance rule");
+        };
+        assert_eq!(r2.event.name, "methodInvokeRate");
+        assert_eq!(r2.event.threshold, Some(3.0));
+        assert!(!r2.event.below);
+        assert_eq!(r2.event.from, Some(Expr::Index("comps".into(), 0)));
+        assert_eq!(r2.event.to, Some(Expr::Index("comps".into(), 1)));
+        assert!(matches!(
+            &r2.actions[0],
+            Action::Move {
+                target: Expr::Index(v, 0),
+                dest: Expr::CoreOf(_)
+            } if v == "comps"
+        ));
+    }
+
+    #[test]
+    fn below_threshold_events() {
+        let s = parse("on bandwidth below(1000) towards $peer do log $peer end").unwrap();
+        let Stmt::Rule(r) = &s.stmts[0] else { panic!() };
+        assert_eq!(r.event.threshold, Some(1000.0));
+        assert!(r.event.below);
+        assert_eq!(r.event.towards, Some(Expr::Var("peer".into())));
+        assert!(matches!(&r.actions[0], Action::Custom { name, args } if name == "log" && args.len() == 1));
+    }
+
+    #[test]
+    fn multiple_actions_per_rule() {
+        let s = parse(
+            "on arrived do log \"got one\" move $a to \"core1\" log \"done\" end",
+        )
+        .unwrap();
+        let Stmt::Rule(r) = &s.stmts[0] else { panic!() };
+        assert_eq!(r.actions.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        match parse("on\n\nmove").unwrap_err() {
+            ScriptError::Parse { line, .. } => assert!(line >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("$x 5").is_err());
+        assert!(parse("on arrived do move $a end").is_err()); // missing 'to'
+        assert!(parse("on arrived do log $a").is_err()); // missing 'end'
+        assert!(parse("move $a to $b").is_err()); // action outside a rule
+    }
+
+    #[test]
+    fn custom_action_argument_boundaries() {
+        // Args stop at the next keyword-looking token that isn't an expr.
+        let s = parse("on arrived do notify $a 3 \"x\" move $b to $c end").unwrap();
+        let Stmt::Rule(r) = &s.stmts[0] else { panic!() };
+        assert_eq!(r.actions.len(), 2);
+        assert!(matches!(&r.actions[0], Action::Custom { name, args } if name == "notify" && args.len() == 3));
+    }
+}

@@ -1,0 +1,158 @@
+//! Runtime values of the scripting language.
+
+use std::fmt;
+
+use fargo_core::{BoundRef, CompletRef, RefDescriptor};
+
+use crate::error::ScriptError;
+
+/// A value a script expression can evaluate to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptValue {
+    /// A string — Core names, labels.
+    Str(String),
+    /// A number — thresholds, indices.
+    Num(f64),
+    /// A list — Core lists, complet lists.
+    List(Vec<ScriptValue>),
+    /// A complet reference.
+    Complet(RefDescriptor),
+}
+
+impl ScriptValue {
+    /// A human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ScriptValue::Str(_) => "string",
+            ScriptValue::Num(_) => "number",
+            ScriptValue::List(_) => "list",
+            ScriptValue::Complet(_) => "complet",
+        }
+    }
+
+    /// Interprets the value as a Core name.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the value is a string.
+    pub fn as_core_name(&self) -> Result<&str, ScriptError> {
+        match self {
+            ScriptValue::Str(s) => Ok(s),
+            other => Err(ScriptError::TypeMismatch {
+                expected: "a core name",
+                got: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    /// Interprets the value as a complet reference.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the value is a complet.
+    pub fn as_complet(&self) -> Result<CompletRef, ScriptError> {
+        match self {
+            ScriptValue::Complet(d) => Ok(CompletRef::from_descriptor(d.clone())),
+            other => Err(ScriptError::TypeMismatch {
+                expected: "a complet",
+                got: other.type_name().to_owned(),
+            }),
+        }
+    }
+
+    /// The complets inside this value: a single complet, or every complet
+    /// in a list. Used by `move`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value holds no complets.
+    pub fn complets(&self) -> Result<Vec<CompletRef>, ScriptError> {
+        match self {
+            ScriptValue::Complet(d) => Ok(vec![CompletRef::from_descriptor(d.clone())]),
+            ScriptValue::List(items) => items.iter().map(ScriptValue::as_complet).collect(),
+            other => Err(ScriptError::TypeMismatch {
+                expected: "a complet or a list of complets",
+                got: other.type_name().to_owned(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ScriptValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptValue::Str(s) => write!(f, "{s}"),
+            ScriptValue::Num(n) => write!(f, "{n}"),
+            ScriptValue::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            ScriptValue::Complet(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<&BoundRef> for ScriptValue {
+    fn from(b: &BoundRef) -> Self {
+        ScriptValue::Complet(b.complet_ref().descriptor())
+    }
+}
+
+impl From<&CompletRef> for ScriptValue {
+    fn from(r: &CompletRef) -> Self {
+        ScriptValue::Complet(r.descriptor())
+    }
+}
+
+impl From<&str> for ScriptValue {
+    fn from(s: &str) -> Self {
+        ScriptValue::Str(s.to_owned())
+    }
+}
+
+impl From<f64> for ScriptValue {
+    fn from(n: f64) -> Self {
+        ScriptValue::Num(n)
+    }
+}
+
+/// Builds a core-name list: `ScriptValue::from_names(["core0", "core1"])`.
+impl<S: Into<String>> FromIterator<S> for ScriptValue {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        ScriptValue::List(iter.into_iter().map(|s| ScriptValue::Str(s.into())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fargo_core::CompletId;
+
+    #[test]
+    fn coercions() {
+        let name = ScriptValue::from("core1");
+        assert_eq!(name.as_core_name().unwrap(), "core1");
+        assert!(ScriptValue::Num(1.0).as_core_name().is_err());
+
+        let d = RefDescriptor::link(CompletId::new(0, 1), "T", 0);
+        let c = ScriptValue::Complet(d.clone());
+        assert_eq!(c.as_complet().unwrap().id(), d.target);
+        assert_eq!(c.complets().unwrap().len(), 1);
+
+        let list = ScriptValue::List(vec![c.clone(), c]);
+        assert_eq!(list.complets().unwrap().len(), 2);
+        assert!(ScriptValue::Num(3.0).complets().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v: ScriptValue = ["a", "b"].into_iter().collect();
+        assert_eq!(v.to_string(), "[a, b]");
+    }
+}

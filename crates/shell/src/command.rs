@@ -1,0 +1,403 @@
+//! The shell's command interpreter.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use fargo_core::{CompletId, CompletRef, Core, FargoError, RefDescriptor, Service, Value};
+use fargo_script::{ScriptEngine, ScriptError, ScriptValue};
+
+/// Errors from shell command execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ShellError {
+    /// Empty input or a command the shell does not know.
+    UnknownCommand(String),
+    /// The command was recognised but its arguments were malformed.
+    Usage(&'static str),
+    /// A name/id that resolves to nothing.
+    NoSuchTarget(String),
+    /// A runtime failure from the Core.
+    Core(FargoError),
+    /// A script failure (from the `script` command).
+    Script(ScriptError),
+}
+
+impl fmt::Display for ShellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShellError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try 'help'"),
+            ShellError::Usage(u) => write!(f, "usage: {u}"),
+            ShellError::NoSuchTarget(t) => write!(f, "no complet named or identified by {t:?}"),
+            ShellError::Core(e) => write!(f, "{e}"),
+            ShellError::Script(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ShellError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShellError::Core(e) => Some(e),
+            ShellError::Script(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FargoError> for ShellError {
+    fn from(e: FargoError) -> Self {
+        ShellError::Core(e)
+    }
+}
+
+impl From<ScriptError> for ShellError {
+    fn from(e: ScriptError) -> Self {
+        ShellError::Script(e)
+    }
+}
+
+/// An administration shell bound to one Core.
+pub struct Shell {
+    core: Core,
+    engine: ScriptEngine,
+}
+
+const HELP: &str = "\
+FarGo shell commands:
+  help                               this text
+  cores                              list cores and their complet load
+  ls [<core>]                        complets at a core (default: here)
+  new <type> [at <core>] [as <name>] instantiate a complet
+  call <target> <method> [args...]   invoke a method (args: int/float/str)
+  move <target> to <core>            relocate a complet
+  bind <name> <target>               bind a logical name here
+  lookup <name> [at <core>]          resolve a logical name
+  refs [<core>]                      tracker table of a core (default: here)
+  retype <target> <relocator>        change a named reference's relocator
+  whereis <target>                   locate a complet
+  profile <service>                  instant profiling (e.g. completLoad)
+  layout                             complets across every core
+  stats                              this core's runtime counters
+  ping <core>                        round-trip probe
+  script <source...>                 load an inline layout script
+
+<target> is a logical name or a complet id like c0.3.";
+
+impl Shell {
+    /// Binds a shell to an admin Core.
+    pub fn new(core: Core) -> Self {
+        let engine = ScriptEngine::new(core.clone());
+        Shell { core, engine }
+    }
+
+    /// The script engine backing the `script` command (register custom
+    /// actions here).
+    pub fn engine(&self) -> &ScriptEngine {
+        &self.engine
+    }
+
+    /// Executes one command line and returns its output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShellError`] describing what went wrong; the shell
+    /// remains usable.
+    pub fn exec(&self, line: &str) -> Result<String, ShellError> {
+        let mut words = line.split_whitespace();
+        let cmd = words
+            .next()
+            .ok_or_else(|| ShellError::UnknownCommand(String::new()))?;
+        let rest: Vec<&str> = words.collect();
+        match cmd {
+            "help" => Ok(HELP.to_owned()),
+            "cores" => self.cmd_cores(),
+            "ls" => self.cmd_ls(rest.first().copied()),
+            "new" => self.cmd_new(&rest),
+            "call" => self.cmd_call(&rest),
+            "move" => self.cmd_move(&rest),
+            "bind" => self.cmd_bind(&rest),
+            "lookup" => self.cmd_lookup(&rest),
+            "refs" => self.cmd_refs(rest.first().copied()),
+            "retype" => self.cmd_retype(&rest),
+            "whereis" => self.cmd_whereis(&rest),
+            "profile" => self.cmd_profile(&rest),
+            "layout" => self.cmd_layout(),
+            "stats" => self.cmd_stats(),
+            "ping" => self.cmd_ping(&rest),
+            "script" => self.cmd_script(line),
+            other => Err(ShellError::UnknownCommand(other.to_owned())),
+        }
+    }
+
+    fn cmd_cores(&self) -> Result<String, ShellError> {
+        let net = self.core.network();
+        let mut out = String::new();
+        for node in net.node_ids() {
+            let name = net.node_name(node).unwrap_or_else(|_| node.to_string());
+            let up = net.node_up(node).unwrap_or(false);
+            let load = if up {
+                self.core
+                    .complets_at(&name)
+                    .map(|c| c.len().to_string())
+                    .unwrap_or_else(|_| "?".into())
+            } else {
+                "-".into()
+            };
+            let state = if up { "up" } else { "down" };
+            writeln!(out, "{name:<16} {state:<5} complets={load}").expect("write to string");
+        }
+        Ok(out)
+    }
+
+    fn cmd_ls(&self, core: Option<&str>) -> Result<String, ShellError> {
+        let core_name = core.unwrap_or_else(|| self.core.name());
+        let items = self.core.complets_at(core_name)?;
+        if items.is_empty() {
+            return Ok(format!("{core_name}: (no complets)"));
+        }
+        let mut out = String::new();
+        for (id, ty) in items {
+            writeln!(out, "{id:<10} {ty}").expect("write to string");
+        }
+        Ok(out)
+    }
+
+    fn cmd_new(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "new <type> [at <core>] [as <name>]";
+        let ty = args.first().ok_or(ShellError::Usage(usage))?;
+        let mut at: Option<&str> = None;
+        let mut name: Option<&str> = None;
+        let mut i = 1;
+        while i + 1 < args.len() + 1 {
+            match args.get(i) {
+                Some(&"at") => {
+                    at = Some(args.get(i + 1).ok_or(ShellError::Usage(usage))?);
+                    i += 2;
+                }
+                Some(&"as") => {
+                    name = Some(args.get(i + 1).ok_or(ShellError::Usage(usage))?);
+                    i += 2;
+                }
+                Some(_) => return Err(ShellError::Usage(usage)),
+                None => break,
+            }
+        }
+        let target_core = at.unwrap_or_else(|| self.core.name());
+        let b = self.core.new_complet_at(target_core, ty, &[])?;
+        if let Some(n) = name {
+            self.core.bind(n, b.complet_ref());
+        }
+        Ok(format!("created {} ({ty}) at {target_core}", b.id()))
+    }
+
+    fn cmd_call(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "call <target> <method> [args...]";
+        let target = args.first().ok_or(ShellError::Usage(usage))?;
+        let method = args.get(1).ok_or(ShellError::Usage(usage))?;
+        let call_args: Vec<Value> = args[2..].iter().map(|a| parse_arg(a)).collect();
+        let r = self.resolve(target)?;
+        let result = self.core.invoke(&r, method, &call_args)?;
+        Ok(result.to_string())
+    }
+
+    fn cmd_move(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "move <target> to <core>";
+        let target = args.first().ok_or(ShellError::Usage(usage))?;
+        if args.get(1) != Some(&"to") {
+            return Err(ShellError::Usage(usage));
+        }
+        let dest = args.get(2).ok_or(ShellError::Usage(usage))?;
+        let r = self.resolve(target)?;
+        self.core.move_complet(r.id(), dest, None)?;
+        Ok(format!("moved {} to {dest}", r.id()))
+    }
+
+    fn cmd_bind(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "bind <name> <target>";
+        let name = args.first().ok_or(ShellError::Usage(usage))?;
+        let target = args.get(1).ok_or(ShellError::Usage(usage))?;
+        let r = self.resolve(target)?;
+        self.core.bind(name, &r);
+        Ok(format!("{name} -> {}", r.id()))
+    }
+
+    fn cmd_lookup(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "lookup <name> [at <core>]";
+        let name = args.first().ok_or(ShellError::Usage(usage))?;
+        let found = match (args.get(1), args.get(2)) {
+            (Some(&"at"), Some(core)) => self.core.lookup_at(core, name)?,
+            (None, _) => self.core.lookup_stub(name)?,
+            _ => return Err(ShellError::Usage(usage)),
+        };
+        Ok(format!("{name} -> {}", found.complet_ref()))
+    }
+
+    fn cmd_refs(&self, core: Option<&str>) -> Result<String, ShellError> {
+        let core_name = core.unwrap_or_else(|| self.core.name());
+        let mut out = String::new();
+        for (id, fwd, hits) in self.core.trackers_at(core_name)? {
+            let target = match fwd {
+                None => "local".to_owned(),
+                Some(n) => format!("-> {}", self.core.core_name_of(n)),
+            };
+            writeln!(out, "{:<10} {:<16} hits={}", id.to_string(), target, hits)
+                .expect("write to string");
+        }
+        if out.is_empty() {
+            out.push_str("(no trackers)");
+        }
+        Ok(out)
+    }
+
+    fn cmd_retype(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "retype <target> <relocator>";
+        let target = args.first().ok_or(ShellError::Usage(usage))?;
+        let relocator = args.get(1).ok_or(ShellError::Usage(usage))?;
+        let r = self.resolve(target)?;
+        self.core.meta_ref(&r).set_relocator(relocator)?;
+        // Persist the retype when the target is a bound name.
+        self.core.bind(target, &r);
+        Ok(format!("{} is now [{relocator}]", r.id()))
+    }
+
+    fn cmd_whereis(&self, args: &[&str]) -> Result<String, ShellError> {
+        let target = args.first().ok_or(ShellError::Usage("whereis <target>"))?;
+        let r = self.resolve(target)?;
+        let node = self.core.locate(r.id())?;
+        Ok(format!("{} is at {}", r.id(), self.core.core_name_of(node)))
+    }
+
+    fn cmd_profile(&self, args: &[&str]) -> Result<String, ShellError> {
+        let spec = args
+            .first()
+            .ok_or(ShellError::Usage("profile <service[:key]>"))?;
+        let service =
+            Service::parse(spec).map_err(ShellError::Core)?;
+        let v = self.core.profile_instant(&service)?;
+        Ok(format!("{service} = {v}"))
+    }
+
+    fn cmd_layout(&self) -> Result<String, ShellError> {
+        let net = self.core.network();
+        let mut out = String::new();
+        for node in net.node_ids() {
+            let name = net.node_name(node).unwrap_or_else(|_| node.to_string());
+            if !net.node_up(node).unwrap_or(false) {
+                writeln!(out, "{name}: (down)").expect("write to string");
+                continue;
+            }
+            match self.core.complets_at(&name) {
+                Ok(items) if items.is_empty() => {
+                    writeln!(out, "{name}: (empty)").expect("write to string");
+                }
+                Ok(items) => {
+                    let list: Vec<String> = items
+                        .iter()
+                        .map(|(id, ty)| format!("{id} {ty}"))
+                        .collect();
+                    writeln!(out, "{name}: {}", list.join(", ")).expect("write to string");
+                }
+                Err(e) => {
+                    writeln!(out, "{name}: unreachable ({e})").expect("write to string");
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_stats(&self) -> Result<String, ShellError> {
+        let m = self.core.monitor().stats();
+        Ok(format!(
+            "core {}
+ complets      {}
+ trackers      {}
+ bindings      {}
+ subscriptions {}
+ monitor: {} sampler evals, {} cache hits, {} events",
+            self.core.name(),
+            self.core.complet_count(),
+            self.core.tracker_count(),
+            self.core.bindings().len(),
+            self.core.subscription_count(),
+            m.samples,
+            m.cache_hits,
+            m.events_emitted,
+        ))
+    }
+
+    fn cmd_ping(&self, args: &[&str]) -> Result<String, ShellError> {
+        let core = args.first().ok_or(ShellError::Usage("ping <core>"))?;
+        let rtt = self.core.ping(core)?;
+        Ok(format!("{core}: rtt {rtt:?}"))
+    }
+
+    fn cmd_script(&self, line: &str) -> Result<String, ShellError> {
+        let src = line
+            .strip_prefix("script")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or(ShellError::Usage("script <source...>"))?;
+        let loaded = self.engine.load(src, Vec::<ScriptValue>::new())?;
+        Ok(format!(
+            "script loaded: {} subscription(s)",
+            loaded.subscription_count()
+        ))
+    }
+
+    /// Resolves a target word: a bound name first, then a complet id.
+    fn resolve(&self, word: &str) -> Result<CompletRef, ShellError> {
+        if let Some(r) = self.core.lookup(word) {
+            return Ok(r);
+        }
+        if let Some(id) = parse_complet_id(word) {
+            // Unknown type is fine for invocation and movement.
+            return Ok(CompletRef::from_descriptor(RefDescriptor::link(
+                id, "", id.origin,
+            )));
+        }
+        Err(ShellError::NoSuchTarget(word.to_owned()))
+    }
+}
+
+impl fmt::Debug for Shell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shell").field("core", &self.core.name()).finish()
+    }
+}
+
+fn parse_complet_id(s: &str) -> Option<CompletId> {
+    let rest = s.strip_prefix('c')?;
+    let (origin, seq) = rest.split_once('.')?;
+    Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Shell argument literals: integers, floats, then strings.
+fn parse_arg(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::I64(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::F64(f);
+    }
+    Value::from(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_prefers_numbers() {
+        assert_eq!(parse_arg("42"), Value::I64(42));
+        assert_eq!(parse_arg("2.5"), Value::F64(2.5));
+        assert_eq!(parse_arg("two"), Value::from("two"));
+    }
+
+    #[test]
+    fn complet_id_parsing() {
+        assert_eq!(parse_complet_id("c2.9"), Some(CompletId::new(2, 9)));
+        assert_eq!(parse_complet_id("x2.9"), None);
+        assert_eq!(parse_complet_id("c29"), None);
+    }
+}

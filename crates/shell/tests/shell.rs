@@ -1,0 +1,196 @@
+//! Shell integration tests against a live cluster.
+
+use std::time::Duration;
+
+use fargo_core::{define_complet, CompletRegistry, Core, Value};
+use fargo_shell::{Shell, ShellError};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+define_complet! {
+    pub complet Message {
+        state { text: String = "hello".to_owned() }
+        fn print(&mut self, _ctx, _args) {
+            Ok(Value::from(self.text.as_str()))
+        }
+        fn set_text(&mut self, _ctx, args) {
+            self.text = args.first().and_then(Value::as_str).unwrap_or("").to_owned();
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn setup() -> (Vec<Core>, Shell) {
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant()),
+        ..NetworkConfig::default()
+    });
+    let reg = CompletRegistry::new();
+    Message::register(&reg);
+    let cores: Vec<Core> = (0..3)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    let shell = Shell::new(cores[0].clone());
+    (cores, shell)
+}
+
+#[test]
+fn help_lists_commands() {
+    let (cores, shell) = setup();
+    let help = shell.exec("help").unwrap();
+    for cmd in ["cores", "move", "retype", "profile", "script"] {
+        assert!(help.contains(cmd), "help must mention {cmd}");
+    }
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn cores_ls_new_call_move_whereis_roundtrip() {
+    let (cores, shell) = setup();
+
+    let out = shell.exec("cores").unwrap();
+    assert!(out.contains("core0") && out.contains("core2"));
+
+    let created = shell.exec("new Message at core1 as postbox").unwrap();
+    assert!(created.contains("core1"));
+
+    let ls = shell.exec("ls core1").unwrap();
+    assert!(ls.contains("Message"));
+
+    assert_eq!(shell.exec("call postbox print").unwrap(), "\"hello\"");
+    shell.exec("call postbox set_text goodbye").unwrap();
+    assert_eq!(shell.exec("call postbox print").unwrap(), "\"goodbye\"");
+
+    let moved = shell.exec("move postbox to core2").unwrap();
+    assert!(moved.contains("core2"));
+    assert!(shell.exec("whereis postbox").unwrap().contains("core2"));
+    assert_eq!(shell.exec("call postbox print").unwrap(), "\"goodbye\"");
+
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn bind_lookup_by_id_and_remote_lookup() {
+    let (cores, shell) = setup();
+    let out = shell.exec("new Message").unwrap();
+    // Extract the id (format "created cX.Y (Message) at core0").
+    let id = out.split_whitespace().nth(1).unwrap().to_owned();
+    shell.exec(&format!("bind mailbox {id}")).unwrap();
+    assert!(shell.exec("lookup mailbox").unwrap().contains(&id));
+    // Calls through the raw id work too.
+    assert_eq!(shell.exec(&format!("call {id} print")).unwrap(), "\"hello\"");
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn retype_and_refs() {
+    let (cores, shell) = setup();
+    shell.exec("new Message as m").unwrap();
+    let out = shell.exec("retype m pull").unwrap();
+    assert!(out.contains("pull"));
+    assert!(matches!(
+        shell.exec("retype m warp"),
+        Err(ShellError::Core(_))
+    ));
+    let refs = shell.exec("refs").unwrap();
+    assert!(refs.contains("local"));
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn profile_and_ping() {
+    let (cores, shell) = setup();
+    shell.exec("new Message").unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    let load = shell.exec("profile completLoad").unwrap();
+    assert!(load.contains("completLoad = 1"));
+    assert!(shell.exec("ping core1").unwrap().contains("rtt"));
+    assert!(shell.exec("ping atlantis").is_err());
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn inline_scripts_load_through_the_shell() {
+    let (cores, shell) = setup();
+    let out = shell
+        .exec("script on arrived firedby $c listenAt \"core1\" do log $c end")
+        .unwrap();
+    assert!(out.contains("1 subscription"));
+    shell.exec("new Message at core1").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    while !shell.engine().log_lines().iter().any(|l| l == "core1") {
+        assert!(std::time::Instant::now() < deadline, "script never logged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let (cores, shell) = setup();
+    assert!(matches!(
+        shell.exec("frobnicate"),
+        Err(ShellError::UnknownCommand(_))
+    ));
+    assert!(matches!(shell.exec("move"), Err(ShellError::Usage(_))));
+    assert!(matches!(
+        shell.exec("call nobody print"),
+        Err(ShellError::NoSuchTarget(_))
+    ));
+    // Still usable afterwards.
+    assert!(shell.exec("cores").is_ok());
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn layout_and_stats_commands() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1").unwrap();
+    shell.exec("new Message").unwrap();
+    let layout = shell.exec("layout").unwrap();
+    assert!(layout.contains("core0: c0.1 Message"), "{layout}");
+    assert!(layout.contains("core1: c1.1 Message"), "{layout}");
+    assert!(layout.contains("core2: (empty)"), "{layout}");
+    cores[2].stop();
+    let layout = shell.exec("layout").unwrap();
+    assert!(layout.contains("core2: (down)"), "{layout}");
+    let stats = shell.exec("stats").unwrap();
+    assert!(stats.contains("complets      1"), "{stats}");
+    assert!(stats.contains("trackers"), "{stats}");
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn refs_inspects_remote_cores() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as roamer").unwrap();
+    shell.exec("move roamer to core2").unwrap();
+    // core1's tracker forwards to core2; the shell sees it remotely.
+    let refs = shell.exec("refs core1").unwrap();
+    assert!(refs.contains("-> core2"), "{refs}");
+    let refs = shell.exec("refs core2").unwrap();
+    assert!(refs.contains("local"), "{refs}");
+    for c in &cores {
+        c.stop();
+    }
+}

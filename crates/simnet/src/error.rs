@@ -1,0 +1,63 @@
+//! Error type for network operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::message::NodeId;
+
+/// Errors produced by [`crate::Network`] and [`crate::Endpoint`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The referenced node does not exist in this network.
+    UnknownNode(NodeId),
+    /// A node with the given name already exists.
+    DuplicateName(String),
+    /// The destination node exists but is currently down.
+    NodeDown(NodeId),
+    /// There is no link configured between the two nodes.
+    NoLink(NodeId, NodeId),
+    /// The link exists but is administratively down (partitioned).
+    LinkDown(NodeId, NodeId),
+    /// A blocking receive timed out.
+    RecvTimeout,
+    /// The endpoint's queue is closed (network shut down).
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::DuplicateName(name) => write!(f, "node name {name:?} already registered"),
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::NoLink(a, b) => write!(f, "no link between {a} and {b}"),
+            NetError::LinkDown(a, b) => write!(f, "link between {a} and {b} is down"),
+            NetError::RecvTimeout => write!(f, "receive timed out"),
+            NetError::Closed => write!(f, "network is shut down"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            NetError::UnknownNode(NodeId(1)),
+            NetError::DuplicateName("x".into()),
+            NetError::NodeDown(NodeId(2)),
+            NetError::NoLink(NodeId(1), NodeId(2)),
+            NetError::LinkDown(NodeId(1), NodeId(2)),
+            NetError::RecvTimeout,
+            NetError::Closed,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

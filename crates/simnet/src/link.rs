@@ -1,0 +1,122 @@
+//! Per-link configuration: latency, bandwidth, loss, and admin state.
+
+use std::time::Duration;
+
+/// Transmission characteristics of one directed link.
+///
+/// A link's delivery time for a packet of `n` bytes is
+/// `serialisation + latency + jitter`, where `serialisation = n / bandwidth`
+/// also occupies the link (back-to-back packets queue behind each other),
+/// while latency and jitter are pure propagation delay and do not occupy
+/// the link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: Duration,
+    /// Maximum extra random delay, uniformly distributed in `[0, jitter]`.
+    pub jitter: Duration,
+    /// Link throughput in bytes per second; `None` means infinite.
+    pub bandwidth: Option<u64>,
+    /// Probability in `[0, 1]` that a packet is silently dropped.
+    pub loss: f64,
+    /// Administrative state; a down link rejects sends.
+    pub up: bool,
+}
+
+impl LinkConfig {
+    /// A new link with the given one-way latency, no jitter, infinite
+    /// bandwidth, no loss.
+    pub fn new(latency: Duration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: Duration::ZERO,
+            bandwidth: None,
+            loss: 0.0,
+            up: true,
+        }
+    }
+
+    /// Typical LAN link: 0.5 ms latency, ~1 Gbit/s.
+    pub fn lan() -> Self {
+        LinkConfig::new(Duration::from_micros(500)).with_bandwidth(125_000_000)
+    }
+
+    /// Typical campus/metro link: 5 ms latency, ~100 Mbit/s.
+    pub fn campus() -> Self {
+        LinkConfig::new(Duration::from_millis(5)).with_bandwidth(12_500_000)
+    }
+
+    /// Typical 1999-era WAN link: 80 ms latency, ~1 Mbit/s, 2 ms jitter.
+    pub fn wan() -> Self {
+        LinkConfig::new(Duration::from_millis(80))
+            .with_bandwidth(125_000)
+            .with_jitter(Duration::from_millis(2))
+    }
+
+    /// An instantaneous, lossless link (useful in unit tests).
+    pub fn instant() -> Self {
+        LinkConfig::new(Duration::ZERO)
+    }
+
+    /// Sets the bandwidth in bytes per second.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets the jitter bound.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the loss probability (clamped to `[0, 1]`).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Serialisation delay for a packet of `bytes` on this link.
+    pub fn serialisation_delay(&self, bytes: usize) -> Duration {
+        match self.bandwidth {
+            Some(bw) if bw > 0 => Duration::from_secs_f64(bytes as f64 / bw as f64),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialisation_delay_scales_with_size() {
+        let link = LinkConfig::new(Duration::ZERO).with_bandwidth(1000);
+        assert_eq!(link.serialisation_delay(1000), Duration::from_secs(1));
+        assert_eq!(link.serialisation_delay(500), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn infinite_bandwidth_has_no_serialisation_delay() {
+        let link = LinkConfig::new(Duration::from_millis(1));
+        assert_eq!(link.serialisation_delay(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        assert_eq!(LinkConfig::instant().with_loss(7.0).loss, 1.0);
+        assert_eq!(LinkConfig::instant().with_loss(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_latency() {
+        assert!(LinkConfig::lan().latency < LinkConfig::campus().latency);
+        assert!(LinkConfig::campus().latency < LinkConfig::wan().latency);
+    }
+}

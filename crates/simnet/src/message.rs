@@ -1,0 +1,67 @@
+//! Node identifiers and the incoming-message envelope.
+
+use std::fmt;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+/// Identifier of a node (a host) attached to a [`crate::Network`].
+///
+/// `NodeId`s are small, copyable handles issued by
+/// [`crate::Network::add_node`]; they are unique within one network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of the node within its network.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from
+    /// [`NodeId::index`] on the same network.
+    pub fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message delivered to an [`crate::Endpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incoming {
+    /// The node that sent the message.
+    pub src: NodeId,
+    /// The node the message was addressed to (the receiver).
+    pub dst: NodeId,
+    /// Message body.
+    pub payload: Bytes,
+    /// Wall-clock instant at which the network handed the message over.
+    pub delivered_at: Instant,
+    /// Monotonically increasing per-network sequence number.
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert_eq!(NodeId::from_index(3), NodeId::from_index(3));
+    }
+}

@@ -1,0 +1,532 @@
+//! The [`Network`]: node registry, link table, and send path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::endpoint::Endpoint;
+use crate::error::NetError;
+use crate::link::LinkConfig;
+use crate::message::{Incoming, NodeId};
+use crate::scheduler::{Scheduled, Scheduler};
+use crate::stats::{LinkStats, StatsWindow};
+
+/// Global configuration for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Multiplier applied to every configured delay (latency, jitter, and
+    /// serialisation). A scale of `0.1` runs a model ten times faster than
+    /// its nominal timings.
+    pub time_scale: f64,
+    /// Link used between node pairs that have no explicit configuration;
+    /// `None` means sends between unconfigured pairs fail with
+    /// [`NetError::NoLink`].
+    pub default_link: Option<LinkConfig>,
+    /// Width of the sliding window used for observed-throughput statistics.
+    pub stats_window: Duration,
+    /// Seed for the loss/jitter random generator (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            time_scale: 1.0,
+            default_link: Some(LinkConfig::lan()),
+            stats_window: Duration::from_secs(1),
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeRecord {
+    name: String,
+    up: bool,
+    tx: Sender<Incoming>,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    config: LinkConfig,
+    /// Instant until which the link's serialiser is occupied (bandwidth
+    /// queueing): a packet starts serialising at `max(now, busy_until)`.
+    busy_until: Instant,
+    stats: StatsWindow,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    config: NetworkConfig,
+    nodes: RwLock<Vec<NodeRecord>>,
+    names: RwLock<HashMap<String, NodeId>>,
+    links: Mutex<HashMap<(NodeId, NodeId), LinkState>>,
+    scheduler: Scheduler,
+    rng: Mutex<StdRng>,
+    seq: AtomicU64,
+}
+
+/// An in-process simulated network.
+///
+/// Cloning a `Network` yields another handle to the same network. See the
+/// [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+impl Network {
+    /// Creates an empty network and starts its delivery scheduler.
+    pub fn new(config: NetworkConfig) -> Self {
+        let seed = config.seed;
+        Network {
+            inner: Arc::new(Inner {
+                config,
+                nodes: RwLock::new(Vec::new()),
+                names: RwLock::new(HashMap::new()),
+                links: Mutex::new(HashMap::new()),
+                scheduler: Scheduler::spawn(),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a node and returns its [`Endpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DuplicateName`] if the name is taken.
+    pub fn add_node(&self, name: &str) -> Result<Endpoint, NetError> {
+        let mut names = self.inner.names.write();
+        if names.contains_key(name) {
+            return Err(NetError::DuplicateName(name.to_owned()));
+        }
+        let mut nodes = self.inner.nodes.write();
+        let id = NodeId(nodes.len() as u32);
+        let (tx, rx) = channel::unbounded();
+        nodes.push(NodeRecord {
+            name: name.to_owned(),
+            up: true,
+            tx,
+        });
+        names.insert(name.to_owned(), id);
+        Ok(Endpoint::new(self.clone(), id, rx))
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.inner.names.read().get(name).copied()
+    }
+
+    /// Returns the name a node was registered under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for an id not in this network.
+    pub fn node_name(&self, id: NodeId) -> Result<String, NetError> {
+        self.inner
+            .nodes
+            .read()
+            .get(id.0 as usize)
+            .map(|n| n.name.clone())
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// All node ids currently registered.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.inner.nodes.read().len() as u32)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Marks a node up or down. Sends to or from a down node fail.
+    pub fn set_node_up(&self, id: NodeId, up: bool) -> Result<(), NetError> {
+        let mut nodes = self.inner.nodes.write();
+        let rec = nodes.get_mut(id.0 as usize).ok_or(NetError::UnknownNode(id))?;
+        rec.up = up;
+        Ok(())
+    }
+
+    /// Whether a node is currently up.
+    pub fn node_up(&self, id: NodeId) -> Result<bool, NetError> {
+        self.inner
+            .nodes
+            .read()
+            .get(id.0 as usize)
+            .map(|n| n.up)
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Configures the link between `a` and `b` **in both directions**.
+    pub fn set_link(&self, a: NodeId, b: NodeId, config: LinkConfig) -> Result<(), NetError> {
+        self.set_link_directed(a, b, config.clone())?;
+        self.set_link_directed(b, a, config)
+    }
+
+    /// Configures only the `src → dst` direction of a link.
+    pub fn set_link_directed(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        config: LinkConfig,
+    ) -> Result<(), NetError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        let mut links = self.inner.links.lock();
+        let now = Instant::now();
+        let window = self.inner.config.stats_window;
+        links
+            .entry((src, dst))
+            .and_modify(|l| l.config = config.clone())
+            .or_insert_with(|| LinkState {
+                config,
+                busy_until: now,
+                stats: StatsWindow::new(window),
+            });
+        Ok(())
+    }
+
+    /// Takes the link between `a` and `b` down in both directions
+    /// (a network partition between the pair).
+    pub fn partition(&self, a: NodeId, b: NodeId) -> Result<(), NetError> {
+        self.set_link_up(a, b, false)
+    }
+
+    /// Restores a previously partitioned pair.
+    pub fn heal(&self, a: NodeId, b: NodeId) -> Result<(), NetError> {
+        self.set_link_up(a, b, true)
+    }
+
+    fn set_link_up(&self, a: NodeId, b: NodeId, up: bool) -> Result<(), NetError> {
+        for (s, d) in [(a, b), (b, a)] {
+            let mut cfg = self.link_config(s, d)?;
+            cfg.up = up;
+            self.set_link_directed(s, d, cfg)?;
+        }
+        Ok(())
+    }
+
+    /// Effective configuration of the `src → dst` link (explicit or the
+    /// network default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoLink`] when the pair is unconfigured and the
+    /// network has no default link.
+    pub fn link_config(&self, src: NodeId, dst: NodeId) -> Result<LinkConfig, NetError> {
+        if let Some(l) = self.inner.links.lock().get(&(src, dst)) {
+            return Ok(l.config.clone());
+        }
+        self.inner
+            .config
+            .default_link
+            .clone()
+            .ok_or(NetError::NoLink(src, dst))
+    }
+
+    /// Traffic statistics of the `src → dst` link.
+    pub fn link_stats(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        let mut links = self.inner.links.lock();
+        match links.get_mut(&(src, dst)) {
+            Some(l) => l.stats.snapshot(Instant::now()),
+            None => LinkStats::default(),
+        }
+    }
+
+    /// The model's one-way latency between two nodes, after time scaling.
+    ///
+    /// This is what a zero-byte probe would observe (excluding jitter); the
+    /// FarGo monitor exposes it as the `latency` system profiling service.
+    pub fn model_latency(&self, src: NodeId, dst: NodeId) -> Result<Duration, NetError> {
+        let cfg = self.link_config(src, dst)?;
+        Ok(self.scaled(cfg.latency))
+    }
+
+    /// The model's bandwidth between two nodes in bytes/second (unscaled;
+    /// `None` means unlimited). The FarGo monitor exposes it as the
+    /// `bandwidth` system profiling service.
+    pub fn model_bandwidth(&self, src: NodeId, dst: NodeId) -> Result<Option<u64>, NetError> {
+        Ok(self.link_config(src, dst)?.bandwidth)
+    }
+
+    fn scaled(&self, d: Duration) -> Duration {
+        d.mul_f64(self.inner.config.time_scale.max(0.0))
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), NetError> {
+        if (id.0 as usize) < self.inner.nodes.read().len() {
+            Ok(())
+        } else {
+            Err(NetError::UnknownNode(id))
+        }
+    }
+
+    /// Sends `payload` from `src` to `dst`, subject to the link model.
+    ///
+    /// Local sends (`src == dst`) bypass the link model and deliver
+    /// immediately. Lost packets (loss model) are dropped silently, as on a
+    /// real network: the send itself still succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node is unknown or down, or the link is down or
+    /// missing (with no default configured).
+    pub fn send(&self, src: NodeId, dst: NodeId, payload: Bytes) -> Result<(), NetError> {
+        let (dst_tx, seq) = {
+            let nodes = self.inner.nodes.read();
+            let s = nodes.get(src.0 as usize).ok_or(NetError::UnknownNode(src))?;
+            if !s.up {
+                return Err(NetError::NodeDown(src));
+            }
+            let d = nodes.get(dst.0 as usize).ok_or(NetError::UnknownNode(dst))?;
+            if !d.up {
+                return Err(NetError::NodeDown(dst));
+            }
+            (d.tx.clone(), self.inner.seq.fetch_add(1, Ordering::Relaxed))
+        };
+
+        let now = Instant::now();
+        let msg = Incoming {
+            src,
+            dst,
+            payload,
+            delivered_at: now,
+            seq,
+        };
+
+        if src == dst {
+            let _ = dst_tx.send(msg);
+            return Ok(());
+        }
+
+        let cfg = self.link_config(src, dst)?;
+        if !cfg.up {
+            return Err(NetError::LinkDown(src, dst));
+        }
+
+        let size = msg.payload.len();
+        let deliver_at = {
+            let mut links = self.inner.links.lock();
+            let window = self.inner.config.stats_window;
+            let link = links.entry((src, dst)).or_insert_with(|| LinkState {
+                config: cfg.clone(),
+                busy_until: now,
+                stats: StatsWindow::new(window),
+            });
+
+            // Loss model.
+            if cfg.loss > 0.0 && self.inner.rng.lock().gen::<f64>() < cfg.loss {
+                link.stats.record_drop();
+                return Ok(());
+            }
+            link.stats.record(now, size as u64);
+
+            // Bandwidth queueing: serialisation occupies the link.
+            let ser = self.scaled(cfg.serialisation_delay(size));
+            let start = link.busy_until.max(now);
+            link.busy_until = start + ser;
+
+            // Propagation: latency plus uniform jitter.
+            let jitter = if cfg.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                cfg.jitter.mul_f64(self.inner.rng.lock().gen::<f64>())
+            };
+            start + ser + self.scaled(cfg.latency) + self.scaled(jitter)
+        };
+
+        self.inner.scheduler.submit(Scheduled {
+            deliver_at,
+            msg,
+            to: dst_tx,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::instant()),
+            ..NetworkConfig::default()
+        })
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let n = net();
+        n.add_node("a").unwrap();
+        assert!(matches!(n.add_node("a"), Err(NetError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn name_lookup_roundtrip() {
+        let n = net();
+        let a = n.add_node("alpha").unwrap();
+        assert_eq!(n.node_by_name("alpha"), Some(a.id()));
+        assert_eq!(n.node_name(a.id()).unwrap(), "alpha");
+        assert_eq!(n.node_by_name("nope"), None);
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        a.send(b.id(), b"hi".to_vec()).unwrap();
+        let m = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.payload.as_ref(), b"hi");
+        assert_eq!(m.src, a.id());
+    }
+
+    #[test]
+    fn self_send_is_immediate() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        a.send(a.id(), b"loop".to_vec()).unwrap();
+        let m = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.payload.as_ref(), b"loop");
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let n = Network::new(NetworkConfig::default());
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(a.id(), b.id(), LinkConfig::new(Duration::from_millis(50)))
+            .unwrap();
+        let t0 = Instant::now();
+        a.send(b.id(), b"x".to_vec()).unwrap();
+        b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn bandwidth_delays_large_messages() {
+        let n = Network::new(NetworkConfig::default());
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        // 10 KB/s: a 1 KB message takes ~100 ms to serialise.
+        n.set_link(
+            a.id(),
+            b.id(),
+            LinkConfig::new(Duration::ZERO).with_bandwidth(10_000),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        a.send(b.id(), vec![0u8; 1000]).unwrap();
+        b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(a.id(), b.id(), LinkConfig::instant()).unwrap();
+        n.partition(a.id(), b.id()).unwrap();
+        assert!(matches!(
+            a.send(b.id(), b"x".to_vec()),
+            Err(NetError::LinkDown(_, _))
+        ));
+        n.heal(a.id(), b.id()).unwrap();
+        a.send(b.id(), b"y".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn down_node_rejects_traffic() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_node_up(b.id(), false).unwrap();
+        assert!(matches!(
+            a.send(b.id(), b"x".to_vec()),
+            Err(NetError::NodeDown(_))
+        ));
+        assert!(!n.node_up(b.id()).unwrap());
+    }
+
+    #[test]
+    fn total_loss_drops_silently() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(a.id(), b.id(), LinkConfig::instant().with_loss(1.0))
+            .unwrap();
+        a.send(b.id(), b"x".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(n.link_stats(a.id(), b.id()).dropped, 1);
+    }
+
+    #[test]
+    fn stats_account_bytes_and_messages() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        a.send(b.id(), vec![0u8; 10]).unwrap();
+        a.send(b.id(), vec![0u8; 30]).unwrap();
+        let s = n.link_stats(a.id(), b.id());
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 40);
+    }
+
+    #[test]
+    fn time_scale_shrinks_latency() {
+        let n = Network::new(NetworkConfig {
+            time_scale: 0.0,
+            ..NetworkConfig::default()
+        });
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(a.id(), b.id(), LinkConfig::new(Duration::from_secs(10)))
+            .unwrap();
+        a.send(b.id(), b"x".to_vec()).unwrap();
+        // With scale 0, the 10 s link delivers immediately.
+        assert!(b.recv_timeout(Duration::from_millis(500)).is_ok());
+    }
+
+    #[test]
+    fn no_default_link_means_no_route() {
+        let n = Network::new(NetworkConfig {
+            default_link: None,
+            ..NetworkConfig::default()
+        });
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        assert!(matches!(
+            a.send(b.id(), b"x".to_vec()),
+            Err(NetError::NoLink(_, _))
+        ));
+    }
+
+    #[test]
+    fn model_probes_reflect_config() {
+        let n = Network::new(NetworkConfig::default());
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(
+            a.id(),
+            b.id(),
+            LinkConfig::new(Duration::from_millis(7)).with_bandwidth(42),
+        )
+        .unwrap();
+        assert_eq!(
+            n.model_latency(a.id(), b.id()).unwrap(),
+            Duration::from_millis(7)
+        );
+        assert_eq!(n.model_bandwidth(a.id(), b.id()).unwrap(), Some(42));
+    }
+}

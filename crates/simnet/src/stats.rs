@@ -1,0 +1,125 @@
+//! Per-link traffic statistics.
+//!
+//! The FarGo monitoring layer's system-profiling services (`bandwidth`,
+//! `latency`) are computed from these counters.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Sliding-window traffic accounting for one directed link.
+#[derive(Debug)]
+pub(crate) struct StatsWindow {
+    /// Total messages ever sent on this link.
+    pub messages: u64,
+    /// Total payload bytes ever sent on this link.
+    pub bytes: u64,
+    /// Total messages dropped by the loss model.
+    pub dropped: u64,
+    /// Recent (send instant, byte count) samples, pruned to `window`.
+    recent: VecDeque<(Instant, u64)>,
+    window: Duration,
+}
+
+impl StatsWindow {
+    pub fn new(window: Duration) -> Self {
+        StatsWindow {
+            messages: 0,
+            bytes: 0,
+            dropped: 0,
+            recent: VecDeque::new(),
+            window,
+        }
+    }
+
+    pub fn record(&mut self, now: Instant, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.recent.push_back((now, bytes));
+        self.prune(now);
+    }
+
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    fn prune(&mut self, now: Instant) {
+        while let Some(&(t, _)) = self.recent.front() {
+            if now.duration_since(t) > self.window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Observed throughput in bytes/second over the sliding window.
+    pub fn throughput(&mut self, now: Instant) -> f64 {
+        self.prune(now);
+        let total: u64 = self.recent.iter().map(|&(_, b)| b).sum();
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            total as f64 / secs
+        }
+    }
+
+    pub fn snapshot(&mut self, now: Instant) -> LinkStats {
+        LinkStats {
+            messages: self.messages,
+            bytes: self.bytes,
+            dropped: self.dropped,
+            throughput: self.throughput(now),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one directed link's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Observed throughput (bytes/s) over the recent window.
+    pub throughput: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut w = StatsWindow::new(Duration::from_secs(10));
+        let now = Instant::now();
+        w.record(now, 100);
+        w.record(now, 50);
+        w.record_drop();
+        let snap = w.snapshot(now);
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.bytes, 150);
+        assert_eq!(snap.dropped, 1);
+    }
+
+    #[test]
+    fn throughput_reflects_window() {
+        let mut w = StatsWindow::new(Duration::from_secs(1));
+        let now = Instant::now();
+        w.record(now, 1000);
+        assert!((w.throughput(now) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn old_samples_are_pruned() {
+        let mut w = StatsWindow::new(Duration::from_millis(1));
+        let t0 = Instant::now();
+        w.record(t0, 1000);
+        let later = t0 + Duration::from_millis(50);
+        assert_eq!(w.throughput(later), 0.0);
+        // Totals are not pruned.
+        assert_eq!(w.bytes, 1000);
+    }
+}

@@ -1,0 +1,176 @@
+//! Ready-made network topologies for experiments.
+
+use crate::error::NetError;
+use crate::link::LinkConfig;
+use crate::message::NodeId;
+use crate::network::{Network, NetworkConfig};
+
+/// A builder for common experiment topologies.
+///
+/// ```
+/// # fn main() -> Result<(), simnet::NetError> {
+/// let topo = simnet::Topology::lan(3).build()?;
+/// assert_eq!(topo.endpoints.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Topology {
+    config: NetworkConfig,
+    names: Vec<String>,
+    /// Pairwise links applied after all default links: `(a, b, config)`.
+    overrides: Vec<(usize, usize, LinkConfig)>,
+    default_link: LinkConfig,
+}
+
+/// The materialised result of [`Topology::build`].
+#[derive(Debug)]
+pub struct BuiltTopology {
+    /// The network itself.
+    pub network: Network,
+    /// One endpoint per requested node, in declaration order.
+    pub endpoints: Vec<crate::Endpoint>,
+}
+
+impl Topology {
+    /// `n` nodes, all pairs connected with [`LinkConfig::lan`].
+    pub fn lan(n: usize) -> Self {
+        Topology::uniform(n, LinkConfig::lan())
+    }
+
+    /// `n` nodes, all pairs connected with [`LinkConfig::wan`].
+    pub fn wan(n: usize) -> Self {
+        Topology::uniform(n, LinkConfig::wan())
+    }
+
+    /// `n` nodes, all pairs connected with the given link.
+    pub fn uniform(n: usize, link: LinkConfig) -> Self {
+        Topology {
+            config: NetworkConfig::default(),
+            names: (0..n).map(|i| format!("core{i}")).collect(),
+            overrides: Vec::new(),
+            default_link: link,
+        }
+    }
+
+    /// Two LAN clusters of `a` and `b` nodes joined by a WAN bottleneck.
+    ///
+    /// Nodes `0..a` form the first cluster, `a..a+b` the second. Every
+    /// cross-cluster pair uses [`LinkConfig::wan`].
+    pub fn two_clusters(a: usize, b: usize) -> Self {
+        let mut t = Topology::uniform(a + b, LinkConfig::lan());
+        for i in 0..a {
+            for j in a..a + b {
+                t.overrides.push((i, j, LinkConfig::wan()));
+            }
+        }
+        t
+    }
+
+    /// Replaces the network configuration.
+    pub fn with_config(mut self, config: NetworkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Renames the nodes (must match the node count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the node count.
+    pub fn with_names<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(
+            names.len(),
+            self.names.len(),
+            "topology has {} nodes but {} names given",
+            self.names.len(),
+            names.len()
+        );
+        self.names = names;
+        self
+    }
+
+    /// Overrides the link between nodes `a` and `b` (by declaration index).
+    pub fn with_link(mut self, a: usize, b: usize, link: LinkConfig) -> Self {
+        self.overrides.push((a, b, link));
+        self
+    }
+
+    /// Creates the network, registers the nodes, and wires the links.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetError`] from node or link registration.
+    pub fn build(self) -> Result<BuiltTopology, NetError> {
+        let network = Network::new(self.config);
+        let mut endpoints = Vec::with_capacity(self.names.len());
+        for name in &self.names {
+            endpoints.push(network.add_node(name)?);
+        }
+        let ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                network.set_link(ids[i], ids[j], self.default_link.clone())?;
+            }
+        }
+        for (a, b, link) in self.overrides {
+            network.set_link(ids[a], ids[b], link)?;
+        }
+        Ok(BuiltTopology { network, endpoints })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn lan_builds_fully_connected() {
+        let t = Topology::lan(4).build().unwrap();
+        assert_eq!(t.endpoints.len(), 4);
+        let ids: Vec<_> = t.endpoints.iter().map(|e| e.id()).collect();
+        for &i in &ids {
+            for &j in &ids {
+                if i != j {
+                    assert!(t.network.link_config(i, j).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_clusters_have_wan_in_between() {
+        let t = Topology::two_clusters(2, 2).build().unwrap();
+        let ids: Vec<_> = t.endpoints.iter().map(|e| e.id()).collect();
+        let intra = t.network.link_config(ids[0], ids[1]).unwrap();
+        let inter = t.network.link_config(ids[0], ids[2]).unwrap();
+        assert!(inter.latency > intra.latency);
+    }
+
+    #[test]
+    fn custom_names_and_links() {
+        let t = Topology::lan(2)
+            .with_names(["left", "right"])
+            .with_link(0, 1, LinkConfig::new(Duration::from_millis(33)))
+            .build()
+            .unwrap();
+        let ids: Vec<_> = t.endpoints.iter().map(|e| e.id()).collect();
+        assert_eq!(t.network.node_name(ids[0]).unwrap(), "left");
+        assert_eq!(
+            t.network.link_config(ids[0], ids[1]).unwrap().latency,
+            Duration::from_millis(33)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "names given")]
+    fn wrong_name_count_panics() {
+        let _ = Topology::lan(3).with_names(["only-one"]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Compact binary encoding of [`Value`] trees.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+use crate::id::CompletId;
+use crate::refdesc::RefDescriptor;
+use crate::value::Value;
+use crate::varint::{get_uvarint, put_uvarint, unzigzag, zigzag};
+
+/// Maximum permitted nesting depth when decoding (stack-safety bound).
+pub(crate) const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_MAP: u8 = 8;
+const TAG_REF: u8 = 9;
+
+/// Encodes a single [`Value`] into a fresh buffer.
+pub fn encode_value(v: &Value) -> Bytes {
+    let mut w = WireWriter::new();
+    w.put_value(v);
+    w.finish()
+}
+
+/// Decodes a single [`Value`], requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed, truncated, or over-deep input,
+/// or when bytes trail the top-level value.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, WireError> {
+    let mut r = WireReader::new(Bytes::copy_from_slice(bytes));
+    let v = r.get_value()?;
+    r.expect_end()?;
+    Ok(v)
+}
+
+/// Incremental encoder for wire messages.
+///
+/// Higher layers (the Core's peer protocol) compose messages out of
+/// primitive puts and whole [`Value`] trees.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Appends an unsigned varint.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        put_uvarint(&mut self.buf, v);
+        self
+    }
+
+    /// Appends a signed (zigzag) varint.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        put_uvarint(&mut self.buf, zigzag(v));
+        self
+    }
+
+    /// Appends one raw byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn put_str(&mut self, s: &str) -> &mut Self {
+        self.put_u64(s.len() as u64);
+        self.buf.put_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.put_u64(b.len() as u64);
+        self.buf.put_slice(b);
+        self
+    }
+
+    /// Appends a [`CompletId`].
+    pub fn put_complet_id(&mut self, id: CompletId) -> &mut Self {
+        self.put_u64(id.origin as u64);
+        self.put_u64(id.seq)
+    }
+
+    /// Appends a [`RefDescriptor`].
+    pub fn put_ref(&mut self, r: &RefDescriptor) -> &mut Self {
+        self.put_complet_id(r.target);
+        self.put_str(&r.target_type);
+        self.put_str(&r.relocator);
+        self.put_u64(r.last_known as u64)
+    }
+
+    /// Appends a whole [`Value`] tree.
+    pub fn put_value(&mut self, v: &Value) -> &mut Self {
+        match v {
+            Value::Null => {
+                self.put_u8(TAG_NULL);
+            }
+            Value::Bool(false) => {
+                self.put_u8(TAG_FALSE);
+            }
+            Value::Bool(true) => {
+                self.put_u8(TAG_TRUE);
+            }
+            Value::I64(x) => {
+                self.put_u8(TAG_I64).put_i64(*x);
+            }
+            Value::F64(x) => {
+                self.put_u8(TAG_F64);
+                self.buf.put_f64_le(*x);
+            }
+            Value::Str(s) => {
+                self.put_u8(TAG_STR).put_str(s);
+            }
+            Value::Bytes(b) => {
+                self.put_u8(TAG_BYTES).put_bytes(b);
+            }
+            Value::List(items) => {
+                self.put_u8(TAG_LIST).put_u64(items.len() as u64);
+                for item in items {
+                    self.put_value(item);
+                }
+            }
+            Value::Map(m) => {
+                self.put_u8(TAG_MAP).put_u64(m.len() as u64);
+                for (k, val) in m {
+                    self.put_str(k);
+                    self.put_value(val);
+                }
+            }
+            Value::Ref(r) => {
+                self.put_u8(TAG_REF).put_ref(r);
+            }
+        }
+        self
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and yields the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Incremental decoder, the counterpart of [`WireWriter`].
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps a byte buffer for decoding.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Reads an unsigned varint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or overlong input.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        get_uvarint(&mut self.buf)
+    }
+
+    /// Reads a signed (zigzag) varint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or overlong input.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.get_u64()?))
+    }
+
+    /// Reads one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        if !self.buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a length-prefixed byte vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the declared length exceeds the remaining input.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u64()?;
+        if len > self.buf.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = vec![0u8; len as usize];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a [`CompletId`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_complet_id(&mut self) -> Result<CompletId, WireError> {
+        let origin = self.get_u64()? as u32;
+        let seq = self.get_u64()?;
+        Ok(CompletId::new(origin, seq))
+    }
+
+    /// Reads a [`RefDescriptor`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    pub fn get_ref(&mut self) -> Result<RefDescriptor, WireError> {
+        Ok(RefDescriptor {
+            target: self.get_complet_id()?,
+            target_type: self.get_str()?,
+            relocator: self.get_str()?,
+            last_known: self.get_u64()? as u32,
+        })
+    }
+
+    /// Reads a whole [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed, truncated, or over-deep input.
+    pub fn get_value(&mut self) -> Result<Value, WireError> {
+        self.get_value_at(0)
+    }
+
+    fn get_value_at(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(WireError::DepthExceeded);
+        }
+        match self.get_u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_I64 => Ok(Value::I64(self.get_i64()?)),
+            TAG_F64 => {
+                if self.buf.remaining() < 8 {
+                    return Err(WireError::UnexpectedEof);
+                }
+                Ok(Value::F64(self.buf.get_f64_le()))
+            }
+            TAG_STR => Ok(Value::Str(self.get_str()?)),
+            TAG_BYTES => Ok(Value::Bytes(self.get_bytes()?)),
+            TAG_LIST => {
+                let n = self.get_u64()?;
+                if n > self.buf.remaining() as u64 {
+                    return Err(WireError::BadLength(n));
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(self.get_value_at(depth + 1)?);
+                }
+                Ok(Value::List(items))
+            }
+            TAG_MAP => {
+                let n = self.get_u64()?;
+                if n > self.buf.remaining() as u64 {
+                    return Err(WireError::BadLength(n));
+                }
+                let mut m = std::collections::BTreeMap::new();
+                for _ in 0..n {
+                    let k = self.get_str()?;
+                    let v = self.get_value_at(depth + 1)?;
+                    m.insert(k, v);
+                }
+                Ok(Value::Map(m))
+            }
+            TAG_REF => Ok(Value::Ref(self.get_ref()?)),
+            tag => Err(WireError::BadTag(tag)),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Asserts that the input was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if input remains.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.has_remaining() {
+            Err(WireError::TrailingBytes(self.buf.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        decode_value(&encode_value(v)).expect("roundtrip must succeed")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(-1234567),
+            Value::I64(i64::MAX),
+            Value::F64(3.5),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![0, 255, 3]),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Value::map([
+            ("list", Value::list([Value::I64(1), Value::Null])),
+            (
+                "ref",
+                Value::Ref(RefDescriptor::link(CompletId::new(3, 9), "Printer", 2)),
+            ),
+            ("inner", Value::map([("x", Value::F64(-0.5))])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_value(&Value::Null).to_vec();
+        bytes.push(0);
+        assert_eq!(decode_value(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_value(&Value::Str("hello world".into()));
+        for cut in 0..bytes.len() {
+            assert!(decode_value(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(decode_value(&[99]), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        // TAG_BYTES followed by a huge declared length.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_BYTES).put_u64(u64::MAX / 2);
+        assert!(matches!(
+            decode_value(&w.finish()),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut v = Value::Null;
+        for _ in 0..(MAX_DEPTH + 4) {
+            v = Value::list([v]);
+        }
+        let bytes = encode_value(&v);
+        assert_eq!(decode_value(&bytes), Err(WireError::DepthExceeded));
+    }
+
+    #[test]
+    fn writer_primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_i64(-42).put_str("abc").put_complet_id(CompletId::new(7, 8));
+        assert!(!w.is_empty());
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_str().unwrap(), "abc");
+        assert_eq!(r.get_complet_id().unwrap(), CompletId::new(7, 8));
+        r.expect_end().unwrap();
+    }
+
+    // --- property tests -------------------------------------------------
+
+    fn arb_ref() -> impl Strategy<Value = RefDescriptor> {
+        (any::<u32>(), any::<u64>(), "[a-zA-Z]{0,12}", "[a-z]{1,10}", any::<u32>()).prop_map(
+            |(origin, seq, ty, reloc, last)| RefDescriptor {
+                target: CompletId::new(origin, seq),
+                target_type: ty,
+                relocator: reloc,
+                last_known: last,
+            },
+        )
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::I64),
+            // Totally-ordered floats only (NaN breaks PartialEq comparison).
+            (-1e12f64..1e12).prop_map(Value::F64),
+            "\\PC{0,24}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+            arb_ref().prop_map(Value::Ref),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+                proptest::collection::btree_map("[a-z]{0,6}", inner, 0..8).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_roundtrips(v in arb_value()) {
+            prop_assert_eq!(roundtrip(&v), v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_value(&bytes);
+        }
+
+        #[test]
+        fn prop_encoding_is_deterministic(v in arb_value()) {
+            prop_assert_eq!(encode_value(&v), encode_value(&v));
+        }
+    }
+}

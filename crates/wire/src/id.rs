@@ -1,0 +1,49 @@
+//! Globally unique complet instance identity.
+
+use std::fmt;
+
+/// Identity of one complet *instance*, stable across relocation.
+///
+/// A `CompletId` is minted by the Core that instantiates the complet (its
+/// *origin*) and never changes afterwards, however many times the complet
+/// moves. Trackers, naming entries, and reference descriptors all key on
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompletId {
+    /// Index of the origin Core's network node.
+    pub origin: u32,
+    /// Origin-local allocation counter.
+    pub seq: u64,
+}
+
+impl CompletId {
+    /// Creates an id from its origin node index and allocation counter.
+    pub fn new(origin: u32, seq: u64) -> Self {
+        CompletId { origin, seq }
+    }
+}
+
+impl fmt::Display for CompletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.{}", self.origin, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_identity() {
+        let id = CompletId::new(2, 40);
+        assert_eq!(id.to_string(), "c2.40");
+        assert_eq!(id, CompletId::new(2, 40));
+        assert_ne!(id, CompletId::new(3, 40));
+    }
+
+    #[test]
+    fn ordering_is_origin_major() {
+        assert!(CompletId::new(1, 99) < CompletId::new(2, 0));
+        assert!(CompletId::new(1, 1) < CompletId::new(1, 2));
+    }
+}

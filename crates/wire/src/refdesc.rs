@@ -1,0 +1,100 @@
+//! The wire-level descriptor of a complet reference.
+
+use std::fmt;
+
+use crate::id::CompletId;
+
+/// What a complet reference looks like inside a marshaled object graph.
+///
+/// When a complet's state (or an invocation parameter graph) is traversed,
+/// every outgoing complet reference appears as a [`crate::Value::Ref`]
+/// carrying one of these. The descriptor is all the movement and invocation
+/// units need to re-materialise a live stub at the receiving Core:
+///
+/// * `target` — whom the reference points at,
+/// * `target_type` — the anchor's type name (needed by `Stamp` relocators
+///   to find an equivalent complet at the new site, and by the stub
+///   generator to attach the right interface),
+/// * `relocator` — the name of the reference's relocation semantics
+///   (`"link"`, `"pull"`, `"duplicate"`, `"stamp"`, or a user-defined
+///   relocator name),
+/// * `last_known` — hint: the node index of the Core where the target was
+///   last observed, used to seed the tracker at the receiving side.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RefDescriptor {
+    /// Identity of the referenced complet.
+    pub target: CompletId,
+    /// Type name of the target's anchor.
+    pub target_type: String,
+    /// Relocator (reference type) name.
+    pub relocator: String,
+    /// Node index of the Core where the target was last known to live.
+    pub last_known: u32,
+}
+
+impl RefDescriptor {
+    /// Creates a descriptor with the default `link` relocator.
+    pub fn link(target: CompletId, target_type: impl Into<String>, last_known: u32) -> Self {
+        RefDescriptor {
+            target,
+            target_type: target_type.into(),
+            relocator: "link".to_owned(),
+            last_known,
+        }
+    }
+
+    /// Returns a copy with the relocator *degraded* to `link`.
+    ///
+    /// The paper's invocation unit degrades every complet reference that
+    /// crosses a complet boundary (as a parameter or inside a by-value
+    /// object graph) to the default `link` type (§3.1).
+    pub fn degraded(&self) -> Self {
+        RefDescriptor {
+            relocator: "link".to_owned(),
+            ..self.clone()
+        }
+    }
+
+    /// Whether this descriptor already has the default `link` relocator.
+    pub fn is_link(&self) -> bool {
+        self.relocator == "link"
+    }
+}
+
+impl fmt::Display for RefDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}@n{} [{}]",
+            self.target_type, self.target, self.last_known, self.relocator
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_resets_relocator_only() {
+        let d = RefDescriptor {
+            target: CompletId::new(1, 2),
+            target_type: "Printer".into(),
+            relocator: "pull".into(),
+            last_known: 4,
+        };
+        let g = d.degraded();
+        assert!(g.is_link());
+        assert_eq!(g.target, d.target);
+        assert_eq!(g.target_type, d.target_type);
+        assert_eq!(g.last_known, d.last_known);
+        assert!(!d.is_link());
+    }
+
+    #[test]
+    fn link_constructor_defaults() {
+        let d = RefDescriptor::link(CompletId::new(0, 1), "Msg", 0);
+        assert!(d.is_link());
+        assert_eq!(d.to_string(), "Msg:c0.1@n0 [link]");
+    }
+}

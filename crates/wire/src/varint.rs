@@ -1,0 +1,101 @@
+//! LEB128-style variable-length integers.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub(crate) fn put_uvarint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+pub(crate) fn get_uvarint(buf: &mut impl Buf) -> Result<u64, WireError> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(WireError::VarintOverflow);
+        }
+        let low = (byte & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        out |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag encoding maps signed to unsigned so small magnitudes stay short.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, v);
+        get_uvarint(&mut b.freeze()).unwrap()
+    }
+
+    #[test]
+    fn uvarint_roundtrips_edges() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, 100);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut b = BytesMut::new();
+        put_uvarint(&mut b, u64::MAX);
+        let mut short = b.freeze().slice(0..3);
+        assert_eq!(get_uvarint(&mut short), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes exceed 64 bits.
+        let bytes: Vec<u8> = vec![0xff; 10].into_iter().chain([0x7f]).collect();
+        let mut buf = bytes::Bytes::from(bytes);
+        assert_eq!(get_uvarint(&mut buf), Err(WireError::VarintOverflow));
+    }
+}

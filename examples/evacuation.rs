@@ -1,0 +1,114 @@
+//! Script-driven reliability: the paper's §4.3 example script, verbatim,
+//! keeping an application alive across a Core shutdown.
+//!
+//! An administrator — not the application programmer — attaches the
+//! script after deployment. When `field1` announces shutdown, the
+//! script's first rule evacuates every complet to the `bunker` Core; the
+//! application keeps answering throughout.
+//!
+//! Run with: `cargo run --example evacuation`
+
+use std::time::Duration;
+
+use fargo::prelude::*;
+
+define_complet! {
+    pub complet Worker {
+        state {
+            task: String = String::new(),
+            processed: i64 = 0,
+        }
+        init(&mut self, args) {
+            self.task = args.first().and_then(Value::as_str).unwrap_or("task").to_owned();
+            Ok(())
+        }
+        fn work(&mut self, _ctx, _args) {
+            self.processed += 1;
+            Ok(Value::from(format!("{}#{}", self.task, self.processed)))
+        }
+    }
+}
+
+/// The script from the paper, §4.3 (the performance rule watches two of
+/// the workers).
+const SCRIPT: &str = r#"
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Network::new(NetworkConfig::default());
+    let registry = CompletRegistry::new();
+    Worker::register(&registry);
+
+    let admin = Core::builder(&net, "admin").registry(&registry).spawn()?;
+    let field1 = Core::builder(&net, "field1").registry(&registry).spawn()?;
+    let field2 = Core::builder(&net, "field2").registry(&registry).spawn()?;
+    let bunker = Core::builder(&net, "bunker").registry(&registry).spawn()?;
+
+    // Deploy workers in the field.
+    let mut workers = Vec::new();
+    for i in 0..3 {
+        workers.push(admin.new_complet_at("field1", "Worker", &[Value::from(format!("alpha{i}"))])?);
+    }
+    let beta = admin.new_complet_at("field2", "Worker", &[Value::from("beta")])?;
+
+    // The administrator attaches the layout script.
+    let engine = ScriptEngine::new(admin.clone());
+    let _script = engine.load(
+        SCRIPT,
+        vec![
+            ScriptValue::List(vec![
+                ScriptValue::Str("field1".into()),
+                ScriptValue::Str("field2".into()),
+            ]),
+            ScriptValue::Str("bunker".into()),
+            ScriptValue::List(vec![(&workers[0]).into(), (&beta).into()]),
+        ],
+    )?;
+    println!("layout script attached; workers deployed on field cores");
+
+    for w in &workers {
+        println!("  {} -> {}", w.id(), w.call("work", &[])?);
+    }
+
+    // field1 goes down for maintenance, announcing first.
+    println!("\nfield1 announcing shutdown…");
+    let dying = field1.clone();
+    let announcer = std::thread::spawn(move || dying.shutdown(Duration::from_millis(800)));
+
+    // Wait for the evacuation.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !workers.iter().all(|w| bunker.hosts(w.id())) {
+        assert!(std::time::Instant::now() < deadline, "evacuation incomplete");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("all field1 workers evacuated to the bunker");
+
+    // Refresh references through the still-alive forwarding trackers…
+    for w in &workers {
+        println!("  {} -> {}", w.id(), w.call("work", &[])?);
+    }
+    announcer.join().unwrap();
+
+    // …and the application is still alive after field1 is gone for good.
+    println!("\nfield1 is down; the application still answers:");
+    for w in &workers {
+        println!("  {} -> {}", w.id(), w.call("work", &[])?);
+    }
+    println!("state survived: counters continued from where they were");
+
+    for c in [&admin, &field2, &bunker] {
+        c.stop();
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Load balancing with `completLoad` events (§4.1's system profiling).
+//!
+//! A dispatcher keeps instantiating worker complets on one Core. An
+//! administrator policy — attached afterwards, knowing nothing about the
+//! application — watches each Core's `completLoad` and spills complets to
+//! the least-loaded Core whenever a threshold is crossed.
+//!
+//! Run with: `cargo run --example load_balancer`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fargo::prelude::*;
+
+define_complet! {
+    pub complet Worker {
+        state { jobs: i64 = 0 }
+        fn work(&mut self, _ctx, _args) {
+            self.jobs += 1;
+            Ok(Value::I64(self.jobs))
+        }
+    }
+}
+
+const THRESHOLD: f64 = 8.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Network::new(NetworkConfig::default());
+    let registry = CompletRegistry::new();
+    Worker::register(&registry);
+
+    let cores: Vec<Core> = ["ingest", "spare1", "spare2"]
+        .iter()
+        .map(|n| {
+            Core::builder(&net, n)
+                .registry(&registry)
+                .config(CoreConfig {
+                    monitor_tick: Duration::from_millis(10),
+                    ..CoreConfig::default()
+                })
+                .spawn()
+        })
+        .collect::<Result<_, _>>()?;
+    let ingest = cores[0].clone();
+
+    // --- the balancing policy (pure administration) ----------------------
+    let all = cores.clone();
+    let policy_core = ingest.clone();
+    ingest.on_event(
+        "completLoad",
+        Some(THRESHOLD),
+        true,
+        Arc::new(move |e| {
+            // Spill half of the overloaded core's complets to the least
+            // loaded peer.
+            let overloaded = all
+                .iter()
+                .find(|c| c.node().index() == e.core())
+                .expect("known core")
+                .clone();
+            let target = all
+                .iter()
+                .filter(|c| c.node().index() != e.core())
+                .min_by_key(|c| c.complet_count())
+                .expect("a spare core")
+                .clone();
+            let ids = overloaded.complet_ids();
+            let spill = ids.len() / 2;
+            println!(
+                ">>> policy: {} holds {} complets (load {:.1}); spilling {} to {}",
+                overloaded.name(),
+                ids.len(),
+                e.value().unwrap_or(0.0),
+                spill,
+                target.name()
+            );
+            for id in ids.into_iter().take(spill) {
+                let _ = policy_core.move_complet(id, target.name(), None);
+            }
+        }),
+    );
+
+    // --- the application, oblivious to layout ----------------------------
+    let mut workers = Vec::new();
+    for i in 0..24 {
+        workers.push(ingest.new_complet("Worker", &[])?);
+        if i % 6 == 5 {
+            std::thread::sleep(Duration::from_millis(120)); // let the monitor see
+        }
+    }
+    // Let the policy settle.
+    std::thread::sleep(Duration::from_millis(600));
+
+    println!("\nfinal layout:");
+    for c in &cores {
+        println!("  {:<8} {:>2} complets", c.name(), c.complet_count());
+    }
+    let spread = cores.iter().filter(|c| c.complet_count() > 0).count();
+    assert!(spread >= 2, "the policy should have spread the load");
+
+    // Every worker still answers, wherever it ended up.
+    for w in &workers {
+        w.call("work", &[])?;
+    }
+    println!("all {} workers answered after balancing", workers.len());
+
+    for c in &cores {
+        c.stop();
+    }
+    Ok(())
+}

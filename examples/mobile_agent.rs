@@ -1,0 +1,137 @@
+//! A data-gathering mobile agent with a `stamp` reference (§2's printer
+//! idiom) and a weak-mobility itinerary (§3.3 continuations).
+//!
+//! A `SensorStation` complet is installed at every site. The roaming
+//! `Surveyor` agent holds a *stamp* reference to "the local station":
+//! each time the agent lands somewhere, the movement protocol re-binds
+//! that reference to the station of the new site, so `read()` always
+//! samples local hardware — exactly the paper's printer example.
+//!
+//! Run with: `cargo run --example mobile_agent`
+
+use fargo::prelude::*;
+use std::time::Duration;
+
+define_complet! {
+    /// Site-local "hardware": reports this site's reading.
+    pub complet SensorStation {
+        state {
+            site: String = String::new(),
+            reading: i64 = 0,
+        }
+        init(&mut self, args) {
+            self.site = args.first().and_then(Value::as_str).unwrap_or("?").to_owned();
+            self.reading = args.get(1).and_then(Value::as_i64).unwrap_or(0);
+            Ok(())
+        }
+        fn sample(&mut self, _ctx, _args) {
+            Ok(Value::map([
+                ("site", Value::from(self.site.as_str())),
+                ("reading", Value::I64(self.reading)),
+            ]))
+        }
+    }
+}
+
+define_complet! {
+    /// The roaming surveyor agent.
+    pub complet Surveyor {
+        state {
+            station: Option<CompletRef> = None,
+            itinerary: Vec<String> = Vec::new(),
+            samples: Vec<Value> = Vec::new(),
+        }
+        fn begin(&mut self, ctx, args) {
+            self.itinerary = args.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect();
+            // Bind to the local station and mark the reference `stamp`:
+            // it will re-bind to each site's own station as we travel.
+            let local = ctx.core().find_local_by_type("SensorStation")
+                .ok_or_else(|| FargoError::App("no station here".into()))?;
+            let r = CompletRef::from_descriptor(RefDescriptor::link(
+                local, "SensorStation", ctx.core().node().index(),
+            ));
+            ctx.core().meta_ref(&r).set_relocator("stamp")?;
+            self.station = Some(r);
+            self.collect(ctx, &[])
+        }
+        fn collect(&mut self, ctx, _args) {
+            let station = self.station.clone()
+                .ok_or_else(|| FargoError::App("unbound station".into()))?;
+            let sample = ctx.call(&station, "sample", &[])?;
+            println!(
+                "surveyor @ {}: sampled {sample}",
+                ctx.core().name(),
+            );
+            self.samples.push(sample);
+            if let Some(next) = self.itinerary.first().cloned() {
+                self.itinerary.remove(0);
+                // Weak mobility: request the hop; the Core moves us after
+                // this method returns and re-invokes `collect` there.
+                ctx.move_self_with(&next, "collect", vec![]);
+            }
+            Ok(Value::Null)
+        }
+        fn report(&mut self, _ctx, _args) {
+            Ok(Value::List(self.samples.clone()))
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = CompletRegistry::new();
+    SensorStation::register(&registry);
+    Surveyor::register(&registry);
+
+    let topo = Topology::lan(4)
+        .with_names(["base", "north", "east", "south"])
+        .build()?;
+    let net = topo.network.clone();
+    let cores: Vec<Core> = topo
+        .endpoints
+        .into_iter()
+        .map(|ep| Core::builder(&net, "").endpoint(ep).registry(&registry).spawn())
+        .collect::<Result<_, _>>()?;
+
+    // Install a station at every site, each with its own reading.
+    for (i, core) in cores.iter().enumerate() {
+        core.new_complet(
+            "SensorStation",
+            &[Value::from(core.name()), Value::I64((i as i64 + 1) * 100)],
+        )?;
+    }
+
+    // Launch the surveyor from base with an itinerary.
+    let agent = cores[0].new_complet("Surveyor", &[])?;
+    agent.call(
+        "begin",
+        &[Value::from("north"), Value::from("east"), Value::from("south")],
+    )?;
+
+    // Wait for it to finish its round.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !cores[3].hosts(agent.id()) {
+        assert!(std::time::Instant::now() < deadline, "agent never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let report = agent.call("report", &[])?;
+    let samples = report.as_list().expect("report is a list");
+    println!("\nfinal report ({} samples):", samples.len());
+    for s in samples {
+        println!("  {s}");
+    }
+    assert_eq!(samples.len(), 4, "one sample per site");
+    // Each sample must have come from a *different* station — the stamp
+    // reference re-bound at every hop.
+    let sites: std::collections::BTreeSet<&str> = samples
+        .iter()
+        .filter_map(|s| s.get("site").and_then(Value::as_str))
+        .collect();
+    assert_eq!(sites.len(), 4, "stamp must re-bind at every site");
+
+    for c in &cores {
+        c.stop();
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The FarGo administration shell (§5's command-line shell).
+//!
+//! Interactive: `cargo run --example shell` and type commands (`help`).
+//! Scripted demo: `cargo run --example shell -- demo` runs a canned
+//! session against a three-Core cluster.
+
+use std::io::{BufRead, Write};
+
+use fargo::prelude::*;
+
+define_complet! {
+    pub complet Message {
+        state { text: String = "hello from the shell".to_owned() }
+        fn print(&mut self, _ctx, _args) {
+            Ok(Value::from(self.text.as_str()))
+        }
+        fn set_text(&mut self, _ctx, args) {
+            self.text = args.first().and_then(Value::as_str).unwrap_or("").to_owned();
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Network::new(NetworkConfig::default());
+    let registry = CompletRegistry::new();
+    Message::register(&registry);
+
+    let admin = Core::builder(&net, "admin").registry(&registry).spawn()?;
+    let cores: Vec<Core> = ["acadia", "everest"]
+        .iter()
+        .map(|n| Core::builder(&net, n).registry(&registry).spawn())
+        .collect::<Result<_, _>>()?;
+
+    let shell = Shell::new(admin.clone());
+
+    let demo = std::env::args().nth(1).as_deref() == Some("demo");
+    if demo {
+        for line in [
+            "help",
+            "cores",
+            "new Message at acadia as postbox",
+            "ls acadia",
+            "call postbox print",
+            "call postbox set_text moved-soon",
+            "move postbox to everest",
+            "whereis postbox",
+            "call postbox print",
+            "retype postbox pull",
+            "refs",
+            "profile completLoad",
+            "ping everest",
+        ] {
+            println!("fargo> {line}");
+            match shell.exec(line) {
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    } else {
+        println!("FarGo shell attached to {:?}; 'help' for commands, ctrl-D to quit.", admin.name());
+        let stdin = std::io::stdin();
+        loop {
+            print!("fargo> ");
+            std::io::stdout().flush()?;
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line)? == 0 {
+                break;
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "quit" || line == "exit" {
+                break;
+            }
+            match shell.exec(line) {
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+
+    admin.stop();
+    for c in &cores {
+        c.stop();
+    }
+    Ok(())
+}

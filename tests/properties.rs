@@ -1,0 +1,122 @@
+//! Cross-crate property tests: invariants of movement, relocation
+//! semantics, and the scripting front-end under randomised inputs.
+
+mod common;
+
+use common::{cluster, teardown};
+use fargo::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary marshal-safe state payloads.
+fn arb_payload() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        (-1e9f64..1e9).prop_map(Value::F64),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z]{1,5}", inner, 0..6).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // each case spins up a live cluster
+        .. ProptestConfig::default()
+    })]
+
+    /// Movement is state-preserving for arbitrary payloads: whatever tree
+    /// a complet holds, it holds it identically after relocation.
+    #[test]
+    fn prop_movement_preserves_arbitrary_state(payload in arb_payload()) {
+        let (_net, cores) = cluster(2);
+        let store = cores[0].new_complet("Store", &[]).unwrap();
+        store.call("set_blob", &[payload.clone()]).unwrap();
+        store.move_to("core1").unwrap();
+        prop_assert_eq!(store.call("blob", &[]).unwrap(), payload);
+        teardown(&cores);
+    }
+
+    /// However a complet wanders, the original reference still reaches it
+    /// and observes all effects in order (no lost or duplicated calls).
+    #[test]
+    fn prop_random_walks_never_lose_the_complet(
+        walk in proptest::collection::vec(0usize..4, 1..8)
+    ) {
+        let (_net, cores) = cluster(4);
+        let store = cores[0].new_complet("Store", &[]).unwrap();
+        let mut expected_ops = 0i64;
+        for &hop in &walk {
+            store.move_to(&format!("core{hop}")).unwrap();
+            store.call("put", &[Value::from("k"), Value::I64(expected_ops)]).unwrap();
+            expected_ops += 1;
+        }
+        prop_assert_eq!(
+            store.call("ops", &[]).unwrap(),
+            Value::I64(expected_ops),
+            "every call must have landed exactly once"
+        );
+        let last = cores[*walk.last().unwrap()].clone();
+        prop_assert!(last.hosts(store.id()));
+        teardown(&cores);
+    }
+
+    /// By-value arguments echo back exactly, whatever their shape — the
+    /// full marshal→network→unmarshal→remarshal loop is lossless.
+    #[test]
+    fn prop_parameter_graphs_echo_losslessly(payload in arb_payload()) {
+        let (_net, cores) = cluster(2);
+        let store = cores[0].new_complet_at("core1", "Store", &[]).unwrap();
+        store.call("put", &[Value::from("x"), payload.clone()]).unwrap();
+        prop_assert_eq!(store.call("get", &[Value::from("x")]).unwrap(), payload);
+        teardown(&cores);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// The script lexer/parser never panics on arbitrary input.
+    #[test]
+    fn prop_script_parser_never_panics(src in "\\PC{0,200}") {
+        let _ = fargo::script::parse(&src);
+    }
+
+    /// Valid generated rules always parse, whatever the identifiers.
+    #[test]
+    fn prop_generated_rules_parse(
+        event in "[a-zA-Z][a-zA-Z0-9]{0,10}",
+        var in "[a-z][a-z0-9]{0,8}",
+        threshold in 0.0f64..1e6,
+        dest in "[a-z][a-z0-9]{0,8}",
+    ) {
+        let src = format!(
+            "$x = %1\non {event}({threshold:.2}) firedby ${var} listenAt $x do\n move completsIn ${var} to \"{dest}\"\nend"
+        );
+        let parsed = fargo::script::parse(&src);
+        prop_assert!(parsed.is_ok(), "should parse: {src}\n{parsed:?}");
+    }
+
+    /// Degrading a reference is idempotent and never changes the target.
+    #[test]
+    fn prop_degrade_is_idempotent(seq in any::<u64>(), origin in any::<u32>(), last in any::<u32>()) {
+        let d = RefDescriptor {
+            target: CompletId::new(origin, seq),
+            target_type: "T".into(),
+            relocator: "pull".into(),
+            last_known: last,
+        };
+        let once = d.degraded();
+        let twice = once.degraded();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.target, d.target);
+        prop_assert_eq!(once.last_known, d.last_known);
+        prop_assert!(once.is_link());
+    }
+}
