@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI entry point: build, test, lint, and check formatting.
+# Run from the repository root.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

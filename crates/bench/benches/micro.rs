@@ -1,10 +1,38 @@
-//! Criterion micro-benchmarks for the hot paths underneath the
-//! experiment suite: the wire codec, reference traversal/degrade, the
-//! local invocation path, marshal, movement, and script parsing.
+//! Micro-benchmarks for the hot paths underneath the experiment suite:
+//! the wire codec, reference traversal/degrade, the local invocation
+//! path, marshal, movement, and script parsing.
+//!
+//! Plain self-timing harness (no external bench framework): each case is
+//! warmed up, then timed over enough iterations to smooth scheduler noise,
+//! and reported as ns/op on stdout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+
 use fargo_core::{CompletId, RefDescriptor, Value};
 use fargo_wire::{decode_value, encode_value};
+
+/// Times `f` and prints mean ns/op for the named case.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up: let caches and lazy init settle.
+    for _ in 0..50 {
+        f();
+    }
+    // Calibrate iteration count towards ~50ms of work.
+    let probe = Instant::now();
+    for _ in 0..50 {
+        f();
+    }
+    let per_op = probe.elapsed().as_nanos().max(1) / 50;
+    let iters = (50_000_000 / per_op).clamp(20, 1_000_000) as u64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {ns_per_op:>12.0} ns/op   ({iters} iters)");
+}
 
 fn sample_state(refs: usize) -> Value {
     let mut fields: Vec<(String, Value)> = vec![
@@ -25,40 +53,33 @@ fn sample_state(refs: usize) -> Value {
     Value::Map(fields.into_iter().collect())
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn bench_wire() {
     for refs in [0usize, 8] {
         let v = sample_state(refs);
         let bytes = encode_value(&v);
-        group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::new("encode", refs), &v, |b, v| {
-            b.iter(|| encode_value(std::hint::black_box(v)))
+        bench(&format!("wire/encode/{refs}"), || {
+            std::hint::black_box(encode_value(std::hint::black_box(&v)));
         });
-        group.bench_with_input(BenchmarkId::new("decode", refs), &bytes, |b, bytes| {
-            b.iter(|| decode_value(std::hint::black_box(bytes)).unwrap())
+        bench(&format!("wire/decode/{refs}"), || {
+            std::hint::black_box(decode_value(std::hint::black_box(&bytes)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_value_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("value");
+fn bench_value_ops() {
     let v = sample_state(16);
-    group.bench_function("collect_refs/16", |b| {
-        b.iter(|| std::hint::black_box(&v).collect_refs())
+    bench("value/collect_refs/16", || {
+        std::hint::black_box(std::hint::black_box(&v).collect_refs());
     });
-    group.bench_function("degrade_transform/16", |b| {
-        b.iter(|| {
-            std::hint::black_box(v.clone()).transform_refs(&mut |r| r.degraded())
-        })
+    bench("value/degrade_transform/16", || {
+        std::hint::black_box(std::hint::black_box(v.clone()).transform_refs(&mut |r| r.degraded()));
     });
-    group.bench_function("deep_size", |b| {
-        b.iter(|| std::hint::black_box(&v).deep_size())
+    bench("value/deep_size", || {
+        std::hint::black_box(std::hint::black_box(&v).deep_size());
     });
-    group.finish();
 }
 
-fn bench_invocation(c: &mut Criterion) {
+fn bench_invocation() {
     use fargo_bench::Cluster;
     let cluster = Cluster::instant(2);
     let local = cluster.cores[0].new_complet("Servant", &[]).unwrap();
@@ -67,34 +88,27 @@ fn bench_invocation(c: &mut Criterion) {
         .unwrap();
     remote.call("touch", &[]).unwrap();
 
-    let mut group = c.benchmark_group("invocation");
-    group.bench_function("local_stub", |b| {
-        b.iter(|| local.call("touch", &[]).unwrap())
+    bench("invocation/local_stub", || {
+        local.call("touch", &[]).unwrap();
     });
-    group.bench_function("remote_instant_link", |b| {
-        b.iter(|| remote.call("touch", &[]).unwrap())
+    bench("invocation/remote_instant_link", || {
+        remote.call("touch", &[]).unwrap();
     });
-    group.finish();
 }
 
-fn bench_movement(c: &mut Criterion) {
+fn bench_movement() {
     use fargo_bench::Cluster;
     let cluster = Cluster::instant(2);
     let servant = cluster.cores[0].new_complet("Servant", &[]).unwrap();
     let mut at_zero = false;
-    let mut group = c.benchmark_group("movement");
-    group.sample_size(20);
-    group.bench_function("pingpong_move", |b| {
-        b.iter(|| {
-            let dest = if at_zero { "core1" } else { "core0" };
-            at_zero = !at_zero;
-            servant.move_to(dest).unwrap();
-        })
+    bench("movement/pingpong_move", || {
+        let dest = if at_zero { "core1" } else { "core0" };
+        at_zero = !at_zero;
+        servant.move_to(dest).unwrap();
     });
-    group.finish();
 }
 
-fn bench_script(c: &mut Criterion) {
+fn bench_script() {
     const SRC: &str = r#"
 $coreList = %1
 $targetCore = %2
@@ -106,17 +120,16 @@ on methodInvokeRate(3) from $comps[0] to $comps[1] do
   move $comps[0] to coreOf $comps[1]
 end
 "#;
-    c.bench_function("script/parse_paper_example", |b| {
-        b.iter(|| fargo_script::parse(std::hint::black_box(SRC)).unwrap())
+    bench("script/parse_paper_example", || {
+        std::hint::black_box(fargo_script::parse(std::hint::black_box(SRC)).unwrap());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_value_ops,
-    bench_invocation,
-    bench_movement,
-    bench_script
-);
-criterion_main!(benches);
+fn main() {
+    println!("fargo micro-benchmarks (mean over calibrated iteration counts)");
+    bench_wire();
+    bench_value_ops();
+    bench_invocation();
+    bench_movement();
+    bench_script();
+}

@@ -4,25 +4,83 @@
 //!   cargo run -p fargo-bench --bin experiments --release          # quick sweeps
 //!   cargo run -p fargo-bench --bin experiments --release -- full  # larger sweeps
 //!   cargo run -p fargo-bench --bin experiments --release -- E4 E8 # a subset
+//!   cargo run -p fargo-bench --bin experiments --release -- json  # JSON report
+//!
+//! In `json` mode the report is a single JSON object on stdout with the
+//! selected experiment tables plus a telemetry snapshot captured from a
+//! small instrumented workload (so the metrics registry contents ship
+//! with every report).
 
 use std::time::Instant;
 
-use fargo_bench::experiments;
+use fargo_bench::{experiments, Cluster};
+use fargo_core::Value;
+
+/// Runs a short invoke+move workload on a fresh 2-Core cluster and
+/// returns its metrics registry as JSON.
+fn smoke_metrics_json() -> String {
+    let cluster = Cluster::instant(2);
+    let s = cluster.cores[0]
+        .new_complet_at("core1", "Servant", &[])
+        .expect("servant must spawn");
+    for _ in 0..10 {
+        s.call("touch", &[Value::Null])
+            .expect("invoke must succeed");
+    }
+    s.move_to("core0").expect("move must succeed");
+    s.call("touch", &[Value::Null])
+        .expect("invoke must succeed");
+    cluster.metrics_json()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "full");
+    let json = args.iter().any(|a| a == "json");
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| a.as_str() != "full")
+        .filter(|a| a.as_str() != "full" && a.as_str() != "json")
         .map(String::as_str)
         .collect();
 
-    println!("# FarGo-RS experiment suite ({})", if full { "full" } else { "quick" });
+    let wanted =
+        |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
+
+    if json {
+        let mut out = String::from("{\"mode\":");
+        out.push_str(if full { "\"full\"" } else { "\"quick\"" });
+        out.push_str(",\"experiments\":[");
+        let mut first = true;
+        for exp in experiments::all() {
+            if !wanted(exp.id) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let table = (exp.run)(full);
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"table\":{}}}",
+                exp.id,
+                table.to_json()
+            ));
+        }
+        out.push_str("],\"metrics\":");
+        out.push_str(&smoke_metrics_json());
+        out.push('}');
+        println!("{out}");
+        return;
+    }
+
+    println!(
+        "# FarGo-RS experiment suite ({})",
+        if full { "full" } else { "quick" }
+    );
     println!();
     let t0 = Instant::now();
     for exp in experiments::all() {
-        if !selected.is_empty() && !selected.iter().any(|s| s.eq_ignore_ascii_case(exp.id)) {
+        if !wanted(exp.id) {
             continue;
         }
         let t = Instant::now();

@@ -18,10 +18,19 @@ use crate::workload::{time_once, Samples};
 const HOP_LATENCY: Duration = Duration::from_millis(2);
 
 pub fn run(full: bool) -> Table {
-    let ks: &[usize] = if full { &[0, 1, 2, 4, 8, 16] } else { &[0, 1, 2, 4, 8] };
+    let ks: &[usize] = if full {
+        &[0, 1, 2, 4, 8, 16]
+    } else {
+        &[0, 1, 2, 4, 8]
+    };
     let mut table = Table::new(
         "E1: invocation latency vs chain length (2ms/hop links)",
-        &["hops k", "chain 1st call", "chain 2nd call", "home 1st call"],
+        &[
+            "hops k",
+            "chain 1st call",
+            "chain 2nd call",
+            "home 1st call",
+        ],
     )
     .with_note(
         "shape: first chained call grows linearly with k; shortened and \
@@ -47,7 +56,9 @@ fn chain_run(k: usize, tracking: TrackingMode) -> (Duration, Duration) {
     let cluster = ClusterSpec::with_latency(k + 1, HOP_LATENCY)
         .tracking(tracking)
         .build();
-    let servant = cluster.cores[0].new_complet("Servant", &[]).expect("create");
+    let servant = cluster.cores[0]
+        .new_complet("Servant", &[])
+        .expect("create");
     for i in 1..=k {
         servant.move_to(&format!("core{i}")).expect("move");
     }

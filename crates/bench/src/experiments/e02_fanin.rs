@@ -18,7 +18,12 @@ pub fn run(full: bool) -> Table {
     };
     let mut table = Table::new(
         "E2: reference fan-in — trackers and latency vs number of stubs",
-        &["stubs n", "trackers (shared)", "proxies (per-ref design)", "call latency"],
+        &[
+            "stubs n",
+            "trackers (shared)",
+            "proxies (per-ref design)",
+            "call latency",
+        ],
     )
     .with_note("shape: the tracker column stays at 1 while the per-reference design grows with n.");
 

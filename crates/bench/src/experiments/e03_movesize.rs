@@ -24,7 +24,9 @@ pub fn run(full: bool) -> Table {
         "E3: movement cost vs complet state size (1ms, 100MB/s link)",
         &["state bytes", "move time", "wire bytes", "round trips"],
     )
-    .with_note("shape: flat protocol floor for small complets, linear in size once transfer dominates.");
+    .with_note(
+        "shape: flat protocol floor for small complets, linear in size once transfer dominates.",
+    );
 
     for &size in sizes {
         let (elapsed, wire, msgs) = move_run(size);
@@ -42,7 +44,9 @@ fn move_run(size: usize) -> (Duration, u64, u64) {
     let cluster = ClusterSpec::instant(2)
         .link(LinkConfig::new(Duration::from_millis(1)).with_bandwidth(100_000_000))
         .build();
-    let servant = cluster.cores[0].new_complet("Servant", &[]).expect("create");
+    let servant = cluster.cores[0]
+        .new_complet("Servant", &[])
+        .expect("create");
     servant
         .call("set_payload", &[payload_of(size)])
         .expect("fill payload");

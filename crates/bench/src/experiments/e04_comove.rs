@@ -14,7 +14,11 @@ use crate::table::Table;
 use crate::workload::{fmt_duration, time_once};
 
 pub fn run(full: bool) -> Table {
-    let ks: &[usize] = if full { &[1, 2, 4, 8, 16, 32] } else { &[1, 2, 4, 8, 16] };
+    let ks: &[usize] = if full {
+        &[1, 2, 4, 8, 16, 32]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     let mut table = Table::new(
         "E4: pull-closure co-movement vs independent moves (2ms links)",
         &["closure k", "co-move time", "co-move msgs", "indep time", "indep msgs"],
@@ -44,7 +48,8 @@ fn comove_run(k: usize) -> (Duration, u64) {
         root.call("add_dep", &[Value::Ref(dep.complet_ref().descriptor())])
             .expect("wire");
     }
-    root.call("retype_all", &[Value::from("pull")]).expect("retype");
+    root.call("retype_all", &[Value::from("pull")])
+        .expect("retype");
     let before = cluster.messages(0, 1);
     let (_, t) = time_once(|| root.move_to("core1").expect("move"));
     assert!(cluster.cores[1].complet_count() >= k + 1, "closure arrived");
@@ -55,7 +60,11 @@ fn comove_run(k: usize) -> (Duration, u64) {
 fn independent_run(k: usize) -> (Duration, u64) {
     let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2)).build();
     let complets: Vec<_> = (0..=k)
-        .map(|_| cluster.cores[0].new_complet("Servant", &[]).expect("create"))
+        .map(|_| {
+            cluster.cores[0]
+                .new_complet("Servant", &[])
+                .expect("create")
+        })
         .collect();
     let before = cluster.messages(0, 1);
     let (_, t) = time_once(|| {

@@ -18,7 +18,13 @@ const DEP_STATE_BYTES: usize = 50_000;
 pub fn run(_full: bool) -> Table {
     let mut table = Table::new(
         "E5: relocator comparison (dependency carries 50KB of state; 2ms links)",
-        &["relocator", "move time", "wire bytes", "dep ends up", "post-move call"],
+        &[
+            "relocator",
+            "move time",
+            "wire bytes",
+            "dep ends up",
+            "post-move call",
+        ],
     )
     .with_note(
         "shape: pull/duplicate ship the dependency (bytes and time up, later calls local); \
@@ -48,7 +54,9 @@ struct RelocatorResult {
 fn relocator_run(relocator: &str) -> RelocatorResult {
     let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2)).build();
     // For stamp: an equivalent-typed complet already waits at core1.
-    let _station = cluster.cores[1].new_complet("Servant", &[]).expect("station");
+    let _station = cluster.cores[1]
+        .new_complet("Servant", &[])
+        .expect("station");
 
     let dep = cluster.cores[0].new_complet("Servant", &[]).expect("dep");
     dep.call("set_payload", &[payload_of(DEP_STATE_BYTES)])
@@ -67,7 +75,9 @@ fn relocator_run(relocator: &str) -> RelocatorResult {
 
     let dep_location = dep_location(&cluster, &holder, &dep);
     let samples = Samples::collect(5, || {
-        holder.call("call_dep", &[Value::I64(0)]).expect("post call");
+        holder
+            .call("call_dep", &[Value::I64(0)])
+            .expect("post call");
     });
 
     RelocatorResult {

@@ -75,7 +75,11 @@ fn mode_run(mode: &str, calls: usize) -> (f64, u64, u64) {
     let elapsed = t.elapsed();
     let stats = core.monitor().stats();
     core.stop();
-    (calls as f64 / elapsed.as_secs_f64(), stats.samples, stats.cache_hits)
+    (
+        calls as f64 / elapsed.as_secs_f64(),
+        stats.samples,
+        stats.cache_hits,
+    )
 }
 
 #[cfg(test)]

@@ -25,7 +25,11 @@ pub fn run(full: bool) -> Table {
     .with_note("shape: events detect within one sampling tick with zero application probes; polling trades probe traffic for latency.");
 
     let (event_lat, _) = event_run();
-    table.row(["event (10ms tick)".to_owned(), fmt_duration(event_lat), "0".to_owned()]);
+    table.row([
+        "event (10ms tick)".to_owned(),
+        fmt_duration(event_lat),
+        "0".to_owned(),
+    ]);
     for period_ms in [5u64, 25, 100] {
         let (lat, probes) = poll_run(Duration::from_millis(period_ms));
         table.row([
@@ -36,7 +40,11 @@ pub fn run(full: bool) -> Table {
     }
 
     // Listener fan-out.
-    let fan = if full { vec![1usize, 10, 100, 500] } else { vec![1, 10, 100] };
+    let fan = if full {
+        vec![1usize, 10, 100, 500]
+    } else {
+        vec![1, 10, 100]
+    };
     for n in fan {
         let lat = fanout_run(n);
         table.row([

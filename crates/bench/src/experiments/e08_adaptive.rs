@@ -34,12 +34,18 @@ pub fn run(full: bool) -> Table {
     for &b in bursts {
         let static_t = burst_run(b, false).0;
         let (dyn_t, moved_after) = burst_run(b, true);
-        let winner = if dyn_t < static_t { "dynamic" } else { "static" };
+        let winner = if dyn_t < static_t {
+            "dynamic"
+        } else {
+            "static"
+        };
         table.row([
             b.to_string(),
             fmt_duration(static_t),
             fmt_duration(dyn_t),
-            moved_after.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            moved_after
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
             winner.to_owned(),
         ]);
     }

@@ -45,7 +45,12 @@ pub fn run(full: bool) -> Table {
             "-".to_owned()
         };
         table.row([
-            if policy { "evacuation rule" } else { "no policy" }.to_owned(),
+            if policy {
+                "evacuation rule"
+            } else {
+                "no policy"
+            }
+            .to_owned(),
             survived.to_string(),
             trials.to_string(),
             mean,
@@ -59,7 +64,9 @@ pub fn run(full: bool) -> Table {
 fn trial(policy: bool) -> Option<Duration> {
     let cluster = Cluster::instant(3);
     let admin = cluster.cores[0].clone();
-    let worker = admin.new_complet_at("core1", "Servant", &[]).expect("worker");
+    let worker = admin
+        .new_complet_at("core1", "Servant", &[])
+        .expect("worker");
     worker.call("touch", &[]).expect("pre-shutdown call");
 
     let engine = ScriptEngine::new(admin.clone());

@@ -24,6 +24,7 @@ pub fn run(full: bool) -> Table {
 
     let direct = direct_dispatch(n);
     let local = tier_run(n, None);
+    let local_untraced = tier_run_traced(n, None, false);
     let lan = tier_run(n / 5, Some(LinkConfig::new(Duration::from_micros(500))));
     let wan = tier_run(200, Some(LinkConfig::new(Duration::from_millis(8))));
 
@@ -31,6 +32,7 @@ pub fn run(full: bool) -> Table {
     for (name, d) in [
         ("direct Rust dispatch", direct),
         ("local stub+tracker", local),
+        ("local, tracing off", local_untraced),
         ("remote LAN (0.5ms)", lan),
         ("remote WAN (8ms)", wan),
     ] {
@@ -66,10 +68,17 @@ fn direct_dispatch(n: usize) -> Duration {
 
 /// Invocation through the full runtime, optionally across a link.
 fn tier_run(n: usize, link: Option<LinkConfig>) -> Duration {
+    tier_run_traced(n, link, true)
+}
+
+/// Like [`tier_run`], with span recording switched on or off — the
+/// telemetry-overhead guardrail measures the gap between the two.
+fn tier_run_traced(n: usize, link: Option<LinkConfig>, traced: bool) -> Duration {
     let spec = match link {
         Some(l) => ClusterSpec::instant(2).link(l),
         None => ClusterSpec::instant(1),
-    };
+    }
+    .tracing(traced);
     let remote = spec.cores > 1;
     let cluster = spec.build();
     let servant = if remote {
@@ -77,7 +86,9 @@ fn tier_run(n: usize, link: Option<LinkConfig>) -> Duration {
             .new_complet_at("core1", "Servant", &[])
             .expect("remote servant")
     } else {
-        cluster.cores[0].new_complet("Servant", &[]).expect("servant")
+        cluster.cores[0]
+            .new_complet("Servant", &[])
+            .expect("servant")
     };
     servant.call("touch", &[]).expect("warm");
     let samples = Samples::collect(n, || {
@@ -99,6 +110,19 @@ mod tests {
         // bare dynamic dispatch, and well under a LAN round trip.
         assert!(local < Duration::from_millis(1), "local call is {local:?}");
         assert!(local >= direct, "stub cannot be faster than direct");
+    }
+
+    #[test]
+    fn telemetry_overhead_is_bounded() {
+        // Guardrail: span recording on the local invoke path must not
+        // blow up the cost — allow generous slack for timer noise, but
+        // catch an accidental O(n) or lock on the hot path.
+        let traced = tier_run_traced(3_000, None, true);
+        let untraced = tier_run_traced(3_000, None, false);
+        assert!(
+            traced < untraced.mul_f64(2.0) + Duration::from_micros(50),
+            "tracing on {traced:?} vs off {untraced:?}"
+        );
     }
 
     #[test]

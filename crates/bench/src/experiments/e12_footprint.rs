@@ -13,7 +13,11 @@ use crate::harness::Cluster;
 use crate::table::Table;
 
 pub fn run(full: bool) -> Table {
-    let ns: &[usize] = if full { &[100, 1_000, 10_000, 50_000] } else { &[100, 1_000, 10_000] };
+    let ns: &[usize] = if full {
+        &[100, 1_000, 10_000, 50_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
     let mut table = Table::new(
         "E12: repository capacity — instantiation and per-complet footprint",
         &["complets", "create rate (/s)", "state bytes/complet", "call after fill"],
@@ -30,9 +34,7 @@ pub fn run(full: bool) -> Table {
             first.get_or_insert(b);
         }
         let create_rate = n as f64 / t0.elapsed().as_secs_f64();
-        let mem = core
-            .profile_instant(&Service::MemoryUse)
-            .unwrap_or(0.0);
+        let mem = core.profile_instant(&Service::MemoryUse).unwrap_or(0.0);
         let per = mem / n as f64;
         let t1 = Instant::now();
         first

@@ -31,7 +31,8 @@ pub fn all() -> Vec<Experiment> {
     vec![
         Experiment {
             id: "E1",
-            summary: "invocation latency vs tracker-chain length; chain shortening; home-based ablation",
+            summary:
+                "invocation latency vs tracker-chain length; chain shortening; home-based ablation",
             run: e01_chains::run,
         },
         Experiment {
@@ -51,7 +52,8 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment {
             id: "E5",
-            summary: "relocator semantics: link/pull/duplicate/stamp move cost and post-move latency",
+            summary:
+                "relocator semantics: link/pull/duplicate/stamp move cost and post-move latency",
             run: e05_relocators::run,
         },
         Experiment {
@@ -66,7 +68,8 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment {
             id: "E8",
-            summary: "HEADLINE adaptive layout: static vs dynamic over a WAN, crossover vs burst length",
+            summary:
+                "HEADLINE adaptive layout: static vs dynamic over a WAN, crossover vs burst length",
             run: e08_adaptive::run,
         },
         Experiment {

@@ -2,7 +2,8 @@
 
 use std::time::Duration;
 
-use fargo_core::{Core, CoreConfig, TrackingMode};
+use fargo_core::{Core, CoreConfig, TelemetryRegistry, TrackingMode};
+use fargo_telemetry::render_snapshots_json;
 use simnet::{LinkConfig, Network, NetworkConfig};
 
 use crate::workload::bench_registry;
@@ -20,6 +21,8 @@ pub struct ClusterSpec {
     pub tracking: TrackingMode,
     /// Monitor tick (drives profiling resolution).
     pub monitor_tick: Duration,
+    /// Whether Cores record spans for cross-Core tracing.
+    pub trace_enabled: bool,
 }
 
 impl ClusterSpec {
@@ -31,6 +34,7 @@ impl ClusterSpec {
             time_scale: 1.0,
             tracking: TrackingMode::Chains,
             monitor_tick: Duration::from_millis(10),
+            trace_enabled: true,
         }
     }
 
@@ -54,6 +58,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Turns span recording on or off (metrics stay on either way).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(NetworkConfig {
@@ -62,22 +72,29 @@ impl ClusterSpec {
             ..NetworkConfig::default()
         });
         let registry = bench_registry();
+        let telemetry = TelemetryRegistry::new();
         let config = CoreConfig {
             tracking: self.tracking,
             monitor_tick: self.monitor_tick,
             rpc_timeout: Duration::from_secs(30),
             ..CoreConfig::default()
-        };
+        }
+        .with_tracing(self.trace_enabled);
         let cores = (0..self.cores)
             .map(|i| {
                 Core::builder(&net, &format!("core{i}"))
                     .registry(&registry)
                     .config(config.clone())
+                    .telemetry(&telemetry)
                     .spawn()
                     .expect("core must spawn")
             })
             .collect();
-        Cluster { net, cores }
+        Cluster {
+            net,
+            cores,
+            telemetry,
+        }
     }
 }
 
@@ -87,6 +104,8 @@ pub struct Cluster {
     pub net: Network,
     /// The Cores, `core0..coreN-1`.
     pub cores: Vec<Core>,
+    /// Metrics registry shared by every Core in the cluster.
+    pub telemetry: TelemetryRegistry,
 }
 
 impl Cluster {
@@ -107,6 +126,15 @@ impl Cluster {
         self.net
             .link_stats(self.cores[a].node(), self.cores[b].node())
             .bytes
+    }
+
+    /// JSON snapshot of the cluster-wide metrics registry, with link
+    /// gauges refreshed first.
+    pub fn metrics_json(&self) -> String {
+        for c in &self.cores {
+            c.refresh_link_metrics();
+        }
+        render_snapshots_json(&self.telemetry.snapshot())
     }
 }
 
@@ -132,5 +160,21 @@ mod tests {
         let before = cluster.messages(0, 1);
         s.call("touch", &[Value::Null]).unwrap();
         assert!(cluster.messages(0, 1) > before);
+    }
+
+    #[test]
+    fn shared_registry_covers_cores_and_exports_json() {
+        let cluster = Cluster::instant(2);
+        let s = cluster.cores[0]
+            .new_complet_at("core1", "Servant", &[])
+            .unwrap();
+        s.call("touch", &[Value::Null]).unwrap();
+        let json = cluster.metrics_json();
+        // Both Cores publish into the one registry...
+        assert!(json.contains("\"name\":\"fargo_invoke_total\""), "{json}");
+        assert!(json.contains("\"core\":\"core0\""), "{json}");
+        assert!(json.contains("\"core\":\"core1\""), "{json}");
+        // ...and the remote call left link gauges behind.
+        assert!(json.contains("\"name\":\"fargo_link_bytes\""), "{json}");
     }
 }

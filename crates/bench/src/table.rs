@@ -56,13 +56,67 @@ impl Table {
 
     /// Cell accessor (row, column), as text.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     /// The table title.
     pub fn title(&self) -> &str {
         &self.title
     }
+
+    /// Renders the table as a JSON object:
+    /// `{"title", "headers", "rows", "note"}`. Hand-rolled — the
+    /// workspace carries no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        json_escape(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_escape(&mut out, cell);
+            }
+            out.push(']');
+        }
+        out.push_str("],\"note\":");
+        json_escape(&mut out, &self.note);
+        out.push('}');
+        out
+    }
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl fmt::Display for Table {
@@ -118,5 +172,16 @@ mod tests {
     fn wrong_width_rejected() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests() {
+        let mut t = Table::new("q\"x", &["a", "b"]).with_note("n");
+        t.row(["1", "two\nlines"]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"q\\\"x\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"two\\nlines\"]],\"note\":\"n\"}"
+        );
     }
 }

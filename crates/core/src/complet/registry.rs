@@ -18,8 +18,7 @@ use crate::complet::Complet;
 use crate::error::{FargoError, Result};
 
 /// Constructor for a complet type: receives the instantiation arguments.
-pub type CompletFactory =
-    Arc<dyn Fn(&[Value]) -> Result<Box<dyn Complet>> + Send + Sync + 'static>;
+pub type CompletFactory = Arc<dyn Fn(&[Value]) -> Result<Box<dyn Complet>> + Send + Sync + 'static>;
 
 /// A shared map from complet type names to constructors.
 ///
@@ -157,7 +156,10 @@ mod tests {
         }
         let reg = CompletRegistry::new();
         reg.register("N", |args| {
-            Ok(Box::new(N(args.first().and_then(Value::as_i64).unwrap_or(0))))
+            Ok(Box::new(N(args
+                .first()
+                .and_then(Value::as_i64)
+                .unwrap_or(0))))
         });
         let c = reg.construct("N", &[Value::I64(7)]).unwrap();
         assert_eq!(c.marshal(), Value::I64(7));

@@ -135,7 +135,11 @@ impl<T: StateValue> StateValue for Vec<T> {
 
 impl<T: StateValue> StateValue for BTreeMap<String, T> {
     fn to_state(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_state())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_state()))
+                .collect(),
+        )
     }
     fn from_state(v: Value) -> Result<Self> {
         match v {

@@ -43,6 +43,12 @@ pub struct CoreConfig {
     /// Maximum complets this Core admits (instantiation and arrival); the
     /// §7 resource-negotiation hook. `None` means unbounded.
     pub capacity: Option<usize>,
+    /// Whether invocations and moves record trace spans and propagate a
+    /// [`fargo_telemetry::TraceContext`] in request envelopes. Metrics
+    /// are always on; only span recording is gated (it allocates).
+    pub trace_enabled: bool,
+    /// Ring-buffer capacity of this Core's span log (oldest evicted).
+    pub trace_capacity: usize,
 }
 
 impl Default for CoreConfig {
@@ -57,6 +63,8 @@ impl Default for CoreConfig {
             stamp_strict: false,
             transit_wait: Duration::from_secs(5),
             capacity: None,
+            trace_enabled: true,
+            trace_capacity: 1024,
         }
     }
 }
@@ -83,6 +91,12 @@ impl CoreConfig {
     /// Configuration with a complet capacity (admission control).
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity);
+        self
+    }
+
+    /// Configuration with span recording switched on or off.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
         self
     }
 }

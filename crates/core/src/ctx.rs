@@ -41,7 +41,12 @@ pub struct Ctx {
 }
 
 impl Ctx {
-    pub(crate) fn new(core: Core, self_id: CompletId, self_type: String, chain: Vec<CompletId>) -> Self {
+    pub(crate) fn new(
+        core: Core,
+        self_id: CompletId,
+        self_type: String,
+        chain: Vec<CompletId>,
+    ) -> Self {
         Ctx {
             core,
             self_id,

@@ -76,7 +76,10 @@ impl fmt::Display for FargoError {
             } => write!(f, "complet type {complet_type:?} has no method {method:?}"),
             FargoError::App(msg) => write!(f, "application error: {msg}"),
             FargoError::ReentrantInvocation(id) => {
-                write!(f, "invocation re-enters complet {id} already on the call chain")
+                write!(
+                    f,
+                    "invocation re-enters complet {id} already on the call chain"
+                )
             }
             FargoError::Timeout => write!(f, "remote core did not answer in time"),
             FargoError::UnknownCore(name) => write!(f, "unknown core {name:?}"),

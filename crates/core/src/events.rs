@@ -201,7 +201,9 @@ impl EventPayload {
                     .ok_or_else(|| FargoError::Protocol("event missing value".into()))?,
                 core: num("core")?,
             }),
-            other => Err(FargoError::Protocol(format!("unknown event kind {other:?}"))),
+            other => Err(FargoError::Protocol(format!(
+                "unknown event kind {other:?}"
+            ))),
         }
     }
 }
@@ -346,8 +348,7 @@ impl EventHub {
         let mut subs = self.subs.lock();
         let before = subs.len();
         subs.retain(|s| {
-            !(s.selector == selector
-                && matches!(&s.sink, Delivery::Remote(l) if l == listener))
+            !(s.selector == selector && matches!(&s.sink, Delivery::Remote(l) if l == listener))
         });
         before - subs.len()
     }

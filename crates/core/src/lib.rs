@@ -63,6 +63,7 @@ mod monitor;
 mod proto;
 mod reference;
 mod runtime;
+mod telemetry;
 
 pub use carrier::Carrier;
 pub use complet::{Complet, CompletRegistry, StateValue};
@@ -80,3 +81,8 @@ pub use runtime::{BoundRef, Core, CoreBuilder, RemoteSubscription};
 // Re-exported so `define_complet!` expansions and user code agree on the
 // value/id types without importing `fargo-wire` separately.
 pub use fargo_wire::{CompletId, RefDescriptor, Value};
+
+pub use fargo_telemetry::{
+    render_span_tree, MetricValue, Registry as TelemetryRegistry, Snapshot as MetricSnapshot,
+    SpanRecord, TraceContext,
+};

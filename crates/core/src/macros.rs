@@ -277,9 +277,7 @@ mod tests {
     fn registry_factory_runs_init() {
         let reg = CompletRegistry::new();
         Greeter::register(&reg);
-        let c = reg
-            .construct("Greeter", &[Value::from("shalom")])
-            .unwrap();
+        let c = reg.construct("Greeter", &[Value::from("shalom")]).unwrap();
         assert_eq!(
             c.marshal().get("greeting").and_then(Value::as_str),
             Some("shalom")

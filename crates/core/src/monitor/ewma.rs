@@ -49,7 +49,6 @@ impl Ewma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn first_sample_initialises() {
@@ -87,32 +86,52 @@ mod tests {
         let _ = Ewma::new(0.0);
     }
 
-    proptest! {
-        /// The average always stays within the range of observed samples.
-        #[test]
-        fn prop_average_is_bounded(
-            alpha in 0.01f64..=1.0,
-            samples in proptest::collection::vec(-1e6f64..1e6, 1..50)
-        ) {
+    /// Seeded SplitMix64 so the randomized checks stay deterministic.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(state: &mut u64) -> f64 {
+        (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The average always stays within the range of observed samples.
+    #[test]
+    fn average_is_bounded_by_observed_samples() {
+        let mut seed = 0xe3_14;
+        for _case in 0..200 {
+            let alpha = 0.01 + 0.99 * unit_f64(&mut seed);
+            let count = 1 + (splitmix(&mut seed) % 49) as usize;
             let mut e = Ewma::new(alpha);
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            for s in &samples {
-                lo = lo.min(*s);
-                hi = hi.max(*s);
-                let v = e.update(*s);
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            for _ in 0..count {
+                let s = (unit_f64(&mut seed) - 0.5) * 2e6;
+                lo = lo.min(s);
+                hi = hi.max(s);
+                let v = e.update(s);
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
             }
         }
+    }
 
-        /// With constant input the average converges to that constant.
-        #[test]
-        fn prop_converges_on_constant(alpha in 0.05f64..=1.0, c in -1e6f64..1e6) {
+    /// With constant input the average converges to that constant.
+    #[test]
+    fn converges_on_constant_input() {
+        let mut seed = 0xc0;
+        for _case in 0..100 {
+            let alpha = 0.05 + 0.95 * unit_f64(&mut seed);
+            let c = (unit_f64(&mut seed) - 0.5) * 2e6;
             let mut e = Ewma::new(alpha);
             for _ in 0..500 {
                 e.update(c);
             }
-            prop_assert!((e.value().unwrap() - c).abs() < 1e-3 + c.abs() * 1e-6);
+            let err = (e.value().unwrap() - c).abs();
+            assert!(err < 1e-3 + c.abs() * 1e-6, "did not converge: err {err}");
         }
     }
 }

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fargo_telemetry::{Counter, Registry};
 use fargo_wire::CompletId;
 use parking_lot::Mutex;
 
@@ -49,6 +50,11 @@ struct Cached {
 }
 
 /// Counters for the monitoring-overhead experiment (E6).
+///
+/// Since the telemetry registry landed this is a point-in-time *view* of
+/// the registry-backed counters (see [`Monitor::stats`]); the struct is
+/// kept so existing callers and experiments read overhead numbers the
+/// same way as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorStats {
     /// Evaluations of the underlying sampler.
@@ -82,7 +88,9 @@ pub struct Monitor {
     cache: Mutex<HashMap<Service, Cached>>,
     cache_ttl: Duration,
     alpha: f64,
-    stats: Mutex<MonitorStats>,
+    samples_total: Counter,
+    cache_hits_total: Counter,
+    events_total: Counter,
     pub(crate) invocations: InvocationCounters,
     /// Rate bookkeeping: last total seen per rate-style service.
     last_totals: Mutex<HashMap<Service, (u64, Instant)>>,
@@ -97,10 +105,21 @@ impl Monitor {
             cache: Mutex::new(HashMap::new()),
             cache_ttl,
             alpha,
-            stats: Mutex::new(MonitorStats::default()),
+            samples_total: Counter::default(),
+            cache_hits_total: Counter::default(),
+            events_total: Counter::default(),
             invocations: InvocationCounters::default(),
             last_totals: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Exposes the overhead counters through a telemetry registry, so the
+    /// E6 numbers appear in the same exposition as everything else.
+    pub(crate) fn register_metrics(&self, registry: &Registry, core: &str) {
+        let l = &[("core", core)][..];
+        registry.register_counter("fargo_monitor_samples_total", l, &self.samples_total);
+        registry.register_counter("fargo_monitor_cache_hits_total", l, &self.cache_hits_total);
+        registry.register_counter("fargo_monitor_events_total", l, &self.events_total);
     }
 
     pub(crate) fn install_sampler(&self, sampler: Sampler) {
@@ -113,7 +132,7 @@ impl Monitor {
             .lock()
             .clone()
             .ok_or_else(|| FargoError::App("monitor has no sampler installed".into()))?;
-        self.stats.lock().samples += 1;
+        self.samples_total.inc();
         sampler(service)
             .ok_or_else(|| FargoError::InvalidArgument(format!("cannot measure {service}")))
     }
@@ -130,7 +149,7 @@ impl Monitor {
         let now = Instant::now();
         if let Some(c) = self.cache.lock().get(service) {
             if now.duration_since(c.at) < self.cache_ttl {
-                self.stats.lock().cache_hits += 1;
+                self.cache_hits_total.inc();
                 return Ok(c.value);
             }
         }
@@ -198,9 +217,14 @@ impl Monitor {
         self.continuous.lock().len()
     }
 
-    /// Snapshot of overhead counters.
+    /// Snapshot of overhead counters (a view of the telemetry-backed
+    /// counters, kept for E6 and shell compatibility).
     pub fn stats(&self) -> MonitorStats {
-        *self.stats.lock()
+        MonitorStats {
+            samples: self.samples_total.get(),
+            cache_hits: self.cache_hits_total.get(),
+            events_emitted: self.events_total.get(),
+        }
     }
 
     /// Advances continuous sampling: samples every due service and
@@ -243,7 +267,7 @@ impl Monitor {
                 core: core_node,
             });
         }
-        self.stats.lock().events_emitted += events.len() as u64;
+        self.events_total.add(events.len() as u64);
         events
     }
 
@@ -375,6 +399,23 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let r = m.rate_from_total(&s, 30);
         assert!(r > 0.0, "20 events over ~20ms must be positive, got {r}");
+    }
+
+    #[test]
+    fn stats_shim_matches_registry_exposition() {
+        let m = with_sampler(|_| Some(7.0));
+        let reg = Registry::new();
+        m.register_metrics(&reg, "t");
+        m.instant(&Service::CompletLoad).unwrap();
+        m.instant(&Service::CompletLoad).unwrap(); // cache hit
+        assert_eq!(m.stats().samples, 1);
+        assert_eq!(m.stats().cache_hits, 1);
+        let samples = reg
+            .snapshot()
+            .into_iter()
+            .find(|s| s.name == "fargo_monitor_samples_total")
+            .expect("registered series");
+        assert_eq!(samples.value, fargo_telemetry::MetricValue::Counter(1));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! along the recorded forwarding path so every tracker on an invocation
 //! chain learns the target's final location (§3.1's chain shortening).
 
+use fargo_telemetry::{SpanRecord, TraceContext};
 use fargo_wire::{decode_value, encode_value, CompletId, RefDescriptor, Value};
 
 use crate::error::{FargoError, Result};
@@ -43,6 +44,9 @@ pub(crate) enum ListenerAddr {
 }
 
 /// Request bodies.
+// `MoveRequest` is named after the wire operation (a request *to move*,
+// distinct from `Move`, the marshaled stream itself).
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Request {
     /// Invoke a method on a (possibly forwarded) complet.
@@ -81,13 +85,40 @@ pub(crate) enum Request {
     },
     /// Cancel a subscription previously installed with the same listener
     /// address and selector.
-    Unsubscribe { selector: String, listener: ListenerAddr },
+    Unsubscribe {
+        selector: String,
+        listener: ListenerAddr,
+    },
     /// List the complets resident at the receiver (admin tooling).
     ListComplets,
     /// List the receiver's tracker table (reference inspection).
     ListTrackers,
+    /// Collect the receiver's recorded spans for one trace id.
+    TraceSpans { trace_id: u64 },
     /// Latency probe.
     Ping,
+}
+
+impl Request {
+    /// Stable lowercase name of the request kind, used as the
+    /// `kind` label on per-message-type metrics.
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Invoke { .. } => "invoke",
+            Request::Move { .. } => "move",
+            Request::NewComplet { .. } => "new",
+            Request::NameLookup { .. } => "lookup",
+            Request::FetchState { .. } => "fetch",
+            Request::MoveRequest { .. } => "move_req",
+            Request::WhereIs { .. } => "where",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Unsubscribe { .. } => "unsubscribe",
+            Request::ListComplets => "list",
+            Request::ListTrackers => "list_trk",
+            Request::TraceSpans { .. } => "trace_spans",
+            Request::Ping => "ping",
+        }
+    }
 }
 
 /// Reply bodies.
@@ -127,6 +158,10 @@ pub(crate) enum Reply {
     Trackers {
         items: Vec<(CompletId, Option<u32>, u64)>,
     },
+    /// Spans recorded at the replying Core for a requested trace id.
+    Spans {
+        spans: Vec<SpanRecord>,
+    },
     Ok,
     Pong,
     Err(FargoError),
@@ -151,6 +186,10 @@ pub(crate) enum Message {
         req_id: ReqId,
         /// Node index of the Core awaiting the reply.
         origin: u32,
+        /// Trace context propagated from the caller, if the operation is
+        /// being traced. Optional on the wire (`tr` field), so envelopes
+        /// from untraced callers stay byte-compatible.
+        trace: Option<TraceContext>,
         body: Request,
     },
     Reply {
@@ -299,14 +338,12 @@ fn error_from_value(v: &Value) -> Result<FargoError> {
         "hop_limit" => FargoError::HopLimit(detail.parse().unwrap_or(0)),
         // Complet ids inside error details are informational; decode as App
         // if unparsable rather than failing the whole reply.
-        "unknown_complet" | "reentrant" | "already_moving" => {
-            match parse_id(&detail) {
-                Some(id) if code == "unknown_complet" => FargoError::UnknownComplet(id),
-                Some(id) if code == "reentrant" => FargoError::ReentrantInvocation(id),
-                Some(id) => FargoError::AlreadyMoving(id),
-                None => FargoError::App(format!("{code}: {detail}")),
-            }
-        }
+        "unknown_complet" | "reentrant" | "already_moving" => match parse_id(&detail) {
+            Some(id) if code == "unknown_complet" => FargoError::UnknownComplet(id),
+            Some(id) if code == "reentrant" => FargoError::ReentrantInvocation(id),
+            Some(id) => FargoError::AlreadyMoving(id),
+            None => FargoError::App(format!("{code}: {detail}")),
+        },
         _ => FargoError::App(detail),
     })
 }
@@ -315,6 +352,44 @@ fn parse_id(s: &str) -> Option<CompletId> {
     let rest = s.strip_prefix('c')?;
     let (origin, seq) = rest.split_once('.')?;
     Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Spans cross the wire as flat 7-element lists:
+/// `[trace, span, parent, name, core, start_us, duration_us]`.
+fn span_to_value(s: &SpanRecord) -> Value {
+    Value::list([
+        Value::I64(s.trace_id as i64),
+        Value::I64(s.span_id as i64),
+        Value::I64(s.parent_id as i64),
+        Value::from(s.name.as_str()),
+        Value::from(s.core.as_str()),
+        Value::I64(s.start_us as i64),
+        Value::I64(s.duration_us as i64),
+    ])
+}
+
+fn span_from_value(v: &Value) -> Result<SpanRecord> {
+    let int = |i: usize| -> Result<u64> {
+        v.index(i)
+            .and_then(Value::as_i64)
+            .map(|x| x as u64)
+            .ok_or_else(|| FargoError::Protocol("bad span field".into()))
+    };
+    let text = |i: usize| -> Result<String> {
+        v.index(i)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| FargoError::Protocol("bad span field".into()))
+    };
+    Ok(SpanRecord {
+        trace_id: int(0)?,
+        span_id: int(1)?,
+        parent_id: int(2)?,
+        name: text(3)?,
+        core: text(4)?,
+        start_us: int(5)?,
+        duration_us: int(6)?,
+    })
 }
 
 fn listener_to_value(l: &ListenerAddr) -> Value {
@@ -417,19 +492,17 @@ impl Request {
                 ("kind", Value::from("lookup")),
                 ("name", Value::from(name.as_str())),
             ]),
-            Request::FetchState { id } => Value::map([
-                ("kind", Value::from("fetch")),
-                ("id", id_to_value(*id)),
-            ]),
+            Request::FetchState { id } => {
+                Value::map([("kind", Value::from("fetch")), ("id", id_to_value(*id))])
+            }
             Request::MoveRequest { id, dest } => Value::map([
                 ("kind", Value::from("move_req")),
                 ("id", id_to_value(*id)),
                 ("dest", Value::from(*dest)),
             ]),
-            Request::WhereIs { id } => Value::map([
-                ("kind", Value::from("where")),
-                ("id", id_to_value(*id)),
-            ]),
+            Request::WhereIs { id } => {
+                Value::map([("kind", Value::from("where")), ("id", id_to_value(*id))])
+            }
             Request::Subscribe {
                 selector,
                 threshold,
@@ -449,6 +522,10 @@ impl Request {
             ]),
             Request::ListComplets => Value::map([("kind", Value::from("list"))]),
             Request::ListTrackers => Value::map([("kind", Value::from("list_trk"))]),
+            Request::TraceSpans { trace_id } => Value::map([
+                ("kind", Value::from("trace_spans")),
+                ("trace", Value::I64(*trace_id as i64)),
+            ]),
             Request::Ping => Value::map([("kind", Value::from("ping"))]),
         }
     }
@@ -501,10 +578,7 @@ impl Request {
             "subscribe" => Ok(Request::Subscribe {
                 selector: str_field(v, "selector")?,
                 threshold: v.get("threshold").and_then(Value::as_f64),
-                above: v
-                    .get("above")
-                    .and_then(Value::as_bool)
-                    .unwrap_or(true),
+                above: v.get("above").and_then(Value::as_bool).unwrap_or(true),
                 listener: listener_from_value(&value_field(v, "listener")?)?,
             }),
             "unsubscribe" => Ok(Request::Unsubscribe {
@@ -513,8 +587,13 @@ impl Request {
             }),
             "list" => Ok(Request::ListComplets),
             "list_trk" => Ok(Request::ListTrackers),
+            "trace_spans" => Ok(Request::TraceSpans {
+                trace_id: u64_field(v, "trace")?,
+            }),
             "ping" => Ok(Request::Ping),
-            other => Err(FargoError::Protocol(format!("unknown request kind {other:?}"))),
+            other => Err(FargoError::Protocol(format!(
+                "unknown request kind {other:?}"
+            ))),
         }
     }
 }
@@ -563,9 +642,7 @@ impl Reply {
                     Value::List(
                         items
                             .iter()
-                            .map(|(id, t)| {
-                                Value::list([id_to_value(*id), Value::from(t.as_str())])
-                            })
+                            .map(|(id, t)| Value::list([id_to_value(*id), Value::from(t.as_str())]))
                             .collect(),
                     ),
                 ),
@@ -588,12 +665,18 @@ impl Reply {
                     ),
                 ),
             ]),
+            Reply::Spans { spans } => Value::map([
+                ("kind", Value::from("spans")),
+                (
+                    "spans",
+                    Value::List(spans.iter().map(span_to_value).collect()),
+                ),
+            ]),
             Reply::Ok => Value::map([("kind", Value::from("ok"))]),
             Reply::Pong => Value::map([("kind", Value::from("pong"))]),
-            Reply::Err(e) => Value::map([
-                ("kind", Value::from("err")),
-                ("error", error_to_value(e)),
-            ]),
+            Reply::Err(e) => {
+                Value::map([("kind", Value::from("err")), ("error", error_to_value(e))])
+            }
         }
     }
 
@@ -659,10 +742,18 @@ impl Reply {
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Reply::Trackers { items })
             }
+            "spans" => Ok(Reply::Spans {
+                spans: list_field(v, "spans")?
+                    .iter()
+                    .map(span_from_value)
+                    .collect::<Result<Vec<_>>>()?,
+            }),
             "ok" => Ok(Reply::Ok),
             "pong" => Ok(Reply::Pong),
             "err" => Ok(Reply::Err(error_from_value(&value_field(v, "error")?)?)),
-            other => Err(FargoError::Protocol(format!("unknown reply kind {other:?}"))),
+            other => Err(FargoError::Protocol(format!(
+                "unknown reply kind {other:?}"
+            ))),
         }
     }
 }
@@ -700,25 +791,50 @@ impl Notify {
             "shutdown" => Ok(Notify::CoreShutdown {
                 node: u64_field(v, "node")? as u32,
             }),
-            other => Err(FargoError::Protocol(format!("unknown notify kind {other:?}"))),
+            other => Err(FargoError::Protocol(format!(
+                "unknown notify kind {other:?}"
+            ))),
         }
     }
 }
 
 impl Message {
+    /// Stable lowercase label for per-message-type metrics: the request
+    /// kind for requests, `reply` / `notify` otherwise.
+    pub(crate) fn kind_label(&self) -> &'static str {
+        match self {
+            Message::Request { body, .. } => body.kind_name(),
+            Message::Reply { .. } => "reply",
+            Message::Notify(_) => "notify",
+        }
+    }
+
     /// Encodes the message for transmission.
     pub fn encode(&self) -> bytes::Bytes {
         let v = match self {
             Message::Request {
                 req_id,
                 origin,
+                trace,
                 body,
-            } => Value::map([
-                ("t", Value::from("req")),
-                ("id", Value::I64(*req_id as i64)),
-                ("origin", Value::from(*origin)),
-                ("body", body.to_value()),
-            ]),
+            } => {
+                let mut m = Value::map([
+                    ("t", Value::from("req")),
+                    ("id", Value::I64(*req_id as i64)),
+                    ("origin", Value::from(*origin)),
+                    ("body", body.to_value()),
+                ]);
+                if let Some(tr) = trace {
+                    m.insert(
+                        "tr",
+                        Value::list([
+                            Value::I64(tr.trace_id as i64),
+                            Value::I64(tr.span_id as i64),
+                        ]),
+                    );
+                }
+                m
+            }
             Message::Reply {
                 req_id,
                 route,
@@ -729,10 +845,7 @@ impl Message {
                 ("route", nodes_to_value(route)),
                 ("body", body.to_value()),
             ]),
-            Message::Notify(n) => Value::map([
-                ("t", Value::from("ntf")),
-                ("body", n.to_value()),
-            ]),
+            Message::Notify(n) => Value::map([("t", Value::from("ntf")), ("body", n.to_value())]),
         };
         encode_value(&v)
     }
@@ -749,6 +862,12 @@ impl Message {
             "req" => Ok(Message::Request {
                 req_id: u64_field(&v, "id")?,
                 origin: u64_field(&v, "origin")? as u32,
+                trace: v.get("tr").and_then(|tr| {
+                    Some(TraceContext {
+                        trace_id: tr.index(0)?.as_i64()? as u64,
+                        span_id: tr.index(1)?.as_i64()? as u64,
+                    })
+                }),
                 body: Request::from_value(&value_field(&v, "body")?)?,
             }),
             "rep" => Ok(Message::Reply {
@@ -778,6 +897,7 @@ mod tests {
         roundtrip(Message::Request {
             req_id: 42,
             origin: 1,
+            trace: None,
             body: Request::Invoke {
                 target: CompletId::new(0, 7),
                 method: "print".into(),
@@ -794,6 +914,7 @@ mod tests {
         roundtrip(Message::Request {
             req_id: 1,
             origin: 0,
+            trace: None,
             body: Request::Move {
                 packets: vec![CompletPacket {
                     id: CompletId::new(0, 1),
@@ -815,6 +936,7 @@ mod tests {
         roundtrip(Message::Request {
             req_id: 1,
             origin: 0,
+            trace: None,
             body: Request::Move {
                 packets: vec![],
                 continuation: None,
@@ -914,6 +1036,7 @@ mod tests {
             roundtrip(Message::Request {
                 req_id: 5,
                 origin: 0,
+                trace: None,
                 body: Request::Subscribe {
                     selector: "completLoad".into(),
                     threshold: Some(3.0),

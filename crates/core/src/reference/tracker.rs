@@ -68,20 +68,29 @@ impl TrackerTable {
 
     /// Points the tracker for `id` at the given target, creating it if
     /// needed. This is both tracker creation on arrival (`Local`) and
-    /// repointing on departure or chain shortening (`Forward`).
-    pub fn point(&self, id: CompletId, target: TrackerTarget) {
+    /// repointing on departure or chain shortening (`Forward`). Returns
+    /// where the tracker pointed before, so callers can tell an actual
+    /// repoint (a chain shortening) from a no-op confirmation.
+    pub fn point(&self, id: CompletId, target: TrackerTarget) -> Option<TrackerTarget> {
         let mut map = self.map.lock();
         let now = Instant::now();
-        map.entry(id)
-            .and_modify(|t| {
+        match map.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let prev = e.get().target;
+                let t = e.get_mut();
                 t.target = target;
                 t.updated_at = now;
-            })
-            .or_insert(Tracker {
-                target,
-                hits: 0,
-                updated_at: now,
-            });
+                Some(prev)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Tracker {
+                    target,
+                    hits: 0,
+                    updated_at: now,
+                });
+                None
+            }
+        }
     }
 
     /// Creates a forwarding tracker only if none exists yet (used when a

@@ -13,6 +13,7 @@ use std::sync::atomic::Ordering;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use fargo_telemetry::TraceContext;
 use fargo_wire::{CompletId, Value};
 
 use crate::config::TrackingMode;
@@ -21,6 +22,7 @@ use crate::proto::{Message, Reply, ReqId, Request};
 use crate::reference::tracker::TrackerTarget;
 use crate::reference::CompletRef;
 use crate::runtime::{Core, SlotState, APP_SEQ};
+use crate::telemetry;
 
 /// Outcome of attempting to run an invocation on a local slot.
 enum LocalExec {
@@ -59,6 +61,40 @@ impl Core {
         args: &[Value],
         chain: Vec<CompletId>,
     ) -> Result<Value> {
+        let t = &self.inner.telemetry;
+        t.invoke_total.inc();
+        // Root span (or child of the ambient one, when called from inside
+        // another traced invocation); ambient while routing so outbound
+        // requests carry the context.
+        let span = if t.trace_enabled {
+            let parent = telemetry::current_trace();
+            let ctx = parent.map_or_else(TraceContext::new_root, |p| p.child());
+            let timer = t.spans.start(
+                ctx,
+                parent.map_or(0, |p| p.span_id),
+                format!("invoke {}.{}", target.target_type(), method),
+            );
+            Some((timer, telemetry::enter_trace(ctx)))
+        } else {
+            None
+        };
+        let started = Instant::now();
+        let result = self.invoke_routed(target, method, args, chain);
+        t.invoke_latency_us.observe_micros(started.elapsed());
+        if let Some((timer, scope)) = span {
+            drop(scope);
+            timer.finish(&t.spans, &self.inner.name);
+        }
+        result
+    }
+
+    fn invoke_routed(
+        &self,
+        target: &CompletRef,
+        method: &str,
+        args: &[Value],
+        chain: Vec<CompletId>,
+    ) -> Result<Value> {
         let id = target.id();
         if chain.contains(&id) {
             return Err(FargoError::ReentrantInvocation(id));
@@ -88,6 +124,7 @@ impl Core {
                         if res.is_ok() {
                             target.set_last_known(me);
                         }
+                        self.inner.telemetry.invoke_hops.observe(0);
                         return res;
                     }
                     LocalExec::Moved => continue,
@@ -220,10 +257,7 @@ impl Core {
             let Some(slot) = self.inner.complets.read().get(&id).cloned() else {
                 return LocalExec::Moved;
             };
-            let Some(mut guard) = slot
-                .state
-                .try_lock_for(self.inner.config.transit_wait)
-            else {
+            let Some(mut guard) = slot.state.try_lock_for(self.inner.config.transit_wait) else {
                 return LocalExec::Done(Err(FargoError::Timeout));
             };
             match &mut *guard {
@@ -272,6 +306,7 @@ impl Core {
         let msg = Message::Request {
             req_id,
             origin: me,
+            trace: telemetry::current_trace(),
             body: Request::Invoke {
                 target,
                 method: method.to_owned(),
@@ -300,6 +335,7 @@ impl Core {
         &self,
         origin: u32,
         req_id: ReqId,
+        trace: Option<TraceContext>,
         target: CompletId,
         method: String,
         args: Vec<Value>,
@@ -327,15 +363,36 @@ impl Core {
         loop {
             match self.inner.trackers.route(target) {
                 Some(TrackerTarget::Local) => {
-                    match self.execute_local(target, &method, &args, &chain) {
-                        LocalExec::Done(Ok(value)) => {
-                            return send_reply(Reply::InvokeOk {
-                                value,
-                                final_location: me,
-                                target,
-                            });
+                    // Execution span, parented on the requesting Core's
+                    // invoke (or forward) span; ambient while the method
+                    // body runs so nested calls join the trace.
+                    let t = &self.inner.telemetry;
+                    let span = match (t.trace_enabled, trace) {
+                        (true, Some(parent)) => {
+                            let ctx = parent.child();
+                            let timer =
+                                t.spans.start(ctx, parent.span_id, format!("exec {method}"));
+                            Some((timer, telemetry::enter_trace(ctx)))
                         }
-                        LocalExec::Done(Err(e)) => return send_reply(Reply::Err(e)),
+                        _ => None,
+                    };
+                    let exec = self.execute_local(target, &method, &args, &chain);
+                    if let Some((timer, scope)) = span {
+                        drop(scope);
+                        timer.finish(&t.spans, &self.inner.name);
+                    }
+                    match exec {
+                        LocalExec::Done(res) => {
+                            self.inner.telemetry.invoke_hops.observe(u64::from(hops));
+                            return match res {
+                                Ok(value) => send_reply(Reply::InvokeOk {
+                                    value,
+                                    final_location: me,
+                                    target,
+                                }),
+                                Err(e) => send_reply(Reply::Err(e)),
+                            };
+                        }
                         LocalExec::Moved => continue,
                     }
                 }
@@ -345,11 +402,27 @@ impl Core {
                             self.inner.config.max_hops,
                         )));
                     }
+                    let t = &self.inner.telemetry;
+                    t.tracker_forwards_served_total.inc();
+                    t.tracker_chain_length.observe(u64::from(hops) + 1);
+                    // The forwarded request carries a span of its own so
+                    // the rendered tree shows each chain hop.
+                    let (fwd_trace, span) = match (t.trace_enabled, trace) {
+                        (true, Some(parent)) => {
+                            let ctx = parent.child();
+                            let timer =
+                                t.spans
+                                    .start(ctx, parent.span_id, format!("forward {method}"));
+                            (Some(ctx), Some(timer))
+                        }
+                        _ => (trace, None),
+                    };
                     let mut fwd_path = path.clone();
                     fwd_path.push(me);
                     let msg = Message::Request {
                         req_id,
                         origin,
+                        trace: fwd_trace,
                         body: Request::Invoke {
                             target,
                             method: method.clone(),
@@ -359,7 +432,11 @@ impl Core {
                             hops: hops + 1,
                         },
                     };
-                    if let Err(e) = self.send_to(next, &msg) {
+                    let sent = self.send_to(next, &msg);
+                    if let Some(timer) = span {
+                        timer.finish(&t.spans, &self.inner.name);
+                    }
+                    if let Err(e) = sent {
                         return send_reply(Reply::Err(e));
                     }
                     return;

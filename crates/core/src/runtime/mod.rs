@@ -18,6 +18,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
+use fargo_telemetry::{render_span_tree, Registry as TelemetryRegistry, SpanRecord, TraceContext};
 use fargo_wire::{CompletId, RefDescriptor, Value};
 use parking_lot::{Mutex, RwLock};
 use simnet::{Endpoint, NetError, Network, NodeId};
@@ -32,6 +33,7 @@ use crate::proto::{ListenerAddr, Message, Notify, Reply, ReqId, Request};
 use crate::reference::relocator::RelocatorRegistry;
 use crate::reference::tracker::{TrackerSnapshot, TrackerTable, TrackerTarget};
 use crate::reference::{CompletRef, MetaRef};
+use crate::telemetry::CoreTelemetry;
 
 /// The synthetic "source complet" id used when application code outside
 /// any complet invokes through a reference; profiling keys on it.
@@ -75,6 +77,7 @@ pub(crate) struct CoreInner {
     pub complet_seq: AtomicU64,
     pub monitor: Monitor,
     pub hub: EventHub,
+    pub telemetry: CoreTelemetry,
     pub shutdown: AtomicBool,
 }
 
@@ -105,6 +108,7 @@ pub struct CoreBuilder<'a> {
     registry: Option<CompletRegistry>,
     relocators: Option<RelocatorRegistry>,
     config: CoreConfig,
+    telemetry: Option<TelemetryRegistry>,
 }
 
 impl<'a> CoreBuilder<'a> {
@@ -134,6 +138,14 @@ impl<'a> CoreBuilder<'a> {
         self
     }
 
+    /// Shares a metrics registry with this Core (so one registry can
+    /// aggregate several Cores; series are disambiguated by the `core`
+    /// label). A fresh registry is created when none is shared.
+    pub fn telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = Some(registry.clone());
+        self
+    }
+
     /// Registers the node, starts the Core's threads, and returns the
     /// handle.
     ///
@@ -150,6 +162,14 @@ impl<'a> CoreBuilder<'a> {
         };
         let node = endpoint.id();
         let config = self.config;
+        let telemetry = CoreTelemetry::new(
+            self.telemetry.unwrap_or_default(),
+            &name,
+            config.trace_enabled,
+            config.trace_capacity,
+        );
+        let monitor = Monitor::new(config.monitor_cache_ttl, config.monitor_alpha);
+        monitor.register_metrics(&telemetry.registry, &name);
         let inner = Arc::new(CoreInner {
             name,
             node,
@@ -157,7 +177,8 @@ impl<'a> CoreBuilder<'a> {
             endpoint,
             registry: self.registry.unwrap_or_default(),
             relocators: self.relocators.unwrap_or_default(),
-            monitor: Monitor::new(config.monitor_cache_ttl, config.monitor_alpha),
+            monitor,
+            telemetry,
             config,
             complets: RwLock::new(HashMap::new()),
             trackers: TrackerTable::new(),
@@ -190,6 +211,7 @@ impl Core {
             registry: None,
             relocators: None,
             config: CoreConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -221,6 +243,77 @@ impl Core {
     /// The monitoring facility (§4.1).
     pub fn monitor(&self) -> &Monitor {
         &self.inner.monitor
+    }
+
+    /// This Core's metrics registry (possibly shared with other Cores).
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.inner.telemetry.registry
+    }
+
+    /// The trace id of the most recently recorded span here, if any.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.inner.telemetry.spans.last_trace_id()
+    }
+
+    /// Collects the spans of `trace_id` from this Core **and** every peer
+    /// Core on the network, so a multi-Core invocation or move can be
+    /// reassembled into one tree. Unreachable peers are skipped.
+    pub fn collect_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans = self.inner.telemetry.spans.for_trace(trace_id);
+        for node in self.inner.net.node_ids() {
+            if node == self.inner.node {
+                continue;
+            }
+            if let Ok(Reply::Spans { spans: remote }) =
+                self.rpc(node.index(), Request::TraceSpans { trace_id })
+            {
+                spans.extend(remote);
+            }
+        }
+        spans.sort_by_key(|s| (s.start_us, s.span_id));
+        spans.dedup_by_key(|s| s.span_id);
+        spans
+    }
+
+    /// Renders the full multi-Core span tree of `trace_id` as text.
+    pub fn render_trace(&self, trace_id: u64) -> String {
+        render_span_tree(&self.collect_trace(trace_id))
+    }
+
+    /// Folds simnet's per-link traffic counters (for links leaving this
+    /// node) into the metrics registry as gauges, so the exposition also
+    /// covers the network layer. Links that never carried traffic are
+    /// skipped.
+    pub fn refresh_link_metrics(&self) {
+        let me = self.inner.node;
+        for peer in self.inner.net.node_ids() {
+            if peer == me {
+                continue;
+            }
+            let stats = self.inner.net.link_stats(me, peer);
+            if stats.messages == 0 && stats.dropped == 0 {
+                continue;
+            }
+            let peer_name = self.core_name_of(peer.index());
+            let l = &[
+                ("src", self.inner.name.as_str()),
+                ("dst", peer_name.as_str()),
+            ][..];
+            let reg = &self.inner.telemetry.registry;
+            reg.gauge("fargo_link_messages", l)
+                .set(stats.messages as f64);
+            reg.gauge("fargo_link_bytes", l).set(stats.bytes as f64);
+            reg.gauge("fargo_link_dropped", l).set(stats.dropped as f64);
+            reg.gauge("fargo_link_throughput_bytes_per_sec", l)
+                .set(stats.throughput);
+        }
+    }
+
+    /// Prometheus-style text exposition of this Core's registry, with the
+    /// link gauges refreshed first.
+    pub fn render_metrics(&self) -> String {
+        self.refresh_link_metrics();
+        self.inner.telemetry.registry.render_prometheus()
     }
 
     /// Whether the Core is still accepting work.
@@ -255,7 +348,12 @@ impl Core {
     ///
     /// Fails if the Core is unknown, unreachable, or cannot construct the
     /// type.
-    pub fn new_complet_at(&self, core_name: &str, type_name: &str, args: &[Value]) -> Result<BoundRef> {
+    pub fn new_complet_at(
+        &self,
+        core_name: &str,
+        type_name: &str,
+        args: &[Value],
+    ) -> Result<BoundRef> {
         if core_name == self.inner.name {
             return self.new_complet(type_name, args);
         }
@@ -395,11 +493,7 @@ impl Core {
     }
 
     pub(crate) fn make_ref(&self, id: CompletId, type_name: &str) -> CompletRef {
-        CompletRef::from_descriptor(RefDescriptor::link(
-            id,
-            type_name,
-            self.inner.node.index(),
-        ))
+        CompletRef::from_descriptor(RefDescriptor::link(id, type_name, self.inner.node.index()))
     }
 
     // --- events ------------------------------------------------------------
@@ -689,13 +783,19 @@ impl Core {
     }
 
     pub(crate) fn send_to(&self, node: u32, msg: &Message) -> Result<()> {
+        let payload = msg.encode();
+        self.inner
+            .telemetry
+            .record_msg_out(msg.kind_label(), payload.len());
         self.inner
             .net
-            .send(self.inner.node, NodeId::from_index(node), msg.encode())
+            .send(self.inner.node, NodeId::from_index(node), payload)
             .map_err(FargoError::from)
     }
 
-    /// Sends a request and waits for its reply.
+    /// Sends a request and waits for its reply. The ambient trace context
+    /// (set while a traced invocation or move is in progress on this
+    /// thread) rides along in the envelope.
     pub(crate) fn rpc(&self, node: u32, body: Request) -> Result<Reply> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(FargoError::ShuttingDown);
@@ -706,6 +806,7 @@ impl Core {
         let msg = Message::Request {
             req_id,
             origin: self.inner.node.index(),
+            trace: crate::telemetry::current_trace(),
             body,
         };
         if let Err(e) = self.send_to(node, &msg) {
@@ -747,7 +848,16 @@ impl Core {
             }
             match self.inner.endpoint.recv_timeout(Duration::from_millis(25)) {
                 Ok(incoming) => match Message::decode(&incoming.payload) {
-                    Ok(msg) => self.dispatch(msg),
+                    Ok(msg) => {
+                        self.inner
+                            .telemetry
+                            .record_msg_in(msg.kind_label(), incoming.payload.len());
+                        self.inner
+                            .telemetry
+                            .queue_depth
+                            .set(self.inner.endpoint.queue_len() as f64);
+                        self.dispatch(msg);
+                    }
                     Err(_) => { /* malformed datagram: drop, as a real core would */ }
                 },
                 Err(NetError::RecvTimeout) => {}
@@ -761,10 +871,11 @@ impl Core {
             Message::Request {
                 req_id,
                 origin,
+                trace,
                 body,
             } => {
                 let core = self.clone();
-                thread::spawn(move || core.handle_request(origin, req_id, body));
+                thread::spawn(move || core.handle_request(origin, req_id, trace, body));
             }
             Message::Reply {
                 req_id,
@@ -775,7 +886,13 @@ impl Core {
         }
     }
 
-    fn handle_request(&self, origin: u32, req_id: ReqId, body: Request) {
+    fn handle_request(
+        &self,
+        origin: u32,
+        req_id: ReqId,
+        trace: Option<TraceContext>,
+        body: Request,
+    ) {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             self.reply_to(origin, req_id, Reply::Err(FargoError::ShuttingDown));
             return;
@@ -788,12 +905,14 @@ impl Core {
                 chain,
                 path,
                 hops,
-            } => self.handle_invoke(origin, req_id, target, method, args, chain, path, hops),
+            } => self.handle_invoke(
+                origin, req_id, trace, target, method, args, chain, path, hops,
+            ),
             Request::Move {
                 packets,
                 continuation,
             } => {
-                let reply = self.handle_move_stream(packets, continuation);
+                let reply = self.handle_move_stream(packets, continuation, trace);
                 self.reply_to(origin, req_id, reply);
             }
             Request::NewComplet { type_name, args } => {
@@ -867,6 +986,10 @@ impl Core {
                     .collect();
                 self.reply_to(origin, req_id, Reply::Trackers { items });
             }
+            Request::TraceSpans { trace_id } => {
+                let spans = self.inner.telemetry.spans.for_trace(trace_id);
+                self.reply_to(origin, req_id, Reply::Spans { spans });
+            }
             Request::Ping => self.reply_to(origin, req_id, Reply::Pong),
         }
     }
@@ -915,13 +1038,21 @@ impl Core {
     }
 
     /// Updates tracker knowledge after learning where a complet is now.
+    /// An actual repoint of an existing forwarding tracker counts as a
+    /// chain shortening (§3.1).
     pub(crate) fn learn_location(&self, target: CompletId, node: u32) {
         if node == self.inner.node.index() {
             if self.hosts(target) {
                 self.inner.trackers.point(target, TrackerTarget::Local);
             }
         } else {
-            self.inner.trackers.point(target, TrackerTarget::Forward(node));
+            let prev = self
+                .inner
+                .trackers
+                .point(target, TrackerTarget::Forward(node));
+            if matches!(prev, Some(TrackerTarget::Forward(p)) if p != node) {
+                self.inner.telemetry.chain_shortenings_total.inc();
+            }
         }
     }
 

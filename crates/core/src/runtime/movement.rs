@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::thread;
 
+use fargo_telemetry::TraceContext;
 use fargo_wire::{CompletId, RefDescriptor, Value};
 
 use crate::complet::Complet;
@@ -28,7 +29,8 @@ use crate::proto::{CompletPacket, Continuation, Reply, Request};
 use crate::reference::relocator::{ArrivalAction, MarshalAction};
 use crate::reference::tracker::TrackerTarget;
 use crate::reference::CompletRef;
-use crate::runtime::{Core, CompletSlot, SlotState};
+use crate::runtime::{CompletSlot, Core, SlotState};
+use crate::telemetry;
 
 /// A complet taken out of its slot for departure.
 struct Departing {
@@ -66,7 +68,13 @@ impl Core {
             if host == dest_node {
                 return Ok(());
             }
-            return match self.rpc(host, Request::MoveRequest { id, dest: dest_node })? {
+            return match self.rpc(
+                host,
+                Request::MoveRequest {
+                    id,
+                    dest: dest_node,
+                },
+            )? {
                 Reply::Ok => Ok(()),
                 Reply::Err(e) => Err(e),
                 other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
@@ -79,8 +87,36 @@ impl Core {
     }
 
     /// The sending half of the mobility protocol for a locally hosted
-    /// root complet.
+    /// root complet. Wraps the actual work in a `move` span (root, or a
+    /// child of the ambient trace when moved from inside an invocation).
     fn move_local(
+        &self,
+        root: CompletId,
+        dest_node: u32,
+        continuation: Option<(String, Vec<Value>)>,
+    ) -> Result<()> {
+        let t = &self.inner.telemetry;
+        let span = if t.trace_enabled {
+            let parent = telemetry::current_trace();
+            let ctx = parent.map_or_else(TraceContext::new_root, |p| p.child());
+            let timer = t.spans.start(
+                ctx,
+                parent.map_or(0, |p| p.span_id),
+                format!("move {root} -> {}", self.core_name_of(dest_node)),
+            );
+            Some((timer, telemetry::enter_trace(ctx)))
+        } else {
+            None
+        };
+        let result = self.move_local_inner(root, dest_node, continuation);
+        if let Some((timer, scope)) = span {
+            drop(scope);
+            timer.finish(&t.spans, &self.inner.name);
+        }
+        result
+    }
+
+    fn move_local_inner(
         &self,
         root: CompletId,
         dest_node: u32,
@@ -144,6 +180,7 @@ impl Core {
                         return Err(e);
                     }
                 };
+                self.inner.telemetry.record_relocator(&r.relocator);
                 match action {
                     MarshalAction::KeepTracking | MarshalAction::StampType => {}
                     MarshalAction::PullTarget => {
@@ -152,18 +189,18 @@ impl Core {
                         }
                     }
                     MarshalAction::DuplicateTarget => {
-                        if !copies.contains_key(&r.target) {
-                            match self.snapshot_complet(r.target, r.last_known) {
-                                Some((type_name, dup_state)) => {
-                                    let copy_id = CompletId::new(
-                                        me,
-                                        self.inner.complet_seq.fetch_add(1, Ordering::Relaxed),
-                                    );
-                                    copies.insert(r.target, (copy_id, type_name, dup_state));
-                                }
-                                // Unreachable target: fall back to
-                                // tracking the original.
-                                None => {}
+                        if let std::collections::hash_map::Entry::Vacant(e) = copies.entry(r.target)
+                        {
+                            // An unreachable target falls back to
+                            // tracking the original.
+                            if let Some((type_name, dup_state)) =
+                                self.snapshot_complet(r.target, r.last_known)
+                            {
+                                let copy_id = CompletId::new(
+                                    me,
+                                    self.inner.complet_seq.fetch_add(1, Ordering::Relaxed),
+                                );
+                                e.insert((copy_id, type_name, dup_state));
                             }
                         }
                     }
@@ -208,6 +245,13 @@ impl Core {
         }
 
         // One inter-Core message carries the whole co-moving closure.
+        {
+            let t = &self.inner.telemetry;
+            t.move_comoved.observe(packets.len() as u64);
+            t.move_update_set.observe(departing.len() as u64);
+            t.move_marshal_bytes
+                .observe(packets.iter().map(|p| p.state.deep_size() as u64).sum());
+        }
         let continuation = continuation.map(|(method, args)| Continuation {
             target: root,
             method,
@@ -236,12 +280,10 @@ impl Core {
                     if d.id.origin != me {
                         let _ = self.send_to(
                             d.id.origin,
-                            &crate::proto::Message::Notify(
-                                crate::proto::Notify::LocationUpdate {
-                                    target: d.id,
-                                    now_at: dest_node,
-                                },
-                            ),
+                            &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
+                                target: d.id,
+                                now_at: dest_node,
+                            }),
                         );
                     }
                     self.fire_event(EventPayload::CompletDeparted {
@@ -331,8 +373,34 @@ impl Core {
         names
     }
 
-    /// The receiving half of the mobility protocol.
+    /// The receiving half of the mobility protocol. Records an `arrive`
+    /// span under the sender's move span when a trace context rode along.
     pub(crate) fn handle_move_stream(
+        &self,
+        packets: Vec<CompletPacket>,
+        continuation: Option<Continuation>,
+        trace: Option<TraceContext>,
+    ) -> Reply {
+        let t = &self.inner.telemetry;
+        let span = match (t.trace_enabled, trace) {
+            (true, Some(parent)) => {
+                let ctx = parent.child();
+                let timer =
+                    t.spans
+                        .start(ctx, parent.span_id, format!("arrive[{}]", packets.len()));
+                Some((timer, telemetry::enter_trace(ctx)))
+            }
+            _ => None,
+        };
+        let reply = self.handle_move_stream_inner(packets, continuation);
+        if let Some((timer, scope)) = span {
+            drop(scope);
+            timer.finish(&t.spans, &self.inner.name);
+        }
+        reply
+    }
+
+    fn handle_move_stream_inner(
         &self,
         packets: Vec<CompletPacket>,
         continuation: Option<Continuation>,
@@ -361,22 +429,20 @@ impl Core {
                     .unwrap_or(ArrivalAction::Keep);
                 match action {
                     ArrivalAction::Keep => r,
-                    ArrivalAction::ResolveByType => {
-                        match self.find_local_by_type(&r.target_type) {
-                            Some(local) => RefDescriptor {
-                                target: local,
-                                last_known: me,
-                                ..r
-                            },
-                            None if arriving.contains(&r.target) => r,
-                            None => {
-                                if self.inner.config.stamp_strict {
-                                    stamp_failure = Some(r.target_type.clone());
-                                }
-                                r
+                    ArrivalAction::ResolveByType => match self.find_local_by_type(&r.target_type) {
+                        Some(local) => RefDescriptor {
+                            target: local,
+                            last_known: me,
+                            ..r
+                        },
+                        None if arriving.contains(&r.target) => r,
+                        None => {
+                            if self.inner.config.stamp_strict {
+                                stamp_failure = Some(r.target_type.clone());
                             }
+                            r
                         }
-                    }
+                    },
                 }
             });
             if let Some(t) = stamp_failure {
@@ -502,9 +568,7 @@ impl Core {
                 }
                 Reply::WhereOk { node: None } => return Err(FargoError::UnknownComplet(id)),
                 Reply::Err(e) => return Err(e),
-                other => {
-                    return Err(FargoError::Protocol(format!("unexpected reply {other:?}")))
-                }
+                other => return Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
             }
         }
         Err(FargoError::HopLimit(self.inner.config.max_hops))

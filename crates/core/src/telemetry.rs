@@ -1,0 +1,210 @@
+//! Per-Core telemetry wiring: pre-registered metric handles for the hot
+//! paths, the span log, and the ambient (thread-local) trace context that
+//! lets nested complet-to-complet calls join their caller's trace.
+//!
+//! All series carry a `core=<name>` label, so several Cores may share one
+//! [`Registry`] (as the bench harness and viz monitor do) without
+//! colliding. Handles are resolved once at Core spawn; recording on the
+//! hot path touches only atomics.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use fargo_telemetry::{
+    Counter, Gauge, Histogram, Registry, SpanLog, TraceContext, BUCKETS_BYTES, BUCKETS_COUNT,
+    BUCKETS_LATENCY_US,
+};
+
+/// All request kinds plus the envelope-level labels, pre-registered so
+/// the receive/send paths never take the registry lock.
+const MSG_KINDS: &[&str] = &[
+    "invoke",
+    "move",
+    "new",
+    "lookup",
+    "fetch",
+    "move_req",
+    "where",
+    "subscribe",
+    "unsubscribe",
+    "list",
+    "list_trk",
+    "trace_spans",
+    "ping",
+    "reply",
+    "notify",
+];
+
+/// Relocator kinds counted during marshal closure.
+pub(crate) const RELOCATOR_KINDS: &[&str] = &["link", "pull", "duplicate", "stamp"];
+
+pub(crate) struct CoreTelemetry {
+    pub registry: Registry,
+    pub spans: SpanLog,
+    /// Span recording gate (metrics are unconditional).
+    pub trace_enabled: bool,
+
+    // Invocation.
+    pub invoke_total: Counter,
+    pub invoke_latency_us: Histogram,
+    pub invoke_hops: Histogram,
+    pub chain_shortenings_total: Counter,
+
+    // Tracker.
+    pub tracker_forwards_served_total: Counter,
+    pub tracker_chain_length: Histogram,
+
+    // Movement.
+    pub move_marshal_bytes: Histogram,
+    pub move_comoved: Histogram,
+    pub move_update_set: Histogram,
+    move_by_relocator: HashMap<&'static str, Counter>,
+
+    // Proto: messages and bytes, in/out, by message kind.
+    msg_out: HashMap<&'static str, (Counter, Counter)>,
+    msg_in: HashMap<&'static str, (Counter, Counter)>,
+
+    // Endpoint queue depth, refreshed opportunistically.
+    pub queue_depth: Gauge,
+}
+
+impl CoreTelemetry {
+    pub(crate) fn new(
+        registry: Registry,
+        core: &str,
+        trace_enabled: bool,
+        trace_capacity: usize,
+    ) -> Self {
+        let l = &[("core", core)][..];
+        let move_by_relocator = RELOCATOR_KINDS
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    registry.counter("fargo_move_total", &[("core", core), ("relocator", kind)]),
+                )
+            })
+            .collect();
+        let per_kind =
+            |name_msgs: &str, name_bytes: &str| -> HashMap<&'static str, (Counter, Counter)> {
+                MSG_KINDS
+                    .iter()
+                    .map(|&kind| {
+                        (
+                            kind,
+                            (
+                                registry.counter(name_msgs, &[("core", core), ("kind", kind)]),
+                                registry.counter(name_bytes, &[("core", core), ("kind", kind)]),
+                            ),
+                        )
+                    })
+                    .collect()
+            };
+        CoreTelemetry {
+            spans: SpanLog::new(trace_capacity),
+            trace_enabled,
+            invoke_total: registry.counter("fargo_invoke_total", l),
+            invoke_latency_us: registry.histogram("fargo_invoke_latency_us", l, BUCKETS_LATENCY_US),
+            invoke_hops: registry.histogram("fargo_invoke_hops", l, BUCKETS_COUNT),
+            chain_shortenings_total: registry.counter("fargo_chain_shortenings_total", l),
+            tracker_forwards_served_total: registry
+                .counter("fargo_tracker_forwards_served_total", l),
+            tracker_chain_length: registry.histogram(
+                "fargo_tracker_chain_length",
+                l,
+                BUCKETS_COUNT,
+            ),
+            move_marshal_bytes: registry.histogram("fargo_move_marshal_bytes", l, BUCKETS_BYTES),
+            move_comoved: registry.histogram("fargo_move_comoved", l, BUCKETS_COUNT),
+            move_update_set: registry.histogram("fargo_move_update_set", l, BUCKETS_COUNT),
+            move_by_relocator,
+            msg_out: per_kind("fargo_msg_out_total", "fargo_msg_out_bytes_total"),
+            msg_in: per_kind("fargo_msg_in_total", "fargo_msg_in_bytes_total"),
+            queue_depth: registry.gauge("fargo_endpoint_queue_depth", l),
+            registry,
+        }
+    }
+
+    /// Counts one outbound message of `kind` and its encoded size.
+    pub(crate) fn record_msg_out(&self, kind: &str, bytes: usize) {
+        if let Some((msgs, total)) = self.msg_out.get(kind) {
+            msgs.inc();
+            total.add(bytes as u64);
+        }
+    }
+
+    /// Counts one inbound message of `kind` and its wire size.
+    pub(crate) fn record_msg_in(&self, kind: &str, bytes: usize) {
+        if let Some((msgs, total)) = self.msg_in.get(kind) {
+            msgs.inc();
+            total.add(bytes as u64);
+        }
+    }
+
+    /// Counts one marshal decision of the given relocator kind.
+    pub(crate) fn record_relocator(&self, kind: &str) {
+        if let Some(c) = self.move_by_relocator.get(kind) {
+            c.inc();
+        }
+    }
+}
+
+// --- ambient trace context ------------------------------------------------
+
+thread_local! {
+    static CURRENT_TRACE: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context ambient on this thread, if any (set while a traced
+/// complet method executes, so nested calls join the same trace).
+pub(crate) fn current_trace() -> Option<TraceContext> {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Sets the ambient trace context for the duration of the returned guard.
+pub(crate) fn enter_trace(ctx: TraceContext) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|c| c.replace(Some(ctx)));
+    TraceScope { prev }
+}
+
+/// Restores the previous ambient context on drop.
+pub(crate) struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_trace_nests_and_restores() {
+        assert!(current_trace().is_none());
+        let outer = TraceContext::new_root();
+        {
+            let _g1 = enter_trace(outer);
+            assert_eq!(current_trace(), Some(outer));
+            let inner = outer.child();
+            {
+                let _g2 = enter_trace(inner);
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer));
+        }
+        assert!(current_trace().is_none());
+    }
+
+    #[test]
+    fn unknown_message_kind_is_ignored() {
+        let t = CoreTelemetry::new(Registry::new(), "c", true, 8);
+        t.record_msg_out("no_such_kind", 10);
+        t.record_msg_in("invoke", 10);
+        let snap = t.registry.snapshot();
+        assert!(snap.iter().any(|s| s.name == "fargo_msg_in_total"));
+    }
+}

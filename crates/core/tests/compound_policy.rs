@@ -78,8 +78,7 @@ fn colocate_only_when_bandwidth_low_and_rate_high() {
         false, // fire when bandwidth falls *below* the floor
         Arc::new(move |_| {
             let invocation_rate = mover.profile_get(&rate).unwrap_or(0.0);
-            if invocation_rate > RATE_FLOOR
-                && mover.move_complet(server_id, "core0", None).is_ok()
+            if invocation_rate > RATE_FLOOR && mover.move_complet(server_id, "core0", None).is_ok()
             {
                 m.fetch_add(1, Ordering::SeqCst);
             }

@@ -63,18 +63,26 @@ fn moderate_loss_is_survivable_by_application_retry() {
             successes += 1;
         }
     }
-    assert!(successes >= 5, "some calls must get through, got {successes}");
+    assert!(
+        successes >= 5,
+        "some calls must get through, got {successes}"
+    );
     teardown(&cores);
 }
 
 #[test]
 fn move_to_dead_core_fails_and_complet_survives() {
     let (_net, cores) = lossy_cluster(0.0, 2);
-    let msg = cores[0].new_complet("Message", &[Value::from("alive")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("alive")])
+        .unwrap();
     cores[1].stop();
     let err = msg.move_to("core1").unwrap_err();
     assert!(
-        matches!(err, FargoError::Net(_) | FargoError::Timeout | FargoError::ShuttingDown),
+        matches!(
+            err,
+            FargoError::Net(_) | FargoError::Timeout | FargoError::ShuttingDown
+        ),
         "got {err:?}"
     );
     assert!(cores[0].hosts(msg.id()));
@@ -143,9 +151,7 @@ fn slow_link_queueing_under_concurrent_load() {
     // A bandwidth-limited link with many concurrent callers: everything
     // completes, nothing interleaves corruptly.
     let net = Network::new(NetworkConfig {
-        default_link: Some(
-            LinkConfig::new(Duration::from_micros(100)).with_bandwidth(2_000_000),
-        ),
+        default_link: Some(LinkConfig::new(Duration::from_micros(100)).with_bandwidth(2_000_000)),
         ..NetworkConfig::default()
     });
     let reg = registry();

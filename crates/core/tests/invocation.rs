@@ -4,14 +4,14 @@
 mod common;
 
 use common::{cluster, teardown};
-use fargo_core::{
-    define_complet, CompletId, CompletRef, FargoError, RefDescriptor, Value,
-};
+use fargo_core::{define_complet, CompletId, CompletRef, FargoError, RefDescriptor, Value};
 
 #[test]
 fn local_invocation_roundtrip() {
     let (_net, _reg, cores) = cluster(1);
-    let msg = cores[0].new_complet("Message", &[Value::from("hi")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("hi")])
+        .unwrap();
     assert_eq!(msg.call("print", &[]).unwrap(), Value::from("hi"));
     msg.call("set_text", &[Value::from("bye")]).unwrap();
     assert_eq!(msg.call("print", &[]).unwrap(), Value::from("bye"));
@@ -50,11 +50,8 @@ fn unknown_method_is_reported_with_type() {
 #[test]
 fn unknown_complet_fails_fast() {
     let (_net, _reg, cores) = cluster(1);
-    let ghost = CompletRef::from_descriptor(RefDescriptor::link(
-        CompletId::new(0, 999),
-        "Message",
-        0,
-    ));
+    let ghost =
+        CompletRef::from_descriptor(RefDescriptor::link(CompletId::new(0, 999), "Message", 0));
     assert!(matches!(
         cores[0].invoke(&ghost, "print", &[]),
         Err(FargoError::UnknownComplet(_))
@@ -168,7 +165,9 @@ fn reference_params_are_degraded_to_link() {
 fn by_value_graphs_with_nested_refs_survive() {
     let (_net, reg, cores) = cluster(2);
     Caller::register(&reg);
-    let msg = cores[0].new_complet("Message", &[Value::from("deep")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("deep")])
+        .unwrap();
     let caller = cores[0].new_complet_at("core1", "Caller", &[]).unwrap();
     // The reference rides inside a nested by-value object graph.
     let graph = Value::map([
@@ -233,7 +232,10 @@ fn stopped_core_times_out_or_fails_cleanly() {
     cores[1].stop();
     let err = msg.call("print", &[]).unwrap_err();
     assert!(
-        matches!(err, FargoError::Net(_) | FargoError::Timeout | FargoError::ShuttingDown),
+        matches!(
+            err,
+            FargoError::Net(_) | FargoError::Timeout | FargoError::ShuttingDown
+        ),
         "got {err:?}"
     );
     teardown(&cores);

@@ -24,7 +24,10 @@ fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
 #[test]
 fn instant_complet_load_counts_complets() {
     let (_net, _reg, cores) = cluster(1);
-    assert_eq!(cores[0].profile_instant(&Service::CompletLoad).unwrap(), 0.0);
+    assert_eq!(
+        cores[0].profile_instant(&Service::CompletLoad).unwrap(),
+        0.0
+    );
     cores[0].new_complet("Message", &[]).unwrap();
     cores[0].new_complet("Message", &[]).unwrap();
     // Within the cache TTL the stale value may be served; wait it out.
@@ -48,7 +51,9 @@ fn instant_bandwidth_and_latency_reflect_link_model() {
         .profile_instant(&Service::Bandwidth { peer })
         .unwrap();
     assert_eq!(bw, 1_000_000.0);
-    let lat = cores[0].profile_instant(&Service::Latency { peer }).unwrap();
+    let lat = cores[0]
+        .profile_instant(&Service::Latency { peer })
+        .unwrap();
     assert!((lat - 0.030).abs() < 1e-6);
     teardown(&cores);
 }
@@ -94,7 +99,10 @@ fn continuous_invocation_rate_is_measured() {
         }
     });
     let observed = wait_until(Duration::from_secs(5), || {
-        cores[0].profile_get(&service).map(|r| r > 10.0).unwrap_or(false)
+        cores[0]
+            .profile_get(&service)
+            .map(|r| r > 10.0)
+            .unwrap_or(false)
     });
     stop.store(true, Ordering::SeqCst);
     driver.join().unwrap();
@@ -163,7 +171,11 @@ fn layout_events_fire_on_arrival_and_departure() {
     );
     let msg = cores[0].new_complet("Message", &[]).unwrap();
     msg.move_to("core1").unwrap();
-    assert!(wait_until(Duration::from_secs(3), || log.lock().unwrap().len() >= 2));
+    assert!(wait_until(Duration::from_secs(3), || log
+        .lock()
+        .unwrap()
+        .len()
+        >= 2));
     let entries = log.lock().unwrap().clone();
     assert!(entries.iter().any(|e| e.starts_with("departed")));
     assert!(entries.iter().any(|e| e.starts_with("arrived")));
@@ -188,7 +200,9 @@ fn remote_subscription_receives_events_across_cores() {
         )
         .unwrap();
     cores[0].new_complet_at("core1", "Message", &[]).unwrap();
-    assert!(wait_until(Duration::from_secs(3), || seen.load(Ordering::SeqCst) == 1));
+    assert!(wait_until(Duration::from_secs(3), || seen
+        .load(Ordering::SeqCst)
+        == 1));
     // After cancel, no more notifications.
     sub.cancel();
     cores[0].new_complet_at("core1", "Message", &[]).unwrap();
@@ -260,7 +274,9 @@ fn shutdown_event_reaches_remote_subscribers() {
         )
         .unwrap();
     cores[1].shutdown(Duration::from_millis(50));
-    assert!(wait_until(Duration::from_secs(3), || heard.load(Ordering::SeqCst) == 1));
+    assert!(wait_until(Duration::from_secs(3), || heard
+        .load(Ordering::SeqCst)
+        == 1));
     teardown(&cores);
 }
 

@@ -21,7 +21,10 @@ fn state_survives_relocation() {
     assert_eq!(counter.call("get", &[]).unwrap(), Value::I64(12));
     assert_eq!(counter.call("history_len", &[]).unwrap(), Value::I64(2));
     // And it keeps working after arrival.
-    assert_eq!(counter.call("add", &[Value::I64(1)]).unwrap(), Value::I64(13));
+    assert_eq!(
+        counter.call("add", &[Value::I64(1)]).unwrap(),
+        Value::I64(13)
+    );
     teardown(&cores);
 }
 
@@ -59,7 +62,11 @@ fn chains_are_shortened_on_invocation_return() {
     msg.move_to("core3").unwrap();
     // Before any invocation, core1 forwards to core2 (chain link).
     assert_eq!(
-        cores[1].tracker_snapshot().iter().find(|t| t.id == id).map(|t| t.target),
+        cores[1]
+            .tracker_snapshot()
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| t.target),
         Some(TrackerTarget::Forward(cores[2].node().index()))
     );
     // One invocation from core0 walks 0→1→2→3 and shortens on return.
@@ -103,7 +110,10 @@ fn continuation_runs_at_destination() {
         if counter.call("get", &[]).unwrap() == Value::I64(100) {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "continuation never ran");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "continuation never ran"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     teardown(&cores);
@@ -112,7 +122,9 @@ fn continuation_runs_at_destination() {
 #[test]
 fn names_travel_with_the_complet() {
     let (_net, _reg, cores) = cluster(2);
-    let msg = cores[0].new_named_complet("postbox", "Message", &[]).unwrap();
+    let msg = cores[0]
+        .new_named_complet("postbox", "Message", &[])
+        .unwrap();
     assert!(cores[0].lookup("postbox").is_some());
     msg.move_to("core1").unwrap();
     assert!(cores[0].lookup("postbox").is_none());
@@ -138,7 +150,9 @@ fn moving_an_unknown_complet_fails() {
 #[test]
 fn moving_to_an_unknown_core_fails_and_preserves_the_complet() {
     let (_net, _reg, cores) = cluster(1);
-    let msg = cores[0].new_complet("Message", &[Value::from("keep me")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("keep me")])
+        .unwrap();
     assert!(matches!(
         msg.move_to("atlantis"),
         Err(FargoError::UnknownCore(_))
@@ -151,7 +165,9 @@ fn moving_to_an_unknown_core_fails_and_preserves_the_complet() {
 #[test]
 fn failed_transfer_restores_the_complet() {
     let (net, _reg, cores) = cluster(2);
-    let msg = cores[0].new_complet("Message", &[Value::from("survivor")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("survivor")])
+        .unwrap();
     // Partition the link: the move stream cannot be delivered.
     net.partition(cores[0].node(), cores[1].node()).unwrap();
     assert!(msg.move_to("core1").is_err());
@@ -202,7 +218,12 @@ fn lifecycle_callbacks_fire_in_order() {
     let log = LIFECYCLE_LOG.lock().unwrap().clone();
     assert_eq!(
         log,
-        vec!["pre_departure", "pre_arrival", "post_arrival", "post_departure"]
+        vec![
+            "pre_departure",
+            "pre_arrival",
+            "post_arrival",
+            "post_departure"
+        ]
     );
     teardown(&cores);
 }
@@ -250,7 +271,11 @@ fn deferred_self_moves_follow_an_itinerary() {
     agent
         .call(
             "start",
-            &[Value::from("core1"), Value::from("core2"), Value::from("core3")],
+            &[
+                Value::from("core1"),
+                Value::from("core2"),
+                Value::from("core3"),
+            ],
         )
         .unwrap();
     // Hops are asynchronous (deferred + continuations); wait for arrival.
@@ -332,7 +357,10 @@ fn carrier_facade_moves_with_continuation() {
     .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while counter.call("get", &[]).unwrap() != Value::I64(41) {
-        assert!(std::time::Instant::now() < deadline, "continuation never ran");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "continuation never ran"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     assert!(cores[1].hosts(counter.id()));

@@ -60,7 +60,9 @@ fn lookup_stub_reports_missing_names() {
 #[test]
 fn release_complet_clears_everything() {
     let (_net, _reg, cores) = cluster(1);
-    let msg = cores[0].new_named_complet("gone-soon", "Message", &[]).unwrap();
+    let msg = cores[0]
+        .new_named_complet("gone-soon", "Message", &[])
+        .unwrap();
     assert!(cores[0].release_complet(msg.id()).is_ok());
     assert!(!cores[0].hosts(msg.id()));
     assert!(cores[0].lookup("gone-soon").is_none());
@@ -117,13 +119,19 @@ fn profile_event_subscription_autostarts_and_autostops_profiling() {
         .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
     while !cores[1].monitor().is_profiling(&service) {
-        assert!(std::time::Instant::now() < deadline, "profiling never started");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "profiling never started"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     sub.cancel();
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
     while cores[1].monitor().is_profiling(&service) {
-        assert!(std::time::Instant::now() < deadline, "profiling never stopped");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "profiling never stopped"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     teardown(&cores);
@@ -151,7 +159,10 @@ fn below_threshold_events_fire_on_degradation() {
     cores[0].release_complet(msg.id()).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(3);
     while fired.load(Ordering::SeqCst) == 0 {
-        assert!(std::time::Instant::now() < deadline, "below-event never fired");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "below-event never fired"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     teardown(&cores);

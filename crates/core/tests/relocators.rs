@@ -6,9 +6,7 @@ mod common;
 use std::sync::Arc;
 
 use common::{cluster, cluster_with_config, teardown, test_config};
-use fargo_core::{
-    define_complet, ArrivalAction, FargoError, MarshalAction, Relocator, Value,
-};
+use fargo_core::{define_complet, ArrivalAction, FargoError, MarshalAction, Relocator, Value};
 
 define_complet! {
     /// Holds a typed reference slot whose relocator the test retypes.
@@ -59,7 +57,9 @@ fn setup_holder_with_dep(
     holder
         .call("set_dep", &[Value::Ref(dep.complet_ref().descriptor())])
         .unwrap();
-    holder.call("retype_dep", &[Value::from(relocator)]).unwrap();
+    holder
+        .call("retype_dep", &[Value::from(relocator)])
+        .unwrap();
     (holder, dep)
 }
 
@@ -118,8 +118,10 @@ fn pull_cycles_terminate() {
     Holder::register(&reg);
     let a = cores[0].new_complet("Holder", &[]).unwrap();
     let b = cores[0].new_complet("Holder", &[]).unwrap();
-    a.call("set_dep", &[Value::Ref(b.complet_ref().descriptor())]).unwrap();
-    b.call("set_dep", &[Value::Ref(a.complet_ref().descriptor())]).unwrap();
+    a.call("set_dep", &[Value::Ref(b.complet_ref().descriptor())])
+        .unwrap();
+    b.call("set_dep", &[Value::Ref(a.complet_ref().descriptor())])
+        .unwrap();
     a.call("retype_dep", &[Value::from("pull")]).unwrap();
     b.call("retype_dep", &[Value::from("pull")]).unwrap();
     a.move_to("core1").unwrap();
@@ -139,7 +141,11 @@ fn duplicate_reference_copies_target() {
     assert_eq!(dep.call("print", &[]).unwrap(), Value::from("dependency"));
     // The holder now points at a *copy* living at core1.
     let new_id = holder.call("dep_id", &[]).unwrap();
-    assert_ne!(new_id, Value::from(orig_id.as_str()), "must be re-bound to the copy");
+    assert_ne!(
+        new_id,
+        Value::from(orig_id.as_str()),
+        "must be re-bound to the copy"
+    );
     assert_eq!(
         holder.call("call_dep", &[]).unwrap(),
         Value::from("dependency"),

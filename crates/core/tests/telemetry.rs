@@ -1,0 +1,116 @@
+//! Telemetry integration: cross-Core trace propagation and the metrics
+//! the invocation/movement hot paths leave behind.
+
+mod common;
+
+use common::{cluster, cluster_with_config, teardown, test_config};
+use fargo_core::TrackingMode;
+
+/// A chained invocation across three Cores must produce one span tree:
+/// the caller's `invoke` span, the intermediate Core's `forward` span,
+/// and the host's `exec` span, each parented on the previous hop.
+#[test]
+fn trace_spans_follow_chained_invocation() {
+    let (_net, _reg, cores) =
+        cluster_with_config(3, test_config().with_tracking(TrackingMode::Chains));
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    msg.move_to("core2").unwrap();
+    // core0's reference still points at core1, which forwards to core2.
+    msg.call("print", &[]).unwrap();
+
+    let trace_id = cores[0].last_trace_id().expect("invoke must leave a trace");
+    let spans = cores[0].collect_trace(trace_id);
+    let invoke = spans
+        .iter()
+        .find(|s| s.name == "invoke Message.print")
+        .expect("caller span");
+    let forward = spans
+        .iter()
+        .find(|s| s.name.starts_with("forward"))
+        .expect("chain-hop span");
+    let exec = spans
+        .iter()
+        .find(|s| s.name == "exec print")
+        .expect("host span");
+    assert_eq!(invoke.core, "core0");
+    assert_eq!(forward.core, "core1");
+    assert_eq!(exec.core, "core2");
+    assert_eq!(
+        forward.parent_id, invoke.span_id,
+        "forward hangs off invoke"
+    );
+    assert_eq!(exec.parent_id, forward.span_id, "exec hangs off forward");
+
+    let tree = cores[0].render_trace(trace_id);
+    let lines: Vec<&str> = tree.lines().collect();
+    assert!(lines[0].starts_with("trace 0x"), "{tree}");
+    assert!(
+        lines[1].starts_with("  invoke Message.print @core0"),
+        "{tree}"
+    );
+    assert!(lines[2].starts_with("    forward print @core1"), "{tree}");
+    assert!(lines[3].starts_with("      exec print @core2"), "{tree}");
+    teardown(&cores);
+}
+
+/// With span recording off, the hot paths record nothing — but metrics
+/// still flow.
+#[test]
+fn tracing_disabled_records_no_spans() {
+    let (_net, _reg, cores) = cluster_with_config(2, test_config().with_tracing(false));
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    msg.call("print", &[]).unwrap();
+    assert_eq!(cores[0].last_trace_id(), None);
+    let metrics = cores[0].render_metrics();
+    assert!(
+        metrics.contains("fargo_invoke_total{core=\"core0\"} 1"),
+        "{metrics}"
+    );
+    teardown(&cores);
+}
+
+/// Shortening a tracker chain after a chained invocation is counted.
+#[test]
+fn chain_shortening_is_counted() {
+    let (_net, _reg, cores) =
+        cluster_with_config(3, test_config().with_tracking(TrackingMode::Chains));
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    msg.move_to("core2").unwrap();
+    msg.call("print", &[]).unwrap();
+    // The reply told core0 where the complet really lives; its tracker
+    // repointed from core1 to core2.
+    let metrics = cores[0].render_metrics();
+    assert!(
+        metrics.contains("fargo_chain_shortenings_total{core=\"core0\"} 1"),
+        "{metrics}"
+    );
+    teardown(&cores);
+}
+
+/// Proto counters see traffic in both directions, labelled by kind.
+#[test]
+fn message_counters_track_wire_traffic() {
+    let (_net, _reg, cores) = cluster(2);
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    msg.call("print", &[]).unwrap();
+    let out = cores[0].render_metrics();
+    assert!(out.contains("fargo_msg_out_total"), "{out}");
+    assert!(out.contains("kind=\"invoke\""), "{out}");
+    let inbound = cores[1].render_metrics();
+    assert!(inbound.contains("fargo_msg_in_total"), "{inbound}");
+    teardown(&cores);
+}
+
+/// Movement metrics: marshal bytes, co-moved complets, relocator kinds.
+#[test]
+fn movement_metrics_are_recorded() {
+    let (_net, _reg, cores) = cluster(2);
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.move_to("core1").unwrap();
+    let out = cores[0].render_metrics();
+    assert!(out.contains("fargo_move_marshal_bytes"), "{out}");
+    assert!(out.contains("fargo_move_comoved"), "{out}");
+    teardown(&cores);
+}

@@ -9,8 +9,7 @@ use common::{cluster_with_config, teardown, test_config};
 use fargo_core::{TrackingMode, Value};
 
 fn wanderer_scenario(mode: TrackingMode) {
-    let (_net, _reg, cores) =
-        cluster_with_config(5, test_config().with_tracking(mode));
+    let (_net, _reg, cores) = cluster_with_config(5, test_config().with_tracking(mode));
     let msg = cores[0]
         .new_complet("Message", &[Value::from("found me")])
         .unwrap();
@@ -88,7 +87,9 @@ fn fresh_core_reaches_wanderer_via_hint_and_learns() {
     // A reference handed to a core that never saw the complet: its first
     // call follows the stale hint, later calls go direct.
     let (_net, _reg, cores) = cluster_with_config(4, test_config());
-    let msg = cores[0].new_complet("Message", &[Value::from("hi")]).unwrap();
+    let msg = cores[0]
+        .new_complet("Message", &[Value::from("hi")])
+        .unwrap();
     let stale_ref = msg.complet_ref().clone(); // last_known = core0
     msg.move_to("core1").unwrap();
     msg.move_to("core2").unwrap();
@@ -96,6 +97,9 @@ fn fresh_core_reaches_wanderer_via_hint_and_learns() {
     let from_core3 = cores[3].stub(stale_ref.degraded());
     assert_eq!(from_core3.call("print", &[]).unwrap(), Value::from("hi"));
     // After the first call, core3's knowledge is direct.
-    assert_eq!(from_core3.complet_ref().last_known(), cores[2].node().index());
+    assert_eq!(
+        from_core3.complet_ref().last_known(),
+        cores[2].node().index()
+    );
     teardown(&cores);
 }

@@ -89,9 +89,13 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ScriptError::Lex { line: 3, ch: '#' }.to_string().contains("line 3"));
+        assert!(ScriptError::Lex { line: 3, ch: '#' }
+            .to_string()
+            .contains("line 3"));
         assert!(ScriptError::MissingParam(2).to_string().contains("%2"));
-        assert!(ScriptError::UndefinedVar("x".into()).to_string().contains("$x"));
+        assert!(ScriptError::UndefinedVar("x".into())
+            .to_string()
+            .contains("$x"));
     }
 
     #[test]

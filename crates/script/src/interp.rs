@@ -78,7 +78,11 @@ impl ScriptEngine {
         self.install(script, params)
     }
 
-    fn install(&self, script: Script, params: Vec<ScriptValue>) -> Result<LoadedScript, ScriptError> {
+    fn install(
+        &self,
+        script: Script,
+        params: Vec<ScriptValue>,
+    ) -> Result<LoadedScript, ScriptError> {
         let mut env: HashMap<String, ScriptValue> = HashMap::new();
         let mut subs: Vec<RemoteSubscription> = Vec::new();
         let mut installed = LoadedScript {
@@ -191,15 +195,9 @@ impl ScriptEngine {
                 })?;
                 let peer_name = self.eval(towards, env, params)?;
                 let peer_name = peer_name.as_core_name()?;
-                let node = self
-                    .core
-                    .network()
-                    .node_by_name(peer_name)
-                    .ok_or_else(|| {
-                        ScriptError::Core(fargo_core::FargoError::UnknownCore(
-                            peer_name.to_owned(),
-                        ))
-                    })?;
+                let node = self.core.network().node_by_name(peer_name).ok_or_else(|| {
+                    ScriptError::Core(fargo_core::FargoError::UnknownCore(peer_name.to_owned()))
+                })?;
                 Ok((format!("{}:n{}", event.name, node.index()), my_name))
             }
             // Keyless profile services and raw selectors pass through
@@ -388,16 +386,13 @@ impl ScriptEngine {
             Expr::CompletsIn(inner) => {
                 let v = self.eval(inner, env, params)?;
                 let core_name = v.as_core_name()?;
-                let node = self
+                let node = self.core.network().node_by_name(core_name).ok_or_else(|| {
+                    ScriptError::Core(fargo_core::FargoError::UnknownCore(core_name.to_owned()))
+                })?;
+                let items = self
                     .core
-                    .network()
-                    .node_by_name(core_name)
-                    .ok_or_else(|| {
-                        ScriptError::Core(fargo_core::FargoError::UnknownCore(
-                            core_name.to_owned(),
-                        ))
-                    })?;
-                let items = self.core.complets_at(core_name).map_err(ScriptError::from)?;
+                    .complets_at(core_name)
+                    .map_err(ScriptError::from)?;
                 Ok(ScriptValue::List(
                     items
                         .into_iter()

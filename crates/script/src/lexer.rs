@@ -71,27 +71,45 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ScriptError> {
             }
             '(' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LParen, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RParen, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
             }
             '[' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LBracket, line });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
             }
             ']' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RBracket, line });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
             }
             '=' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Equals, line });
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Comma, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
             }
             '"' => {
                 chars.next();
@@ -109,7 +127,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ScriptError> {
                         None => return Err(ScriptError::Lex { line, ch: '"' }),
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), line });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             '$' => {
                 chars.next();
@@ -117,14 +138,20 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ScriptError> {
                 if name.is_empty() {
                     return Err(ScriptError::Lex { line, ch: '$' });
                 }
-                out.push(Token { kind: TokenKind::Var(name), line });
+                out.push(Token {
+                    kind: TokenKind::Var(name),
+                    line,
+                });
             }
             '%' => {
                 chars.next();
                 let digits = take_digits(&mut chars);
                 match digits.parse::<usize>() {
                     Ok(n) if !digits.is_empty() => {
-                        out.push(Token { kind: TokenKind::Param(n), line });
+                        out.push(Token {
+                            kind: TokenKind::Param(n),
+                            line,
+                        });
                     }
                     _ => return Err(ScriptError::Lex { line, ch: '%' }),
                 }
@@ -139,11 +166,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ScriptError> {
                 let n = digits
                     .parse::<f64>()
                     .map_err(|_| ScriptError::Lex { line, ch: c })?;
-                out.push(Token { kind: TokenKind::Number(n), line });
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    line,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let word = take_word(&mut chars);
-                out.push(Token { kind: TokenKind::Ident(word), line });
+                out.push(Token {
+                    kind: TokenKind::Ident(word),
+                    line,
+                });
             }
             other => return Err(ScriptError::Lex { line, ch: other }),
         }
@@ -236,7 +269,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(kinds(r#""a\"b\nc""#), vec![TokenKind::Str("a\"b\nc".into())]);
+        assert_eq!(
+            kinds(r#""a\"b\nc""#),
+            vec![TokenKind::Str("a\"b\nc".into())]
+        );
     }
 
     #[test]

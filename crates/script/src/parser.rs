@@ -304,15 +304,15 @@ end
         assert_eq!(r.event.threshold, Some(1000.0));
         assert!(r.event.below);
         assert_eq!(r.event.towards, Some(Expr::Var("peer".into())));
-        assert!(matches!(&r.actions[0], Action::Custom { name, args } if name == "log" && args.len() == 1));
+        assert!(
+            matches!(&r.actions[0], Action::Custom { name, args } if name == "log" && args.len() == 1)
+        );
     }
 
     #[test]
     fn multiple_actions_per_rule() {
-        let s = parse(
-            "on arrived do log \"got one\" move $a to \"core1\" log \"done\" end",
-        )
-        .unwrap();
+        let s =
+            parse("on arrived do log \"got one\" move $a to \"core1\" log \"done\" end").unwrap();
         let Stmt::Rule(r) = &s.stmts[0] else { panic!() };
         assert_eq!(r.actions.len(), 3);
     }
@@ -335,6 +335,8 @@ end
         let s = parse("on arrived do notify $a 3 \"x\" move $b to $c end").unwrap();
         let Stmt::Rule(r) = &s.stmts[0] else { panic!() };
         assert_eq!(r.actions.len(), 2);
-        assert!(matches!(&r.actions[0], Action::Custom { name, args } if name == "notify" && args.len() == 3));
+        assert!(
+            matches!(&r.actions[0], Action::Custom { name, args } if name == "notify" && args.len() == 3)
+        );
     }
 }

@@ -125,7 +125,11 @@ impl From<f64> for ScriptValue {
 /// Builds a core-name list: `ScriptValue::from_names(["core0", "core1"])`.
 impl<S: Into<String>> FromIterator<S> for ScriptValue {
     fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
-        ScriptValue::List(iter.into_iter().map(|s| ScriptValue::Str(s.into())).collect())
+        ScriptValue::List(
+            iter.into_iter()
+                .map(|s| ScriptValue::Str(s.into()))
+                .collect(),
+        )
     }
 }
 

@@ -278,10 +278,7 @@ fn log_action_and_firedby_binding() {
         .unwrap();
     cores[0].new_complet_at("core1", "Message", &[]).unwrap();
     assert!(wait_until(Duration::from_secs(3), || {
-        engine
-            .log_lines()
-            .iter()
-            .any(|l| l == "arrival at core1")
+        engine.log_lines().iter().any(|l| l == "arrival at core1")
     }));
     for c in &cores {
         c.stop();
@@ -304,10 +301,7 @@ fn custom_actions_extend_the_language() {
         }),
     );
     let _script = engine
-        .load(
-            "on arrived listenAt \"core1\" do alert \"x\" end",
-            vec![],
-        )
+        .load("on arrived listenAt \"core1\" do alert \"x\" end", vec![])
         .unwrap();
     cores[0].new_complet_at("core1", "Message", &[]).unwrap();
     assert!(wait_until(Duration::from_secs(3), || {
@@ -369,12 +363,16 @@ fn retype_and_bind_builtin_actions() {
         .unwrap();
     // Trigger the rule.
     cores[0].new_complet("Message", &[]).unwrap();
-    assert!(wait_until(Duration::from_secs(3), || {
-        cores[0]
-            .lookup("the-msg")
-            .map(|r| r.id() == msg.id() && r.relocator() == "pull")
-            .unwrap_or(false)
-    }), "log: {:?}", engine.log_lines());
+    assert!(
+        wait_until(Duration::from_secs(3), || {
+            cores[0]
+                .lookup("the-msg")
+                .map(|r| r.id() == msg.id() && r.relocator() == "pull")
+                .unwrap_or(false)
+        }),
+        "log: {:?}",
+        engine.log_lines()
+    );
     for c in &cores {
         c.stop();
     }

@@ -78,7 +78,10 @@ FarGo shell commands:
   whereis <target>                   locate a complet
   profile <service>                  instant profiling (e.g. completLoad)
   layout                             complets across every core
-  stats                              this core's runtime counters
+  stats [full]                       runtime counters; 'full' renders the
+                                     whole metrics exposition (incl. links)
+  trace [<id>]                       span tree of a trace (default: the
+                                     most recent one recorded here)
   ping <core>                        round-trip probe
   script <source...>                 load an inline layout script
 
@@ -123,7 +126,8 @@ impl Shell {
             "whereis" => self.cmd_whereis(&rest),
             "profile" => self.cmd_profile(&rest),
             "layout" => self.cmd_layout(),
-            "stats" => self.cmd_stats(),
+            "stats" => self.cmd_stats(&rest),
+            "trace" => self.cmd_trace(&rest),
             "ping" => self.cmd_ping(&rest),
             "script" => self.cmd_script(line),
             other => Err(ShellError::UnknownCommand(other.to_owned())),
@@ -272,8 +276,7 @@ impl Shell {
         let spec = args
             .first()
             .ok_or(ShellError::Usage("profile <service[:key]>"))?;
-        let service =
-            Service::parse(spec).map_err(ShellError::Core)?;
+        let service = Service::parse(spec).map_err(ShellError::Core)?;
         let v = self.core.profile_instant(&service)?;
         Ok(format!("{service} = {v}"))
     }
@@ -292,10 +295,8 @@ impl Shell {
                     writeln!(out, "{name}: (empty)").expect("write to string");
                 }
                 Ok(items) => {
-                    let list: Vec<String> = items
-                        .iter()
-                        .map(|(id, ty)| format!("{id} {ty}"))
-                        .collect();
+                    let list: Vec<String> =
+                        items.iter().map(|(id, ty)| format!("{id} {ty}")).collect();
                     writeln!(out, "{name}: {}", list.join(", ")).expect("write to string");
                 }
                 Err(e) => {
@@ -306,24 +307,49 @@ impl Shell {
         Ok(out)
     }
 
-    fn cmd_stats(&self) -> Result<String, ShellError> {
-        let m = self.core.monitor().stats();
-        Ok(format!(
-            "core {}
+    fn cmd_stats(&self, args: &[&str]) -> Result<String, ShellError> {
+        match args.first() {
+            Some(&"full") => Ok(self.core.render_metrics()),
+            Some(_) => Err(ShellError::Usage("stats [full]")),
+            None => {
+                let m = self.core.monitor().stats();
+                Ok(format!(
+                    "core {}
  complets      {}
  trackers      {}
  bindings      {}
  subscriptions {}
- monitor: {} sampler evals, {} cache hits, {} events",
-            self.core.name(),
-            self.core.complet_count(),
-            self.core.tracker_count(),
-            self.core.bindings().len(),
-            self.core.subscription_count(),
-            m.samples,
-            m.cache_hits,
-            m.events_emitted,
-        ))
+ monitor: {} sampler evals, {} cache hits, {} events
+(use 'stats full' for the complete metrics exposition)",
+                    self.core.name(),
+                    self.core.complet_count(),
+                    self.core.tracker_count(),
+                    self.core.bindings().len(),
+                    self.core.subscription_count(),
+                    m.samples,
+                    m.cache_hits,
+                    m.events_emitted,
+                ))
+            }
+        }
+    }
+
+    /// Renders the (multi-Core) span tree of a trace. Without an id, the
+    /// most recent trace recorded at this Core is shown.
+    fn cmd_trace(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "trace [<id>]";
+        let trace_id = match args.first() {
+            Some(word) => {
+                let digits = word.strip_prefix("0x").unwrap_or(word);
+                u64::from_str_radix(digits, if word.starts_with("0x") { 16 } else { 10 })
+                    .map_err(|_| ShellError::Usage(usage))?
+            }
+            None => self
+                .core
+                .last_trace_id()
+                .ok_or_else(|| ShellError::NoSuchTarget("(no traces recorded)".into()))?,
+        };
+        Ok(self.core.render_trace(trace_id))
     }
 
     fn cmd_ping(&self, args: &[&str]) -> Result<String, ShellError> {
@@ -362,7 +388,9 @@ impl Shell {
 
 impl fmt::Debug for Shell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Shell").field("core", &self.core.name()).finish()
+        f.debug_struct("Shell")
+            .field("core", &self.core.name())
+            .finish()
     }
 }
 

@@ -86,7 +86,10 @@ fn bind_lookup_by_id_and_remote_lookup() {
     shell.exec(&format!("bind mailbox {id}")).unwrap();
     assert!(shell.exec("lookup mailbox").unwrap().contains(&id));
     // Calls through the raw id work too.
-    assert_eq!(shell.exec(&format!("call {id} print")).unwrap(), "\"hello\"");
+    assert_eq!(
+        shell.exec(&format!("call {id} print")).unwrap(),
+        "\"hello\""
+    );
     for c in &cores {
         c.stop();
     }
@@ -175,6 +178,39 @@ fn layout_and_stats_commands() {
     let stats = shell.exec("stats").unwrap();
     assert!(stats.contains("complets      1"), "{stats}");
     assert!(stats.contains("trackers"), "{stats}");
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn stats_full_renders_metrics_exposition() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    shell.exec("call postbox print").unwrap();
+    let metrics = shell.exec("stats full").unwrap();
+    assert!(metrics.contains("fargo_invoke_total"), "{metrics}");
+    assert!(
+        metrics.contains("fargo_invoke_latency_us_bucket"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("fargo_link_messages"),
+        "remote call must leave link gauges behind: {metrics}"
+    );
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn trace_renders_span_tree_of_last_invocation() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    shell.exec("call postbox print").unwrap();
+    let tree = shell.exec("trace").unwrap();
+    assert!(tree.contains("invoke Message.print"), "{tree}");
+    assert!(tree.contains("@core1"), "remote exec span expected: {tree}");
     for c in &cores {
         c.stop();
     }

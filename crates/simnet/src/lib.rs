@@ -40,6 +40,7 @@ mod error;
 mod link;
 mod message;
 mod network;
+mod rng;
 mod scheduler;
 mod stats;
 mod topology;

@@ -8,8 +8,6 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{self, Sender};
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::endpoint::Endpoint;
 use crate::error::NetError;
@@ -69,7 +67,7 @@ pub(crate) struct Inner {
     names: RwLock<HashMap<String, NodeId>>,
     links: Mutex<HashMap<(NodeId, NodeId), LinkState>>,
     scheduler: Scheduler,
-    rng: Mutex<StdRng>,
+    rng: Mutex<crate::rng::Rng>,
     seq: AtomicU64,
 }
 
@@ -93,7 +91,7 @@ impl Network {
                 names: RwLock::new(HashMap::new()),
                 links: Mutex::new(HashMap::new()),
                 scheduler: Scheduler::spawn(),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rng: Mutex::new(crate::rng::Rng::seed_from_u64(seed)),
                 seq: AtomicU64::new(0),
             }),
         }
@@ -150,7 +148,9 @@ impl Network {
     /// Marks a node up or down. Sends to or from a down node fail.
     pub fn set_node_up(&self, id: NodeId, up: bool) -> Result<(), NetError> {
         let mut nodes = self.inner.nodes.write();
-        let rec = nodes.get_mut(id.0 as usize).ok_or(NetError::UnknownNode(id))?;
+        let rec = nodes
+            .get_mut(id.0 as usize)
+            .ok_or(NetError::UnknownNode(id))?;
         rec.up = up;
         Ok(())
     }
@@ -282,11 +282,15 @@ impl Network {
     pub fn send(&self, src: NodeId, dst: NodeId, payload: Bytes) -> Result<(), NetError> {
         let (dst_tx, seq) = {
             let nodes = self.inner.nodes.read();
-            let s = nodes.get(src.0 as usize).ok_or(NetError::UnknownNode(src))?;
+            let s = nodes
+                .get(src.0 as usize)
+                .ok_or(NetError::UnknownNode(src))?;
             if !s.up {
                 return Err(NetError::NodeDown(src));
             }
-            let d = nodes.get(dst.0 as usize).ok_or(NetError::UnknownNode(dst))?;
+            let d = nodes
+                .get(dst.0 as usize)
+                .ok_or(NetError::UnknownNode(dst))?;
             if !d.up {
                 return Err(NetError::NodeDown(dst));
             }
@@ -323,7 +327,7 @@ impl Network {
             });
 
             // Loss model.
-            if cfg.loss > 0.0 && self.inner.rng.lock().gen::<f64>() < cfg.loss {
+            if cfg.loss > 0.0 && self.inner.rng.lock().gen_f64() < cfg.loss {
                 link.stats.record_drop();
                 return Ok(());
             }
@@ -338,7 +342,7 @@ impl Network {
             let jitter = if cfg.jitter.is_zero() {
                 Duration::ZERO
             } else {
-                cfg.jitter.mul_f64(self.inner.rng.lock().gen::<f64>())
+                cfg.jitter.mul_f64(self.inner.rng.lock().gen_f64())
             };
             start + ser + self.scaled(cfg.latency) + self.scaled(jitter)
         };

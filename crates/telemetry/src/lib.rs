@@ -1,0 +1,26 @@
+//! Dependency-free telemetry for FarGo-RS.
+//!
+//! Two halves, both built on `std` only:
+//!
+//! * [`metrics`] — a registry of lock-free counters, gauges, and
+//!   fixed-bucket histograms, registered by name + labels, snapshottable,
+//!   and renderable in Prometheus text exposition format. Handles are
+//!   cheap `Arc` clones: the hot path touches a single `AtomicU64`
+//!   (a few per histogram), never the registry lock.
+//! * [`trace`] — cross-Core trace propagation: a [`TraceContext`] small
+//!   enough to ride in every inter-Core request envelope, a bounded
+//!   per-Core span ring buffer, and a renderer that reassembles spans
+//!   gathered from many Cores into one text span tree.
+//!
+//! The crate deliberately has no dependencies (not even in-workspace
+//! ones) so every layer — wire, simnet, core, shell, viz, bench — can
+//! use it without cycles.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    render_snapshots_json, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,
+    BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
+};
+pub use trace::{render_span_tree, SpanLog, SpanRecord, SpanTimer, TraceContext};

@@ -1,0 +1,546 @@
+//! Lock-free metrics: counters, gauges, fixed-bucket histograms, and a
+//! name+label registry with Prometheus-style text exposition.
+//!
+//! # Conventions
+//!
+//! Metric names are `snake_case` with a `fargo_` prefix and a unit
+//! suffix (`_total` for counters, `_us` / `_bytes` where applicable).
+//! Labels are `(key, value)` pairs; the registry sorts them by key so
+//! `[("core", "a"), ("kind", "x")]` and `[("kind", "x"), ("core", "a")]`
+//! name the same series. Registering the same name + labels twice
+//! returns a handle to the same underlying series.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Histogram bucket preset for micro-second latencies (1µs – 1s).
+pub const BUCKETS_LATENCY_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000,
+];
+
+/// Histogram bucket preset for payload sizes (16B – 4MiB).
+pub const BUCKETS_BYTES: &[u64] = &[
+    16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+];
+
+/// Histogram bucket preset for small counts (hops, chain lengths, co-moves).
+pub const BUCKETS_COUNT: &[u64] = &[0, 1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32];
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as bit pattern).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `observe` touches three atomics and performs a short binary search
+/// over the (immutable) bounds — no locks, safe from any thread.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < value);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration` in whole microseconds.
+    pub fn observe_micros(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs; the final entry is the
+    /// `+Inf` bucket (bound `u64::MAX`).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.inner.buckets.len());
+        for (i, slot) in self.inner.buckets.iter().enumerate() {
+            acc += slot.load(Ordering::Relaxed);
+            let bound = self.inner.bounds.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of one metric series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Metric name (e.g. `fargo_invoke_latency_us`).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// Sampled value of a metric series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(f64),
+    /// Histogram: cumulative buckets plus sum and count.
+    Histogram {
+        /// Cumulative `(upper_bound, count)`; last bound is `u64::MAX` (+Inf).
+        buckets: Vec<(u64, u64)>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+/// A registry of metric series, keyed by name + sorted labels.
+///
+/// Cheap to clone (`Arc` inside); clones share the same series. The
+/// registry lock is taken only on registration and snapshot — recorded
+/// values flow through the lock-free handles.
+#[derive(Clone, Default)]
+pub struct Registry {
+    series: Arc<RwLock<HashMap<SeriesKey, Series>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Returns the counter registered under `name` + `labels`, creating
+    /// it on first use.
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Self::key(name, labels);
+        if let Some(Series::Counter(c)) = self.series.read().unwrap().get(&key) {
+            return c.clone();
+        }
+        let mut map = self.series.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Counter::default()))
+        {
+            Series::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Registers an *existing* counter handle under `name` + `labels`,
+    /// so a subsystem that owns its counters (e.g. the monitor) can
+    /// surface them through the registry without double bookkeeping.
+    /// Replaces any previous series under the same key.
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], handle: &Counter) {
+        let key = Self::key(name, labels);
+        self.series
+            .write()
+            .unwrap()
+            .insert(key, Series::Counter(handle.clone()));
+    }
+
+    /// Returns the gauge registered under `name` + `labels`, creating it
+    /// on first use.
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Self::key(name, labels);
+        if let Some(Series::Gauge(g)) = self.series.read().unwrap().get(&key) {
+            return g.clone();
+        }
+        let mut map = self.series.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Series::Gauge(Gauge::default()))
+        {
+            Series::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered under `name` + `labels`, creating
+    /// it with `bounds` on first use (later `bounds` are ignored).
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different type, or if
+    /// `bounds` are not strictly increasing.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let key = Self::key(name, labels);
+        if let Some(Series::Histogram(h)) = self.series.read().unwrap().get(&key) {
+            return h.clone();
+        }
+        let mut map = self.series.write().unwrap();
+        match map
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Series::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Takes a point-in-time snapshot of every series, sorted by name
+    /// then labels.
+    pub fn snapshot(&self) -> Vec<Snapshot> {
+        let map = self.series.read().unwrap();
+        let mut out: Vec<Snapshot> = map
+            .iter()
+            .map(|((name, labels), series)| Snapshot {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match series {
+                    Series::Counter(c) => MetricValue::Counter(c.get()),
+                    Series::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Series::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.cumulative_buckets(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
+    /// Renders every series in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        render_snapshots(&self.snapshot())
+    }
+}
+
+fn format_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Renders a snapshot list (e.g. from [`Registry::snapshot`]) in
+/// Prometheus text exposition format. `# TYPE` headers are emitted once
+/// per metric name.
+pub fn render_snapshots(snaps: &[Snapshot]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for snap in snaps {
+        if last_name != Some(snap.name.as_str()) {
+            let ty = match snap.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {}", snap.name, ty);
+            last_name = Some(snap.name.as_str());
+        }
+        match &snap.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&snap.name);
+                format_labels(&mut out, &snap.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&snap.name);
+                format_labels(&mut out, &snap.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                for (bound, cum) in buckets {
+                    let le = if *bound == u64::MAX {
+                        "+Inf".to_string()
+                    } else {
+                        bound.to_string()
+                    };
+                    let _ = write!(out, "{}_bucket", snap.name);
+                    format_labels(&mut out, &snap.labels, Some(("le", &le)));
+                    let _ = writeln!(out, " {cum}");
+                }
+                let _ = write!(out, "{}_sum", snap.name);
+                format_labels(&mut out, &snap.labels, None);
+                let _ = writeln!(out, " {sum}");
+                let _ = write!(out, "{}_count", snap.name);
+                format_labels(&mut out, &snap.labels, None);
+                let _ = writeln!(out, " {count}");
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a snapshot list as a JSON array — one object per series with
+/// `name`, `labels`, and a `value` whose shape depends on the metric
+/// kind (number for counters/gauges, `{buckets, sum, count}` for
+/// histograms; the overflow bucket's bound is `null`). Hand-rolled so
+/// the crate stays dependency-free.
+pub fn render_snapshots_json(snaps: &[Snapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, snap) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_escape(&mut out, &snap.name);
+        out.push_str(",\"labels\":{");
+        for (j, (k, v)) in snap.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, k);
+            out.push(':');
+            json_escape(&mut out, v);
+        }
+        out.push_str("},\"value\":");
+        match &snap.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                out.push_str("{\"buckets\":[");
+                for (j, (bound, cum)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    if *bound == u64::MAX {
+                        let _ = write!(out, "[null,{cum}]");
+                    } else {
+                        let _ = write!(out, "[{bound},{cum}]");
+                    }
+                }
+                let _ = write!(out, "],\"sum\":{sum},\"count\":{count}}}");
+            }
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_identity_by_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("fargo_x_total", &[("core", "a")]);
+        let b = reg.counter("fargo_x_total", &[("core", "a")]);
+        let other = reg.counter("fargo_x_total", &[("core", "b")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn label_order_is_normalised() {
+        let reg = Registry::new();
+        let a = reg.counter("m", &[("x", "1"), ("a", "2")]);
+        let b = reg.counter("m", &[("a", "2"), ("x", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn gauge_roundtrips_f64() {
+        let reg = Registry::new();
+        let g = reg.gauge("fargo_load", &[]);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-0.25);
+        assert_eq!(g.get(), -0.25);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[], &[10, 20]);
+        // A value exactly on a bound lands in that bound's bucket (le
+        // semantics), one past it in the next.
+        h.observe(10);
+        h.observe(11);
+        h.observe(20);
+        h.observe(21);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets, vec![(10, 1), (20, 3), (u64::MAX, 4)]);
+        assert_eq!(h.sum(), 62);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflicts_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter("same", &[]);
+        let _ = reg.gauge("same", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let reg = Registry::new();
+        reg.counter("fargo_msgs_total", &[("kind", "invoke")])
+            .add(7);
+        reg.gauge("fargo_queue", &[]).set(1.5);
+        reg.histogram("fargo_lat_us", &[], &[10]).observe(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE fargo_msgs_total counter"));
+        assert!(text.contains("fargo_msgs_total{kind=\"invoke\"} 7"));
+        assert!(text.contains("fargo_queue 1.5"));
+        assert!(text.contains("fargo_lat_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("fargo_lat_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("fargo_lat_us_sum 3"));
+        assert!(text.contains("fargo_lat_us_count 1"));
+    }
+}

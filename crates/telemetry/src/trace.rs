@@ -1,0 +1,308 @@
+//! Cross-Core trace propagation.
+//!
+//! A [`TraceContext`] is two `u64`s — small enough to ride in every
+//! inter-Core request envelope. Each Core records the spans it executes
+//! into a bounded [`SpanLog`] ring buffer; a collector gathers the logs
+//! of all Cores for one trace id and [`render_span_tree`] reassembles
+//! them into a text tree, so a multi-hop chained invocation or a
+//! Pull-closure move is visible end to end.
+//!
+//! Span timestamps are microseconds since a process-wide epoch, so spans
+//! recorded on different (in-process) Cores share one clock and can be
+//! ordered against each other.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Identifies one request tree (`trace_id`) and the caller's position in
+/// it (`span_id`); a callee records its own span with `span_id` as the
+/// parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifier shared by every span of one logical operation.
+    pub trace_id: u64,
+    /// The span that caused this request (parent for new spans).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Starts a fresh trace with a new root span id.
+    pub fn new_root() -> Self {
+        TraceContext {
+            trace_id: next_id(),
+            span_id: next_id(),
+        }
+    }
+
+    /// A context for a child operation of this one.
+    pub fn child(&self) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+        }
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique non-zero id (trace or span).
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process-wide trace epoch.
+pub fn now_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// One completed span, as stored in a [`SpanLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span.
+    pub span_id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent_id: u64,
+    /// Operation name (e.g. `invoke Printer.print`, `move`).
+    pub name: String,
+    /// Core that executed the span.
+    pub core: String,
+    /// Start, µs since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub duration_us: u64,
+}
+
+/// A bounded ring buffer of completed spans (oldest evicted first).
+#[derive(Debug)]
+pub struct SpanLog {
+    spans: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl SpanLog {
+    /// Creates a log holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a completed span, evicting the oldest if full.
+    pub fn record(&self, span: SpanRecord) {
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(span);
+    }
+
+    /// Starts a span timer; record it via [`SpanTimer::finish`].
+    pub fn start(&self, ctx: TraceContext, parent_id: u64, name: impl Into<String>) -> SpanTimer {
+        SpanTimer {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id,
+            name: name.into(),
+            start_us: now_micros(),
+            started: Instant::now(),
+        }
+    }
+
+    /// All spans belonging to `trace_id`, oldest first.
+    pub fn for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The trace id of the most recently recorded span, if any.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.spans.lock().unwrap().back().map(|s| s.trace_id)
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// True when no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-flight span; finish it against a [`SpanLog`] with the Core name.
+#[derive(Debug)]
+pub struct SpanTimer {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    name: String,
+    start_us: u64,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Completes the span and records it into `log`.
+    pub fn finish(self, log: &SpanLog, core: &str) {
+        log.record(SpanRecord {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            name: self.name,
+            core: core.to_string(),
+            start_us: self.start_us,
+            duration_us: self.started.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+/// Reassembles spans (typically gathered from several Cores) into an
+/// indented text tree, ordered by start time.
+///
+/// Spans whose parent is absent from `spans` are treated as roots, so a
+/// partial collection (ring buffer evictions, a Core down) still renders.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    if spans.is_empty() {
+        return "(no spans)\n".to_string();
+    }
+    let known: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span_id, s)).collect();
+    // Children sorted by start time; BTreeMap for deterministic traversal.
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for span in spans {
+        if span.parent_id != 0 && known.contains_key(&span.parent_id) {
+            children.entry(span.parent_id).or_default().push(span);
+        } else {
+            roots.push(span);
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|s| (s.start_us, s.span_id));
+    }
+    roots.sort_by_key(|s| (s.start_us, s.span_id));
+
+    let mut out = String::new();
+    let base = roots.first().map(|s| s.start_us).unwrap_or(0);
+    for root in &roots {
+        let _ = writeln!(out, "trace {:#x}", root.trace_id);
+        render_node(&mut out, root, &children, 0, base);
+    }
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    span: &SpanRecord,
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    depth: usize,
+    base_us: u64,
+) {
+    let indent = "  ".repeat(depth + 1);
+    let _ = writeln!(
+        out,
+        "{indent}{name} @{core}  +{offset}us {dur}us",
+        name = span.name,
+        core = span.core,
+        offset = span.start_us.saturating_sub(base_us),
+        dur = span.duration_us,
+    );
+    if let Some(kids) = children.get(&span.span_id) {
+        for kid in kids {
+            render_node(out, kid, children, depth + 1, base_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, name: &str, core: &str, start: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            name: name.into(),
+            core: core.into(),
+            start_us: start,
+            duration_us: 5,
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        let root = TraceContext::new_root();
+        let child = root.child();
+        assert_eq!(root.trace_id, child.trace_id);
+        assert_ne!(root.span_id, child.span_id);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let log = SpanLog::new(2);
+        for i in 0..3 {
+            log.record(span(1, i + 1, 0, "s", "c", i * 10));
+        }
+        let spans = log.for_trace(1);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].span_id, 2);
+    }
+
+    #[test]
+    fn timer_measures_and_records() {
+        let log = SpanLog::new(8);
+        let ctx = TraceContext::new_root();
+        let timer = log.start(ctx, 0, "op");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        timer.finish(&log, "core0");
+        let spans = log.for_trace(ctx.trace_id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].core, "core0");
+        assert!(spans[0].duration_us >= 1_000);
+        assert_eq!(log.last_trace_id(), Some(ctx.trace_id));
+    }
+
+    #[test]
+    fn tree_renders_nested_structure() {
+        let spans = vec![
+            span(9, 1, 0, "invoke a.m", "core0", 0),
+            span(9, 2, 1, "exec a.m", "core1", 10),
+            span(9, 3, 2, "invoke b.n", "core1", 12),
+            span(9, 4, 3, "exec b.n", "core2", 20),
+        ];
+        let text = render_span_tree(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "trace 0x9");
+        assert!(lines[1].starts_with("  invoke a.m @core0"));
+        assert!(lines[2].starts_with("    exec a.m @core1"));
+        assert!(lines[3].starts_with("      invoke b.n @core1"));
+        assert!(lines[4].starts_with("        exec b.n @core2"));
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let spans = vec![span(9, 5, 99, "late", "core3", 50)];
+        let text = render_span_tree(&spans);
+        assert!(text.contains("late @core3"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Concurrent-correctness tests: many threads hammering the same
+//! counter and histogram series must lose no updates and produce a
+//! consistent snapshot.
+
+use std::thread;
+
+use fargo_telemetry::{MetricValue, Registry, BUCKETS_COUNT};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let reg = Registry::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            // Every thread resolves the *same* series through the
+            // registry, exercising get-or-create under contention.
+            let c = reg.counter("fargo_hammer_total", &[("core", "x")]);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let c = reg.counter("fargo_hammer_total", &[("core", "x")]);
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    let snaps = reg.snapshot();
+    assert_eq!(
+        snaps
+            .iter()
+            .find(|s| s.name == "fargo_hammer_total")
+            .unwrap()
+            .value,
+        MetricValue::Counter(THREADS * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_histogram_observations_are_lossless() {
+    let reg = Registry::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = reg.histogram("fargo_hammer_us", &[], BUCKETS_COUNT);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.observe(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = reg.histogram("fargo_hammer_us", &[], BUCKETS_COUNT);
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.count(), n);
+    // Sum of 0..n-1.
+    assert_eq!(h.sum(), n * (n - 1) / 2);
+    // Cumulative buckets are monotone and end at the total count.
+    let buckets = h.cumulative_buckets();
+    let mut prev = 0;
+    for (_, cum) in &buckets {
+        assert!(*cum >= prev, "cumulative counts must be monotone");
+        prev = *cum;
+    }
+    assert_eq!(buckets.last().unwrap().1, n);
+}
+
+#[test]
+fn snapshot_under_concurrent_writes_is_internally_consistent() {
+    let reg = Registry::new();
+    let writer = {
+        let c = reg.counter("fargo_live_total", &[]);
+        thread::spawn(move || {
+            for _ in 0..50_000 {
+                c.inc();
+            }
+        })
+    };
+    // Snapshots taken mid-flight must never move backwards.
+    let mut last = 0;
+    for _ in 0..100 {
+        let snaps = reg.snapshot();
+        if let Some(s) = snaps.iter().find(|s| s.name == "fargo_live_total") {
+            if let MetricValue::Counter(v) = s.value {
+                assert!(v >= last, "counter went backwards: {v} < {last}");
+                last = v;
+            }
+        }
+    }
+    writer.join().unwrap();
+    assert_eq!(reg.counter("fargo_live_total", &[]).get(), 50_000);
+}

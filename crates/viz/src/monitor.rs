@@ -3,7 +3,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use fargo_core::{CompletId, Core, EventPayload, FargoError, RemoteSubscription, Result};
+use fargo_core::{
+    CompletId, Core, EventPayload, FargoError, MetricValue, RemoteSubscription, Result,
+};
 use parking_lot::Mutex;
 
 /// A point-in-time copy of the monitor's layout model.
@@ -84,7 +86,11 @@ impl LayoutMonitor {
                     Arc::new(move |e: &EventPayload| {
                         let mut m = model2.lock();
                         match e {
-                            EventPayload::CompletArrived { id, type_name, core } => {
+                            EventPayload::CompletArrived {
+                                id,
+                                type_name,
+                                core,
+                            } => {
                                 let cname = core2.core_name_of(*core);
                                 m.place(&cname, *id, type_name);
                                 m.log(format!("{id} arrived at {cname}"));
@@ -192,6 +198,49 @@ impl LayoutMonitor {
         out.push_str(&"-".repeat(28));
         out.push('\n');
         for line in m.events.iter().rev().take(8).rev() {
+            out.push_str(&format!("|   {line}\n"));
+        }
+        out
+    }
+
+    /// One line per non-idle metric series of the attached Core's
+    /// registry (shared registries show every Core) — the monitor's
+    /// telemetry pane. Zero-valued counters and empty histograms are
+    /// elided so the pane stays readable.
+    pub fn telemetry_lines(&self) -> Vec<String> {
+        self.core.refresh_link_metrics();
+        let mut lines = Vec::new();
+        for s in self.core.telemetry().snapshot() {
+            let value = match s.value {
+                MetricValue::Counter(0) => continue,
+                MetricValue::Histogram { count: 0, .. } => continue,
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => format!("{v:.1}"),
+                MetricValue::Histogram { sum, count, .. } => {
+                    format!(
+                        "count={count} sum={sum} avg={:.1}",
+                        sum as f64 / count as f64
+                    )
+                }
+            };
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let label_str = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", labels.join(","))
+            };
+            lines.push(format!("{}{label_str} {value}", s.name));
+        }
+        lines
+    }
+
+    /// The layout frame with the telemetry pane appended.
+    pub fn render_with_telemetry(&self) -> String {
+        let mut out = self.render();
+        out.push_str("+--- telemetry ");
+        out.push_str(&"-".repeat(25));
+        out.push('\n');
+        for line in self.telemetry_lines() {
             out.push_str(&format!("|   {line}\n"));
         }
         out

@@ -102,6 +102,28 @@ fn render_shows_boxes_and_events() {
 }
 
 #[test]
+fn telemetry_pane_shows_invocation_counters() {
+    let cores = setup();
+    let mon = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1"]).unwrap();
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    msg.call("print", &[]).unwrap();
+    let frame = mon.render_with_telemetry();
+    assert!(frame.contains("telemetry"), "{frame}");
+    assert!(
+        frame.contains("fargo_invoke_total{core=core0} 1"),
+        "{frame}"
+    );
+    assert!(
+        !frame.contains("fargo_chain_shortenings_total"),
+        "zero counters must be elided: {frame}"
+    );
+    mon.detach();
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
 fn drag_and_drop_moves_complets() {
     let cores = setup();
     let mon = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1"]).unwrap();

@@ -333,7 +333,6 @@ impl WireReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn roundtrip(v: &Value) -> Value {
         decode_value(&encode_value(v)).expect("roundtrip must succeed")
@@ -412,7 +411,9 @@ mod tests {
     #[test]
     fn writer_primitives_roundtrip() {
         let mut w = WireWriter::new();
-        w.put_i64(-42).put_str("abc").put_complet_id(CompletId::new(7, 8));
+        w.put_i64(-42)
+            .put_str("abc")
+            .put_complet_id(CompletId::new(7, 8));
         assert!(!w.is_empty());
         let mut r = WireReader::new(w.finish());
         assert_eq!(r.get_i64().unwrap(), -42);
@@ -421,52 +422,99 @@ mod tests {
         r.expect_end().unwrap();
     }
 
-    // --- property tests -------------------------------------------------
+    // --- randomized tests (deterministic seeded generator) --------------
 
-    fn arb_ref() -> impl Strategy<Value = RefDescriptor> {
-        (any::<u32>(), any::<u64>(), "[a-zA-Z]{0,12}", "[a-z]{1,10}", any::<u32>()).prop_map(
-            |(origin, seq, ty, reloc, last)| RefDescriptor {
-                target: CompletId::new(origin, seq),
-                target_type: ty,
-                relocator: reloc,
-                last_known: last,
-            },
-        )
-    }
+    /// SplitMix64 — enough randomness for structure fuzzing, fully seeded.
+    struct TestRng(u64);
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i64>().prop_map(Value::I64),
-            // Totally-ordered floats only (NaN breaks PartialEq comparison).
-            (-1e12f64..1e12).prop_map(Value::F64),
-            "\\PC{0,24}".prop_map(Value::Str),
-            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-            arb_ref().prop_map(Value::Ref),
-        ];
-        leaf.prop_recursive(4, 64, 8, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
-                proptest::collection::btree_map("[a-z]{0,6}", inner, 0..8).prop_map(Value::Map),
-            ]
-        })
-    }
-
-    proptest! {
-        #[test]
-        fn prop_value_roundtrips(v in arb_value()) {
-            prop_assert_eq!(roundtrip(&v), v);
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
         }
 
-        #[test]
-        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn string(&mut self, max: usize) -> String {
+            let len = self.below(max as u64 + 1) as usize;
+            (0..len)
+                .map(|_| (b'a' + self.below(26) as u8) as char)
+                .collect()
+        }
+    }
+
+    fn gen_ref(rng: &mut TestRng) -> RefDescriptor {
+        RefDescriptor {
+            target: CompletId::new(rng.next() as u32, rng.next()),
+            target_type: rng.string(12),
+            relocator: rng.string(10),
+            last_known: rng.next() as u32,
+        }
+    }
+
+    fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+        let pick = if depth == 0 {
+            rng.below(7)
+        } else {
+            rng.below(9)
+        };
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(rng.next() & 1 == 0),
+            2 => Value::I64(rng.next() as i64),
+            // Finite floats only (NaN breaks PartialEq comparison).
+            3 => Value::F64((rng.next() as i64 as f64) / 1e6),
+            4 => Value::Str(rng.string(24)),
+            5 => {
+                let len = rng.below(64) as usize;
+                Value::Bytes((0..len).map(|_| rng.next() as u8).collect())
+            }
+            6 => Value::Ref(gen_ref(rng)),
+            7 => {
+                let len = rng.below(8) as usize;
+                Value::List((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.below(8) as usize;
+                Value::Map(
+                    (0..len)
+                        .map(|_| (rng.string(6), gen_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn random_values_roundtrip() {
+        let mut rng = TestRng(0xc0dec);
+        for _ in 0..256 {
+            let v = gen_value(&mut rng, 4);
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoder() {
+        let mut rng = TestRng(0xdec0de);
+        for _ in 0..512 {
+            let len = rng.below(256) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
             let _ = decode_value(&bytes);
         }
+    }
 
-        #[test]
-        fn prop_encoding_is_deterministic(v in arb_value()) {
-            prop_assert_eq!(encode_value(&v), encode_value(&v));
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut rng = TestRng(0x5eed);
+        for _ in 0..128 {
+            let v = gen_value(&mut rng, 4);
+            assert_eq!(encode_value(&v), encode_value(&v));
         }
     }
 }

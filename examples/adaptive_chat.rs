@@ -73,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Client::register(&registry);
 
     let laptop = Core::builder(&net, "laptop").registry(&registry).spawn()?;
-    let datacenter = Core::builder(&net, "datacenter").registry(&registry).spawn()?;
+    let datacenter = Core::builder(&net, "datacenter")
+        .registry(&registry)
+        .spawn()?;
     net.set_link(
         laptop.node(),
         datacenter.node(),
@@ -82,10 +84,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let directory = laptop.new_complet_at("datacenter", "Directory", &[])?;
     for i in 0..64 {
-        directory.call("put", &[Value::from(format!("user{i}")), Value::from("online")])?;
+        directory.call(
+            "put",
+            &[Value::from(format!("user{i}")), Value::from("online")],
+        )?;
     }
     let client = laptop.new_complet("Client", &[])?;
-    client.call("connect", &[Value::Ref(directory.complet_ref().descriptor())])?;
+    client.call(
+        "connect",
+        &[Value::Ref(directory.complet_ref().descriptor())],
+    )?;
 
     // --- the relocation policy, programmed with the monitoring API ------
     let rate_service = Service::MethodInvokeRate {
@@ -126,15 +134,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client.call("lookup", &[Value::from(format!("user{}", i % 64))])?;
         last = t.elapsed();
         if laptop.hosts(directory.id()) {
-            println!("  directory arrived at the laptop after {} burst lookups", i + 1);
+            println!(
+                "  directory arrived at the laptop after {} burst lookups",
+                i + 1
+            );
             break;
         }
     }
     let _ = last;
     let t = Instant::now();
     client.call("lookup", &[Value::from("user1")])?;
-    println!("  post-move lookup latency: {:?} (was WAN-bound before)", t.elapsed());
-    assert!(laptop.hosts(directory.id()), "policy should have moved the directory");
+    println!(
+        "  post-move lookup latency: {:?} (was WAN-bound before)",
+        t.elapsed()
+    );
+    assert!(
+        laptop.hosts(directory.id()),
+        "policy should have moved the directory"
+    );
 
     laptop.stop();
     datacenter.stop();

@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deploy workers in the field.
     let mut workers = Vec::new();
     for i in 0..3 {
-        workers.push(admin.new_complet_at("field1", "Worker", &[Value::from(format!("alpha{i}"))])?);
+        workers.push(admin.new_complet_at(
+            "field1",
+            "Worker",
+            &[Value::from(format!("alpha{i}"))],
+        )?);
     }
     let beta = admin.new_complet_at("field2", "Worker", &[Value::from("beta")])?;
 
@@ -89,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wait for the evacuation.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !workers.iter().all(|w| bunker.hosts(w.id())) {
-        assert!(std::time::Instant::now() < deadline, "evacuation incomplete");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "evacuation incomplete"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     println!("all field1 workers evacuated to the bunker");

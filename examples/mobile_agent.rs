@@ -89,7 +89,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores: Vec<Core> = topo
         .endpoints
         .into_iter()
-        .map(|ep| Core::builder(&net, "").endpoint(ep).registry(&registry).spawn())
+        .map(|ep| {
+            Core::builder(&net, "")
+                .endpoint(ep)
+                .registry(&registry)
+                .spawn()
+        })
         .collect::<Result<_, _>>()?;
 
     // Install a station at every site, each with its own reading.
@@ -104,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agent = cores[0].new_complet("Surveyor", &[])?;
     agent.call(
         "begin",
-        &[Value::from("north"), Value::from("east"), Value::from("south")],
+        &[
+            Value::from("north"),
+            Value::from("east"),
+            Value::from("south"),
+        ],
     )?;
 
     // Wait for it to finish its round.

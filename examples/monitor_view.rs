@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores: Vec<Core> = topo
         .endpoints
         .into_iter()
-        .map(|ep| Core::builder(&net, "").endpoint(ep).registry(&registry).spawn())
+        .map(|ep| {
+            Core::builder(&net, "")
+                .endpoint(ep)
+                .registry(&registry)
+                .spawn()
+        })
         .collect::<Result<_, _>>()?;
 
     // Some complets to look at.
@@ -55,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         monitor.reference_type("job0")?
     );
     monitor.set_reference_type("job0", "pull")?;
-    println!("reference 'job0' is now [{}]", monitor.reference_type("job0")?);
+    println!(
+        "reference 'job0' is now [{}]",
+        monitor.reference_type("job0")?
+    );
 
     // Tracker table of the attached core (reference inspection pane).
     println!("\ntrackers at alpha:");

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     } else {
-        println!("FarGo shell attached to {:?}; 'help' for commands, ctrl-D to quit.", admin.name());
+        println!(
+            "FarGo shell attached to {:?}; 'help' for commands, ctrl-D to quit.",
+            admin.name()
+        );
         let stdin = std::io::stdin();
         loop {
             print!("fargo> ");

@@ -92,6 +92,7 @@ pub fn cluster(n: usize) -> (Network, Vec<Core>) {
 }
 
 /// Polls `cond` until it holds or `timeout` expires.
+#[allow(dead_code)] // not every test binary that includes common/ uses it
 pub fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     let deadline = std::time::Instant::now() + timeout;
     while std::time::Instant::now() < deadline {

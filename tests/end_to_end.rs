@@ -37,7 +37,9 @@ fn whole_system_scenario() {
 
     // 1. Deploy the application through the shell.
     let shell = Shell::new(hq0.clone());
-    shell.exec("new Store at edge0 as inventory").expect("deploy");
+    shell
+        .exec("new Store at edge0 as inventory")
+        .expect("deploy");
     shell
         .exec("call inventory put widgets 42")
         .expect("seed data");
@@ -76,10 +78,14 @@ fn whole_system_scenario() {
     monitor.move_complet(inventory.id(), "edge1").expect("drag");
     assert!(cores[3].hosts(inventory.id()));
     assert_eq!(
-        inventory.call("get", &[Value::from("widgets")]).expect("call"),
+        inventory
+            .call("get", &[Value::from("widgets")])
+            .expect("call"),
         Value::I64(42)
     );
-    monitor.move_complet(inventory.id(), "edge0").expect("drag back");
+    monitor
+        .move_complet(inventory.id(), "edge0")
+        .expect("drag back");
 
     // 5. edge0 goes down; the script evacuates; the monitor shows it; the
     //    data survives.
@@ -92,14 +98,18 @@ fn whole_system_scenario() {
     );
     // Refresh the reference during the grace window.
     assert_eq!(
-        inventory.call("get", &[Value::from("widgets")]).expect("refresh"),
+        inventory
+            .call("get", &[Value::from("widgets")])
+            .expect("refresh"),
         Value::I64(42)
     );
     announcer.join().expect("announcer");
 
     // After edge0 is gone: still answering, and the monitor caught up.
     assert_eq!(
-        inventory.call("get", &[Value::from("widgets")]).expect("post-shutdown"),
+        inventory
+            .call("get", &[Value::from("widgets")])
+            .expect("post-shutdown"),
         Value::I64(42)
     );
     assert!(wait_until(Duration::from_secs(3), || {
@@ -127,8 +137,14 @@ fn script_performance_rule_with_monitor_watching() {
     let src = cores[0].new_complet_at("core1", "Store", &[]).unwrap();
     let dst = cores[0].new_complet_at("core2", "Store", &[]).unwrap();
     // src holds a reference to dst and chats through it.
-    src.call("put", &[Value::from("peer"), Value::Ref(dst.complet_ref().descriptor())])
-        .unwrap();
+    src.call(
+        "put",
+        &[
+            Value::from("peer"),
+            Value::Ref(dst.complet_ref().descriptor()),
+        ],
+    )
+    .unwrap();
 
     let monitor = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1", "core2"]).unwrap();
     let engine = ScriptEngine::new(cores[0].clone());
@@ -151,7 +167,11 @@ fn script_performance_rule_with_monitor_watching() {
         }
         std::thread::sleep(Duration::from_millis(2));
     }
-    assert!(moved, "performance rule never co-located; log: {:?}", engine.log_lines());
+    assert!(
+        moved,
+        "performance rule never co-located; log: {:?}",
+        engine.log_lines()
+    );
     assert!(wait_until(Duration::from_secs(3), || {
         monitor.core_of(src.id()) == Some("core2".into())
     }));

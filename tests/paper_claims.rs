@@ -14,11 +14,16 @@ use fargo::prelude::*;
 fn claim_invocation_is_location_transparent() {
     let (_net, cores) = cluster(3);
     let store = cores[0].new_complet("Store", &[]).unwrap();
-    store.call("put", &[Value::from("k"), Value::from("v1")]).unwrap();
+    store
+        .call("put", &[Value::from("k"), Value::from("v1")])
+        .unwrap();
     for dest in ["core1", "core2", "core0"] {
         store.move_to(dest).unwrap();
         // Identical call, wherever it lives.
-        assert_eq!(store.call("get", &[Value::from("k")]).unwrap(), Value::from("v1"));
+        assert_eq!(
+            store.call("get", &[Value::from("k")]).unwrap(),
+            Value::from("v1")
+        );
     }
     teardown(&cores);
 }
@@ -77,8 +82,11 @@ fn claim_parameter_passing_semantics() {
     // By-reference for anchors: pass `a`'s anchor to `b`; `b` stores the
     // reference, not a copy of `a` — the reference must be degraded.
     a.meta().set_relocator("pull").unwrap();
-    b.call("put", &[Value::from("ref"), Value::Ref(a.complet_ref().descriptor())])
-        .unwrap();
+    b.call(
+        "put",
+        &[Value::from("ref"), Value::Ref(a.complet_ref().descriptor())],
+    )
+    .unwrap();
     let stored = b.call("get", &[Value::from("ref")]).unwrap();
     let stored_ref = stored.as_ref_desc().expect("a reference, not a copy");
     assert_eq!(stored_ref.target, a.id(), "same complet, by reference");
@@ -115,7 +123,13 @@ fn claim_single_message_comovement() {
         // Passed references arrive degraded to link (§3.1); the holder
         // then retypes its own reference to pull.
         holder
-            .call("put", &[Value::from("dep"), Value::Ref(dep.complet_ref().descriptor())])
+            .call(
+                "put",
+                &[
+                    Value::from("dep"),
+                    Value::Ref(dep.complet_ref().descriptor()),
+                ],
+            )
             .unwrap();
         holder
             .call("retype", &[Value::from("dep"), Value::from("pull")])
@@ -138,7 +152,11 @@ fn claim_call_with_continuation() {
     let (_net, cores) = cluster(2);
     let store = cores[0].new_complet("Store", &[]).unwrap();
     store
-        .move_with("core1", "put", vec![Value::from("arrived"), Value::from("yes")])
+        .move_with(
+            "core1",
+            "put",
+            vec![Value::from("arrived"), Value::from("yes")],
+        )
         .unwrap();
     assert!(wait_until(Duration::from_secs(3), || {
         store.call("get", &[Value::from("arrived")]).unwrap() == Value::from("yes")
@@ -166,7 +184,10 @@ fn claim_interest_driven_monitoring() {
 fn claim_relocation_fires_layout_events() {
     let (_net, cores) = cluster(2);
     let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
-    for (core, selector) in [(&cores[0], "completDeparted"), (&cores[1], "completArrived")] {
+    for (core, selector) in [
+        (&cores[0], "completDeparted"),
+        (&cores[1], "completArrived"),
+    ] {
         let s = seen.clone();
         let sel = selector.to_owned();
         core.on_event(
@@ -178,7 +199,11 @@ fn claim_relocation_fires_layout_events() {
     }
     let store = cores[0].new_complet("Store", &[]).unwrap();
     store.move_to("core1").unwrap();
-    assert!(wait_until(Duration::from_secs(3), || seen.lock().unwrap().len() >= 2));
+    assert!(wait_until(Duration::from_secs(3), || seen
+        .lock()
+        .unwrap()
+        .len()
+        >= 2));
     let events = seen.lock().unwrap().clone();
     assert!(events.contains(&"completDeparted".to_owned()));
     assert!(events.contains(&"completArrived".to_owned()));
@@ -192,14 +217,22 @@ fn claim_relocation_fires_layout_events() {
 fn claim_shared_registry_constructs_everywhere() {
     let (net, cores) = cluster(3);
     let reg = registry();
-    let extra = Core::builder(&net, "late-joiner").registry(&reg).spawn().unwrap();
+    let extra = Core::builder(&net, "late-joiner")
+        .registry(&reg)
+        .spawn()
+        .unwrap();
     // Even a Core added later can host the moved complet, because the
     // "class" is available through the shared registry.
     let store = cores[0].new_complet("Store", &[]).unwrap();
-    store.call("put", &[Value::from("x"), Value::I64(1)]).unwrap();
+    store
+        .call("put", &[Value::from("x"), Value::I64(1)])
+        .unwrap();
     store.move_to("late-joiner").unwrap();
     assert!(extra.hosts(store.id()));
-    assert_eq!(store.call("get", &[Value::from("x")]).unwrap(), Value::I64(1));
+    assert_eq!(
+        store.call("get", &[Value::from("x")]).unwrap(),
+        Value::I64(1)
+    );
     extra.stop();
     teardown(&cores);
 }
