@@ -15,4 +15,11 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Smoke-test the experiments runner's JSON exposition: the binary
+# self-validates the report (tables + metrics + journal snapshot) and
+# exits nonzero on renderer drift; also insist the journal key shipped.
+echo "==> experiments json smoke (E13)"
+cargo run -q -p fargo-bench --bin experiments --release -- json E13 \
+    | grep -q '"journal"'
+
 echo "CI OK"

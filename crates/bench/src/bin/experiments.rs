@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E12).
+//! Regenerates every experiment table (E1–E13).
 //!
 //! Usage:
 //!   cargo run -p fargo-bench --bin experiments --release          # quick sweeps
@@ -7,18 +7,20 @@
 //!   cargo run -p fargo-bench --bin experiments --release -- json  # JSON report
 //!
 //! In `json` mode the report is a single JSON object on stdout with the
-//! selected experiment tables plus a telemetry snapshot captured from a
-//! small instrumented workload (so the metrics registry contents ship
-//! with every report).
+//! selected experiment tables, a telemetry snapshot, and a flight-recorder
+//! journal captured from a small instrumented workload (so the metrics
+//! registry and journal contents ship with every report). The report is
+//! validated for JSON well-formedness before printing; drift in any
+//! renderer makes the binary exit nonzero, which CI uses as a smoke test.
 
 use std::time::Instant;
 
 use fargo_bench::{experiments, Cluster};
-use fargo_core::Value;
+use fargo_core::{render_journal_json, Value};
 
 /// Runs a short invoke+move workload on a fresh 2-Core cluster and
-/// returns its metrics registry as JSON.
-fn smoke_metrics_json() -> String {
+/// returns its metrics registry and merged journal, both as JSON.
+fn smoke_snapshots_json() -> (String, String) {
     let cluster = Cluster::instant(2);
     let s = cluster.cores[0]
         .new_complet_at("core1", "Servant", &[])
@@ -30,7 +32,113 @@ fn smoke_metrics_json() -> String {
     s.move_to("core0").expect("move must succeed");
     s.call("touch", &[Value::Null])
         .expect("invoke must succeed");
-    cluster.metrics_json()
+    let journal = render_journal_json(&cluster.cores[0].collect_journal());
+    (cluster.metrics_json(), journal)
+}
+
+/// Minimal JSON well-formedness check (no allocation of a document
+/// model): consumes one value and requires the input to end there.
+/// Returns the byte offset of the first error.
+fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => composite(b, i, b'}', true),
+        Some(b'[') => composite(b, i, b']', false),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn composite(b: &[u8], i: &mut usize, close: u8, keyed: bool) -> Result<(), usize> {
+    *i += 1; // opening bracket
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        if keyed {
+            skip_ws(b, i);
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(*i);
+            }
+            *i += 1;
+        }
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(c) if *c == close => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), usize> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    if *i > start {
+        Ok(())
+    } else {
+        Err(*i)
+    }
 }
 
 fn main() {
@@ -66,9 +174,21 @@ fn main() {
                 table.to_json()
             ));
         }
+        let (metrics, journal) = smoke_snapshots_json();
         out.push_str("],\"metrics\":");
-        out.push_str(&smoke_metrics_json());
+        out.push_str(&metrics);
+        out.push_str(",\"journal\":");
+        out.push_str(&journal);
         out.push('}');
+        if let Err(at) = validate_json(&out) {
+            let lo = at.saturating_sub(40);
+            let hi = (at + 40).min(out.len());
+            eprintln!(
+                "error: json report is malformed at byte {at}: ...{}...",
+                out.get(lo..hi).unwrap_or("")
+            );
+            std::process::exit(1);
+        }
         println!("{out}");
         return;
     }

@@ -73,13 +73,10 @@ fn mode_run(mode: &str, calls: usize) -> (f64, u64, u64) {
         }
     }
     let elapsed = t.elapsed();
-    let stats = core.monitor().stats();
+    let samples = core.monitor().samples();
+    let cache_hits = core.monitor().cache_hits();
     core.stop();
-    (
-        calls as f64 / elapsed.as_secs_f64(),
-        stats.samples,
-        stats.cache_hits,
-    )
+    (calls as f64 / elapsed.as_secs_f64(), samples, cache_hits)
 }
 
 #[cfg(test)]

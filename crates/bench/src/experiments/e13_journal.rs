@@ -1,0 +1,96 @@
+//! E13 — flight-recorder overhead on the invocation path.
+//!
+//! The journal stamps every recorded layout event with an HLC tick and a
+//! lock-free ring append; this experiment measures what that costs per
+//! *local* invocation (the hottest recorded path: one `invoke` + one
+//! `exec` entry per call) by comparing journaling-on against
+//! journaling-off on an otherwise identical single-Core cluster.
+
+use std::time::Duration;
+
+use fargo_core::Value;
+
+use crate::harness::ClusterSpec;
+use crate::table::Table;
+use crate::workload::{fmt_duration, Samples};
+
+pub fn run(full: bool) -> Table {
+    let n = if full { 20_000 } else { 5_000 };
+    let (on, ring) = invoke_mean(n, true);
+    let (off, _) = invoke_mean(n, false);
+    let overhead = on.saturating_sub(off);
+
+    let mut table = Table::new(
+        "E13: flight-recorder overhead on local invocation",
+        &["configuration", "mean latency", "notes"],
+    )
+    .with_note(
+        "guardrail: the HLC stamp + bounded-ring append must stay under ~1us per recorded local invocation.",
+    );
+    table.row([
+        "journaling on".to_owned(),
+        fmt_duration(on),
+        format!("{ring} events in ring"),
+    ]);
+    table.row([
+        "journaling off".to_owned(),
+        fmt_duration(off),
+        "baseline".to_owned(),
+    ]);
+    table.row([
+        "overhead per call".to_owned(),
+        fmt_duration(overhead),
+        "on - off".to_owned(),
+    ]);
+    table
+}
+
+/// Mean local-call latency on a 1-Core cluster, plus the journal-ring
+/// occupancy afterwards (bounded by the ring capacity).
+fn invoke_mean(n: usize, journaling: bool) -> (Duration, usize) {
+    let cluster = ClusterSpec::instant(1).journaling(journaling).build();
+    let servant = cluster.cores[0]
+        .new_complet("Servant", &[])
+        .expect("servant");
+    servant.call("touch", &[]).expect("warm");
+    let samples = Samples::collect(n, || {
+        servant.call("touch", &[Value::Null]).expect("call");
+    });
+    let ring = cluster.cores[0].journal_snapshot().len();
+    (samples.mean(), ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_overhead_is_bounded() {
+        // The append itself is two atomic ops and a slot-lock store —
+        // ~0.4us in a release run (EXPERIMENTS.md E13). Debug builds
+        // under a parallel test load are far noisier, so like the E10
+        // telemetry guardrail this asserts the relative shape (no O(n)
+        // scan or contended lock snuck onto the hot path), best-of-3.
+        let mut last = (Duration::MAX, Duration::ZERO);
+        for _ in 0..3 {
+            let (on, _) = invoke_mean(3_000, true);
+            let (off, _) = invoke_mean(3_000, false);
+            last = (on, off);
+            if on < off.mul_f64(2.0) + Duration::from_micros(5) {
+                return;
+            }
+        }
+        panic!(
+            "journaling on {:?} vs off {:?}: overhead out of bounds",
+            last.0, last.1
+        );
+    }
+
+    #[test]
+    fn journaling_off_leaves_the_ring_empty() {
+        let (_, ring) = invoke_mean(100, false);
+        assert_eq!(ring, 0);
+        let (_, ring) = invoke_mean(100, true);
+        assert!(ring > 0, "journaling on must record the invocations");
+    }
+}

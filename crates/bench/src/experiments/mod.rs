@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E12). Each module regenerates one experiment
+//! The experiment suite (E1–E13). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -13,6 +13,7 @@ pub mod e09_reliability;
 pub mod e10_invocation;
 pub mod e11_params;
 pub mod e12_footprint;
+pub mod e13_journal;
 
 use crate::Table;
 
@@ -91,6 +92,11 @@ pub fn all() -> Vec<Experiment> {
             id: "E12",
             summary: "footprint: repository capacity and per-complet overhead",
             run: e12_footprint::run,
+        },
+        Experiment {
+            id: "E13",
+            summary: "flight-recorder overhead: journaling on vs off on the local invoke path",
+            run: e13_journal::run,
         },
     ]
 }

@@ -23,6 +23,8 @@ pub struct ClusterSpec {
     pub monitor_tick: Duration,
     /// Whether Cores record spans for cross-Core tracing.
     pub trace_enabled: bool,
+    /// Whether Cores record layout events in the flight-recorder journal.
+    pub journal_enabled: bool,
 }
 
 impl ClusterSpec {
@@ -35,6 +37,7 @@ impl ClusterSpec {
             tracking: TrackingMode::Chains,
             monitor_tick: Duration::from_millis(10),
             trace_enabled: true,
+            journal_enabled: true,
         }
     }
 
@@ -64,6 +67,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Turns the flight-recorder journal on or off.
+    pub fn journaling(mut self, enabled: bool) -> Self {
+        self.journal_enabled = enabled;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(NetworkConfig {
@@ -79,7 +88,8 @@ impl ClusterSpec {
             rpc_timeout: Duration::from_secs(30),
             ..CoreConfig::default()
         }
-        .with_tracing(self.trace_enabled);
+        .with_tracing(self.trace_enabled)
+        .with_journaling(self.journal_enabled);
         let cores = (0..self.cores)
             .map(|i| {
                 Core::builder(&net, &format!("core{i}"))

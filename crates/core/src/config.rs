@@ -49,6 +49,11 @@ pub struct CoreConfig {
     pub trace_enabled: bool,
     /// Ring-buffer capacity of this Core's span log (oldest evicted).
     pub trace_capacity: usize,
+    /// Whether layout events are appended to the flight-recorder journal
+    /// and the hybrid logical clock piggybacks on outbound envelopes.
+    pub journal_enabled: bool,
+    /// Ring-buffer capacity of this Core's journal (oldest evicted).
+    pub journal_capacity: usize,
 }
 
 impl Default for CoreConfig {
@@ -65,6 +70,8 @@ impl Default for CoreConfig {
             capacity: None,
             trace_enabled: true,
             trace_capacity: 1024,
+            journal_enabled: true,
+            journal_capacity: 4096,
         }
     }
 }
@@ -97,6 +104,18 @@ impl CoreConfig {
     /// Configuration with span recording switched on or off.
     pub fn with_tracing(mut self, enabled: bool) -> Self {
         self.trace_enabled = enabled;
+        self
+    }
+
+    /// Configuration with journal recording switched on or off.
+    pub fn with_journaling(mut self, enabled: bool) -> Self {
+        self.journal_enabled = enabled;
+        self
+    }
+
+    /// Configuration with the journal ring capacity replaced.
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
         self
     }
 }

@@ -90,6 +90,15 @@ impl Ctx {
     /// if the target is already on this call chain, or with any
     /// invocation error.
     pub fn call(&self, target: &CompletRef, method: &str, args: &[Value]) -> Result<Value> {
+        // An inter-complet call is the observatory's evidence of a live
+        // reference edge: journal it before the invocation is issued.
+        self.core.inner.telemetry.journal(
+            fargo_telemetry::JournalKind::RefEdgeCreated,
+            &self.self_id,
+            &target.id().to_string(),
+            &target.relocator(),
+            None,
+        );
         self.core
             .invoke_chained(target, method, args, self.chain.clone())
     }

@@ -12,6 +12,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use fargo_telemetry::{JournalEvent, JournalKind};
 use fargo_wire::{CompletId, Value};
 use parking_lot::Mutex;
 
@@ -204,6 +205,30 @@ impl EventPayload {
             other => Err(FargoError::Protocol(format!(
                 "unknown event kind {other:?}"
             ))),
+        }
+    }
+
+    /// Reconstructs a fireable layout event from a flight-recorder journal
+    /// entry, so replayed history flows through the same hub — and the
+    /// same remote-listener deliveries — as live events. Journal kinds
+    /// with no event counterpart (tracker bookkeeping, reference edges,
+    /// invocation steps) yield `None`.
+    pub fn from_journal(ev: &JournalEvent) -> Option<EventPayload> {
+        match ev.kind {
+            JournalKind::CompletArrived => Some(EventPayload::CompletArrived {
+                id: parse_complet_id(&ev.subject)?,
+                type_name: ev.object.clone(),
+                core: ev.core,
+            }),
+            JournalKind::CompletDeparted => Some(EventPayload::CompletDeparted {
+                id: parse_complet_id(&ev.subject)?,
+                type_name: ev.object.clone(),
+                // A released complet has no destination; report the Core
+                // it vanished from.
+                dest: ev.peer.unwrap_or(ev.core),
+                core: ev.core,
+            }),
+            _ => None,
         }
     }
 }
@@ -417,6 +442,47 @@ mod tests {
         for e in cases {
             assert_eq!(EventPayload::from_value(&e.to_value()).unwrap(), e);
         }
+    }
+
+    #[test]
+    fn journal_entries_reconstruct_layout_events() {
+        use fargo_telemetry::Hlc;
+        let entry = |kind, subject: &str, object: &str, peer| JournalEvent {
+            hlc: Hlc::ZERO,
+            core: 2,
+            seq: 0,
+            kind,
+            subject: subject.into(),
+            object: object.into(),
+            detail: String::new(),
+            peer,
+        };
+        assert_eq!(
+            EventPayload::from_journal(&entry(JournalKind::CompletArrived, "c0.1", "T", None)),
+            Some(EventPayload::CompletArrived {
+                id: CompletId::new(0, 1),
+                type_name: "T".into(),
+                core: 2,
+            })
+        );
+        assert_eq!(
+            EventPayload::from_journal(&entry(JournalKind::CompletDeparted, "c0.1", "T", Some(4))),
+            Some(EventPayload::CompletDeparted {
+                id: CompletId::new(0, 1),
+                type_name: "T".into(),
+                dest: 4,
+                core: 2,
+            })
+        );
+        // Non-layout kinds and unparsable subjects reconstruct nothing.
+        assert_eq!(
+            EventPayload::from_journal(&entry(JournalKind::TrackerCreated, "c0.1", "", None)),
+            None
+        );
+        assert_eq!(
+            EventPayload::from_journal(&entry(JournalKind::CompletArrived, "bogus", "T", None)),
+            None
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use config::{CoreConfig, TrackingMode};
 pub use ctx::Ctx;
 pub use error::{FargoError, Result};
 pub use events::{EventHandler, EventPayload};
-pub use monitor::{Ewma, Monitor, MonitorStats, Service};
+pub use monitor::{Ewma, Monitor, Service};
 pub use reference::{
     ArrivalAction, CompletRef, MarshalAction, MetaRef, Relocator, RelocatorRegistry,
     TrackerSnapshot, TrackerTarget,
@@ -83,6 +83,7 @@ pub use runtime::{BoundRef, Core, CoreBuilder, RemoteSubscription};
 pub use fargo_wire::{CompletId, RefDescriptor, Value};
 
 pub use fargo_telemetry::{
-    render_span_tree, MetricValue, Registry as TelemetryRegistry, Snapshot as MetricSnapshot,
+    render_journal_json, render_span_tree, Anomaly, Hlc, JournalEvent, JournalKind, LayoutHistory,
+    LayoutState, MetricValue, Registry as TelemetryRegistry, Snapshot as MetricSnapshot,
     SpanRecord, TraceContext,
 };

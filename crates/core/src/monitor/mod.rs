@@ -49,22 +49,6 @@ struct Cached {
     at: Instant,
 }
 
-/// Counters for the monitoring-overhead experiment (E6).
-///
-/// Since the telemetry registry landed this is a point-in-time *view* of
-/// the registry-backed counters (see [`Monitor::stats`]); the struct is
-/// kept so existing callers and experiments read overhead numbers the
-/// same way as before.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MonitorStats {
-    /// Evaluations of the underlying sampler.
-    pub samples: u64,
-    /// Instant requests served from the cache.
-    pub cache_hits: u64,
-    /// Profile events produced by continuous sampling.
-    pub events_emitted: u64,
-}
-
 /// Rolling invocation counters backing `methodInvokeRate`.
 #[derive(Debug, Default)]
 pub(crate) struct InvocationCounters {
@@ -217,14 +201,22 @@ impl Monitor {
         self.continuous.lock().len()
     }
 
-    /// Snapshot of overhead counters (a view of the telemetry-backed
-    /// counters, kept for E6 and shell compatibility).
-    pub fn stats(&self) -> MonitorStats {
-        MonitorStats {
-            samples: self.samples_total.get(),
-            cache_hits: self.cache_hits_total.get(),
-            events_emitted: self.events_total.get(),
-        }
+    /// Evaluations of the underlying sampler so far. This reads the same
+    /// counter the registry exposes as `fargo_monitor_samples_total`.
+    pub fn samples(&self) -> u64 {
+        self.samples_total.get()
+    }
+
+    /// Instant requests served from the cache so far
+    /// (`fargo_monitor_cache_hits_total`).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits_total.get()
+    }
+
+    /// Profile events produced by continuous sampling so far
+    /// (`fargo_monitor_events_total`).
+    pub fn events_emitted(&self) -> u64 {
+        self.events_total.get()
     }
 
     /// Advances continuous sampling: samples every due service and
@@ -295,7 +287,9 @@ impl std::fmt::Debug for Monitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Monitor")
             .field("active_services", &self.active_services())
-            .field("stats", &self.stats())
+            .field("samples", &self.samples())
+            .field("cache_hits", &self.cache_hits())
+            .field("events_emitted", &self.events_emitted())
             .finish()
     }
 }
@@ -322,7 +316,7 @@ mod tests {
         assert_eq!(m.instant(&Service::CompletLoad).unwrap(), 7.0);
         assert_eq!(m.instant(&Service::CompletLoad).unwrap(), 7.0);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
-        assert_eq!(m.stats().cache_hits, 1);
+        assert_eq!(m.cache_hits(), 1);
     }
 
     #[test]
@@ -402,20 +396,30 @@ mod tests {
     }
 
     #[test]
-    fn stats_shim_matches_registry_exposition() {
+    fn overhead_counters_match_registry_exposition() {
         let m = with_sampler(|_| Some(7.0));
         let reg = Registry::new();
         m.register_metrics(&reg, "t");
         m.instant(&Service::CompletLoad).unwrap();
         m.instant(&Service::CompletLoad).unwrap(); // cache hit
-        assert_eq!(m.stats().samples, 1);
-        assert_eq!(m.stats().cache_hits, 1);
-        let samples = reg
-            .snapshot()
-            .into_iter()
-            .find(|s| s.name == "fargo_monitor_samples_total")
-            .expect("registered series");
-        assert_eq!(samples.value, fargo_telemetry::MetricValue::Counter(1));
+        assert_eq!(m.samples(), 1);
+        assert_eq!(m.cache_hits(), 1);
+        // The accessors and the registry read the very same counters.
+        let series = |name: &str| {
+            reg.snapshot()
+                .into_iter()
+                .find(|s| s.name == name)
+                .expect("registered series")
+                .value
+        };
+        assert_eq!(
+            series("fargo_monitor_samples_total"),
+            fargo_telemetry::MetricValue::Counter(m.samples())
+        );
+        assert_eq!(
+            series("fargo_monitor_cache_hits_total"),
+            fargo_telemetry::MetricValue::Counter(m.cache_hits())
+        );
     }
 
     #[test]

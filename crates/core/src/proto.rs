@@ -5,7 +5,7 @@
 //! along the recorded forwarding path so every tracker on an invocation
 //! chain learns the target's final location (§3.1's chain shortening).
 
-use fargo_telemetry::{SpanRecord, TraceContext};
+use fargo_telemetry::{Hlc, JournalEvent, JournalKind, SpanRecord, TraceContext};
 use fargo_wire::{decode_value, encode_value, CompletId, RefDescriptor, Value};
 
 use crate::error::{FargoError, Result};
@@ -95,6 +95,9 @@ pub(crate) enum Request {
     ListTrackers,
     /// Collect the receiver's recorded spans for one trace id.
     TraceSpans { trace_id: u64 },
+    /// Collect the receiver's journal of layout events (flight-recorder
+    /// pull; merged into a global timeline by the caller).
+    JournalEvents,
     /// Latency probe.
     Ping,
 }
@@ -116,6 +119,7 @@ impl Request {
             Request::ListComplets => "list",
             Request::ListTrackers => "list_trk",
             Request::TraceSpans { .. } => "trace_spans",
+            Request::JournalEvents => "journal",
             Request::Ping => "ping",
         }
     }
@@ -161,6 +165,10 @@ pub(crate) enum Reply {
     /// Spans recorded at the replying Core for a requested trace id.
     Spans {
         spans: Vec<SpanRecord>,
+    },
+    /// The replying Core's retained journal events.
+    Journal {
+        events: Vec<JournalEvent>,
     },
     Ok,
     Pong,
@@ -392,6 +400,54 @@ fn span_from_value(v: &Value) -> Result<SpanRecord> {
     })
 }
 
+/// Journal events cross the wire as flat 9-element lists:
+/// `[wall_us, logical, core, seq, kind, subject, object, detail, peer]`
+/// (`peer` is `-1` when absent).
+fn journal_event_to_value(e: &JournalEvent) -> Value {
+    Value::list([
+        Value::I64(e.hlc.wall_us as i64),
+        Value::I64(i64::from(e.hlc.logical)),
+        Value::from(e.core),
+        Value::I64(e.seq as i64),
+        Value::from(e.kind.as_str()),
+        Value::from(e.subject.as_str()),
+        Value::from(e.object.as_str()),
+        Value::from(e.detail.as_str()),
+        Value::I64(e.peer.map_or(-1, i64::from)),
+    ])
+}
+
+fn journal_event_from_value(v: &Value) -> Result<JournalEvent> {
+    let int = |i: usize| -> Result<i64> {
+        v.index(i)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| FargoError::Protocol("bad journal field".into()))
+    };
+    let text = |i: usize| -> Result<String> {
+        v.index(i)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| FargoError::Protocol("bad journal field".into()))
+    };
+    let kind_name = text(4)?;
+    let kind = JournalKind::parse(&kind_name)
+        .ok_or_else(|| FargoError::Protocol(format!("unknown journal kind {kind_name:?}")))?;
+    let peer = int(8)?;
+    Ok(JournalEvent {
+        hlc: Hlc {
+            wall_us: int(0)? as u64,
+            logical: int(1)? as u32,
+        },
+        core: int(2)? as u32,
+        seq: int(3)? as u64,
+        kind,
+        subject: text(5)?,
+        object: text(6)?,
+        detail: text(7)?,
+        peer: (peer >= 0).then_some(peer as u32),
+    })
+}
+
 fn listener_to_value(l: &ListenerAddr) -> Value {
     match l {
         ListenerAddr::Complet(d) => Value::map([("complet", ref_to_value(d))]),
@@ -526,6 +582,7 @@ impl Request {
                 ("kind", Value::from("trace_spans")),
                 ("trace", Value::I64(*trace_id as i64)),
             ]),
+            Request::JournalEvents => Value::map([("kind", Value::from("journal"))]),
             Request::Ping => Value::map([("kind", Value::from("ping"))]),
         }
     }
@@ -590,6 +647,7 @@ impl Request {
             "trace_spans" => Ok(Request::TraceSpans {
                 trace_id: u64_field(v, "trace")?,
             }),
+            "journal" => Ok(Request::JournalEvents),
             "ping" => Ok(Request::Ping),
             other => Err(FargoError::Protocol(format!(
                 "unknown request kind {other:?}"
@@ -672,6 +730,13 @@ impl Reply {
                     Value::List(spans.iter().map(span_to_value).collect()),
                 ),
             ]),
+            Reply::Journal { events } => Value::map([
+                ("kind", Value::from("journal")),
+                (
+                    "events",
+                    Value::List(events.iter().map(journal_event_to_value).collect()),
+                ),
+            ]),
             Reply::Ok => Value::map([("kind", Value::from("ok"))]),
             Reply::Pong => Value::map([("kind", Value::from("pong"))]),
             Reply::Err(e) => {
@@ -748,6 +813,12 @@ impl Reply {
                     .map(span_from_value)
                     .collect::<Result<Vec<_>>>()?,
             }),
+            "journal" => Ok(Reply::Journal {
+                events: list_field(v, "events")?
+                    .iter()
+                    .map(journal_event_from_value)
+                    .collect::<Result<Vec<_>>>()?,
+            }),
             "ok" => Ok(Reply::Ok),
             "pong" => Ok(Reply::Pong),
             "err" => Ok(Reply::Err(error_from_value(&value_field(v, "error")?)?)),
@@ -809,9 +880,21 @@ impl Message {
         }
     }
 
-    /// Encodes the message for transmission.
+    /// Encodes the message without an envelope HLC (the runtime send path
+    /// always goes through [`Message::encode_with_hlc`]; this form pins
+    /// down the unstamped wire shape).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn encode(&self) -> bytes::Bytes {
-        let v = match self {
+        self.encode_with_hlc(None)
+    }
+
+    /// Encodes the message, piggybacking the sender's hybrid logical
+    /// clock on the envelope (optional `hlc` field, like the `tr` trace
+    /// field) so receivers can merge it and keep the journal's global
+    /// timeline causally consistent. Envelopes without the field stay
+    /// byte-compatible with peers that never heard of HLCs.
+    pub fn encode_with_hlc(&self, hlc: Option<Hlc>) -> bytes::Bytes {
+        let mut v = match self {
             Message::Request {
                 req_id,
                 origin,
@@ -847,18 +930,43 @@ impl Message {
             ]),
             Message::Notify(n) => Value::map([("t", Value::from("ntf")), ("body", n.to_value())]),
         };
+        if let Some(h) = hlc {
+            v.insert(
+                "hlc",
+                Value::list([
+                    Value::I64(h.wall_us as i64),
+                    Value::I64(i64::from(h.logical)),
+                ]),
+            );
+        }
         encode_value(&v)
     }
 
-    /// Decodes a message received from a peer.
+    /// Decodes a message received from a peer, discarding any envelope
+    /// HLC (the runtime receive path uses [`Message::decode_with_hlc`]).
     ///
     /// # Errors
     ///
     /// Fails with [`FargoError::Protocol`] or a wire error on malformed
     /// input.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn decode(bytes: &[u8]) -> Result<Message> {
+        Ok(Message::decode_with_hlc(bytes)?.0)
+    }
+
+    /// Decodes a message plus the sender's envelope HLC, if it carried
+    /// one. The receiver merges the timestamp into its own clock before
+    /// dispatching, which is what makes journal events at the two Cores
+    /// order causally.
+    pub fn decode_with_hlc(bytes: &[u8]) -> Result<(Message, Option<Hlc>)> {
         let v = decode_value(bytes)?;
-        match str_field(&v, "t")?.as_str() {
+        let hlc = v.get("hlc").and_then(|h| {
+            Some(Hlc {
+                wall_us: h.index(0)?.as_i64()? as u64,
+                logical: h.index(1)?.as_i64()? as u32,
+            })
+        });
+        let msg = match str_field(&v, "t")?.as_str() {
             "req" => Ok(Message::Request {
                 req_id: u64_field(&v, "id")?,
                 origin: u64_field(&v, "origin")? as u32,
@@ -879,7 +987,8 @@ impl Message {
                 &v, "body",
             )?)?)),
             other => Err(FargoError::Protocol(format!("unknown envelope {other:?}"))),
-        }
+        }?;
+        Ok((msg, hlc))
     }
 }
 
@@ -1044,6 +1153,93 @@ mod tests {
                     listener,
                 },
             });
+        }
+    }
+
+    #[test]
+    fn journal_request_and_reply_roundtrip() {
+        roundtrip(Message::Request {
+            req_id: 3,
+            origin: 0,
+            trace: None,
+            body: Request::JournalEvents,
+        });
+        roundtrip(Message::Reply {
+            req_id: 3,
+            route: vec![0],
+            body: Reply::Journal {
+                events: vec![
+                    JournalEvent {
+                        hlc: Hlc {
+                            wall_us: 123,
+                            logical: 4,
+                        },
+                        core: 1,
+                        seq: 9,
+                        kind: JournalKind::CompletDeparted,
+                        subject: "c0.1".into(),
+                        object: "Agent".into(),
+                        detail: String::new(),
+                        peer: Some(2),
+                    },
+                    JournalEvent {
+                        hlc: Hlc {
+                            wall_us: 124,
+                            logical: 0,
+                        },
+                        core: 2,
+                        seq: 0,
+                        kind: JournalKind::RefEdgeCreated,
+                        subject: "c0.1".into(),
+                        object: "c0.2".into(),
+                        detail: "pull".into(),
+                        peer: None,
+                    },
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn envelope_hlc_piggybacks_and_is_optional() {
+        let msg = Message::Request {
+            req_id: 7,
+            origin: 0,
+            trace: None,
+            body: Request::Ping,
+        };
+        let stamped = msg.encode_with_hlc(Some(Hlc {
+            wall_us: 55,
+            logical: 3,
+        }));
+        let (back, hlc) = Message::decode_with_hlc(&stamped).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(
+            hlc,
+            Some(Hlc {
+                wall_us: 55,
+                logical: 3
+            })
+        );
+        // Unstamped envelopes decode with no HLC — backwards compatible.
+        let (back, hlc) = Message::decode_with_hlc(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(hlc, None);
+        // All three envelope shapes accept the field.
+        for m in [
+            Message::Reply {
+                req_id: 1,
+                route: vec![0],
+                body: Reply::Ok,
+            },
+            Message::Notify(Notify::CoreShutdown { node: 1 }),
+        ] {
+            let (_, h) = Message::decode_with_hlc(&m.encode_with_hlc(Some(Hlc {
+                wall_us: 9,
+                logical: 0,
+            })))
+            .unwrap();
+            assert_eq!(h.unwrap().wall_us, 9);
         }
     }
 

@@ -112,15 +112,22 @@ impl TrackerTable {
 
     /// Drops forwarding trackers that have not been touched for `max_idle`
     /// — the runtime's analog of the paper's tracker garbage collection.
-    /// Local trackers are never collected. Returns how many were dropped.
-    pub fn collect_idle(&self, max_idle: std::time::Duration) -> usize {
+    /// Local trackers are never collected. Returns the ids dropped, so the
+    /// caller can journal each retirement.
+    pub fn collect_idle(&self, max_idle: std::time::Duration) -> Vec<CompletId> {
         let mut map = self.map.lock();
         let now = Instant::now();
-        let before = map.len();
-        map.retain(|_, t| {
-            t.target == TrackerTarget::Local || now.duration_since(t.updated_at) < max_idle
+        let mut dropped = Vec::new();
+        map.retain(|&id, t| {
+            let keep =
+                t.target == TrackerTarget::Local || now.duration_since(t.updated_at) < max_idle;
+            if !keep {
+                dropped.push(id);
+            }
+            keep
         });
-        before - map.len()
+        dropped.sort();
+        dropped
     }
 
     /// Snapshot of every tracker, for inspection tools.
@@ -190,7 +197,7 @@ mod tests {
         t.point(id(2), TrackerTarget::Forward(4));
         std::thread::sleep(Duration::from_millis(5));
         let dropped = t.collect_idle(Duration::from_millis(1));
-        assert_eq!(dropped, 1);
+        assert_eq!(dropped, vec![id(2)]);
         assert_eq!(t.peek(id(1)), Some(TrackerTarget::Local));
         assert_eq!(t.peek(id(2)), None);
     }

@@ -13,7 +13,7 @@ use std::sync::atomic::Ordering;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use fargo_telemetry::TraceContext;
+use fargo_telemetry::{JournalKind, TraceContext};
 use fargo_wire::{CompletId, Value};
 
 use crate::config::TrackingMode;
@@ -105,6 +105,12 @@ impl Core {
             .copied()
             .unwrap_or(CompletId::new(self.inner.node.index(), APP_SEQ));
         self.inner.monitor.invocations.record(src, id);
+        // Journaled before any routing (and before the request send, which
+        // stamps a later HLC), so in the merged timeline the issue orders
+        // before every forward and the eventual exec.
+        self.inner
+            .telemetry
+            .journal(JournalKind::Invoke, &id, method, "", None);
 
         // By-value parameter semantics: the argument graph is copied and
         // every complet reference inside it is degraded to `link`.
@@ -262,6 +268,9 @@ impl Core {
             };
             match &mut *guard {
                 SlotState::Present(complet) => {
+                    self.inner
+                        .telemetry
+                        .journal(JournalKind::Exec, &id, method, "", None);
                     let mut ctx = self.make_ctx(
                         id,
                         &slot.type_name,
@@ -405,6 +414,7 @@ impl Core {
                     let t = &self.inner.telemetry;
                     t.tracker_forwards_served_total.inc();
                     t.tracker_chain_length.observe(u64::from(hops) + 1);
+                    t.journal(JournalKind::Forward, &target, &method, "", Some(next));
                     // The forwarded request carries a span of its own so
                     // the rendered tree shows each chain hop.
                     let (fwd_trace, span) = match (t.trace_enabled, trace) {

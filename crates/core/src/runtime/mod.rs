@@ -18,7 +18,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use fargo_telemetry::{render_span_tree, Registry as TelemetryRegistry, SpanRecord, TraceContext};
+use fargo_telemetry::{
+    merge_timelines, render_span_tree, Hlc, JournalEvent, JournalKind, LayoutHistory,
+    Registry as TelemetryRegistry, SpanRecord, TraceContext,
+};
 use fargo_wire::{CompletId, RefDescriptor, Value};
 use parking_lot::{Mutex, RwLock};
 use simnet::{Endpoint, NetError, Network, NodeId};
@@ -165,8 +168,11 @@ impl<'a> CoreBuilder<'a> {
         let telemetry = CoreTelemetry::new(
             self.telemetry.unwrap_or_default(),
             &name,
+            node.index(),
             config.trace_enabled,
             config.trace_capacity,
+            config.journal_enabled,
+            config.journal_capacity,
         );
         let monitor = Monitor::new(config.monitor_cache_ttl, config.monitor_alpha);
         monitor.register_metrics(&telemetry.registry, &name);
@@ -278,6 +284,61 @@ impl Core {
     /// Renders the full multi-Core span tree of `trace_id` as text.
     pub fn render_trace(&self, trace_id: u64) -> String {
         render_span_tree(&self.collect_trace(trace_id))
+    }
+
+    // --- flight recorder ---------------------------------------------------
+
+    /// This Core's layout-event journal, oldest first.
+    pub fn journal_snapshot(&self) -> Vec<JournalEvent> {
+        self.inner.telemetry.journal.snapshot()
+    }
+
+    /// Collects the journals of this Core **and** every reachable peer
+    /// Core and merges them into one causally-consistent timeline ordered
+    /// by hybrid logical clock. Unreachable peers are skipped.
+    pub fn collect_journal(&self) -> Vec<JournalEvent> {
+        let mut batches = vec![self.journal_snapshot()];
+        for node in self.inner.net.node_ids() {
+            if node == self.inner.node {
+                continue;
+            }
+            if let Ok(Reply::Journal { events }) = self.rpc(node.index(), Request::JournalEvents) {
+                batches.push(events);
+            }
+        }
+        merge_timelines(batches)
+    }
+
+    /// The layout observatory: the merged cluster-wide timeline wrapped
+    /// for reconstruction (`at`), final-state queries, and the anomaly
+    /// pass.
+    pub fn layout_history(&self) -> LayoutHistory {
+        LayoutHistory::from_events(self.collect_journal())
+    }
+
+    /// The current reading of this Core's hybrid logical clock (no tick).
+    pub fn hlc_now(&self) -> Hlc {
+        self.inner.telemetry.clock.peek()
+    }
+
+    /// Replays journal-recorded layout events newer than `since` through
+    /// this Core's event hub, so listeners subscribed to `completArrived`
+    /// / `completDeparted` — including complet listeners that have since
+    /// migrated to another Core — observe reconstructed history. Returns
+    /// how many events were fired.
+    pub fn replay_layout_events(&self, since: Option<Hlc>) -> usize {
+        let since = since.unwrap_or(Hlc::ZERO);
+        let mut fired = 0;
+        for ev in self.collect_journal() {
+            if ev.hlc <= since {
+                continue;
+            }
+            if let Some(payload) = EventPayload::from_journal(&ev) {
+                self.fire_event(payload);
+                fired += 1;
+            }
+        }
+        fired
     }
 
     /// Folds simnet's per-link traffic counters (for links leaving this
@@ -394,6 +455,12 @@ impl Core {
         self.inner.complets.write().insert(id, slot);
         self.inner.trackers.point(id, TrackerTarget::Local);
         self.note_location(id, self.inner.node.index());
+        self.inner
+            .telemetry
+            .journal(JournalKind::CompletArrived, &id, type_name, "", None);
+        self.inner
+            .telemetry
+            .journal(JournalKind::TrackerCreated, &id, type_name, "", None);
     }
 
     /// Whether a complet currently lives on this Core.
@@ -444,7 +511,13 @@ impl Core {
     /// (local trackers are never collected). Returns how many were
     /// dropped — the runtime analog of the paper's tracker reclamation.
     pub fn collect_trackers(&self, max_idle: Duration) -> usize {
-        self.inner.trackers.collect_idle(max_idle)
+        let collected = self.inner.trackers.collect_idle(max_idle);
+        for id in &collected {
+            self.inner
+                .telemetry
+                .journal(JournalKind::TrackerRetired, id, "", "idle", None);
+        }
+        collected.len()
     }
 
     /// Drops a complet hosted here, releasing its tracker and bindings.
@@ -463,6 +536,17 @@ impl Core {
         self.inner.trackers.remove(id);
         let mut naming = self.inner.naming.lock();
         naming.retain(|_, d| d.target != id);
+        drop(naming);
+        let t = &self.inner.telemetry;
+        t.journal(
+            JournalKind::CompletDeparted,
+            &id,
+            &slot.type_name,
+            "released",
+            None,
+        );
+        t.journal(JournalKind::TrackerRetired, &id, "", "released", None);
+        t.journal(JournalKind::RefEdgeDropped, &id, "*", "", None);
         Ok(())
     }
 
@@ -783,7 +867,10 @@ impl Core {
     }
 
     pub(crate) fn send_to(&self, node: u32, msg: &Message) -> Result<()> {
-        let payload = msg.encode();
+        // Every outbound envelope carries this Core's HLC (when the
+        // journal is on), so the receiver's merge keeps the global
+        // timeline causally consistent.
+        let payload = msg.encode_with_hlc(self.inner.telemetry.hlc_send_stamp());
         self.inner
             .telemetry
             .record_msg_out(msg.kind_label(), payload.len());
@@ -847,8 +934,11 @@ impl Core {
                 return;
             }
             match self.inner.endpoint.recv_timeout(Duration::from_millis(25)) {
-                Ok(incoming) => match Message::decode(&incoming.payload) {
-                    Ok(msg) => {
+                Ok(incoming) => match Message::decode_with_hlc(&incoming.payload) {
+                    Ok((msg, hlc)) => {
+                        if let Some(h) = hlc {
+                            self.inner.telemetry.observe_hlc(h);
+                        }
                         self.inner
                             .telemetry
                             .record_msg_in(msg.kind_label(), incoming.payload.len());
@@ -990,6 +1080,10 @@ impl Core {
                 let spans = self.inner.telemetry.spans.for_trace(trace_id);
                 self.reply_to(origin, req_id, Reply::Spans { spans });
             }
+            Request::JournalEvents => {
+                let events = self.inner.telemetry.journal.snapshot();
+                self.reply_to(origin, req_id, Reply::Journal { events });
+            }
             Request::Ping => self.reply_to(origin, req_id, Reply::Pong),
         }
     }
@@ -1052,6 +1146,13 @@ impl Core {
                 .point(target, TrackerTarget::Forward(node));
             if matches!(prev, Some(TrackerTarget::Forward(p)) if p != node) {
                 self.inner.telemetry.chain_shortenings_total.inc();
+                self.inner.telemetry.journal(
+                    JournalKind::TrackerShortened,
+                    &target,
+                    "",
+                    "",
+                    Some(node),
+                );
             }
         }
     }

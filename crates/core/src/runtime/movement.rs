@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::thread;
 
-use fargo_telemetry::TraceContext;
+use fargo_telemetry::{JournalKind, TraceContext};
 use fargo_wire::{CompletId, RefDescriptor, Value};
 
 use crate::complet::Complet;
@@ -131,8 +131,11 @@ impl Core {
         let mut copies: HashMap<CompletId, (CompletId, String, Value)> = HashMap::new();
         let mut remote_pulls: Vec<(CompletId, u32)> = Vec::new();
 
-        // Restores everything taken out so far after a failed move.
-        let restore = |departing: Vec<Departing>, core: &Core| {
+        // Restores everything taken out so far after a failed move. Each
+        // restored complet journals a compensating arrival: it had been
+        // honestly marshalled out (and journaled as departed), and is now
+        // resident here again.
+        let restore = |departing: Vec<Departing>, core: &Core, departed_journaled: bool| {
             for d in departing {
                 let slot = core.inner.complets.read().get(&d.id).cloned();
                 if let Some(slot) = slot {
@@ -145,13 +148,23 @@ impl Core {
                         RefDescriptor::link(d.id, &d.type_name, core.inner.node.index()),
                     );
                 }
+                drop(naming);
+                if departed_journaled {
+                    core.inner.telemetry.journal(
+                        JournalKind::CompletArrived,
+                        &d.id,
+                        &d.type_name,
+                        "restored",
+                        None,
+                    );
+                }
             }
         };
 
         while let Some(cur) = queue.pop_front() {
             let Some(slot) = self.inner.complets.read().get(&cur).cloned() else {
                 if cur == root {
-                    restore(departing, self);
+                    restore(departing, self, false);
                     return Err(FargoError::UnknownComplet(root));
                 }
                 // A pull target hosted elsewhere: moved separately below.
@@ -161,7 +174,7 @@ impl Core {
             let mut complet = match self.take_out(&slot) {
                 Ok(c) => c,
                 Err(e) => {
-                    restore(departing, self);
+                    restore(departing, self, false);
                     return Err(e);
                 }
             };
@@ -176,11 +189,25 @@ impl Core {
                     Ok(rl) => rl.marshal_action(),
                     Err(e) => {
                         *slot.state.lock() = SlotState::Present(complet);
-                        restore(departing, self);
+                        restore(departing, self, false);
                         return Err(e);
                     }
                 };
                 self.inner.telemetry.record_relocator(&r.relocator);
+                self.inner.telemetry.journal(
+                    JournalKind::RelocatorDecision,
+                    &cur,
+                    &r.target.to_string(),
+                    &r.relocator,
+                    Some(dest_node),
+                );
+                self.inner.telemetry.journal(
+                    JournalKind::RefEdgeCreated,
+                    &cur,
+                    &r.target.to_string(),
+                    &r.relocator,
+                    None,
+                );
                 match action {
                     MarshalAction::KeepTracking | MarshalAction::StampType => {}
                     MarshalAction::PullTarget => {
@@ -257,6 +284,19 @@ impl Core {
             method,
             args,
         });
+        // Journal departures at marshal time, *before* the Move rpc is
+        // sent: the rpc send stamps a later HLC, so the destination's
+        // arrival entries — recorded after receive-side clock merge — are
+        // guaranteed to order after these in the merged timeline.
+        for d in &departing {
+            self.inner.telemetry.journal(
+                JournalKind::CompletDeparted,
+                &d.id,
+                &d.type_name,
+                "move",
+                Some(dest_node),
+            );
+        }
         match self.rpc(
             dest_node,
             Request::Move {
@@ -276,6 +316,13 @@ impl Core {
                     self.inner
                         .trackers
                         .point(d.id, TrackerTarget::Forward(dest_node));
+                    self.inner.telemetry.journal(
+                        JournalKind::TrackerForwarded,
+                        &d.id,
+                        &d.type_name,
+                        "",
+                        Some(dest_node),
+                    );
                     self.note_location(d.id, dest_node);
                     if d.id.origin != me {
                         let _ = self.send_to(
@@ -305,15 +352,15 @@ impl Core {
                 Ok(())
             }
             Ok(Reply::Err(e)) => {
-                restore(departing, self);
+                restore(departing, self, true);
                 Err(e)
             }
             Ok(other) => {
-                restore(departing, self);
+                restore(departing, self, true);
                 Err(FargoError::Protocol(format!("unexpected reply {other:?}")))
             }
             Err(e) => {
-                restore(departing, self);
+                restore(departing, self, true);
                 Err(e)
             }
         }

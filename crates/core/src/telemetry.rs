@@ -10,9 +10,11 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 
+use std::fmt;
+
 use fargo_telemetry::{
-    Counter, Gauge, Histogram, Registry, SpanLog, TraceContext, BUCKETS_BYTES, BUCKETS_COUNT,
-    BUCKETS_LATENCY_US,
+    Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent, JournalKind, Registry,
+    SpanLog, TraceContext, BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
 };
 
 /// All request kinds plus the envelope-level labels, pre-registered so
@@ -30,6 +32,7 @@ const MSG_KINDS: &[&str] = &[
     "list",
     "list_trk",
     "trace_spans",
+    "journal",
     "ping",
     "reply",
     "notify",
@@ -43,6 +46,15 @@ pub(crate) struct CoreTelemetry {
     pub spans: SpanLog,
     /// Span recording gate (metrics are unconditional).
     pub trace_enabled: bool,
+
+    // Flight recorder: the layout-event journal and the hybrid logical
+    // clock that stamps it (and every outbound envelope).
+    pub journal: Journal,
+    pub clock: HlcClock,
+    pub journal_enabled: bool,
+    /// Network node index of this Core, recorded on every journal event.
+    node: u32,
+    journal_events_total: Counter,
 
     // Invocation.
     pub invoke_total: Counter,
@@ -72,8 +84,11 @@ impl CoreTelemetry {
     pub(crate) fn new(
         registry: Registry,
         core: &str,
+        node: u32,
         trace_enabled: bool,
         trace_capacity: usize,
+        journal_enabled: bool,
+        journal_capacity: usize,
     ) -> Self {
         let l = &[("core", core)][..];
         let move_by_relocator = RELOCATOR_KINDS
@@ -103,6 +118,11 @@ impl CoreTelemetry {
         CoreTelemetry {
             spans: SpanLog::new(trace_capacity),
             trace_enabled,
+            journal: Journal::new(journal_capacity),
+            clock: HlcClock::new(),
+            journal_enabled,
+            node,
+            journal_events_total: registry.counter("fargo_journal_events_total", l),
             invoke_total: registry.counter("fargo_invoke_total", l),
             invoke_latency_us: registry.histogram("fargo_invoke_latency_us", l, BUCKETS_LATENCY_US),
             invoke_hops: registry.histogram("fargo_invoke_hops", l, BUCKETS_COUNT),
@@ -145,6 +165,48 @@ impl CoreTelemetry {
     pub(crate) fn record_relocator(&self, kind: &str) {
         if let Some(c) = self.move_by_relocator.get(kind) {
             c.inc();
+        }
+    }
+
+    /// Appends one layout event to the flight recorder, stamped with a
+    /// fresh HLC tick. `subject` is formatted lazily so a disabled
+    /// journal costs one branch and no allocation on the hot path.
+    pub(crate) fn journal(
+        &self,
+        kind: JournalKind,
+        subject: &dyn fmt::Display,
+        object: &str,
+        detail: &str,
+        peer: Option<u32>,
+    ) {
+        if !self.journal_enabled {
+            return;
+        }
+        let hlc = self.clock.tick();
+        self.journal.append(JournalEvent {
+            hlc,
+            core: self.node,
+            seq: 0, // assigned by the ring
+            kind,
+            subject: subject.to_string(),
+            object: object.to_owned(),
+            detail: detail.to_owned(),
+            peer,
+        });
+        self.journal_events_total.inc();
+    }
+
+    /// The HLC stamp for an outbound envelope: a fresh tick when
+    /// journaling is on (so receive-side merges order after every event
+    /// this Core recorded), nothing when it is off.
+    pub(crate) fn hlc_send_stamp(&self) -> Option<Hlc> {
+        self.journal_enabled.then(|| self.clock.tick())
+    }
+
+    /// Merges a remote envelope HLC into this Core's clock.
+    pub(crate) fn observe_hlc(&self, remote: Hlc) {
+        if self.journal_enabled {
+            self.clock.observe(remote);
         }
     }
 }
@@ -201,10 +263,26 @@ mod tests {
 
     #[test]
     fn unknown_message_kind_is_ignored() {
-        let t = CoreTelemetry::new(Registry::new(), "c", true, 8);
+        let t = CoreTelemetry::new(Registry::new(), "c", 0, true, 8, true, 8);
         t.record_msg_out("no_such_kind", 10);
         t.record_msg_in("invoke", 10);
         let snap = t.registry.snapshot();
         assert!(snap.iter().any(|s| s.name == "fargo_msg_in_total"));
+    }
+
+    #[test]
+    fn journal_helper_records_and_gates() {
+        let on = CoreTelemetry::new(Registry::new(), "c", 3, true, 8, true, 8);
+        on.journal(JournalKind::CompletArrived, &"c0.1", "Agent", "", Some(1));
+        let snap = on.journal.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].core, 3);
+        assert_eq!(snap[0].kind, JournalKind::CompletArrived);
+        assert!(on.hlc_send_stamp().is_some());
+
+        let off = CoreTelemetry::new(Registry::new(), "c", 3, true, 8, false, 8);
+        off.journal(JournalKind::CompletArrived, &"c0.1", "", "", None);
+        assert!(off.journal.snapshot().is_empty());
+        assert!(off.hlc_send_stamp().is_none());
     }
 }

@@ -77,7 +77,12 @@ FarGo shell commands:
   retype <target> <relocator>        change a named reference's relocator
   whereis <target>                   locate a complet
   profile <service>                  instant profiling (e.g. completLoad)
-  layout                             complets across every core
+  layout [at <hlc>]                  complets across every core; with
+                                     'at', reconstructed from the journal
+                                     at an HLC instant (e.g. 1234.0)
+  journal [<n>]                      merged cluster-wide layout journal
+                                     (last n events; default 20)
+  anomalies                          layout anomaly pass over the journal
   stats [full]                       runtime counters; 'full' renders the
                                      whole metrics exposition (incl. links)
   trace [<id>]                       span tree of a trace (default: the
@@ -125,7 +130,9 @@ impl Shell {
             "retype" => self.cmd_retype(&rest),
             "whereis" => self.cmd_whereis(&rest),
             "profile" => self.cmd_profile(&rest),
-            "layout" => self.cmd_layout(),
+            "layout" => self.cmd_layout(&rest),
+            "journal" => self.cmd_journal(&rest),
+            "anomalies" => self.cmd_anomalies(),
             "stats" => self.cmd_stats(&rest),
             "trace" => self.cmd_trace(&rest),
             "ping" => self.cmd_ping(&rest),
@@ -281,7 +288,82 @@ impl Shell {
         Ok(format!("{service} = {v}"))
     }
 
-    fn cmd_layout(&self) -> Result<String, ShellError> {
+    fn cmd_layout(&self, args: &[&str]) -> Result<String, ShellError> {
+        match args {
+            [] => self.cmd_layout_live(),
+            ["at", hlc] => self.cmd_layout_at(hlc),
+            _ => Err(ShellError::Usage("layout [at <hlc>]")),
+        }
+    }
+
+    /// Reconstructs the cluster-wide placement at an HLC instant from the
+    /// merged journal timeline (the layout observatory).
+    fn cmd_layout_at(&self, hlc: &str) -> Result<String, ShellError> {
+        let at: fargo_core::Hlc = hlc
+            .parse()
+            .map_err(|_| ShellError::Usage("layout [at <hlc>]"))?;
+        let state = self.core.layout_history().at(at);
+        let mut out = format!("layout at {at} (journal reconstruction)\n");
+        let mut by_core: std::collections::BTreeMap<u32, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for (id, node) in &state.placement {
+            by_core.entry(*node).or_default().push(id);
+        }
+        if by_core.is_empty() {
+            out.push_str("(no complets placed)\n");
+        }
+        for (node, ids) in by_core {
+            writeln!(out, "{}: {}", self.core.core_name_of(node), ids.join(", "))
+                .expect("write to string");
+        }
+        if !state.refs.is_empty() {
+            let edges: Vec<String> = state
+                .refs
+                .iter()
+                .map(|(src, dst, rel)| format!("{src} -{rel}-> {dst}"))
+                .collect();
+            writeln!(out, "refs: {}", edges.join(", ")).expect("write to string");
+        }
+        Ok(out)
+    }
+
+    /// The merged cluster-wide journal, newest events last.
+    fn cmd_journal(&self, args: &[&str]) -> Result<String, ShellError> {
+        let n: usize = match args {
+            [] => 20,
+            [n] => n.parse().map_err(|_| ShellError::Usage("journal [<n>]"))?,
+            _ => return Err(ShellError::Usage("journal [<n>]")),
+        };
+        let events = self.core.collect_journal();
+        if events.is_empty() {
+            return Ok("(journal empty)".to_owned());
+        }
+        let mut out = String::new();
+        let skip = events.len().saturating_sub(n);
+        if skip > 0 {
+            writeln!(out, "... {skip} earlier events omitted").expect("write to string");
+        }
+        for ev in &events[skip..] {
+            writeln!(out, "{ev}").expect("write to string");
+        }
+        Ok(out)
+    }
+
+    /// Runs the anomaly pass (long chains, ping-pong, orphans) over the
+    /// merged journal.
+    fn cmd_anomalies(&self) -> Result<String, ShellError> {
+        let anomalies = self.core.layout_history().anomalies();
+        if anomalies.is_empty() {
+            return Ok("(no layout anomalies)".to_owned());
+        }
+        let mut out = String::new();
+        for a in anomalies {
+            writeln!(out, "{a}").expect("write to string");
+        }
+        Ok(out)
+    }
+
+    fn cmd_layout_live(&self) -> Result<String, ShellError> {
         let net = self.core.network();
         let mut out = String::new();
         for node in net.node_ids() {
@@ -312,7 +394,7 @@ impl Shell {
             Some(&"full") => Ok(self.core.render_metrics()),
             Some(_) => Err(ShellError::Usage("stats [full]")),
             None => {
-                let m = self.core.monitor().stats();
+                let m = self.core.monitor();
                 Ok(format!(
                     "core {}
  complets      {}
@@ -326,9 +408,9 @@ impl Shell {
                     self.core.tracker_count(),
                     self.core.bindings().len(),
                     self.core.subscription_count(),
-                    m.samples,
-                    m.cache_hits,
-                    m.events_emitted,
+                    m.samples(),
+                    m.cache_hits(),
+                    m.events_emitted(),
                 ))
             }
         }

@@ -1,0 +1,848 @@
+//! The distributed flight recorder: a bounded per-Core journal of layout
+//! events, each stamped with a hybrid logical clock (HLC).
+//!
+//! FarGo's monitoring subsystem (§4 of the paper) exists so layout
+//! decisions can be *explained*: which complet moved where, why a
+//! reference chain grew, which invocation paid for a forward. Counters
+//! and spans (PR 1) answer "how much"; the journal answers "in what
+//! order". Every layout-changing hot path appends a [`JournalEvent`], and
+//! because the HLC piggybacks on every inter-Core envelope, journals
+//! pulled from different Cores merge into one causally-consistent global
+//! timeline: if event `a` happened-before event `b` (same Core, or
+//! connected by a message), then `a.hlc < b.hlc`.
+//!
+//! # Why HLC rather than Lamport clocks
+//!
+//! A Lamport clock also respects causality, but its values are opaque
+//! counters: a merged timeline cannot be related to wall time, and two
+//! causally-unrelated events may order arbitrarily far from their real
+//! occurrence. The hybrid clock keeps a physical component (microseconds
+//! from [`crate::trace::now_micros`], the same clock spans use) that is
+//! never *behind* real time, plus a small logical counter that breaks
+//! ties and preserves happened-before when physical clocks are close or
+//! skewed. Timestamps therefore sort causally *and* read as times, which
+//! the layout observatory needs for "layout at <hlc>" queries.
+//!
+//! # Bounded buffer, eviction policy
+//!
+//! The journal is a fixed-capacity ring: an append reserves a slot with a
+//! single atomic fetch-add and overwrites the oldest event once the ring
+//! wraps. Nothing blocks and nothing grows — a busy Core forgets the
+//! distant past rather than stalling the invocation path. The monotone
+//! per-Core sequence number survives eviction, so a snapshot can report
+//! exactly how many events have been dropped.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::now_micros;
+
+/// Logical component saturates at 16 bits (the packed-atomic clock word
+/// reserves the low 16 bits for it). In practice the physical component
+/// advances every microsecond, so the counter stays tiny.
+const LOGICAL_MAX: u32 = 0xFFFF;
+
+/// A hybrid logical clock timestamp: physical microseconds plus a logical
+/// tie-breaker. Totally ordered; respects happened-before across Cores
+/// when every message carries the sender's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hlc {
+    /// Physical component: microseconds from the process epoch
+    /// ([`crate::trace::now_micros`]), never behind the local clock.
+    pub wall_us: u64,
+    /// Logical component: breaks ties among events in the same
+    /// microsecond and carries causality across clock skew.
+    pub logical: u32,
+}
+
+impl Hlc {
+    /// A timestamp strictly before every clock-produced one.
+    pub const ZERO: Hlc = Hlc {
+        wall_us: 0,
+        logical: 0,
+    };
+}
+
+impl fmt::Display for Hlc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.wall_us, self.logical)
+    }
+}
+
+impl FromStr for Hlc {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Hlc, String> {
+        let (w, l) = s.split_once('.').unwrap_or((s, "0"));
+        let wall_us = w
+            .parse::<u64>()
+            .map_err(|_| format!("bad HLC wall part {w:?}"))?;
+        let logical = l
+            .parse::<u32>()
+            .map_err(|_| format!("bad HLC logical part {l:?}"))?;
+        Ok(Hlc { wall_us, logical })
+    }
+}
+
+/// One Core's hybrid logical clock. A single packed atomic word (48 bits
+/// physical µs, 16 bits logical), advanced by compare-and-swap, so ticks
+/// from the receiver loop and application threads never block each other.
+#[derive(Debug, Default)]
+pub struct HlcClock {
+    state: AtomicU64,
+}
+
+fn pack(wall_us: u64, logical: u32) -> u64 {
+    (wall_us << 16) | u64::from(logical.min(LOGICAL_MAX))
+}
+
+fn unpack(word: u64) -> (u64, u32) {
+    (word >> 16, (word & u64::from(LOGICAL_MAX)) as u32)
+}
+
+impl HlcClock {
+    pub fn new() -> HlcClock {
+        HlcClock::default()
+    }
+
+    /// The current value without advancing the clock.
+    pub fn peek(&self) -> Hlc {
+        let (wall_us, logical) = unpack(self.state.load(Ordering::Acquire));
+        Hlc { wall_us, logical }
+    }
+
+    fn advance(&self, f: impl Fn(u64, u32) -> (u64, u32)) -> Hlc {
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            let (w, l) = unpack(cur);
+            let (nw, nl) = f(w, l);
+            let next = pack(nw, nl);
+            if self
+                .state
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Hlc {
+                    wall_us: nw,
+                    logical: nl.min(LOGICAL_MAX),
+                };
+            }
+        }
+    }
+
+    /// Advances for a local event (journal append or message send) and
+    /// returns the new timestamp: strictly greater than every timestamp
+    /// this clock handed out before.
+    pub fn tick(&self) -> Hlc {
+        let pt = now_micros();
+        self.advance(|w, l| {
+            if pt > w {
+                (pt, 0)
+            } else {
+                (w, l.saturating_add(1))
+            }
+        })
+    }
+
+    /// Merges a timestamp received from a remote Core (the HLC receive
+    /// rule), so every local event after this one orders *after* the
+    /// sender's events.
+    pub fn observe(&self, remote: Hlc) -> Hlc {
+        let pt = now_micros();
+        self.advance(|w, l| {
+            if pt > w && pt > remote.wall_us {
+                (pt, 0)
+            } else if w > remote.wall_us {
+                (w, l.saturating_add(1))
+            } else if remote.wall_us > w {
+                (remote.wall_us, remote.logical.saturating_add(1))
+            } else {
+                (w, l.max(remote.logical).saturating_add(1))
+            }
+        })
+    }
+}
+
+/// What happened, in the vocabulary of the layout subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JournalKind {
+    /// A complet became resident on the recording Core (created here,
+    /// arrived by move, or restored after a failed move).
+    CompletArrived,
+    /// A complet was marshalled out of the recording Core, headed for
+    /// `peer`.
+    CompletDeparted,
+    /// A tracker entry was created (pointing local).
+    TrackerCreated,
+    /// A tracker was repointed to forward to `peer` after a departure.
+    TrackerForwarded,
+    /// A tracker skipped intermediate hops (chain shortening, §3.1).
+    TrackerShortened,
+    /// A tracker entry was retired (complet released or entry collected).
+    TrackerRetired,
+    /// A marshal-time relocator decision for one reference.
+    RelocatorDecision,
+    /// An inter-complet reference edge was observed or created.
+    RefEdgeCreated,
+    /// Reference edges involving a complet were dropped.
+    RefEdgeDropped,
+    /// An invocation was issued through a reference.
+    Invoke,
+    /// A tracker served a forward for an in-flight invocation.
+    Forward,
+    /// An invocation executed on the recording Core.
+    Exec,
+}
+
+impl JournalKind {
+    /// Stable wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalKind::CompletArrived => "arrive",
+            JournalKind::CompletDeparted => "depart",
+            JournalKind::TrackerCreated => "trk_create",
+            JournalKind::TrackerForwarded => "trk_forward",
+            JournalKind::TrackerShortened => "trk_shorten",
+            JournalKind::TrackerRetired => "trk_retire",
+            JournalKind::RelocatorDecision => "relocator",
+            JournalKind::RefEdgeCreated => "ref_add",
+            JournalKind::RefEdgeDropped => "ref_drop",
+            JournalKind::Invoke => "invoke",
+            JournalKind::Forward => "forward",
+            JournalKind::Exec => "exec",
+        }
+    }
+
+    /// Inverse of [`JournalKind::as_str`].
+    pub fn parse(s: &str) -> Option<JournalKind> {
+        Some(match s {
+            "arrive" => JournalKind::CompletArrived,
+            "depart" => JournalKind::CompletDeparted,
+            "trk_create" => JournalKind::TrackerCreated,
+            "trk_forward" => JournalKind::TrackerForwarded,
+            "trk_shorten" => JournalKind::TrackerShortened,
+            "trk_retire" => JournalKind::TrackerRetired,
+            "relocator" => JournalKind::RelocatorDecision,
+            "ref_add" => JournalKind::RefEdgeCreated,
+            "ref_drop" => JournalKind::RefEdgeDropped,
+            "invoke" => JournalKind::Invoke,
+            "forward" => JournalKind::Forward,
+            "exec" => JournalKind::Exec,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JournalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One journal entry. The telemetry crate stays dependency-free, so the
+/// subject/object are strings (complet ids render as `cN.M`) and Cores
+/// are network node indices; callers map indices to names for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Hybrid timestamp: the merge key of the global timeline.
+    pub hlc: Hlc,
+    /// Node index of the recording Core.
+    pub core: u32,
+    /// Monotone per-Core sequence number (survives ring eviction).
+    pub seq: u64,
+    pub kind: JournalKind,
+    /// Primary subject, usually a complet id.
+    pub subject: String,
+    /// Secondary subject: type name, method, or edge-target complet id.
+    pub object: String,
+    /// Extra qualifier: relocator kind for edge/relocator events.
+    pub detail: String,
+    /// The other node involved (move destination, forward target), if any.
+    pub peer: Option<u32>,
+}
+
+impl fmt::Display for JournalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} n{} {} {}",
+            self.hlc, self.core, self.kind, self.subject
+        )?;
+        if !self.object.is_empty() {
+            write!(f, " {}", self.object)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " [{}]", self.detail)?;
+        }
+        if let Some(p) = self.peer {
+            write!(f, " -> n{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The bounded per-Core event ring.
+///
+/// Appends are wait-free on the shared state: one atomic fetch-add
+/// reserves a slot and the monotone counter doubles as the sequence
+/// number; only the slot itself is briefly locked (each slot has its own
+/// tiny mutex, uncontended except when the ring wraps onto an in-progress
+/// reader). When full, the oldest event is overwritten.
+pub struct Journal {
+    slots: Box<[Mutex<Option<JournalEvent>>]>,
+    cursor: AtomicU64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Journal {
+        let cap = capacity.max(1);
+        let slots = (0..cap).map(|_| Mutex::new(None)).collect::<Vec<_>>();
+        Journal {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one event, assigning its sequence number. Returns the
+    /// sequence assigned.
+    pub fn append(&self, mut ev: JournalEvent) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::AcqRel);
+        ev.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = Some(ev);
+        seq
+    }
+
+    /// Total number of events ever appended (including evicted ones).
+    pub fn appended(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Number of events evicted by ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.appended()
+            .saturating_sub(self.slots.len() as u64)
+            .min(self.appended())
+    }
+
+    /// A copy of the retained events, ordered by sequence number.
+    pub fn snapshot(&self) -> Vec<JournalEvent> {
+        let mut out: Vec<JournalEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .clone()
+            })
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.slots.len())
+            .field("appended", &self.appended())
+            .finish()
+    }
+}
+
+/// Merges per-Core journal snapshots into one global timeline, ordered by
+/// (HLC, core, seq) and de-duplicated on (core, seq) so overlapping pulls
+/// are harmless.
+pub fn merge_timelines(batches: impl IntoIterator<Item = Vec<JournalEvent>>) -> Vec<JournalEvent> {
+    let mut all: Vec<JournalEvent> = batches.into_iter().flatten().collect();
+    all.sort_by_key(|a| (a.hlc, a.core, a.seq));
+    all.dedup_by_key(|e| (e.core, e.seq));
+    all
+}
+
+// --- the layout observatory ------------------------------------------------
+
+/// Reconstructed cluster state at one point in the merged timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayoutState {
+    /// complet id -> node currently hosting it. Complets in transit
+    /// (departed, not yet arrived) are absent.
+    pub placement: BTreeMap<String, u32>,
+    /// Inter-complet reference edges: (source, target, relocator).
+    pub refs: BTreeSet<(String, String, String)>,
+    /// Tracker topology: (node, complet id) -> forward target
+    /// (`None` = points local).
+    pub trackers: BTreeMap<(u32, String), Option<u32>>,
+}
+
+impl LayoutState {
+    fn apply(&mut self, ev: &JournalEvent) {
+        match ev.kind {
+            JournalKind::CompletArrived => {
+                self.placement.insert(ev.subject.clone(), ev.core);
+            }
+            JournalKind::CompletDeparted => {
+                if self.placement.get(&ev.subject) == Some(&ev.core) {
+                    self.placement.remove(&ev.subject);
+                }
+            }
+            JournalKind::TrackerCreated => {
+                self.trackers.insert((ev.core, ev.subject.clone()), None);
+            }
+            JournalKind::TrackerForwarded | JournalKind::TrackerShortened => {
+                self.trackers.insert((ev.core, ev.subject.clone()), ev.peer);
+            }
+            JournalKind::TrackerRetired => {
+                self.trackers.remove(&(ev.core, ev.subject.clone()));
+            }
+            JournalKind::RefEdgeCreated => {
+                self.refs
+                    .insert((ev.subject.clone(), ev.object.clone(), ev.detail.clone()));
+            }
+            JournalKind::RefEdgeDropped => {
+                let s = &ev.subject;
+                if ev.object == "*" {
+                    self.refs.retain(|(a, b, _)| a != s && b != s);
+                } else {
+                    self.refs.retain(|(a, b, _)| !(a == s && *b == ev.object));
+                }
+            }
+            JournalKind::RelocatorDecision
+            | JournalKind::Invoke
+            | JournalKind::Forward
+            | JournalKind::Exec => {}
+        }
+    }
+
+    /// Follows a forwarding chain from `(node, complet)`. Returns the
+    /// nodes visited (excluding the start) and whether the walk reached
+    /// the complet's placement.
+    pub fn chain_from(&self, node: u32, complet: &str) -> (Vec<u32>, bool) {
+        let mut path = Vec::new();
+        let mut cur = node;
+        loop {
+            if self.placement.get(complet) == Some(&cur) {
+                return (path, true);
+            }
+            match self.trackers.get(&(cur, complet.to_owned())) {
+                Some(Some(next)) if !path.contains(next) && *next != cur => {
+                    path.push(*next);
+                    cur = *next;
+                }
+                // Local tracker but not placed here (in transit), dead
+                // end, or a cycle.
+                _ => return (path, false),
+            }
+        }
+    }
+}
+
+/// A layout problem surfaced by the anomaly pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// A forwarding chain of `hops` hops from `from` to the complet.
+    LongChain {
+        complet: String,
+        from: u32,
+        hops: usize,
+        path: Vec<u32>,
+    },
+    /// A complet bouncing between two Cores.
+    PingPong {
+        complet: String,
+        between: (u32, u32),
+        bounces: usize,
+    },
+    /// A tracker whose forwarding chain never reaches the complet.
+    OrphanTracker { complet: String, at: u32 },
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::LongChain {
+                complet,
+                from,
+                hops,
+                path,
+            } => {
+                let hopstr: Vec<String> = path.iter().map(|n| format!("n{n}")).collect();
+                write!(
+                    f,
+                    "long-chain {complet}: {hops} hops from n{from} ({})",
+                    hopstr.join(" -> ")
+                )
+            }
+            Anomaly::PingPong {
+                complet,
+                between: (a, b),
+                bounces,
+            } => write!(
+                f,
+                "ping-pong {complet}: bounced n{a} <-> n{b} {bounces} times"
+            ),
+            Anomaly::OrphanTracker { complet, at } => {
+                write!(f, "orphan-tracker {complet}: chain from n{at} dead-ends")
+            }
+        }
+    }
+}
+
+/// Chains of at least this many hops are flagged by the anomaly pass.
+pub const LONG_CHAIN_THRESHOLD: usize = 3;
+
+/// The merged, causally-ordered timeline plus reconstruction over it.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutHistory {
+    events: Vec<JournalEvent>,
+}
+
+impl LayoutHistory {
+    /// Builds a history from any mix of per-Core snapshots; they are
+    /// merged, HLC-ordered, and de-duplicated.
+    pub fn from_events(events: Vec<JournalEvent>) -> LayoutHistory {
+        LayoutHistory {
+            events: merge_timelines([events]),
+        }
+    }
+
+    /// The merged timeline, oldest first.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Replays the timeline up to and including `at`, reconstructing the
+    /// placement map, reference graph, and tracker topology at that
+    /// instant.
+    pub fn at(&self, at: Hlc) -> LayoutState {
+        let mut state = LayoutState::default();
+        for ev in self.events.iter().take_while(|e| e.hlc <= at) {
+            state.apply(ev);
+        }
+        state
+    }
+
+    /// The state after the whole timeline.
+    pub fn final_state(&self) -> LayoutState {
+        self.events
+            .last()
+            .map_or_else(LayoutState::default, |last| self.at(last.hlc))
+    }
+
+    /// Flags long forwarding chains, movement ping-pong, and orphaned
+    /// trackers in the final state / movement record.
+    pub fn anomalies(&self) -> Vec<Anomaly> {
+        let state = self.final_state();
+        let mut out = Vec::new();
+
+        // Long chains and orphans: walk every forwarding tracker, report
+        // the worst chain per complet plus any dead end.
+        let complets: BTreeSet<&String> = state.trackers.keys().map(|(_, c)| c).collect();
+        for complet in complets {
+            let mut worst: Option<(usize, Anomaly)> = None;
+            let mut orphan: Option<Anomaly> = None;
+            for (n, c) in state.trackers.keys() {
+                if c != complet {
+                    continue;
+                }
+                let (path, reached) = state.chain_from(*n, complet);
+                if reached {
+                    let beats = worst.as_ref().is_none_or(|(hops, _)| path.len() > *hops);
+                    if path.len() >= LONG_CHAIN_THRESHOLD && beats {
+                        worst = Some((
+                            path.len(),
+                            Anomaly::LongChain {
+                                complet: complet.clone(),
+                                from: *n,
+                                hops: path.len(),
+                                path,
+                            },
+                        ));
+                    }
+                } else if !path.is_empty() && orphan.is_none() {
+                    orphan = Some(Anomaly::OrphanTracker {
+                        complet: complet.clone(),
+                        at: *n,
+                    });
+                }
+            }
+            out.extend(worst.map(|(_, a)| a));
+            out.extend(orphan);
+        }
+
+        // Ping-pong: a complet whose arrival sequence alternates between
+        // two Cores (A, B, A, ...) with at least two returns.
+        let mut arrivals: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        for ev in &self.events {
+            if ev.kind == JournalKind::CompletArrived {
+                arrivals.entry(&ev.subject).or_default().push(ev.core);
+            }
+        }
+        for (complet, seq) in arrivals {
+            let returns = seq
+                .windows(3)
+                .filter(|w| w[0] == w[2] && w[0] != w[1])
+                .count();
+            if returns >= 2 {
+                let n = seq.len();
+                out.push(Anomaly::PingPong {
+                    complet: complet.to_string(),
+                    between: (seq[n - 2].min(seq[n - 1]), seq[n - 2].max(seq[n - 1])),
+                    bounces: returns,
+                });
+            }
+        }
+        out
+    }
+}
+
+// --- JSON exposition -------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a merged timeline as a JSON array, for the experiments runner
+/// and any external tooling. One object per event, stable key order.
+pub fn render_journal_json(events: &[JournalEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"hlc\":\"{}\",\"core\":{},\"seq\":{},\"kind\":\"{}\",\"subject\":\"{}\",\"object\":\"{}\",\"detail\":\"{}\",\"peer\":{}}}",
+            e.hlc,
+            e.core,
+            e.seq,
+            e.kind,
+            json_escape(&e.subject),
+            json_escape(&e.object),
+            json_escape(&e.detail),
+            e.peer.map_or_else(|| "null".to_owned(), |p| p.to_string()),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(hlc: (u64, u32), core: u32, seq: u64, kind: JournalKind, subject: &str) -> JournalEvent {
+        JournalEvent {
+            hlc: Hlc {
+                wall_us: hlc.0,
+                logical: hlc.1,
+            },
+            core,
+            seq,
+            kind,
+            subject: subject.to_owned(),
+            object: String::new(),
+            detail: String::new(),
+            peer: None,
+        }
+    }
+
+    #[test]
+    fn hlc_orders_and_displays() {
+        let a = Hlc {
+            wall_us: 5,
+            logical: 1,
+        };
+        let b = Hlc {
+            wall_us: 5,
+            logical: 2,
+        };
+        let c = Hlc {
+            wall_us: 6,
+            logical: 0,
+        };
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "5.1");
+        assert_eq!("5.1".parse::<Hlc>().unwrap(), a);
+        assert_eq!("7".parse::<Hlc>().unwrap().wall_us, 7);
+        assert!("x.y".parse::<Hlc>().is_err());
+    }
+
+    #[test]
+    fn clock_ticks_strictly_monotonically() {
+        let clock = HlcClock::new();
+        let mut prev = clock.tick();
+        for _ in 0..10_000 {
+            let next = clock.tick();
+            assert!(next > prev, "{next} !> {prev}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let clock = HlcClock::new();
+        let remote = Hlc {
+            wall_us: now_micros() + 1_000_000,
+            logical: 7,
+        };
+        let merged = clock.observe(remote);
+        assert!(merged > remote, "{merged} must order after {remote}");
+        assert!(clock.tick() > merged);
+    }
+
+    #[test]
+    fn observe_stale_remote_still_advances() {
+        let clock = HlcClock::new();
+        let t1 = clock.tick();
+        let merged = clock.observe(Hlc::ZERO);
+        assert!(merged > t1);
+    }
+
+    #[test]
+    fn journal_ring_evicts_oldest() {
+        let j = Journal::new(4);
+        for i in 0..10u64 {
+            j.append(ev((i, 0), 0, 0, JournalKind::Invoke, "c0.1"));
+        }
+        assert_eq!(j.appended(), 10);
+        assert_eq!(j.dropped(), 6);
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order kept");
+    }
+
+    #[test]
+    fn merge_orders_by_hlc_and_dedups() {
+        let a = vec![
+            ev((10, 0), 0, 0, JournalKind::Invoke, "x"),
+            ev((30, 0), 0, 1, JournalKind::Exec, "x"),
+        ];
+        let b = vec![
+            ev((20, 0), 1, 0, JournalKind::Forward, "x"),
+            ev((30, 0), 0, 1, JournalKind::Exec, "x"), // duplicate pull
+        ];
+        let merged = merge_timelines([a, b]);
+        assert_eq!(merged.len(), 3);
+        let kinds: Vec<JournalKind> = merged.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![JournalKind::Invoke, JournalKind::Forward, JournalKind::Exec]
+        );
+    }
+
+    #[test]
+    fn layout_history_replays_placement() {
+        let events = vec![
+            ev((1, 0), 0, 0, JournalKind::CompletArrived, "c0.1"),
+            ev((2, 0), 0, 1, JournalKind::CompletDeparted, "c0.1"),
+            ev((3, 0), 1, 0, JournalKind::CompletArrived, "c0.1"),
+        ];
+        let h = LayoutHistory::from_events(events);
+        assert_eq!(
+            h.at(Hlc {
+                wall_us: 1,
+                logical: 0
+            })
+            .placement
+            .get("c0.1"),
+            Some(&0)
+        );
+        assert_eq!(
+            h.at(Hlc {
+                wall_us: 2,
+                logical: 0
+            })
+            .placement
+            .get("c0.1"),
+            None,
+            "in transit"
+        );
+        assert_eq!(h.final_state().placement.get("c0.1"), Some(&1));
+    }
+
+    #[test]
+    fn anomaly_flags_long_chain() {
+        let mut events = vec![ev((1, 0), 4, 0, JournalKind::CompletArrived, "c0.1")];
+        for n in 0..4u32 {
+            let mut e = ev(
+                (2 + u64::from(n), 0),
+                n,
+                0,
+                JournalKind::TrackerForwarded,
+                "c0.1",
+            );
+            e.peer = Some(n + 1);
+            events.push(e);
+        }
+        let h = LayoutHistory::from_events(events);
+        let anomalies = h.anomalies();
+        assert!(
+            anomalies.iter().any(|a| matches!(
+                a,
+                Anomaly::LongChain {
+                    hops: 4,
+                    from: 0,
+                    ..
+                }
+            )),
+            "got {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn anomaly_flags_ping_pong_and_orphan() {
+        let mut events = Vec::new();
+        for (i, core) in [0u32, 1, 0, 1].iter().enumerate() {
+            events.push(ev(
+                (i as u64 + 1, 0),
+                *core,
+                i as u64,
+                JournalKind::CompletArrived,
+                "c0.9",
+            ));
+        }
+        // Orphan: a tracker for a complet that is nowhere placed.
+        let mut orphan = ev((9, 0), 3, 0, JournalKind::TrackerForwarded, "c9.9");
+        orphan.peer = Some(4);
+        events.push(orphan);
+        let anomalies = LayoutHistory::from_events(events).anomalies();
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::PingPong { bounces: 2, .. })));
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::OrphanTracker { at: 3, .. })));
+    }
+
+    #[test]
+    fn journal_json_is_well_formed() {
+        let mut e = ev((5, 1), 2, 3, JournalKind::CompletDeparted, "c0.1");
+        e.object = "Agent\"x\"".to_owned();
+        e.peer = Some(1);
+        let json = render_journal_json(&[e]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"hlc\":\"5.1\""));
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("\"peer\":1"));
+    }
+}

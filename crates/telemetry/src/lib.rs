@@ -1,6 +1,6 @@
 //! Dependency-free telemetry for FarGo-RS.
 //!
-//! Two halves, both built on `std` only:
+//! Three parts, all built on `std` only:
 //!
 //! * [`metrics`] — a registry of lock-free counters, gauges, and
 //!   fixed-bucket histograms, registered by name + labels, snapshottable,
@@ -11,14 +11,24 @@
 //!   enough to ride in every inter-Core request envelope, a bounded
 //!   per-Core span ring buffer, and a renderer that reassembles spans
 //!   gathered from many Cores into one text span tree.
+//! * [`journal`] — the distributed flight recorder: a bounded per-Core
+//!   ring of structured layout events stamped with a hybrid logical
+//!   clock ([`journal::Hlc`]) that piggybacks on every inter-Core
+//!   envelope, so per-Core journals merge into one causally-consistent
+//!   timeline, reconstructable into a [`journal::LayoutHistory`].
 //!
 //! The crate deliberately has no dependencies (not even in-workspace
 //! ones) so every layer — wire, simnet, core, shell, viz, bench — can
 //! use it without cycles.
 
+pub mod journal;
 pub mod metrics;
 pub mod trace;
 
+pub use journal::{
+    merge_timelines, render_journal_json, Anomaly, Hlc, HlcClock, Journal, JournalEvent,
+    JournalKind, LayoutHistory, LayoutState,
+};
 pub use metrics::{
     render_snapshots_json, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,
     BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,

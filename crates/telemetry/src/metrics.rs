@@ -338,13 +338,24 @@ fn format_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&
     out.push('}');
 }
 
+/// Orders series for rendering: families by name, series within a family
+/// by label set. [`Registry::snapshot`] already emits this order; sorting
+/// again here makes the exposition deterministic for *any* input, so
+/// snapshots diff cleanly and tests never depend on map iteration order.
+fn ordered(snaps: &[Snapshot]) -> Vec<&Snapshot> {
+    let mut v: Vec<&Snapshot> = snaps.iter().collect();
+    v.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    v
+}
+
 /// Renders a snapshot list (e.g. from [`Registry::snapshot`]) in
 /// Prometheus text exposition format. `# TYPE` headers are emitted once
-/// per metric name.
+/// per metric name. Output order is deterministic: families sort by
+/// name, series by label set.
 pub fn render_snapshots(snaps: &[Snapshot]) -> String {
     let mut out = String::new();
     let mut last_name: Option<&str> = None;
-    for snap in snaps {
+    for snap in ordered(snaps) {
         if last_name != Some(snap.name.as_str()) {
             let ty = match snap.value {
                 MetricValue::Counter(_) => "counter",
@@ -413,10 +424,11 @@ fn json_escape(out: &mut String, s: &str) {
 /// `name`, `labels`, and a `value` whose shape depends on the metric
 /// kind (number for counters/gauges, `{buckets, sum, count}` for
 /// histograms; the overflow bucket's bound is `null`). Hand-rolled so
-/// the crate stays dependency-free.
+/// the crate stays dependency-free. Series order is deterministic (by
+/// name, then label set), matching [`render_snapshots`].
 pub fn render_snapshots_json(snaps: &[Snapshot]) -> String {
     let mut out = String::from("[");
-    for (i, snap) in snaps.iter().enumerate() {
+    for (i, snap) in ordered(snaps).into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -542,5 +554,57 @@ mod tests {
         assert!(text.contains("fargo_lat_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("fargo_lat_us_sum 3"));
         assert!(text.contains("fargo_lat_us_count 1"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_across_registration_orders() {
+        let series: &[(&str, &str)] = &[
+            ("fargo_b_total", "core1"),
+            ("fargo_a_total", "core2"),
+            ("fargo_a_total", "core0"),
+            ("fargo_b_total", "core0"),
+        ];
+        let mut reversed: Vec<(&str, &str)> = series.to_vec();
+        reversed.reverse();
+        let render_both = |order: &[(&str, &str)]| {
+            let reg = Registry::new();
+            for (i, (name, core)) in order.iter().enumerate() {
+                reg.counter(name, &[("core", core)]).add(i as u64 + 1);
+            }
+            // Same totals regardless of order: re-add to fixed values.
+            for (name, core) in order {
+                let c = reg.counter(name, &[("core", core)]);
+                while c.get() < 10 {
+                    c.inc();
+                }
+            }
+            (
+                render_snapshots(&reg.snapshot()),
+                render_snapshots_json(&reg.snapshot()),
+            )
+        };
+        assert_eq!(render_both(series), render_both(&reversed));
+    }
+
+    #[test]
+    fn renderers_sort_unsorted_input() {
+        let snaps = vec![
+            Snapshot {
+                name: "z_total".into(),
+                labels: vec![],
+                value: MetricValue::Counter(1),
+            },
+            Snapshot {
+                name: "a_total".into(),
+                labels: vec![],
+                value: MetricValue::Counter(2),
+            },
+        ];
+        let text = render_snapshots(&snaps);
+        let a = text.find("a_total").expect("a rendered");
+        let z = text.find("z_total").expect("z rendered");
+        assert!(a < z, "families must sort by name:\n{text}");
+        let json = render_snapshots_json(&snaps);
+        assert!(json.find("a_total").unwrap() < json.find("z_total").unwrap());
     }
 }

@@ -28,5 +28,7 @@
 //! ```
 
 mod monitor;
+mod observatory;
 
 pub use monitor::{LayoutMonitor, LayoutSnapshot};
+pub use observatory::{render_state, state_to_dot, Observatory};
