@@ -15,11 +15,27 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Failure-injection suite across several deterministic simnet seeds:
+# each seed is a different loss/jitter schedule, so the reliable
+# messaging layer (retransmission, reply dedup, two-phase moves) is
+# exercised against more than one drop pattern.
+for seed in 7 11 23; do
+    echo "==> failure injection (seed $seed)"
+    FARGO_SIMNET_SEED=$seed cargo test -q -p fargo-core --test failure_injection
+done
+
 # Smoke-test the experiments runner's JSON exposition: the binary
 # self-validates the report (tables + metrics + journal snapshot) and
 # exits nonzero on renderer drift; also insist the journal key shipped.
 echo "==> experiments json smoke (E13)"
 cargo run -q -p fargo-bench --bin experiments --release -- json E13 \
     | grep -q '"journal"'
+
+# E14 guardrail: the reliability layer's loss-free overhead and its
+# recovery under loss, reported through the same self-validating JSON
+# path (the run exits nonzero if any invocation fails to recover).
+echo "==> experiments json smoke (E14)"
+cargo run -q -p fargo-bench --bin experiments --release -- json E14 \
+    | grep -q '"E14"'
 
 echo "CI OK"

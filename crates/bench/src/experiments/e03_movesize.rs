@@ -69,7 +69,9 @@ mod tests {
         let (_, small, msgs_small) = move_run(1_000);
         let (_, big, _) = move_run(200_000);
         assert!(big > small + 150_000, "wire bytes must grow with state");
-        assert_eq!(msgs_small, 1, "one move request message on the 0->1 link");
+        // Two-phase transfer: the data-bearing MovePrepare plus the
+        // constant-size MoveCommit — still one *data* message per move.
+        assert_eq!(msgs_small, 2, "prepare + commit on the 0->1 link");
     }
 
     #[test]

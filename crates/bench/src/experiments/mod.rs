@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E13). Each module regenerates one experiment
+//! The experiment suite (E1–E14). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -14,6 +14,7 @@ pub mod e10_invocation;
 pub mod e11_params;
 pub mod e12_footprint;
 pub mod e13_journal;
+pub mod e14_retry;
 
 use crate::Table;
 
@@ -97,6 +98,11 @@ pub fn all() -> Vec<Experiment> {
             id: "E13",
             summary: "flight-recorder overhead: journaling on vs off on the local invoke path",
             run: e13_journal::run,
+        },
+        Experiment {
+            id: "E14",
+            summary: "reliable messaging: loss-free overhead vs single-shot; recovery under loss",
+            run: e14_retry::run,
         },
     ]
 }

@@ -25,6 +25,11 @@ pub struct ClusterSpec {
     pub trace_enabled: bool,
     /// Whether Cores record layout events in the flight-recorder journal.
     pub journal_enabled: bool,
+    /// When true, Cores run with the historical single-shot messaging
+    /// behaviour (no retransmission, no reply dedup) — the E14 baseline.
+    pub single_shot: bool,
+    /// Retransmission budget override (None keeps the config default).
+    pub rpc_retries: Option<u32>,
 }
 
 impl ClusterSpec {
@@ -38,6 +43,8 @@ impl ClusterSpec {
             monitor_tick: Duration::from_millis(10),
             trace_enabled: true,
             journal_enabled: true,
+            single_shot: false,
+            rpc_retries: None,
         }
     }
 
@@ -73,6 +80,18 @@ impl ClusterSpec {
         self
     }
 
+    /// Switches to single-shot messaging (no retransmission or dedup).
+    pub fn single_shot(mut self, enabled: bool) -> Self {
+        self.single_shot = enabled;
+        self
+    }
+
+    /// Overrides the retransmission budget (lossy-sweep experiments).
+    pub fn rpc_retries(mut self, retries: u32) -> Self {
+        self.rpc_retries = Some(retries);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(NetworkConfig {
@@ -82,7 +101,7 @@ impl ClusterSpec {
         });
         let registry = bench_registry();
         let telemetry = TelemetryRegistry::new();
-        let config = CoreConfig {
+        let mut config = CoreConfig {
             tracking: self.tracking,
             monitor_tick: self.monitor_tick,
             rpc_timeout: Duration::from_secs(30),
@@ -90,6 +109,12 @@ impl ClusterSpec {
         }
         .with_tracing(self.trace_enabled)
         .with_journaling(self.journal_enabled);
+        if self.single_shot {
+            config = config.single_shot();
+        }
+        if let Some(retries) = self.rpc_retries {
+            config = config.with_rpc_retries(retries);
+        }
         let cores = (0..self.cores)
             .map(|i| {
                 Core::builder(&net, &format!("core{i}"))

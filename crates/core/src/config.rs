@@ -54,6 +54,25 @@ pub struct CoreConfig {
     pub journal_enabled: bool,
     /// Ring-buffer capacity of this Core's journal (oldest evicted).
     pub journal_capacity: usize,
+    /// Maximum retransmissions of one request within `rpc_timeout`
+    /// (`0` restores the historical single-shot behaviour).
+    pub rpc_max_retries: u32,
+    /// Wait before the first retransmission; doubles per retry.
+    pub rpc_retry_base: Duration,
+    /// Cap on the exponential retransmission backoff.
+    pub rpc_retry_cap: Duration,
+    /// Entries kept in the per-Core reply-dedup cache that gives retried
+    /// requests at-most-once execution. `0` disables deduplication.
+    pub dedup_cache_capacity: usize,
+    /// Request-handler worker threads (bounded pool; replaces the old
+    /// thread-per-request dispatch).
+    pub worker_threads: usize,
+    /// Bounded queue in front of the worker pool. Overflowing requests
+    /// are dropped — the sender's retransmission recovers them.
+    pub worker_queue_depth: usize,
+    /// How long a destination holds a prepared-but-uncommitted move
+    /// before querying the source Core for the transaction outcome.
+    pub move_hold_timeout: Duration,
 }
 
 impl Default for CoreConfig {
@@ -72,6 +91,13 @@ impl Default for CoreConfig {
             trace_capacity: 1024,
             journal_enabled: true,
             journal_capacity: 4096,
+            rpc_max_retries: 6,
+            rpc_retry_base: Duration::from_millis(20),
+            rpc_retry_cap: Duration::from_millis(500),
+            dedup_cache_capacity: 1024,
+            worker_threads: 8,
+            worker_queue_depth: 1024,
+            move_hold_timeout: Duration::from_millis(250),
         }
     }
 }
@@ -116,6 +142,26 @@ impl CoreConfig {
     /// Configuration with the journal ring capacity replaced.
     pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
         self.journal_capacity = capacity;
+        self
+    }
+
+    /// Configuration with the retransmission budget replaced.
+    pub fn with_rpc_retries(mut self, max_retries: u32) -> Self {
+        self.rpc_max_retries = max_retries;
+        self
+    }
+
+    /// Configuration with the reply-dedup cache capacity replaced.
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
+        self.dedup_cache_capacity = capacity;
+        self
+    }
+
+    /// The historical single-shot messaging behaviour: no retransmission
+    /// and no receiver-side dedup (the E14 ablation baseline).
+    pub fn single_shot(mut self) -> Self {
+        self.rpc_max_retries = 0;
+        self.dedup_cache_capacity = 0;
         self
     }
 }

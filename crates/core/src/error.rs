@@ -61,6 +61,13 @@ pub enum FargoError {
     HopLimit(u32),
     /// A peer returned a malformed or unexpected message.
     Protocol(String),
+    /// A two-phase move's commit outcome could not be learned before the
+    /// deadline: the destination acknowledged the prepare but the commit
+    /// round and the follow-up epoch query both went unanswered. The
+    /// complet lives on exactly one Core (the destination holds it and
+    /// will learn the recorded commit decision), but the source can no
+    /// longer prove which until the partition heals.
+    MoveInDoubt(CompletId),
 }
 
 impl fmt::Display for FargoError {
@@ -98,6 +105,12 @@ impl fmt::Display for FargoError {
             FargoError::ShuttingDown => write!(f, "core is shutting down"),
             FargoError::HopLimit(n) => write!(f, "tracker chain exceeded {n} hops"),
             FargoError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            FargoError::MoveInDoubt(id) => {
+                write!(
+                    f,
+                    "move of complet {id} is in doubt: commit outcome unknown"
+                )
+            }
         }
     }
 }

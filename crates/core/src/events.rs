@@ -47,6 +47,18 @@ pub enum EventPayload {
         /// Node index of the Core going down.
         core: u32,
     },
+    /// A follow-up move (e.g. a remotely hosted pull target trailing a
+    /// committed move) failed after retrying.
+    MoveFailed {
+        /// The complet that could not be moved.
+        id: CompletId,
+        /// Node index of the intended destination Core.
+        dest: u32,
+        /// Node index of the Core that attempted the move.
+        core: u32,
+        /// The final error, rendered.
+        error: String,
+    },
     /// A continuous profiling measurement crossed a listener's threshold.
     Profile {
         /// Profiling service name (e.g. `completLoad`).
@@ -70,6 +82,7 @@ impl EventPayload {
             EventPayload::CompletArrived { .. } => "completArrived".to_owned(),
             EventPayload::CompletDeparted { .. } => "completDeparted".to_owned(),
             EventPayload::CoreShutdown { .. } => "coreShutdown".to_owned(),
+            EventPayload::MoveFailed { .. } => "moveFailed".to_owned(),
             EventPayload::Profile { service, key, .. } => {
                 if key.is_empty() {
                     service.clone()
@@ -109,6 +122,7 @@ impl EventPayload {
             EventPayload::CompletArrived { core, .. }
             | EventPayload::CompletDeparted { core, .. }
             | EventPayload::CoreShutdown { core }
+            | EventPayload::MoveFailed { core, .. }
             | EventPayload::Profile { core, .. } => *core,
         }
     }
@@ -141,6 +155,18 @@ impl EventPayload {
             EventPayload::CoreShutdown { core } => Value::map([
                 ("kind", Value::from("coreShutdown")),
                 ("core", Value::from(*core)),
+            ]),
+            EventPayload::MoveFailed {
+                id,
+                dest,
+                core,
+                error,
+            } => Value::map([
+                ("kind", Value::from("moveFailed")),
+                ("id", Value::from(id.to_string())),
+                ("dest", Value::from(*dest)),
+                ("core", Value::from(*core)),
+                ("error", Value::from(error.as_str())),
             ]),
             EventPayload::Profile {
                 service,
@@ -193,6 +219,12 @@ impl EventPayload {
                 core: num("core")?,
             }),
             "coreShutdown" => Ok(EventPayload::CoreShutdown { core: num("core")? }),
+            "moveFailed" => Ok(EventPayload::MoveFailed {
+                id: id("id")?,
+                dest: num("dest")?,
+                core: num("core")?,
+                error: field("error")?,
+            }),
             "profile" => Ok(EventPayload::Profile {
                 service: field("service")?,
                 key: field("key")?,
@@ -437,6 +469,12 @@ mod tests {
                 core: 3,
             },
             EventPayload::CoreShutdown { core: 9 },
+            EventPayload::MoveFailed {
+                id: CompletId::new(1, 2),
+                dest: 4,
+                core: 3,
+                error: "remote core did not answer in time".into(),
+            },
             profile("completLoad", "", 2.0),
         ];
         for e in cases {

@@ -32,6 +32,47 @@ pub(crate) struct CompletPacket {
     /// Logical names bound to this complet at the sending Core that
     /// travel with it.
     pub names: Vec<String>,
+    /// Monotonic per-complet move counter, bumped by the source on every
+    /// departure. Lets the two-phase handshake distinguish *this* move
+    /// from any earlier or later one when resolving in-doubt outcomes.
+    /// Optional on the wire (`epoch` field, default `0`), so streams from
+    /// peers that never heard of epochs stay byte-compatible.
+    pub epoch: u64,
+}
+
+/// Destination- or source-side view of a two-phase move transaction,
+/// reported by [`Reply::MoveState`] when a peer resolves an in-doubt move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MoveTxnState {
+    /// Destination: prepared and holding, awaiting commit/abort.
+    Held,
+    /// The transaction committed (complet installed / decision recorded).
+    Committed,
+    /// The transaction aborted (held state discarded / decision recorded).
+    Aborted,
+    /// The peer has no record of this `(root, epoch)` transaction.
+    Unknown,
+}
+
+impl MoveTxnState {
+    fn as_str(self) -> &'static str {
+        match self {
+            MoveTxnState::Held => "held",
+            MoveTxnState::Committed => "committed",
+            MoveTxnState::Aborted => "aborted",
+            MoveTxnState::Unknown => "unknown",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "held" => MoveTxnState::Held,
+            "committed" => MoveTxnState::Committed,
+            "aborted" => MoveTxnState::Aborted,
+            "unknown" => MoveTxnState::Unknown,
+            _ => return None,
+        })
+    }
 }
 
 /// Where an event subscription delivers.
@@ -62,10 +103,34 @@ pub(crate) enum Request {
         hops: u32,
     },
     /// A marshaled move stream: the root complet plus all co-movers.
+    /// Single-round move, kept for wire compatibility; new code uses the
+    /// two-phase `MovePrepare`/`MoveCommit` handshake.
     Move {
         packets: Vec<CompletPacket>,
         continuation: Option<Continuation>,
     },
+    /// Phase one of a two-phase move: the full marshaled stream. The
+    /// destination validates, constructs and *holds* the complets —
+    /// invisible and un-invocable — until it hears `MoveCommit`.
+    MovePrepare {
+        /// The moved root (the transaction key together with `epoch`).
+        root: CompletId,
+        /// The root's move epoch for this transaction.
+        epoch: u64,
+        packets: Vec<CompletPacket>,
+        continuation: Option<Continuation>,
+    },
+    /// Phase two: activate the held complets of `(root, epoch)`.
+    MoveCommit { root: CompletId, epoch: u64 },
+    /// Phase two, negative: discard the held complets of `(root, epoch)`.
+    MoveAbort { root: CompletId, epoch: u64 },
+    /// Source → destination in-doubt probe: what became of `(root,
+    /// epoch)`? Answered with [`Reply::MoveState`].
+    MoveQuery { root: CompletId, epoch: u64 },
+    /// Destination → source outcome probe for a held move whose commit
+    /// never arrived: what did the source decide for `(root, epoch)`?
+    /// Answered with [`Reply::MoveState`].
+    MoveDecision { root: CompletId, epoch: u64 },
     /// Remote instantiation of a complet.
     NewComplet { type_name: String, args: Vec<Value> },
     /// Look up a logical name in the receiver's naming service.
@@ -109,6 +174,11 @@ impl Request {
         match self {
             Request::Invoke { .. } => "invoke",
             Request::Move { .. } => "move",
+            Request::MovePrepare { .. } => "move_prep",
+            Request::MoveCommit { .. } => "move_commit",
+            Request::MoveAbort { .. } => "move_abort",
+            Request::MoveQuery { .. } => "move_query",
+            Request::MoveDecision { .. } => "move_decision",
             Request::NewComplet { .. } => "new",
             Request::NameLookup { .. } => "lookup",
             Request::FetchState { .. } => "fetch",
@@ -122,6 +192,25 @@ impl Request {
             Request::JournalEvents => "journal",
             Request::Ping => "ping",
         }
+    }
+
+    /// Whether re-executing this request is observably harmless, so the
+    /// receiver can skip reply-dedup for retransmitted copies. Everything
+    /// that mutates layout or application state answers `false`.
+    pub(crate) fn idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::NameLookup { .. }
+                | Request::FetchState { .. }
+                | Request::WhereIs { .. }
+                | Request::ListComplets
+                | Request::ListTrackers
+                | Request::TraceSpans { .. }
+                | Request::JournalEvents
+                | Request::MoveQuery { .. }
+                | Request::MoveDecision { .. }
+                | Request::Ping
+        )
     }
 }
 
@@ -139,6 +228,16 @@ pub(crate) enum Reply {
     },
     MoveOk {
         arrived: Vec<CompletId>,
+    },
+    /// The destination prepared and holds the move stream of the echoed
+    /// epoch, awaiting commit or abort.
+    PrepareOk {
+        epoch: u64,
+    },
+    /// A peer's record of one move transaction (`MoveQuery` /
+    /// `MoveDecision` answer).
+    MoveState {
+        state: MoveTxnState,
     },
     NewOk {
         desc: RefDescriptor,
@@ -314,6 +413,7 @@ fn error_to_value(e: &FargoError) -> Value {
         FargoError::CapacityExceeded { core, capacity } => {
             ("capacity", format!("{core}/{capacity}"))
         }
+        FargoError::MoveInDoubt(id) => ("move_indoubt", id.to_string()),
         other => ("app", other.to_string()),
     };
     Value::map([("code", Value::from(code)), ("detail", Value::from(detail))])
@@ -346,12 +446,15 @@ fn error_from_value(v: &Value) -> Result<FargoError> {
         "hop_limit" => FargoError::HopLimit(detail.parse().unwrap_or(0)),
         // Complet ids inside error details are informational; decode as App
         // if unparsable rather than failing the whole reply.
-        "unknown_complet" | "reentrant" | "already_moving" => match parse_id(&detail) {
-            Some(id) if code == "unknown_complet" => FargoError::UnknownComplet(id),
-            Some(id) if code == "reentrant" => FargoError::ReentrantInvocation(id),
-            Some(id) => FargoError::AlreadyMoving(id),
-            None => FargoError::App(format!("{code}: {detail}")),
-        },
+        "unknown_complet" | "reentrant" | "already_moving" | "move_indoubt" => {
+            match parse_id(&detail) {
+                Some(id) if code == "unknown_complet" => FargoError::UnknownComplet(id),
+                Some(id) if code == "reentrant" => FargoError::ReentrantInvocation(id),
+                Some(id) if code == "move_indoubt" => FargoError::MoveInDoubt(id),
+                Some(id) => FargoError::AlreadyMoving(id),
+                None => FargoError::App(format!("{code}: {detail}")),
+            }
+        }
         _ => FargoError::App(detail),
     })
 }
@@ -469,7 +572,7 @@ fn listener_from_value(v: &Value) -> Result<ListenerAddr> {
 }
 
 fn packet_to_value(p: &CompletPacket) -> Value {
-    Value::map([
+    let mut m = Value::map([
         ("id", id_to_value(p.id)),
         ("type", Value::from(p.type_name.as_str())),
         ("state", p.state.clone()),
@@ -477,7 +580,13 @@ fn packet_to_value(p: &CompletPacket) -> Value {
             "names",
             Value::List(p.names.iter().map(|n| Value::from(n.as_str())).collect()),
         ),
-    ])
+    ]);
+    // Only stamped when non-zero, keeping epoch-less packets byte-identical
+    // to the pre-epoch wire format.
+    if p.epoch != 0 {
+        m.insert("epoch", Value::I64(p.epoch as i64));
+    }
+    m
 }
 
 fn packet_from_value(v: &Value) -> Result<CompletPacket> {
@@ -494,7 +603,43 @@ fn packet_from_value(v: &Value) -> Result<CompletPacket> {
         type_name: str_field(v, "type")?,
         state: value_field(v, "state")?,
         names,
+        epoch: v
+            .get("epoch")
+            .and_then(Value::as_i64)
+            .map_or(0, |e| e as u64),
     })
+}
+
+/// Shared encoding of a move stream's continuation (`cont` field).
+fn insert_continuation(m: &mut Value, continuation: &Option<Continuation>) {
+    if let Some(c) = continuation {
+        m.insert(
+            "cont",
+            Value::map([
+                ("target", id_to_value(c.target)),
+                ("method", Value::from(c.method.as_str())),
+                ("args", Value::List(c.args.clone())),
+            ]),
+        );
+    }
+}
+
+fn continuation_from_value(v: &Value) -> Result<Option<Continuation>> {
+    match v.get("cont") {
+        Some(c) => Ok(Some(Continuation {
+            target: id_from_value(&value_field(c, "target")?)?,
+            method: str_field(c, "method")?,
+            args: list_field(c, "args")?,
+        })),
+        None => Ok(None),
+    }
+}
+
+fn packets_from_value(v: &Value) -> Result<Vec<CompletPacket>> {
+    list_field(v, "packets")?
+        .iter()
+        .map(packet_from_value)
+        .collect()
 }
 
 impl Request {
@@ -527,18 +672,47 @@ impl Request {
                         Value::List(packets.iter().map(packet_to_value).collect()),
                     ),
                 ]);
-                if let Some(c) = continuation {
-                    m.insert(
-                        "cont",
-                        Value::map([
-                            ("target", id_to_value(c.target)),
-                            ("method", Value::from(c.method.as_str())),
-                            ("args", Value::List(c.args.clone())),
-                        ]),
-                    );
-                }
+                insert_continuation(&mut m, continuation);
                 m
             }
+            Request::MovePrepare {
+                root,
+                epoch,
+                packets,
+                continuation,
+            } => {
+                let mut m = Value::map([
+                    ("kind", Value::from("move_prep")),
+                    ("root", id_to_value(*root)),
+                    ("epoch", Value::I64(*epoch as i64)),
+                    (
+                        "packets",
+                        Value::List(packets.iter().map(packet_to_value).collect()),
+                    ),
+                ]);
+                insert_continuation(&mut m, continuation);
+                m
+            }
+            Request::MoveCommit { root, epoch } => Value::map([
+                ("kind", Value::from("move_commit")),
+                ("root", id_to_value(*root)),
+                ("epoch", Value::I64(*epoch as i64)),
+            ]),
+            Request::MoveAbort { root, epoch } => Value::map([
+                ("kind", Value::from("move_abort")),
+                ("root", id_to_value(*root)),
+                ("epoch", Value::I64(*epoch as i64)),
+            ]),
+            Request::MoveQuery { root, epoch } => Value::map([
+                ("kind", Value::from("move_query")),
+                ("root", id_to_value(*root)),
+                ("epoch", Value::I64(*epoch as i64)),
+            ]),
+            Request::MoveDecision { root, epoch } => Value::map([
+                ("kind", Value::from("move_decision")),
+                ("root", id_to_value(*root)),
+                ("epoch", Value::I64(*epoch as i64)),
+            ]),
             Request::NewComplet { type_name, args } => Value::map([
                 ("kind", Value::from("new")),
                 ("type", Value::from(type_name.as_str())),
@@ -597,24 +771,32 @@ impl Request {
                 path: nodes_from_value(&value_field(v, "path")?)?,
                 hops: u64_field(v, "hops")? as u32,
             }),
-            "move" => {
-                let packets = list_field(v, "packets")?
-                    .iter()
-                    .map(packet_from_value)
-                    .collect::<Result<Vec<_>>>()?;
-                let continuation = match v.get("cont") {
-                    Some(c) => Some(Continuation {
-                        target: id_from_value(&value_field(c, "target")?)?,
-                        method: str_field(c, "method")?,
-                        args: list_field(c, "args")?,
-                    }),
-                    None => None,
-                };
-                Ok(Request::Move {
-                    packets,
-                    continuation,
-                })
-            }
+            "move" => Ok(Request::Move {
+                packets: packets_from_value(v)?,
+                continuation: continuation_from_value(v)?,
+            }),
+            "move_prep" => Ok(Request::MovePrepare {
+                root: id_from_value(&value_field(v, "root")?)?,
+                epoch: u64_field(v, "epoch")?,
+                packets: packets_from_value(v)?,
+                continuation: continuation_from_value(v)?,
+            }),
+            "move_commit" => Ok(Request::MoveCommit {
+                root: id_from_value(&value_field(v, "root")?)?,
+                epoch: u64_field(v, "epoch")?,
+            }),
+            "move_abort" => Ok(Request::MoveAbort {
+                root: id_from_value(&value_field(v, "root")?)?,
+                epoch: u64_field(v, "epoch")?,
+            }),
+            "move_query" => Ok(Request::MoveQuery {
+                root: id_from_value(&value_field(v, "root")?)?,
+                epoch: u64_field(v, "epoch")?,
+            }),
+            "move_decision" => Ok(Request::MoveDecision {
+                root: id_from_value(&value_field(v, "root")?)?,
+                epoch: u64_field(v, "epoch")?,
+            }),
             "new" => Ok(Request::NewComplet {
                 type_name: str_field(v, "type")?,
                 args: list_field(v, "args")?,
@@ -672,6 +854,14 @@ impl Reply {
             Reply::MoveOk { arrived } => Value::map([
                 ("kind", Value::from("move_ok")),
                 ("arrived", ids_to_value(arrived)),
+            ]),
+            Reply::PrepareOk { epoch } => Value::map([
+                ("kind", Value::from("prep_ok")),
+                ("epoch", Value::I64(*epoch as i64)),
+            ]),
+            Reply::MoveState { state } => Value::map([
+                ("kind", Value::from("move_state")),
+                ("state", Value::from(state.as_str())),
             ]),
             Reply::NewOk { desc } => Value::map([
                 ("kind", Value::from("new_ok")),
@@ -755,6 +945,16 @@ impl Reply {
             "move_ok" => Ok(Reply::MoveOk {
                 arrived: ids_from_value(&value_field(v, "arrived")?)?,
             }),
+            "prep_ok" => Ok(Reply::PrepareOk {
+                epoch: u64_field(v, "epoch")?,
+            }),
+            "move_state" => {
+                let s = str_field(v, "state")?;
+                Ok(Reply::MoveState {
+                    state: MoveTxnState::parse(&s)
+                        .ok_or_else(|| FargoError::Protocol(format!("unknown move state {s:?}")))?,
+                })
+            }
             "new_ok" => Ok(Reply::NewOk {
                 desc: ref_from_value(&value_field(v, "desc")?)?,
             }),
@@ -1030,6 +1230,7 @@ mod tests {
                     type_name: "Message".into(),
                     state: Value::map([("text", Value::from("x"))]),
                     names: vec!["msg".into()],
+                    epoch: 0,
                 }],
                 continuation: Some(Continuation {
                     target: CompletId::new(0, 1),
@@ -1038,6 +1239,89 @@ mod tests {
                 }),
             },
         });
+    }
+
+    #[test]
+    fn two_phase_move_messages_roundtrip() {
+        let root = CompletId::new(0, 1);
+        roundtrip(Message::Request {
+            req_id: 2,
+            origin: 0,
+            trace: None,
+            body: Request::MovePrepare {
+                root,
+                epoch: 3,
+                packets: vec![CompletPacket {
+                    id: root,
+                    type_name: "Message".into(),
+                    state: Value::Null,
+                    names: vec![],
+                    epoch: 3,
+                }],
+                continuation: Some(Continuation {
+                    target: root,
+                    method: "start".into(),
+                    args: vec![],
+                }),
+            },
+        });
+        for body in [
+            Request::MoveCommit { root, epoch: 3 },
+            Request::MoveAbort { root, epoch: 3 },
+            Request::MoveQuery { root, epoch: 3 },
+            Request::MoveDecision { root, epoch: 3 },
+        ] {
+            roundtrip(Message::Request {
+                req_id: 2,
+                origin: 0,
+                trace: None,
+                body,
+            });
+        }
+        for body in [
+            Reply::PrepareOk { epoch: 3 },
+            Reply::MoveState {
+                state: MoveTxnState::Held,
+            },
+            Reply::MoveState {
+                state: MoveTxnState::Committed,
+            },
+            Reply::MoveState {
+                state: MoveTxnState::Aborted,
+            },
+            Reply::MoveState {
+                state: MoveTxnState::Unknown,
+            },
+        ] {
+            roundtrip(Message::Reply {
+                req_id: 2,
+                route: vec![0],
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn epochless_packet_stays_byte_compatible() {
+        // epoch 0 must not appear on the wire at all, so a pre-epoch peer
+        // decodes the stream unchanged — same guarantee the HLC field made.
+        let packet = CompletPacket {
+            id: CompletId::new(0, 1),
+            type_name: "T".into(),
+            state: Value::Null,
+            names: vec![],
+            epoch: 0,
+        };
+        let encoded = encode_value(&packet_to_value(&packet));
+        assert!(packet_to_value(&packet).get("epoch").is_none());
+        let back = packet_from_value(&decode_value(&encoded).unwrap()).unwrap();
+        assert_eq!(back, packet);
+        // And a stamped packet round-trips its epoch.
+        let stamped = CompletPacket { epoch: 7, ..packet };
+        let back =
+            packet_from_value(&decode_value(&encode_value(&packet_to_value(&stamped))).unwrap())
+                .unwrap();
+        assert_eq!(back.epoch, 7);
     }
 
     #[test]
@@ -1109,6 +1393,7 @@ mod tests {
             FargoError::NameNotBound("x".into()),
             FargoError::ShuttingDown,
             FargoError::HopLimit(64),
+            FargoError::MoveInDoubt(CompletId::new(0, 9)),
         ];
         for e in cases {
             let m = Message::Reply {

@@ -124,6 +124,12 @@ impl Core {
         let deadline = Instant::now() + self.inner.config.rpc_timeout;
         let mut missing_retries = 0u32;
         loop {
+            // The budget bounds the whole loop — re-routes, rpc rounds,
+            // and backoff sleeps alike — so a flapping location can't
+            // spin past the configured timeout.
+            if Instant::now() > deadline {
+                return Err(FargoError::Timeout);
+            }
             match self.route(id, target) {
                 Route::Local => match self.execute_local(id, method, &args, &chain) {
                     LocalExec::Done(res) => {
@@ -147,9 +153,14 @@ impl Core {
                         }
                         Reply::Err(FargoError::UnknownComplet(_)) if missing_retries < 3 => {
                             // Location knowledge may lag a concurrent
-                            // move; back off briefly and re-resolve.
+                            // move; back off briefly (never past the
+                            // deadline) and re-resolve.
                             missing_retries += 1;
-                            thread::sleep(Duration::from_millis(2));
+                            let remaining = deadline.saturating_duration_since(Instant::now());
+                            if remaining.is_zero() {
+                                return Err(FargoError::Timeout);
+                            }
+                            thread::sleep(Duration::from_millis(2).min(remaining));
                         }
                         Reply::Err(e) => return Err(e),
                         other => {
@@ -160,9 +171,6 @@ impl Core {
                     }
                 }
                 Route::Unknown => return Err(FargoError::UnknownComplet(id)),
-            }
-            if Instant::now() > deadline {
-                return Err(FargoError::Timeout);
             }
         }
     }
@@ -296,7 +304,9 @@ impl Core {
     }
 
     /// Sends an Invoke request and waits for its (possibly chain-routed)
-    /// reply.
+    /// reply, retransmitting through the shared reliable-rpc path. The
+    /// same `req_id` rides on every copy, so a retried non-idempotent
+    /// method is deduplicated (or replayed) at the executing Core.
     fn rpc_invoke(
         &self,
         node: u32,
@@ -310,8 +320,6 @@ impl Core {
         }
         let me = self.inner.node.index();
         let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        self.inner.pending.lock().insert(req_id, tx);
         let msg = Message::Request {
             req_id,
             origin: me,
@@ -325,17 +333,7 @@ impl Core {
                 hops: 0,
             },
         };
-        if let Err(e) = self.send_to(node, &msg) {
-            self.inner.pending.lock().remove(&req_id);
-            return Err(e);
-        }
-        match rx.recv_timeout(self.inner.config.rpc_timeout) {
-            Ok(reply) => Ok(reply),
-            Err(_) => {
-                self.inner.pending.lock().remove(&req_id);
-                Err(FargoError::Timeout)
-            }
-        }
+        self.rpc_send_wait(node, req_id, &msg)
     }
 
     /// Network-side handler: executes, forwards along the chain, or fails.
@@ -354,6 +352,9 @@ impl Core {
     ) {
         let me = self.inner.node.index();
         let send_reply = |body: Reply| {
+            // This Core produced the reply, so it owns the dedup entry: a
+            // retransmitted copy of the request replays this body.
+            self.inner.reply_cache.complete(origin, req_id, &body);
             // The reply walks the request path backwards so every tracker
             // on the chain learns the final location.
             let mut route: Vec<u32> = path.iter().rev().copied().collect();
@@ -449,6 +450,10 @@ impl Core {
                     if let Err(e) = sent {
                         return send_reply(Reply::Err(e));
                     }
+                    // The executing Core downstream caches the reply; a
+                    // lingering `InFlight` marker here would swallow every
+                    // retransmission of this request for good.
+                    self.inner.reply_cache.forget(origin, req_id);
                     return;
                 }
                 Some(TrackerTarget::Forward(_)) | None => {

@@ -10,6 +10,7 @@ pub(crate) mod invocation;
 pub(crate) mod movement;
 pub(crate) mod naming;
 pub(crate) mod persistence;
+pub(crate) mod reliable;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -17,7 +18,7 @@ use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use fargo_telemetry::{
     merge_timelines, render_span_tree, Hlc, JournalEvent, JournalKind, LayoutHistory,
     Registry as TelemetryRegistry, SpanRecord, TraceContext,
@@ -36,7 +37,13 @@ use crate::proto::{ListenerAddr, Message, Notify, Reply, ReqId, Request};
 use crate::reference::relocator::RelocatorRegistry;
 use crate::reference::tracker::{TrackerSnapshot, TrackerTable, TrackerTarget};
 use crate::reference::{CompletRef, MetaRef};
+use crate::runtime::movement::HeldMove;
+use crate::runtime::reliable::{CacheDecision, DecisionLog, ReplyCache, WorkRequest};
 use crate::telemetry::CoreTelemetry;
+
+/// How many two-phase move verdicts each Core retains for in-doubt
+/// resolution (FIFO-evicted; far above any realistic concurrent load).
+const MOVE_DECISION_LOG: usize = 1024;
 
 /// The synthetic "source complet" id used when application code outside
 /// any complet invokes through a reference; profiling keys on it.
@@ -82,6 +89,20 @@ pub(crate) struct CoreInner {
     pub hub: EventHub,
     pub telemetry: CoreTelemetry,
     pub shutdown: AtomicBool,
+    /// Receiver-side reply-dedup cache: the at-most-once half of the
+    /// reliable messaging layer.
+    pub reply_cache: ReplyCache,
+    /// Bounded queue feeding the request-worker pool.
+    pub work_tx: Sender<WorkRequest>,
+    /// Per-complet move-epoch counters (updated on departure and arrival
+    /// so epochs stay monotonic across hosts).
+    pub move_epochs: Mutex<HashMap<CompletId, u64>>,
+    /// Source-side verdicts of two-phase moves this Core coordinated.
+    pub move_decisions: DecisionLog,
+    /// Destination-side verdicts of two-phase moves this Core received.
+    pub move_outcomes: DecisionLog,
+    /// Prepared-but-uncommitted move streams, keyed `(root, epoch)`.
+    pub held_moves: Mutex<HashMap<(CompletId, u64), HeldMove>>,
 }
 
 /// A handle to a running Core. Cloning yields another handle to the same
@@ -176,6 +197,7 @@ impl<'a> CoreBuilder<'a> {
         );
         let monitor = Monitor::new(config.monitor_cache_ttl, config.monitor_alpha);
         monitor.register_metrics(&telemetry.registry, &name);
+        let (work_tx, work_rx) = bounded(config.worker_queue_depth.max(1));
         let inner = Arc::new(CoreInner {
             name,
             node,
@@ -185,7 +207,6 @@ impl<'a> CoreBuilder<'a> {
             relocators: self.relocators.unwrap_or_default(),
             monitor,
             telemetry,
-            config,
             complets: RwLock::new(HashMap::new()),
             trackers: TrackerTable::new(),
             naming: Mutex::new(HashMap::new()),
@@ -198,9 +219,17 @@ impl<'a> CoreBuilder<'a> {
             complet_seq: AtomicU64::new(1),
             hub: EventHub::new(),
             shutdown: AtomicBool::new(false),
+            reply_cache: ReplyCache::new(config.dedup_cache_capacity),
+            work_tx,
+            move_epochs: Mutex::new(HashMap::new()),
+            move_decisions: DecisionLog::new(MOVE_DECISION_LOG),
+            move_outcomes: DecisionLog::new(MOVE_DECISION_LOG),
+            held_moves: Mutex::new(HashMap::new()),
+            config,
         });
         let core = Core { inner };
         core.install_sampler();
+        core.spawn_workers(work_rx);
         core.spawn_receiver();
         core.spawn_monitor_thread();
         Ok(core)
@@ -254,6 +283,19 @@ impl Core {
     /// This Core's metrics registry (possibly shared with other Cores).
     pub fn telemetry(&self) -> &TelemetryRegistry {
         &self.inner.telemetry.registry
+    }
+
+    /// Reliable-messaging counters for this Core, in order:
+    /// (rpc retransmissions, dedup-cache replays, reply send failures,
+    /// in-doubt moves resolved by epoch query).
+    pub fn reliability_stats(&self) -> (u64, u64, u64, u64) {
+        let t = &self.inner.telemetry;
+        (
+            t.rpc_retries_total.get(),
+            t.dedup_hits_total.get(),
+            t.reply_send_failures.get(),
+            t.move_indoubt_total.get(),
+        )
     }
 
     /// The trace id of the most recently recorded span here, if any.
@@ -882,31 +924,67 @@ impl Core {
 
     /// Sends a request and waits for its reply. The ambient trace context
     /// (set while a traced invocation or move is in progress on this
-    /// thread) rides along in the envelope.
+    /// thread) rides along in the envelope. Unanswered requests are
+    /// retransmitted with capped exponential backoff until the overall
+    /// `rpc_timeout` budget runs out; receiver-side dedup keeps the
+    /// retries at-most-once.
     pub(crate) fn rpc(&self, node: u32, body: Request) -> Result<Reply> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(FargoError::ShuttingDown);
         }
         let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = bounded(1);
-        self.inner.pending.lock().insert(req_id, tx);
         let msg = Message::Request {
             req_id,
             origin: self.inner.node.index(),
             trace: crate::telemetry::current_trace(),
             body,
         };
-        if let Err(e) = self.send_to(node, &msg) {
-            self.inner.pending.lock().remove(&req_id);
-            return Err(e);
-        }
-        match rx.recv_timeout(self.inner.config.rpc_timeout) {
-            Ok(reply) => Ok(reply),
-            Err(_) => {
-                self.inner.pending.lock().remove(&req_id);
-                Err(FargoError::Timeout)
+        self.rpc_send_wait(node, req_id, &msg)
+    }
+
+    /// The retransmitting send-and-wait shared by [`Core::rpc`] and the
+    /// invocation unit (which builds its own request envelope). The same
+    /// `req_id` rides on every copy, so receivers can deduplicate.
+    pub(crate) fn rpc_send_wait(&self, node: u32, req_id: ReqId, msg: &Message) -> Result<Reply> {
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(req_id, tx);
+        let cfg = &self.inner.config;
+        let deadline = Instant::now() + cfg.rpc_timeout;
+        let mut attempt: u32 = 0;
+        let result = loop {
+            if attempt > 0 {
+                self.inner.telemetry.rpc_retries_total.inc();
             }
+            // A synchronous send failure (unknown or down node) is
+            // definitive — retransmitting cannot answer it.
+            if let Err(e) = self.send_to(node, msg) {
+                break Err(e);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break Err(FargoError::Timeout);
+            }
+            // The final attempt waits out the rest of the budget; earlier
+            // ones wait one backoff step (never past the deadline).
+            let wait = if attempt >= cfg.rpc_max_retries {
+                remaining
+            } else {
+                reliable::retry_delay(attempt, cfg.rpc_retry_base, cfg.rpc_retry_cap).min(remaining)
+            };
+            match rx.recv_timeout(wait) {
+                Ok(reply) => break Ok(reply),
+                Err(_) => {
+                    if attempt >= cfg.rpc_max_retries || Instant::now() >= deadline {
+                        break Err(FargoError::Timeout);
+                    }
+                    attempt += 1;
+                }
+            }
+        };
+        if result.is_err() {
+            self.inner.pending.lock().remove(&req_id);
         }
+        result
     }
 
     pub(crate) fn reply_to(&self, node: u32, req_id: ReqId, body: Reply) {
@@ -915,7 +993,27 @@ impl Core {
             route: vec![],
             body,
         };
-        let _ = self.send_to(node, &msg);
+        if let Err(e) = self.send_to(node, &msg) {
+            // A dropped reply leaves the requester to retransmit or time
+            // out; count and journal it so lost-reply scenarios show up
+            // in diagnostics instead of vanishing.
+            self.inner.telemetry.reply_send_failures.inc();
+            self.inner.telemetry.journal(
+                JournalKind::ReplyDropped,
+                &req_id,
+                "",
+                &e.to_string(),
+                Some(node),
+            );
+        }
+    }
+
+    /// Records the reply for a deduplicated request, then sends it. Every
+    /// reply-producing branch of `handle_request` funnels through here so
+    /// retransmitted requests replay instead of re-executing.
+    pub(crate) fn finish_request(&self, origin: u32, req_id: ReqId, body: Reply) {
+        self.inner.reply_cache.complete(origin, req_id, &body);
+        self.reply_to(origin, req_id, body);
     }
 
     // --- background threads -----------------------------------------------------
@@ -926,6 +1024,30 @@ impl Core {
             .name(format!("fargo-core-{}", self.inner.name))
             .spawn(move || core.receiver_loop())
             .expect("failed to spawn core receiver thread");
+    }
+
+    /// Starts the bounded request-worker pool. Workers share one queue;
+    /// replies and notifies bypass it (handled inline on the receiver
+    /// loop), so a pool saturated with requests blocked in nested rpcs
+    /// can still be unblocked by incoming replies.
+    fn spawn_workers(&self, work_rx: Receiver<WorkRequest>) {
+        for i in 0..self.inner.config.worker_threads.max(1) {
+            let core = self.clone();
+            let rx = work_rx.clone();
+            thread::Builder::new()
+                .name(format!("fargo-worker-{}-{i}", self.inner.name))
+                .spawn(move || loop {
+                    if core.inner.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(job) => core.handle_request(job.origin, job.req_id, job.trace, job.body),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                })
+                .expect("failed to spawn core worker thread");
+        }
     }
 
     fn receiver_loop(&self) {
@@ -964,8 +1086,22 @@ impl Core {
                 trace,
                 body,
             } => {
-                let core = self.clone();
-                thread::spawn(move || core.handle_request(origin, req_id, trace, body));
+                // Requests run on the bounded worker pool. A full queue
+                // drops the request — never blocks the receiver loop
+                // (replies must keep flowing or workers blocked in nested
+                // rpcs would deadlock) — and the sender's retransmission
+                // recovers it once workers drain.
+                let job = WorkRequest {
+                    origin,
+                    req_id,
+                    trace,
+                    body,
+                };
+                if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =
+                    self.inner.work_tx.try_send(job)
+                {
+                    self.inner.telemetry.worker_rejections_total.inc();
+                }
             }
             Message::Reply {
                 req_id,
@@ -987,6 +1123,28 @@ impl Core {
             self.reply_to(origin, req_id, Reply::Err(FargoError::ShuttingDown));
             return;
         }
+        // At-most-once admission: a retransmitted copy of a request we
+        // already executed replays the recorded reply; one we are still
+        // executing is dropped. Idempotent (read-only) kinds skip the
+        // cache and simply re-execute.
+        if !body.idempotent() {
+            let (decision, evicted) = self.inner.reply_cache.begin(origin, req_id);
+            if evicted > 0 {
+                self.inner.telemetry.dedup_evictions_total.add(evicted);
+            }
+            match decision {
+                CacheDecision::Execute => {}
+                CacheDecision::DropInFlight => {
+                    self.inner.telemetry.dedup_inflight_total.inc();
+                    return;
+                }
+                CacheDecision::Replay(reply) => {
+                    self.inner.telemetry.dedup_hits_total.inc();
+                    self.reply_to(origin, req_id, reply);
+                    return;
+                }
+            }
+        }
         match body {
             Request::Invoke {
                 target,
@@ -1003,7 +1161,32 @@ impl Core {
                 continuation,
             } => {
                 let reply = self.handle_move_stream(packets, continuation, trace);
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
+            }
+            Request::MovePrepare {
+                root,
+                epoch,
+                packets,
+                continuation,
+            } => {
+                let reply = self.handle_move_prepare(origin, root, epoch, packets, continuation);
+                self.finish_request(origin, req_id, reply);
+            }
+            Request::MoveCommit { root, epoch } => {
+                let reply = self.handle_move_commit(root, epoch, trace);
+                self.finish_request(origin, req_id, reply);
+            }
+            Request::MoveAbort { root, epoch } => {
+                let reply = self.handle_move_abort(root, epoch);
+                self.finish_request(origin, req_id, reply);
+            }
+            Request::MoveQuery { root, epoch } => {
+                let reply = self.handle_move_query(root, epoch);
+                self.finish_request(origin, req_id, reply);
+            }
+            Request::MoveDecision { root, epoch } => {
+                let reply = self.handle_move_decision(root, epoch);
+                self.finish_request(origin, req_id, reply);
             }
             Request::NewComplet { type_name, args } => {
                 let reply = match self.new_complet(&type_name, &args) {
@@ -1012,17 +1195,17 @@ impl Core {
                     },
                     Err(e) => Reply::Err(e),
                 };
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
             }
             Request::NameLookup { name } => {
                 let reply = Reply::NameOk {
                     desc: self.lookup(&name).map(|r| r.descriptor()),
                 };
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
             }
             Request::FetchState { id } => {
                 let reply = self.handle_fetch_state(id);
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
             }
             Request::MoveRequest { id, dest } => {
                 let dest_name = self.core_name_of(dest);
@@ -1030,13 +1213,13 @@ impl Core {
                     Ok(()) => Reply::Ok,
                     Err(e) => Reply::Err(e),
                 };
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
             }
             Request::WhereIs { id } => {
                 let reply = Reply::WhereOk {
                     node: self.local_belief(id),
                 };
-                self.reply_to(origin, req_id, reply);
+                self.finish_request(origin, req_id, reply);
             }
             Request::Subscribe {
                 selector,
@@ -1048,13 +1231,13 @@ impl Core {
                 self.inner
                     .hub
                     .subscribe_remote(&selector, threshold, above, listener);
-                self.reply_to(origin, req_id, Reply::Ok);
+                self.finish_request(origin, req_id, Reply::Ok);
             }
             Request::Unsubscribe { selector, listener } => {
                 if self.inner.hub.unsubscribe_remote(&selector, &listener) > 0 {
                     self.stop_profiling_for_selector(&selector);
                 }
-                self.reply_to(origin, req_id, Reply::Ok);
+                self.finish_request(origin, req_id, Reply::Ok);
             }
             Request::ListComplets => {
                 let reply = Reply::Complets {
@@ -1191,6 +1374,7 @@ impl Core {
                     for event in core.inner.monitor.tick(core.inner.node.index()) {
                         core.fire_event(event);
                     }
+                    core.sweep_held_moves();
                 }
             })
             .expect("failed to spawn monitor thread");

@@ -18,6 +18,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::thread;
+use std::time::Instant;
 
 use fargo_telemetry::{JournalKind, TraceContext};
 use fargo_wire::{CompletId, RefDescriptor, Value};
@@ -25,7 +26,7 @@ use fargo_wire::{CompletId, RefDescriptor, Value};
 use crate::complet::Complet;
 use crate::error::{FargoError, Result};
 use crate::events::EventPayload;
-use crate::proto::{CompletPacket, Continuation, Reply, Request};
+use crate::proto::{CompletPacket, Continuation, MoveTxnState, Reply, Request};
 use crate::reference::relocator::{ArrivalAction, MarshalAction};
 use crate::reference::tracker::TrackerTarget;
 use crate::reference::CompletRef;
@@ -38,6 +39,30 @@ struct Departing {
     type_name: String,
     complet: Box<dyn Complet>,
     names: Vec<String>,
+}
+
+/// A move stream that passed `MovePrepare` validation and now waits for
+/// the source's commit or abort. The complets are fully reconstructed
+/// but **not** installed — invisible to invocation until committed.
+pub(crate) struct HeldMove {
+    complets: Vec<(CompletPacket, Box<dyn Complet>)>,
+    continuation: Option<Continuation>,
+    source: u32,
+    /// When to start asking the source for its verdict (re-armed after
+    /// each unanswered query so monitor ticks don't stack resolvers).
+    deadline: Instant,
+}
+
+/// How the source resolved a move whose commit round went unanswered.
+enum InDoubt {
+    /// The destination holds (or already activated) the stream: the move
+    /// happened; finalize the departure.
+    Committed,
+    /// The destination discarded the stream after an abort: restore.
+    Aborted,
+    /// The destination is unreachable; the recorded commit decision
+    /// stands, so finalize — but report [`FargoError::MoveInDoubt`].
+    Unconfirmed,
 }
 
 impl Core {
@@ -252,6 +277,7 @@ impl Core {
                 type_name: slot.type_name.clone(),
                 state,
                 names: names.clone(),
+                epoch: self.bump_move_epoch(cur),
             });
             departing.push(Departing {
                 id: cur,
@@ -263,11 +289,13 @@ impl Core {
 
         for (orig, (copy_id, type_name, state)) in &copies {
             let _ = orig;
+            // Copies are brand-new complets: no move history, epoch 0.
             packets.push(CompletPacket {
                 id: *copy_id,
                 type_name: type_name.clone(),
                 state: state.clone(),
                 names: vec![],
+                epoch: 0,
             });
         }
 
@@ -297,73 +325,232 @@ impl Core {
                 Some(dest_node),
             );
         }
+        // Two-phase transfer. The destination validates, reconstructs,
+        // and *holds* the stream on `MovePrepare`; only `MoveCommit`
+        // makes it live. The source records its verdict in the decision
+        // log *before* the commit round, so a lost `MoveOk` resolves via
+        // epoch query instead of duplicating or losing the complet.
+        let txn_epoch = packets
+            .iter()
+            .find(|p| p.id == root)
+            .map(|p| p.epoch)
+            .unwrap_or(0);
+        let abort = |core: &Core, e: &FargoError| {
+            core.inner.move_decisions.record(root, txn_epoch, false);
+            core.inner.telemetry.journal(
+                JournalKind::MoveAborted,
+                &root,
+                "",
+                &e.to_string(),
+                Some(dest_node),
+            );
+            // Fire-and-forget: a lost abort is recovered by the
+            // destination's hold-timeout query against the decision log.
+            core.send_request_oneway(
+                dest_node,
+                Request::MoveAbort {
+                    root,
+                    epoch: txn_epoch,
+                },
+            );
+        };
         match self.rpc(
             dest_node,
-            Request::Move {
+            Request::MovePrepare {
+                root,
+                epoch: txn_epoch,
                 packets,
                 continuation,
             },
         ) {
-            Ok(Reply::MoveOk { .. }) => {
-                for mut d in departing {
-                    let mut ctx = self.make_ctx(d.id, &d.type_name, vec![]);
-                    d.complet.post_departure(&mut ctx);
-                    // Release the old copy; the tracker forwards from now
-                    // on (the incoming-reference fix-up of §3.3).
-                    if let Some(slot) = self.inner.complets.write().remove(&d.id) {
-                        *slot.state.lock() = SlotState::Gone;
+            Ok(Reply::PrepareOk { .. }) => {
+                // The point of no return: once the commit verdict is
+                // recorded, the destination owns the complets and the
+                // source must never restore (that would duplicate them).
+                self.inner.move_decisions.record(root, txn_epoch, true);
+                self.inner.telemetry.journal(
+                    JournalKind::MoveCommitted,
+                    &root,
+                    "",
+                    &txn_epoch.to_string(),
+                    Some(dest_node),
+                );
+                let commit = self.rpc(
+                    dest_node,
+                    Request::MoveCommit {
+                        root,
+                        epoch: txn_epoch,
+                    },
+                );
+                match commit {
+                    Ok(Reply::MoveOk { .. }) => {
+                        self.finalize_departure(departing, remote_pulls, dest_node);
+                        Ok(())
                     }
-                    self.inner
-                        .trackers
-                        .point(d.id, TrackerTarget::Forward(dest_node));
-                    self.inner.telemetry.journal(
-                        JournalKind::TrackerForwarded,
-                        &d.id,
-                        &d.type_name,
-                        "",
-                        Some(dest_node),
-                    );
-                    self.note_location(d.id, dest_node);
-                    if d.id.origin != me {
-                        let _ = self.send_to(
-                            d.id.origin,
-                            &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
-                                target: d.id,
-                                now_at: dest_node,
-                            }),
-                        );
-                    }
-                    self.fire_event(EventPayload::CompletDeparted {
-                        id: d.id,
-                        type_name: d.type_name,
-                        dest: dest_node,
-                        core: me,
-                    });
+                    _ => match self.resolve_in_doubt(root, txn_epoch, dest_node) {
+                        InDoubt::Committed => {
+                            self.finalize_departure(departing, remote_pulls, dest_node);
+                            Ok(())
+                        }
+                        InDoubt::Unconfirmed => {
+                            self.finalize_departure(departing, remote_pulls, dest_node);
+                            Err(FargoError::MoveInDoubt(root))
+                        }
+                        InDoubt::Aborted => {
+                            restore(departing, self, true);
+                            Err(FargoError::Protocol(format!(
+                                "destination aborted committed move of {root}"
+                            )))
+                        }
+                    },
                 }
-                // Pull targets hosted elsewhere follow with their own
-                // (asynchronous) moves.
-                for (id, _) in remote_pulls {
-                    let core = self.clone();
-                    let dest_name = self.core_name_of(dest_node);
-                    thread::spawn(move || {
-                        let _ = core.move_complet(id, &dest_name, None);
-                    });
-                }
-                Ok(())
             }
             Ok(Reply::Err(e)) => {
+                abort(self, &e);
                 restore(departing, self, true);
                 Err(e)
             }
             Ok(other) => {
+                let e = FargoError::Protocol(format!("unexpected reply {other:?}"));
+                abort(self, &e);
                 restore(departing, self, true);
-                Err(FargoError::Protocol(format!("unexpected reply {other:?}")))
+                Err(e)
             }
             Err(e) => {
+                abort(self, &e);
                 restore(departing, self, true);
                 Err(e)
             }
         }
+    }
+
+    /// Completes a committed departure: `post_departure` callbacks, slot
+    /// release, tracker forwarding, location gossip, events, and the
+    /// follow-up moves of remotely hosted pull targets.
+    fn finalize_departure(
+        &self,
+        departing: Vec<Departing>,
+        remote_pulls: Vec<(CompletId, u32)>,
+        dest_node: u32,
+    ) {
+        let me = self.inner.node.index();
+        for mut d in departing {
+            let mut ctx = self.make_ctx(d.id, &d.type_name, vec![]);
+            d.complet.post_departure(&mut ctx);
+            // Release the old copy; the tracker forwards from now
+            // on (the incoming-reference fix-up of §3.3).
+            if let Some(slot) = self.inner.complets.write().remove(&d.id) {
+                *slot.state.lock() = SlotState::Gone;
+            }
+            self.inner
+                .trackers
+                .point(d.id, TrackerTarget::Forward(dest_node));
+            self.inner.telemetry.journal(
+                JournalKind::TrackerForwarded,
+                &d.id,
+                &d.type_name,
+                "",
+                Some(dest_node),
+            );
+            self.note_location(d.id, dest_node);
+            if d.id.origin != me {
+                let _ = self.send_to(
+                    d.id.origin,
+                    &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
+                        target: d.id,
+                        now_at: dest_node,
+                    }),
+                );
+            }
+            self.fire_event(EventPayload::CompletDeparted {
+                id: d.id,
+                type_name: d.type_name,
+                dest: dest_node,
+                core: me,
+            });
+        }
+        // Pull targets hosted elsewhere follow with their own
+        // (asynchronous) moves. One retry covers transient faults; a
+        // complet already in transit belongs to another move and is
+        // left alone. A final failure is journaled and surfaced as a
+        // `moveFailed` event instead of vanishing.
+        for (id, _) in remote_pulls {
+            let core = self.clone();
+            let dest_name = self.core_name_of(dest_node);
+            thread::spawn(move || {
+                let mut result = core.move_complet(id, &dest_name, None);
+                if let Err(e) = &result {
+                    if !matches!(e, FargoError::AlreadyMoving(_)) {
+                        result = core.move_complet(id, &dest_name, None);
+                    }
+                }
+                if let Err(e) = result {
+                    core.inner.telemetry.journal(
+                        JournalKind::RelocatorDecision,
+                        &id,
+                        &dest_name,
+                        &format!("pull follow-up failed: {e}"),
+                        Some(dest_node),
+                    );
+                    core.fire_event(EventPayload::MoveFailed {
+                        id,
+                        dest: dest_node,
+                        core: core.inner.node.index(),
+                        error: e.to_string(),
+                    });
+                }
+            });
+        }
+    }
+
+    /// Resolves a committed move whose commit round went unanswered by
+    /// asking the destination what it knows about the `(root, epoch)`
+    /// transaction.
+    fn resolve_in_doubt(&self, root: CompletId, epoch: u64, dest_node: u32) -> InDoubt {
+        self.inner.telemetry.move_indoubt_total.inc();
+        match self.rpc(dest_node, Request::MoveQuery { root, epoch }) {
+            Ok(Reply::MoveState { state }) => match state {
+                // Still held: the commit was lost. Re-nudge it (fire and
+                // forget; the destination's decision query is the
+                // backstop) and treat the move as done.
+                MoveTxnState::Held => {
+                    self.send_request_oneway(dest_node, Request::MoveCommit { root, epoch });
+                    InDoubt::Committed
+                }
+                MoveTxnState::Committed => InDoubt::Committed,
+                MoveTxnState::Aborted => InDoubt::Aborted,
+                // No record: the destination already activated and its
+                // outcome entry was evicted — presumed commit (it cannot
+                // have aborted a move we decided to commit).
+                MoveTxnState::Unknown => InDoubt::Committed,
+            },
+            _ => InDoubt::Unconfirmed,
+        }
+    }
+
+    /// Sends a request without registering a pending reply slot: the
+    /// answer (if any) is dropped by `handle_reply`. Used for abort and
+    /// commit nudges whose delivery is guaranteed by timeout queries,
+    /// not by retransmission.
+    fn send_request_oneway(&self, node: u32, body: Request) {
+        let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
+        let msg = crate::proto::Message::Request {
+            req_id,
+            origin: self.inner.node.index(),
+            trace: None,
+            body,
+        };
+        let _ = self.send_to(node, &msg);
+    }
+
+    /// Bumps and returns the move epoch of a departing complet. Epochs
+    /// are monotonic across hosts: arrival records the packet's epoch
+    /// into the local counter, so the next departure continues from it.
+    fn bump_move_epoch(&self, id: CompletId) -> u64 {
+        let mut g = self.inner.move_epochs.lock();
+        let e = g.entry(id).or_insert(0);
+        *e += 1;
+        *e
     }
 
     /// Takes a complet out of its slot, marking it in transit.
@@ -452,17 +639,35 @@ impl Core {
         packets: Vec<CompletPacket>,
         continuation: Option<Continuation>,
     ) -> Reply {
-        let me = self.inner.node.index();
-
         // Admission control (§7): refuse the whole stream if it would
         // exceed this Core's capacity; the sender restores everything.
         if let Err(e) = self.admit(packets.len()) {
             return Reply::Err(e);
         }
+        let reconstructed = match self.reconstruct_stream(packets) {
+            Ok(r) => r,
+            Err(e) => return Reply::Err(e),
+        };
+        let mut arrived: Vec<CompletId> = Vec::new();
+        for (packet, complet) in reconstructed {
+            self.install_arrival(&packet, complet);
+            arrived.push(packet.id);
+        }
+        if let Some(cont) = continuation {
+            self.spawn_continuation(cont);
+        }
+        Reply::MoveOk { arrived }
+    }
 
-        // Pass 1 — resolve arrival actions (notably `stamp`) for every
-        // packet before installing anything, so a strict stamp failure
-        // rejects the whole stream and the sender can restore.
+    /// Pass 1 of arrival: resolves arrival actions (notably `stamp`) for
+    /// every packet, then reconstructs (constructs + unmarshals) each
+    /// complet — without installing anything, so a failure anywhere
+    /// rejects the whole stream and the sender can restore.
+    fn reconstruct_stream(
+        &self,
+        packets: Vec<CompletPacket>,
+    ) -> Result<Vec<(CompletPacket, Box<dyn Complet>)>> {
+        let me = self.inner.node.index();
         let mut prepared: Vec<(CompletPacket, Value)> = Vec::new();
         let arriving: HashSet<CompletId> = packets.iter().map(|p| p.id).collect();
         for packet in packets {
@@ -493,65 +698,285 @@ impl Core {
                 }
             });
             if let Some(t) = stamp_failure {
-                return Reply::Err(FargoError::StampUnresolved(t));
+                return Err(FargoError::StampUnresolved(t));
             }
             prepared.push((packet, state));
         }
-
-        // Pass 2 — reconstruct and install.
-        let mut arrived: Vec<CompletId> = Vec::new();
+        let mut out = Vec::with_capacity(prepared.len());
         for (packet, state) in prepared {
-            let mut complet = match self.inner.registry.construct(&packet.type_name, &[]) {
-                Ok(c) => c,
-                Err(e) => return Reply::Err(e),
-            };
-            if let Err(e) = complet.unmarshal(state) {
-                return Reply::Err(e);
-            }
-            let mut ctx = self.make_ctx(packet.id, &packet.type_name, vec![]);
-            complet.pre_arrival(&mut ctx);
-            self.install_complet_with_id(packet.id, &packet.type_name, complet);
+            let mut complet = self.inner.registry.construct(&packet.type_name, &[])?;
+            complet.unmarshal(state)?;
+            out.push((packet, complet));
+        }
+        Ok(out)
+    }
 
-            // Names travel with the complet.
-            {
-                let mut naming = self.inner.naming.lock();
-                for name in &packet.names {
-                    naming.insert(
-                        name.clone(),
-                        RefDescriptor::link(packet.id, &packet.type_name, me),
-                    );
-                }
-            }
-            if packet.id.origin != me {
-                let _ = self.send_to(
-                    packet.id.origin,
-                    &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
-                        target: packet.id,
-                        now_at: me,
-                    }),
+    /// Pass 2 of arrival: makes one reconstructed complet live on this
+    /// Core — callbacks, install, epoch bookkeeping, names, location
+    /// gossip, and the arrival event.
+    fn install_arrival(&self, packet: &CompletPacket, mut complet: Box<dyn Complet>) {
+        let me = self.inner.node.index();
+        let mut ctx = self.make_ctx(packet.id, &packet.type_name, vec![]);
+        complet.pre_arrival(&mut ctx);
+        self.install_complet_with_id(packet.id, &packet.type_name, complet);
+        // Adopt the packet's move epoch so this complet's next departure
+        // continues the monotonic sequence started at its origin.
+        if packet.epoch > 0 {
+            self.inner
+                .move_epochs
+                .lock()
+                .insert(packet.id, packet.epoch);
+        }
+
+        // Names travel with the complet.
+        {
+            let mut naming = self.inner.naming.lock();
+            for name in &packet.names {
+                naming.insert(
+                    name.clone(),
+                    RefDescriptor::link(packet.id, &packet.type_name, me),
                 );
             }
-            self.run_post_arrival(packet.id);
-            self.fire_event(EventPayload::CompletArrived {
-                id: packet.id,
-                type_name: packet.type_name.clone(),
-                core: me,
-            });
+        }
+        if packet.id.origin != me {
+            let _ = self.send_to(
+                packet.id.origin,
+                &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
+                    target: packet.id,
+                    now_at: me,
+                }),
+            );
+        }
+        self.run_post_arrival(packet.id);
+        self.fire_event(EventPayload::CompletArrived {
+            id: packet.id,
+            type_name: packet.type_name.clone(),
+            core: me,
+        });
+    }
+
+    /// Runs a move continuation on its own thread (the invocation joins
+    /// the normal dispatch path through a local reference).
+    fn spawn_continuation(&self, cont: Continuation) {
+        let core = self.clone();
+        thread::spawn(move || {
+            let r = CompletRef::from_descriptor(RefDescriptor::link(
+                cont.target,
+                "",
+                core.inner.node.index(),
+            ));
+            let _ = core.invoke(&r, &cont.method, &cont.args);
+        });
+    }
+
+    // --- two-phase arrival (prepare / commit / abort) ----------------------
+
+    /// Serves `MovePrepare`: validates and reconstructs the stream, then
+    /// holds it — invisible to invocation — until the source's verdict.
+    pub(crate) fn handle_move_prepare(
+        &self,
+        origin: u32,
+        root: CompletId,
+        epoch: u64,
+        packets: Vec<CompletPacket>,
+        continuation: Option<Continuation>,
+    ) -> Reply {
+        let key = (root, epoch);
+        // Retransmits and replays of a transaction we already know.
+        if self.inner.held_moves.lock().contains_key(&key) {
+            return Reply::PrepareOk { epoch };
+        }
+        match self.inner.move_outcomes.get(root, epoch) {
+            Some(true) => return Reply::PrepareOk { epoch },
+            Some(false) => {
+                return Reply::Err(FargoError::Protocol(format!(
+                    "move of {root} (epoch {epoch}) was already aborted"
+                )))
+            }
+            None => {}
+        }
+        if let Err(e) = self.admit(packets.len()) {
+            return Reply::Err(e);
+        }
+        let complets = match self.reconstruct_stream(packets) {
+            Ok(c) => c,
+            Err(e) => return Reply::Err(e),
+        };
+        let held = HeldMove {
+            complets,
+            continuation,
+            source: origin,
+            deadline: Instant::now() + self.inner.config.move_hold_timeout,
+        };
+        self.inner.held_moves.lock().insert(key, held);
+        self.inner.telemetry.journal(
+            JournalKind::MovePrepared,
+            &root,
+            "",
+            &epoch.to_string(),
+            Some(origin),
+        );
+        Reply::PrepareOk { epoch }
+    }
+
+    /// Serves `MoveCommit`: activates a held stream. A duplicate commit
+    /// (the stream already activated) is acknowledged idempotently.
+    pub(crate) fn handle_move_commit(
+        &self,
+        root: CompletId,
+        epoch: u64,
+        trace: Option<TraceContext>,
+    ) -> Reply {
+        let held = self.inner.held_moves.lock().remove(&(root, epoch));
+        match held {
+            Some(h) => {
+                let arrived = self.activate_held(root, epoch, h, trace);
+                Reply::MoveOk { arrived }
+            }
+            None => match self.inner.move_outcomes.get(root, epoch) {
+                Some(true) => Reply::MoveOk { arrived: vec![] },
+                Some(false) => Reply::Err(FargoError::Protocol(format!(
+                    "move of {root} (epoch {epoch}) was aborted"
+                ))),
+                None => Reply::Err(FargoError::Protocol(format!(
+                    "no prepared move of {root} (epoch {epoch})"
+                ))),
+            },
+        }
+    }
+
+    /// Serves `MoveAbort`: discards a held stream. Recording the abort
+    /// verdict (unless already committed) lets a late retransmitted
+    /// `MovePrepare` be refused instead of re-held forever.
+    pub(crate) fn handle_move_abort(&self, root: CompletId, epoch: u64) -> Reply {
+        let held = self.inner.held_moves.lock().remove(&(root, epoch));
+        if self.inner.move_outcomes.get(root, epoch) != Some(true) {
+            self.inner.move_outcomes.record(root, epoch, false);
+        }
+        if held.is_some() {
+            self.inner.telemetry.journal(
+                JournalKind::MoveAborted,
+                &root,
+                "",
+                &epoch.to_string(),
+                None,
+            );
+        }
+        Reply::Ok
+    }
+
+    /// Serves `MoveQuery` (source asking the destination): what this Core
+    /// knows about the `(root, epoch)` transaction it received.
+    pub(crate) fn handle_move_query(&self, root: CompletId, epoch: u64) -> Reply {
+        let state = if self.inner.held_moves.lock().contains_key(&(root, epoch)) {
+            MoveTxnState::Held
+        } else {
+            match self.inner.move_outcomes.get(root, epoch) {
+                Some(true) => MoveTxnState::Committed,
+                Some(false) => MoveTxnState::Aborted,
+                None => MoveTxnState::Unknown,
+            }
+        };
+        Reply::MoveState { state }
+    }
+
+    /// Serves `MoveDecision` (destination asking the source): the verdict
+    /// this Core recorded for a move it coordinated.
+    pub(crate) fn handle_move_decision(&self, root: CompletId, epoch: u64) -> Reply {
+        let state = match self.inner.move_decisions.get(root, epoch) {
+            Some(true) => MoveTxnState::Committed,
+            Some(false) => MoveTxnState::Aborted,
+            None => MoveTxnState::Unknown,
+        };
+        Reply::MoveState { state }
+    }
+
+    /// Activates a held stream: installs every complet, records the
+    /// committed outcome, and fires the continuation.
+    fn activate_held(
+        &self,
+        root: CompletId,
+        epoch: u64,
+        held: HeldMove,
+        trace: Option<TraceContext>,
+    ) -> Vec<CompletId> {
+        let t = &self.inner.telemetry;
+        let span = match (t.trace_enabled, trace) {
+            (true, Some(parent)) => {
+                let ctx = parent.child();
+                let timer = t.spans.start(
+                    ctx,
+                    parent.span_id,
+                    format!("arrive[{}]", held.complets.len()),
+                );
+                Some((timer, telemetry::enter_trace(ctx)))
+            }
+            _ => None,
+        };
+        self.inner.move_outcomes.record(root, epoch, true);
+        let mut arrived = Vec::with_capacity(held.complets.len());
+        for (packet, complet) in held.complets {
+            self.install_arrival(&packet, complet);
             arrived.push(packet.id);
         }
-
-        if let Some(cont) = continuation {
-            let core = self.clone();
-            thread::spawn(move || {
-                let r = CompletRef::from_descriptor(RefDescriptor::link(
-                    cont.target,
-                    "",
-                    core.inner.node.index(),
-                ));
-                let _ = core.invoke(&r, &cont.method, &cont.args);
-            });
+        t.journal(
+            JournalKind::MoveCommitted,
+            &root,
+            "",
+            &epoch.to_string(),
+            Some(held.source),
+        );
+        if let Some(cont) = held.continuation {
+            self.spawn_continuation(cont);
         }
-        Reply::MoveOk { arrived }
+        if let Some((timer, scope)) = span {
+            drop(scope);
+            timer.finish(&t.spans, &self.inner.name);
+        }
+        arrived
+    }
+
+    /// Resolves held moves whose deadline passed by asking the source
+    /// for its recorded verdict; called from the monitor thread each
+    /// tick. While the source is unreachable the stream stays held (the
+    /// deadline is re-armed past the query round-trip so ticks don't
+    /// stack resolver threads): holding duplicates nothing, whereas
+    /// discarding could lose the only copy of a committed move.
+    pub(crate) fn sweep_held_moves(&self) {
+        let now = Instant::now();
+        let expired: Vec<(CompletId, u64, u32)> = {
+            let mut g = self.inner.held_moves.lock();
+            let re_arm = now + self.inner.config.move_hold_timeout + self.inner.config.rpc_timeout;
+            g.iter_mut()
+                .filter(|(_, h)| h.deadline <= now)
+                .map(|(k, h)| {
+                    h.deadline = re_arm;
+                    (k.0, k.1, h.source)
+                })
+                .collect()
+        };
+        for (root, epoch, source) in expired {
+            let core = self.clone();
+            thread::spawn(
+                move || match core.rpc(source, Request::MoveDecision { root, epoch }) {
+                    Ok(Reply::MoveState {
+                        state: MoveTxnState::Committed,
+                    }) => {
+                        if let Some(h) = core.inner.held_moves.lock().remove(&(root, epoch)) {
+                            core.activate_held(root, epoch, h, None);
+                        }
+                    }
+                    Ok(Reply::MoveState {
+                        state: MoveTxnState::Aborted,
+                    }) => {
+                        let _ = core.handle_move_abort(root, epoch);
+                    }
+                    // Unknown or unreachable: keep holding; the re-armed
+                    // deadline retries later.
+                    _ => {}
+                },
+            );
+        }
     }
 
     /// Runs the `post_arrival` callback on a freshly installed complet,

@@ -34,6 +34,11 @@ const MSG_KINDS: &[&str] = &[
     "trace_spans",
     "journal",
     "ping",
+    "move_prep",
+    "move_commit",
+    "move_abort",
+    "move_query",
+    "move_decision",
     "reply",
     "notify",
 ];
@@ -78,6 +83,22 @@ pub(crate) struct CoreTelemetry {
 
     // Endpoint queue depth, refreshed opportunistically.
     pub queue_depth: Gauge,
+
+    // Reliable messaging layer.
+    /// Request retransmissions sent by `rpc()`.
+    pub rpc_retries_total: Counter,
+    /// Retried requests answered from the reply-dedup cache.
+    pub dedup_hits_total: Counter,
+    /// Retransmits dropped because the original is still executing.
+    pub dedup_inflight_total: Counter,
+    /// Dedup-cache entries evicted to stay within capacity.
+    pub dedup_evictions_total: Counter,
+    /// Replies that failed to send (the requester will retry or time out).
+    pub reply_send_failures: Counter,
+    /// Two-phase moves whose commit outcome needed epoch-query resolution.
+    pub move_indoubt_total: Counter,
+    /// Requests dropped because the worker-pool queue was full.
+    pub worker_rejections_total: Counter,
 }
 
 impl CoreTelemetry {
@@ -141,6 +162,13 @@ impl CoreTelemetry {
             msg_out: per_kind("fargo_msg_out_total", "fargo_msg_out_bytes_total"),
             msg_in: per_kind("fargo_msg_in_total", "fargo_msg_in_bytes_total"),
             queue_depth: registry.gauge("fargo_endpoint_queue_depth", l),
+            rpc_retries_total: registry.counter("fargo_rpc_retries_total", l),
+            dedup_hits_total: registry.counter("fargo_dedup_hits_total", l),
+            dedup_inflight_total: registry.counter("fargo_dedup_inflight_total", l),
+            dedup_evictions_total: registry.counter("fargo_dedup_evictions_total", l),
+            reply_send_failures: registry.counter("fargo_reply_send_failures", l),
+            move_indoubt_total: registry.counter("fargo_move_indoubt_total", l),
+            worker_rejections_total: registry.counter("fargo_worker_rejections_total", l),
             registry,
         }
     }

@@ -97,7 +97,9 @@ fn pull_reference_drags_target_along() {
 fn pull_closure_moves_in_one_message() {
     // "all complets that should move as a result of the same movement
     // request are part of the same stream, thus only a single inter-Core
-    // message is involved" (§3.3).
+    // message is involved" (§3.3). The two-phase transfer adds one
+    // constant-size MoveCommit: the closure still ships in exactly one
+    // data-bearing message (the MovePrepare).
     let (net, _reg, cores) = cluster(2);
     let (holder, _dep) = setup_holder_with_dep("pull", &cores);
     let before = net.link_stats(cores[0].node(), cores[1].node()).messages;
@@ -105,8 +107,8 @@ fn pull_closure_moves_in_one_message() {
     let after = net.link_stats(cores[0].node(), cores[1].node()).messages;
     assert_eq!(
         after - before,
-        1,
-        "the whole pull closure must travel in exactly one request message"
+        2,
+        "the whole pull closure must travel in one prepare + one commit"
     );
     teardown(&cores);
 }

@@ -395,6 +395,7 @@ impl Shell {
             Some(_) => Err(ShellError::Usage("stats [full]")),
             None => {
                 let m = self.core.monitor();
+                let (retries, dedup_hits, lost_replies, indoubt) = self.core.reliability_stats();
                 Ok(format!(
                     "core {}
  complets      {}
@@ -402,6 +403,7 @@ impl Shell {
  bindings      {}
  subscriptions {}
  monitor: {} sampler evals, {} cache hits, {} events
+ reliability: {} retransmits, {} dedup replays, {} lost replies, {} in-doubt moves
 (use 'stats full' for the complete metrics exposition)",
                     self.core.name(),
                     self.core.complet_count(),
@@ -411,6 +413,10 @@ impl Shell {
                     m.samples(),
                     m.cache_hits(),
                     m.events_emitted(),
+                    retries,
+                    dedup_hits,
+                    lost_replies,
+                    indoubt,
                 ))
             }
         }

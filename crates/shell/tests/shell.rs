@@ -178,6 +178,7 @@ fn layout_and_stats_commands() {
     let stats = shell.exec("stats").unwrap();
     assert!(stats.contains("complets      1"), "{stats}");
     assert!(stats.contains("trackers"), "{stats}");
+    assert!(stats.contains("reliability:"), "{stats}");
     for c in &cores {
         c.stop();
     }

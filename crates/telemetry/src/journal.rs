@@ -195,6 +195,17 @@ pub enum JournalKind {
     Forward,
     /// An invocation executed on the recording Core.
     Exec,
+    /// A move transaction was prepared (installed-but-held at the
+    /// destination, or sent by the source).
+    MovePrepared,
+    /// A prepared move transaction was committed (activated).
+    MoveCommitted,
+    /// A prepared move transaction was aborted (held state discarded,
+    /// or the source restored the departing complets).
+    MoveAborted,
+    /// A reply could not be sent back to its requester (the lost-reply
+    /// half of an at-most-once exchange).
+    ReplyDropped,
 }
 
 impl JournalKind {
@@ -213,6 +224,10 @@ impl JournalKind {
             JournalKind::Invoke => "invoke",
             JournalKind::Forward => "forward",
             JournalKind::Exec => "exec",
+            JournalKind::MovePrepared => "move_prepare",
+            JournalKind::MoveCommitted => "move_commit",
+            JournalKind::MoveAborted => "move_abort",
+            JournalKind::ReplyDropped => "reply_drop",
         }
     }
 
@@ -231,6 +246,10 @@ impl JournalKind {
             "invoke" => JournalKind::Invoke,
             "forward" => JournalKind::Forward,
             "exec" => JournalKind::Exec,
+            "move_prepare" => JournalKind::MovePrepared,
+            "move_commit" => JournalKind::MoveCommitted,
+            "move_abort" => JournalKind::MoveAborted,
+            "reply_drop" => JournalKind::ReplyDropped,
             _ => return None,
         })
     }
@@ -417,7 +436,13 @@ impl LayoutState {
             JournalKind::RelocatorDecision
             | JournalKind::Invoke
             | JournalKind::Forward
-            | JournalKind::Exec => {}
+            | JournalKind::Exec
+            // Two-phase bookkeeping: placement only changes on the
+            // arrival/departure entries, which are journaled separately.
+            | JournalKind::MovePrepared
+            | JournalKind::MoveCommitted
+            | JournalKind::MoveAborted
+            | JournalKind::ReplyDropped => {}
         }
     }
 

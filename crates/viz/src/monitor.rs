@@ -110,6 +110,12 @@ impl LayoutMonitor {
                                 }
                                 m.log(format!("{cname} shut down"));
                             }
+                            EventPayload::MoveFailed {
+                                id, dest, error, ..
+                            } => {
+                                let to = core2.core_name_of(*dest);
+                                m.log(format!("{id} failed to reach {to}: {error}"));
+                            }
                             EventPayload::Profile { .. } => {}
                         }
                     }),

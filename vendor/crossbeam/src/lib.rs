@@ -25,7 +25,7 @@ pub mod channel {
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
-        receiver_alive: bool,
+        receivers: usize,
     }
 
     /// Sending half of a channel.
@@ -52,6 +52,23 @@ pub mod channel {
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the item is returned.
+        Full(T),
+        /// All receivers are gone; the item is returned.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
 
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +113,7 @@ pub mod channel {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
-                receiver_alive: true,
+                receivers: 1,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -115,7 +132,7 @@ pub mod channel {
         pub fn send(&self, item: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap();
             loop {
-                if !state.receiver_alive {
+                if state.receivers == 0 {
                     return Err(SendError(item));
                 }
                 match self.shared.cap {
@@ -123,6 +140,24 @@ pub mod channel {
                         state = self.shared.not_full.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `item` without blocking: a full bounded channel or a
+        /// receiverless channel returns the item in the error.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(item));
                 }
             }
             state.items.push_back(item);
@@ -152,10 +187,23 @@ pub mod channel {
         }
     }
 
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().unwrap().receiver_alive = false;
-            self.shared.not_full.notify_all();
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
         }
     }
 
@@ -269,6 +317,32 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Timeout)
             );
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            drop(rx);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx2.recv(), Ok(2));
+            // Channel stays alive until the last receiver drops.
+            drop(rx);
+            tx.send(3).unwrap();
+            assert_eq!(rx2.recv(), Ok(3));
+            drop(rx2);
+            assert!(tx.send(4).is_err());
         }
 
         #[test]
