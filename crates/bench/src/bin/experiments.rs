@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E14).
+//! Regenerates every experiment table (E1–E15).
 //!
 //! Usage:
 //!   cargo run -p fargo-bench --bin experiments --release          # quick sweeps

@@ -63,7 +63,9 @@ fn call_with(reps: usize, arg: Value) -> Duration {
         .expect("servant");
     servant.call("get", &[Value::Null]).expect("warm");
     let samples = Samples::collect(reps, || {
-        servant.call("get", &[arg.clone()]).expect("call");
+        servant
+            .call("get", std::slice::from_ref(&arg))
+            .expect("call");
     });
     samples.mean()
 }
@@ -86,6 +88,9 @@ mod tests {
             .new_complet_at("core1", "Servant", &[])
             .unwrap();
         let arg = map_tree(2, 4);
-        assert_eq!(servant.call("get", &[arg.clone()]).unwrap(), arg);
+        assert_eq!(
+            servant.call("get", std::slice::from_ref(&arg)).unwrap(),
+            arg
+        );
     }
 }

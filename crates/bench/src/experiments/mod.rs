@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E14). Each module regenerates one experiment
+//! The experiment suite (E1–E15). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -15,6 +15,7 @@ pub mod e11_params;
 pub mod e12_footprint;
 pub mod e13_journal;
 pub mod e14_retry;
+pub mod e15_planner;
 
 use crate::Table;
 
@@ -103,6 +104,11 @@ pub fn all() -> Vec<Experiment> {
             id: "E14",
             summary: "reliable messaging: loss-free overhead vs single-shot; recovery under loss",
             run: e14_retry::run,
+        },
+        Experiment {
+            id: "E15",
+            summary: "adaptive layout planner: remote-call reduction and convergence vs static and oracle layouts",
+            run: e15_planner::run,
         },
     ]
 }

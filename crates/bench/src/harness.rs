@@ -30,6 +30,12 @@ pub struct ClusterSpec {
     pub single_shot: bool,
     /// Retransmission budget override (None keeps the config default).
     pub rpc_retries: Option<u32>,
+    /// Simnet RNG seed override (None keeps the network default), so
+    /// experiments can sweep loss/jitter schedules deterministically.
+    pub seed: Option<u64>,
+    /// Final say over the Core configuration, applied after every other
+    /// knob (a plain fn keeps the spec `Clone` + `Debug`).
+    pub tweak: Option<fn(CoreConfig) -> CoreConfig>,
 }
 
 impl ClusterSpec {
@@ -45,6 +51,8 @@ impl ClusterSpec {
             journal_enabled: true,
             single_shot: false,
             rpc_retries: None,
+            seed: None,
+            tweak: None,
         }
     }
 
@@ -92,13 +100,30 @@ impl ClusterSpec {
         self
     }
 
+    /// Overrides the simnet RNG seed (loss/jitter schedule).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Applies an arbitrary last-word transformation to the Core
+    /// configuration (e.g. autolayout cadence for the planner runs).
+    pub fn config_tweak(mut self, tweak: fn(CoreConfig) -> CoreConfig) -> Self {
+        self.tweak = Some(tweak);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
-        let net = Network::new(NetworkConfig {
+        let mut net_config = NetworkConfig {
             default_link: Some(self.link),
             time_scale: self.time_scale,
             ..NetworkConfig::default()
-        });
+        };
+        if let Some(seed) = self.seed {
+            net_config.seed = seed;
+        }
+        let net = Network::new(net_config);
         let registry = bench_registry();
         let telemetry = TelemetryRegistry::new();
         let mut config = CoreConfig {
@@ -114,6 +139,9 @@ impl ClusterSpec {
         }
         if let Some(retries) = self.rpc_retries {
             config = config.with_rpc_retries(retries);
+        }
+        if let Some(tweak) = self.tweak {
+            config = tweak(config);
         }
         let cores = (0..self.cores)
             .map(|i| {

@@ -73,6 +73,25 @@ pub struct CoreConfig {
     /// How long a destination holds a prepared-but-uncommitted move
     /// before querying the source Core for the transaction outcome.
     pub move_hold_timeout: Duration,
+    /// When the adaptive layout planner is enabled, how many monitor
+    /// ticks elapse between planning rounds.
+    pub autolayout_period_ticks: u32,
+    /// Minimum predicted relative traffic-cost gain (fraction of the
+    /// current cost) before a plan is worth executing; smaller gains are
+    /// discarded so marginal, oscillating plans never move anything.
+    pub autolayout_hysteresis: f64,
+    /// Upper bound on `move_complet` steps per planning round; the
+    /// executor rate-limits within the round on top of this.
+    pub autolayout_max_moves: usize,
+    /// Anomaly pass: forwarding chains of at least this many hops are
+    /// flagged.
+    pub anomaly_long_chain_hops: usize,
+    /// Anomaly pass: arrival sequences with at least this many A-B-A
+    /// returns are flagged as ping-pong.
+    pub anomaly_ping_pong_returns: usize,
+    /// Anomaly pass: a dead-ended tracker is only flagged once it is
+    /// this many microseconds stale (0 = flag immediately).
+    pub anomaly_orphan_min_age_us: u64,
 }
 
 impl Default for CoreConfig {
@@ -98,6 +117,12 @@ impl Default for CoreConfig {
             worker_threads: 8,
             worker_queue_depth: 1024,
             move_hold_timeout: Duration::from_millis(250),
+            autolayout_period_ticks: 25,
+            autolayout_hysteresis: 0.05,
+            autolayout_max_moves: 4,
+            anomaly_long_chain_hops: fargo_telemetry::journal::LONG_CHAIN_THRESHOLD,
+            anomaly_ping_pong_returns: 2,
+            anomaly_orphan_min_age_us: 0,
         }
     }
 }
@@ -164,6 +189,38 @@ impl CoreConfig {
         self.dedup_cache_capacity = 0;
         self
     }
+
+    /// Configuration with the adaptive-layout planner cadence replaced:
+    /// monitor ticks per planning round, hysteresis fraction, and the
+    /// per-round move budget.
+    pub fn with_autolayout(mut self, period_ticks: u32, hysteresis: f64, max_moves: usize) -> Self {
+        self.autolayout_period_ticks = period_ticks.max(1);
+        self.autolayout_hysteresis = hysteresis.max(0.0);
+        self.autolayout_max_moves = max_moves;
+        self
+    }
+
+    /// Configuration with the anomaly-pass thresholds replaced.
+    pub fn with_anomaly_thresholds(
+        mut self,
+        long_chain_hops: usize,
+        ping_pong_returns: usize,
+        orphan_min_age_us: u64,
+    ) -> Self {
+        self.anomaly_long_chain_hops = long_chain_hops;
+        self.anomaly_ping_pong_returns = ping_pong_returns;
+        self.anomaly_orphan_min_age_us = orphan_min_age_us;
+        self
+    }
+
+    /// The anomaly thresholds as the telemetry-layer struct.
+    pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
+        fargo_telemetry::AnomalyThresholds {
+            long_chain_hops: self.anomaly_long_chain_hops,
+            ping_pong_returns: self.anomaly_ping_pong_returns,
+            orphan_min_age_us: self.anomaly_orphan_min_age_us,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +244,19 @@ mod tests {
         assert_eq!(c.tracking, TrackingMode::HomeBased);
         assert_eq!(c.rpc_timeout, Duration::from_millis(5));
         assert!(c.stamp_strict);
+    }
+
+    #[test]
+    fn autolayout_and_anomaly_knobs() {
+        let c = CoreConfig::default()
+            .with_autolayout(0, -1.0, 2)
+            .with_anomaly_thresholds(5, 3, 2_000);
+        assert_eq!(c.autolayout_period_ticks, 1, "period clamps to >= 1");
+        assert_eq!(c.autolayout_hysteresis, 0.0, "hysteresis clamps to >= 0");
+        assert_eq!(c.autolayout_max_moves, 2);
+        let t = c.anomaly_thresholds();
+        assert_eq!(t.long_chain_hops, 5);
+        assert_eq!(t.ping_pong_returns, 3);
+        assert_eq!(t.orphan_min_age_us, 2_000);
     }
 }

@@ -120,6 +120,8 @@ macro_rules! define_complet {
                 stringify!($name)
             }
 
+            // `ctx`/`args` go unused when a complet declares no methods.
+            #[allow(unused_variables)]
             fn invoke(
                 &mut self,
                 ctx: &mut $crate::Ctx,
@@ -135,6 +137,8 @@ macro_rules! define_complet {
                 }
             }
 
+            // `mut` goes unused when a complet declares no state fields.
+            #[allow(unused_mut)]
             fn marshal(&self) -> $crate::Value {
                 let mut state =
                     ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();

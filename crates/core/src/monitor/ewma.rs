@@ -44,6 +44,18 @@ impl Ewma {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    /// Forces the average to exactly zero, keeping it initialised.
+    ///
+    /// Geometric smoothing can only approach zero asymptotically, so a
+    /// subject that went silent would report a phantom residual rate
+    /// forever. The monitor snaps the average after a run of zero
+    /// samples; consumers (threshold events, the layout planner) then
+    /// read an honest 0.
+    pub fn snap_to_zero(&mut self) -> f64 {
+        self.value = Some(0.0);
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +82,19 @@ mod tests {
         let mut e = Ewma::new(1.0);
         e.update(3.0);
         assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    fn snap_to_zero_overrides_residual() {
+        let mut e = Ewma::new(0.3);
+        e.update(100.0);
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        let residual = e.value().unwrap();
+        assert!(residual > 0.0, "geometric decay never reaches zero");
+        assert_eq!(e.snap_to_zero(), 0.0);
+        assert_eq!(e.value(), Some(0.0));
     }
 
     #[test]

@@ -34,6 +34,10 @@ use crate::events::EventPayload;
 /// Measures the current value of a profiling service.
 pub type Sampler = Arc<dyn Fn(&Service) -> Option<f64> + Send + Sync + 'static>;
 
+/// Consecutive zero samples after which a continuous average snaps to
+/// exactly zero (see [`Ewma::snap_to_zero`]).
+const ZERO_SNAP_SAMPLES: u32 = 3;
+
 #[derive(Debug)]
 struct Continuous {
     interval: Duration,
@@ -41,6 +45,8 @@ struct Continuous {
     last_sampled: Option<Instant>,
     /// Number of clients that issued `start` without a matching `stop`.
     interest: usize,
+    /// Consecutive zero raw samples (drives the snap-to-zero fix).
+    zero_streak: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +68,10 @@ impl InvocationCounters {
 
     pub fn total(&self, src: CompletId, dst: CompletId) -> u64 {
         self.counts.lock().get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    pub fn pairs(&self) -> Vec<((CompletId, CompletId), u64)> {
+        self.counts.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
 }
 
@@ -164,6 +174,7 @@ impl Monitor {
                 average: Ewma::new(self.alpha),
                 last_sampled: None,
                 interest: 1,
+                zero_streak: 0,
             });
     }
 
@@ -250,7 +261,19 @@ impl Monitor {
                 continue;
             };
             c.last_sampled = Some(now);
-            let avg = c.average.update(raw);
+            let mut avg = c.average.update(raw);
+            // A silent subject must eventually read as exactly 0: the
+            // exponential average alone only decays asymptotically, which
+            // would leave a phantom rate (e.g. for a complet that stopped
+            // receiving invokes) in every downstream consumer.
+            if raw == 0.0 {
+                c.zero_streak += 1;
+                if c.zero_streak >= ZERO_SNAP_SAMPLES {
+                    avg = c.average.snap_to_zero();
+                }
+            } else {
+                c.zero_streak = 0;
+            }
             drop(map);
             events.push(EventPayload::Profile {
                 service: service.name().to_owned(),
@@ -261,6 +284,15 @@ impl Monitor {
         }
         self.events_total.add(events.len() as u64);
         events
+    }
+
+    /// The cumulative invocation counts per observed (source, target)
+    /// complet pair, in no particular order. Sources with sequence 0 are
+    /// the per-Core application pseudo-complet (calls issued outside any
+    /// complet). The adaptive layout planner diffs successive readings to
+    /// weight affinity-graph edges.
+    pub fn invocation_edges(&self) -> Vec<((CompletId, CompletId), u64)> {
+        self.invocations.pairs()
     }
 
     /// Converts a monotone total into a rate (events/second) since this
@@ -363,6 +395,44 @@ mod tests {
         m.tick(0);
         // alpha = 0.5: average of 10 and 20.
         assert_eq!(m.get(&s), Some(15.0));
+    }
+
+    #[test]
+    fn silent_service_decays_to_exact_zero() {
+        let v = Arc::new(AtomicU64::new(50));
+        let vv = v.clone();
+        let m = with_sampler(move |_| Some(vv.load(Ordering::SeqCst) as f64));
+        let s = Service::CompletLoad;
+        m.start(s.clone(), Duration::ZERO);
+        m.tick(0);
+        assert_eq!(m.get(&s), Some(50.0));
+        v.store(0, Ordering::SeqCst);
+        for tick in 1..=ZERO_SNAP_SAMPLES {
+            m.tick(0);
+            let got = m.get(&s).unwrap();
+            if tick < ZERO_SNAP_SAMPLES {
+                assert!(got > 0.0, "still decaying after {tick} zero samples");
+            } else {
+                assert_eq!(got, 0.0, "snapped after {ZERO_SNAP_SAMPLES} zeros");
+            }
+        }
+        // Traffic resuming re-initialises the streak.
+        v.store(50, Ordering::SeqCst);
+        m.tick(0);
+        assert!(m.get(&s).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn invocation_edges_expose_pairs() {
+        let m = with_sampler(|_| Some(0.0));
+        let a = CompletId::new(0, 1);
+        let b = CompletId::new(0, 2);
+        m.invocations.record(a, b);
+        m.invocations.record(a, b);
+        m.invocations.record(b, a);
+        let mut edges = m.invocation_edges();
+        edges.sort();
+        assert_eq!(edges, vec![((a, b), 2), ((b, a), 1)]);
     }
 
     #[test]

@@ -107,10 +107,18 @@ impl Core {
         self.inner.monitor.invocations.record(src, id);
         // Journaled before any routing (and before the request send, which
         // stamps a later HLC), so in the merged timeline the issue orders
-        // before every forward and the eventual exec.
+        // before every forward and the eventual exec. The detail carries
+        // the issuing complet (seq 0 = the application pseudo-complet),
+        // which lets the layout planner rebuild cluster-wide traffic
+        // edges from merged journals alone.
+        let src_label = if self.inner.telemetry.journal_enabled {
+            src.to_string()
+        } else {
+            String::new() // no allocation when the journal is off
+        };
         self.inner
             .telemetry
-            .journal(JournalKind::Invoke, &id, method, "", None);
+            .journal(JournalKind::Invoke, &id, method, &src_label, None);
 
         // By-value parameter semantics: the argument graph is copied and
         // every complet reference inside it is degraded to `link`.

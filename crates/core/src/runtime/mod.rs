@@ -103,7 +103,19 @@ pub(crate) struct CoreInner {
     pub move_outcomes: DecisionLog,
     /// Prepared-but-uncommitted move streams, keyed `(root, epoch)`.
     pub held_moves: Mutex<HashMap<(CompletId, u64), HeldMove>>,
+    /// Callbacks run by the monitor thread after each tick (the adaptive
+    /// layout planner's cadence source), keyed for removal.
+    pub tick_hooks: Mutex<Vec<(u64, TickHook)>>,
+    pub tick_hook_seq: AtomicU64,
 }
+
+/// A callback invoked by the Core's monitor thread once per tick.
+///
+/// Hooks must be cheap and non-blocking: they run on the monitor thread
+/// itself, between the sampling pass and the next sleep. Anything heavy
+/// (like a planning round) should flip a flag or send on a channel for a
+/// worker thread to pick up.
+pub type TickHook = Arc<dyn Fn() + Send + Sync + 'static>;
 
 /// A handle to a running Core. Cloning yields another handle to the same
 /// Core.
@@ -225,6 +237,8 @@ impl<'a> CoreBuilder<'a> {
             move_decisions: DecisionLog::new(MOVE_DECISION_LOG),
             move_outcomes: DecisionLog::new(MOVE_DECISION_LOG),
             held_moves: Mutex::new(HashMap::new()),
+            tick_hooks: Mutex::new(Vec::new()),
+            tick_hook_seq: AtomicU64::new(1),
             config,
         });
         let core = Core { inner };
@@ -283,6 +297,46 @@ impl Core {
     /// This Core's metrics registry (possibly shared with other Cores).
     pub fn telemetry(&self) -> &TelemetryRegistry {
         &self.inner.telemetry.registry
+    }
+
+    /// This Core's configuration (immutable once spawned).
+    pub fn config(&self) -> &CoreConfig {
+        &self.inner.config
+    }
+
+    /// Registers a callback run by the monitor thread after every tick
+    /// and returns a handle for [`Core::remove_monitor_tick_hook`].
+    ///
+    /// This is the extension point the adaptive layout planner hangs off:
+    /// the Core does not know about planning, it just provides cadence.
+    /// Hooks must be cheap (see [`TickHook`]).
+    pub fn add_monitor_tick_hook(&self, hook: TickHook) -> u64 {
+        let id = self.inner.tick_hook_seq.fetch_add(1, Ordering::SeqCst);
+        self.inner.tick_hooks.lock().push((id, hook));
+        id
+    }
+
+    /// Removes a tick hook by the handle `add_monitor_tick_hook` returned.
+    /// Unknown handles are ignored.
+    pub fn remove_monitor_tick_hook(&self, id: u64) {
+        self.inner.tick_hooks.lock().retain(|(h, _)| *h != id);
+    }
+
+    /// Appends a decision/annotation event to this Core's journal (no-op
+    /// when journaling is disabled). Used by subsystems layered on top of
+    /// the Core — notably the layout planner — so their decisions land in
+    /// the same causally-ordered timeline as the moves they cause.
+    pub fn journal_note(
+        &self,
+        kind: JournalKind,
+        subject: &str,
+        object: &str,
+        detail: &str,
+        peer: Option<u32>,
+    ) {
+        self.inner
+            .telemetry
+            .journal(kind, &subject, object, detail, peer);
     }
 
     /// Reliable-messaging counters for this Core, in order:
@@ -1375,6 +1429,14 @@ impl Core {
                         core.fire_event(event);
                     }
                     core.sweep_held_moves();
+                    // Clone out of the lock: a hook may add/remove hooks.
+                    let hooks: Vec<TickHook> = {
+                        let guard = core.inner.tick_hooks.lock();
+                        guard.iter().map(|(_, h)| h.clone()).collect()
+                    };
+                    for hook in hooks {
+                        hook();
+                    }
                 }
             })
             .expect("failed to spawn monitor thread");

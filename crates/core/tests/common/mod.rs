@@ -1,4 +1,6 @@
 //! Shared fixtures for fargo-core integration tests.
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
 
 use std::time::Duration;
 

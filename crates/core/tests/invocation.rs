@@ -180,7 +180,7 @@ fn by_value_graphs_with_nested_refs_survive() {
     // set_peer reads args[0]; send the graph and unwrap remotely? The
     // Caller expects a bare ref, so extract it through a relay instead:
     // just ensure the graph arrives intact and the ref stays usable.
-    let echoed = caller.call("relay", &[graph.clone()]);
+    let echoed = caller.call("relay", std::slice::from_ref(&graph));
     // relay fails (no peer yet) — the point is the call path, not result.
     assert!(echoed.is_err());
     caller

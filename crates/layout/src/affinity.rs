@@ -1,0 +1,180 @@
+//! The weighted complet affinity graph.
+//!
+//! Nodes are complets (plus the per-Core application pseudo-complets,
+//! which are *pinned* — they model clients that cannot move). Edge
+//! weights accumulate from several signal sources with different scales:
+//! journal invoke events (1 per observed invocation, windowed by the
+//! journal ring), monitor invoke-rate averages (scaled), and ref-graph
+//! structure (a small constant, so connected-but-quiet complets still
+//! prefer co-location when it is free).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fargo_wire::CompletId;
+
+/// An undirected weighted graph over complet ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AffinityGraph {
+    /// Canonical (min, max) keyed accumulated weights.
+    weights: BTreeMap<(CompletId, CompletId), f64>,
+    /// Complets that exist but cannot be moved, with the node they are
+    /// anchored to (application pseudo-complets).
+    pinned: BTreeMap<CompletId, u32>,
+    nodes: BTreeSet<CompletId>,
+}
+
+fn canonical(a: CompletId, b: CompletId) -> (CompletId, CompletId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl AffinityGraph {
+    pub fn new() -> AffinityGraph {
+        AffinityGraph::default()
+    }
+
+    /// Accumulates `weight` onto the undirected edge `a — b`.
+    /// Self-edges and non-positive weights are ignored.
+    pub fn add_edge(&mut self, a: CompletId, b: CompletId, weight: f64) {
+        if a == b || weight <= 0.0 {
+            return;
+        }
+        self.nodes.insert(a);
+        self.nodes.insert(b);
+        *self.weights.entry(canonical(a, b)).or_insert(0.0) += weight;
+    }
+
+    /// Declares `id` immovable, anchored at `node`.
+    pub fn pin(&mut self, id: CompletId, node: u32) {
+        self.nodes.insert(id);
+        self.pinned.insert(id, node);
+    }
+
+    /// The node an id is pinned to, if it is pinned.
+    pub fn pinned_to(&self, id: CompletId) -> Option<u32> {
+        self.pinned.get(&id).copied()
+    }
+
+    /// Every vertex (movable and pinned).
+    pub fn nodes(&self) -> impl Iterator<Item = CompletId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Accumulated weight of the undirected edge, 0 if absent.
+    pub fn weight(&self, a: CompletId, b: CompletId) -> f64 {
+        self.weights.get(&canonical(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// All edges as `(a, b, weight)` with `a < b`, heaviest first.
+    pub fn edges_by_weight(&self) -> Vec<(CompletId, CompletId, f64)> {
+        let mut out: Vec<(CompletId, CompletId, f64)> =
+            self.weights.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+        out.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Edges incident to `id` as `(neighbour, weight)`.
+    pub fn incident(&self, id: CompletId) -> Vec<(CompletId, f64)> {
+        self.weights
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == id {
+                    Some((b, w))
+                } else if b == id {
+                    Some((a, w))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drops edges lighter than `min_weight` and any vertex left
+    /// isolated, so one stray invocation does not drag a complet around.
+    pub fn prune(&mut self, min_weight: f64) {
+        self.weights.retain(|_, w| *w >= min_weight);
+        let mut connected: BTreeSet<CompletId> = BTreeSet::new();
+        for (a, b) in self.weights.keys() {
+            connected.insert(*a);
+            connected.insert(*b);
+        }
+        self.nodes
+            .retain(|n| connected.contains(n) || self.pinned.contains_key(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(seq: u64) -> CompletId {
+        CompletId::new(0, seq)
+    }
+
+    #[test]
+    fn edges_accumulate_undirected() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(2), 2.0);
+        g.add_edge(c(2), c(1), 3.0);
+        assert_eq!(g.weight(c(1), c(2)), 5.0);
+        assert_eq!(g.weight(c(2), c(1)), 5.0);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn self_edges_and_nonpositive_weights_ignored() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(1), 5.0);
+        g.add_edge(c(1), c(2), 0.0);
+        g.add_edge(c(1), c(2), -1.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn edges_sort_heaviest_first() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(2), 1.0);
+        g.add_edge(c(2), c(3), 9.0);
+        g.add_edge(c(1), c(3), 4.0);
+        let weights: Vec<f64> = g.edges_by_weight().iter().map(|e| e.2).collect();
+        assert_eq!(weights, vec![9.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn prune_drops_light_edges_but_keeps_pins() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(2), 0.5);
+        g.add_edge(c(2), c(3), 5.0);
+        g.pin(c(9), 4);
+        g.prune(1.0);
+        assert_eq!(g.weight(c(1), c(2)), 0.0);
+        assert_eq!(g.weight(c(2), c(3)), 5.0);
+        let nodes: Vec<CompletId> = g.nodes().collect();
+        assert!(!nodes.contains(&c(1)), "isolated vertex dropped");
+        assert!(nodes.contains(&c(9)), "pinned vertex survives");
+        assert_eq!(g.pinned_to(c(9)), Some(4));
+    }
+
+    #[test]
+    fn incident_lists_neighbours() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(2), 1.0);
+        g.add_edge(c(1), c(3), 2.0);
+        g.add_edge(c(2), c(3), 4.0);
+        let mut inc = g.incident(c(1));
+        inc.sort_by_key(|&(id, _)| id);
+        assert_eq!(inc, vec![(c(2), 1.0), (c(3), 2.0)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The per-link traffic cost model.
+//!
+//! One unit of affinity (roughly: one invocation per journal window)
+//! between complets on Cores `a` and `b` costs `pair_cost(a, b)`; the
+//! partitioner minimises the weighted sum. Costs are calibrated from the
+//! simnet substrate the Cores actually run on:
+//!
+//! * **latency** — the configured one-way propagation delay, the
+//!   dominant term for request/reply traffic;
+//! * **bandwidth** — serialisation time of a typical envelope, so thin
+//!   pipes price higher than fat ones at equal latency;
+//! * **observed loss** — each drop costs a retransmission round, so a
+//!   lossy link multiplies the expected per-message cost by the expected
+//!   number of attempts `1 / (1 - loss)`.
+//!
+//! Co-located traffic costs zero: the Core short-circuits local
+//! invocations without touching the network.
+
+use std::collections::BTreeMap;
+
+use simnet::Network;
+
+/// Assumed payload of a typical invocation envelope when converting
+/// bandwidth to a per-message serialisation cost.
+const TYPICAL_MSG_BYTES: f64 = 512.0;
+
+/// Loss is clamped below 1 so the expected-attempts factor stays finite.
+const MAX_LOSS: f64 = 0.95;
+
+/// Symmetric per-Core-pair traffic costs in microseconds per unit of
+/// affinity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    cores: Vec<u32>,
+    pair: BTreeMap<(u32, u32), f64>,
+}
+
+fn canonical(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+impl CostModel {
+    /// A model where every distinct pair costs 1 — useful for tests and
+    /// as a topology-blind fallback.
+    pub fn uniform(cores: &[u32]) -> CostModel {
+        let mut pair = BTreeMap::new();
+        for (i, &a) in cores.iter().enumerate() {
+            for &b in &cores[i + 1..] {
+                pair.insert(canonical(a, b), 1.0);
+            }
+        }
+        CostModel {
+            cores: cores.to_vec(),
+            pair,
+        }
+    }
+
+    /// Calibrates the model from the network, restricted to `cores`
+    /// (node indices of live Cores). Direction asymmetries are averaged:
+    /// invocation traffic is request/reply, so both directions pay.
+    pub fn from_network(net: &Network, cores: &[u32]) -> CostModel {
+        let ids: BTreeMap<u32, simnet::NodeId> = net
+            .node_ids()
+            .into_iter()
+            .map(|id| (id.index(), id))
+            .collect();
+        let mut pair = BTreeMap::new();
+        for (i, &a) in cores.iter().enumerate() {
+            for &b in &cores[i + 1..] {
+                let (Some(&na), Some(&nb)) = (ids.get(&a), ids.get(&b)) else {
+                    continue;
+                };
+                let cost = (directed_cost(net, na, nb) + directed_cost(net, nb, na)) / 2.0;
+                pair.insert(canonical(a, b), cost);
+            }
+        }
+        CostModel {
+            cores: cores.to_vec(),
+            pair,
+        }
+    }
+
+    /// The node indices this model covers.
+    pub fn cores(&self) -> &[u32] {
+        &self.cores
+    }
+
+    /// Cost of one unit of affinity between Cores `a` and `b`
+    /// (0 when co-located or unknown).
+    pub fn pair_cost(&self, a: u32, b: u32) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.pair.get(&canonical(a, b)).copied().unwrap_or(0.0)
+    }
+}
+
+/// Expected per-message cost of the directed link `src -> dst` in
+/// microseconds: (latency + serialisation) × expected attempts.
+fn directed_cost(net: &Network, src: simnet::NodeId, dst: simnet::NodeId) -> f64 {
+    let latency_us = net
+        .model_latency(src, dst)
+        .map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    let ser_us = net
+        .model_bandwidth(src, dst)
+        .ok()
+        .flatten()
+        .map_or(0.0, |bytes_per_sec| {
+            TYPICAL_MSG_BYTES / bytes_per_sec as f64 * 1e6
+        });
+    // Prefer the loss actually observed on the link; fall back to the
+    // configured probability while the link is still quiet.
+    let stats = net.link_stats(src, dst);
+    let sent = stats.messages + stats.dropped;
+    let loss = if sent >= 20 {
+        stats.dropped as f64 / sent as f64
+    } else {
+        net.link_config(src, dst).map_or(0.0, |c| c.loss)
+    };
+    let attempts = 1.0 / (1.0 - loss.clamp(0.0, MAX_LOSS));
+    // Even an instant, lossless link prices remote above local: the
+    // envelope still pays marshalling and a scheduler hop.
+    ((latency_us + ser_us) * attempts).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LinkConfig, NetworkConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn uniform_prices_all_distinct_pairs_equally() {
+        let m = CostModel::uniform(&[0, 1, 2]);
+        assert_eq!(m.pair_cost(0, 1), 1.0);
+        assert_eq!(m.pair_cost(2, 0), 1.0);
+        assert_eq!(m.pair_cost(1, 1), 0.0, "co-located traffic is free");
+    }
+
+    #[test]
+    fn latency_dominates_calibration() {
+        let net = Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::new(Duration::from_millis(2))),
+            ..NetworkConfig::default()
+        });
+        let a = net.add_node("a").unwrap();
+        let _b = net.add_node("b").unwrap();
+        let c = net.add_node("c").unwrap();
+        net.set_link(a.id(), c.id(), LinkConfig::new(Duration::from_millis(8)))
+            .unwrap();
+        let m = CostModel::from_network(&net, &[0, 1, 2]);
+        assert!(
+            m.pair_cost(0, 2) > 3.0 * m.pair_cost(0, 1),
+            "8ms link must price well above 2ms: {} vs {}",
+            m.pair_cost(0, 2),
+            m.pair_cost(0, 1)
+        );
+    }
+
+    #[test]
+    fn configured_loss_raises_cost_before_traffic_flows() {
+        let net = Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::new(Duration::from_millis(1))),
+            ..NetworkConfig::default()
+        });
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let c = net.add_node("c").unwrap();
+        net.set_link(
+            a.id(),
+            c.id(),
+            LinkConfig::new(Duration::from_millis(1)).with_loss(0.5),
+        )
+        .unwrap();
+        let _ = b;
+        let m = CostModel::from_network(&net, &[0, 1, 2]);
+        assert!(
+            m.pair_cost(0, 2) > 1.5 * m.pair_cost(0, 1),
+            "50% loss must roughly double the expected cost"
+        );
+    }
+
+    #[test]
+    fn instant_links_still_price_remote_above_local() {
+        let net = Network::new(NetworkConfig::default());
+        net.add_node("a").unwrap();
+        net.add_node("b").unwrap();
+        let m = CostModel::from_network(&net, &[0, 1]);
+        assert!(m.pair_cost(0, 1) >= 1.0);
+        assert_eq!(m.pair_cost(0, 0), 0.0);
+    }
+}

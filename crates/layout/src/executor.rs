@@ -1,0 +1,222 @@
+//! The plan executor: rate-limited, abortable, journal-verified.
+//!
+//! Each step rides the Core's two-phase move protocol
+//! (`MovePrepare` → `MoveCommit`, PR 3), so a crash or lost reply can
+//! never leave two live copies — the executor's own failure handling is
+//! about *plan* atomicity, not copy safety. After each `move_complet`
+//! the step is verified against the flight recorder: the journal must
+//! show a `CompletArrived` for the complet at the destination after the
+//! step began, and the tracker layer must locate it there. On a failed
+//! or unverifiable step the executor stops, rolls the already-executed
+//! steps back (reverse order), journals the rollback, and reports — the
+//! closed loop then re-plans from whatever state reality is in.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fargo_core::{Core, Hlc, JournalKind};
+
+use crate::plan::{LayoutPlan, MoveStep};
+
+/// Executor tunables.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Pause between consecutive steps: relocation competes with the
+    /// application for links, so plans drain gradually.
+    pub step_interval: Duration,
+    /// How long to wait for a step's arrival event to appear in the
+    /// journal before declaring the step failed.
+    pub verify_timeout: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> ExecutorConfig {
+        ExecutorConfig {
+            step_interval: Duration::from_millis(10),
+            verify_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What happened to one plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionReport {
+    pub plan_id: u64,
+    /// Steps that moved and verified.
+    pub executed: usize,
+    /// Steps undone after a later failure.
+    pub rolled_back: usize,
+    /// True when the abort flag stopped the plan early.
+    pub aborted: bool,
+    /// Human-readable failure descriptions, in occurrence order.
+    pub failures: Vec<String>,
+}
+
+impl ExecutionReport {
+    /// Every step ran and verified.
+    pub fn complete(&self, plan: &LayoutPlan) -> bool {
+        !self.aborted && self.failures.is_empty() && self.executed == plan.steps.len()
+    }
+}
+
+/// Executes [`LayoutPlan`]s against a Core.
+pub struct Executor {
+    core: Core,
+    cfg: ExecutorConfig,
+    abort: Arc<AtomicBool>,
+}
+
+impl Executor {
+    pub fn new(core: Core, cfg: ExecutorConfig) -> Executor {
+        Executor {
+            core,
+            cfg,
+            abort: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A handle that stops the executor between steps when set. The flag
+    /// is re-armed (cleared) at the start of every `execute` call.
+    pub fn abort_handle(&self) -> Arc<AtomicBool> {
+        self.abort.clone()
+    }
+
+    /// Runs the plan to completion, rollback, or abort.
+    pub fn execute(&self, plan: &LayoutPlan) -> ExecutionReport {
+        self.abort.store(false, Ordering::SeqCst);
+        let mut report = ExecutionReport {
+            plan_id: plan.id,
+            ..ExecutionReport::default()
+        };
+        if plan.is_empty() {
+            return report;
+        }
+        self.core.journal_note(
+            JournalKind::PlanProposed,
+            &format!("plan{}", plan.id),
+            &plan.steps.len().to_string(),
+            &format!("{:.1}", plan.predicted_delta()),
+            None,
+        );
+        let mut done: Vec<MoveStep> = Vec::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            if self.abort.load(Ordering::SeqCst) {
+                report.aborted = true;
+                break;
+            }
+            if i > 0 {
+                thread::sleep(self.cfg.step_interval);
+            }
+            match self.run_step(plan.id, step) {
+                Ok(()) => {
+                    report.executed += 1;
+                    done.push(*step);
+                }
+                Err(reason) => {
+                    report.failures.push(reason.clone());
+                    report.rolled_back = self.rollback(plan.id, &done, &reason);
+                    return report;
+                }
+            }
+        }
+        report
+    }
+
+    /// One journaled, verified move.
+    fn run_step(&self, plan_id: u64, step: &MoveStep) -> Result<(), String> {
+        let started = self.core.hlc_now();
+        let dest = self.core.core_name_of(step.to);
+        self.core.journal_note(
+            JournalKind::PlanStep,
+            &step.complet.to_string(),
+            &format!("plan{plan_id}"),
+            &format!("gain {:.1}", step.predicted_gain),
+            Some(step.to),
+        );
+        self.core
+            .move_complet(step.complet, &dest, None)
+            .map_err(|e| format!("{} -> {dest}: {e}", step.complet))?;
+        self.verify_arrival(step, started)
+    }
+
+    /// A step only counts once the journal shows the arrival at the
+    /// destination and the tracker layer agrees on the location.
+    fn verify_arrival(&self, step: &MoveStep, started: Hlc) -> Result<(), String> {
+        let deadline = Instant::now() + self.cfg.verify_timeout;
+        let subject = step.complet.to_string();
+        loop {
+            let journaled = self.core.collect_journal().iter().any(|ev| {
+                ev.kind == fargo_core::JournalKind::CompletArrived
+                    && ev.subject == subject
+                    && ev.core == step.to
+                    && ev.hlc > started
+            });
+            if journaled {
+                match self.core.locate(step.complet) {
+                    Ok(at) if at == step.to => return Ok(()),
+                    _ => {} // arrival seen but location not settled yet
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "{} move to {} unverified after {:?}",
+                    step.complet,
+                    self.core.core_name_of(step.to),
+                    self.cfg.verify_timeout
+                ));
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Undoes executed steps in reverse order, best effort. Returns how
+    /// many undo moves succeeded.
+    fn rollback(&self, plan_id: u64, done: &[MoveStep], reason: &str) -> usize {
+        self.core.journal_note(
+            JournalKind::PlanRollback,
+            &format!("plan{plan_id}"),
+            &done.len().to_string(),
+            reason,
+            None,
+        );
+        let mut undone = 0;
+        for step in done.iter().rev() {
+            let back = self.core.core_name_of(step.from);
+            // On a failed undo the two-phase protocol still guarantees a
+            // single live copy; the complet just stays at its new Core
+            // for the next round to reconsider.
+            if self.core.move_complet(step.complet, &back, None).is_ok() {
+                undone += 1;
+                self.core.journal_note(
+                    JournalKind::PlanRollback,
+                    &step.complet.to_string(),
+                    &format!("plan{plan_id}"),
+                    "undo",
+                    Some(step.from),
+                );
+            }
+        }
+        undone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_a_noop_report() {
+        // Constructing a Core here would drag in the full runtime; the
+        // empty-plan early-return is pure logic and worth pinning down
+        // (integration tests cover the live paths).
+        let plan = LayoutPlan::default();
+        let report = ExecutionReport {
+            plan_id: plan.id,
+            ..ExecutionReport::default()
+        };
+        assert!(report.complete(&plan));
+        assert_eq!(report.executed, 0);
+    }
+}

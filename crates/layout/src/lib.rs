@@ -1,0 +1,81 @@
+//! # fargo-layout — the adaptive layout planner
+//!
+//! FarGo's monitoring facility (§4.1) and relocation semantics (§3) exist
+//! so that an application's layout can be *changed at runtime to match
+//! observed behaviour* — but in the paper the decision loop is left to
+//! administrators and layout scripts. This crate closes the loop: it
+//! consumes the signals the runtime already produces and moves complets
+//! on its own.
+//!
+//! The pipeline, run by one admin Core:
+//!
+//! 1. **[`AffinityGraph`]** — weighted complet-to-complet edges derived
+//!    from the flight-recorder journal (invoke traffic and ref-graph
+//!    structure) blended with the monitor's invoke-rate averages.
+//! 2. **[`CostModel`]** — per-Core-pair traffic costs calibrated from
+//!    simnet link characteristics (latency, bandwidth, observed loss).
+//! 3. **[`partition`]** — a greedy edge-contraction seed refined by
+//!    bounded local search under per-Core capacity constraints.
+//! 4. **[`LayoutPlan`]** — the placement diff as `move_complet` steps,
+//!    each with a predicted traffic-cost delta; plans below the
+//!    hysteresis threshold are discarded.
+//! 5. **[`Executor`]** — rate-limited, abortable execution over the
+//!    two-phase move protocol, verifying each step through journal
+//!    arrival events and rolling the plan back when a step fails.
+//!
+//! [`AutoLayout`] ties the stages into a closed loop driven by the Core's
+//! monitor tick, with an `autolayout` script action and shell commands
+//! (`plan`, `rebalance`, `autolayout on|off|status`) layered on top.
+
+mod affinity;
+mod auto;
+mod cost;
+mod executor;
+mod partition;
+mod plan;
+mod planner;
+
+pub use affinity::AffinityGraph;
+pub use auto::{register_script_action, AutoLayout, AutoLayoutStatus};
+pub use cost::CostModel;
+pub use executor::{ExecutionReport, Executor, ExecutorConfig};
+pub use partition::{assignment_cost, partition, PartitionProblem};
+pub use plan::{LayoutPlan, MoveStep};
+pub use planner::{Planner, PlannerConfig};
+
+use fargo_wire::CompletId;
+
+/// Parses the `cN.M` rendering of a complet id (the journal's subject
+/// format).
+pub(crate) fn parse_complet_id(s: &str) -> Option<CompletId> {
+    let rest = s.strip_prefix('c')?;
+    let (origin, seq) = rest.split_once('.')?;
+    Some(CompletId::new(origin.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Sequence 0 is reserved by the Core for the per-node application
+/// pseudo-complet (invocations issued outside any complet). Such sources
+/// are real traffic endpoints but can never be moved; the planner pins
+/// them to their origin node.
+pub(crate) fn is_app_pseudo(id: CompletId) -> bool {
+    id.seq == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complet_id_round_trips() {
+        let id = CompletId::new(3, 17);
+        assert_eq!(parse_complet_id(&id.to_string()), Some(id));
+        assert_eq!(parse_complet_id("nope"), None);
+        assert_eq!(parse_complet_id("c3"), None);
+    }
+
+    #[test]
+    fn app_pseudo_is_seq_zero() {
+        assert!(is_app_pseudo(CompletId::new(2, 0)));
+        assert!(!is_app_pseudo(CompletId::new(2, 1)));
+    }
+}

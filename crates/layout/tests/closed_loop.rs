@@ -1,0 +1,243 @@
+//! Closed-loop integration tests: a skewed workload must converge to
+//! co-location under simnet jitter, and a failed plan step must roll
+//! back cleanly with exactly one live copy per complet.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fargo_core::{define_complet, CompletRegistry, Core, CoreConfig, JournalKind, Value};
+use fargo_layout::{AutoLayout, Executor, ExecutorConfig, LayoutPlan, MoveStep, PlannerConfig};
+use fargo_wire::CompletId;
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+define_complet! {
+    /// A tiny service the driver hammers.
+    pub complet Echo {
+        state {
+            hits: i64 = 0,
+        }
+        fn touch(&mut self, _ctx, _args) {
+            self.hits += 1;
+            Ok(Value::I64(self.hits))
+        }
+    }
+}
+
+fn registry() -> CompletRegistry {
+    let reg = CompletRegistry::new();
+    Echo::register(&reg);
+    reg
+}
+
+fn jittery_network(seed: u64) -> Network {
+    Network::new(NetworkConfig {
+        default_link: Some(
+            LinkConfig::new(Duration::from_millis(1)).with_jitter(Duration::from_micros(500)),
+        ),
+        seed,
+        ..NetworkConfig::default()
+    })
+}
+
+fn spawn_cluster(net: &Network, n: usize, config: &CoreConfig) -> Vec<Core> {
+    let reg = registry();
+    (0..n)
+        .map(|i| {
+            Core::builder(net, &format!("core{i}"))
+                .registry(&reg)
+                .config(config.clone())
+                .spawn()
+                .expect("core must spawn")
+        })
+        .collect()
+}
+
+/// How many Cores currently host `id` (the single-live-copy invariant).
+fn live_copies(cores: &[Core], id: CompletId) -> usize {
+    cores.iter().filter(|c| c.hosts(id)).count()
+}
+
+#[test]
+fn skewed_traffic_converges_to_colocation() {
+    let net = jittery_network(7);
+    let config = CoreConfig {
+        monitor_tick: Duration::from_millis(10),
+        rpc_timeout: Duration::from_secs(5),
+        ..CoreConfig::default()
+    }
+    // Plan every 2 ticks with a low dead band so the test turns quickly.
+    .with_autolayout(2, 0.01, 4);
+    let cores = spawn_cluster(&net, 2, &config);
+
+    // The service lives on core1; all traffic comes from core0's driver
+    // (journaled as the app pseudo-complet c0.0, pinned to core0).
+    let echo = cores[0].new_complet_at("core1", "Echo", &[]).unwrap();
+    let id = echo.id();
+    assert!(cores[1].hosts(id));
+
+    let auto = AutoLayout::attach(cores[0].clone());
+    auto.enable();
+
+    // Drive skewed traffic until the loop pulls the service to core0.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cores[0].hosts(id) {
+        assert!(
+            Instant::now() < deadline,
+            "planner never co-located the service with its caller; status {:?}",
+            auto.status()
+        );
+        for _ in 0..10 {
+            echo.call("touch", &[]).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(live_copies(&cores, id), 1, "exactly one live copy");
+
+    // With traffic now local the loop must settle: three move-free
+    // rounds in a row, journaled as plan_converge.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !auto.status().converged() {
+        assert!(
+            Instant::now() < deadline,
+            "planner kept churning after co-location; status {:?}",
+            auto.status()
+        );
+        for _ in 0..10 {
+            echo.call("touch", &[]).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cores[0].hosts(id), "settled layout keeps the co-location");
+    let kinds: Vec<JournalKind> = cores[0].collect_journal().iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&JournalKind::PlanProposed),
+        "the executed plan must be journaled"
+    );
+    assert!(
+        kinds.contains(&JournalKind::PlanStep),
+        "each step must be journaled"
+    );
+    assert!(
+        kinds.contains(&JournalKind::PlanConverged),
+        "convergence must be journaled"
+    );
+
+    auto.detach();
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn failed_step_rolls_back_to_single_copies() {
+    let net = jittery_network(11);
+    let config = CoreConfig {
+        monitor_tick: Duration::from_millis(10),
+        // Short timeouts so the move to the dead Core fails fast.
+        rpc_timeout: Duration::from_millis(300),
+        transit_wait: Duration::from_millis(300),
+        ..CoreConfig::default()
+    };
+    let cores = spawn_cluster(&net, 3, &config);
+
+    let a = cores[0].new_complet("Echo", &[]).unwrap();
+    let b = cores[0].new_complet("Echo", &[]).unwrap();
+
+    // core2 dies before the plan runs; its step must fail and undo the
+    // step that already executed.
+    net.set_node_up(cores[2].node(), false).unwrap();
+
+    let plan = LayoutPlan {
+        id: 99,
+        steps: vec![
+            MoveStep {
+                complet: a.id(),
+                from: 0,
+                to: 1,
+                predicted_gain: 2.0,
+            },
+            MoveStep {
+                complet: b.id(),
+                from: 0,
+                to: 2,
+                predicted_gain: 1.0,
+            },
+        ],
+        current_cost: 3.0,
+        planned_cost: 0.0,
+    };
+    let executor = Executor::new(
+        cores[0].clone(),
+        ExecutorConfig {
+            step_interval: Duration::from_millis(1),
+            verify_timeout: Duration::from_secs(2),
+        },
+    );
+    let report = executor.execute(&plan);
+
+    assert!(!report.complete(&plan));
+    assert_eq!(report.executed, 1, "the first step lands");
+    assert_eq!(report.failures.len(), 1, "the second step fails");
+    assert_eq!(report.rolled_back, 1, "the first step is undone");
+
+    // Rollback restores the original placement with one copy each.
+    assert!(cores[0].hosts(a.id()), "a must be back on core0");
+    assert!(cores[0].hosts(b.id()), "b never left core0");
+    assert_eq!(live_copies(&cores[..2], a.id()), 1);
+    assert_eq!(live_copies(&cores[..2], b.id()), 1);
+
+    // The decision trail is in the journal: proposal, steps, rollback.
+    let events = cores[0].collect_journal();
+    let has = |k: JournalKind| events.iter().any(|e| e.kind == k);
+    assert!(has(JournalKind::PlanProposed));
+    assert!(has(JournalKind::PlanStep));
+    assert!(has(JournalKind::PlanRollback));
+
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn planner_preview_reads_live_traffic() {
+    let net = jittery_network(23);
+    let config = CoreConfig {
+        monitor_tick: Duration::from_millis(10),
+        ..CoreConfig::default()
+    };
+    let cores = spawn_cluster(&net, 2, &config);
+    let echo = cores[0].new_complet_at("core1", "Echo", &[]).unwrap();
+    for _ in 0..50 {
+        echo.call("touch", &[]).unwrap();
+    }
+
+    let auto = AutoLayout::attach_with(
+        cores[0].clone(),
+        PlannerConfig {
+            hysteresis: 0.01,
+            ..PlannerConfig::default()
+        },
+        ExecutorConfig::default(),
+    );
+    // Preview plans without executing: the skew is visible, the move is
+    // proposed, and nothing actually moves.
+    let plan = auto.preview();
+    assert_eq!(
+        plan.steps.len(),
+        1,
+        "one skewed service, one move: {plan:?}"
+    );
+    assert_eq!(plan.steps[0].complet, echo.id());
+    assert_eq!(plan.steps[0].to, 0, "towards the caller's Core");
+    assert!(plan.predicted_delta() > 0.0);
+    assert!(cores[1].hosts(echo.id()), "preview must not move anything");
+
+    // The same signals as a placement map, for the record.
+    let placement: BTreeMap<CompletId, u32> = auto.planner().placement();
+    assert_eq!(placement.get(&echo.id()), Some(&1));
+
+    auto.detach();
+    for c in &cores {
+        c.stop();
+    }
+}

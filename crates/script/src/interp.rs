@@ -60,6 +60,11 @@ impl ScriptEngine {
         self.actions.write().insert(name.to_owned(), handler);
     }
 
+    /// Whether a custom action is registered under `name`.
+    pub fn has_action(&self, name: &str) -> bool {
+        self.actions.read().contains_key(name)
+    }
+
     /// Lines produced by `log` actions and rule failures, oldest first.
     pub fn log_lines(&self) -> Vec<String> {
         self.log.lock().clone()

@@ -291,6 +291,7 @@ fn custom_actions_extend_the_language() {
     let engine = ScriptEngine::new(cores[0].clone());
     let hits = Arc::new(AtomicUsize::new(0));
     let h = hits.clone();
+    assert!(!engine.has_action("alert"));
     engine.register_action(
         "alert",
         Arc::new(move |ctx, args| {
@@ -300,6 +301,7 @@ fn custom_actions_extend_the_language() {
             Ok(())
         }),
     );
+    assert!(engine.has_action("alert"));
     let _script = engine
         .load("on arrived listenAt \"core1\" do alert \"x\" end", vec![])
         .unwrap();

@@ -5,6 +5,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use fargo_core::{CompletId, CompletRef, Core, FargoError, RefDescriptor, Service, Value};
+use fargo_layout::{register_script_action, AutoLayout};
 use fargo_script::{ScriptEngine, ScriptError, ScriptValue};
 
 /// Errors from shell command execution.
@@ -61,6 +62,7 @@ impl From<ScriptError> for ShellError {
 pub struct Shell {
     core: Core,
     engine: ScriptEngine,
+    auto: AutoLayout,
 }
 
 const HELP: &str = "\
@@ -83,6 +85,10 @@ FarGo shell commands:
   journal [<n>]                      merged cluster-wide layout journal
                                      (last n events; default 20)
   anomalies                          layout anomaly pass over the journal
+  plan                               preview the adaptive layout plan the
+                                     planner would execute right now
+  rebalance                          plan and execute one layout round
+  autolayout on|off|status           closed-loop adaptive relocation
   stats [full]                       runtime counters; 'full' renders the
                                      whole metrics exposition (incl. links)
   trace [<id>]                       span tree of a trace (default: the
@@ -96,13 +102,20 @@ impl Shell {
     /// Binds a shell to an admin Core.
     pub fn new(core: Core) -> Self {
         let engine = ScriptEngine::new(core.clone());
-        Shell { core, engine }
+        let auto = AutoLayout::attach(core.clone());
+        register_script_action(&engine, &auto);
+        Shell { core, engine, auto }
     }
 
     /// The script engine backing the `script` command (register custom
     /// actions here).
     pub fn engine(&self) -> &ScriptEngine {
         &self.engine
+    }
+
+    /// The adaptive layout loop backing `plan`/`rebalance`/`autolayout`.
+    pub fn autolayout(&self) -> &AutoLayout {
+        &self.auto
     }
 
     /// Executes one command line and returns its output.
@@ -133,6 +146,9 @@ impl Shell {
             "layout" => self.cmd_layout(&rest),
             "journal" => self.cmd_journal(&rest),
             "anomalies" => self.cmd_anomalies(),
+            "plan" => self.cmd_plan(),
+            "rebalance" => self.cmd_rebalance(),
+            "autolayout" => self.cmd_autolayout(&rest),
             "stats" => self.cmd_stats(&rest),
             "trace" => self.cmd_trace(&rest),
             "ping" => self.cmd_ping(&rest),
@@ -352,7 +368,8 @@ impl Shell {
     /// Runs the anomaly pass (long chains, ping-pong, orphans) over the
     /// merged journal.
     fn cmd_anomalies(&self) -> Result<String, ShellError> {
-        let anomalies = self.core.layout_history().anomalies();
+        let thresholds = self.core.config().anomaly_thresholds();
+        let anomalies = self.core.layout_history().anomalies_with(&thresholds);
         if anomalies.is_empty() {
             return Ok("(no layout anomalies)".to_owned());
         }
@@ -361,6 +378,58 @@ impl Shell {
             writeln!(out, "{a}").expect("write to string");
         }
         Ok(out)
+    }
+
+    /// Previews the plan the adaptive planner would execute right now,
+    /// without moving anything.
+    fn cmd_plan(&self) -> Result<String, ShellError> {
+        let plan = self.auto.preview();
+        Ok(plan.render(&|n| self.core.core_name_of(n)))
+    }
+
+    /// One synchronous planning round: plan, execute, verify.
+    fn cmd_rebalance(&self) -> Result<String, ShellError> {
+        let (plan, report) = self.auto.run_once();
+        let mut out = plan.render(&|n| self.core.core_name_of(n));
+        if !plan.is_empty() {
+            writeln!(
+                out,
+                "executed {} step(s), {} rolled back",
+                report.executed, report.rolled_back
+            )
+            .expect("write to string");
+            for f in &report.failures {
+                writeln!(out, "failed: {f}").expect("write to string");
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_autolayout(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "autolayout on|off|status";
+        match args {
+            ["on"] => {
+                self.auto.enable();
+                Ok("autolayout enabled".to_owned())
+            }
+            ["off"] => {
+                self.auto.disable();
+                Ok("autolayout disabled".to_owned())
+            }
+            ["status"] | [] => {
+                let s = self.auto.status();
+                Ok(format!(
+                    "autolayout {}: rounds={} moves={} rollbacks={} stable_rounds={} converged={}",
+                    if s.enabled { "on" } else { "off" },
+                    s.rounds,
+                    s.moves_executed,
+                    s.rollbacks,
+                    s.stable_rounds,
+                    s.converged(),
+                ))
+            }
+            _ => Err(ShellError::Usage(usage)),
+        }
     }
 
     fn cmd_layout_live(&self) -> Result<String, ShellError> {

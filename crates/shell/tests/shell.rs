@@ -231,3 +231,47 @@ fn refs_inspects_remote_cores() {
         c.stop();
     }
 }
+
+#[test]
+fn plan_and_autolayout_commands_drive_the_loop() {
+    let (cores, shell) = setup();
+
+    // No traffic yet: the planner has nothing to say.
+    let out = shell.exec("plan").unwrap();
+    assert!(out.contains("no moves"), "{out}");
+
+    // Skew traffic towards a remote complet, then preview again: the
+    // plan proposes pulling it to the shell's Core without moving it.
+    shell.exec("new Message at core1 as postbox").unwrap();
+    for _ in 0..40 {
+        shell.exec("call postbox print").unwrap();
+    }
+    let out = shell.exec("plan").unwrap();
+    assert!(out.contains("-> core0"), "{out}");
+    let whereis = shell.exec("whereis postbox").unwrap();
+    assert!(whereis.contains("core1"), "plan must not move: {whereis}");
+
+    // rebalance executes the round for real.
+    let out = shell.exec("rebalance").unwrap();
+    assert!(out.contains("executed 1 step(s)"), "{out}");
+    let whereis = shell.exec("whereis postbox").unwrap();
+    assert!(whereis.contains("core0"), "{whereis}");
+
+    // The toggle and status surface the loop state.
+    assert!(shell.exec("autolayout on").unwrap().contains("enabled"));
+    let status = shell.exec("autolayout status").unwrap();
+    assert!(status.contains("autolayout on"), "{status}");
+    assert!(status.contains("moves=1"), "{status}");
+    assert!(shell.exec("autolayout off").unwrap().contains("disabled"));
+
+    // The decision trail landed in the journal.
+    let journal = shell.exec("journal 200").unwrap();
+    assert!(journal.contains("plan_propose"), "{journal}");
+    assert!(journal.contains("plan_step"), "{journal}");
+
+    // And the script engine gained the autolayout action.
+    assert!(shell.engine().has_action("autolayout"));
+    for c in &cores {
+        c.stop();
+    }
+}

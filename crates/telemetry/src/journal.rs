@@ -206,6 +206,18 @@ pub enum JournalKind {
     /// A reply could not be sent back to its requester (the lost-reply
     /// half of an at-most-once exchange).
     ReplyDropped,
+    /// The adaptive layout planner proposed a plan (subject = plan id,
+    /// object = step count, detail = predicted cost delta).
+    PlanProposed,
+    /// One plan step was handed to the move machinery (subject = complet,
+    /// object = plan id, peer = destination node).
+    PlanStep,
+    /// A planning round ended with no moves to make (subject = plan id,
+    /// detail = consecutive stable rounds).
+    PlanConverged,
+    /// A plan step failed and previously executed steps were undone
+    /// (subject = complet or plan id, detail = reason).
+    PlanRollback,
 }
 
 impl JournalKind {
@@ -228,6 +240,10 @@ impl JournalKind {
             JournalKind::MoveCommitted => "move_commit",
             JournalKind::MoveAborted => "move_abort",
             JournalKind::ReplyDropped => "reply_drop",
+            JournalKind::PlanProposed => "plan_propose",
+            JournalKind::PlanStep => "plan_step",
+            JournalKind::PlanConverged => "plan_converge",
+            JournalKind::PlanRollback => "plan_rollback",
         }
     }
 
@@ -250,6 +266,10 @@ impl JournalKind {
             "move_commit" => JournalKind::MoveCommitted,
             "move_abort" => JournalKind::MoveAborted,
             "reply_drop" => JournalKind::ReplyDropped,
+            "plan_propose" => JournalKind::PlanProposed,
+            "plan_step" => JournalKind::PlanStep,
+            "plan_converge" => JournalKind::PlanConverged,
+            "plan_rollback" => JournalKind::PlanRollback,
             _ => return None,
         })
     }
@@ -442,7 +462,12 @@ impl LayoutState {
             | JournalKind::MovePrepared
             | JournalKind::MoveCommitted
             | JournalKind::MoveAborted
-            | JournalKind::ReplyDropped => {}
+            | JournalKind::ReplyDropped
+            // Planner decisions are commentary on the layout, not layout.
+            | JournalKind::PlanProposed
+            | JournalKind::PlanStep
+            | JournalKind::PlanConverged
+            | JournalKind::PlanRollback => {}
         }
     }
 
@@ -523,6 +548,33 @@ impl fmt::Display for Anomaly {
 /// Chains of at least this many hops are flagged by the anomaly pass.
 pub const LONG_CHAIN_THRESHOLD: usize = 3;
 
+/// Tunable knobs for the anomaly pass. The defaults reproduce the
+/// historical hard-coded behaviour; Cores surface these as `CoreConfig`
+/// fields so the planner and tests can tighten or relax them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyThresholds {
+    /// Forwarding chains of at least this many hops are flagged.
+    pub long_chain_hops: usize,
+    /// An arrival sequence needs at least this many A-B-A returns to be
+    /// flagged as ping-pong.
+    pub ping_pong_returns: usize,
+    /// A dead-ended tracker is only flagged once its last tracker event
+    /// is at least this many microseconds older than the newest event in
+    /// the timeline (0 = flag immediately, the historical behaviour).
+    /// Young dead ends are usually just a move still in flight.
+    pub orphan_min_age_us: u64,
+}
+
+impl Default for AnomalyThresholds {
+    fn default() -> AnomalyThresholds {
+        AnomalyThresholds {
+            long_chain_hops: LONG_CHAIN_THRESHOLD,
+            ping_pong_returns: 2,
+            orphan_min_age_us: 0,
+        }
+    }
+}
+
 /// The merged, causally-ordered timeline plus reconstruction over it.
 #[derive(Debug, Clone, Default)]
 pub struct LayoutHistory {
@@ -562,10 +614,31 @@ impl LayoutHistory {
     }
 
     /// Flags long forwarding chains, movement ping-pong, and orphaned
-    /// trackers in the final state / movement record.
+    /// trackers in the final state / movement record, using the default
+    /// thresholds.
     pub fn anomalies(&self) -> Vec<Anomaly> {
+        self.anomalies_with(&AnomalyThresholds::default())
+    }
+
+    /// The anomaly pass with explicit thresholds.
+    pub fn anomalies_with(&self, thresholds: &AnomalyThresholds) -> Vec<Anomaly> {
         let state = self.final_state();
         let mut out = Vec::new();
+        let newest_us = self.events.last().map_or(0, |e| e.hlc.wall_us);
+        // Last tracker activity per (node, complet), for the orphan age
+        // gate: a chain that dead-ends because a move is mid-flight will
+        // have fresh tracker events and should not be flagged yet.
+        let mut tracker_seen: BTreeMap<(u32, &str), u64> = BTreeMap::new();
+        for ev in &self.events {
+            if matches!(
+                ev.kind,
+                JournalKind::TrackerCreated
+                    | JournalKind::TrackerForwarded
+                    | JournalKind::TrackerShortened
+            ) {
+                tracker_seen.insert((ev.core, ev.subject.as_str()), ev.hlc.wall_us);
+            }
+        }
 
         // Long chains and orphans: walk every forwarding tracker, report
         // the worst chain per complet plus any dead end.
@@ -580,7 +653,7 @@ impl LayoutHistory {
                 let (path, reached) = state.chain_from(*n, complet);
                 if reached {
                     let beats = worst.as_ref().is_none_or(|(hops, _)| path.len() > *hops);
-                    if path.len() >= LONG_CHAIN_THRESHOLD && beats {
+                    if path.len() >= thresholds.long_chain_hops && beats {
                         worst = Some((
                             path.len(),
                             Anomaly::LongChain {
@@ -592,10 +665,16 @@ impl LayoutHistory {
                         ));
                     }
                 } else if !path.is_empty() && orphan.is_none() {
-                    orphan = Some(Anomaly::OrphanTracker {
-                        complet: complet.clone(),
-                        at: *n,
-                    });
+                    let last = tracker_seen
+                        .get(&(*n, complet.as_str()))
+                        .copied()
+                        .unwrap_or(0);
+                    if newest_us.saturating_sub(last) >= thresholds.orphan_min_age_us {
+                        orphan = Some(Anomaly::OrphanTracker {
+                            complet: complet.clone(),
+                            at: *n,
+                        });
+                    }
                 }
             }
             out.extend(worst.map(|(_, a)| a));
@@ -615,7 +694,7 @@ impl LayoutHistory {
                 .windows(3)
                 .filter(|w| w[0] == w[2] && w[0] != w[1])
                 .count();
-            if returns >= 2 {
+            if returns >= thresholds.ping_pong_returns.max(1) {
                 let n = seq.len();
                 out.push(Anomaly::PingPong {
                     complet: complet.to_string(),
@@ -857,6 +936,75 @@ mod tests {
         assert!(anomalies
             .iter()
             .any(|a| matches!(a, Anomaly::OrphanTracker { at: 3, .. })));
+    }
+
+    #[test]
+    fn anomaly_thresholds_are_tunable() {
+        // A 2-hop chain: below the default threshold, flagged at 2.
+        let mut events = vec![ev((1, 0), 2, 0, JournalKind::CompletArrived, "c0.1")];
+        for n in 0..2u32 {
+            let mut e = ev(
+                (2 + u64::from(n), 0),
+                n,
+                0,
+                JournalKind::TrackerForwarded,
+                "c0.1",
+            );
+            e.peer = Some(n + 1);
+            events.push(e);
+        }
+        let h = LayoutHistory::from_events(events);
+        assert!(h.anomalies().is_empty(), "default threshold is 3 hops");
+        let tight = AnomalyThresholds {
+            long_chain_hops: 2,
+            ..AnomalyThresholds::default()
+        };
+        assert!(h
+            .anomalies_with(&tight)
+            .iter()
+            .any(|a| matches!(a, Anomaly::LongChain { hops: 2, .. })));
+    }
+
+    #[test]
+    fn young_orphans_respect_min_age() {
+        // Tracker dead-ends at wall 100; newest event is at wall 150, so
+        // the orphan is 50us old.
+        let mut orphan = ev((100, 0), 3, 0, JournalKind::TrackerForwarded, "c9.9");
+        orphan.peer = Some(4);
+        let marker = ev((150, 0), 0, 0, JournalKind::Invoke, "c0.1");
+        let h = LayoutHistory::from_events(vec![orphan, marker]);
+        assert!(
+            h.anomalies()
+                .iter()
+                .any(|a| matches!(a, Anomaly::OrphanTracker { .. })),
+            "age 0 flags immediately"
+        );
+        let patient = AnomalyThresholds {
+            orphan_min_age_us: 1_000,
+            ..AnomalyThresholds::default()
+        };
+        assert!(
+            h.anomalies_with(&patient).is_empty(),
+            "a 50us-old dead end is likely a move in flight"
+        );
+    }
+
+    #[test]
+    fn plan_kinds_round_trip_and_do_not_disturb_state() {
+        for kind in [
+            JournalKind::PlanProposed,
+            JournalKind::PlanStep,
+            JournalKind::PlanConverged,
+            JournalKind::PlanRollback,
+        ] {
+            assert_eq!(JournalKind::parse(kind.as_str()), Some(kind));
+        }
+        let events = vec![
+            ev((1, 0), 0, 0, JournalKind::CompletArrived, "c0.1"),
+            ev((2, 0), 0, 1, JournalKind::PlanStep, "c0.1"),
+        ];
+        let h = LayoutHistory::from_events(events);
+        assert_eq!(h.final_state().placement.get("c0.1"), Some(&0));
     }
 
     #[test]

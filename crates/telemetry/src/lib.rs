@@ -26,8 +26,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use journal::{
-    merge_timelines, render_journal_json, Anomaly, Hlc, HlcClock, Journal, JournalEvent,
-    JournalKind, LayoutHistory, LayoutState,
+    merge_timelines, render_journal_json, Anomaly, AnomalyThresholds, Hlc, HlcClock, Journal,
+    JournalEvent, JournalKind, LayoutHistory, LayoutState,
 };
 pub use metrics::{
     render_snapshots_json, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,

@@ -8,6 +8,7 @@
 //! instant — including states no monitor was attached to witness.
 
 use fargo_core::{Core, Hlc, LayoutHistory, LayoutState};
+use fargo_layout::LayoutPlan;
 
 /// A journal-backed view of layout history across the whole cluster.
 pub struct Observatory {
@@ -54,10 +55,21 @@ impl Observatory {
         state_to_dot(&state, |n| core.core_name_of(n))
     }
 
-    /// One line per detected anomaly in the full history.
+    /// The latest ASCII frame with an adaptive layout plan drawn over
+    /// it: below the placement boxes, one arrow line per pending move,
+    /// so an operator can eyeball what the planner intends before (or
+    /// while) the executor drains it.
+    pub fn render_with_plan(&self, plan: &LayoutPlan) -> String {
+        let core = self.core.clone();
+        self.render_at(None) + &plan_overlay(plan, |n| core.core_name_of(n))
+    }
+
+    /// One line per detected anomaly in the full history, judged with the
+    /// attached Core's configured thresholds.
     pub fn anomaly_lines(&self) -> Vec<String> {
+        let thresholds = self.core.config().anomaly_thresholds();
         self.history()
-            .anomalies()
+            .anomalies_with(&thresholds)
             .into_iter()
             .map(|a| a.to_string())
             .collect()
@@ -122,6 +134,37 @@ pub fn render_state(state: &LayoutState, name_of: impl Fn(u32) -> String) -> Str
             out.push_str(&line);
             out.push('\n');
         }
+    }
+    out
+}
+
+/// Renders a [`LayoutPlan`] as an overlay section matching the frame
+/// style of [`render_state`]: the predicted cost delta, then one arrow
+/// per step.
+pub fn plan_overlay(plan: &LayoutPlan, name_of: impl Fn(u32) -> String) -> String {
+    let mut out = String::new();
+    out.push_str("+--- planned moves ");
+    out.push_str(&"-".repeat(21));
+    out.push('\n');
+    if plan.is_empty() {
+        out.push_str("|   (none: layout is settled)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "|   plan #{}: cost {:.1} -> {:.1} ({:.0}% gain)\n",
+        plan.id,
+        plan.current_cost,
+        plan.planned_cost,
+        plan.relative_gain() * 100.0
+    ));
+    for s in &plan.steps {
+        out.push_str(&format!(
+            "|   {} {} ==> {}  (gain {:.1})\n",
+            s.complet,
+            name_of(s.from),
+            name_of(s.to),
+            s.predicted_gain
+        ));
     }
     out
 }
@@ -220,5 +263,29 @@ mod tests {
     fn empty_state_renders_placeholder() {
         let state = LayoutHistory::from_events(vec![]).final_state();
         assert!(render_state(&state, |n| n.to_string()).contains("(no complets placed)"));
+    }
+
+    #[test]
+    fn plan_overlay_draws_moves_and_gain() {
+        use fargo_layout::MoveStep;
+        use fargo_wire::CompletId;
+        let plan = LayoutPlan {
+            id: 3,
+            steps: vec![MoveStep {
+                complet: CompletId::new(0, 7),
+                from: 1,
+                to: 0,
+                predicted_gain: 12.5,
+            }],
+            current_cost: 20.0,
+            planned_cost: 7.5,
+        };
+        let overlay = plan_overlay(&plan, |n| format!("core{n}"));
+        assert!(overlay.contains("planned moves"), "{overlay}");
+        assert!(overlay.contains("c0.7 core1 ==> core0"), "{overlay}");
+        assert!(overlay.contains("plan #3"), "{overlay}");
+
+        let idle = plan_overlay(&LayoutPlan::default(), |n| n.to_string());
+        assert!(idle.contains("layout is settled"), "{idle}");
     }
 }

@@ -14,6 +14,7 @@
 //! | [`core`] | the Core runtime: complets, references, movement, invocation, naming, events, monitoring |
 //! | [`wire`] | the marshal layer: `Value` graphs, ids, the binary codec |
 //! | [`simnet`] | the simulated network substrate (links, latency/bandwidth, partitions) |
+//! | [`layout`] | the adaptive layout planner: affinity graph, partitioner, closed-loop executor |
 //! | [`script`] | the §4.3 layout scripting language |
 //! | [`shell`] | the administration shell |
 //! | [`viz`] | the textual layout monitor (Figure 4) |
@@ -49,6 +50,7 @@
 //! ```
 
 pub use fargo_core as core;
+pub use fargo_layout as layout;
 pub use fargo_script as script;
 pub use fargo_shell as shell;
 pub use fargo_viz as viz;
@@ -62,6 +64,7 @@ pub mod prelude {
         CoreConfig, Ctx, EventPayload, FargoError, MetaRef, RefDescriptor, Relocator,
         RelocatorRegistry, Service, StateValue, TrackingMode, Value,
     };
+    pub use fargo_layout::AutoLayout;
     pub use fargo_script::{ScriptEngine, ScriptValue};
     pub use fargo_shell::Shell;
     pub use fargo_viz::LayoutMonitor;
