@@ -51,4 +51,14 @@ for seed in 7 11 23; do
     echo "$e15" | grep -q 'guardrail ok (attached-but-disabled ~ absent)'
 done
 
+# Deterministic schedule-explorer sweep: 1000 seeded workloads (moves,
+# invokes, relocator links, time advances, idle-tracker collections)
+# through the virtual-clock driver, every merged journal checked against
+# the invariant oracles. A failing seed shrinks to a minimal schedule,
+# is written to fargo-check-seed<N>.sched, and the exact replay command
+# is printed; `timeout` enforces the wall-time budget so a throughput
+# regression fails CI rather than stalling it.
+echo "==> fargo-check seed sweep (1000 seeds, 60s budget)"
+timeout 60 cargo run -q -p fargo-check --release -- --seeds 1000 --ops 12 --cores 3
+
 echo "CI OK"

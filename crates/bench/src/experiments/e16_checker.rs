@@ -1,0 +1,73 @@
+//! E16 — schedule-explorer throughput: seeds swept per second.
+//!
+//! The checker's value scales with how many schedules it can afford to
+//! run: the CI stage budgets one minute for 1000 seeds, and shrinking
+//! re-runs the driver dozens of times per failure. This experiment
+//! measures the deterministic driver's sweep rate (virtual clock,
+//! instant links, single worker) across schedule sizes, so a regression
+//! that would blow the CI budget shows up as a falling seeds/s figure.
+
+use std::time::Instant;
+
+use fargo_check::{sweep, SweepConfig};
+
+use crate::table::Table;
+use crate::workload::fmt_duration;
+
+pub fn run(full: bool) -> Table {
+    let mut table = Table::new(
+        "E16: schedule-explorer throughput (deterministic seed sweep)",
+        &["seeds", "ops/schedule", "elapsed", "seeds/s", "result"],
+    )
+    .with_note(
+        "guardrail: the ci.sh check stage sweeps 1000 seeds (12 ops, 3 cores) and must finish well under its 60s budget in a release build.",
+    );
+    let windows: &[(u64, usize)] = if full {
+        &[(200, 8), (200, 12), (500, 12)]
+    } else {
+        &[(50, 8), (50, 12)]
+    };
+    for &(seeds, ops) in windows {
+        let cfg = SweepConfig {
+            seeds,
+            ops,
+            shrink: false,
+            perturb: false,
+            ..SweepConfig::default()
+        };
+        let started = Instant::now();
+        let report = sweep(&cfg);
+        let elapsed = started.elapsed();
+        let rate = report.seeds_run as f64 / elapsed.as_secs_f64().max(1e-9);
+        table.row([
+            report.seeds_run.to_string(),
+            ops.to_string(),
+            fmt_duration(elapsed),
+            format!("{rate:.0}"),
+            if report.clean() {
+                "clean".to_owned()
+            } else {
+                format!("{} FAILURES", report.failures.len())
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_window_sweeps_clean() {
+        let report = sweep(&SweepConfig {
+            seeds: 3,
+            ops: 8,
+            shrink: false,
+            perturb: false,
+            ..SweepConfig::default()
+        });
+        assert_eq!(report.seeds_run, 3);
+        assert!(report.clean(), "{:?}", report.failures);
+    }
+}

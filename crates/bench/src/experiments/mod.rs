@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E15). Each module regenerates one experiment
+//! The experiment suite (E1–E16). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -16,6 +16,7 @@ pub mod e12_footprint;
 pub mod e13_journal;
 pub mod e14_retry;
 pub mod e15_planner;
+pub mod e16_checker;
 
 use crate::Table;
 
@@ -109,6 +110,11 @@ pub fn all() -> Vec<Experiment> {
             id: "E15",
             summary: "adaptive layout planner: remote-call reduction and convergence vs static and oracle layouts",
             run: e15_planner::run,
+        },
+        Experiment {
+            id: "E16",
+            summary: "schedule-explorer throughput: deterministic seeds swept per second",
+            run: e16_checker::run,
         },
     ]
 }

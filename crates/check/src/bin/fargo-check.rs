@@ -1,0 +1,190 @@
+//! The `fargo-check` CLI: seed sweeps and counterexample replay.
+//!
+//! ```text
+//! fargo-check [--seeds N] [--start S] [--ops K] [--cores C] [--stress]
+//!             [--replay SEED] [--schedule FILE] [--no-shrink] [--quiet]
+//! ```
+//!
+//! `FARGO_CHECK_SEED=<seed>` (printed by a failing sweep) replays one
+//! seed verbosely; `--schedule` replays a written counterexample file.
+//! Exit status is non-zero iff an oracle was violated.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fargo_check::driver::{run, RunConfig};
+use fargo_check::explorer::{sweep, SweepConfig};
+use fargo_check::workload::Schedule;
+use fargo_telemetry::render_journal_json;
+
+struct Args {
+    sweep: SweepConfig,
+    replay: Option<u64>,
+    schedule_file: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sweep: SweepConfig::default(),
+        replay: None,
+        schedule_file: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.sweep.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                args.sweep.start_seed = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
+            }
+            "--ops" => {
+                args.sweep.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?
+            }
+            "--cores" => {
+                args.sweep.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--replay" => {
+                args.replay = Some(
+                    value("--replay")?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                )
+            }
+            "--schedule" => args.schedule_file = Some(value("--schedule")?),
+            "--stress" => args.sweep.stress = true,
+            "--no-shrink" => {
+                args.sweep.shrink = false;
+                args.sweep.perturb = false;
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "fargo-check [--seeds N] [--start S] [--ops K] [--cores C] [--stress]\n\
+                     \x20           [--replay SEED] [--schedule FILE] [--no-shrink] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if let Ok(seed) = std::env::var("FARGO_CHECK_SEED") {
+        args.replay = Some(seed.parse().map_err(|e| format!("FARGO_CHECK_SEED: {e}"))?);
+    }
+    Ok(args)
+}
+
+fn replay(schedule: &Schedule, stress: bool, quiet: bool) -> ExitCode {
+    let report = run(
+        schedule,
+        &RunConfig {
+            stress,
+            ..RunConfig::default()
+        },
+    );
+    if !quiet {
+        println!("# schedule\n{}", schedule.to_text());
+        println!("# merged journal ({} events)", report.journal.len());
+        println!("{}", render_journal_json(&report.journal));
+    }
+    if report.failed() {
+        eprintln!("FAIL: {} violation(s)", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    } else {
+        println!("ok: {} ops, journal clean", report.ops_applied);
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fargo-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.schedule_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fargo-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let schedule = match Schedule::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fargo-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return replay(&schedule, args.sweep.stress, args.quiet);
+    }
+
+    if let Some(seed) = args.replay {
+        let schedule = Schedule::generate(seed, args.sweep.ops, args.sweep.cores);
+        return replay(&schedule, args.sweep.stress, args.quiet);
+    }
+
+    let started = Instant::now();
+    let report = sweep(&args.sweep);
+    let elapsed = started.elapsed();
+    let rate = report.seeds_run as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "swept {} seed(s) [{}..{}] x {} ops on {} cores in {:.2?} ({:.0} seeds/s): {}",
+        report.seeds_run,
+        args.sweep.start_seed,
+        args.sweep.start_seed + args.sweep.seeds,
+        args.sweep.ops,
+        args.sweep.cores,
+        elapsed,
+        rate,
+        if report.clean() { "clean" } else { "FAILURES" },
+    );
+    if report.clean() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!("\nseed {} FAILED:", f.seed);
+        for v in &f.violations {
+            eprintln!("  {v}");
+        }
+        if f.perturbed_total > 0 {
+            eprintln!(
+                "  perturbations: {}/{} one-op delays still fail ({})",
+                f.perturbed_failing,
+                f.perturbed_total,
+                if f.perturbed_failing == f.perturbed_total {
+                    "deterministic bug"
+                } else {
+                    "schedule-dependent race"
+                }
+            );
+        }
+        let file = format!("fargo-check-seed{}.sched", f.seed);
+        match std::fs::write(&file, f.schedule.to_text()) {
+            Ok(()) => eprintln!("  shrunk schedule written to {file}"),
+            Err(e) => eprintln!("  (could not write {file}: {e})"),
+        }
+        eprintln!(
+            "  replay: FARGO_CHECK_SEED={} cargo run -p fargo-check -- --ops {} --cores {}",
+            f.seed, args.sweep.ops, args.sweep.cores
+        );
+        eprintln!("  or:     cargo run -p fargo-check -- --schedule {file}");
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,518 @@
+//! Runs a [`Schedule`] against a real in-process cluster and checks the
+//! oracles after every step.
+//!
+//! **Deterministic mode** (the default): every Core shares one virtual
+//! [`Clock`], links are instant and lossless, each Core runs a single
+//! worker, and the driver waits for full quiescence (no queued work, no
+//! packet in the link model, journal length stable) between ops. Under
+//! those conditions one seed replays to one bit-identical merged journal
+//! — asserted by this crate's determinism test.
+//!
+//! **Stress mode**: the same schedule runs on wall time over lossy,
+//! jittery links, with two threads racing the non-setup ops. Semantic
+//! outcomes then depend on real schedules, so only the end-state oracles
+//! run — but the two-phase move protocol, retry/dedup layer, and epoch
+//! guards must keep them true regardless.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use fargo_core::{
+    define_complet, CompletRef, CompletRegistry, Core, CoreConfig, FargoError, Value,
+};
+use fargo_telemetry::{merge_timelines, Clock, JournalEvent};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+use crate::oracles::{self, Violation};
+use crate::workload::{Op, Schedule, RELOCATORS};
+
+define_complet! {
+    /// The workload complet: a counter (for at-most-once audits) that can
+    /// also hold one typed reference (for relocator closures).
+    pub complet ChkNode {
+        state {
+            n: i64 = 0,
+            dep: Option<fargo_core::CompletRef> = None,
+        }
+        fn add(&mut self, _ctx, _args) {
+            self.n += 1;
+            Ok(Value::I64(self.n))
+        }
+        fn get(&mut self, _ctx, _args) {
+            Ok(Value::I64(self.n))
+        }
+        fn set_dep(&mut self, ctx, args) {
+            let desc = args
+                .first()
+                .and_then(Value::as_ref_desc)
+                .cloned()
+                .ok_or_else(|| FargoError::InvalidArgument("set_dep needs a ref".into()))?;
+            let dep = fargo_core::CompletRef::from_descriptor(desc);
+            if let Some(name) = args.get(1).and_then(Value::as_str) {
+                ctx.core().meta_ref(&dep).set_relocator(name)?;
+            }
+            self.dep = Some(dep);
+            Ok(Value::Null)
+        }
+    }
+}
+
+/// How to run a schedule.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Wall clock, lossy links, racing threads (see module docs).
+    pub stress: bool,
+    /// Run the journal oracles after every op (deterministic mode only;
+    /// stress mode always defers to the end).
+    pub step_oracles: bool,
+    /// Quiescence budget per barrier, in polls (~1 ms each past the
+    /// initial spin window).
+    pub quiesce_polls: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            stress: false,
+            step_oracles: true,
+            quiesce_polls: 4000,
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Oracle breaches, in detection order; empty means the run is clean.
+    pub violations: Vec<Violation>,
+    /// The merged journal at the end of the run (the replay artifact the
+    /// determinism test compares byte-for-byte).
+    pub journal: Vec<JournalEvent>,
+    /// Ops applied before the run stopped (== schedule length unless a
+    /// step oracle fired).
+    pub ops_applied: usize,
+}
+
+impl RunReport {
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+struct Cluster {
+    net: Network,
+    cores: Vec<Core>,
+    clock: Clock,
+}
+
+impl Cluster {
+    fn spawn(schedule: &Schedule, stress: bool) -> Result<Cluster, FargoError> {
+        let (clock, link) = if stress {
+            (
+                Clock::Wall,
+                LinkConfig::new(Duration::from_micros(300))
+                    .with_jitter(Duration::from_micros(400))
+                    .with_loss(0.03),
+            )
+        } else {
+            (Clock::new_virtual(1_000_000_000), LinkConfig::instant())
+        };
+        let net = Network::new(NetworkConfig {
+            default_link: Some(link),
+            seed: schedule.seed,
+            ..NetworkConfig::default()
+        });
+        let reg = CompletRegistry::new();
+        ChkNode::register(&reg);
+        let mut cc = CoreConfig::default()
+            .with_journaling(true)
+            // Generous for a schedule's few hundred events, small enough
+            // that the quiescence poll's ring scans stay cheap.
+            .with_journal_capacity(2048)
+            .with_clock(clock.clone());
+        if stress {
+            cc = cc.with_rpc_retries(4);
+            cc.rpc_timeout = Duration::from_millis(400);
+            cc.rpc_retry_base = Duration::from_millis(5);
+            cc.rpc_retry_cap = Duration::from_millis(40);
+            cc.transit_wait = Duration::from_millis(500);
+            cc.move_hold_timeout = Duration::from_millis(50);
+            cc.worker_threads = 2;
+        } else {
+            cc.rpc_timeout = Duration::from_secs(5);
+            cc.transit_wait = Duration::from_secs(2);
+            cc.move_hold_timeout = Duration::from_secs(60);
+            cc.worker_threads = 1;
+            // Monitor ticks are the one thread that acts on its own; park
+            // it so the journal is a pure function of the schedule.
+            cc.monitor_tick = Duration::from_secs(3600);
+            cc.monitor_cache_ttl = Duration::from_secs(3600);
+        }
+        let cores = (0..schedule.cores)
+            .map(|i| {
+                Core::builder(&net, &format!("core{i}"))
+                    .registry(&reg)
+                    .config(cc.clone())
+                    .spawn()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cluster { net, cores, clock })
+    }
+
+    /// Waits until no packet is in the link model, no Core has queued or
+    /// running work, and the journals have stopped growing — twice in a
+    /// row. Returns false when the poll budget runs out (a liveness bug).
+    fn quiesce(&self, polls: u32) -> bool {
+        let mut stable = 0u32;
+        let mut last_len = u64::MAX;
+        for i in 0..polls {
+            let pending = self.net.in_flight() as usize
+                + self.cores.iter().map(Core::pending_work).sum::<usize>();
+            let len = self
+                .cores
+                .iter()
+                .map(|c| c.journal_snapshot().len() as u64)
+                .sum::<u64>();
+            if pending == 0 && len == last_len {
+                stable += 1;
+                if stable >= 2 {
+                    return true;
+                }
+            } else {
+                stable = 0;
+            }
+            last_len = len;
+            if i < 64 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        false
+    }
+
+    fn merged_journal(&self) -> Vec<JournalEvent> {
+        merge_timelines(self.cores.iter().map(|c| c.journal_snapshot()))
+    }
+
+    fn teardown(&self) {
+        for c in &self.cores {
+            c.stop();
+        }
+    }
+}
+
+/// Per-slot at-most-once bookkeeping, shared with stress threads.
+#[derive(Default)]
+struct SlotAudit {
+    ok: AtomicI64,
+    failed: AtomicI64,
+}
+
+/// Applies one op. `Err` carries a description of an operation the
+/// fault-free deterministic cluster had no business failing.
+fn apply(
+    cl: &Cluster,
+    refs: &[slotcell::SlotCell],
+    audits: &[SlotAudit],
+    op: &Op,
+) -> Result<(), String> {
+    match *op {
+        Op::New { slot, core } => {
+            let bound = cl.cores[core]
+                .new_complet("ChkNode", &[])
+                .map_err(|e| format!("new slot{slot}@core{core}: {e}"))?;
+            refs[slot].set(bound.complet_ref().clone());
+            Ok(())
+        }
+        Op::Invoke { slot, from } => {
+            let Some(r) = refs[slot].get() else {
+                return Ok(());
+            };
+            match cl.cores[from].stub(r).call("add", &[]) {
+                Ok(_) => {
+                    audits[slot].ok.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(e) => {
+                    audits[slot].failed.fetch_add(1, Ordering::SeqCst);
+                    Err(format!("invoke slot{slot} from core{from}: {e}"))
+                }
+            }
+        }
+        Op::Move { slot, to } => {
+            let Some(r) = refs[slot].get() else {
+                return Ok(());
+            };
+            let dest = cl.cores[to].name().to_owned();
+            cl.cores[to]
+                .move_complet(r.id(), &dest, None)
+                .map_err(|e| format!("move slot{slot} -> {dest}: {e}"))
+        }
+        Op::Link {
+            holder,
+            dep,
+            relocator,
+        } => {
+            let (Some(h), Some(d)) = (refs[holder].get(), refs[dep].get()) else {
+                return Ok(());
+            };
+            cl.cores[0]
+                .stub(h)
+                .call(
+                    "set_dep",
+                    &[
+                        Value::Ref(d.descriptor()),
+                        Value::from(RELOCATORS[relocator]),
+                    ],
+                )
+                .map(|_| ())
+                .map_err(|e| format!("link slot{holder} -> slot{dep}: {e}"))
+        }
+        Op::Advance { micros } => {
+            cl.clock.advance(Duration::from_micros(micros));
+            Ok(())
+        }
+        Op::Collect { core } => {
+            cl.cores[core].collect_trackers(Duration::from_millis(100));
+            Ok(())
+        }
+    }
+}
+
+/// Runs `schedule` under `cfg` and reports violations plus the merged
+/// journal.
+pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
+    let cl = match Cluster::spawn(schedule, cfg.stress) {
+        Ok(cl) => cl,
+        Err(e) => {
+            return RunReport {
+                violations: vec![Violation::new("op-error", "cluster", e.to_string())],
+                journal: Vec::new(),
+                ops_applied: 0,
+            }
+        }
+    };
+    let slots = schedule.slot_count();
+    let refs: Vec<slotcell::SlotCell> = (0..slots).map(|_| slotcell::SlotCell::new()).collect();
+    let audits: Vec<SlotAudit> = (0..slots).map(|_| SlotAudit::default()).collect();
+    let mut violations = Vec::new();
+    let mut ops_applied = 0usize;
+
+    if cfg.stress {
+        stress_phase(&cl, schedule, &refs, &audits);
+        ops_applied = schedule.ops.len();
+    } else {
+        for op in &schedule.ops {
+            // Chain-growth oracle: an invocation return may shorten the
+            // invoker's chain but must never lengthen it.
+            let before = if let Op::Invoke { slot, from } = op {
+                refs[*slot].get().map(|r| {
+                    let node = cl.cores[*from].node().index();
+                    (
+                        node,
+                        r.id().to_string(),
+                        oracles::chain_len(&cl.merged_journal(), node, &r.id().to_string()),
+                    )
+                })
+            } else {
+                None
+            };
+            let op_result = apply(&cl, &refs, &audits, op);
+            ops_applied += 1;
+            if !cl.quiesce(cfg.quiesce_polls) {
+                violations.push(Violation::new(
+                    "stuck",
+                    format!("op {}", ops_applied - 1),
+                    format!("cluster failed to quiesce after {op:?}"),
+                ));
+                break;
+            }
+            if let Err(detail) = op_result {
+                violations.push(Violation::new(
+                    "op-error",
+                    format!("op {}", ops_applied - 1),
+                    detail,
+                ));
+                break;
+            }
+            if cfg.step_oracles {
+                let events = cl.merged_journal();
+                let mut found = oracles::check_all(&events);
+                if let Some((node, id, Some(len_before))) = before {
+                    if let Some(len_after) = oracles::chain_len(&events, node, &id) {
+                        if len_after > len_before {
+                            found.push(Violation::new(
+                                "chain-growth",
+                                id,
+                                format!(
+                                    "chain from n{node} grew {len_before} -> {len_after} \
+                                     across an invocation return"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if !found.is_empty() {
+                    violations.extend(found);
+                    break;
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        if !cl.quiesce(cfg.quiesce_polls) {
+            violations.push(Violation::new(
+                "stuck",
+                "final",
+                "cluster failed to quiesce",
+            ));
+        } else {
+            let events = cl.merged_journal();
+            violations.extend(oracles::check_all(&events));
+            violations.extend(audit_counters(&cl, &refs, &audits, cfg.stress));
+        }
+    }
+
+    let journal = cl.merged_journal();
+    cl.teardown();
+    RunReport {
+        violations,
+        journal,
+        ops_applied,
+    }
+}
+
+/// At-most-once audit: each slot's counter must equal the number of
+/// successful `add`s — or, under faults, land between the successes and
+/// successes + failures (a failed invocation may still have executed,
+/// but a retry must never execute twice).
+fn audit_counters(
+    cl: &Cluster,
+    refs: &[slotcell::SlotCell],
+    audits: &[SlotAudit],
+    stress: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (slot, cell) in refs.iter().enumerate() {
+        let Some(r) = cell.get() else { continue };
+        let ok = audits[slot].ok.load(Ordering::SeqCst);
+        let failed = audits[slot].failed.load(Ordering::SeqCst);
+        let mut value = None;
+        for _ in 0..5 {
+            match cl.cores[0].stub(r.clone()).call("get", &[]) {
+                Ok(Value::I64(n)) => {
+                    value = Some(n);
+                    break;
+                }
+                _ => thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        match value {
+            Some(n) if stress && (n < ok || n > ok + failed) => out.push(Violation::new(
+                "counter",
+                format!("slot{slot}"),
+                format!("counter {n} outside [{ok}, {}]", ok + failed),
+            )),
+            Some(n) if !stress && n != ok => out.push(Violation::new(
+                "counter",
+                format!("slot{slot}"),
+                format!("counter {n} after {ok} successful adds"),
+            )),
+            None => out.push(Violation::new(
+                "counter",
+                format!("slot{slot}"),
+                "unreachable for final audit".to_owned(),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Stress execution: setup ops first (so slots exist), then two threads
+/// race the rest. Op errors are expected under loss and only feed the
+/// at-most-once bounds.
+fn stress_phase(
+    cl: &Cluster,
+    schedule: &Schedule,
+    refs: &[slotcell::SlotCell],
+    audits: &[SlotAudit],
+) {
+    let mut rest = Vec::new();
+    for op in &schedule.ops {
+        if matches!(op, Op::New { .. }) {
+            let _ = apply(cl, refs, audits, op);
+            let _ = cl.quiesce(1000);
+        } else {
+            rest.push(*op);
+        }
+    }
+    thread::scope(|s| {
+        for parity in 0..2usize {
+            let rest = &rest;
+            s.spawn(move || {
+                for (i, op) in rest.iter().enumerate() {
+                    if i % 2 == parity {
+                        let _ = apply(cl, refs, audits, op);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Slot refs shared with stress threads: a std-Mutex cell, so the crate
+/// adds no locking dependency of its own.
+mod slotcell {
+    use std::sync::Mutex;
+
+    use super::CompletRef;
+
+    #[derive(Debug, Default)]
+    pub struct SlotCell(Mutex<Option<CompletRef>>);
+
+    impl SlotCell {
+        pub fn new() -> SlotCell {
+            SlotCell::default()
+        }
+
+        pub fn set(&self, r: CompletRef) {
+            *self.0.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+        }
+
+        pub fn get(&self) -> Option<CompletRef> {
+            self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Schedule;
+
+    #[test]
+    fn trivial_schedule_runs_clean() {
+        let schedule = Schedule {
+            seed: 1,
+            cores: 2,
+            ops: vec![
+                Op::New { slot: 0, core: 0 },
+                Op::Invoke { slot: 0, from: 1 },
+                Op::Move { slot: 0, to: 1 },
+                Op::Invoke { slot: 0, from: 0 },
+            ],
+        };
+        let report = run(&schedule, &RunConfig::default());
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.ops_applied, 4);
+        assert!(!report.journal.is_empty());
+    }
+}

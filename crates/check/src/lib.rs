@@ -1,0 +1,43 @@
+//! # fargo-check — deterministic schedule explorer and invariant oracles
+//!
+//! The runtime's hardest bugs are schedule-dependent: a stale tracker
+//! repoint racing a second move, a retried invocation crediting twice, a
+//! hold expiring between prepare and commit. This crate turns those from
+//! "flaky test" into "replayable counterexample":
+//!
+//! * [`workload`] — a seeded generator producing randomized mixes of
+//!   concurrent moves, invocations, pull/duplicate/stamp relocations,
+//!   clock advances, and tracker collections. One seed ⇒ one schedule.
+//! * [`driver`] — runs a schedule against a real in-process cluster. In
+//!   deterministic mode every Core shares one *virtual*
+//!   [`Clock`](fargo_telemetry::Clock), links are instant and lossless,
+//!   and the driver quiesces between ops, so one seed replays to one
+//!   bit-identical merged journal. In stress mode the same schedule runs
+//!   on wall time over lossy, jittery links from two racing threads.
+//! * [`oracles`] — journal-derived invariants checked after every step:
+//!   at most one live copy per complet, tracker chains acyclic and
+//!   terminating at the live copy, per-Core HLC/sequence causality, and
+//!   (driver-side) chains non-increasing across an invocation return and
+//!   counters consistent with at-most-once delivery.
+//! * [`shrink`] — ddmin over the failing schedule's ops: the explorer
+//!   hands back the *shortest* sub-schedule that still violates.
+//! * [`explorer`] — sweeps seed windows, shrinks failures, perturbs them
+//!   (delaying one op past its successor) to separate schedule-dependent
+//!   races from deterministic bugs, and prints a replay command.
+//!
+//! Replay a failure with `FARGO_CHECK_SEED=<seed> cargo run -p
+//! fargo-check`, or from a written schedule file with `--schedule
+//! <file>`.
+
+pub mod driver;
+pub mod explorer;
+pub mod oracles;
+pub mod rng;
+pub mod shrink;
+pub mod workload;
+
+pub use driver::{run, RunConfig, RunReport};
+pub use explorer::{sweep, SeedFailure, SweepConfig, SweepReport};
+pub use oracles::{check_all, Violation};
+pub use shrink::{ddmin, shrink_schedule};
+pub use workload::{Op, Schedule};

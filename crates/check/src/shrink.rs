@@ -1,0 +1,86 @@
+//! Counterexample reduction: ddmin over a failing schedule's ops.
+//!
+//! A freshly caught violation rides a schedule of dozens of ops, most of
+//! them noise. [`ddmin`] greedily deletes chunks (halving the chunk size
+//! as deletions stop helping) while the predicate keeps failing, which
+//! in practice reduces explorer finds to a handful of ops — small enough
+//! to read, and to check in as a fixed-schedule regression test.
+
+use crate::driver::{run, RunConfig};
+use crate::workload::{Op, Schedule};
+
+/// Minimises `ops` while `fails` stays true. `fails` must hold for the
+/// input (otherwise the input is returned unchanged).
+pub fn ddmin(ops: &[Op], fails: impl Fn(&[Op]) -> bool) -> Vec<Op> {
+    let mut current = ops.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.len() {
+            let end = (i + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(i..end);
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                // Re-test from the same index: the next chunk slid left.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            return current;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Shrinks a schedule that fails under `cfg` by re-running candidates
+/// through the deterministic driver.
+pub fn shrink_schedule(schedule: &Schedule, cfg: &RunConfig) -> Schedule {
+    let ops = ddmin(&schedule.ops, |candidate| {
+        let trial = Schedule {
+            seed: schedule.seed,
+            cores: schedule.cores,
+            ops: candidate.to_vec(),
+        };
+        run(&trial, cfg).failed()
+    });
+    Schedule {
+        seed: schedule.seed,
+        cores: schedule.cores,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(slot: usize) -> Op {
+        Op::Invoke { slot, from: 0 }
+    }
+
+    #[test]
+    fn reduces_to_the_failing_core() {
+        // Failure = "contains slot 3 and slot 7".
+        let ops: Vec<Op> = (0..12).map(op).collect();
+        let min = ddmin(&ops, |c| c.contains(&op(3)) && c.contains(&op(7)));
+        assert_eq!(min, vec![op(3), op(7)]);
+    }
+
+    #[test]
+    fn passing_input_is_untouched() {
+        let ops: Vec<Op> = (0..4).map(op).collect();
+        assert_eq!(ddmin(&ops, |_| false), ops);
+    }
+
+    #[test]
+    fn single_op_failure_reduces_to_one() {
+        let ops: Vec<Op> = (0..9).map(op).collect();
+        let min = ddmin(&ops, |c| c.contains(&op(5)));
+        assert_eq!(min, vec![op(5)]);
+    }
+}

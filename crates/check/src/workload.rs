@@ -1,0 +1,230 @@
+//! Seeded workload synthesis: one seed ⇒ one [`Schedule`] of [`Op`]s.
+//!
+//! Schedules also have a line-oriented text form so a shrunk
+//! counterexample can be checked in as a regression fixture and replayed
+//! with `fargo-check --schedule <file>`.
+
+use crate::rng::Rng;
+
+/// The relocator palette the generator draws from.
+pub const RELOCATORS: [&str; 4] = ["link", "pull", "duplicate", "stamp"];
+
+/// At most this many complet slots per schedule; small on purpose so
+/// moves and invocations keep colliding on the same complets.
+pub const MAX_SLOTS: usize = 6;
+
+/// One step of a schedule. Slots index the driver's complet table; cores
+/// index the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Create a fresh complet in `slot`, hosted on `core`.
+    New { slot: usize, core: usize },
+    /// Invoke `add` on the complet in `slot` through a stub bound at
+    /// Core `from` (exercises routing, forwarding, and shortening).
+    Invoke { slot: usize, from: usize },
+    /// Relocate the complet in `slot` to Core `to`.
+    Move { slot: usize, to: usize },
+    /// Make `holder`'s complet hold a reference to `dep`'s complet,
+    /// typed with `RELOCATORS[relocator]` — later moves of the holder
+    /// then exercise pull/duplicate/stamp closures.
+    Link {
+        holder: usize,
+        dep: usize,
+        relocator: usize,
+    },
+    /// Advance the shared virtual clock (drives hold expiry, idleness,
+    /// and HLC physical time). A no-op on wall clocks.
+    Advance { micros: u64 },
+    /// Collect idle trackers on `core`.
+    Collect { core: usize },
+}
+
+/// A generated (or replayed) sequence of ops against `cores` Cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    pub seed: u64,
+    pub cores: usize,
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    /// Generates the schedule for `seed`: `n_ops` ops over `n_cores`
+    /// Cores. Ops only reference slots already created.
+    pub fn generate(seed: u64, n_ops: usize, n_cores: usize) -> Schedule {
+        let cores = n_cores.max(2);
+        let mut rng = Rng::new(seed);
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut created = 0usize;
+        while ops.len() < n_ops {
+            let roll = rng.below(100);
+            let op = if created == 0 || (roll < 18 && created < MAX_SLOTS) {
+                created += 1;
+                Op::New {
+                    slot: created - 1,
+                    core: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 46 {
+                Op::Invoke {
+                    slot: rng.below(created as u64) as usize,
+                    from: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 76 {
+                Op::Move {
+                    slot: rng.below(created as u64) as usize,
+                    to: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 86 {
+                Op::Link {
+                    holder: rng.below(created as u64) as usize,
+                    dep: rng.below(created as u64) as usize,
+                    relocator: rng.below(RELOCATORS.len() as u64) as usize,
+                }
+            } else if roll < 94 {
+                Op::Advance {
+                    micros: (1 + rng.below(5)) * 100_000,
+                }
+            } else {
+                Op::Collect {
+                    core: rng.below(cores as u64) as usize,
+                }
+            };
+            ops.push(op);
+        }
+        Schedule { seed, cores, ops }
+    }
+
+    /// Number of slots the schedule references (created or not).
+    pub fn slot_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                Op::New { slot, .. } | Op::Invoke { slot, .. } | Op::Move { slot, .. } => slot + 1,
+                Op::Link { holder, dep, .. } => holder.max(dep) + 1,
+                Op::Advance { .. } | Op::Collect { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+
+    /// The replayable text form (one op per line, `#`-comments allowed).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# fargo-check schedule v1 seed={} cores={}\n",
+            self.seed, self.cores
+        );
+        for op in &self.ops {
+            let line = match *op {
+                Op::New { slot, core } => format!("new {slot} @{core}"),
+                Op::Invoke { slot, from } => format!("invoke {slot} from {from}"),
+                Op::Move { slot, to } => format!("move {slot} -> {to}"),
+                Op::Link {
+                    holder,
+                    dep,
+                    relocator,
+                } => format!("link {holder} {dep} {}", RELOCATORS[relocator]),
+                Op::Advance { micros } => format!("advance {micros}"),
+                Op::Collect { core } => format!("collect {core}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses [`Schedule::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-qualified message on any malformed line.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut seed = 0u64;
+        let mut cores = 3usize;
+        let mut ops = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("seed=") {
+                        seed = v.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    } else if let Some(v) = tok.strip_prefix("cores=") {
+                        cores = v.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    }
+                }
+                continue;
+            }
+            let bad = |what: &str| format!("line {}: bad {what}: {line:?}", ln + 1);
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let num = |s: &str, what: &str| s.parse::<usize>().map_err(|_| bad(what));
+            let op = match toks.as_slice() {
+                ["new", slot, at] => Op::New {
+                    slot: num(slot, "slot")?,
+                    core: num(at.trim_start_matches('@'), "core")?,
+                },
+                ["invoke", slot, "from", from] => Op::Invoke {
+                    slot: num(slot, "slot")?,
+                    from: num(from, "core")?,
+                },
+                ["move", slot, "->", to] => Op::Move {
+                    slot: num(slot, "slot")?,
+                    to: num(to, "core")?,
+                },
+                ["link", holder, dep, reloc] => Op::Link {
+                    holder: num(holder, "slot")?,
+                    dep: num(dep, "slot")?,
+                    relocator: RELOCATORS
+                        .iter()
+                        .position(|r| r == reloc)
+                        .ok_or_else(|| bad("relocator"))?,
+                },
+                ["advance", micros] => Op::Advance {
+                    micros: micros.parse().map_err(|_| bad("micros"))?,
+                },
+                ["collect", core] => Op::Collect {
+                    core: num(core, "core")?,
+                },
+                _ => return Err(bad("op")),
+            };
+            ops.push(op);
+        }
+        Ok(Schedule { seed, cores, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Schedule::generate(9, 30, 3), Schedule::generate(9, 30, 3));
+        assert_ne!(
+            Schedule::generate(9, 30, 3).ops,
+            Schedule::generate(10, 30, 3).ops
+        );
+    }
+
+    #[test]
+    fn first_op_creates_a_slot() {
+        for seed in 0..50 {
+            let s = Schedule::generate(seed, 10, 3);
+            assert!(matches!(s.ops[0], Op::New { slot: 0, .. }));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let s = Schedule::generate(1234, 40, 4);
+        let parsed = Schedule::parse(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schedule::parse("teleport 3 -> 9").is_err());
+        assert!(Schedule::parse("link 0 1 osmosis").is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Explorer-found counterexamples, checked in verbatim.
+//!
+//! Each schedule below is the ddmin-shrunk output of a failing seed from
+//! the first full 1000-seed sweep. They all hit one bug class — idle
+//! tracker collection severing routing because neither the invoke
+//! handler, `locate()`, nor the calling stub fell back to the complet's
+//! home registry — and they must stay green now that those recovery
+//! paths exist. The same scenarios are also encoded API-level in
+//! `crates/core/tests/schedules.rs`.
+
+use fargo_check::driver::{run, RunConfig};
+use fargo_check::workload::Schedule;
+
+fn assert_clean(seed: u64, text: &str) {
+    let schedule = Schedule::parse(text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    assert_eq!(schedule.seed, seed);
+    let report = run(&schedule, &RunConfig::default());
+    assert!(
+        !report.failed(),
+        "seed {seed} regressed: {:?}",
+        report.violations
+    );
+}
+
+/// Collect at the origin, then invoke through it.
+#[test]
+fn seed_324_collect_at_origin() {
+    assert_clean(
+        324,
+        "# fargo-check schedule v1 seed=324 cores=3\n\
+         new 1 @1\n\
+         move 1 -> 2\n\
+         advance 200000\n\
+         collect 1\n",
+    );
+}
+
+/// Collect at the origin, then *move* through it (`locate()` path).
+#[test]
+fn seed_511_move_after_origin_collect() {
+    assert_clean(
+        511,
+        "# fargo-check schedule v1 seed=511 cores=3\n\
+         new 0 @2\n\
+         move 0 -> 0\n\
+         advance 400000\n\
+         collect 2\n\
+         move 0 -> 2\n",
+    );
+}
+
+/// Same shape as seed 324 from a different generator path.
+#[test]
+fn seed_684_collect_at_origin() {
+    assert_clean(
+        684,
+        "# fargo-check schedule v1 seed=684 cores=3\n\
+         new 0 @1\n\
+         move 0 -> 2\n\
+         advance 200000\n\
+         collect 1\n",
+    );
+}
+
+/// A three-hop chain whose middle Core is the origin; collecting it
+/// used to leave an unreachable dead end mid-chain.
+#[test]
+fn seed_690_mid_chain_origin_collect() {
+    assert_clean(
+        690,
+        "# fargo-check schedule v1 seed=690 cores=3\n\
+         new 0 @1\n\
+         move 0 -> 0\n\
+         move 0 -> 1\n\
+         move 0 -> 2\n\
+         advance 400000\n\
+         collect 1\n",
+    );
+}
+
+/// Collect at the origin after moving away from it.
+#[test]
+fn seed_707_collect_at_origin() {
+    assert_clean(
+        707,
+        "# fargo-check schedule v1 seed=707 cores=3\n\
+         new 0 @2\n\
+         move 0 -> 1\n\
+         advance 500000\n\
+         collect 2\n",
+    );
+}

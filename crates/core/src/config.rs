@@ -92,6 +92,12 @@ pub struct CoreConfig {
     /// Anomaly pass: a dead-ended tracker is only flagged once it is
     /// this many microseconds stale (0 = flag immediately).
     pub anomaly_orphan_min_age_us: u64,
+    /// The time source behind every protocol deadline (move holds, RPC
+    /// retry budgets, tracker idleness, monitor intervals) and the HLC's
+    /// physical component. Wall time in production; the deterministic
+    /// checker substitutes a shared virtual clock so one seed replays to
+    /// one bit-identical journal.
+    pub clock: fargo_telemetry::Clock,
 }
 
 impl Default for CoreConfig {
@@ -123,6 +129,7 @@ impl Default for CoreConfig {
             anomaly_long_chain_hops: fargo_telemetry::journal::LONG_CHAIN_THRESHOLD,
             anomaly_ping_pong_returns: 2,
             anomaly_orphan_min_age_us: 0,
+            clock: fargo_telemetry::Clock::Wall,
         }
     }
 }
@@ -213,6 +220,13 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with the time source replaced. Every Core of one
+    /// simulated cluster must share the same (virtual) clock.
+    pub fn with_clock(mut self, clock: fargo_telemetry::Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// The anomaly thresholds as the telemetry-layer struct.
     pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
         fargo_telemetry::AnomalyThresholds {
@@ -244,6 +258,14 @@ mod tests {
         assert_eq!(c.tracking, TrackingMode::HomeBased);
         assert_eq!(c.rpc_timeout, Duration::from_millis(5));
         assert!(c.stamp_strict);
+    }
+
+    #[test]
+    fn clock_defaults_to_wall_and_swaps() {
+        assert!(!CoreConfig::default().clock.is_virtual());
+        let v = CoreConfig::default().with_clock(fargo_telemetry::Clock::new_virtual(5));
+        assert!(v.clock.is_virtual());
+        assert_eq!(v.clock.now_us(), 5);
     }
 
     #[test]

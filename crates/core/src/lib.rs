@@ -83,7 +83,7 @@ pub use runtime::{BoundRef, Core, CoreBuilder, RemoteSubscription, TickHook};
 pub use fargo_wire::{CompletId, RefDescriptor, Value};
 
 pub use fargo_telemetry::{
-    render_journal_json, render_span_tree, Anomaly, AnomalyThresholds, Hlc, JournalEvent,
+    render_journal_json, render_span_tree, Anomaly, AnomalyThresholds, Clock, Hlc, JournalEvent,
     JournalKind, LayoutHistory, LayoutState, MetricValue, Registry as TelemetryRegistry,
     Snapshot as MetricSnapshot, SpanRecord, TraceContext,
 };

@@ -22,9 +22,9 @@ pub use services::Service;
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use fargo_telemetry::{Counter, Registry};
+use fargo_telemetry::{Clock, Counter, Registry};
 use fargo_wire::CompletId;
 use parking_lot::Mutex;
 
@@ -42,7 +42,8 @@ const ZERO_SNAP_SAMPLES: u32 = 3;
 struct Continuous {
     interval: Duration,
     average: Ewma,
-    last_sampled: Option<Instant>,
+    /// [`Clock`] microseconds of the last sample taken.
+    last_sampled: Option<u64>,
     /// Number of clients that issued `start` without a matching `stop`.
     interest: usize,
     /// Consecutive zero raw samples (drives the snap-to-zero fix).
@@ -52,7 +53,8 @@ struct Continuous {
 #[derive(Debug, Clone, Copy)]
 struct Cached {
     value: f64,
-    at: Instant,
+    /// [`Clock`] microseconds at measurement time.
+    at: u64,
 }
 
 /// Rolling invocation counters backing `methodInvokeRate`.
@@ -86,13 +88,16 @@ pub struct Monitor {
     cache_hits_total: Counter,
     events_total: Counter,
     pub(crate) invocations: InvocationCounters,
-    /// Rate bookkeeping: last total seen per rate-style service.
-    last_totals: Mutex<HashMap<Service, (u64, Instant)>>,
+    /// Rate bookkeeping: last total seen per rate-style service, with the
+    /// [`Clock`] microseconds it was observed at.
+    last_totals: Mutex<HashMap<Service, (u64, u64)>>,
+    /// Time source for cache TTLs, sampling intervals, and rate windows.
+    clock: Clock,
 }
 
 impl Monitor {
     /// Creates a monitor; the Core installs the sampler before use.
-    pub(crate) fn new(cache_ttl: Duration, alpha: f64) -> Self {
+    pub(crate) fn new(cache_ttl: Duration, alpha: f64, clock: Clock) -> Self {
         Monitor {
             sampler: Mutex::new(None),
             continuous: Mutex::new(HashMap::new()),
@@ -104,6 +109,7 @@ impl Monitor {
             events_total: Counter::default(),
             invocations: InvocationCounters::default(),
             last_totals: Mutex::new(HashMap::new()),
+            clock,
         }
     }
 
@@ -140,9 +146,9 @@ impl Monitor {
     ///
     /// Fails when the service cannot be measured on this Core.
     pub fn instant(&self, service: &Service) -> Result<f64> {
-        let now = Instant::now();
+        let now = self.clock.now_us();
         if let Some(c) = self.cache.lock().get(service) {
-            if now.duration_since(c.at) < self.cache_ttl {
+            if now.saturating_sub(c.at) < self.cache_ttl.as_micros() as u64 {
                 self.cache_hits_total.inc();
                 return Ok(c.value);
             }
@@ -236,14 +242,14 @@ impl Monitor {
     ///
     /// Called by the Core's monitor thread on each tick.
     pub(crate) fn tick(&self, core_node: u32) -> Vec<EventPayload> {
-        let now = Instant::now();
+        let now = self.clock.now_us();
         let mut due: Vec<Service> = Vec::new();
         {
             let map = self.continuous.lock();
             for (service, c) in map.iter() {
                 let is_due = match c.last_sampled {
                     None => true,
-                    Some(t) => now.duration_since(t) >= c.interval,
+                    Some(t) => now.saturating_sub(t) >= c.interval.as_micros() as u64,
                 };
                 if is_due {
                     due.push(service.clone());
@@ -299,11 +305,11 @@ impl Monitor {
     /// method was last called for `service`. Used by the Core's sampler to
     /// implement `methodInvokeRate`.
     pub(crate) fn rate_from_total(&self, service: &Service, total: u64) -> f64 {
-        let now = Instant::now();
+        let now = self.clock.now_us();
         let mut last = self.last_totals.lock();
         match last.insert(service.clone(), (total, now)) {
             Some((prev_total, prev_at)) => {
-                let dt = now.duration_since(prev_at).as_secs_f64();
+                let dt = now.saturating_sub(prev_at) as f64 / 1_000_000.0;
                 if dt <= 0.0 {
                     0.0
                 } else {
@@ -332,7 +338,7 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn with_sampler(f: impl Fn(&Service) -> Option<f64> + Send + Sync + 'static) -> Monitor {
-        let m = Monitor::new(Duration::from_millis(50), 0.5);
+        let m = Monitor::new(Duration::from_millis(50), 0.5, Clock::Wall);
         m.install_sampler(Arc::new(f));
         m
     }
@@ -355,13 +361,14 @@ mod tests {
     fn cache_expires() {
         let calls = Arc::new(AtomicU64::new(0));
         let c = calls.clone();
-        let m = Monitor::new(Duration::from_millis(1), 0.5);
+        let clock = Clock::new_virtual(0);
+        let m = Monitor::new(Duration::from_millis(1), 0.5, clock.clone());
         m.install_sampler(Arc::new(move |_| {
             c.fetch_add(1, Ordering::SeqCst);
             Some(1.0)
         }));
         m.instant(&Service::CompletLoad).unwrap();
-        std::thread::sleep(Duration::from_millis(5));
+        clock.advance(Duration::from_millis(5));
         m.instant(&Service::CompletLoad).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
@@ -457,12 +464,13 @@ mod tests {
 
     #[test]
     fn rate_from_total_computes_deltas() {
-        let m = with_sampler(|_| Some(0.0));
+        let clock = Clock::new_virtual(0);
+        let m = Monitor::new(Duration::from_millis(50), 0.5, clock.clone());
         let s = Service::CompletLoad;
         assert_eq!(m.rate_from_total(&s, 10), 0.0, "first call has no baseline");
-        std::thread::sleep(Duration::from_millis(20));
+        clock.advance(Duration::from_millis(20));
         let r = m.rate_from_total(&s, 30);
-        assert!(r > 0.0, "20 events over ~20ms must be positive, got {r}");
+        assert_eq!(r, 1000.0, "20 events over 20ms is 1000/s");
     }
 
     #[test]

@@ -225,6 +225,10 @@ pub(crate) enum Reply {
         /// The invoked complet, so intermediate Cores know whose tracker
         /// to repoint.
         target: CompletId,
+        /// Move epoch of the target at the executing Core, so shortening
+        /// from a delayed reply cannot repoint a tracker away from a
+        /// newer location (0 = never moved; omitted on the wire).
+        epoch: u64,
     },
     MoveOk {
         arrived: Vec<CompletId>,
@@ -278,8 +282,14 @@ pub(crate) enum Reply {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Notify {
     /// A complet now lives at `now_at` (home-registry update, and direct
-    /// tracker refresh after moves).
-    LocationUpdate { target: CompletId, now_at: u32 },
+    /// tracker refresh after moves). `epoch` is the move epoch that put
+    /// it there, so delayed updates cannot regress the registry
+    /// (0 = never moved; omitted on the wire).
+    LocationUpdate {
+        target: CompletId,
+        now_at: u32,
+        epoch: u64,
+    },
     /// An event fired at a remote Core this Core subscribed to.
     Event { token: u64, payload: EventPayload },
     /// The sending Core is about to shut down.
@@ -845,12 +855,22 @@ impl Reply {
                 value,
                 final_location,
                 target,
-            } => Value::map([
-                ("kind", Value::from("invoke_ok")),
-                ("value", value.clone()),
-                ("loc", Value::from(*final_location)),
-                ("target", id_to_value(*target)),
-            ]),
+                epoch,
+            } => {
+                let mut m = Value::map([
+                    ("kind", Value::from("invoke_ok")),
+                    ("value", value.clone()),
+                    ("loc", Value::from(*final_location)),
+                    ("target", id_to_value(*target)),
+                ]);
+                // Only stamped when non-zero, keeping replies for
+                // never-moved complets byte-identical to the pre-epoch
+                // wire format.
+                if *epoch != 0 {
+                    m.insert("epoch", Value::I64(*epoch as i64));
+                }
+                m
+            }
             Reply::MoveOk { arrived } => Value::map([
                 ("kind", Value::from("move_ok")),
                 ("arrived", ids_to_value(arrived)),
@@ -941,6 +961,10 @@ impl Reply {
                 value: value_field(v, "value")?,
                 final_location: u64_field(v, "loc")? as u32,
                 target: id_from_value(&value_field(v, "target")?)?,
+                epoch: v
+                    .get("epoch")
+                    .and_then(Value::as_i64)
+                    .map_or(0, |e| e as u64),
             }),
             "move_ok" => Ok(Reply::MoveOk {
                 arrived: ids_from_value(&value_field(v, "arrived")?)?,
@@ -1032,11 +1056,22 @@ impl Reply {
 impl Notify {
     fn to_value(&self) -> Value {
         match self {
-            Notify::LocationUpdate { target, now_at } => Value::map([
-                ("kind", Value::from("loc")),
-                ("target", id_to_value(*target)),
-                ("at", Value::from(*now_at)),
-            ]),
+            Notify::LocationUpdate {
+                target,
+                now_at,
+                epoch,
+            } => {
+                let mut m = Value::map([
+                    ("kind", Value::from("loc")),
+                    ("target", id_to_value(*target)),
+                    ("at", Value::from(*now_at)),
+                ]);
+                // Non-zero only, as for `CompletPacket::epoch`.
+                if *epoch != 0 {
+                    m.insert("epoch", Value::I64(*epoch as i64));
+                }
+                m
+            }
             Notify::Event { token, payload } => Value::map([
                 ("kind", Value::from("event")),
                 ("token", Value::I64(*token as i64)),
@@ -1054,6 +1089,10 @@ impl Notify {
             "loc" => Ok(Notify::LocationUpdate {
                 target: id_from_value(&value_field(v, "target")?)?,
                 now_at: u64_field(v, "at")? as u32,
+                epoch: v
+                    .get("epoch")
+                    .and_then(Value::as_i64)
+                    .map_or(0, |e| e as u64),
             }),
             "event" => Ok(Notify::Event {
                 token: u64_field(v, "token")?,
@@ -1344,6 +1383,13 @@ mod tests {
                 value: Value::from(5i64),
                 final_location: 3,
                 target: CompletId::new(0, 7),
+                epoch: 0,
+            },
+            Reply::InvokeOk {
+                value: Value::from(5i64),
+                final_location: 3,
+                target: CompletId::new(0, 7),
+                epoch: 4,
             },
             Reply::MoveOk {
                 arrived: vec![CompletId::new(1, 1)],
@@ -1414,11 +1460,45 @@ mod tests {
 
     #[test]
     fn notifies_roundtrip() {
-        roundtrip(Message::Notify(Notify::LocationUpdate {
-            target: CompletId::new(1, 2),
-            now_at: 5,
-        }));
+        for epoch in [0, 6] {
+            roundtrip(Message::Notify(Notify::LocationUpdate {
+                target: CompletId::new(1, 2),
+                now_at: 5,
+                epoch,
+            }));
+        }
         roundtrip(Message::Notify(Notify::CoreShutdown { node: 2 }));
+    }
+
+    #[test]
+    fn epochless_tracker_updates_stay_byte_compatible() {
+        // As for `CompletPacket`: epoch 0 must not appear on the wire, so
+        // replies and notifies about never-moved complets decode on a
+        // pre-epoch peer unchanged.
+        let reply = Reply::InvokeOk {
+            value: Value::Null,
+            final_location: 1,
+            target: CompletId::new(0, 1),
+            epoch: 0,
+        };
+        assert!(reply.to_value().get("epoch").is_none());
+        let notify = Notify::LocationUpdate {
+            target: CompletId::new(0, 1),
+            now_at: 1,
+            epoch: 0,
+        };
+        assert!(notify.to_value().get("epoch").is_none());
+        // Stamped ones carry it.
+        let stamped = Reply::InvokeOk {
+            value: Value::Null,
+            final_location: 1,
+            target: CompletId::new(0, 1),
+            epoch: 9,
+        };
+        assert_eq!(
+            stamped.to_value().get("epoch").and_then(Value::as_i64),
+            Some(9)
+        );
     }
 
     #[test]

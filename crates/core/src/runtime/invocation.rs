@@ -11,7 +11,7 @@
 
 use std::sync::atomic::Ordering;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use fargo_telemetry::{JournalKind, TraceContext};
 use fargo_wire::{CompletId, Value};
@@ -19,7 +19,7 @@ use fargo_wire::{CompletId, Value};
 use crate::config::TrackingMode;
 use crate::error::{FargoError, Result};
 use crate::proto::{Message, Reply, ReqId, Request};
-use crate::reference::tracker::TrackerTarget;
+use crate::reference::tracker::{PointOutcome, TrackerTarget};
 use crate::reference::CompletRef;
 use crate::runtime::{Core, SlotState, APP_SEQ};
 use crate::telemetry;
@@ -78,9 +78,11 @@ impl Core {
         } else {
             None
         };
-        let started = Instant::now();
+        let started = self.inner.config.clock.now_us();
         let result = self.invoke_routed(target, method, args, chain);
-        t.invoke_latency_us.observe_micros(started.elapsed());
+        t.invoke_latency_us.observe_micros(Duration::from_micros(
+            self.inner.config.clock.now_us().saturating_sub(started),
+        ));
         if let Some((timer, scope)) = span {
             drop(scope);
             timer.finish(&t.spans, &self.inner.name);
@@ -129,13 +131,19 @@ impl Core {
             .collect();
 
         let me = self.inner.node.index();
-        let deadline = Instant::now() + self.inner.config.rpc_timeout;
+        let clock = &self.inner.config.clock;
+        let deadline = clock.deadline_us(self.inner.config.rpc_timeout);
+        // A virtual clock only advances when the schedule says so; the
+        // spin budget keeps a stale-route loop from hanging the checker
+        // where wall time would eventually trip the deadline.
+        let mut spins: u32 = 1 + self.inner.config.rpc_timeout.as_millis() as u32;
         let mut missing_retries = 0u32;
         loop {
             // The budget bounds the whole loop — re-routes, rpc rounds,
             // and backoff sleeps alike — so a flapping location can't
             // spin past the configured timeout.
-            if Instant::now() > deadline {
+            spins = spins.saturating_sub(1);
+            if clock.now_us() > deadline || spins == 0 {
                 return Err(FargoError::Timeout);
             }
             match self.route(id, target) {
@@ -143,6 +151,7 @@ impl Core {
                     LocalExec::Done(res) => {
                         if res.is_ok() {
                             target.set_last_known(me);
+                            self.inner.trackers.credit(id);
                         }
                         self.inner.telemetry.invoke_hops.observe(0);
                         return res;
@@ -156,15 +165,38 @@ impl Core {
                             final_location,
                             ..
                         } => {
+                            // The dispatch through the tracker succeeded:
+                            // only now does it count as traffic.
+                            self.inner.trackers.credit(id);
                             target.set_last_known(final_location);
                             return Ok(value);
                         }
                         Reply::Err(FargoError::UnknownComplet(_)) if missing_retries < 3 => {
+                            missing_retries += 1;
+                            // The Core we routed to neither hosts nor
+                            // tracks the target — our forward is a dead
+                            // end (its tracker may have been
+                            // idle-collected). Drop the stale edge; if
+                            // the home registry knows better, re-seed
+                            // from it and retry without backing off.
+                            if self.inner.trackers.remove(id) {
+                                self.inner.telemetry.journal(
+                                    JournalKind::TrackerRetired,
+                                    &id,
+                                    "",
+                                    "dead-end",
+                                    Some(node),
+                                );
+                            }
+                            if let Route::Remote(n) = self.route_via_home(id) {
+                                self.inner.trackers.seed_forward(id, n);
+                                continue;
+                            }
                             // Location knowledge may lag a concurrent
                             // move; back off briefly (never past the
                             // deadline) and re-resolve.
-                            missing_retries += 1;
-                            let remaining = deadline.saturating_duration_since(Instant::now());
+                            let remaining =
+                                Duration::from_micros(deadline.saturating_sub(clock.now_us()));
                             if remaining.is_zero() {
                                 return Err(FargoError::Timeout);
                             }
@@ -193,7 +225,8 @@ impl Core {
                 Some(TrackerTarget::Forward(_)) => {
                     // A forward pointing at ourselves is stale.
                     if self.hosts(id) {
-                        self.inner.trackers.point(id, TrackerTarget::Local);
+                        let epoch = self.current_move_epoch(id);
+                        let _ = self.inner.trackers.point(id, TrackerTarget::Local, epoch);
                         Route::Local
                     } else {
                         Route::Unknown
@@ -207,7 +240,8 @@ impl Core {
                         self.inner.trackers.seed_forward(id, hint);
                         Route::Remote(hint)
                     } else if self.hosts(id) {
-                        self.inner.trackers.point(id, TrackerTarget::Local);
+                        let epoch = self.current_move_epoch(id);
+                        let _ = self.inner.trackers.point(id, TrackerTarget::Local, epoch);
                         Route::Local
                     } else {
                         // The tracker may have been garbage-collected;
@@ -224,7 +258,7 @@ impl Core {
                 // Core instead of following chains (§7 future work).
                 if id.origin == me {
                     match self.inner.home.lock().get(&id) {
-                        Some(&n) if n != me => Route::Remote(n),
+                        Some(&(n, _)) if n != me => Route::Remote(n),
                         _ => Route::Unknown,
                     }
                 } else {
@@ -256,7 +290,7 @@ impl Core {
         let me = self.inner.node.index();
         if id.origin == me {
             return match self.inner.home.lock().get(&id) {
-                Some(&n) if n != me => Route::Remote(n),
+                Some(&(n, _)) if n != me => Route::Remote(n),
                 _ => Route::Unknown,
             };
         }
@@ -274,7 +308,12 @@ impl Core {
         args: &[Value],
         chain: &[CompletId],
     ) -> LocalExec {
-        let wait_deadline = Instant::now() + self.inner.config.transit_wait;
+        let clock = &self.inner.config.clock;
+        let wait_deadline = clock.deadline_us(self.inner.config.transit_wait);
+        // Under a virtual clock the deadline only fires when the schedule
+        // advances time; the poll budget (one per 1ms sleep below) keeps
+        // the transit wait bounded regardless.
+        let mut polls: u64 = 1 + self.inner.config.transit_wait.as_millis() as u64;
         loop {
             let Some(slot) = self.inner.complets.read().get(&id).cloned() else {
                 return LocalExec::Moved;
@@ -301,7 +340,8 @@ impl Core {
                 }
                 SlotState::InTransit => {
                     drop(guard);
-                    if Instant::now() > wait_deadline {
+                    polls = polls.saturating_sub(1);
+                    if clock.now_us() > wait_deadline || polls == 0 {
                         return LocalExec::Done(Err(FargoError::Timeout));
                     }
                     thread::sleep(Duration::from_millis(1));
@@ -403,11 +443,19 @@ impl Core {
                         LocalExec::Done(res) => {
                             self.inner.telemetry.invoke_hops.observe(u64::from(hops));
                             return match res {
-                                Ok(value) => send_reply(Reply::InvokeOk {
-                                    value,
-                                    final_location: me,
-                                    target,
-                                }),
+                                Ok(value) => {
+                                    self.inner.trackers.credit(target);
+                                    // Stamp the executing incarnation's
+                                    // epoch: every tracker the reply
+                                    // passes can tell this location report
+                                    // from a stale straggler.
+                                    send_reply(Reply::InvokeOk {
+                                        value,
+                                        final_location: me,
+                                        target,
+                                        epoch: self.current_move_epoch(target),
+                                    })
+                                }
                                 Err(e) => send_reply(Reply::Err(e)),
                             };
                         }
@@ -458,6 +506,9 @@ impl Core {
                     if let Err(e) = sent {
                         return send_reply(Reply::Err(e));
                     }
+                    // The forward left this Core successfully — that is
+                    // this tracker's dispatch, so count the hit now.
+                    self.inner.trackers.credit(target);
                     // The executing Core downstream caches the reply; a
                     // lingering `InFlight` marker here would swallow every
                     // retransmission of this request for good.
@@ -466,8 +517,38 @@ impl Core {
                 }
                 Some(TrackerTarget::Forward(_)) | None => {
                     if self.hosts(target) {
-                        self.inner.trackers.point(target, TrackerTarget::Local);
+                        let epoch = self.current_move_epoch(target);
+                        let _ = self
+                            .inner
+                            .trackers
+                            .point(target, TrackerTarget::Local, epoch);
                         continue;
+                    }
+                    // Idle-tracker collection may have retired this Core's
+                    // tracker while stubs elsewhere still route through it.
+                    // If this Core is the complet's origin, its home
+                    // registry survives collection: re-seed the chain from
+                    // it and forward rather than failing the invocation.
+                    if target.origin == me {
+                        let known = self.inner.home.lock().get(&target).copied();
+                        if let Some((n, epoch)) = known {
+                            if n != me {
+                                if let PointOutcome::Updated { .. } = self.inner.trackers.point(
+                                    target,
+                                    TrackerTarget::Forward(n),
+                                    epoch,
+                                ) {
+                                    self.inner.telemetry.journal(
+                                        JournalKind::TrackerForwarded,
+                                        &target,
+                                        "",
+                                        "home-reseed",
+                                        Some(n),
+                                    );
+                                    continue;
+                                }
+                            }
+                        }
                     }
                     return send_reply(Reply::Err(FargoError::UnknownComplet(target)));
                 }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use fargo_telemetry::{
@@ -35,7 +35,7 @@ use crate::events::{Delivery, EventHandler, EventHub, EventPayload};
 use crate::monitor::{Monitor, Service};
 use crate::proto::{ListenerAddr, Message, Notify, Reply, ReqId, Request};
 use crate::reference::relocator::RelocatorRegistry;
-use crate::reference::tracker::{TrackerSnapshot, TrackerTable, TrackerTarget};
+use crate::reference::tracker::{PointOutcome, TrackerSnapshot, TrackerTable, TrackerTarget};
 use crate::reference::{CompletRef, MetaRef};
 use crate::runtime::movement::HeldMove;
 use crate::runtime::reliable::{CacheDecision, DecisionLog, ReplyCache, WorkRequest};
@@ -76,9 +76,11 @@ pub(crate) struct CoreInner {
     pub complets: RwLock<HashMap<CompletId, Arc<CompletSlot>>>,
     pub trackers: TrackerTable,
     pub naming: Mutex<HashMap<String, RefDescriptor>>,
-    /// For complets originated here: their authoritative current node
-    /// (the §7 future-work home registry; also the E1 ablation baseline).
-    pub home: Mutex<HashMap<CompletId, u32>>,
+    /// For complets originated here: their authoritative current node and
+    /// the move epoch it was reported at (the §7 future-work home
+    /// registry; also the E1 ablation baseline). The epoch guards the map
+    /// against reordered `LocationUpdate` notifies.
+    pub home: Mutex<HashMap<CompletId, (u32, u64)>>,
     pub pending: Mutex<HashMap<ReqId, Sender<Reply>>>,
     /// Local sinks receiving events from remote subscriptions.
     pub sinks: Mutex<HashMap<u64, EventHandler>>,
@@ -94,6 +96,11 @@ pub(crate) struct CoreInner {
     pub reply_cache: ReplyCache,
     /// Bounded queue feeding the request-worker pool.
     pub work_tx: Sender<WorkRequest>,
+    /// A receiver handle kept only so queue depth is observable
+    /// (crossbeam senders cannot report length).
+    pub work_rx: Receiver<WorkRequest>,
+    /// Workers currently executing a request (quiescence detection).
+    pub busy_workers: AtomicU64,
     /// Per-complet move-epoch counters (updated on departure and arrival
     /// so epochs stay monotonic across hosts).
     pub move_epochs: Mutex<HashMap<CompletId, u64>>,
@@ -202,12 +209,13 @@ impl<'a> CoreBuilder<'a> {
             self.telemetry.unwrap_or_default(),
             &name,
             node.index(),
-            config.trace_enabled,
-            config.trace_capacity,
-            config.journal_enabled,
-            config.journal_capacity,
+            &config,
         );
-        let monitor = Monitor::new(config.monitor_cache_ttl, config.monitor_alpha);
+        let monitor = Monitor::new(
+            config.monitor_cache_ttl,
+            config.monitor_alpha,
+            config.clock.clone(),
+        );
         monitor.register_metrics(&telemetry.registry, &name);
         let (work_tx, work_rx) = bounded(config.worker_queue_depth.max(1));
         let inner = Arc::new(CoreInner {
@@ -220,7 +228,7 @@ impl<'a> CoreBuilder<'a> {
             monitor,
             telemetry,
             complets: RwLock::new(HashMap::new()),
-            trackers: TrackerTable::new(),
+            trackers: TrackerTable::new(config.clock.clone()),
             naming: Mutex::new(HashMap::new()),
             home: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
@@ -233,6 +241,8 @@ impl<'a> CoreBuilder<'a> {
             shutdown: AtomicBool::new(false),
             reply_cache: ReplyCache::new(config.dedup_cache_capacity),
             work_tx,
+            work_rx: work_rx.clone(),
+            busy_workers: AtomicU64::new(0),
             move_epochs: Mutex::new(HashMap::new()),
             move_decisions: DecisionLog::new(MOVE_DECISION_LOG),
             move_outcomes: DecisionLog::new(MOVE_DECISION_LOG),
@@ -549,8 +559,9 @@ impl Core {
             state: Mutex::new(SlotState::Present(complet)),
         });
         self.inner.complets.write().insert(id, slot);
-        self.inner.trackers.point(id, TrackerTarget::Local);
-        self.note_location(id, self.inner.node.index());
+        let epoch = self.current_move_epoch(id);
+        let _ = self.inner.trackers.point(id, TrackerTarget::Local, epoch);
+        self.note_location(id, self.inner.node.index(), epoch);
         self.inner
             .telemetry
             .journal(JournalKind::CompletArrived, &id, type_name, "", None);
@@ -903,9 +914,11 @@ impl Core {
     /// Fails if the peer is unknown or unreachable.
     pub fn ping(&self, core_name: &str) -> Result<Duration> {
         let node = self.resolve_core(core_name)?;
-        let start = Instant::now();
+        let start = self.inner.config.clock.now_us();
         match self.rpc(node, Request::Ping)? {
-            Reply::Pong => Ok(start.elapsed()),
+            Reply::Pong => Ok(Duration::from_micros(
+                self.inner.config.clock.now_us().saturating_sub(start),
+            )),
             Reply::Err(e) => Err(e),
             other => Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
         }
@@ -1003,7 +1016,11 @@ impl Core {
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(req_id, tx);
         let cfg = &self.inner.config;
-        let deadline = Instant::now() + cfg.rpc_timeout;
+        // The retry *budget* is a protocol deadline and reads the Core's
+        // Clock (so the checker's virtual time governs when a request is
+        // declared dead); the per-attempt channel wait below is physical
+        // blocking and stays on real time.
+        let deadline = cfg.clock.deadline_us(cfg.rpc_timeout);
         let mut attempt: u32 = 0;
         let result = loop {
             if attempt > 0 {
@@ -1014,7 +1031,7 @@ impl Core {
             if let Err(e) = self.send_to(node, msg) {
                 break Err(e);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = Duration::from_micros(deadline.saturating_sub(cfg.clock.now_us()));
             if remaining.is_zero() {
                 break Err(FargoError::Timeout);
             }
@@ -1028,7 +1045,7 @@ impl Core {
             match rx.recv_timeout(wait) {
                 Ok(reply) => break Ok(reply),
                 Err(_) => {
-                    if attempt >= cfg.rpc_max_retries || Instant::now() >= deadline {
+                    if attempt >= cfg.rpc_max_retries || cfg.clock.now_us() >= deadline {
                         break Err(FargoError::Timeout);
                     }
                     attempt += 1;
@@ -1095,7 +1112,11 @@ impl Core {
                         return;
                     }
                     match rx.recv_timeout(Duration::from_millis(25)) {
-                        Ok(job) => core.handle_request(job.origin, job.req_id, job.trace, job.body),
+                        Ok(job) => {
+                            core.inner.busy_workers.fetch_add(1, Ordering::SeqCst);
+                            core.handle_request(job.origin, job.req_id, job.trace, job.body);
+                            core.inner.busy_workers.fetch_sub(1, Ordering::SeqCst);
+                        }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     }
@@ -1328,13 +1349,16 @@ impl Core {
     fn handle_reply(&self, req_id: ReqId, route: Vec<u32>, body: Reply) {
         // Chain shortening (§3.1): every Core a reply passes through
         // learns the target's final location and repoints its tracker.
+        // The move epoch stamped by the executing Core lets stragglers
+        // from an earlier incarnation be recognised and rejected.
         if let Reply::InvokeOk {
             final_location,
             target,
+            epoch,
             ..
         } = &body
         {
-            self.learn_location(*target, *final_location);
+            self.learn_location(*target, *final_location, *epoch);
         }
         if route.is_empty() {
             if let Some(tx) = self.inner.pending.lock().remove(&req_id) {
@@ -1353,8 +1377,12 @@ impl Core {
 
     fn handle_notify(&self, n: Notify) {
         match n {
-            Notify::LocationUpdate { target, now_at } => {
-                self.note_location(target, now_at);
+            Notify::LocationUpdate {
+                target,
+                now_at,
+                epoch,
+            } => {
+                self.note_location(target, now_at, epoch);
             }
             Notify::Event { token, payload } => {
                 let handler = self.inner.sinks.lock().get(&token).cloned();
@@ -1368,20 +1396,33 @@ impl Core {
         }
     }
 
-    /// Updates tracker knowledge after learning where a complet is now.
-    /// An actual repoint of an existing forwarding tracker counts as a
-    /// chain shortening (§3.1).
-    pub(crate) fn learn_location(&self, target: CompletId, node: u32) {
+    /// Updates tracker knowledge after learning where a complet is now,
+    /// at the given move epoch. An actual repoint of an existing
+    /// forwarding tracker counts as a chain shortening (§3.1); an update
+    /// carrying a stale epoch — a reply or notify delayed across a later
+    /// move — is rejected, counted, and journaled instead of corrupting
+    /// the chain.
+    pub(crate) fn learn_location(&self, target: CompletId, node: u32, epoch: u64) {
         if node == self.inner.node.index() {
             if self.hosts(target) {
-                self.inner.trackers.point(target, TrackerTarget::Local);
+                // Hosting is authoritative: our own epoch counter, not the
+                // message's, decides the incarnation.
+                let here = self.current_move_epoch(target).max(epoch);
+                let _ = self
+                    .inner
+                    .trackers
+                    .point(target, TrackerTarget::Local, here);
             }
-        } else {
-            let prev = self
-                .inner
-                .trackers
-                .point(target, TrackerTarget::Forward(node));
-            if matches!(prev, Some(TrackerTarget::Forward(p)) if p != node) {
+            return;
+        }
+        match self
+            .inner
+            .trackers
+            .point(target, TrackerTarget::Forward(node), epoch)
+        {
+            PointOutcome::Updated {
+                prev: Some(TrackerTarget::Forward(p)),
+            } if p != node => {
                 self.inner.telemetry.chain_shortenings_total.inc();
                 self.inner.telemetry.journal(
                     JournalKind::TrackerShortened,
@@ -1391,15 +1432,57 @@ impl Core {
                     Some(node),
                 );
             }
+            PointOutcome::Stale {
+                current,
+                current_epoch,
+            } => {
+                self.inner.telemetry.tracker_stale_total.inc();
+                self.inner.telemetry.journal(
+                    JournalKind::TrackerStale,
+                    &target,
+                    "",
+                    &format!("epoch {epoch} < {current_epoch}, kept {current:?}"),
+                    Some(node),
+                );
+            }
+            PointOutcome::Updated { .. } => {}
         }
     }
 
     /// Records a complet's current node in the home registry (only kept
-    /// for complets originated here) and in the tracker cache.
-    pub(crate) fn note_location(&self, id: CompletId, node: u32) {
+    /// for complets originated here). Epoch-guarded: a `LocationUpdate`
+    /// reordered behind a later move's update must not roll the
+    /// authoritative belief back to the older location.
+    pub(crate) fn note_location(&self, id: CompletId, node: u32, epoch: u64) {
         if id.origin == self.inner.node.index() {
-            self.inner.home.lock().insert(id, node);
+            let mut home = self.inner.home.lock();
+            match home.entry(id) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if epoch >= e.get().1 {
+                        e.insert((node, epoch));
+                    } else {
+                        drop(home);
+                        self.inner.telemetry.tracker_stale_total.inc();
+                        self.inner.telemetry.journal(
+                            JournalKind::TrackerStale,
+                            &id,
+                            "home",
+                            &format!("epoch {epoch}"),
+                            Some(node),
+                        );
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((node, epoch));
+                }
+            }
         }
+    }
+
+    /// The current move epoch of a complet as this Core knows it
+    /// (0 = never moved through here).
+    pub(crate) fn current_move_epoch(&self, id: CompletId) -> u64 {
+        self.inner.move_epochs.lock().get(&id).copied().unwrap_or(0)
     }
 
     /// This Core's best belief of where a complet is (for `WhereIs`).
@@ -1408,7 +1491,7 @@ impl Core {
             return Some(self.inner.node.index());
         }
         if id.origin == self.inner.node.index() {
-            if let Some(&n) = self.inner.home.lock().get(&id) {
+            if let Some(&(n, _)) = self.inner.home.lock().get(&id) {
                 return Some(n);
             }
         }
@@ -1416,6 +1499,25 @@ impl Core {
             Some(TrackerTarget::Forward(n)) => Some(n),
             _ => None,
         }
+    }
+
+    /// Work the Core has accepted but not yet finished: undelivered
+    /// datagrams, queued worker jobs, and requests currently executing.
+    /// Zero across every Core (with the network drained) means the
+    /// cluster is quiescent — the deterministic checker's step barrier.
+    #[doc(hidden)]
+    pub fn pending_work(&self) -> usize {
+        self.inner.endpoint.queue_len()
+            + self.inner.work_rx.len()
+            + self.inner.busy_workers.load(Ordering::SeqCst) as usize
+    }
+
+    /// Feeds a location report into the tracker table exactly as a
+    /// passing reply would — test tooling for replaying shrunk schedules
+    /// that involve delayed/reordered chain-shortening messages.
+    #[doc(hidden)]
+    pub fn test_learn_location(&self, target: CompletId, node: u32, epoch: u64) {
+        self.learn_location(target, node, epoch);
     }
 
     fn spawn_monitor_thread(&self) {

@@ -18,7 +18,6 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::thread;
-use std::time::Instant;
 
 use fargo_telemetry::{JournalKind, TraceContext};
 use fargo_wire::{CompletId, RefDescriptor, Value};
@@ -48,9 +47,12 @@ pub(crate) struct HeldMove {
     complets: Vec<(CompletPacket, Box<dyn Complet>)>,
     continuation: Option<Continuation>,
     source: u32,
-    /// When to start asking the source for its verdict (re-armed after
-    /// each unanswered query so monitor ticks don't stack resolvers).
-    deadline: Instant,
+    /// When to start asking the source for its verdict, in [`Clock`]
+    /// microseconds (re-armed after each unanswered query so monitor
+    /// ticks don't stack resolvers).
+    ///
+    /// [`Clock`]: fargo_telemetry::Clock
+    deadline: u64,
 }
 
 /// How the source resolved a move whose commit round went unanswered.
@@ -442,9 +444,14 @@ impl Core {
             if let Some(slot) = self.inner.complets.write().remove(&d.id) {
                 *slot.state.lock() = SlotState::Gone;
             }
-            self.inner
+            // The departure's epoch (bumped at marshal time) rides on the
+            // repoint and the gossip, so stragglers from earlier
+            // incarnations can never undo them.
+            let epoch = self.current_move_epoch(d.id);
+            let _ = self
+                .inner
                 .trackers
-                .point(d.id, TrackerTarget::Forward(dest_node));
+                .point(d.id, TrackerTarget::Forward(dest_node), epoch);
             self.inner.telemetry.journal(
                 JournalKind::TrackerForwarded,
                 &d.id,
@@ -452,13 +459,14 @@ impl Core {
                 "",
                 Some(dest_node),
             );
-            self.note_location(d.id, dest_node);
+            self.note_location(d.id, dest_node, epoch);
             if d.id.origin != me {
                 let _ = self.send_to(
                     d.id.origin,
                     &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
                         target: d.id,
                         now_at: dest_node,
+                        epoch,
                     }),
                 );
             }
@@ -718,15 +726,18 @@ impl Core {
         let me = self.inner.node.index();
         let mut ctx = self.make_ctx(packet.id, &packet.type_name, vec![]);
         complet.pre_arrival(&mut ctx);
-        self.install_complet_with_id(packet.id, &packet.type_name, complet);
-        // Adopt the packet's move epoch so this complet's next departure
-        // continues the monotonic sequence started at its origin.
+        // Adopt the packet's move epoch *before* installing: the install
+        // path points the local tracker at the current epoch, which must
+        // already be this incarnation's — otherwise the fresh Local
+        // tracker would carry epoch 0 and any stale Forward straggler
+        // could overwrite it.
         if packet.epoch > 0 {
             self.inner
                 .move_epochs
                 .lock()
                 .insert(packet.id, packet.epoch);
         }
+        self.install_complet_with_id(packet.id, &packet.type_name, complet);
 
         // Names travel with the complet.
         {
@@ -744,6 +755,7 @@ impl Core {
                 &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
                     target: packet.id,
                     now_at: me,
+                    epoch: packet.epoch,
                 }),
             );
         }
@@ -806,7 +818,11 @@ impl Core {
             complets,
             continuation,
             source: origin,
-            deadline: Instant::now() + self.inner.config.move_hold_timeout,
+            deadline: self
+                .inner
+                .config
+                .clock
+                .deadline_us(self.inner.config.move_hold_timeout),
         };
         self.inner.held_moves.lock().insert(key, held);
         self.inner.telemetry.journal(
@@ -943,10 +959,13 @@ impl Core {
     /// stack resolver threads): holding duplicates nothing, whereas
     /// discarding could lose the only copy of a committed move.
     pub(crate) fn sweep_held_moves(&self) {
-        let now = Instant::now();
+        let cfg = &self.inner.config;
+        let now = cfg.clock.now_us();
         let expired: Vec<(CompletId, u64, u32)> = {
             let mut g = self.inner.held_moves.lock();
-            let re_arm = now + self.inner.config.move_hold_timeout + self.inner.config.rpc_timeout;
+            let re_arm = cfg
+                .clock
+                .deadline_us(cfg.move_hold_timeout + cfg.rpc_timeout);
             g.iter_mut()
                 .filter(|(_, h)| h.deadline <= now)
                 .map(|(k, h)| {
@@ -1028,7 +1047,14 @@ impl Core {
             _ => id.origin,
         };
         if cur == me {
-            return Err(FargoError::UnknownComplet(id));
+            // No outbound tracker and the trail leads to ourselves: we
+            // are the origin (or hold a stale self-forward), so the home
+            // registry is the remaining lead — the local tracker may
+            // simply have been idle-collected.
+            match self.local_belief(id) {
+                Some(n) if n != me => cur = n,
+                _ => return Err(FargoError::UnknownComplet(id)),
+            }
         }
         for _ in 0..self.inner.config.max_hops {
             match self.rpc(cur, Request::WhereIs { id })? {

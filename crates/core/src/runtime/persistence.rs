@@ -109,6 +109,7 @@ impl Core {
                     &crate::proto::Message::Notify(crate::proto::Notify::LocationUpdate {
                         target: id,
                         now_at: me,
+                        epoch: self.current_move_epoch(id),
                     }),
                 );
             }

@@ -17,6 +17,8 @@ use fargo_telemetry::{
     SpanLog, TraceContext, BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
 };
 
+use crate::config::CoreConfig;
+
 /// All request kinds plus the envelope-level labels, pre-registered so
 /// the receive/send paths never take the registry lock.
 const MSG_KINDS: &[&str] = &[
@@ -99,18 +101,17 @@ pub(crate) struct CoreTelemetry {
     pub move_indoubt_total: Counter,
     /// Requests dropped because the worker-pool queue was full.
     pub worker_rejections_total: Counter,
+    /// Tracker updates rejected for carrying a stale move epoch.
+    pub tracker_stale_total: Counter,
 }
 
 impl CoreTelemetry {
-    pub(crate) fn new(
-        registry: Registry,
-        core: &str,
-        node: u32,
-        trace_enabled: bool,
-        trace_capacity: usize,
-        journal_enabled: bool,
-        journal_capacity: usize,
-    ) -> Self {
+    pub(crate) fn new(registry: Registry, core: &str, node: u32, config: &CoreConfig) -> Self {
+        let trace_enabled = config.trace_enabled;
+        let trace_capacity = config.trace_capacity;
+        let journal_enabled = config.journal_enabled;
+        let journal_capacity = config.journal_capacity;
+        let clock = config.clock.clone();
         let l = &[("core", core)][..];
         let move_by_relocator = RELOCATOR_KINDS
             .iter()
@@ -140,7 +141,7 @@ impl CoreTelemetry {
             spans: SpanLog::new(trace_capacity),
             trace_enabled,
             journal: Journal::new(journal_capacity),
-            clock: HlcClock::new(),
+            clock: HlcClock::with_source(clock),
             journal_enabled,
             node,
             journal_events_total: registry.counter("fargo_journal_events_total", l),
@@ -169,6 +170,7 @@ impl CoreTelemetry {
             reply_send_failures: registry.counter("fargo_reply_send_failures", l),
             move_indoubt_total: registry.counter("fargo_move_indoubt_total", l),
             worker_rejections_total: registry.counter("fargo_worker_rejections_total", l),
+            tracker_stale_total: registry.counter("fargo_tracker_stale_rejections_total", l),
             registry,
         }
     }
@@ -272,6 +274,15 @@ impl Drop for TraceScope {
 mod tests {
     use super::*;
 
+    fn test_cfg(journaling: bool) -> CoreConfig {
+        let mut cfg = CoreConfig::default()
+            .with_tracing(true)
+            .with_journaling(journaling)
+            .with_journal_capacity(8);
+        cfg.trace_capacity = 8;
+        cfg
+    }
+
     #[test]
     fn ambient_trace_nests_and_restores() {
         assert!(current_trace().is_none());
@@ -291,7 +302,7 @@ mod tests {
 
     #[test]
     fn unknown_message_kind_is_ignored() {
-        let t = CoreTelemetry::new(Registry::new(), "c", 0, true, 8, true, 8);
+        let t = CoreTelemetry::new(Registry::new(), "c", 0, &test_cfg(true));
         t.record_msg_out("no_such_kind", 10);
         t.record_msg_in("invoke", 10);
         let snap = t.registry.snapshot();
@@ -300,7 +311,7 @@ mod tests {
 
     #[test]
     fn journal_helper_records_and_gates() {
-        let on = CoreTelemetry::new(Registry::new(), "c", 3, true, 8, true, 8);
+        let on = CoreTelemetry::new(Registry::new(), "c", 3, &test_cfg(true));
         on.journal(JournalKind::CompletArrived, &"c0.1", "Agent", "", Some(1));
         let snap = on.journal.snapshot();
         assert_eq!(snap.len(), 1);
@@ -308,7 +319,7 @@ mod tests {
         assert_eq!(snap[0].kind, JournalKind::CompletArrived);
         assert!(on.hlc_send_stamp().is_some());
 
-        let off = CoreTelemetry::new(Registry::new(), "c", 3, true, 8, false, 8);
+        let off = CoreTelemetry::new(Registry::new(), "c", 3, &test_cfg(false));
         off.journal(JournalKind::CompletArrived, &"c0.1", "", "", None);
         assert!(off.journal.snapshot().is_empty());
         assert!(off.hlc_send_stamp().is_none());

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use fargo_core::{Core, Hlc, JournalKind};
 
@@ -144,7 +144,11 @@ impl Executor {
     /// A step only counts once the journal shows the arrival at the
     /// destination and the tracker layer agrees on the location.
     fn verify_arrival(&self, step: &MoveStep, started: Hlc) -> Result<(), String> {
-        let deadline = Instant::now() + self.cfg.verify_timeout;
+        // Poll budget instead of a wall-clock deadline: the iteration
+        // count is fixed by the configured timeout, so a run's outcome
+        // does not race the scheduler (and stays reproducible under the
+        // deterministic checker's virtual clock).
+        let mut polls = 1 + self.cfg.verify_timeout.as_millis() as u64 / 2;
         let subject = step.complet.to_string();
         loop {
             let journaled = self.core.collect_journal().iter().any(|ev| {
@@ -159,7 +163,8 @@ impl Executor {
                     _ => {} // arrival seen but location not settled yet
                 }
             }
-            if Instant::now() >= deadline {
+            polls = polls.saturating_sub(1);
+            if polls == 0 {
                 return Err(format!(
                     "{} move to {} unverified after {:?}",
                     step.complet,

@@ -69,6 +69,9 @@ pub(crate) struct Inner {
     scheduler: Scheduler,
     rng: Mutex<crate::rng::Rng>,
     seq: AtomicU64,
+    /// Packets accepted by [`Network::send`] but not yet placed in their
+    /// destination queue. Self-sends bypass the scheduler and never count.
+    in_flight: Arc<AtomicU64>,
 }
 
 /// An in-process simulated network.
@@ -84,15 +87,17 @@ impl Network {
     /// Creates an empty network and starts its delivery scheduler.
     pub fn new(config: NetworkConfig) -> Self {
         let seed = config.seed;
+        let in_flight = Arc::new(AtomicU64::new(0));
         Network {
             inner: Arc::new(Inner {
                 config,
                 nodes: RwLock::new(Vec::new()),
                 names: RwLock::new(HashMap::new()),
                 links: Mutex::new(HashMap::new()),
-                scheduler: Scheduler::spawn(),
+                scheduler: Scheduler::spawn(in_flight.clone()),
                 rng: Mutex::new(crate::rng::Rng::seed_from_u64(seed)),
                 seq: AtomicU64::new(0),
+                in_flight,
             }),
         }
     }
@@ -347,12 +352,23 @@ impl Network {
             start + ser + self.scaled(cfg.latency) + self.scaled(jitter)
         };
 
-        self.inner.scheduler.submit(Scheduled {
+        self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        if !self.inner.scheduler.submit(Scheduled {
             deliver_at,
             msg,
             to: dst_tx,
-        });
+        }) {
+            self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
         Ok(())
+    }
+
+    /// Packets currently travelling through the link model: accepted by
+    /// [`Network::send`] but not yet delivered into their destination
+    /// queue. Reaching zero (with all endpoint queues drained) is the
+    /// network half of a quiescence check.
+    pub fn in_flight(&self) -> u64 {
+        self.inner.in_flight.load(Ordering::SeqCst)
     }
 }
 
@@ -473,6 +489,22 @@ mod tests {
         a.send(b.id(), b"x".to_vec()).unwrap();
         assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
         assert_eq!(n.link_stats(a.id(), b.id()).dropped, 1);
+    }
+
+    #[test]
+    fn in_flight_drains_to_zero() {
+        let n = Network::new(NetworkConfig::default());
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        n.set_link(a.id(), b.id(), LinkConfig::new(Duration::from_millis(20)))
+            .unwrap();
+        a.send(b.id(), b"x".to_vec()).unwrap();
+        assert_eq!(n.in_flight(), 1);
+        b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(n.in_flight(), 0);
+        // Self-sends never enter the scheduler.
+        a.send(a.id(), b"y".to_vec()).unwrap();
+        assert_eq!(n.in_flight(), 0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -57,11 +59,15 @@ pub(crate) struct Scheduler {
 }
 
 impl Scheduler {
-    pub fn spawn() -> Self {
+    /// Spawns the delivery thread. `in_flight` is decremented once per
+    /// packet after it lands in its destination queue (including the
+    /// shutdown flush), pairing with the increment the sender performs at
+    /// submission time.
+    pub fn spawn(in_flight: Arc<AtomicU64>) -> Self {
         let (tx, rx) = channel::unbounded::<Scheduled>();
         let handle = thread::Builder::new()
             .name("simnet-scheduler".into())
-            .spawn(move || run(rx))
+            .spawn(move || run(rx, &in_flight))
             .expect("failed to spawn simnet scheduler thread");
         Scheduler {
             tx,
@@ -87,7 +93,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn run(rx: Receiver<Scheduled>) {
+fn run(rx: Receiver<Scheduled>, in_flight: &AtomicU64) {
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
@@ -97,6 +103,7 @@ fn run(rx: Receiver<Scheduled>) {
             let entry = heap.pop().expect("peeked entry must exist");
             // A closed receiver just means the endpoint is gone.
             let _ = entry.item.to.send(entry.item.msg);
+            in_flight.fetch_sub(1, AtomicOrdering::SeqCst);
         }
         // Wait for the next due time or a new submission.
         let wait = heap
@@ -118,6 +125,7 @@ fn run(rx: Receiver<Scheduled>) {
                 // flush remaining packets immediately, earliest first.
                 while let Some(entry) = heap.pop() {
                     let _ = entry.item.to.send(entry.item.msg);
+                    in_flight.fetch_sub(1, AtomicOrdering::SeqCst);
                 }
                 return;
             }
@@ -141,9 +149,13 @@ mod tests {
         }
     }
 
+    fn counter(n: u64) -> Arc<AtomicU64> {
+        Arc::new(AtomicU64::new(n))
+    }
+
     #[test]
     fn delivers_in_time_order() {
-        let sched = Scheduler::spawn();
+        let sched = Scheduler::spawn(counter(2));
         let (tx, rx) = channel::unbounded();
         let now = Instant::now();
         sched.submit(Scheduled {
@@ -164,7 +176,7 @@ mod tests {
 
     #[test]
     fn immediate_delivery() {
-        let sched = Scheduler::spawn();
+        let sched = Scheduler::spawn(counter(1));
         let (tx, rx) = channel::unbounded();
         sched.submit(Scheduled {
             deliver_at: Instant::now(),
@@ -177,8 +189,9 @@ mod tests {
     #[test]
     fn drop_flushes_pending() {
         let (tx, rx) = channel::unbounded();
+        let pending = counter(1);
         {
-            let sched = Scheduler::spawn();
+            let sched = Scheduler::spawn(pending.clone());
             sched.submit(Scheduled {
                 deliver_at: Instant::now() + Duration::from_secs(30),
                 msg: msg(9),
@@ -187,5 +200,6 @@ mod tests {
             // Dropping the scheduler must not hang and must flush.
         }
         assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().seq, 9);
+        assert_eq!(pending.load(AtomicOrdering::SeqCst), 0);
     }
 }

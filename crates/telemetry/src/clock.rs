@@ -1,0 +1,111 @@
+//! The time source behind every protocol deadline.
+//!
+//! Production Cores read wall time (the process-wide trace epoch from
+//! [`crate::trace::now_micros`]). Under the deterministic checker the
+//! same call reads a shared virtual counter that only moves when the
+//! test driver advances it — so hold deadlines, retry budgets, idle
+//! retirement, and HLC physical components become pure functions of the
+//! schedule rather than of host scheduling jitter.
+//!
+//! The split that keeps virtual time sound: *protocol deadlines* (what
+//! determines a semantic outcome recorded in the journal — hold expiry,
+//! RPC timeout, tracker idleness, cache TTL) read this clock, while
+//! *liveness bounds* (how long a thread physically blocks on a channel
+//! before re-checking) stay on real time. A fault-free virtual run never
+//! reaches any deadline, which is exactly what makes one seed replay to
+//! one bit-identical journal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::trace::now_micros;
+
+/// A readable time source: wall time in production, a shared virtual
+/// counter under the deterministic checker. Cloning a virtual clock
+/// shares the counter, so every Core in a simulated cluster sees the
+/// same instant.
+#[derive(Clone, Debug, Default)]
+pub enum Clock {
+    /// Microseconds since the process trace epoch (production).
+    #[default]
+    Wall,
+    /// Microseconds read from a shared counter that only [`Clock::advance`]
+    /// moves (deterministic simulation).
+    Virtual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A virtual clock starting at `start_us` microseconds.
+    pub fn new_virtual(start_us: u64) -> Clock {
+        Clock::Virtual(Arc::new(AtomicU64::new(start_us)))
+    }
+
+    /// The current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Wall => now_micros(),
+            Clock::Virtual(t) => t.load(Ordering::Acquire),
+        }
+    }
+
+    /// Moves a virtual clock forward by `d`, returning the new now.
+    /// On a wall clock this is a no-op (real time cannot be steered).
+    pub fn advance(&self, d: Duration) -> u64 {
+        match self {
+            Clock::Wall => now_micros(),
+            Clock::Virtual(t) => {
+                t.fetch_add(d.as_micros() as u64, Ordering::AcqRel) + d.as_micros() as u64
+            }
+        }
+    }
+
+    /// Whether this clock is driven by the simulation rather than the OS.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// `now_us() + d`, saturating — the idiom for protocol deadlines.
+    pub fn deadline_us(&self, d: Duration) -> u64 {
+        self.now_us().saturating_add(d.as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_moves_on_its_own() {
+        let c = Clock::Wall;
+        assert!(!c.is_virtual());
+        let a = c.now_us();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now_us() > a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let c = Clock::new_virtual(1_000);
+        assert!(c.is_virtual());
+        assert_eq!(c.now_us(), 1_000);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now_us(), 1_000, "real time must not leak in");
+        assert_eq!(c.advance(Duration::from_micros(500)), 1_500);
+        assert_eq!(c.now_us(), 1_500);
+    }
+
+    #[test]
+    fn clones_share_the_virtual_counter() {
+        let a = Clock::new_virtual(0);
+        let b = a.clone();
+        a.advance(Duration::from_micros(7));
+        assert_eq!(b.now_us(), 7);
+    }
+
+    #[test]
+    fn deadlines_saturate() {
+        let c = Clock::new_virtual(u64::MAX - 10);
+        assert_eq!(c.deadline_us(Duration::from_secs(1)), u64::MAX);
+    }
+}

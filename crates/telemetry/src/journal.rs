@@ -38,7 +38,7 @@ use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::trace::now_micros;
+use crate::clock::Clock;
 
 /// Logical component saturates at 16 bits (the packed-atomic clock word
 /// reserves the low 16 bits for it). In practice the physical component
@@ -93,6 +93,9 @@ impl FromStr for Hlc {
 #[derive(Debug, Default)]
 pub struct HlcClock {
     state: AtomicU64,
+    /// Where the physical component comes from: wall time in production,
+    /// the checker's virtual counter under deterministic simulation.
+    source: Clock,
 }
 
 fn pack(wall_us: u64, logical: u32) -> u64 {
@@ -106,6 +109,16 @@ fn unpack(word: u64) -> (u64, u32) {
 impl HlcClock {
     pub fn new() -> HlcClock {
         HlcClock::default()
+    }
+
+    /// A clock whose physical component reads `source` instead of wall
+    /// time. With a virtual source, timestamps are pure functions of the
+    /// event order plus explicit `advance` calls.
+    pub fn with_source(source: Clock) -> HlcClock {
+        HlcClock {
+            state: AtomicU64::new(0),
+            source,
+        }
     }
 
     /// The current value without advancing the clock.
@@ -137,7 +150,7 @@ impl HlcClock {
     /// returns the new timestamp: strictly greater than every timestamp
     /// this clock handed out before.
     pub fn tick(&self) -> Hlc {
-        let pt = now_micros();
+        let pt = self.source.now_us();
         self.advance(|w, l| {
             if pt > w {
                 (pt, 0)
@@ -151,7 +164,7 @@ impl HlcClock {
     /// rule), so every local event after this one orders *after* the
     /// sender's events.
     pub fn observe(&self, remote: Hlc) -> Hlc {
-        let pt = now_micros();
+        let pt = self.source.now_us();
         self.advance(|w, l| {
             if pt > w && pt > remote.wall_us {
                 (pt, 0)
@@ -218,6 +231,10 @@ pub enum JournalKind {
     /// A plan step failed and previously executed steps were undone
     /// (subject = complet or plan id, detail = reason).
     PlanRollback,
+    /// A tracker update carrying a stale move epoch was rejected
+    /// (subject = complet, object = rejected epoch, detail = current
+    /// epoch, peer = the target the stale update wanted).
+    TrackerStale,
 }
 
 impl JournalKind {
@@ -244,6 +261,7 @@ impl JournalKind {
             JournalKind::PlanStep => "plan_step",
             JournalKind::PlanConverged => "plan_converge",
             JournalKind::PlanRollback => "plan_rollback",
+            JournalKind::TrackerStale => "trk_stale",
         }
     }
 
@@ -270,6 +288,7 @@ impl JournalKind {
             "plan_step" => JournalKind::PlanStep,
             "plan_converge" => JournalKind::PlanConverged,
             "plan_rollback" => JournalKind::PlanRollback,
+            "trk_stale" => JournalKind::TrackerStale,
             _ => return None,
         })
     }
@@ -467,7 +486,9 @@ impl LayoutState {
             | JournalKind::PlanProposed
             | JournalKind::PlanStep
             | JournalKind::PlanConverged
-            | JournalKind::PlanRollback => {}
+            | JournalKind::PlanRollback
+            // A rejected stale update changes nothing, by design.
+            | JournalKind::TrackerStale => {}
         }
     }
 
@@ -752,6 +773,7 @@ pub fn render_journal_json(events: &[JournalEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::now_micros;
 
     fn ev(hlc: (u64, u32), core: u32, seq: u64, kind: JournalKind, subject: &str) -> JournalEvent {
         JournalEvent {
@@ -811,6 +833,32 @@ mod tests {
         let merged = clock.observe(remote);
         assert!(merged > remote, "{merged} must order after {remote}");
         assert!(clock.tick() > merged);
+    }
+
+    #[test]
+    fn virtual_source_makes_timestamps_deterministic() {
+        let run = || {
+            let clock = HlcClock::with_source(Clock::new_virtual(1_000));
+            let mut out = vec![clock.tick(), clock.tick()];
+            out.push(clock.observe(Hlc {
+                wall_us: 2_000,
+                logical: 3,
+            }));
+            out.push(clock.tick());
+            out
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same event order must give identical stamps");
+        assert_eq!(a[0].wall_us, 1_000, "physical part is the virtual now");
+        assert!(a[2].wall_us == 2_000 && a[2].logical == 4, "receive rule");
+    }
+
+    #[test]
+    fn stale_kind_round_trips() {
+        assert_eq!(
+            JournalKind::parse(JournalKind::TrackerStale.as_str()),
+            Some(JournalKind::TrackerStale)
+        );
     }
 
     #[test]

@@ -16,15 +16,20 @@
 //!   clock ([`journal::Hlc`]) that piggybacks on every inter-Core
 //!   envelope, so per-Core journals merge into one causally-consistent
 //!   timeline, reconstructable into a [`journal::LayoutHistory`].
+//! * [`clock`] — the [`Clock`] every protocol deadline reads: wall time
+//!   in production, a shared virtual counter under the deterministic
+//!   checker (`fargo-check`), so one seed replays to one journal.
 //!
 //! The crate deliberately has no dependencies (not even in-workspace
 //! ones) so every layer — wire, simnet, core, shell, viz, bench — can
 //! use it without cycles.
 
+pub mod clock;
 pub mod journal;
 pub mod metrics;
 pub mod trace;
 
+pub use clock::Clock;
 pub use journal::{
     merge_timelines, render_journal_json, Anomaly, AnomalyThresholds, Hlc, HlcClock, Journal,
     JournalEvent, JournalKind, LayoutHistory, LayoutState,
