@@ -51,6 +51,21 @@ for seed in 7 11 23; do
     echo "$e15" | grep -q 'guardrail ok (attached-but-disabled ~ absent)'
 done
 
+# E17 guardrails, swept over the same simnet seeds: always-on phase
+# timing plus the tail sampler must cost at most ~0.5us per local call
+# against the stamp-free baseline; under an injected 2ms link the
+# receiver's network-phase histogram must absorb the delay and the
+# slow-request ring must retain traced requests. The table rows say
+# "guardrail ok" only when all three hold.
+for seed in 7 11 23; do
+    echo "==> experiments json smoke (E17, seed $seed)"
+    e17=$(FARGO_SIMNET_SEED=$seed \
+        cargo run -q -p fargo-bench --bin experiments --release -- json E17)
+    echo "$e17" | grep -q 'guardrail ok (phase timing <=0.5us/call)'
+    echo "$e17" | grep -q 'guardrail ok (network phase >= injected 2ms)'
+    echo "$e17" | grep -q 'guardrail ok (tail retained with spans)'
+done
+
 # Deterministic schedule-explorer sweep: 1000 seeded workloads (moves,
 # invokes, relocator links, time advances, idle-tracker collections)
 # through the virtual-clock driver, every merged journal checked against

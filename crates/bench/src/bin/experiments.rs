@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E15).
+//! Regenerates every experiment table (E1–E17).
 //!
 //! Usage:
 //!   cargo run -p fargo-bench --bin experiments --release          # quick sweeps

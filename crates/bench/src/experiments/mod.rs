@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E16). Each module regenerates one experiment
+//! The experiment suite (E1–E17). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -17,6 +17,7 @@ pub mod e13_journal;
 pub mod e14_retry;
 pub mod e15_planner;
 pub mod e16_checker;
+pub mod e17_tail;
 
 use crate::Table;
 
@@ -115,6 +116,12 @@ pub fn all() -> Vec<Experiment> {
             id: "E16",
             summary: "schedule-explorer throughput: deterministic seeds swept per second",
             run: e16_checker::run,
+        },
+        Experiment {
+            id: "E17",
+            summary:
+                "tail-latency observatory: phase-timing overhead; per-phase attribution and tail retention under injected link delay",
+            run: e17_tail::run,
         },
     ]
 }

@@ -69,6 +69,9 @@ pub struct RunConfig {
     /// Quiescence budget per barrier, in polls (~1 ms each past the
     /// initial spin window).
     pub quiesce_polls: u32,
+    /// Record spans during the run and return them in the report (the
+    /// span-determinism regression turns this on).
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -77,6 +80,7 @@ impl Default for RunConfig {
             stress: false,
             step_oracles: true,
             quiesce_polls: 4000,
+            trace: false,
         }
     }
 }
@@ -92,11 +96,29 @@ pub struct RunReport {
     /// Ops applied before the run stopped (== schedule length unless a
     /// step oracle fired).
     pub ops_applied: usize,
+    /// Spans recorded by all Cores (empty unless [`RunConfig::trace`]).
+    /// Trace/span ids come from a process-global counter and are *not*
+    /// seed-stable across runs in one process; determinism comparisons
+    /// should use [`RunReport::span_shape`].
+    pub spans: Vec<fargo_core::SpanRecord>,
 }
 
 impl RunReport {
     pub fn failed(&self) -> bool {
         !self.violations.is_empty()
+    }
+
+    /// The id-free shape of every recorded span — `(name, core,
+    /// start_us, duration_us)`, sorted — which under the virtual clock
+    /// must be a pure function of the schedule.
+    pub fn span_shape(&self) -> Vec<(String, String, u64, u64)> {
+        let mut shape: Vec<_> = self
+            .spans
+            .iter()
+            .map(|s| (s.name.clone(), s.core.clone(), s.start_us, s.duration_us))
+            .collect();
+        shape.sort();
+        shape
     }
 }
 
@@ -107,7 +129,7 @@ struct Cluster {
 }
 
 impl Cluster {
-    fn spawn(schedule: &Schedule, stress: bool) -> Result<Cluster, FargoError> {
+    fn spawn(schedule: &Schedule, stress: bool, trace: bool) -> Result<Cluster, FargoError> {
         let (clock, link) = if stress {
             (
                 Clock::Wall,
@@ -130,6 +152,7 @@ impl Cluster {
             // Generous for a schedule's few hundred events, small enough
             // that the quiescence poll's ring scans stay cheap.
             .with_journal_capacity(2048)
+            .with_tracing(trace)
             .with_clock(clock.clone());
         if stress {
             cc = cc.with_rpc_retries(4);
@@ -284,13 +307,14 @@ fn apply(
 /// Runs `schedule` under `cfg` and reports violations plus the merged
 /// journal.
 pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
-    let cl = match Cluster::spawn(schedule, cfg.stress) {
+    let cl = match Cluster::spawn(schedule, cfg.stress, cfg.trace) {
         Ok(cl) => cl,
         Err(e) => {
             return RunReport {
                 violations: vec![Violation::new("op-error", "cluster", e.to_string())],
                 journal: Vec::new(),
                 ops_applied: 0,
+                spans: Vec::new(),
             }
         }
     };
@@ -377,11 +401,17 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
     }
 
     let journal = cl.merged_journal();
+    let spans = if cfg.trace {
+        cl.cores.iter().flat_map(Core::span_snapshot).collect()
+    } else {
+        Vec::new()
+    };
     cl.teardown();
     RunReport {
         violations,
         journal,
         ops_applied,
+        spans,
     }
 }
 

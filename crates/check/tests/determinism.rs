@@ -22,6 +22,33 @@ fn same_seed_twice_is_byte_identical() {
     assert_eq!(ja, jb, "same seed must replay to an identical journal");
 }
 
+/// Span timestamps read the shared virtual clock, so the id-free span
+/// shape — (name, core, start, duration) — is as seed-stable as the
+/// journal. (Ids come from a process-global counter and are excluded.)
+#[test]
+fn span_timing_is_seed_stable() {
+    let schedule = Schedule::generate(42, 12, 3);
+    let cfg = RunConfig {
+        trace: true,
+        ..RunConfig::default()
+    };
+    let a = run(&schedule, &cfg);
+    let b = run(&schedule, &cfg);
+    assert!(!a.failed(), "violations: {:?}", a.violations);
+    assert!(!b.failed(), "violations: {:?}", b.violations);
+    assert!(!a.spans.is_empty(), "traced run must record spans");
+    assert_eq!(
+        a.span_shape(),
+        b.span_shape(),
+        "same seed must replay to identical span timing"
+    );
+    // And tracing must not perturb the journal contract.
+    assert_eq!(
+        render_journal_json(&a.journal),
+        render_journal_json(&b.journal)
+    );
+}
+
 /// Different seeds produce different workloads (the generator is not
 /// collapsing the space).
 #[test]

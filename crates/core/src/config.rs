@@ -98,6 +98,18 @@ pub struct CoreConfig {
     /// checker substitutes a shared virtual clock so one seed replays to
     /// one bit-identical journal.
     pub clock: fargo_telemetry::Clock,
+    /// Whether requests are stamped at enqueue, dispatch, marshal, wire
+    /// send/receive, and exec — decomposing every invoke into per-phase
+    /// `fargo_latency_*` histograms and feeding measured link latency
+    /// back to the layout cost model. Off restores stamp-free envelopes.
+    pub phase_timing: bool,
+    /// Capacity of the slow-request ring (tail-based trace retention:
+    /// the K slowest requests keep their span trees). `0` disables the
+    /// sampler.
+    pub slow_log_capacity: usize,
+    /// Observations per epoch of the sliding latency window behind
+    /// "recent" percentile estimates (the window spans 1–2 epochs).
+    pub latency_window: u64,
 }
 
 impl Default for CoreConfig {
@@ -130,6 +142,9 @@ impl Default for CoreConfig {
             anomaly_ping_pong_returns: 2,
             anomaly_orphan_min_age_us: 0,
             clock: fargo_telemetry::Clock::Wall,
+            phase_timing: true,
+            slow_log_capacity: 16,
+            latency_window: 512,
         }
     }
 }
@@ -227,6 +242,20 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with per-phase request timing (and its envelope
+    /// timing stamps) switched on or off.
+    pub fn with_phase_timing(mut self, enabled: bool) -> Self {
+        self.phase_timing = enabled;
+        self
+    }
+
+    /// Configuration with the slow-request ring capacity replaced
+    /// (`0` disables tail-based trace retention).
+    pub fn with_slow_log_capacity(mut self, capacity: usize) -> Self {
+        self.slow_log_capacity = capacity;
+        self
+    }
+
     /// The anomaly thresholds as the telemetry-layer struct.
     pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
         fargo_telemetry::AnomalyThresholds {
@@ -266,6 +295,16 @@ mod tests {
         let v = CoreConfig::default().with_clock(fargo_telemetry::Clock::new_virtual(5));
         assert!(v.clock.is_virtual());
         assert_eq!(v.clock.now_us(), 5);
+    }
+
+    #[test]
+    fn phase_timing_and_slow_log_knobs() {
+        let c = CoreConfig::default();
+        assert!(c.phase_timing, "phase timing is on by default");
+        assert!(c.slow_log_capacity > 0, "tail sampler is always on");
+        let c = c.with_phase_timing(false).with_slow_log_capacity(0);
+        assert!(!c.phase_timing);
+        assert_eq!(c.slow_log_capacity, 0);
     }
 
     #[test]

@@ -76,14 +76,15 @@ pub use reference::{
     ArrivalAction, CompletRef, MarshalAction, MetaRef, Relocator, RelocatorRegistry,
     TrackerSnapshot, TrackerTarget,
 };
-pub use runtime::{BoundRef, Core, CoreBuilder, RemoteSubscription, TickHook};
+pub use runtime::{BoundRef, Core, CoreBuilder, LatencySummary, RemoteSubscription, TickHook};
 
 // Re-exported so `define_complet!` expansions and user code agree on the
 // value/id types without importing `fargo-wire` separately.
 pub use fargo_wire::{CompletId, RefDescriptor, Value};
 
 pub use fargo_telemetry::{
-    render_journal_json, render_span_tree, Anomaly, AnomalyThresholds, Clock, Hlc, JournalEvent,
-    JournalKind, LayoutHistory, LayoutState, MetricValue, Registry as TelemetryRegistry,
-    Snapshot as MetricSnapshot, SpanRecord, TraceContext,
+    render_journal_json, render_slow_log, render_span_tree, Anomaly, AnomalyThresholds, Clock, Hlc,
+    JournalEvent, JournalKind, LayoutHistory, LayoutState, MetricValue,
+    Registry as TelemetryRegistry, SlowRecord, Snapshot as MetricSnapshot, SpanRecord,
+    TraceContext,
 };

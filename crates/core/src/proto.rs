@@ -1133,6 +1133,17 @@ impl Message {
     /// timeline causally consistent. Envelopes without the field stay
     /// byte-compatible with peers that never heard of HLCs.
     pub fn encode_with_hlc(&self, hlc: Option<Hlc>) -> bytes::Bytes {
+        self.encode_with_meta(hlc, None)
+    }
+
+    /// Encodes the message with the full set of optional envelope
+    /// metadata: the HLC (see [`Message::encode_with_hlc`]) and the
+    /// sender's shared-clock send timestamp in µs (optional `ts` field),
+    /// from which the receiver measures one-way network latency for the
+    /// per-phase histograms and the layout cost model. Both fields are
+    /// omitted entirely when `None`, so envelopes stay byte-compatible
+    /// with peers (and configurations) that never stamp them.
+    pub fn encode_with_meta(&self, hlc: Option<Hlc>, ts: Option<u64>) -> bytes::Bytes {
         let mut v = match self {
             Message::Request {
                 req_id,
@@ -1178,6 +1189,9 @@ impl Message {
                 ]),
             );
         }
+        if let Some(ts) = ts {
+            v.insert("ts", Value::I64(ts as i64));
+        }
         encode_value(&v)
     }
 
@@ -1198,6 +1212,15 @@ impl Message {
     /// dispatching, which is what makes journal events at the two Cores
     /// order causally.
     pub fn decode_with_hlc(bytes: &[u8]) -> Result<(Message, Option<Hlc>)> {
+        let (msg, hlc, _) = Message::decode_with_meta(bytes)?;
+        Ok((msg, hlc))
+    }
+
+    /// Decodes a message plus all optional envelope metadata: the
+    /// sender's HLC and its send timestamp (`ts`, shared-clock µs). The
+    /// receive path subtracts `ts` from its own clock to attribute the
+    /// network phase of the request's latency.
+    pub fn decode_with_meta(bytes: &[u8]) -> Result<(Message, Option<Hlc>, Option<u64>)> {
         let v = decode_value(bytes)?;
         let hlc = v.get("hlc").and_then(|h| {
             Some(Hlc {
@@ -1205,6 +1228,7 @@ impl Message {
                 logical: h.index(1)?.as_i64()? as u32,
             })
         });
+        let ts = v.get("ts").and_then(|t| t.as_i64()).map(|t| t as u64);
         let msg = match str_field(&v, "t")?.as_str() {
             "req" => Ok(Message::Request {
                 req_id: u64_field(&v, "id")?,
@@ -1227,7 +1251,7 @@ impl Message {
             )?)?)),
             other => Err(FargoError::Protocol(format!("unknown envelope {other:?}"))),
         }?;
-        Ok((msg, hlc))
+        Ok((msg, hlc, ts))
     }
 }
 
@@ -1605,6 +1629,50 @@ mod tests {
             })))
             .unwrap();
             assert_eq!(h.unwrap().wall_us, 9);
+        }
+    }
+
+    #[test]
+    fn envelope_send_timestamp_piggybacks_and_is_optional() {
+        let msg = Message::Request {
+            req_id: 7,
+            origin: 0,
+            trace: None,
+            body: Request::Ping,
+        };
+        let stamped = msg.encode_with_meta(None, Some(123_456));
+        let (back, hlc, ts) = Message::decode_with_meta(&stamped).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(hlc, None);
+        assert_eq!(ts, Some(123_456));
+        // An unstamped envelope encodes to the exact same bytes as one
+        // that never heard of the field — byte compatible, not merely
+        // decode compatible.
+        assert_eq!(msg.encode_with_meta(None, None), msg.encode());
+        let (_, _, ts) = Message::decode_with_meta(&msg.encode()).unwrap();
+        assert_eq!(ts, None);
+        // HLC and ts stack on the same envelope.
+        let both = msg.encode_with_meta(
+            Some(Hlc {
+                wall_us: 55,
+                logical: 3,
+            }),
+            Some(9),
+        );
+        let (_, hlc, ts) = Message::decode_with_meta(&both).unwrap();
+        assert_eq!(hlc.unwrap().wall_us, 55);
+        assert_eq!(ts, Some(9));
+        // All three envelope shapes accept the field.
+        for m in [
+            Message::Reply {
+                req_id: 1,
+                route: vec![0],
+                body: Reply::Ok,
+            },
+            Message::Notify(Notify::CoreShutdown { node: 1 }),
+        ] {
+            let (_, _, ts) = Message::decode_with_meta(&m.encode_with_meta(None, Some(4))).unwrap();
+            assert_eq!(ts, Some(4));
         }
     }
 

@@ -74,18 +74,32 @@ impl Core {
                 parent.map_or(0, |p| p.span_id),
                 format!("invoke {}.{}", target.target_type(), method),
             );
-            Some((timer, telemetry::enter_trace(ctx)))
+            Some((ctx, timer, telemetry::enter_trace(ctx)))
         } else {
             None
         };
         let started = self.inner.config.clock.now_us();
         let result = self.invoke_routed(target, method, args, chain);
-        t.invoke_latency_us.observe_micros(Duration::from_micros(
-            self.inner.config.clock.now_us().saturating_sub(started),
-        ));
-        if let Some((timer, scope)) = span {
+        let total_us = self.inner.config.clock.now_us().saturating_sub(started);
+        t.invoke_latency_us.observe(total_us);
+        let trace_id = span.as_ref().map(|(ctx, ..)| ctx.trace_id);
+        if let Some((_, timer, scope)) = span {
             drop(scope);
             timer.finish(&t.spans, &self.inner.name);
+        }
+        // Tail-based retention: requests slower than everything the
+        // bounded slow-log already holds are admitted with a snapshot of
+        // their local span tree, so the worst tail stays inspectable
+        // (`shell slow`) long after the span ring has moved on.
+        if t.phase_timing && total_us >= t.slow.threshold_us() {
+            let spans = trace_id.map(|id| t.spans.for_trace(id)).unwrap_or_default();
+            t.slow.offer(fargo_telemetry::SlowRecord {
+                trace_id: trace_id.unwrap_or(0),
+                name: format!("invoke {}.{}", target.target_type(), method),
+                total_us,
+                at_us: started,
+                spans,
+            });
         }
         result
     }
@@ -434,7 +448,12 @@ impl Core {
                         }
                         _ => None,
                     };
+                    let exec_start = t.phase_timing.then(|| t.phase_now_us());
                     let exec = self.execute_local(target, &method, &args, &chain);
+                    if let Some(t0) = exec_start {
+                        t.latency_exec_us
+                            .observe(t.phase_now_us().saturating_sub(t0));
+                    }
                     if let Some((timer, scope)) = span {
                         drop(scope);
                         timer.finish(&t.spans, &self.inner.name);
@@ -499,7 +518,12 @@ impl Core {
                             hops: hops + 1,
                         },
                     };
+                    let fwd_start = t.phase_timing.then(|| t.phase_now_us());
                     let sent = self.send_to(next, &msg);
+                    if let Some(t0) = fwd_start {
+                        t.latency_forward_us
+                            .observe(t.phase_now_us().saturating_sub(t0));
+                    }
                     if let Some(timer) = span {
                         timer.finish(&t.spans, &self.inner.name);
                     }

@@ -20,8 +20,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use fargo_telemetry::{
-    merge_timelines, render_span_tree, Hlc, JournalEvent, JournalKind, LayoutHistory,
-    Registry as TelemetryRegistry, SpanRecord, TraceContext,
+    merge_timelines, render_span_tree, Histogram, Hlc, JournalEvent, JournalKind, LayoutHistory,
+    Registry as TelemetryRegistry, SlowRecord, SpanRecord, TraceContext,
 };
 use fargo_wire::{CompletId, RefDescriptor, Value};
 use parking_lot::{Mutex, RwLock};
@@ -114,6 +114,25 @@ pub(crate) struct CoreInner {
     /// layout planner's cadence source), keyed for removal.
     pub tick_hooks: Mutex<Vec<(u64, TickHook)>>,
     pub tick_hook_seq: AtomicU64,
+}
+
+/// Percentile summary of one latency histogram, as returned by
+/// [`Core::latency_summaries`]. Percentiles are geometric log-bucket
+/// estimates in µs; `None` while the histogram is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Which component of the request this row covers (`queue`,
+    /// `marshal`, `network`, `exec`, `forward`, `invoke`,
+    /// `invoke(recent)`).
+    pub phase: &'static str,
+    /// Observations behind the estimates.
+    pub count: u64,
+    /// Estimated median in µs.
+    pub p50: Option<f64>,
+    /// Estimated 99th percentile in µs.
+    pub p99: Option<f64>,
+    /// Estimated 99.9th percentile in µs.
+    pub p999: Option<f64>,
 }
 
 /// A callback invoked by the Core's monitor thread once per tick.
@@ -390,6 +409,56 @@ impl Core {
     /// Renders the full multi-Core span tree of `trace_id` as text.
     pub fn render_trace(&self, trace_id: u64) -> String {
         render_span_tree(&self.collect_trace(trace_id))
+    }
+
+    // --- tail-latency observatory ------------------------------------------
+
+    /// The slowest requests this Core has retained (slowest first), each
+    /// with the local span snapshot taken at admission.
+    pub fn slow_records(&self) -> Vec<SlowRecord> {
+        self.inner.telemetry.slow.records()
+    }
+
+    /// Drops every retained slow request (shell `slow clear`).
+    pub fn clear_slow_log(&self) {
+        self.inner.telemetry.slow.clear();
+    }
+
+    /// Every span currently held in this Core's local ring, oldest
+    /// first — the checker snapshots this to assert span determinism.
+    pub fn span_snapshot(&self) -> Vec<SpanRecord> {
+        self.inner.telemetry.spans.all()
+    }
+
+    /// Percentile summaries of every latency histogram this Core keeps:
+    /// the per-phase decomposition (queue / marshal / network / exec /
+    /// forward) plus end-to-end invoke latency, lifetime and — for
+    /// invokes — over the recent window.
+    pub fn latency_summaries(&self) -> Vec<LatencySummary> {
+        let t = &self.inner.telemetry;
+        let phase = |phase: &'static str, h: &Histogram| LatencySummary {
+            phase,
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        };
+        let recent = &t.invoke_latency_us;
+        vec![
+            phase("queue", &t.latency_queue_us),
+            phase("marshal", &t.latency_marshal_us),
+            phase("network", &t.latency_network_us),
+            phase("exec", &t.latency_exec_us),
+            phase("forward", &t.latency_forward_us),
+            phase("invoke", recent.lifetime()),
+            LatencySummary {
+                phase: "invoke(recent)",
+                count: recent.recent_count(),
+                p50: recent.quantile_recent(0.50),
+                p99: recent.quantile_recent(0.99),
+                p999: recent.quantile_recent(0.999),
+            },
+        ]
     }
 
     // --- flight recorder ---------------------------------------------------
@@ -976,13 +1045,21 @@ impl Core {
     }
 
     pub(crate) fn send_to(&self, node: u32, msg: &Message) -> Result<()> {
+        let t = &self.inner.telemetry;
         // Every outbound envelope carries this Core's HLC (when the
         // journal is on), so the receiver's merge keeps the global
-        // timeline causally consistent.
-        let payload = msg.encode_with_hlc(self.inner.telemetry.hlc_send_stamp());
-        self.inner
-            .telemetry
-            .record_msg_out(msg.kind_label(), payload.len());
+        // timeline causally consistent — plus, when phase timing is on,
+        // the shared-clock send stamp the receiver subtracts from its
+        // own clock to attribute the network phase. The stamp is read
+        // before encoding (it rides inside the payload), so the network
+        // measurement absorbs the marshal time also recorded here.
+        let ts = t.phase_send_stamp();
+        let payload = msg.encode_with_meta(t.hlc_send_stamp(), ts);
+        if let Some(t0) = ts {
+            t.latency_marshal_us
+                .observe(t.phase_now_us().saturating_sub(t0));
+        }
+        t.record_msg_out(msg.kind_label(), payload.len());
         self.inner
             .net
             .send(self.inner.node, NodeId::from_index(node), payload)
@@ -1114,6 +1191,15 @@ impl Core {
                     match rx.recv_timeout(Duration::from_millis(25)) {
                         Ok(job) => {
                             core.inner.busy_workers.fetch_add(1, Ordering::SeqCst);
+                            let t = &core.inner.telemetry;
+                            if let Some(enq) = job.enqueued_us {
+                                // Queue-wait phase: receiver enqueue to
+                                // worker pickup.
+                                t.observe_phase(
+                                    &t.latency_queue_us,
+                                    t.phase_now_us().saturating_sub(enq),
+                                );
+                            }
                             core.handle_request(job.origin, job.req_id, job.trace, job.body);
                             core.inner.busy_workers.fetch_sub(1, Ordering::SeqCst);
                         }
@@ -1131,18 +1217,28 @@ impl Core {
                 return;
             }
             match self.inner.endpoint.recv_timeout(Duration::from_millis(25)) {
-                Ok(incoming) => match Message::decode_with_hlc(&incoming.payload) {
-                    Ok((msg, hlc)) => {
+                Ok(incoming) => match Message::decode_with_meta(&incoming.payload) {
+                    Ok((msg, hlc, ts)) => {
+                        let t = &self.inner.telemetry;
                         if let Some(h) = hlc {
-                            self.inner.telemetry.observe_hlc(h);
+                            t.observe_hlc(h);
                         }
-                        self.inner
-                            .telemetry
-                            .record_msg_in(msg.kind_label(), incoming.payload.len());
-                        self.inner
-                            .telemetry
-                            .queue_depth
-                            .set(self.inner.endpoint.queue_len() as f64);
+                        if let Some(sent_us) = ts {
+                            // One-way delivery latency as the application
+                            // experienced it (propagation + queueing +
+                            // marshal), measured on the shared clock. Fed
+                            // back to the substrate so the layout cost
+                            // model calibrates from observations.
+                            let us = t.phase_now_us().saturating_sub(sent_us);
+                            t.observe_phase(&t.latency_network_us, us);
+                            self.inner.net.record_observed_latency(
+                                incoming.src,
+                                self.inner.node,
+                                us,
+                            );
+                        }
+                        t.record_msg_in(msg.kind_label(), incoming.payload.len());
+                        t.queue_depth.set(self.inner.endpoint.queue_len() as f64);
                         self.dispatch(msg);
                     }
                     Err(_) => { /* malformed datagram: drop, as a real core would */ }
@@ -1170,6 +1266,7 @@ impl Core {
                     origin,
                     req_id,
                     trace,
+                    enqueued_us: self.inner.telemetry.phase_send_stamp(),
                     body,
                 };
                 if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =

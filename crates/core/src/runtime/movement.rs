@@ -188,6 +188,10 @@ impl Core {
             }
         };
 
+        let marshal_start = {
+            let t = &self.inner.telemetry;
+            t.phase_timing.then(|| t.phase_now_us())
+        };
         while let Some(cur) = queue.pop_front() {
             let Some(slot) = self.inner.complets.read().get(&cur).cloned() else {
                 if cur == root {
@@ -308,6 +312,12 @@ impl Core {
             t.move_update_set.observe(departing.len() as u64);
             t.move_marshal_bytes
                 .observe(packets.iter().map(|p| p.state.deep_size() as u64).sum());
+            if let Some(t0) = marshal_start {
+                // Closure marshalling (relocator walks + state capture)
+                // is the marshal phase of a move.
+                t.latency_marshal_us
+                    .observe(t.phase_now_us().saturating_sub(t0));
+            }
         }
         let continuation = continuation.map(|(method, args)| Continuation {
             target: root,

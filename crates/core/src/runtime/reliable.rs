@@ -183,6 +183,10 @@ pub(crate) struct WorkRequest {
     pub origin: u32,
     pub req_id: ReqId,
     pub trace: Option<TraceContext>,
+    /// Shared-clock µs at which the receiver enqueued the request
+    /// (`None` when phase timing is off); the worker that picks it up
+    /// attributes the difference to the queue-wait phase.
+    pub enqueued_us: Option<u64>,
     pub body: Request,
 }
 

@@ -13,8 +13,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fargo_telemetry::{
-    Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent, JournalKind, Registry,
-    SpanLog, TraceContext, BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
+    Clock, Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent, JournalKind, Registry,
+    SlowLog, SpanLog, TraceContext, WindowedHistogram, BUCKETS_BYTES, BUCKETS_COUNT,
+    BUCKETS_LATENCY_US,
 };
 
 use crate::config::CoreConfig;
@@ -65,9 +66,26 @@ pub(crate) struct CoreTelemetry {
 
     // Invocation.
     pub invoke_total: Counter,
-    pub invoke_latency_us: Histogram,
+    pub invoke_latency_us: WindowedHistogram,
     pub invoke_hops: Histogram,
     pub chain_shortenings_total: Counter,
+
+    // Per-phase request timing (tail-latency observatory). Each remote
+    // invoke decomposes into queue-wait / marshal / network / exec /
+    // tracker-forward components, recorded here when `phase_timing` is
+    // on.
+    pub phase_timing: bool,
+    pub latency_queue_us: Histogram,
+    pub latency_marshal_us: Histogram,
+    pub latency_network_us: Histogram,
+    pub latency_exec_us: Histogram,
+    pub latency_forward_us: Histogram,
+    /// Tail-based trace retention: full span trees of the slowest
+    /// requests seen so far, bounded by `slow_log_capacity`.
+    pub slow: SlowLog,
+    /// The shared time source phase stamps are read from (virtual under
+    /// `fargo-check`, wall otherwise).
+    pub time: Clock,
 
     // Tracker.
     pub tracker_forwards_served_total: Counter,
@@ -137,17 +155,30 @@ impl CoreTelemetry {
                     })
                     .collect()
             };
+        let phase_hist =
+            |name: &str| -> Histogram { registry.histogram(name, l, BUCKETS_LATENCY_US) };
         CoreTelemetry {
-            spans: SpanLog::new(trace_capacity),
+            spans: SpanLog::with_clock(trace_capacity, clock.clone()),
             trace_enabled,
             journal: Journal::new(journal_capacity),
-            clock: HlcClock::with_source(clock),
+            clock: HlcClock::with_source(clock.clone()),
             journal_enabled,
             node,
             journal_events_total: registry.counter("fargo_journal_events_total", l),
             invoke_total: registry.counter("fargo_invoke_total", l),
-            invoke_latency_us: registry.histogram("fargo_invoke_latency_us", l, BUCKETS_LATENCY_US),
+            invoke_latency_us: WindowedHistogram::new(
+                registry.histogram("fargo_invoke_latency_us", l, BUCKETS_LATENCY_US),
+                config.latency_window,
+            ),
             invoke_hops: registry.histogram("fargo_invoke_hops", l, BUCKETS_COUNT),
+            phase_timing: config.phase_timing,
+            latency_queue_us: phase_hist("fargo_latency_queue_us"),
+            latency_marshal_us: phase_hist("fargo_latency_marshal_us"),
+            latency_network_us: phase_hist("fargo_latency_network_us"),
+            latency_exec_us: phase_hist("fargo_latency_exec_us"),
+            latency_forward_us: phase_hist("fargo_latency_forward_us"),
+            slow: SlowLog::new(config.slow_log_capacity),
+            time: clock,
             chain_shortenings_total: registry.counter("fargo_chain_shortenings_total", l),
             tracker_forwards_served_total: registry
                 .counter("fargo_tracker_forwards_served_total", l),
@@ -239,6 +270,26 @@ impl CoreTelemetry {
             self.clock.observe(remote);
         }
     }
+
+    /// The current time on the shared clock in µs, for phase stamps.
+    pub(crate) fn phase_now_us(&self) -> u64 {
+        self.time.now_us()
+    }
+
+    /// The send-timestamp for an outbound envelope's optional `ts`
+    /// field: the current shared-clock time when phase timing is on,
+    /// nothing when it is off (the field is then omitted from the wire).
+    pub(crate) fn phase_send_stamp(&self) -> Option<u64> {
+        self.phase_timing.then(|| self.time.now_us())
+    }
+
+    /// Records one phase duration (µs) into `hist`, gated on the
+    /// phase-timing switch so the off configuration costs one branch.
+    pub(crate) fn observe_phase(&self, hist: &Histogram, us: u64) {
+        if self.phase_timing {
+            hist.observe(us);
+        }
+    }
 }
 
 // --- ambient trace context ------------------------------------------------
@@ -307,6 +358,21 @@ mod tests {
         t.record_msg_in("invoke", 10);
         let snap = t.registry.snapshot();
         assert!(snap.iter().any(|s| s.name == "fargo_msg_in_total"));
+    }
+
+    #[test]
+    fn phase_timing_gates_stamps_and_histograms() {
+        let mut cfg = test_cfg(false);
+        cfg.phase_timing = false;
+        let off = CoreTelemetry::new(Registry::new(), "c", 0, &cfg);
+        assert!(off.phase_send_stamp().is_none());
+        off.observe_phase(&off.latency_queue_us, 5);
+        assert_eq!(off.latency_queue_us.count(), 0);
+
+        let on = CoreTelemetry::new(Registry::new(), "c", 0, &test_cfg(false));
+        assert!(on.phase_send_stamp().is_some());
+        on.observe_phase(&on.latency_queue_us, 5);
+        assert_eq!(on.latency_queue_us.count(), 1);
     }
 
     #[test]

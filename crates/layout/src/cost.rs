@@ -5,7 +5,10 @@
 //! partitioner minimises the weighted sum. Costs are calibrated from the
 //! simnet substrate the Cores actually run on:
 //!
-//! * **latency** — the configured one-way propagation delay, the
+//! * **latency** — the *measured* one-way delivery delay when the
+//!   Cores' envelope timing stamps have produced enough samples on the
+//!   link (queueing and jitter included), falling back to the
+//!   configured propagation delay while the link is quiet — the
 //!   dominant term for request/reply traffic;
 //! * **bandwidth** — serialisation time of a typical envelope, so thin
 //!   pipes price higher than fat ones at equal latency;
@@ -26,6 +29,10 @@ const TYPICAL_MSG_BYTES: f64 = 512.0;
 
 /// Loss is clamped below 1 so the expected-attempts factor stays finite.
 const MAX_LOSS: f64 = 0.95;
+
+/// Samples a link needs before its observed (loss, latency) statistics
+/// outrank the configured model.
+const MIN_OBSERVED_SAMPLES: u64 = 20;
 
 /// Symmetric per-Core-pair traffic costs in microseconds per unit of
 /// affinity.
@@ -98,9 +105,17 @@ impl CostModel {
 /// Expected per-message cost of the directed link `src -> dst` in
 /// microseconds: (latency + serialisation) × expected attempts.
 fn directed_cost(net: &Network, src: simnet::NodeId, dst: simnet::NodeId) -> f64 {
-    let latency_us = net
-        .model_latency(src, dst)
-        .map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    let stats = net.link_stats(src, dst);
+    // Prefer the latency the Cores actually measured on the link (from
+    // envelope timing stamps: propagation + queueing + jitter as the
+    // application experienced them); fall back to the configured
+    // propagation model while too few envelopes have crossed.
+    let latency_us = match stats.observed_latency_us {
+        Some(measured) if stats.observed_samples >= MIN_OBSERVED_SAMPLES => measured,
+        _ => net
+            .model_latency(src, dst)
+            .map_or(0.0, |d| d.as_secs_f64() * 1e6),
+    };
     let ser_us = net
         .model_bandwidth(src, dst)
         .ok()
@@ -110,7 +125,6 @@ fn directed_cost(net: &Network, src: simnet::NodeId, dst: simnet::NodeId) -> f64
         });
     // Prefer the loss actually observed on the link; fall back to the
     // configured probability while the link is still quiet.
-    let stats = net.link_stats(src, dst);
     let sent = stats.messages + stats.dropped;
     let loss = if sent >= 20 {
         stats.dropped as f64 / sent as f64
@@ -177,6 +191,50 @@ mod tests {
         assert!(
             m.pair_cost(0, 2) > 1.5 * m.pair_cost(0, 1),
             "50% loss must roughly double the expected cost"
+        );
+    }
+
+    #[test]
+    fn observed_latency_overrides_the_configured_model() {
+        // A link configured as 1ms that the Cores measured at ~8ms
+        // (queueing the model cannot see) must price like 8ms once
+        // enough samples have been fed back.
+        let net = Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::new(Duration::from_millis(1))),
+            ..NetworkConfig::default()
+        });
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let _c = net.add_node("c").unwrap();
+        for _ in 0..MIN_OBSERVED_SAMPLES {
+            net.record_observed_latency(a.id(), b.id(), 8_000);
+            net.record_observed_latency(b.id(), a.id(), 8_000);
+        }
+        let m = CostModel::from_network(&net, &[0, 1, 2]);
+        assert!(
+            m.pair_cost(0, 1) > 4.0 * m.pair_cost(0, 2),
+            "measured 8ms must dominate configured 1ms: {} vs {}",
+            m.pair_cost(0, 1),
+            m.pair_cost(0, 2)
+        );
+    }
+
+    #[test]
+    fn sparse_observations_keep_the_configured_model() {
+        let net = Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::new(Duration::from_millis(1))),
+            ..NetworkConfig::default()
+        });
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let _c = net.add_node("c").unwrap();
+        // A couple of outliers must not recalibrate the link.
+        net.record_observed_latency(a.id(), b.id(), 500_000);
+        let m = CostModel::from_network(&net, &[0, 1, 2]);
+        let ratio = m.pair_cost(0, 1) / m.pair_cost(0, 2);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "under-sampled link must stay on the model: ratio {ratio}"
         );
     }
 

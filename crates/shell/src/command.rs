@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
-use fargo_core::{CompletId, CompletRef, Core, FargoError, RefDescriptor, Service, Value};
+use fargo_core::{
+    render_slow_log, CompletId, CompletRef, Core, FargoError, RefDescriptor, Service, Value,
+};
 use fargo_layout::{register_script_action, AutoLayout};
 use fargo_script::{ScriptEngine, ScriptError, ScriptValue};
 
@@ -93,6 +95,8 @@ FarGo shell commands:
                                      whole metrics exposition (incl. links)
   trace [<id>]                       span tree of a trace (default: the
                                      most recent one recorded here)
+  slow [<n>|clear]                   slowest retained requests with
+                                     per-hop breakdown (default: all)
   ping <core>                        round-trip probe
   script <source...>                 load an inline layout script
 
@@ -151,6 +155,7 @@ impl Shell {
             "autolayout" => self.cmd_autolayout(&rest),
             "stats" => self.cmd_stats(&rest),
             "trace" => self.cmd_trace(&rest),
+            "slow" => self.cmd_slow(&rest),
             "ping" => self.cmd_ping(&rest),
             "script" => self.cmd_script(line),
             other => Err(ShellError::UnknownCommand(other.to_owned())),
@@ -465,7 +470,7 @@ impl Shell {
             None => {
                 let m = self.core.monitor();
                 let (retries, dedup_hits, lost_replies, indoubt) = self.core.reliability_stats();
-                Ok(format!(
+                let mut out = format!(
                     "core {}
  complets      {}
  trackers      {}
@@ -473,7 +478,8 @@ impl Shell {
  subscriptions {}
  monitor: {} sampler evals, {} cache hits, {} events
  reliability: {} retransmits, {} dedup replays, {} lost replies, {} in-doubt moves
-(use 'stats full' for the complete metrics exposition)",
+ latency (us, estimated):
+",
                     self.core.name(),
                     self.core.complet_count(),
                     self.core.tracker_count(),
@@ -486,7 +492,24 @@ impl Shell {
                     dedup_hits,
                     lost_replies,
                     indoubt,
-                ))
+                );
+                let fmt_q = |q: Option<f64>| match q {
+                    Some(v) => format!("{v:.0}"),
+                    None => "-".to_owned(),
+                };
+                for s in self.core.latency_summaries() {
+                    let _ = writeln!(
+                        out,
+                        "  {phase:<15} n={count:<6} p50={p50:<8} p99={p99:<8} p999={p999}",
+                        phase = s.phase,
+                        count = s.count,
+                        p50 = fmt_q(s.p50),
+                        p99 = fmt_q(s.p99),
+                        p999 = fmt_q(s.p999),
+                    );
+                }
+                out.push_str("(use 'stats full' for the complete metrics exposition)");
+                Ok(out)
             }
         }
     }
@@ -507,6 +530,41 @@ impl Shell {
                 .ok_or_else(|| ShellError::NoSuchTarget("(no traces recorded)".into()))?,
         };
         Ok(self.core.render_trace(trace_id))
+    }
+
+    /// The tail observatory: the slowest requests this Core retained,
+    /// each with its per-hop breakdown — the span snapshot taken at
+    /// admission, enriched with whatever the cluster still holds for
+    /// the trace (remote hops the local ring never saw).
+    fn cmd_slow(&self, args: &[&str]) -> Result<String, ShellError> {
+        let usage = "slow [<n>|clear]";
+        let mut records = self.core.slow_records();
+        match args.first() {
+            Some(&"clear") => {
+                self.core.clear_slow_log();
+                return Ok(format!(
+                    "cleared {} retained slow request(s)",
+                    records.len()
+                ));
+            }
+            Some(word) => {
+                let n: usize = word.parse().map_err(|_| ShellError::Usage(usage))?;
+                records.truncate(n);
+            }
+            None => {}
+        }
+        for r in &mut records {
+            if r.trace_id == 0 {
+                continue;
+            }
+            let mut spans = std::mem::take(&mut r.spans);
+            spans.extend(self.core.collect_trace(r.trace_id));
+            spans.sort_by_key(|s| (s.span_id, s.start_us));
+            spans.dedup_by_key(|s| s.span_id);
+            spans.sort_by_key(|s| (s.start_us, s.span_id));
+            r.spans = spans;
+        }
+        Ok(render_slow_log(&records, true))
     }
 
     fn cmd_ping(&self, args: &[&str]) -> Result<String, ShellError> {

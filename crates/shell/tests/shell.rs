@@ -218,6 +218,77 @@ fn trace_renders_span_tree_of_last_invocation() {
 }
 
 #[test]
+fn stats_reports_per_phase_percentiles() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    for _ in 0..5 {
+        shell.exec("call postbox print").unwrap();
+    }
+    let stats = shell.exec("stats").unwrap();
+    assert!(stats.contains("latency (us, estimated):"), "{stats}");
+    for phase in ["queue", "marshal", "network", "exec", "invoke(recent)"] {
+        assert!(stats.contains(phase), "missing {phase} row: {stats}");
+    }
+    // The invoke rows have observations, so percentiles are numeric.
+    let invoke_row = stats
+        .lines()
+        .find(|l| l.trim_start().starts_with("invoke "))
+        .unwrap();
+    assert!(!invoke_row.contains("p50=-"), "{invoke_row}");
+    assert!(invoke_row.contains("p99="), "{invoke_row}");
+    assert!(invoke_row.contains("p999="), "{invoke_row}");
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn slow_command_retains_tail_with_per_hop_breakdown() {
+    // A cluster with real link delay: every remote call is slow enough
+    // that the tail sampler must retain it.
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::new(Duration::from_millis(2))),
+        ..NetworkConfig::default()
+    });
+    let reg = CompletRegistry::new();
+    Message::register(&reg);
+    let cores: Vec<Core> = (0..2)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    let shell = Shell::new(cores[0].clone());
+    shell.exec("new Message at core1 as postbox").unwrap();
+    shell.exec("call postbox print").unwrap();
+
+    let out = shell.exec("slow").unwrap();
+    assert!(out.contains("invoke Message.print"), "{out}");
+    assert!(out.contains("trace 0x"), "{out}");
+    assert!(
+        out.contains("@core1"),
+        "per-hop breakdown must show the remote exec hop: {out}"
+    );
+
+    // Truncation and clearing.
+    assert!(shell.exec("slow 1").unwrap().contains("#0"));
+    assert!(shell.exec("slow clear").unwrap().contains("cleared"));
+    assert!(shell
+        .exec("slow")
+        .unwrap()
+        .contains("no slow requests retained"));
+    assert!(matches!(
+        shell.exec("slow nonsense"),
+        Err(ShellError::Usage(_))
+    ));
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
 fn refs_inspects_remote_cores() {
     let (cores, shell) = setup();
     shell.exec("new Message at core1 as roamer").unwrap();

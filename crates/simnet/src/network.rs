@@ -246,6 +246,31 @@ impl Network {
         }
     }
 
+    /// Feeds one receiver-measured one-way delivery latency (µs) back
+    /// into the `src → dst` link's statistics. The transport itself
+    /// cannot see queueing and jitter as the application experiences
+    /// them, so the application layer reports what its envelope timing
+    /// stamps actually measured; consumers (e.g. layout cost models)
+    /// read it back through [`Network::link_stats`] as
+    /// `observed_latency_us`. Unknown nodes are ignored.
+    pub fn record_observed_latency(&self, src: NodeId, dst: NodeId, us: u64) {
+        if self.check_node(src).is_err() || self.check_node(dst).is_err() || src == dst {
+            return;
+        }
+        let Ok(cfg) = self.link_config(src, dst) else {
+            return;
+        };
+        let mut links = self.inner.links.lock();
+        let now = Instant::now();
+        let window = self.inner.config.stats_window;
+        let link = links.entry((src, dst)).or_insert_with(|| LinkState {
+            config: cfg,
+            busy_until: now,
+            stats: StatsWindow::new(window),
+        });
+        link.stats.record_observed_latency(us);
+    }
+
     /// The model's one-way latency between two nodes, after time scaling.
     ///
     /// This is what a zero-byte probe would observe (excluding jitter); the

@@ -15,6 +15,11 @@ pub(crate) struct StatsWindow {
     pub bytes: u64,
     /// Total messages dropped by the loss model.
     pub dropped: u64,
+    /// Sum of receiver-observed one-way delivery latencies (µs), fed
+    /// back by the application layer from envelope timing stamps.
+    observed_latency_us_sum: u64,
+    /// Number of observed-latency samples behind the sum.
+    observed_samples: u64,
     /// Recent (send instant, byte count) samples, pruned to `window`.
     recent: VecDeque<(Instant, u64)>,
     window: Duration,
@@ -26,6 +31,8 @@ impl StatsWindow {
             messages: 0,
             bytes: 0,
             dropped: 0,
+            observed_latency_us_sum: 0,
+            observed_samples: 0,
             recent: VecDeque::new(),
             window,
         }
@@ -40,6 +47,12 @@ impl StatsWindow {
 
     pub fn record_drop(&mut self) {
         self.dropped += 1;
+    }
+
+    /// Accounts one receiver-measured delivery latency for this link.
+    pub fn record_observed_latency(&mut self, us: u64) {
+        self.observed_latency_us_sum = self.observed_latency_us_sum.saturating_add(us);
+        self.observed_samples += 1;
     }
 
     fn prune(&mut self, now: Instant) {
@@ -70,6 +83,12 @@ impl StatsWindow {
             bytes: self.bytes,
             dropped: self.dropped,
             throughput: self.throughput(now),
+            observed_samples: self.observed_samples,
+            observed_latency_us: if self.observed_samples == 0 {
+                None
+            } else {
+                Some(self.observed_latency_us_sum as f64 / self.observed_samples as f64)
+            },
         }
     }
 }
@@ -85,6 +104,12 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Observed throughput (bytes/s) over the recent window.
     pub throughput: f64,
+    /// Receiver-measured delivery latency samples fed back so far.
+    pub observed_samples: u64,
+    /// Mean receiver-measured one-way latency in µs (`None` until the
+    /// application layer feeds samples via
+    /// [`Network::record_observed_latency`](crate::Network::record_observed_latency)).
+    pub observed_latency_us: Option<f64>,
 }
 
 #[cfg(test)]
@@ -110,6 +135,18 @@ mod tests {
         let now = Instant::now();
         w.record(now, 1000);
         assert!((w.throughput(now) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_latency_averages_fed_samples() {
+        let mut w = StatsWindow::new(Duration::from_secs(1));
+        let now = Instant::now();
+        assert_eq!(w.snapshot(now).observed_latency_us, None);
+        w.record_observed_latency(100);
+        w.record_observed_latency(300);
+        let snap = w.snapshot(now);
+        assert_eq!(snap.observed_samples, 2);
+        assert_eq!(snap.observed_latency_us, Some(200.0));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`clock`] — the [`Clock`] every protocol deadline reads: wall time
 //!   in production, a shared virtual counter under the deterministic
 //!   checker (`fargo-check`), so one seed replays to one journal.
+//! * [`tail`] — tail-based trace retention: a bounded [`SlowLog`] that
+//!   keeps full span trees only for the slowest requests, with a
+//!   self-adjusting admission threshold (top-K by latency).
 //!
 //! The crate deliberately has no dependencies (not even in-workspace
 //! ones) so every layer — wire, simnet, core, shell, viz, bench — can
@@ -27,6 +30,7 @@
 pub mod clock;
 pub mod journal;
 pub mod metrics;
+pub mod tail;
 pub mod trace;
 
 pub use clock::Clock;
@@ -35,7 +39,8 @@ pub use journal::{
     JournalEvent, JournalKind, LayoutHistory, LayoutState,
 };
 pub use metrics::{
-    render_snapshots_json, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,
-    BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
+    quantile_from_cumulative, render_snapshots_json, Counter, Gauge, Histogram, MetricValue,
+    Registry, Snapshot, WindowedHistogram, BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
 };
+pub use tail::{render_slow_log, SlowLog, SlowRecord};
 pub use trace::{render_span_tree, SpanLog, SpanRecord, SpanTimer, TraceContext};

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Histogram bucket preset for micro-second latencies (1µs – 1s).
 pub const BUCKETS_LATENCY_US: &[u64] = &[
@@ -147,6 +147,160 @@ impl Histogram {
             out.push((bound, acc));
         }
         out
+    }
+
+    /// The finite bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of all observations so
+    /// far by log-interpolating inside the bucket holding the target
+    /// rank. `None` while the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_cumulative(&self.cumulative_buckets(), q)
+    }
+}
+
+/// Estimates a quantile from cumulative `(upper_bound, count)` buckets
+/// (the shape [`Histogram::cumulative_buckets`] and histogram snapshots
+/// produce; the final bound `u64::MAX` is the `+Inf` overflow bucket).
+///
+/// The estimate interpolates *geometrically* between a bucket's lower
+/// and upper edge — the right interpolation for log-spaced bounds like
+/// [`BUCKETS_LATENCY_US`], where the linear midpoint of (100, 250] would
+/// systematically overestimate. Values in the overflow bucket clamp to
+/// the last finite bound: there is no upper edge to interpolate toward.
+///
+/// `None` when there are no observations; `q` is clamped to `0.0..=1.0`.
+pub fn quantile_from_cumulative(cum: &[(u64, u64)], q: f64) -> Option<f64> {
+    let total = cum.last().map(|&(_, c)| c).unwrap_or(0);
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank target: q=0 resolves to the first observation, q=1 to
+    // the last.
+    let rank = (q * total as f64).ceil().max(1.0);
+    let mut prev_bound = 0u64;
+    let mut prev_cum = 0u64;
+    for &(bound, c) in cum {
+        if (c as f64) >= rank {
+            if bound == u64::MAX {
+                // Overflow: clamp to the largest finite edge we know.
+                return Some(prev_bound as f64);
+            }
+            let in_bucket = (c - prev_cum) as f64;
+            let frac = ((rank - prev_cum as f64) / in_bucket).clamp(0.0, 1.0);
+            let (lo, hi) = (prev_bound as f64, bound as f64);
+            let est = if lo <= 0.0 {
+                hi * frac
+            } else {
+                lo * (hi / lo).powf(frac)
+            };
+            return Some(est);
+        }
+        prev_bound = bound;
+        prev_cum = c;
+    }
+    Some(prev_bound as f64)
+}
+
+/// A [`Histogram`] paired with a bounded recent window, so tail
+/// estimates can distinguish "slow lately" from "slow since boot".
+///
+/// The window is two epochs of `window_len` observations each: every
+/// observation lands in the current epoch, and when it fills, it
+/// replaces the previous epoch. Recent quantiles read both epochs, so
+/// they always cover between `window_len` and `2 × window_len` of the
+/// most recent observations. Rotation is driven by observation count,
+/// not wall time, so windowed estimates stay deterministic under the
+/// virtual clock.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    lifetime: Histogram,
+    inner: Arc<WindowInner>,
+}
+
+#[derive(Debug)]
+struct WindowInner {
+    window_len: u64,
+    state: Mutex<WindowState>,
+}
+
+#[derive(Debug)]
+struct WindowState {
+    current: Vec<u64>,
+    previous: Vec<u64>,
+    count: u64,
+}
+
+impl WindowedHistogram {
+    /// Wraps an existing (typically registered) histogram handle; the
+    /// lifetime series keeps accumulating through it unchanged.
+    pub fn new(lifetime: Histogram, window_len: u64) -> Self {
+        let slots = lifetime.bounds().len() + 1;
+        WindowedHistogram {
+            lifetime,
+            inner: Arc::new(WindowInner {
+                window_len: window_len.max(1),
+                state: Mutex::new(WindowState {
+                    current: vec![0; slots],
+                    previous: vec![0; slots],
+                    count: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Records into both the lifetime histogram and the recent window.
+    pub fn observe(&self, value: u64) {
+        self.lifetime.observe(value);
+        let idx = self.lifetime.bounds().partition_point(|&b| b < value);
+        let mut st = self.inner.state.lock().unwrap();
+        st.current[idx] += 1;
+        st.count += 1;
+        if st.count >= self.inner.window_len {
+            let fresh = vec![0; st.current.len()];
+            st.previous = std::mem::replace(&mut st.current, fresh);
+            st.count = 0;
+        }
+    }
+
+    /// The lifetime histogram handle.
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// Cumulative buckets over the recent window (both epochs).
+    pub fn recent_cumulative(&self) -> Vec<(u64, u64)> {
+        let st = self.inner.state.lock().unwrap();
+        let bounds = self.lifetime.bounds();
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(st.current.len());
+        for i in 0..st.current.len() {
+            acc += st.current[i] + st.previous[i];
+            out.push((bounds.get(i).copied().unwrap_or(u64::MAX), acc));
+        }
+        out
+    }
+
+    /// Observations inside the recent window.
+    pub fn recent_count(&self) -> u64 {
+        self.recent_cumulative()
+            .last()
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Quantile estimate over the recent window only.
+    pub fn quantile_recent(&self, q: f64) -> Option<f64> {
+        quantile_from_cumulative(&self.recent_cumulative(), q)
+    }
+
+    /// Quantile estimate over every observation since creation.
+    pub fn quantile_lifetime(&self, q: f64) -> Option<f64> {
+        self.lifetime.quantile(q)
     }
 }
 
@@ -422,8 +576,9 @@ fn json_escape(out: &mut String, s: &str) {
 
 /// Renders a snapshot list as a JSON array — one object per series with
 /// `name`, `labels`, and a `value` whose shape depends on the metric
-/// kind (number for counters/gauges, `{buckets, sum, count}` for
-/// histograms; the overflow bucket's bound is `null`). Hand-rolled so
+/// kind (number for counters/gauges, `{buckets, sum, count, p50, p99,
+/// p999}` for histograms; the overflow bucket's bound is `null`, and the
+/// percentile estimates are `null` while empty). Hand-rolled so
 /// the crate stays dependency-free. Series order is deterministic (by
 /// name, then label set), matching [`render_snapshots`].
 pub fn render_snapshots_json(snaps: &[Snapshot]) -> String {
@@ -471,7 +626,18 @@ pub fn render_snapshots_json(snaps: &[Snapshot]) -> String {
                         let _ = write!(out, "[{bound},{cum}]");
                     }
                 }
-                let _ = write!(out, "],\"sum\":{sum},\"count\":{count}}}");
+                let _ = write!(out, "],\"sum\":{sum},\"count\":{count}");
+                for (key, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+                    match quantile_from_cumulative(buckets, q) {
+                        Some(v) if v.is_finite() => {
+                            let _ = write!(out, ",\"{key}\":{v:.1}");
+                        }
+                        _ => {
+                            let _ = write!(out, ",\"{key}\":null");
+                        }
+                    }
+                }
+                out.push('}');
             }
         }
         out.push('}');
@@ -584,6 +750,119 @@ mod tests {
             )
         };
         assert_eq!(render_both(series), render_both(&reversed));
+    }
+
+    #[test]
+    fn prometheus_histogram_golden_exposition() {
+        // The exact conformance contract: one `# TYPE` header, `le`
+        // buckets in ascending order ending with `+Inf`, then `_sum`
+        // and `_count` — in that order, with labels preserved.
+        let reg = Registry::new();
+        let h = reg.histogram("fargo_lat_us", &[("core", "c0")], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        assert_eq!(
+            reg.render_prometheus(),
+            "# TYPE fargo_lat_us histogram\n\
+             fargo_lat_us_bucket{core=\"c0\",le=\"10\"} 1\n\
+             fargo_lat_us_bucket{core=\"c0\",le=\"100\"} 2\n\
+             fargo_lat_us_bucket{core=\"c0\",le=\"+Inf\"} 3\n\
+             fargo_lat_us_sum{core=\"c0\"} 555\n\
+             fargo_lat_us_count{core=\"c0\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn json_histogram_reports_percentiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[], &[10, 100]);
+        for _ in 0..100 {
+            h.observe(5);
+        }
+        h.observe(60);
+        let json = render_snapshots_json(&reg.snapshot());
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        assert!(json.contains("\"p999\":"), "{json}");
+
+        let empty = Registry::new();
+        empty.histogram("e", &[], &[10]);
+        let json = render_snapshots_json(&empty.snapshot());
+        assert!(json.contains("\"p50\":null"), "{json}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[], &[10, 100]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(quantile_from_cumulative(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_geometrically() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[], &[10, 100, 1000]);
+        // 100 observations in the (10, 100] bucket.
+        for _ in 0..100 {
+            h.observe(50);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Geometric midpoint of (10, 100] is sqrt(10*100) ≈ 31.6, not
+        // the linear 55.
+        assert!((10.0..=100.0).contains(&p50), "p50={p50}");
+        assert!(p50 < 40.0, "log interpolation expected, got {p50}");
+        // Everything in one bucket: quantiles never leave its edges.
+        assert!(h.quantile(0.999).unwrap() <= 100.0);
+        assert!(h.quantile(0.0).unwrap() >= 10.0 * 0.99);
+    }
+
+    #[test]
+    fn quantile_edges_single_bucket_overflow_and_bounds() {
+        // Single finite bucket.
+        let reg = Registry::new();
+        let h = reg.histogram("one", &[], &[10]);
+        h.observe(3);
+        assert!(h.quantile(0.0).unwrap() <= 10.0);
+        assert!(h.quantile(1.0).unwrap() <= 10.0);
+
+        // Overflow-only observations clamp to the last finite bound.
+        let h = reg.histogram("ovf", &[], &[10, 100]);
+        h.observe(5_000);
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+
+        // q outside [0, 1] clamps instead of panicking.
+        let h = reg.histogram("clamp", &[], &[10]);
+        h.observe(5);
+        assert!(h.quantile(-3.0).is_some());
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn windowed_histogram_tracks_recent_vs_lifetime() {
+        let reg = Registry::new();
+        let h = reg.histogram("w", &[], &[10, 100, 1000, 10_000]);
+        let w = WindowedHistogram::new(h.clone(), 8);
+        // A slow early era...
+        for _ in 0..16 {
+            w.observe(5_000);
+        }
+        // ...then a fast recent one, long enough to rotate the slow
+        // epochs fully out of the window.
+        for _ in 0..16 {
+            w.observe(5);
+        }
+        let recent = w.quantile_recent(0.99).unwrap();
+        let lifetime = w.quantile_lifetime(0.99).unwrap();
+        assert!(recent <= 10.0, "recent p99 must be fast: {recent}");
+        assert!(
+            lifetime > 1_000.0,
+            "lifetime p99 keeps the slow era: {lifetime}"
+        );
+        assert_eq!(h.count(), 32, "lifetime handle still accumulates");
+        assert!(w.recent_count() >= 8 && w.recent_count() <= 16);
     }
 
     #[test]

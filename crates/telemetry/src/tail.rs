@@ -1,0 +1,195 @@
+//! Tail-based trace retention: a bounded ring that keeps full span
+//! trees only for the slowest requests.
+//!
+//! The sampler is always on and self-thresholding: a finished request is
+//! offered to the [`SlowLog`] with its end-to-end latency, and the log
+//! retains the top-K slowest it has seen (K = capacity). While the ring
+//! has room everything is admitted; once full, a request must beat the
+//! fastest retained entry — so the threshold rises and falls with the
+//! observed tail, with no static cutoff to tune. Callers can sharpen the
+//! gate further by offering only requests above their recent p99
+//! (see [`crate::metrics::WindowedHistogram::quantile_recent`]).
+//!
+//! Each retained entry snapshots the spans the local Core held for the
+//! trace at admission time, so the per-hop breakdown survives even after
+//! the span ring itself evicts the trace.
+
+use std::sync::Mutex;
+
+use crate::trace::{render_span_tree, SpanRecord};
+
+/// One retained slow request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRecord {
+    /// Trace id of the request (for cluster-wide span collection).
+    pub trace_id: u64,
+    /// Operation name (e.g. `invoke Printer.print`).
+    pub name: String,
+    /// End-to-end latency in µs as the caller observed it.
+    pub total_us: u64,
+    /// When the request finished, µs on the shared clock.
+    pub at_us: u64,
+    /// Local span snapshot taken at admission (per-hop breakdown seed).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A bounded top-K-by-latency ring of [`SlowRecord`]s.
+#[derive(Debug)]
+pub struct SlowLog {
+    inner: Mutex<Vec<SlowRecord>>,
+    capacity: usize,
+}
+
+impl SlowLog {
+    /// A log retaining the `capacity` slowest requests.
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            inner: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Offers a finished request. Returns `true` when retained: always
+    /// while the ring has room, otherwise only when slower than the
+    /// current fastest retained entry (which is evicted).
+    pub fn offer(&self, record: SlowRecord) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.len() < self.capacity {
+            g.push(record);
+            g.sort_by_key(|r| std::cmp::Reverse(r.total_us));
+            return true;
+        }
+        // Full: the last entry is the fastest retained (kept sorted).
+        let admit = g
+            .last()
+            .map(|fastest| record.total_us > fastest.total_us)
+            .unwrap_or(true);
+        if admit {
+            g.pop();
+            g.push(record);
+            g.sort_by_key(|r| std::cmp::Reverse(r.total_us));
+        }
+        admit
+    }
+
+    /// The current admission threshold in µs: a request must exceed this
+    /// to be retained. Zero while the ring still has room.
+    pub fn threshold_us(&self) -> u64 {
+        let g = self.inner.lock().unwrap();
+        if g.len() < self.capacity {
+            0
+        } else {
+            g.last().map(|r| r.total_us).unwrap_or(0)
+        }
+    }
+
+    /// Retained records, slowest first.
+    pub fn records(&self) -> Vec<SlowRecord> {
+        self.inner.lock().unwrap().clone()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained record (shell `slow clear`).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+/// Renders retained slow requests as a numbered list; with `trees`, each
+/// entry is followed by its retained span tree (the per-hop breakdown).
+pub fn render_slow_log(records: &[SlowRecord], trees: bool) -> String {
+    if records.is_empty() {
+        return "(no slow requests retained)\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "#{i} {name}  total {total}us  trace {id:#x}\n",
+            name = r.name,
+            total = r.total_us,
+            id = r.trace_id,
+        ));
+        if trees {
+            for line in render_span_tree(&r.spans).lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: u64, total: u64) -> SlowRecord {
+        SlowRecord {
+            trace_id: trace,
+            name: format!("op{trace}"),
+            total_us: total,
+            at_us: total,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn admits_everything_until_full() {
+        let log = SlowLog::new(3);
+        assert!(log.offer(rec(1, 10)));
+        assert!(log.offer(rec(2, 5)));
+        assert!(log.offer(rec(3, 20)));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.threshold_us(), 5);
+    }
+
+    #[test]
+    fn full_ring_keeps_only_the_slowest() {
+        let log = SlowLog::new(2);
+        log.offer(rec(1, 10));
+        log.offer(rec(2, 30));
+        assert!(!log.offer(rec(3, 5)), "faster than threshold: rejected");
+        assert!(log.offer(rec(4, 50)), "slower: admitted, evicts fastest");
+        let totals: Vec<u64> = log.records().iter().map(|r| r.total_us).collect();
+        assert_eq!(totals, vec![50, 30], "slowest first, fastest evicted");
+        assert_eq!(log.threshold_us(), 30, "threshold rises with the tail");
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let log = SlowLog::new(2);
+        log.offer(rec(1, 10));
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.threshold_us(), 0);
+    }
+
+    #[test]
+    fn rendering_lists_and_breaks_down() {
+        let mut r = rec(0x2a, 750);
+        r.spans.push(SpanRecord {
+            trace_id: 0x2a,
+            span_id: 1,
+            parent_id: 0,
+            name: "invoke s.touch".into(),
+            core: "core0".into(),
+            start_us: 0,
+            duration_us: 750,
+        });
+        let text = render_slow_log(&[r], true);
+        assert!(text.contains("#0 op42  total 750us  trace 0x2a"), "{text}");
+        assert!(text.contains("invoke s.touch @core0"), "{text}");
+        assert_eq!(render_slow_log(&[], false), "(no slow requests retained)\n");
+    }
+}

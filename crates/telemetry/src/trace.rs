@@ -9,13 +9,18 @@
 //!
 //! Span timestamps are microseconds since a process-wide epoch, so spans
 //! recorded on different (in-process) Cores share one clock and can be
-//! ordered against each other.
+//! ordered against each other. The log reads its time through the shared
+//! [`Clock`] abstraction: wall time in production, the virtual counter
+//! under the deterministic checker — so span timestamps are a pure
+//! function of the schedule, exactly like journal HLC stamps.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::clock::Clock;
 
 /// Identifies one request tree (`trace_id`) and the caller's position in
 /// it (`span_id`); a callee records its own span with `span_id` as the
@@ -87,22 +92,37 @@ pub struct SpanRecord {
 pub struct SpanLog {
     spans: Mutex<VecDeque<SpanRecord>>,
     capacity: usize,
+    clock: Clock,
 }
 
 impl SpanLog {
-    /// Creates a log holding at most `capacity` spans.
+    /// Creates a log holding at most `capacity` spans, timed by wall
+    /// clock.
     pub fn new(capacity: usize) -> Self {
+        SpanLog::with_clock(capacity, Clock::Wall)
+    }
+
+    /// Creates a log that reads span timestamps from `clock` — the
+    /// deterministic checker passes its shared virtual clock here so
+    /// span start/duration become seed-stable.
+    pub fn with_clock(capacity: usize, clock: Clock) -> Self {
         SpanLog {
             spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             capacity: capacity.max(1),
+            clock,
         }
     }
 
-    /// Appends a completed span, evicting the oldest if full.
+    /// Appends a completed span. When the ring is full, the oldest
+    /// span's *entire trace* is evicted — never single spans out of the
+    /// middle of a trace, which would leave orphan children rendering as
+    /// broken root-less trees.
     pub fn record(&self, span: SpanRecord) {
         let mut spans = self.spans.lock().unwrap();
-        if spans.len() == self.capacity {
-            spans.pop_front();
+        if spans.len() >= self.capacity {
+            if let Some(oldest) = spans.pop_front() {
+                spans.retain(|s| s.trace_id != oldest.trace_id);
+            }
         }
         spans.push_back(span);
     }
@@ -114,9 +134,18 @@ impl SpanLog {
             span_id: ctx.span_id,
             parent_id,
             name: name.into(),
-            start_us: now_micros(),
-            started: Instant::now(),
+            start_us: self.clock.now_us(),
         }
+    }
+
+    /// The clock this log stamps spans with.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Every span currently retained, oldest first.
+    pub fn all(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().iter().cloned().collect()
     }
 
     /// All spans belonging to `trace_id`, oldest first.
@@ -154,12 +183,14 @@ pub struct SpanTimer {
     parent_id: u64,
     name: String,
     start_us: u64,
-    started: Instant,
 }
 
 impl SpanTimer {
-    /// Completes the span and records it into `log`.
+    /// Completes the span and records it into `log`, reading the end
+    /// instant from the log's [`Clock`] (so virtual-clock runs measure
+    /// virtual durations, not host scheduling jitter).
     pub fn finish(self, log: &SpanLog, core: &str) {
+        let duration_us = log.clock().now_us().saturating_sub(self.start_us);
         log.record(SpanRecord {
             trace_id: self.trace_id,
             span_id: self.span_id,
@@ -167,7 +198,7 @@ impl SpanTimer {
             name: self.name,
             core: core.to_string(),
             start_us: self.start_us,
-            duration_us: self.started.elapsed().as_micros() as u64,
+            duration_us,
         });
     }
 }
@@ -258,14 +289,33 @@ mod tests {
     }
 
     #[test]
-    fn ring_buffer_evicts_oldest() {
+    fn ring_buffer_evicts_oldest_trace_wholesale() {
+        // Capacity 3 holding two traces: overflow drops trace 1
+        // entirely (both spans), never just its head.
+        let log = SpanLog::new(3);
+        log.record(span(1, 1, 0, "root", "c", 0));
+        log.record(span(1, 2, 1, "child", "c", 5));
+        log.record(span(2, 3, 0, "other", "c", 10));
+        log.record(span(2, 4, 3, "other-child", "c", 15));
+        assert!(
+            log.for_trace(1).is_empty(),
+            "evicted trace leaves no orphans"
+        );
+        assert_eq!(log.for_trace(2).len(), 2);
+    }
+
+    #[test]
+    fn eviction_never_leaves_orphan_subtrees() {
+        // A parent evicted while its children survive used to render as
+        // a broken tree; whole-trace eviction makes that impossible.
         let log = SpanLog::new(2);
-        for i in 0..3 {
-            log.record(span(1, i + 1, 0, "s", "c", i * 10));
-        }
-        let spans = log.for_trace(1);
-        assert_eq!(spans.len(), 2);
-        assert_eq!(spans[0].span_id, 2);
+        log.record(span(7, 1, 0, "root", "c", 0));
+        log.record(span(7, 2, 1, "mid", "c", 1));
+        log.record(span(8, 9, 0, "fresh", "c", 2));
+        let seven = log.for_trace(7);
+        assert!(seven.is_empty(), "partial trace survived: {seven:?}");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.last_trace_id(), Some(8));
     }
 
     #[test]
@@ -280,6 +330,26 @@ mod tests {
         assert_eq!(spans[0].core, "core0");
         assert!(spans[0].duration_us >= 1_000);
         assert_eq!(log.last_trace_id(), Some(ctx.trace_id));
+    }
+
+    #[test]
+    fn virtual_clock_makes_span_timing_deterministic() {
+        let clock = Clock::new_virtual(1_000);
+        let log = SpanLog::with_clock(8, clock.clone());
+        let ctx = TraceContext::new_root();
+        let timer = log.start(ctx, 0, "op");
+        clock.advance(std::time::Duration::from_micros(250));
+        timer.finish(&log, "core0");
+        let spans = log.for_trace(ctx.trace_id);
+        assert_eq!(spans[0].start_us, 1_000);
+        assert_eq!(spans[0].duration_us, 250, "duration reads virtual time");
+        // Real time must not leak in.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t2 = log.start(ctx.child(), ctx.span_id, "op2");
+        t2.finish(&log, "core0");
+        let spans = log.for_trace(ctx.trace_id);
+        assert_eq!(spans[1].start_us, 1_250);
+        assert_eq!(spans[1].duration_us, 0);
     }
 
     #[test]

@@ -252,6 +252,29 @@ impl LayoutMonitor {
         out
     }
 
+    /// The tail observatory pane: the slowest requests the attached Core
+    /// retained, each with its per-hop span breakdown, one line per row.
+    pub fn slow_lines(&self) -> Vec<String> {
+        let records = self.core.slow_records();
+        fargo_core::render_slow_log(&records, true)
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// The layout frame with the slow-request pane appended — the
+    /// monitor view for chasing tail latency.
+    pub fn render_with_slow(&self) -> String {
+        let mut out = self.render();
+        out.push_str("+--- slow requests ");
+        out.push_str(&"-".repeat(21));
+        out.push('\n');
+        for line in self.slow_lines() {
+            out.push_str(&format!("|   {line}\n"));
+        }
+        out
+    }
+
     /// Tracker-table view of the attached Core (reference inspection).
     pub fn tracker_lines(&self) -> Vec<String> {
         self.tracker_lines_at(self.core.name()).unwrap_or_default()

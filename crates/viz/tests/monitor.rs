@@ -124,6 +124,25 @@ fn telemetry_pane_shows_invocation_counters() {
 }
 
 #[test]
+fn slow_pane_shows_retained_tail_with_breakdown() {
+    let cores = setup();
+    let mon = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1"]).unwrap();
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    msg.call("print", &[]).unwrap();
+    let frame = mon.render_with_slow();
+    assert!(frame.contains("slow requests"), "{frame}");
+    assert!(frame.contains("invoke Message.print"), "{frame}");
+    assert!(
+        frame.contains("@core0"),
+        "retained span snapshot expected in the pane: {frame}"
+    );
+    mon.detach();
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
 fn drag_and_drop_moves_complets() {
     let cores = setup();
     let mon = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1"]).unwrap();
