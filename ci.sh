@@ -66,6 +66,21 @@ for seed in 7 11 23; do
     echo "$e17" | grep -q 'guardrail ok (tail retained with spans)'
 done
 
+# E18 guardrails, swept over the same simnet seeds (each is a different
+# Zipf call schedule): always-on per-complet accounting must cost at
+# most ~0.5us per local call against the accounting-free baseline; a
+# 64-slot Space-Saving sketch must recall at least 90% of the true
+# top-10 talkers; and load-weighted partition seats must keep every
+# Core within capacity where count seats overload one.
+for seed in 7 11 23; do
+    echo "==> experiments json smoke (E18, seed $seed)"
+    e18=$(FARGO_SIMNET_SEED=$seed \
+        cargo run -q -p fargo-bench --bin experiments --release -- json E18)
+    echo "$e18" | grep -q 'guardrail ok (accounting <=0.5us/call)'
+    echo "$e18" | grep -q 'guardrail ok (top-10 of'
+    echo "$e18" | grep -q 'guardrail ok (within capacity and below the count-based maximum)'
+done
+
 # Deterministic schedule-explorer sweep: 1000 seeded workloads (moves,
 # invokes, relocator links, time advances, idle-tracker collections)
 # through the virtual-clock driver, every merged journal checked against

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E17). Each module regenerates one experiment
+//! The experiment suite (E1–E18). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -18,6 +18,7 @@ pub mod e14_retry;
 pub mod e15_planner;
 pub mod e16_checker;
 pub mod e17_tail;
+pub mod e18_account;
 
 use crate::Table;
 
@@ -122,6 +123,12 @@ pub fn all() -> Vec<Experiment> {
             summary:
                 "tail-latency observatory: phase-timing overhead; per-phase attribution and tail retention under injected link delay",
             run: e17_tail::run,
+        },
+        Experiment {
+            id: "E18",
+            summary:
+                "cluster health observatory: per-complet accounting overhead; heavy-hitter sketch recall under Zipf; load-weighted vs count-based placement",
+            run: e18_account::run,
         },
     ]
 }

@@ -14,6 +14,7 @@
 //! run — but the two-phase move protocol, retry/dedup layer, and epoch
 //! guards must keep them true regardless.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::thread;
 use std::time::Duration;
@@ -101,6 +102,12 @@ pub struct RunReport {
     /// seed-stable across runs in one process; determinism comparisons
     /// should use [`RunReport::span_shape`].
     pub spans: Vec<fargo_core::SpanRecord>,
+    /// Rendered per-Core accounting state at the end of the run: every
+    /// tracked complet's counters plus each Core's outbound traffic
+    /// matrix. Under the virtual clock this is a pure function of the
+    /// schedule (exec time is 0µs, so load == invokes), and the
+    /// determinism regression compares it byte-for-byte.
+    pub accounting: String,
 }
 
 impl RunReport {
@@ -219,6 +226,40 @@ impl Cluster {
         merge_timelines(self.cores.iter().map(|c| c.journal_snapshot()))
     }
 
+    /// Renders every Core's accounting state without sending a single
+    /// message (local snapshots only, so rendering cannot perturb the
+    /// matrix it reports).
+    fn accounting_report(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cores {
+            for r in c.account_top(usize::MAX) {
+                writeln!(
+                    out,
+                    "{} c{}.{} invokes={} exec_us={} in={} out={} load={} err={}",
+                    c.name(),
+                    r.key.0,
+                    r.key.1,
+                    r.invokes,
+                    r.exec_us,
+                    r.bytes_in,
+                    r.bytes_out,
+                    r.load,
+                    r.err
+                )
+                .expect("write to string");
+            }
+            for cell in c.traffic_matrix() {
+                writeln!(
+                    out,
+                    "{} -> {}: msgs={} bytes={}",
+                    cell.src, cell.dst, cell.msgs, cell.bytes
+                )
+                .expect("write to string");
+            }
+        }
+        out
+    }
+
     fn teardown(&self) {
         for c in &self.cores {
             c.stop();
@@ -315,6 +356,7 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
                 journal: Vec::new(),
                 ops_applied: 0,
                 spans: Vec::new(),
+                accounting: String::new(),
             }
         }
     };
@@ -406,12 +448,14 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
     } else {
         Vec::new()
     };
+    let accounting = cl.accounting_report();
     cl.teardown();
     RunReport {
         violations,
         journal,
         ops_applied,
         spans,
+        accounting,
     }
 }
 

@@ -49,6 +49,33 @@ fn span_timing_is_seed_stable() {
     );
 }
 
+/// The accounting layer rides the same contract: per-complet counters
+/// and the Core-to-Core traffic matrix must replay byte-identically
+/// from one seed (under the virtual clock, load is pure invoke counts).
+#[test]
+fn accounting_and_matrix_are_seed_stable() {
+    let schedule = Schedule::generate(42, 12, 3);
+    let cfg = RunConfig::default();
+    let a = run(&schedule, &cfg);
+    let b = run(&schedule, &cfg);
+    assert!(!a.failed(), "violations: {:?}", a.violations);
+    assert!(!b.failed(), "violations: {:?}", b.violations);
+    assert!(
+        a.accounting.contains("invokes="),
+        "schedule with invokes must leave accounting rows: {}",
+        a.accounting
+    );
+    assert!(
+        a.accounting.contains("msgs="),
+        "cross-Core schedule must leave matrix cells: {}",
+        a.accounting
+    );
+    assert_eq!(
+        a.accounting, b.accounting,
+        "same seed must replay to identical accounting"
+    );
+}
+
 /// Different seeds produce different workloads (the generator is not
 /// collapsing the space).
 #[test]

@@ -110,6 +110,18 @@ pub struct CoreConfig {
     /// Observations per epoch of the sliding latency window behind
     /// "recent" percentile estimates (the window spans 1–2 epochs).
     pub latency_window: u64,
+    /// Whether executed invocations are attributed to their complet
+    /// (exec time, invoke count, marshaled bytes in/out) and outbound
+    /// envelopes to the Core↔Core traffic matrix. Off restores the
+    /// unaccounted hot path (one branch).
+    pub accounting: bool,
+    /// Complets the per-Core accountant tracks at once; beyond it the
+    /// Space-Saving sketch evicts the minimum-load entry, so memory
+    /// stays O(capacity) at any population.
+    pub account_capacity: usize,
+    /// Declarative SLO rules the health engine evaluates every monitor
+    /// tick (multi-window burn-rate alerting). Empty disables alerting.
+    pub slo_rules: Vec<fargo_telemetry::SloRule>,
 }
 
 impl Default for CoreConfig {
@@ -145,6 +157,9 @@ impl Default for CoreConfig {
             phase_timing: true,
             slow_log_capacity: 16,
             latency_window: 512,
+            accounting: true,
+            account_capacity: 512,
+            slo_rules: fargo_telemetry::default_slo_rules(),
         }
     }
 }
@@ -256,6 +271,26 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with per-complet accounting (and the traffic
+    /// matrix feed) switched on or off.
+    pub fn with_accounting(mut self, enabled: bool) -> Self {
+        self.accounting = enabled;
+        self
+    }
+
+    /// Configuration with the accountant's sketch capacity replaced
+    /// (minimum one entry per shard).
+    pub fn with_account_capacity(mut self, capacity: usize) -> Self {
+        self.account_capacity = capacity;
+        self
+    }
+
+    /// Configuration with the health engine's SLO rule set replaced.
+    pub fn with_slo_rules(mut self, rules: Vec<fargo_telemetry::SloRule>) -> Self {
+        self.slo_rules = rules;
+        self
+    }
+
     /// The anomaly thresholds as the telemetry-layer struct.
     pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
         fargo_telemetry::AnomalyThresholds {
@@ -305,6 +340,25 @@ mod tests {
         let c = c.with_phase_timing(false).with_slow_log_capacity(0);
         assert!(!c.phase_timing);
         assert_eq!(c.slow_log_capacity, 0);
+    }
+
+    #[test]
+    fn accounting_and_slo_knobs() {
+        let c = CoreConfig::default();
+        assert!(c.accounting, "accounting is on by default");
+        assert!(c.account_capacity > 0);
+        assert_eq!(c.slo_rules.len(), 4, "default rule set covers 4 signals");
+        let c = c
+            .with_accounting(false)
+            .with_account_capacity(64)
+            .with_slo_rules(vec![fargo_telemetry::SloRule::new(
+                "p99",
+                fargo_telemetry::SloKind::P99InvokeUs,
+                1_000.0,
+            )]);
+        assert!(!c.accounting);
+        assert_eq!(c.account_capacity, 64);
+        assert_eq!(c.slo_rules.len(), 1);
     }
 
     #[test]

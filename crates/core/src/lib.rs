@@ -83,8 +83,9 @@ pub use runtime::{BoundRef, Core, CoreBuilder, LatencySummary, RemoteSubscriptio
 pub use fargo_wire::{CompletId, RefDescriptor, Value};
 
 pub use fargo_telemetry::{
-    render_journal_json, render_slow_log, render_span_tree, Anomaly, AnomalyThresholds, Clock, Hlc,
-    JournalEvent, JournalKind, LayoutHistory, LayoutState, MetricValue,
-    Registry as TelemetryRegistry, SlowRecord, Snapshot as MetricSnapshot, SpanRecord,
-    TraceContext,
+    default_slo_rules, render_health, render_journal_json, render_matrix, render_slow_log,
+    render_span_tree, AccountRecord, Anomaly, AnomalyThresholds, Clock, HealthSample, Hlc,
+    JournalEvent, JournalKind, LayoutHistory, LayoutState, MatrixCell, MetricValue,
+    Registry as TelemetryRegistry, RuleStatus, SloKind, SloRule, SlowRecord,
+    Snapshot as MetricSnapshot, SpanRecord, TraceContext,
 };

@@ -5,7 +5,9 @@
 //! along the recorded forwarding path so every tracker on an invocation
 //! chain learns the target's final location (§3.1's chain shortening).
 
-use fargo_telemetry::{Hlc, JournalEvent, JournalKind, SpanRecord, TraceContext};
+use fargo_telemetry::{
+    AccountRecord, Hlc, JournalEvent, JournalKind, MatrixCell, SpanRecord, TraceContext,
+};
 use fargo_wire::{decode_value, encode_value, CompletId, RefDescriptor, Value};
 
 use crate::error::{FargoError, Result};
@@ -163,6 +165,11 @@ pub(crate) enum Request {
     /// Collect the receiver's journal of layout events (flight-recorder
     /// pull; merged into a global timeline by the caller).
     JournalEvents,
+    /// Collect the receiver's top-`n` complets by accounted load
+    /// (heavy-hitter pull; merged cluster-wide by the caller).
+    TopComplets { n: u32 },
+    /// Collect the receiver's outbound traffic-matrix cells.
+    TrafficMatrix,
     /// Latency probe.
     Ping,
 }
@@ -190,6 +197,8 @@ impl Request {
             Request::ListTrackers => "list_trk",
             Request::TraceSpans { .. } => "trace_spans",
             Request::JournalEvents => "journal",
+            Request::TopComplets { .. } => "top",
+            Request::TrafficMatrix => "matrix",
             Request::Ping => "ping",
         }
     }
@@ -207,6 +216,8 @@ impl Request {
                 | Request::ListTrackers
                 | Request::TraceSpans { .. }
                 | Request::JournalEvents
+                | Request::TopComplets { .. }
+                | Request::TrafficMatrix
                 | Request::MoveQuery { .. }
                 | Request::MoveDecision { .. }
                 | Request::Ping
@@ -272,6 +283,14 @@ pub(crate) enum Reply {
     /// The replying Core's retained journal events.
     Journal {
         events: Vec<JournalEvent>,
+    },
+    /// The replying Core's heaviest complets by accounted load.
+    TopComplets {
+        rows: Vec<AccountRecord>,
+    },
+    /// The replying Core's outbound traffic-matrix cells.
+    Matrix {
+        cells: Vec<MatrixCell>,
     },
     Ok,
     Pong,
@@ -530,6 +549,71 @@ fn journal_event_to_value(e: &JournalEvent) -> Value {
     ])
 }
 
+/// Account records cross the wire as flat 8-element lists:
+/// `[origin, seq, invokes, exec_us, bytes_in, bytes_out, load, err]`.
+fn account_to_value(r: &AccountRecord) -> Value {
+    Value::list([
+        Value::from(r.key.0),
+        Value::I64(r.key.1 as i64),
+        Value::I64(r.invokes as i64),
+        Value::I64(r.exec_us as i64),
+        Value::I64(r.bytes_in as i64),
+        Value::I64(r.bytes_out as i64),
+        Value::I64(r.load as i64),
+        Value::I64(r.err as i64),
+    ])
+}
+
+fn account_from_value(v: &Value) -> Result<AccountRecord> {
+    let int = |i: usize| -> Result<u64> {
+        v.index(i)
+            .and_then(Value::as_i64)
+            .map(|x| x as u64)
+            .ok_or_else(|| FargoError::Protocol("bad account field".into()))
+    };
+    Ok(AccountRecord {
+        key: (int(0)? as u32, int(1)?),
+        invokes: int(2)?,
+        exec_us: int(3)?,
+        bytes_in: int(4)?,
+        bytes_out: int(5)?,
+        load: int(6)?,
+        err: int(7)?,
+    })
+}
+
+/// Matrix cells cross the wire as flat 4-element lists:
+/// `[src, dst, msgs, bytes]`.
+fn matrix_cell_to_value(c: &MatrixCell) -> Value {
+    Value::list([
+        Value::from(c.src.as_str()),
+        Value::from(c.dst.as_str()),
+        Value::I64(c.msgs as i64),
+        Value::I64(c.bytes as i64),
+    ])
+}
+
+fn matrix_cell_from_value(v: &Value) -> Result<MatrixCell> {
+    let text = |i: usize| -> Result<String> {
+        v.index(i)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| FargoError::Protocol("bad matrix field".into()))
+    };
+    let int = |i: usize| -> Result<u64> {
+        v.index(i)
+            .and_then(Value::as_i64)
+            .map(|x| x as u64)
+            .ok_or_else(|| FargoError::Protocol("bad matrix field".into()))
+    };
+    Ok(MatrixCell {
+        src: text(0)?,
+        dst: text(1)?,
+        msgs: int(2)?,
+        bytes: int(3)?,
+    })
+}
+
 fn journal_event_from_value(v: &Value) -> Result<JournalEvent> {
     let int = |i: usize| -> Result<i64> {
         v.index(i)
@@ -767,6 +851,11 @@ impl Request {
                 ("trace", Value::I64(*trace_id as i64)),
             ]),
             Request::JournalEvents => Value::map([("kind", Value::from("journal"))]),
+            Request::TopComplets { n } => Value::map([
+                ("kind", Value::from("top")),
+                ("n", Value::I64(i64::from(*n))),
+            ]),
+            Request::TrafficMatrix => Value::map([("kind", Value::from("matrix"))]),
             Request::Ping => Value::map([("kind", Value::from("ping"))]),
         }
     }
@@ -840,6 +929,10 @@ impl Request {
                 trace_id: u64_field(v, "trace")?,
             }),
             "journal" => Ok(Request::JournalEvents),
+            "top" => Ok(Request::TopComplets {
+                n: u64_field(v, "n")? as u32,
+            }),
+            "matrix" => Ok(Request::TrafficMatrix),
             "ping" => Ok(Request::Ping),
             other => Err(FargoError::Protocol(format!(
                 "unknown request kind {other:?}"
@@ -947,6 +1040,20 @@ impl Reply {
                     Value::List(events.iter().map(journal_event_to_value).collect()),
                 ),
             ]),
+            Reply::TopComplets { rows } => Value::map([
+                ("kind", Value::from("top")),
+                (
+                    "rows",
+                    Value::List(rows.iter().map(account_to_value).collect()),
+                ),
+            ]),
+            Reply::Matrix { cells } => Value::map([
+                ("kind", Value::from("matrix")),
+                (
+                    "cells",
+                    Value::List(cells.iter().map(matrix_cell_to_value).collect()),
+                ),
+            ]),
             Reply::Ok => Value::map([("kind", Value::from("ok"))]),
             Reply::Pong => Value::map([("kind", Value::from("pong"))]),
             Reply::Err(e) => {
@@ -1041,6 +1148,18 @@ impl Reply {
                 events: list_field(v, "events")?
                     .iter()
                     .map(journal_event_from_value)
+                    .collect::<Result<Vec<_>>>()?,
+            }),
+            "top" => Ok(Reply::TopComplets {
+                rows: list_field(v, "rows")?
+                    .iter()
+                    .map(account_from_value)
+                    .collect::<Result<Vec<_>>>()?,
+            }),
+            "matrix" => Ok(Reply::Matrix {
+                cells: list_field(v, "cells")?
+                    .iter()
+                    .map(matrix_cell_from_value)
                     .collect::<Result<Vec<_>>>()?,
             }),
             "ok" => Ok(Reply::Ok),
@@ -1543,6 +1662,49 @@ mod tests {
                 },
             });
         }
+    }
+
+    #[test]
+    fn account_request_and_reply_roundtrip() {
+        roundtrip(Message::Request {
+            req_id: 4,
+            origin: 0,
+            trace: None,
+            body: Request::TopComplets { n: 10 },
+        });
+        roundtrip(Message::Request {
+            req_id: 5,
+            origin: 0,
+            trace: None,
+            body: Request::TrafficMatrix,
+        });
+        roundtrip(Message::Reply {
+            req_id: 4,
+            route: vec![0],
+            body: Reply::TopComplets {
+                rows: vec![AccountRecord {
+                    key: (2, 17),
+                    invokes: 40,
+                    exec_us: 123,
+                    bytes_in: 4_096,
+                    bytes_out: 512,
+                    load: 163,
+                    err: 3,
+                }],
+            },
+        });
+        roundtrip(Message::Reply {
+            req_id: 5,
+            route: vec![0],
+            body: Reply::Matrix {
+                cells: vec![MatrixCell {
+                    src: "core0".into(),
+                    dst: "core1".into(),
+                    msgs: 9,
+                    bytes: 900,
+                }],
+            },
+        });
     }
 
     #[test]

@@ -337,15 +337,25 @@ impl Core {
             };
             match &mut *guard {
                 SlotState::Present(complet) => {
-                    self.inner
-                        .telemetry
-                        .journal(JournalKind::Exec, &id, method, "", None);
+                    let t = &self.inner.telemetry;
+                    t.journal(JournalKind::Exec, &id, method, "", None);
                     let mut ctx = self.make_ctx(
                         id,
                         &slot.type_name,
                         chain.iter().copied().chain([id]).collect(),
                     );
+                    let accounting = t.accounting;
+                    let start = if accounting { t.phase_now_us() } else { 0 };
                     let result = complet.invoke(&mut ctx, method, args);
+                    if accounting {
+                        let exec_us = t.phase_now_us().saturating_sub(start);
+                        let bytes_in: u64 = args.iter().map(|a| a.deep_size() as u64).sum();
+                        let bytes_out = result.as_ref().map(|v| v.deep_size() as u64).unwrap_or(0);
+                        t.account_exec(id, exec_us, bytes_in, bytes_out);
+                    }
+                    if result.is_err() {
+                        t.invoke_errors_total.inc();
+                    }
                     drop(guard);
                     // Weak mobility: deferred self-moves run only now,
                     // after the method body released the complet (§3.3).

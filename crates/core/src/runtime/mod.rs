@@ -20,8 +20,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use fargo_telemetry::{
-    merge_timelines, render_span_tree, Histogram, Hlc, JournalEvent, JournalKind, LayoutHistory,
-    Registry as TelemetryRegistry, SlowRecord, SpanRecord, TraceContext,
+    merge_timelines, render_snapshots_json, render_span_tree, AccountRecord, HealthEngine,
+    HealthSample, Histogram, Hlc, JournalEvent, JournalKind, LayoutHistory, MatrixCell,
+    Registry as TelemetryRegistry, RuleStatus, SlowRecord, SpanRecord, TraceContext,
 };
 use fargo_wire::{CompletId, RefDescriptor, Value};
 use parking_lot::{Mutex, RwLock};
@@ -114,6 +115,8 @@ pub(crate) struct CoreInner {
     /// layout planner's cadence source), keyed for removal.
     pub tick_hooks: Mutex<Vec<(u64, TickHook)>>,
     pub tick_hook_seq: AtomicU64,
+    /// The SLO/health engine, fed one [`HealthSample`] per monitor tick.
+    pub health: Mutex<HealthEngine>,
 }
 
 /// Percentile summary of one latency histogram, as returned by
@@ -268,6 +271,7 @@ impl<'a> CoreBuilder<'a> {
             held_moves: Mutex::new(HashMap::new()),
             tick_hooks: Mutex::new(Vec::new()),
             tick_hook_seq: AtomicU64::new(1),
+            health: Mutex::new(HealthEngine::new(config.slo_rules.clone())),
             config,
         });
         let core = Core { inner };
@@ -549,7 +553,163 @@ impl Core {
     /// link gauges refreshed first.
     pub fn render_metrics(&self) -> String {
         self.refresh_link_metrics();
+        self.refresh_accounting_metrics();
         self.inner.telemetry.registry.render_prometheus()
+    }
+
+    /// JSON exposition of this Core's registry (same refresh pass as
+    /// [`Core::render_metrics`]), for machine consumers like `stats json`.
+    pub fn render_metrics_json(&self) -> String {
+        self.refresh_link_metrics();
+        self.refresh_accounting_metrics();
+        render_snapshots_json(&self.inner.telemetry.registry.snapshot())
+    }
+
+    // --- cluster health observatory ----------------------------------------
+
+    /// The heaviest complets tracked by this Core's accountant, heaviest
+    /// first. Load is `exec_µs + invokes`; `err` bounds the overcount a
+    /// Space-Saving eviction may have introduced.
+    pub fn account_top(&self, n: usize) -> Vec<AccountRecord> {
+        self.inner.telemetry.accountant.top(n)
+    }
+
+    /// The heaviest complets **cluster-wide**: this Core's top-`n` merged
+    /// with every reachable peer's, re-ranked by load, truncated to `n`.
+    /// Each row carries the name of the Core that reported it.
+    pub fn collect_top(&self, n: usize) -> Vec<(String, AccountRecord)> {
+        let mut rows: Vec<(String, AccountRecord)> = self
+            .account_top(n)
+            .into_iter()
+            .map(|r| (self.inner.name.clone(), r))
+            .collect();
+        for node in self.inner.net.node_ids() {
+            if node == self.inner.node {
+                continue;
+            }
+            if let Ok(Reply::TopComplets { rows: remote }) =
+                self.rpc(node.index(), Request::TopComplets { n: n as u32 })
+            {
+                let peer = self.core_name_of(node.index());
+                rows.extend(remote.into_iter().map(|r| (peer.clone(), r)));
+            }
+        }
+        rows.sort_by(|(ca, a), (cb, b)| {
+            b.load.cmp(&a.load).then(a.key.cmp(&b.key)).then(ca.cmp(cb))
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// This Core's outbound Core↔Core traffic matrix cells (src is always
+    /// this Core), ordered by destination.
+    pub fn traffic_matrix(&self) -> Vec<MatrixCell> {
+        self.inner.telemetry.matrix.snapshot()
+    }
+
+    /// The **cluster-wide** traffic matrix: every Core reports its own
+    /// outbound cells, so the union covers all directed pairs that have
+    /// carried messages. Ordered by (src, dst).
+    pub fn collect_matrix(&self) -> Vec<MatrixCell> {
+        let mut cells = self.traffic_matrix();
+        for node in self.inner.net.node_ids() {
+            if node == self.inner.node {
+                continue;
+            }
+            if let Ok(Reply::Matrix { cells: remote }) =
+                self.rpc(node.index(), Request::TrafficMatrix)
+            {
+                cells.extend(remote);
+            }
+        }
+        cells.sort_by(|a, b| (&a.src, &a.dst).cmp(&(&b.src, &b.dst)));
+        cells
+    }
+
+    /// Current state of every SLO rule on this Core: short/long window
+    /// burn rates and whether the alert is firing.
+    pub fn health_status(&self) -> Vec<RuleStatus> {
+        self.inner.health.lock().status()
+    }
+
+    /// Every alert transition journaled cluster-wide, oldest first.
+    pub fn collect_alerts(&self) -> Vec<JournalEvent> {
+        self.collect_journal()
+            .into_iter()
+            .filter(|ev| ev.kind == JournalKind::Alert)
+            .collect()
+    }
+
+    /// Folds the accountant's current top complets into `fargo_complet_*`
+    /// gauges (bounded by the sketch capacity, so exposition cardinality
+    /// stays safe no matter how many complets exist).
+    pub fn refresh_accounting_metrics(&self) {
+        let t = &self.inner.telemetry;
+        if !t.accounting {
+            return;
+        }
+        let reg = &t.registry;
+        for row in t.accountant.top(usize::MAX) {
+            let complet = CompletId {
+                origin: row.key.0,
+                seq: row.key.1,
+            }
+            .to_string();
+            let l = &[
+                ("complet", complet.as_str()),
+                ("core", self.inner.name.as_str()),
+            ][..];
+            reg.gauge("fargo_complet_load", l).set(row.load as f64);
+            reg.gauge("fargo_complet_invokes", l)
+                .set(row.invokes as f64);
+            reg.gauge("fargo_complet_exec_us", l)
+                .set(row.exec_us as f64);
+            reg.gauge("fargo_complet_bytes_in", l)
+                .set(row.bytes_in as f64);
+            reg.gauge("fargo_complet_bytes_out", l)
+                .set(row.bytes_out as f64);
+        }
+    }
+
+    /// Builds the cumulative [`HealthSample`] the SLO engine consumes —
+    /// one call per monitor tick, but public so tests and the checker can
+    /// drive the engine deterministically.
+    pub fn health_sample(&self) -> HealthSample {
+        let t = &self.inner.telemetry;
+        HealthSample {
+            p99_invoke_us: t.invoke_latency_us.quantile_recent(0.99),
+            invokes: t.invoke_total.get(),
+            errors: t.invoke_errors_total.get(),
+            sheds: t.worker_rejections_total.get(),
+            moves: t.moves_attempted_total.get(),
+            move_failures: t.move_failures_total.get(),
+        }
+    }
+
+    /// Feeds one sample to the SLO engine, journals every alert
+    /// transition, and updates the per-rule alert counter/status gauge.
+    /// Called by the monitor thread each tick; public for deterministic
+    /// tests.
+    pub fn evaluate_health(&self) {
+        let sample = self.health_sample();
+        let transitions = self.inner.health.lock().observe(sample);
+        let t = &self.inner.telemetry;
+        for tr in &transitions {
+            let detail = format!(
+                "short={:.4} long={:.4} threshold={:.4}",
+                tr.short, tr.long, tr.threshold
+            );
+            let object = if tr.firing { "firing" } else { "resolved" };
+            t.journal(JournalKind::Alert, &tr.rule, object, &detail, None);
+            if let Some((fired, status)) = t.health_series.get(&tr.rule) {
+                if tr.firing {
+                    fired.inc();
+                    status.set(1.0);
+                } else {
+                    status.set(0.0);
+                }
+            }
+        }
     }
 
     /// Whether the Core is still accepting work.
@@ -1060,6 +1220,12 @@ impl Core {
                 .observe(t.phase_now_us().saturating_sub(t0));
         }
         t.record_msg_out(msg.kind_label(), payload.len());
+        if t.accounting && node != self.inner.node.index() {
+            t.matrix
+                .record(self.inner.node.index(), node, payload.len() as u64, || {
+                    (self.inner.name.clone(), self.core_name_of(node))
+                });
+        }
         self.inner
             .net
             .send(self.inner.node, NodeId::from_index(node), payload)
@@ -1439,6 +1605,14 @@ impl Core {
                 let events = self.inner.telemetry.journal.snapshot();
                 self.reply_to(origin, req_id, Reply::Journal { events });
             }
+            Request::TopComplets { n } => {
+                let rows = self.inner.telemetry.accountant.top(n as usize);
+                self.reply_to(origin, req_id, Reply::TopComplets { rows });
+            }
+            Request::TrafficMatrix => {
+                let cells = self.inner.telemetry.matrix.snapshot();
+                self.reply_to(origin, req_id, Reply::Matrix { cells });
+            }
             Request::Ping => self.reply_to(origin, req_id, Reply::Pong),
         }
     }
@@ -1628,6 +1802,7 @@ impl Core {
                         core.fire_event(event);
                     }
                     core.sweep_held_moves();
+                    core.evaluate_health();
                     // Clone out of the lock: a hook may add/remove hooks.
                     let hooks: Vec<TickHook> = {
                         let guard = core.inner.tick_hooks.lock();

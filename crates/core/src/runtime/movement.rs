@@ -135,7 +135,11 @@ impl Core {
         } else {
             None
         };
+        t.moves_attempted_total.inc();
         let result = self.move_local_inner(root, dest_node, continuation);
+        if result.is_err() {
+            t.move_failures_total.inc();
+        }
         if let Some((timer, scope)) = span {
             drop(scope);
             timer.finish(&t.spans, &self.inner.name);

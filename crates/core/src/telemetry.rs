@@ -13,10 +13,11 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fargo_telemetry::{
-    Clock, Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent, JournalKind, Registry,
-    SlowLog, SpanLog, TraceContext, WindowedHistogram, BUCKETS_BYTES, BUCKETS_COUNT,
-    BUCKETS_LATENCY_US,
+    Accountant, Clock, Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent,
+    JournalKind, Registry, SlowLog, SpanLog, TraceContext, TrafficMatrix, WindowedHistogram,
+    BUCKETS_BYTES, BUCKETS_COUNT, BUCKETS_LATENCY_US,
 };
+use fargo_wire::CompletId;
 
 use crate::config::CoreConfig;
 
@@ -36,6 +37,8 @@ const MSG_KINDS: &[&str] = &[
     "list_trk",
     "trace_spans",
     "journal",
+    "top",
+    "matrix",
     "ping",
     "move_prep",
     "move_commit",
@@ -121,6 +124,23 @@ pub(crate) struct CoreTelemetry {
     pub worker_rejections_total: Counter,
     /// Tracker updates rejected for carrying a stale move epoch.
     pub tracker_stale_total: Counter,
+
+    // Cluster health observatory.
+    /// Per-complet accounting gate (the matrix rides the same switch).
+    pub accounting: bool,
+    /// Per-complet exec/invoke/bytes attribution, Space-Saving bounded.
+    pub accountant: Accountant,
+    /// Messages and bytes per directed Core pair, fed from `send_to`.
+    pub matrix: TrafficMatrix,
+    /// Invocations that returned an error to the caller.
+    pub invoke_errors_total: Counter,
+    /// `move_complet` attempts.
+    pub moves_attempted_total: Counter,
+    /// `move_complet` attempts that failed.
+    pub move_failures_total: Counter,
+    /// Per-SLO-rule alert series: `fargo_alerts_total` edges and the
+    /// `fargo_health_status` 0/1 gauge, pre-registered per rule.
+    pub health_series: HashMap<String, (Counter, Gauge)>,
 }
 
 impl CoreTelemetry {
@@ -157,6 +177,20 @@ impl CoreTelemetry {
             };
         let phase_hist =
             |name: &str| -> Histogram { registry.histogram(name, l, BUCKETS_LATENCY_US) };
+        let health_series = config
+            .slo_rules
+            .iter()
+            .map(|r| {
+                let rl = &[("core", core), ("rule", r.name.as_str())][..];
+                (
+                    r.name.clone(),
+                    (
+                        registry.counter("fargo_alerts_total", rl),
+                        registry.gauge("fargo_health_status", rl),
+                    ),
+                )
+            })
+            .collect();
         CoreTelemetry {
             spans: SpanLog::with_clock(trace_capacity, clock.clone()),
             trace_enabled,
@@ -202,7 +236,26 @@ impl CoreTelemetry {
             move_indoubt_total: registry.counter("fargo_move_indoubt_total", l),
             worker_rejections_total: registry.counter("fargo_worker_rejections_total", l),
             tracker_stale_total: registry.counter("fargo_tracker_stale_rejections_total", l),
+            accounting: config.accounting,
+            accountant: Accountant::new(config.account_capacity),
+            matrix: TrafficMatrix::new(&registry),
+            invoke_errors_total: registry.counter("fargo_invoke_errors_total", l),
+            moves_attempted_total: registry.counter("fargo_moves_attempted_total", l),
+            move_failures_total: registry.counter("fargo_move_failures_total", l),
+            health_series,
             registry,
+        }
+    }
+
+    /// Attributes one executed invocation to its complet, gated on the
+    /// accounting switch (off costs one branch). Planner pseudo-complet
+    /// ids (`seq == 0`, the per-Core application stand-ins from the
+    /// affinity graph) never execute real methods; they are excluded
+    /// here anyway so a stray id cannot crowd the heavy-hitter table.
+    pub(crate) fn account_exec(&self, id: CompletId, exec_us: u64, bytes_in: u64, bytes_out: u64) {
+        if self.accounting && id.seq != 0 {
+            self.accountant
+                .record((id.origin, id.seq), exec_us, bytes_in, bytes_out);
         }
     }
 

@@ -21,6 +21,11 @@ pub struct AffinityGraph {
     /// anchored to (application pseudo-complets).
     pinned: BTreeMap<CompletId, u32>,
     nodes: BTreeSet<CompletId>,
+    /// Observed resource load per vertex (normalised; see
+    /// [`AffinityGraph::set_load`]). Vertices without an entry weigh 1.0,
+    /// so a graph with no accounting data partitions exactly as the old
+    /// count-based capacity did.
+    loads: BTreeMap<CompletId, f64>,
 }
 
 fn canonical(a: CompletId, b: CompletId) -> (CompletId, CompletId) {
@@ -56,6 +61,23 @@ impl AffinityGraph {
     /// The node an id is pinned to, if it is pinned.
     pub fn pinned_to(&self, id: CompletId) -> Option<u32> {
         self.pinned.get(&id).copied()
+    }
+
+    /// Sets the observed load of `id` in capacity seats. The planner
+    /// normalises accountant loads so the *mean* tracked complet weighs
+    /// 1.0; a complet doing 10× the mean work then occupies 10 seats and
+    /// the partitioner spreads such heavy hitters instead of packing by
+    /// head-count. Non-positive loads are ignored.
+    pub fn set_load(&mut self, id: CompletId, load: f64) {
+        if load > 0.0 {
+            self.nodes.insert(id);
+            self.loads.insert(id, load);
+        }
+    }
+
+    /// The load of `id` in capacity seats (1.0 when never observed).
+    pub fn load_of(&self, id: CompletId) -> f64 {
+        self.loads.get(&id).copied().unwrap_or(1.0)
     }
 
     /// Every vertex (movable and pinned).

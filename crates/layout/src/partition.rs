@@ -6,11 +6,16 @@
 //! inputs must not oscillate). Two stages:
 //!
 //! 1. **Greedy edge contraction** — walk edges heaviest-first and merge
-//!    endpoints into clusters while the merged size fits the per-Core
-//!    capacity. The heaviest affinities are guaranteed co-location
-//!    before any placement decision is taken. Clusters containing a
-//!    pinned vertex (an application pseudo-complet) are anchored to its
-//!    node; two clusters anchored to different nodes never merge.
+//!    endpoints into clusters while the merged *load* fits the per-Core
+//!    capacity. Capacity is measured in load seats: a complet occupies
+//!    [`AffinityGraph::load_of`] seats (1.0 without accounting data, so
+//!    the scheme degrades to the old complet-count capacity), which is
+//!    what lets the partitioner spread observed heavy hitters instead of
+//!    packing by head-count. The heaviest affinities are guaranteed
+//!    co-location before any placement decision is taken. Clusters
+//!    containing a pinned vertex (an application pseudo-complet) are
+//!    anchored to its node; two clusters anchored to different nodes
+//!    never merge.
 //! 2. **Seeding + bounded local search** — each cluster lands on its
 //!    anchor, or on the Core already hosting the plurality of its
 //!    members (bias: don't move what doesn't need to move). Then a
@@ -34,6 +39,11 @@ const REFINE_PASSES: usize = 4;
 /// against float-noise oscillation.
 const IMPROVE_EPS: f64 = 1e-9;
 
+/// Slack added to capacity comparisons so summed f64 loads equal to the
+/// capacity (e.g. three 1.0-seat complets against capacity 3) are not
+/// rejected by accumulation noise.
+const CAP_EPS: f64 = 1e-6;
+
 /// One partitioning instance.
 #[derive(Debug, Clone, Copy)]
 pub struct PartitionProblem<'a> {
@@ -41,8 +51,11 @@ pub struct PartitionProblem<'a> {
     pub cost: &'a CostModel,
     /// Where each movable complet lives now.
     pub current: &'a BTreeMap<CompletId, u32>,
-    /// Per-Core complet capacity (`None` = unbounded). Pinned
-    /// pseudo-complets do not count against it.
+    /// Per-Core capacity in load seats (`None` = unbounded). A complet
+    /// occupies [`AffinityGraph::load_of`] seats — 1.0 unless accounting
+    /// observed otherwise — so without load data this is the old
+    /// complet-count capacity. Pinned pseudo-complets do not count
+    /// against it.
     pub capacity: Option<usize>,
 }
 
@@ -67,10 +80,12 @@ pub fn assignment_cost(
         .sum()
 }
 
-/// Union-find with cluster sizes and optional pinned anchors.
+/// Union-find with cluster load sums and optional pinned anchors.
 struct Clusters {
     parent: Vec<usize>,
-    size: Vec<usize>,
+    /// Summed load seats of the *movable* members (pinned
+    /// pseudo-complets are not resident complets and weigh nothing).
+    size: Vec<f64>,
     anchor: Vec<Option<u32>>,
 }
 
@@ -83,16 +98,13 @@ impl Clusters {
         x
     }
 
-    /// Merges the clusters of `a` and `b` if sizes and anchors allow.
-    fn try_union(&mut self, a: usize, b: usize, max_size: usize) -> bool {
+    /// Merges the clusters of `a` and `b` if load sums and anchors allow.
+    fn try_union(&mut self, a: usize, b: usize, max_size: f64) -> bool {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return true;
         }
-        // Pinned pseudo-complets are not resident complets, so only the
-        // movable members count against capacity.
-        let movable = |s: &Clusters, r: usize| s.size[r];
-        if movable(self, ra) + movable(self, rb) > max_size {
+        if self.size[ra] + self.size[rb] > max_size + CAP_EPS {
             return false;
         }
         match (self.anchor[ra], self.anchor[rb]) {
@@ -131,12 +143,20 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
         .iter()
         .map(|&v| graph.pinned_to(v).is_none())
         .collect();
-    let cap = capacity.unwrap_or(usize::MAX);
+    // Seats each vertex occupies: its observed load, 1.0 when the
+    // accountant never saw it, 0.0 when pinned (pseudo-complets are not
+    // resident work).
+    let seats: Vec<f64> = verts
+        .iter()
+        .zip(&movable)
+        .map(|(&v, &m)| if m { graph.load_of(v) } else { 0.0 })
+        .collect();
+    let cap = capacity.map(|c| c as f64).unwrap_or(f64::INFINITY);
 
     // Stage 1: greedy contraction, heaviest edges first.
     let mut clusters = Clusters {
         parent: (0..verts.len()).collect(),
-        size: movable.iter().map(|&m| usize::from(m)).collect(),
+        size: seats.clone(),
         anchor: verts.iter().map(|&v| graph.pinned_to(v)).collect(),
     };
     for (a, b, _w) in graph.edges_by_weight() {
@@ -155,14 +175,14 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
     // the rest go where the plurality of their members already live (or
     // the emptiest Core when nothing is placed yet), capacity permitting.
     let mut assignment: BTreeMap<CompletId, u32> = BTreeMap::new();
-    let mut load: BTreeMap<u32, usize> = cores.iter().map(|&c| (c, 0)).collect();
-    let mut roots: Vec<(usize, usize)> = members
+    let mut load: BTreeMap<u32, f64> = cores.iter().map(|&c| (c, 0.0)).collect();
+    let mut roots: Vec<(usize, f64)> = members
         .iter()
-        .map(|(&root, ms)| (root, ms.iter().filter(|&&i| movable[i]).count()))
+        .map(|(&root, ms)| (root, ms.iter().map(|&i| seats[i]).sum()))
         .collect();
-    // Largest clusters claim seats first so capacity fragments less.
-    roots.sort_by_key(|&(root, n)| (std::cmp::Reverse(n), root));
-    for (root, movable_count) in roots {
+    // Heaviest clusters claim seats first so capacity fragments less.
+    roots.sort_by(|&(ra, la), &(rb, lb)| lb.total_cmp(&la).then(ra.cmp(&rb)));
+    for (root, cluster_load) in roots {
         let ms = &members[&root];
         let root = clusters.find(root);
         let seed = clusters.anchor[root].or_else(|| {
@@ -180,14 +200,19 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
         // Fall back across cores by remaining headroom when the seed is
         // absent or full.
         let mut ranked: Vec<u32> = cores.to_vec();
-        ranked.sort_by_key(|c| load.get(c).copied().unwrap_or(0));
+        ranked.sort_by(|a, b| load[a].total_cmp(&load[b]).then(a.cmp(b)));
         let chosen = seed
-            .filter(|c| cores.contains(c) && load.get(c).is_some_and(|&l| l + movable_count <= cap))
+            .filter(|c| {
+                cores.contains(c)
+                    && load
+                        .get(c)
+                        .is_some_and(|&l| l + cluster_load <= cap + CAP_EPS)
+            })
             .or_else(|| {
                 ranked
                     .iter()
                     .copied()
-                    .find(|c| load[c] + movable_count <= cap)
+                    .find(|c| load[c] + cluster_load <= cap + CAP_EPS)
             })
             .unwrap_or(ranked[0]);
         for &i in ms {
@@ -195,7 +220,7 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
                 assignment.insert(verts[i], chosen);
             }
         }
-        *load.entry(chosen).or_insert(0) += movable_count;
+        *load.entry(chosen).or_insert(0.0) += cluster_load;
     }
 
     // Stage 2b: bounded local search. Move one complet at a time to the
@@ -218,9 +243,10 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
                     .sum()
             };
             let base = local_cost(here, &assignment);
+            let v_seats = seats[index[&v]];
             let mut best: Option<(f64, u32)> = None;
             for &c in cores {
-                if c == here || load[&c] + 1 > cap {
+                if c == here || load[&c] + v_seats > cap + CAP_EPS {
                     continue;
                 }
                 let gain = base - local_cost(c, &assignment);
@@ -230,8 +256,8 @@ pub fn partition(problem: PartitionProblem<'_>) -> BTreeMap<CompletId, u32> {
             }
             if let Some((_, c)) = best {
                 assignment.insert(v, c);
-                *load.get_mut(&here).expect("known core") -= 1;
-                *load.get_mut(&c).expect("known core") += 1;
+                *load.get_mut(&here).expect("known core") -= v_seats;
+                *load.get_mut(&c).expect("known core") += v_seats;
                 improved = true;
             }
         }
@@ -357,6 +383,56 @@ mod tests {
             0.0,
             "already co-located pair stays free"
         );
+    }
+
+    /// Two observed heavy hitters (8 load seats each) sharing a strong
+    /// affinity edge must still split across capacity-10 Cores: their
+    /// combined load would overload either one. Under head-count
+    /// capacity (2 complets ≤ 10) they would have been packed together.
+    #[test]
+    fn heavy_hitters_spread_across_cores() {
+        let mut g = AffinityGraph::new();
+        g.add_edge(c(1), c(2), 100.0);
+        g.set_load(c(1), 8.0);
+        g.set_load(c(2), 8.0);
+        let cost = CostModel::uniform(&[0, 1]);
+        let current = placed(&[(c(1), 0), (c(2), 0)]);
+        let a = partition(PartitionProblem {
+            graph: &g,
+            cost: &cost,
+            current: &current,
+            capacity: Some(10),
+        });
+        assert_ne!(a[&c(1)], a[&c(2)], "load capacity forces a split: {a:?}");
+    }
+
+    /// A heavy hitter and its light satellites: the satellites co-locate
+    /// with it up to the load capacity, and the leftover spills — the
+    /// per-Core load sum never exceeds the seat budget.
+    #[test]
+    fn load_seats_bound_per_core_load() {
+        let mut g = AffinityGraph::new();
+        g.set_load(c(1), 4.0);
+        for s in 2..=6u64 {
+            g.add_edge(c(1), c(s), 10.0 - s as f64);
+        }
+        let cost = CostModel::uniform(&[0, 1]);
+        let current: BTreeMap<CompletId, u32> = (1..=6u64).map(|s| (c(s), 0)).collect();
+        let a = partition(PartitionProblem {
+            graph: &g,
+            cost: &cost,
+            current: &current,
+            capacity: Some(6),
+        });
+        let mut loads: BTreeMap<u32, f64> = BTreeMap::new();
+        for (&id, &core) in &a {
+            *loads.entry(core).or_insert(0.0) += g.load_of(id);
+        }
+        assert!(
+            loads.values().all(|&l| l <= 6.0 + 1e-6),
+            "seat budget respected: {loads:?}"
+        );
+        assert_eq!(a.len(), 6, "every movable complet is placed");
     }
 
     /// A complet pulled equally towards two pinned clients must resolve

@@ -195,6 +195,30 @@ impl Planner {
             }
         }
 
+        // Load: per-complet exec-time accounting (cluster-wide top-K),
+        // normalised so the mean tracked complet weighs one capacity
+        // seat. Heavy hitters then occupy proportionally more seats and
+        // the partitioner spreads them; untracked complets default to
+        // 1.0, i.e. the old count-based capacity. A complet that moved
+        // may be reported by several Cores (the old host keeps its
+        // history), so per-id loads are summed — total work done is the
+        // signal, wherever it happened.
+        let mut by_id: BTreeMap<CompletId, u64> = BTreeMap::new();
+        for (_core, r) in self.core.collect_top(usize::MAX) {
+            let id = CompletId::new(r.key.0, r.key.1);
+            if r.load > 0 && known(id) && !is_app_pseudo(id) {
+                *by_id.entry(id).or_insert(0) += r.load;
+            }
+        }
+        if !by_id.is_empty() {
+            let mean = by_id.values().map(|&l| l as f64).sum::<f64>() / by_id.len() as f64;
+            if mean > 0.0 {
+                for (id, load) in by_id {
+                    graph.set_load(id, load as f64 / mean);
+                }
+            }
+        }
+
         if self.cfg.min_edge_weight > 0.0 {
             graph.prune(self.cfg.min_edge_weight);
         }

@@ -5,7 +5,8 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use fargo_core::{
-    render_slow_log, CompletId, CompletRef, Core, FargoError, RefDescriptor, Service, Value,
+    render_health, render_matrix, render_slow_log, CompletId, CompletRef, Core, FargoError,
+    RefDescriptor, Service, Value,
 };
 use fargo_layout::{register_script_action, AutoLayout};
 use fargo_script::{ScriptEngine, ScriptError, ScriptValue};
@@ -91,8 +92,15 @@ FarGo shell commands:
                                      planner would execute right now
   rebalance                          plan and execute one layout round
   autolayout on|off|status           closed-loop adaptive relocation
-  stats [full]                       runtime counters; 'full' renders the
-                                     whole metrics exposition (incl. links)
+  stats [full|json]                  runtime counters; 'full' renders the
+                                     whole metrics exposition (incl. links),
+                                     'json' the same as JSON
+  top [<n>]                          heaviest complets cluster-wide by
+                                     accounted load (default 10)
+  matrix                             core-to-core traffic heatmap
+  health                             SLO rule status (burn-rate windows)
+  alerts [<n>]                       journaled alert transitions
+                                     (last n; default 20)
   trace [<id>]                       span tree of a trace (default: the
                                      most recent one recorded here)
   slow [<n>|clear]                   slowest retained requests with
@@ -154,6 +162,10 @@ impl Shell {
             "rebalance" => self.cmd_rebalance(),
             "autolayout" => self.cmd_autolayout(&rest),
             "stats" => self.cmd_stats(&rest),
+            "top" => self.cmd_top(&rest),
+            "matrix" => self.cmd_matrix(),
+            "health" => self.cmd_health(),
+            "alerts" => self.cmd_alerts(&rest),
             "trace" => self.cmd_trace(&rest),
             "slow" => self.cmd_slow(&rest),
             "ping" => self.cmd_ping(&rest),
@@ -466,7 +478,8 @@ impl Shell {
     fn cmd_stats(&self, args: &[&str]) -> Result<String, ShellError> {
         match args.first() {
             Some(&"full") => Ok(self.core.render_metrics()),
-            Some(_) => Err(ShellError::Usage("stats [full]")),
+            Some(&"json") => Ok(self.core.render_metrics_json()),
+            Some(_) => Err(ShellError::Usage("stats [full|json]")),
             None => {
                 let m = self.core.monitor();
                 let (retries, dedup_hits, lost_replies, indoubt) = self.core.reliability_stats();
@@ -512,6 +525,73 @@ impl Shell {
                 Ok(out)
             }
         }
+    }
+
+    /// The cluster-wide heavy hitters: per-complet accounted load from
+    /// every reachable Core, merged and re-ranked.
+    fn cmd_top(&self, args: &[&str]) -> Result<String, ShellError> {
+        let n: usize = match args {
+            [] => 10,
+            [n] => n.parse().map_err(|_| ShellError::Usage("top [<n>]"))?,
+            _ => return Err(ShellError::Usage("top [<n>]")),
+        };
+        let rows = self.core.collect_top(n);
+        if rows.is_empty() {
+            return Ok("(no accounting data)".to_owned());
+        }
+        let mut out = format!(
+            "{:<10} {:<12} {:>10} {:>8} {:>10} {:>10} {:>10} {:>6}\n",
+            "complet", "core", "load", "invokes", "exec_us", "bytes_in", "bytes_out", "err"
+        );
+        for (core, r) in rows {
+            let id = CompletId::new(r.key.0, r.key.1);
+            writeln!(
+                out,
+                "{:<10} {:<12} {:>10} {:>8} {:>10} {:>10} {:>10} {:>6}",
+                id.to_string(),
+                core,
+                r.load,
+                r.invokes,
+                r.exec_us,
+                r.bytes_in,
+                r.bytes_out,
+                r.err
+            )
+            .expect("write to string");
+        }
+        Ok(out)
+    }
+
+    /// ASCII heatmap of the cluster-wide Core-to-Core traffic matrix.
+    fn cmd_matrix(&self) -> Result<String, ShellError> {
+        Ok(render_matrix(&self.core.collect_matrix()))
+    }
+
+    /// Current SLO rule status on this Core.
+    fn cmd_health(&self) -> Result<String, ShellError> {
+        Ok(render_health(&self.core.health_status()))
+    }
+
+    /// Journaled alert transitions, cluster-wide, newest last.
+    fn cmd_alerts(&self, args: &[&str]) -> Result<String, ShellError> {
+        let n: usize = match args {
+            [] => 20,
+            [n] => n.parse().map_err(|_| ShellError::Usage("alerts [<n>]"))?,
+            _ => return Err(ShellError::Usage("alerts [<n>]")),
+        };
+        let events: Vec<_> = self.core.collect_alerts();
+        if events.is_empty() {
+            return Ok("(no alerts recorded)".to_owned());
+        }
+        let mut out = String::new();
+        let skip = events.len().saturating_sub(n);
+        if skip > 0 {
+            writeln!(out, "... {skip} earlier alerts omitted").expect("write to string");
+        }
+        for ev in &events[skip..] {
+            writeln!(out, "{ev}").expect("write to string");
+        }
+        Ok(out)
     }
 
     /// Renders the (multi-Core) span tree of a trace. Without an id, the

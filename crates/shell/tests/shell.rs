@@ -304,6 +304,117 @@ fn refs_inspects_remote_cores() {
 }
 
 #[test]
+fn top_and_matrix_report_accounted_load_and_traffic() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    for _ in 0..5 {
+        shell.exec("call postbox print").unwrap();
+    }
+
+    // top: the invoked complet shows up, attributed to its host Core.
+    let top = shell.exec("top").unwrap();
+    assert!(top.contains("c1.1"), "{top}");
+    assert!(top.contains("core1"), "{top}");
+    assert!(top.contains("invokes"), "{top}");
+    assert!(shell.exec("top 1").unwrap().contains("c1.1"));
+    assert!(matches!(shell.exec("top x"), Err(ShellError::Usage(_))));
+
+    // matrix: the remote calls left core0 -> core1 traffic (and the
+    // replies the reverse direction).
+    let matrix = shell.exec("matrix").unwrap();
+    assert!(matrix.contains("core0 -> core1"), "{matrix}");
+    assert!(matrix.contains("core1 -> core0"), "{matrix}");
+    assert!(matrix.contains("msgs"), "{matrix}");
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
+fn health_and_alerts_commands_render_slo_state() {
+    let (cores, shell) = setup();
+    let health = shell.exec("health").unwrap();
+    for rule in [
+        "p99-latency",
+        "error-rate",
+        "shed-rate",
+        "move-failure-rate",
+    ] {
+        assert!(health.contains(rule), "missing {rule} row: {health}");
+    }
+    assert!(
+        !health.contains("FIRING"),
+        "idle cluster is healthy: {health}"
+    );
+    assert_eq!(shell.exec("alerts").unwrap(), "(no alerts recorded)");
+    assert!(matches!(shell.exec("alerts x"), Err(ShellError::Usage(_))));
+    for c in &cores {
+        c.stop();
+    }
+}
+
+/// Minimal structural JSON check: balanced delimiters outside string
+/// literals and a top-level array. Deliberately hand-rolled — the repo
+/// has no JSON dependency, and the exposition must stay parseable by
+/// real consumers.
+fn assert_valid_json_array(s: &str) {
+    let s = s.trim();
+    assert!(s.starts_with('[') && s.ends_with(']'), "not an array: {s}");
+    let mut depth_sq = 0i64;
+    let mut depth_br = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in s.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '[' => depth_sq += 1,
+            ']' => depth_sq -= 1,
+            '{' => depth_br += 1,
+            '}' => depth_br -= 1,
+            _ => {}
+        }
+        assert!(depth_sq >= 0 && depth_br >= 0, "unbalanced at {ch:?}");
+    }
+    assert!(!in_str, "unterminated string literal");
+    assert_eq!(depth_sq, 0, "unbalanced brackets");
+    assert_eq!(depth_br, 0, "unbalanced braces");
+}
+
+#[test]
+fn stats_json_is_parseable_and_carries_quantiles() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    for _ in 0..3 {
+        shell.exec("call postbox print").unwrap();
+    }
+    let json = shell.exec("stats json").unwrap();
+    assert_valid_json_array(&json);
+    assert!(json.contains("\"name\":\"fargo_invoke_total\""), "{json}");
+    assert!(json.contains("\"labels\":{\"core\":\"core0\"}"), "{json}");
+    // Histogram values expose estimated quantiles alongside the buckets.
+    assert!(json.contains("\"p50\":"), "{json}");
+    assert!(json.contains("\"p99\":"), "{json}");
+    assert!(json.contains("\"p999\":"), "{json}");
+    assert!(matches!(
+        shell.exec("stats nope"),
+        Err(ShellError::Usage(_))
+    ));
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
 fn plan_and_autolayout_commands_drive_the_loop() {
     let (cores, shell) = setup();
 

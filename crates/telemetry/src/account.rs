@@ -1,0 +1,476 @@
+//! Per-complet resource accounting with cardinality safety, plus the
+//! Core↔Core traffic matrix — the data layer of the cluster health
+//! observatory.
+//!
+//! Two structures:
+//!
+//! * [`Accountant`] — attributes exec time, invoke count, and marshaled
+//!   bytes to the *executing* complet. Storage is sharded (the shard is
+//!   a pure function of the key, so placement is deterministic) and the
+//!   hot path is a shard read-lock plus four relaxed atomic adds.
+//!   Cardinality is bounded by a Space-Saving heavy-hitter sketch: when
+//!   a shard is full, admitting a new complet evicts the minimum-load
+//!   entry and the newcomer inherits its load as an error bound, so the
+//!   table stays O(capacity) at millions of complets while every true
+//!   heavy hitter — any complet whose load exceeds the evicted minimum —
+//!   is retained (the classic Space-Saving guarantee, applied per
+//!   shard).
+//! * [`TrafficMatrix`] — messages and bytes per directed Core pair, fed
+//!   from the envelope send path. Cells are registry counters labelled
+//!   `src`/`dst`, so the Prometheus/JSON expositions get the matrix for
+//!   free; [`render_matrix`] draws the ASCII heatmap.
+//!
+//! The *load* unit of the sketch is `exec_µs + invokes`: each
+//! invocation contributes at least one unit (so the sketch degrades to
+//! exact invoke counting under a virtual clock where trivial methods
+//! execute in zero measured time) and expensive methods weigh in
+//! proportion to their measured exec time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{Counter, Registry};
+
+/// Identifies a complet as `(origin node index, sequence)` — the two
+/// halves of a `CompletId`, kept as a plain tuple so this crate stays
+/// dependency-free.
+pub type AccountKey = (u32, u64);
+
+/// Shards of the accountant table. The shard of a key is a pure
+/// function of the key, so a given schedule always lands entries in the
+/// same shards (determinism) while unrelated complets rarely contend.
+const SHARDS: usize = 16;
+
+/// One complet's accumulators. `base` is the load inherited from the
+/// entry evicted at admission (zero for entries admitted into a
+/// non-full shard) and doubles as the Space-Saving error bound.
+struct Cells {
+    invokes: AtomicU64,
+    exec_us: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    base: u64,
+}
+
+impl Cells {
+    fn new(base: u64) -> Cells {
+        Cells {
+            invokes: AtomicU64::new(0),
+            exec_us: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            base,
+        }
+    }
+
+    fn load(&self) -> u64 {
+        self.base + self.exec_us.load(Ordering::Relaxed) + self.invokes.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of one complet's account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountRecord {
+    /// `(origin node, seq)` of the complet.
+    pub key: AccountKey,
+    /// Invocations executed.
+    pub invokes: u64,
+    /// Total measured exec time, µs.
+    pub exec_us: u64,
+    /// Marshaled argument bytes received.
+    pub bytes_in: u64,
+    /// Marshaled result bytes produced.
+    pub bytes_out: u64,
+    /// Sketch load (`exec_us + invokes + err`), the heavy-hitter rank
+    /// key. An over-estimate by at most `err`.
+    pub load: u64,
+    /// Space-Saving error bound: load inherited from the entry this one
+    /// evicted at admission (0 when admitted into a non-full table).
+    pub err: u64,
+}
+
+/// Per-complet resource accounting bounded by a Space-Saving sketch.
+pub struct Accountant {
+    shards: Vec<RwLock<BTreeMap<AccountKey, Arc<Cells>>>>,
+    shard_capacity: usize,
+}
+
+impl Accountant {
+    /// An accountant tracking at most `capacity` complets in total
+    /// (rounded up to a multiple of the shard count; minimum one entry
+    /// per shard).
+    pub fn new(capacity: usize) -> Accountant {
+        Accountant {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard_of(key: AccountKey) -> usize {
+        // A multiplicative mix of both halves; pure, so deterministic.
+        let h = (u64::from(key.0))
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        (h >> 32) as usize % SHARDS
+    }
+
+    /// Attributes one executed invocation to `key`. The common case
+    /// (key already tracked) is a shard read-lock and four relaxed
+    /// atomic adds; a miss takes the shard write-lock for Space-Saving
+    /// admission.
+    pub fn record(&self, key: AccountKey, exec_us: u64, bytes_in: u64, bytes_out: u64) {
+        let shard = &self.shards[Self::shard_of(key)];
+        {
+            let map = shard.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(cells) = map.get(&key) {
+                let cells = cells.clone();
+                drop(map);
+                Self::bump(&cells, exec_us, bytes_in, bytes_out);
+                return;
+            }
+        }
+        let mut map = shard.write().unwrap_or_else(|p| p.into_inner());
+        let cells = match map.get(&key) {
+            Some(cells) => cells.clone(),
+            None => {
+                let base = if map.len() >= self.shard_capacity {
+                    // Space-Saving: evict the minimum-load entry; ties
+                    // break on the smaller key so eviction is a pure
+                    // function of table state.
+                    let victim = map
+                        .iter()
+                        .map(|(k, c)| (c.load(), *k))
+                        .min()
+                        .expect("full shard has a minimum");
+                    map.remove(&victim.1);
+                    victim.0
+                } else {
+                    0
+                };
+                let cells = Arc::new(Cells::new(base));
+                map.insert(key, cells.clone());
+                cells
+            }
+        };
+        drop(map);
+        Self::bump(&cells, exec_us, bytes_in, bytes_out);
+    }
+
+    fn bump(cells: &Cells, exec_us: u64, bytes_in: u64, bytes_out: u64) {
+        cells.invokes.fetch_add(1, Ordering::Relaxed);
+        cells.exec_us.fetch_add(exec_us, Ordering::Relaxed);
+        cells.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        cells.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+    }
+
+    /// The top `n` complets by load, heaviest first; ties break on the
+    /// smaller key so the order is a pure function of the accounts.
+    pub fn top(&self, n: usize) -> Vec<AccountRecord> {
+        let mut all = self.records();
+        all.sort_by(|a, b| b.load.cmp(&a.load).then(a.key.cmp(&b.key)));
+        all.truncate(n);
+        all
+    }
+
+    /// Every tracked account, in key order.
+    pub fn records(&self) -> Vec<AccountRecord> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(|p| p.into_inner());
+            for (key, c) in map.iter() {
+                all.push(AccountRecord {
+                    key: *key,
+                    invokes: c.invokes.load(Ordering::Relaxed),
+                    exec_us: c.exec_us.load(Ordering::Relaxed),
+                    bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                    load: c.load(),
+                    err: c.base,
+                });
+            }
+        }
+        all.sort_by_key(|r| r.key);
+        all
+    }
+
+    /// Complets currently tracked (bounded by the sketch capacity).
+    pub fn tracked(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Accountant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accountant")
+            .field("tracked", &self.tracked())
+            .field("shard_capacity", &self.shard_capacity)
+            .finish()
+    }
+}
+
+// --- traffic matrix -------------------------------------------------------
+
+/// One directed Core-pair cell of the traffic matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// Sending Core name.
+    pub src: String,
+    /// Receiving Core name.
+    pub dst: String,
+    /// Messages sent `src → dst`.
+    pub msgs: u64,
+    /// Envelope bytes sent `src → dst`.
+    pub bytes: u64,
+}
+
+struct MatrixCounters {
+    src: String,
+    dst: String,
+    msgs: Counter,
+    bytes: Counter,
+}
+
+/// Messages and bytes per directed Core pair, fed from the envelope
+/// send path. Cells are registry counters (`fargo_matrix_messages_total`
+/// / `fargo_matrix_bytes_total`, labelled `src`/`dst`), so the matrix
+/// rides along in every metrics exposition; the first send to a new
+/// peer resolves names and registers the pair, every later send is two
+/// atomic adds under a read-lock.
+pub struct TrafficMatrix {
+    registry: Registry,
+    cells: RwLock<BTreeMap<(u32, u32), Arc<MatrixCounters>>>,
+}
+
+impl TrafficMatrix {
+    /// A matrix exposing its cells through `registry`.
+    pub fn new(registry: &Registry) -> TrafficMatrix {
+        TrafficMatrix {
+            registry: registry.clone(),
+            cells: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Counts one message of `bytes` on the directed pair `src → dst`
+    /// (node indices). `names` resolves the pair to Core names; it runs
+    /// only on the first message of a pair.
+    pub fn record(&self, src: u32, dst: u32, bytes: u64, names: impl FnOnce() -> (String, String)) {
+        {
+            let map = self.cells.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(cell) = map.get(&(src, dst)) {
+                cell.msgs.inc();
+                cell.bytes.add(bytes);
+                return;
+            }
+        }
+        let mut map = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        let cell = map.entry((src, dst)).or_insert_with(|| {
+            let (src_name, dst_name) = names();
+            let l = &[("src", src_name.as_str()), ("dst", dst_name.as_str())][..];
+            Arc::new(MatrixCounters {
+                msgs: self.registry.counter("fargo_matrix_messages_total", l),
+                bytes: self.registry.counter("fargo_matrix_bytes_total", l),
+                src: src_name,
+                dst: dst_name,
+            })
+        });
+        cell.msgs.inc();
+        cell.bytes.add(bytes);
+    }
+
+    /// All cells, ordered by `(src, dst)` node index.
+    pub fn snapshot(&self) -> Vec<MatrixCell> {
+        let map = self.cells.read().unwrap_or_else(|p| p.into_inner());
+        map.values()
+            .map(|c| MatrixCell {
+                src: c.src.clone(),
+                dst: c.dst.clone(),
+                msgs: c.msgs.get(),
+                bytes: c.bytes.get(),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TrafficMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficMatrix")
+            .field(
+                "pairs",
+                &self.cells.read().unwrap_or_else(|p| p.into_inner()).len(),
+            )
+            .finish()
+    }
+}
+
+/// Renders matrix cells as an ASCII heatmap (rows send, columns
+/// receive; intensity scales with the cell's share of the hottest
+/// pair's messages), followed by the exact per-pair counts.
+pub fn render_matrix(cells: &[MatrixCell]) -> String {
+    if cells.is_empty() {
+        return "traffic matrix: no inter-Core messages yet\n".to_owned();
+    }
+    const SCALE: &[u8] = b".:-=+*#%@";
+    let mut names: Vec<&str> = Vec::new();
+    for c in cells {
+        for n in [c.src.as_str(), c.dst.as_str()] {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names.sort_unstable();
+    let max = cells.iter().map(|c| c.msgs).max().unwrap_or(0).max(1);
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+    let cell_of = |src: &str, dst: &str| cells.iter().find(|c| c.src == src && c.dst == dst);
+    let mut out = String::new();
+    out.push_str("traffic matrix (messages, rows send -> columns receive)\n");
+    out.push_str(&format!("{:>width$} ", "-"));
+    for dst in &names {
+        out.push_str(&format!("{dst:>width$} "));
+    }
+    out.push('\n');
+    for src in &names {
+        out.push_str(&format!("{src:>width$} "));
+        for dst in &names {
+            let mark = if src == dst {
+                ' '
+            } else {
+                match cell_of(src, dst).map_or(0, |c| c.msgs) {
+                    0 => ' ',
+                    // Linear share of the hottest pair, clamped so any
+                    // traffic at all shows the faintest mark.
+                    m => {
+                        SCALE[(((m * SCALE.len() as u64) / max) as usize).clamp(1, SCALE.len()) - 1]
+                            as char
+                    }
+                }
+            };
+            out.push_str(&format!("{mark:>width$} "));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "scale {} of max {max} msgs\n",
+        std::str::from_utf8(SCALE).expect("ascii scale")
+    ));
+    let mut sorted: Vec<&MatrixCell> = cells.iter().collect();
+    sorted.sort_by(|a, b| (&a.src, &a.dst).cmp(&(&b.src, &b.dst)));
+    for c in sorted {
+        out.push_str(&format!(
+            "{} -> {}: {} msgs, {} bytes\n",
+            c.src, c.dst, c.msgs, c.bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attribute_to_the_right_key() {
+        let a = Accountant::new(64);
+        a.record((0, 1), 10, 100, 7);
+        a.record((0, 1), 5, 50, 3);
+        a.record((1, 2), 0, 0, 0);
+        let top = a.top(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].key, (0, 1));
+        assert_eq!(top[0].invokes, 2);
+        assert_eq!(top[0].exec_us, 15);
+        assert_eq!(top[0].bytes_in, 150);
+        assert_eq!(top[0].bytes_out, 10);
+        assert_eq!(top[0].load, 17, "load = exec_us + invokes");
+        assert_eq!(top[0].err, 0);
+        assert_eq!(top[1].key, (1, 2));
+        assert_eq!(top[1].load, 1, "zero-duration exec still counts one unit");
+    }
+
+    #[test]
+    fn sketch_stays_bounded_and_keeps_heavy_hitters() {
+        // Capacity 64 (4 entries per shard); stream 500 distinct keys
+        // once each, plus two heavy keys many times. The per-shard
+        // minimum load ratchets up by roughly arrivals/slots (~8 here),
+        // far below the heavy keys' 200, so they must survive.
+        let a = Accountant::new(64);
+        let heavy = [(9, 1_000), (9, 2_000)];
+        for k in heavy {
+            for _ in 0..200 {
+                a.record(k, 0, 0, 0);
+            }
+        }
+        for i in 0..500u64 {
+            a.record((0, 10 + i), 0, 0, 0);
+        }
+        assert!(a.tracked() <= 64, "tracked {} > capacity", a.tracked());
+        let top: Vec<AccountKey> = a.top(2).into_iter().map(|r| r.key).collect();
+        assert_eq!(top, vec![(9, 1_000), (9, 2_000)]);
+        // A light entry that evicted something carries an error bound.
+        assert!(a.records().iter().any(|r| r.err > 0));
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let run = || {
+            let a = Accountant::new(8);
+            for i in 0..100u64 {
+                a.record((1, i), i % 3, 0, 0);
+            }
+            a.top(8)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn matrix_counts_pairs_and_exposes_counters() {
+        let reg = Registry::new();
+        let m = TrafficMatrix::new(&reg);
+        let names = |s: u32, d: u32| move || (format!("core{s}"), format!("core{d}"));
+        m.record(0, 1, 100, names(0, 1));
+        m.record(0, 1, 50, names(0, 1));
+        m.record(1, 0, 7, names(1, 0));
+        let cells = m.snapshot();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].src, "core0");
+        assert_eq!(cells[0].dst, "core1");
+        assert_eq!(cells[0].msgs, 2);
+        assert_eq!(cells[0].bytes, 150);
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains("fargo_matrix_messages_total{dst=\"core1\",src=\"core0\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("fargo_matrix_bytes_total{dst=\"core0\",src=\"core1\"} 7"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn heatmap_renders_grid_and_detail() {
+        let cells = vec![
+            MatrixCell {
+                src: "core0".into(),
+                dst: "core1".into(),
+                msgs: 90,
+                bytes: 900,
+            },
+            MatrixCell {
+                src: "core1".into(),
+                dst: "core0".into(),
+                msgs: 1,
+                bytes: 10,
+            },
+        ];
+        let out = render_matrix(&cells);
+        assert!(out.contains("core0 -> core1: 90 msgs, 900 bytes"), "{out}");
+        assert!(out.contains('@'), "hottest pair renders max glyph: {out}");
+        assert!(out.contains('.'), "coolest pair renders min glyph: {out}");
+        assert!(render_matrix(&[]).contains("no inter-Core messages"));
+    }
+}

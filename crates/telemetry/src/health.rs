@@ -1,0 +1,340 @@
+//! Declarative SLO rules with multi-window burn-rate alerting — the
+//! health half of the cluster observatory.
+//!
+//! A Core feeds one [`HealthSample`] of cumulative counters per monitor
+//! tick. The engine turns each sample into a per-rule *tick value* (a
+//! rate from the counter deltas, or the latency estimate directly) and
+//! keeps a bounded ring of them. A rule fires when both its short
+//! window ([`SHORT_WINDOW_TICKS`], catches what is burning *now*) and
+//! its long window ([`LONG_WINDOW_TICKS`], proves real budget has been
+//! consumed rather than a single-tick blip) average above the
+//! threshold; it resolves as soon as the short window recovers, so a
+//! fixed incident does not stay red for the rest of the long window.
+//! Transitions are returned to the caller for journaling.
+
+use std::collections::VecDeque;
+
+/// Ticks in the fast window: the alert's "is it burning now" test.
+pub const SHORT_WINDOW_TICKS: usize = 5;
+/// Ticks in the slow window: the alert's "has it burned real budget"
+/// test (uses however many samples exist early in a Core's life).
+pub const LONG_WINDOW_TICKS: usize = 60;
+
+/// What a rule measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// p99 of the recent invoke-latency window, µs. Threshold in µs.
+    P99InvokeUs,
+    /// Failed invocations per attempted invocation. Threshold a
+    /// fraction in `[0, 1]`.
+    ErrorRate,
+    /// Requests shed by the bounded worker pool per attempted
+    /// invocation. Threshold a fraction.
+    ShedRate,
+    /// Failed moves per attempted move. Threshold a fraction.
+    MoveFailureRate,
+}
+
+/// One declarative SLO rule.
+#[derive(Debug, Clone)]
+pub struct SloRule {
+    /// Stable rule name; the journal subject and metric label.
+    pub name: String,
+    /// The measured signal.
+    pub kind: SloKind,
+    /// Fires when both window means exceed this.
+    pub threshold: f64,
+}
+
+impl SloRule {
+    pub fn new(name: &str, kind: SloKind, threshold: f64) -> SloRule {
+        SloRule {
+            name: name.to_owned(),
+            kind,
+            threshold,
+        }
+    }
+}
+
+/// The default rule set every Core starts with: tail latency under
+/// 100ms, errors and sheds under 5% of invokes, move failures under
+/// half of attempts.
+pub fn default_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::new("p99-latency", SloKind::P99InvokeUs, 100_000.0),
+        SloRule::new("error-rate", SloKind::ErrorRate, 0.05),
+        SloRule::new("shed-rate", SloKind::ShedRate, 0.05),
+        SloRule::new("move-failure-rate", SloKind::MoveFailureRate, 0.5),
+    ]
+}
+
+/// Cumulative observability counters at one monitor tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthSample {
+    /// p99 of the recent invoke window, µs (None before any invoke).
+    pub p99_invoke_us: Option<f64>,
+    /// Invocations attempted so far.
+    pub invokes: u64,
+    /// Invocations failed so far.
+    pub errors: u64,
+    /// Requests shed by the worker pool so far.
+    pub sheds: u64,
+    /// Moves attempted so far.
+    pub moves: u64,
+    /// Moves failed so far.
+    pub move_failures: u64,
+}
+
+/// A rule's current evaluation, as shown by shell `health`.
+#[derive(Debug, Clone)]
+pub struct RuleStatus {
+    pub name: String,
+    pub kind: SloKind,
+    pub threshold: f64,
+    /// Mean tick value over the short window.
+    pub short: f64,
+    /// Mean tick value over the long window.
+    pub long: f64,
+    pub firing: bool,
+}
+
+/// An alert edge: a rule started or stopped firing this tick.
+#[derive(Debug, Clone)]
+pub struct AlertTransition {
+    pub rule: String,
+    /// `true` on fire, `false` on resolve.
+    pub firing: bool,
+    pub short: f64,
+    pub long: f64,
+    pub threshold: f64,
+}
+
+struct RuleState {
+    rule: SloRule,
+    values: VecDeque<f64>,
+    firing: bool,
+}
+
+impl RuleState {
+    fn window_mean(&self, n: usize) -> f64 {
+        let take = self.values.len().min(n);
+        if take == 0 {
+            return 0.0;
+        }
+        self.values.iter().rev().take(take).sum::<f64>() / take as f64
+    }
+}
+
+/// Evaluates a rule set against the per-tick sample stream.
+pub struct HealthEngine {
+    rules: Vec<RuleState>,
+    prev: Option<HealthSample>,
+}
+
+impl HealthEngine {
+    pub fn new(rules: Vec<SloRule>) -> HealthEngine {
+        HealthEngine {
+            rules: rules
+                .into_iter()
+                .map(|rule| RuleState {
+                    rule,
+                    values: VecDeque::with_capacity(LONG_WINDOW_TICKS),
+                    firing: false,
+                })
+                .collect(),
+            prev: None,
+        }
+    }
+
+    /// Folds one tick's sample in; returns the alert edges it caused.
+    pub fn observe(&mut self, sample: HealthSample) -> Vec<AlertTransition> {
+        let prev = self.prev.unwrap_or_default();
+        let rate = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let d_invokes = sample.invokes.saturating_sub(prev.invokes);
+        let mut out = Vec::new();
+        for state in &mut self.rules {
+            let value = match state.rule.kind {
+                SloKind::P99InvokeUs => sample.p99_invoke_us.unwrap_or(0.0),
+                SloKind::ErrorRate => rate(sample.errors.saturating_sub(prev.errors), d_invokes),
+                SloKind::ShedRate => rate(sample.sheds.saturating_sub(prev.sheds), d_invokes),
+                SloKind::MoveFailureRate => rate(
+                    sample.move_failures.saturating_sub(prev.move_failures),
+                    sample.moves.saturating_sub(prev.moves),
+                ),
+            };
+            if state.values.len() == LONG_WINDOW_TICKS {
+                state.values.pop_front();
+            }
+            state.values.push_back(value);
+            let short = state.window_mean(SHORT_WINDOW_TICKS);
+            let long = state.window_mean(LONG_WINDOW_TICKS);
+            let edge = if !state.firing {
+                (short > state.rule.threshold && long > state.rule.threshold).then_some(true)
+            } else {
+                (short <= state.rule.threshold).then_some(false)
+            };
+            if let Some(firing) = edge {
+                state.firing = firing;
+                out.push(AlertTransition {
+                    rule: state.rule.name.clone(),
+                    firing,
+                    short,
+                    long,
+                    threshold: state.rule.threshold,
+                });
+            }
+        }
+        self.prev = Some(sample);
+        out
+    }
+
+    /// Every rule's current windows and firing state.
+    pub fn status(&self) -> Vec<RuleStatus> {
+        self.rules
+            .iter()
+            .map(|s| RuleStatus {
+                name: s.rule.name.clone(),
+                kind: s.rule.kind,
+                threshold: s.rule.threshold,
+                short: s.window_mean(SHORT_WINDOW_TICKS),
+                long: s.window_mean(LONG_WINDOW_TICKS),
+                firing: s.firing,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for HealthEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthEngine")
+            .field("rules", &self.rules.len())
+            .field("firing", &self.rules.iter().filter(|r| r.firing).count())
+            .finish()
+    }
+}
+
+/// Renders rule statuses as the shell `health` pane.
+pub fn render_health(statuses: &[RuleStatus]) -> String {
+    let mut out = String::new();
+    for s in statuses {
+        let state = if s.firing { "FIRING" } else { "ok" };
+        out.push_str(&format!(
+            "{:<20} {:<6} short={:.3} long={:.3} threshold={:.3}\n",
+            s.name, state, s.short, s.long, s.threshold
+        ));
+    }
+    if statuses.is_empty() {
+        out.push_str("no SLO rules configured\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(invokes: u64, errors: u64) -> HealthSample {
+        HealthSample {
+            invokes,
+            errors,
+            ..HealthSample::default()
+        }
+    }
+
+    #[test]
+    fn sustained_burn_fires_and_recovery_resolves() {
+        let mut e = HealthEngine::new(vec![SloRule::new("err", SloKind::ErrorRate, 0.05)]);
+        // 5 clean ticks, then a sustained 50% error burn.
+        let mut invokes = 0;
+        let mut errors = 0;
+        for _ in 0..5 {
+            invokes += 100;
+            assert!(e.observe(sample(invokes, errors)).is_empty());
+        }
+        let mut fired = false;
+        for _ in 0..SHORT_WINDOW_TICKS {
+            invokes += 100;
+            errors += 50;
+            for t in e.observe(sample(invokes, errors)) {
+                assert!(t.firing, "first edge must be a fire");
+                assert!(t.short > 0.05 && t.long > 0.05, "{t:?}");
+                fired = true;
+            }
+        }
+        assert!(fired, "sustained 50% errors must fire the 5% rule");
+        assert!(e.status()[0].firing);
+        // Recovery: clean ticks resolve once the short window drains.
+        let mut resolved = false;
+        for _ in 0..SHORT_WINDOW_TICKS + 1 {
+            invokes += 100;
+            for t in e.observe(sample(invokes, errors)) {
+                assert!(!t.firing);
+                resolved = true;
+            }
+        }
+        assert!(resolved, "clean short window must resolve the alert");
+        assert!(!e.status()[0].firing);
+    }
+
+    #[test]
+    fn single_tick_spike_does_not_fire() {
+        let mut e = HealthEngine::new(vec![SloRule::new("err", SloKind::ErrorRate, 0.05)]);
+        // A long clean history, then one 100%-error tick: the long
+        // window absorbs it (1 bad tick / 60 < 5%), so no alert.
+        let mut invokes = 0;
+        for _ in 0..LONG_WINDOW_TICKS {
+            invokes += 100;
+            assert!(e.observe(sample(invokes, 0)).is_empty());
+        }
+        invokes += 100;
+        assert!(
+            e.observe(sample(invokes, 100)).is_empty(),
+            "one spike must not page"
+        );
+        assert!(!e.status()[0].firing);
+    }
+
+    #[test]
+    fn latency_rule_reads_the_p99_estimate() {
+        let mut e = HealthEngine::new(vec![SloRule::new("p99", SloKind::P99InvokeUs, 1_000.0)]);
+        let slow = HealthSample {
+            p99_invoke_us: Some(5_000.0),
+            ..HealthSample::default()
+        };
+        let mut fired = false;
+        for _ in 0..SHORT_WINDOW_TICKS {
+            fired |= e.observe(slow).iter().any(|t| t.firing);
+        }
+        assert!(fired, "sustained 5ms p99 breaches the 1ms rule");
+    }
+
+    #[test]
+    fn move_failure_rate_uses_move_attempts() {
+        let mut e = HealthEngine::new(vec![SloRule::new("mv", SloKind::MoveFailureRate, 0.5)]);
+        let mut s = HealthSample::default();
+        let mut fired = false;
+        for _ in 0..SHORT_WINDOW_TICKS {
+            s.moves += 2;
+            s.move_failures += 2;
+            fired |= e.observe(s).iter().any(|t| t.firing);
+        }
+        assert!(fired, "all moves failing breaches the 50% rule");
+        assert!(render_health(&e.status()).contains("FIRING"));
+    }
+
+    #[test]
+    fn defaults_cover_the_four_signals() {
+        let rules = default_slo_rules();
+        assert_eq!(rules.len(), 4);
+        let mut e = HealthEngine::new(rules);
+        assert!(e.observe(HealthSample::default()).is_empty());
+        assert!(render_health(&e.status()).contains("p99-latency"));
+        assert!(render_health(&[]).contains("no SLO rules"));
+    }
+}

@@ -235,6 +235,10 @@ pub enum JournalKind {
     /// (subject = complet, object = rejected epoch, detail = current
     /// epoch, peer = the target the stale update wanted).
     TrackerStale,
+    /// An SLO alert edge from the health engine (subject = rule name,
+    /// object = "firing"/"resolved", detail = the window means vs the
+    /// threshold).
+    Alert,
 }
 
 impl JournalKind {
@@ -262,6 +266,7 @@ impl JournalKind {
             JournalKind::PlanConverged => "plan_converge",
             JournalKind::PlanRollback => "plan_rollback",
             JournalKind::TrackerStale => "trk_stale",
+            JournalKind::Alert => "alert",
         }
     }
 
@@ -289,6 +294,7 @@ impl JournalKind {
             "plan_converge" => JournalKind::PlanConverged,
             "plan_rollback" => JournalKind::PlanRollback,
             "trk_stale" => JournalKind::TrackerStale,
+            "alert" => JournalKind::Alert,
             _ => return None,
         })
     }
@@ -488,7 +494,9 @@ impl LayoutState {
             | JournalKind::PlanConverged
             | JournalKind::PlanRollback
             // A rejected stale update changes nothing, by design.
-            | JournalKind::TrackerStale => {}
+            | JournalKind::TrackerStale
+            // Health alerts describe the cluster, not its layout.
+            | JournalKind::Alert => {}
         }
     }
 
@@ -858,6 +866,14 @@ mod tests {
         assert_eq!(
             JournalKind::parse(JournalKind::TrackerStale.as_str()),
             Some(JournalKind::TrackerStale)
+        );
+    }
+
+    #[test]
+    fn alert_kind_round_trips() {
+        assert_eq!(
+            JournalKind::parse(JournalKind::Alert.as_str()),
+            Some(JournalKind::Alert)
         );
     }
 

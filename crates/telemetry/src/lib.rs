@@ -22,18 +22,32 @@
 //! * [`tail`] — tail-based trace retention: a bounded [`SlowLog`] that
 //!   keeps full span trees only for the slowest requests, with a
 //!   self-adjusting admission threshold (top-K by latency).
+//! * [`account`] — per-complet resource accounting bounded by a
+//!   Space-Saving heavy-hitter sketch, and the Core↔Core traffic
+//!   matrix, both exposed through the metrics registry.
+//! * [`health`] — declarative SLO rules evaluated per monitor tick with
+//!   multi-window burn-rate alerting.
 //!
 //! The crate deliberately has no dependencies (not even in-workspace
 //! ones) so every layer — wire, simnet, core, shell, viz, bench — can
 //! use it without cycles.
 
+pub mod account;
 pub mod clock;
+pub mod health;
 pub mod journal;
 pub mod metrics;
 pub mod tail;
 pub mod trace;
 
+pub use account::{
+    render_matrix, AccountKey, AccountRecord, Accountant, MatrixCell, TrafficMatrix,
+};
 pub use clock::Clock;
+pub use health::{
+    default_slo_rules, render_health, AlertTransition, HealthEngine, HealthSample, RuleStatus,
+    SloKind, SloRule,
+};
 pub use journal::{
     merge_timelines, render_journal_json, Anomaly, AnomalyThresholds, Hlc, HlcClock, Journal,
     JournalEvent, JournalKind, LayoutHistory, LayoutState,

@@ -793,6 +793,29 @@ mod tests {
     }
 
     #[test]
+    fn json_histogram_golden_exposition() {
+        // The JSON twin of the Prometheus golden test: exact output,
+        // including the interpolated quantile fields. p50 of 4
+        // observations targets rank 2 — one third into the (10, 100]
+        // bucket geometrically, i.e. 10·(100/10)^(1/3) ≈ 21.5 — and
+        // p99/p999 target the bucket's top edge, 100.0.
+        let reg = Registry::new();
+        let h = reg.histogram("fargo_lat_us", &[("core", "c0")], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(50);
+        h.observe(50);
+        reg.counter("fargo_up_total", &[("core", "c0")]).add(2);
+        assert_eq!(
+            render_snapshots_json(&reg.snapshot()),
+            "[{\"name\":\"fargo_lat_us\",\"labels\":{\"core\":\"c0\"},\"value\":\
+             {\"buckets\":[[10,1],[100,4],[null,4]],\"sum\":155,\"count\":4,\
+             \"p50\":21.5,\"p99\":100.0,\"p999\":100.0}},\
+             {\"name\":\"fargo_up_total\",\"labels\":{\"core\":\"c0\"},\"value\":2}]"
+        );
+    }
+
+    #[test]
     fn quantile_of_empty_histogram_is_none() {
         let reg = Registry::new();
         let h = reg.histogram("h", &[], &[10, 100]);

@@ -275,6 +275,38 @@ impl LayoutMonitor {
         out
     }
 
+    /// The heavy-hitters pane: the cluster's heaviest complets by
+    /// accounted load (exec µs + invokes), one line per row, heaviest
+    /// first.
+    pub fn top_lines(&self, n: usize) -> Vec<String> {
+        let rows = self.core.collect_top(n);
+        if rows.is_empty() {
+            return vec!["(no accounting data)".to_owned()];
+        }
+        rows.into_iter()
+            .map(|(core, r)| {
+                let id = CompletId::new(r.key.0, r.key.1);
+                format!(
+                    "{id} @{core} load={} invokes={} exec_us={} bytes={}/{}",
+                    r.load, r.invokes, r.exec_us, r.bytes_in, r.bytes_out
+                )
+            })
+            .collect()
+    }
+
+    /// The layout frame with the heavy-hitters pane appended — the
+    /// monitor view for spotting load imbalance before it hurts.
+    pub fn render_with_top(&self, n: usize) -> String {
+        let mut out = self.render();
+        out.push_str("+--- heavy hitters ");
+        out.push_str(&"-".repeat(21));
+        out.push('\n');
+        for line in self.top_lines(n) {
+            out.push_str(&format!("|   {line}\n"));
+        }
+        out
+    }
+
     /// Tracker-table view of the attached Core (reference inspection).
     pub fn tracker_lines(&self) -> Vec<String> {
         self.tracker_lines_at(self.core.name()).unwrap_or_default()

@@ -211,3 +211,27 @@ fn remote_reference_inspection_shows_chains() {
         c.stop();
     }
 }
+
+#[test]
+fn heavy_hitters_pane_ranks_accounted_load() {
+    let cores = setup();
+    let mon = LayoutMonitor::attach(cores[0].clone(), &["core0", "core1"]).unwrap();
+    let msg = cores[0].new_complet_at("core1", "Message", &[]).unwrap();
+    for _ in 0..4 {
+        msg.call("print", &[]).unwrap();
+    }
+    let lines = mon.top_lines(5);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("c1.1") && l.contains("@core1")),
+        "invoked complet must rank: {lines:?}"
+    );
+    let frame = mon.render_with_top(5);
+    assert!(frame.contains("heavy hitters"), "{frame}");
+    assert!(frame.contains("invokes="), "{frame}");
+    mon.detach();
+    for c in &cores {
+        c.stop();
+    }
+}
