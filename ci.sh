@@ -81,6 +81,33 @@ for seed in 7 11 23; do
     echo "$e18" | grep -q 'guardrail ok (within capacity and below the count-based maximum)'
 done
 
+# The full core integration suite again, this time with every envelope
+# on real sockets: FARGO_TRANSPORT=tcp makes the test fixture pre-bind
+# one loopback listener per Core and run the TCP backend, with the
+# simnet network attached as the fault-injection control plane (via the
+# delivery gate), so partition/loss scenarios must behave identically.
+echo "==> core integration suite over TCP loopback"
+FARGO_TRANSPORT=tcp cargo test -q -p fargo-core
+
+# E21 guardrails, swept over the same simnet seeds: one Core must hold
+# at least 10,000 concurrent in-flight RPCs (completion-keyed replies,
+# not parked threads) with zero worker-pool rejections, and both
+# transport backends must sustain the request-reply throughput floor.
+for seed in 7 11 23; do
+    echo "==> experiments json smoke (E21, seed $seed)"
+    e21=$(FARGO_SIMNET_SEED=$seed \
+        cargo run -q -p fargo-bench --bin experiments --release -- json E21)
+    echo "$e21" | grep -q 'guardrail ok (>=10,000 in flight'
+    echo "$e21" | grep -q 'guardrail ok (simnet window'
+    echo "$e21" | grep -q 'guardrail ok (tcp window'
+done
+
+# Multi-process smoke test: three OS processes, one Core each, framed
+# envelopes over loopback sockets. The parent drives an invoke + migrate
+# script through node 0 and insists on clean child shutdown.
+echo "==> tcp_cluster example (3 processes over loopback)"
+cargo run -q --release --example tcp_cluster | grep -q 'TCP cluster OK'
+
 # Deterministic schedule-explorer sweep: 1000 seeded workloads (moves,
 # invokes, relocator links, time advances, idle-tracker collections)
 # through the virtual-clock driver, every merged journal checked against

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E18). Each module regenerates one experiment
+//! The experiment suite (E1–E21; E19/E20 are reserved by ROADMAP items). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -19,6 +19,7 @@ pub mod e15_planner;
 pub mod e16_checker;
 pub mod e17_tail;
 pub mod e18_account;
+pub mod e21_transport;
 
 use crate::Table;
 
@@ -129,6 +130,12 @@ pub fn all() -> Vec<Experiment> {
             summary:
                 "cluster health observatory: per-complet accounting overhead; heavy-hitter sketch recall under Zipf; load-weighted vs count-based placement",
             run: e18_account::run,
+        },
+        Experiment {
+            id: "E21",
+            summary:
+                "transport scaling: >=10k concurrent in-flight RPCs on one Core; TCP-loopback vs simnet request-reply throughput",
+            run: e21_transport::run,
         },
     ]
 }

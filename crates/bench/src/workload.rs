@@ -110,6 +110,13 @@ define_complet! {
             self.payload = args.first().cloned().unwrap_or(Value::Null);
             Ok(Value::I64(self.payload.deep_size() as i64))
         }
+        fn nap(&mut self, _ctx, args) {
+            // Occupies a worker thread: E21 parks the pool behind naps to
+            // hold thousands of requests queued (and their RPCs in flight).
+            let ms = args.first().and_then(Value::as_i64).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            Ok(Value::Null)
+        }
     }
 }
 

@@ -76,6 +76,34 @@ fn accounting_and_matrix_are_seed_stable() {
     );
 }
 
+/// The transport abstraction must not reintroduce wall-clock waits under
+/// the virtual clock: deterministic-mode receive loops key their timeouts
+/// to virtual deadlines, so even a move/collect-heavy schedule finishes
+/// in wall seconds — and the merged journal stays a pure function of the
+/// seed across the transport seam.
+#[test]
+fn transport_stays_deterministic_under_virtual_clock() {
+    let schedule = Schedule::generate(23, 24, 4);
+    let cfg = RunConfig::default();
+    let started = std::time::Instant::now();
+    let a = run(&schedule, &cfg);
+    let b = run(&schedule, &cfg);
+    let elapsed = started.elapsed();
+    assert!(!a.failed(), "violations: {:?}", a.violations);
+    assert!(!b.failed(), "violations: {:?}", b.violations);
+    let ja = render_journal_json(&a.journal);
+    assert!(!ja.is_empty());
+    assert_eq!(
+        ja,
+        render_journal_json(&b.journal),
+        "same seed must replay to an identical journal through the transport layer"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "virtual-clock runs must not block on wall-clock receive timeouts (took {elapsed:?})"
+    );
+}
+
 /// Different seeds produce different workloads (the generator is not
 /// collapsing the space).
 #[test]

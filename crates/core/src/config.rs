@@ -17,6 +17,28 @@ pub enum TrackingMode {
     HomeBased,
 }
 
+/// Which point-to-point transport carries a Core's envelopes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The in-process simulated network (the default): bytes travel
+    /// through `simnet`'s link model, scheduler and fault injectors.
+    #[default]
+    Simnet,
+    /// Real TCP sockets with length-prefixed framing. `simnet` remains
+    /// the cluster directory and fault-injection control plane: every
+    /// outbound envelope is first offered to the network model (loss,
+    /// partitions and link statistics apply) and only admitted traffic
+    /// reaches the wire.
+    Tcp {
+        /// Address this Core's listener binds, e.g. `"127.0.0.1:7001"`.
+        bind: String,
+        /// Peer listener addresses indexed by node id. Entry `i` is the
+        /// Core registered `i`-th on the network; this Core's own entry
+        /// is ignored.
+        peers: Vec<String>,
+    },
+}
+
 /// Tunables of one Core.
 #[derive(Debug, Clone)]
 pub struct CoreConfig {
@@ -122,6 +144,8 @@ pub struct CoreConfig {
     /// Declarative SLO rules the health engine evaluates every monitor
     /// tick (multi-window burn-rate alerting). Empty disables alerting.
     pub slo_rules: Vec<fargo_telemetry::SloRule>,
+    /// Which transport backend carries this Core's envelopes.
+    pub transport: TransportKind,
 }
 
 impl Default for CoreConfig {
@@ -160,6 +184,7 @@ impl Default for CoreConfig {
             accounting: true,
             account_capacity: 512,
             slo_rules: fargo_telemetry::default_slo_rules(),
+            transport: TransportKind::Simnet,
         }
     }
 }
@@ -288,6 +313,22 @@ impl CoreConfig {
     /// Configuration with the health engine's SLO rule set replaced.
     pub fn with_slo_rules(mut self, rules: Vec<fargo_telemetry::SloRule>) -> Self {
         self.slo_rules = rules;
+        self
+    }
+
+    /// Configuration with the transport backend replaced.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Configuration with the request worker pool resized. Both values
+    /// must be at least 1; `Core::builder(..).spawn()` rejects a zero
+    /// with [`crate::FargoError::InvalidArgument`] instead of silently
+    /// clamping.
+    pub fn with_worker_pool(mut self, threads: usize, queue_depth: usize) -> Self {
+        self.worker_threads = threads;
+        self.worker_queue_depth = queue_depth;
         self
     }
 

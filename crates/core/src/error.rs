@@ -137,6 +137,19 @@ impl From<WireError> for FargoError {
     }
 }
 
+impl From<fargo_net::TransportError> for FargoError {
+    fn from(e: fargo_net::TransportError) -> Self {
+        match e {
+            // Simnet-level failures keep their exact variant, so error
+            // handling is identical whichever backend is configured.
+            fargo_net::TransportError::Net(n) => FargoError::Net(n),
+            fargo_net::TransportError::Frame(f) => FargoError::Protocol(f.to_string()),
+            fargo_net::TransportError::Io(m) => FargoError::Protocol(m),
+            other => FargoError::Protocol(other.to_string()),
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, FargoError>;
 

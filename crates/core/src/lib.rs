@@ -67,7 +67,7 @@ mod telemetry;
 
 pub use carrier::Carrier;
 pub use complet::{Complet, CompletRegistry, StateValue};
-pub use config::{CoreConfig, TrackingMode};
+pub use config::{CoreConfig, TrackingMode, TransportKind};
 pub use ctx::Ctx;
 pub use error::{FargoError, Result};
 pub use events::{EventHandler, EventPayload};
@@ -76,7 +76,9 @@ pub use reference::{
     ArrivalAction, CompletRef, MarshalAction, MetaRef, Relocator, RelocatorRegistry,
     TrackerSnapshot, TrackerTarget,
 };
-pub use runtime::{BoundRef, Core, CoreBuilder, LatencySummary, RemoteSubscription, TickHook};
+pub use runtime::{
+    BoundRef, Core, CoreBuilder, LatencySummary, PendingCall, RemoteSubscription, TickHook,
+};
 
 // Re-exported so `define_complet!` expansions and user code agree on the
 // value/id types without importing `fargo-wire` separately.

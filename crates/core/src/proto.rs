@@ -223,6 +223,28 @@ impl Request {
                 | Request::Ping
         )
     }
+
+    /// Whether this request may be served directly on the receiver's
+    /// dispatch loop instead of the worker pool. Strictly a subset of
+    /// [`Request::idempotent`]: read-only snapshots that never invoke
+    /// complet code, never block, and never issue nested rpcs — so
+    /// serving them inline cannot deadlock the loop that must keep
+    /// draining replies. Everything else (including reads that take the
+    /// slot-state mutexes, like `FetchState`) stays on the pool.
+    pub(crate) fn inline_safe(&self) -> bool {
+        matches!(
+            self,
+            Request::NameLookup { .. }
+                | Request::WhereIs { .. }
+                | Request::ListComplets
+                | Request::ListTrackers
+                | Request::TraceSpans { .. }
+                | Request::JournalEvents
+                | Request::TopComplets { .. }
+                | Request::TrafficMatrix
+                | Request::Ping
+        )
+    }
 }
 
 /// Reply bodies.

@@ -21,7 +21,7 @@ use crate::error::{FargoError, Result};
 use crate::proto::{Message, Reply, ReqId, Request};
 use crate::reference::tracker::{PointOutcome, TrackerTarget};
 use crate::reference::CompletRef;
-use crate::runtime::{Core, SlotState, APP_SEQ};
+use crate::runtime::{Core, PendingCall, SlotState, APP_SEQ};
 use crate::telemetry;
 
 /// Outcome of attempting to run an invocation on a local slot.
@@ -52,6 +52,54 @@ impl Core {
     /// limit, the method is unknown, or the application method fails.
     pub fn invoke(&self, target: &CompletRef, method: &str, args: &[Value]) -> Result<Value> {
         self.invoke_chained(target, method, args, Vec::new())
+    }
+
+    /// Begins an invocation without blocking for its result (the engine
+    /// behind [`BoundRef::call_async`](crate::BoundRef::call_async)).
+    ///
+    /// A remote target costs one request transmission here — no parked
+    /// thread, no pool slot — and the returned [`PendingCall`] owns the
+    /// correlation slot until waited or dropped. Local (and unroutable)
+    /// targets resolve through the blocking path at issue time, since
+    /// in-process execution has nothing to overlap with.
+    pub fn invoke_async(&self, target: &CompletRef, method: &str, args: &[Value]) -> PendingCall {
+        let id = target.id();
+        let me = self.inner.node.index();
+        match self.route(id, target) {
+            Route::Remote(node) => {
+                let t = &self.inner.telemetry;
+                t.invoke_total.inc();
+                let src = CompletId::new(me, APP_SEQ);
+                self.inner.monitor.invocations.record(src, id);
+                let src_label = if t.journal_enabled {
+                    src.to_string()
+                } else {
+                    String::new()
+                };
+                t.journal(JournalKind::Invoke, &id, method, &src_label, None);
+                // By-value parameter semantics, exactly as `invoke`.
+                let degraded: Vec<Value> = args
+                    .iter()
+                    .cloned()
+                    .map(|v| v.transform_refs(&mut |r| r.degraded()))
+                    .collect();
+                let body = Request::Invoke {
+                    target: id,
+                    method: method.to_owned(),
+                    args: degraded,
+                    chain: Vec::new(),
+                    path: vec![me],
+                    hops: 0,
+                };
+                match self.rpc_begin(node, body) {
+                    Ok(rpc) => {
+                        PendingCall::remote(rpc, target.clone(), method.to_owned(), args.to_vec())
+                    }
+                    Err(e) => PendingCall::ready(Err(e)),
+                }
+            }
+            Route::Local | Route::Unknown => PendingCall::ready(self.invoke(target, method, args)),
+        }
     }
 
     pub(crate) fn invoke_chained(

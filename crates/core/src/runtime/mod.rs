@@ -19,6 +19,9 @@ use std::thread;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fargo_net::{
+    DeliveryGate, SimnetTransport, TcpTransport, TcpTransportConfig, Transport, TransportError,
+};
 use fargo_telemetry::{
     merge_timelines, render_snapshots_json, render_span_tree, AccountRecord, HealthEngine,
     HealthSample, Histogram, Hlc, JournalEvent, JournalKind, LayoutHistory, MatrixCell,
@@ -26,10 +29,10 @@ use fargo_telemetry::{
 };
 use fargo_wire::{CompletId, RefDescriptor, Value};
 use parking_lot::{Mutex, RwLock};
-use simnet::{Endpoint, NetError, Network, NodeId};
+use simnet::{Endpoint, Network, NodeId};
 
 use crate::complet::{Complet, CompletRegistry};
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, TransportKind};
 use crate::ctx::Ctx;
 use crate::error::{FargoError, Result};
 use crate::events::{Delivery, EventHandler, EventHub, EventPayload};
@@ -70,7 +73,10 @@ pub(crate) struct CoreInner {
     pub name: String,
     pub node: NodeId,
     pub net: Network,
-    pub endpoint: Arc<Endpoint>,
+    /// The backend carrying this Core's envelopes: the simnet adapter or
+    /// real TCP sockets, chosen at spawn. Everything above this field is
+    /// backend-agnostic.
+    pub transport: Arc<dyn Transport>,
     pub registry: CompletRegistry,
     pub relocators: RelocatorRegistry,
     pub config: CoreConfig,
@@ -174,6 +180,7 @@ pub struct CoreBuilder<'a> {
     relocators: Option<RelocatorRegistry>,
     config: CoreConfig,
     telemetry: Option<TelemetryRegistry>,
+    tcp: Option<(std::net::TcpListener, Vec<String>)>,
 }
 
 impl<'a> CoreBuilder<'a> {
@@ -211,22 +218,83 @@ impl<'a> CoreBuilder<'a> {
         self
     }
 
+    /// Runs the Core over real TCP sockets on an **already-bound**
+    /// listener (binding first lets callers discover ephemeral ports and
+    /// hand out a consistent peer table). `peers[i]` is the listen
+    /// address of the Core registered `i`-th on `net`. Overrides
+    /// [`CoreConfig::transport`](crate::CoreConfig); the network passed
+    /// to [`Core::builder`] stays attached as the cluster directory and
+    /// fault-injection control plane.
+    pub fn tcp_transport(mut self, listener: std::net::TcpListener, peers: Vec<String>) -> Self {
+        self.tcp = Some((listener, peers));
+        self
+    }
+
     /// Registers the node, starts the Core's threads, and returns the
     /// handle.
     ///
     /// # Errors
     ///
-    /// Fails if the Core name is already registered on the network.
+    /// Fails if the Core name is already registered on the network, if
+    /// the worker pool is configured with zero threads or zero queue
+    /// depth, or if the TCP transport cannot start.
     pub fn spawn(self) -> Result<Core> {
+        // A zero here used to be silently clamped to 1, which made
+        // "depth 0" mean "depth 1" while reading like "no queue". It is
+        // a configuration error now.
+        if self.config.worker_threads == 0 {
+            return Err(FargoError::InvalidArgument(
+                "worker_threads must be at least 1".into(),
+            ));
+        }
+        if self.config.worker_queue_depth == 0 {
+            return Err(FargoError::InvalidArgument(
+                "worker_queue_depth must be at least 1".into(),
+            ));
+        }
         let (endpoint, name) = match self.endpoint {
             Some(ep) => {
                 let name = self.net.node_name(ep.id())?;
-                (Arc::new(ep), name)
+                (ep, name)
             }
-            None => (Arc::new(self.net.add_node(&self.name)?), self.name),
+            None => (self.net.add_node(&self.name)?, self.name),
         };
         let node = endpoint.id();
         let config = self.config;
+        // Whatever the backend, simnet stays the control plane: TCP sends
+        // are first *offered* to the network model, so partitions, loss
+        // and link statistics behave identically on both backends. Simnet
+        // sends run the same admission inside `Network::send` itself.
+        let gate_net = self.net.clone();
+        let gate: DeliveryGate = Arc::new(move |src, dst, len| {
+            gate_net
+                .offer(NodeId::from_index(src), NodeId::from_index(dst), len)
+                .map_err(TransportError::from)
+        });
+        let transport: Arc<dyn Transport> = if let Some((listener, peers)) = self.tcp {
+            Arc::new(TcpTransport::start(
+                TcpTransportConfig {
+                    local: node.index(),
+                    peers,
+                },
+                listener,
+                Some(gate),
+            )?)
+        } else {
+            match &config.transport {
+                TransportKind::Simnet => {
+                    Arc::new(SimnetTransport::new(endpoint, config.clock.clone()))
+                }
+                TransportKind::Tcp { bind, peers } => Arc::new(TcpTransport::bind(
+                    TcpTransportConfig {
+                        local: node.index(),
+                        peers: peers.clone(),
+                    },
+                    bind,
+                    Some(gate),
+                )?),
+            }
+        };
         let telemetry = CoreTelemetry::new(
             self.telemetry.unwrap_or_default(),
             &name,
@@ -239,12 +307,12 @@ impl<'a> CoreBuilder<'a> {
             config.clock.clone(),
         );
         monitor.register_metrics(&telemetry.registry, &name);
-        let (work_tx, work_rx) = bounded(config.worker_queue_depth.max(1));
+        let (work_tx, work_rx) = bounded(config.worker_queue_depth);
         let inner = Arc::new(CoreInner {
             name,
             node,
             net: self.net.clone(),
-            endpoint,
+            transport,
             registry: self.registry.unwrap_or_default(),
             relocators: self.relocators.unwrap_or_default(),
             monitor,
@@ -294,6 +362,7 @@ impl Core {
             relocators: None,
             config: CoreConfig::default(),
             telemetry: None,
+            tcp: None,
         }
     }
 
@@ -1168,7 +1237,10 @@ impl Core {
     /// Stops the Core immediately: no more requests are served.
     pub fn stop(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Mark the node down on the control plane first (so peers' sends
+        // start refusing), then tear the transport down.
         let _ = self.inner.net.set_node_up(self.inner.node, false);
+        self.inner.transport.shutdown();
     }
 
     // --- internals -------------------------------------------------------------
@@ -1227,8 +1299,8 @@ impl Core {
                 });
         }
         self.inner
-            .net
-            .send(self.inner.node, NodeId::from_index(node), payload)
+            .transport
+            .send(node, payload)
             .map_err(FargoError::from)
     }
 
@@ -1256,17 +1328,11 @@ impl Core {
     /// invocation unit (which builds its own request envelope). The same
     /// `req_id` rides on every copy, so receivers can deduplicate.
     pub(crate) fn rpc_send_wait(&self, node: u32, req_id: ReqId, msg: &Message) -> Result<Reply> {
+        let mut budget = self.retry_budget();
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(req_id, tx);
-        let cfg = &self.inner.config;
-        // The retry *budget* is a protocol deadline and reads the Core's
-        // Clock (so the checker's virtual time governs when a request is
-        // declared dead); the per-attempt channel wait below is physical
-        // blocking and stays on real time.
-        let deadline = cfg.clock.deadline_us(cfg.rpc_timeout);
-        let mut attempt: u32 = 0;
         let result = loop {
-            if attempt > 0 {
+            if budget.attempt() > 0 {
                 self.inner.telemetry.rpc_retries_total.inc();
             }
             // A synchronous send failure (unknown or down node) is
@@ -1274,24 +1340,15 @@ impl Core {
             if let Err(e) = self.send_to(node, msg) {
                 break Err(e);
             }
-            let remaining = Duration::from_micros(deadline.saturating_sub(cfg.clock.now_us()));
-            if remaining.is_zero() {
+            let Some(wait) = budget.attempt_wait() else {
                 break Err(FargoError::Timeout);
-            }
-            // The final attempt waits out the rest of the budget; earlier
-            // ones wait one backoff step (never past the deadline).
-            let wait = if attempt >= cfg.rpc_max_retries {
-                remaining
-            } else {
-                reliable::retry_delay(attempt, cfg.rpc_retry_base, cfg.rpc_retry_cap).min(remaining)
             };
             match rx.recv_timeout(wait) {
                 Ok(reply) => break Ok(reply),
                 Err(_) => {
-                    if attempt >= cfg.rpc_max_retries || cfg.clock.now_us() >= deadline {
+                    if !budget.advance() {
                         break Err(FargoError::Timeout);
                     }
-                    attempt += 1;
                 }
             }
         };
@@ -1299,6 +1356,61 @@ impl Core {
             self.inner.pending.lock().remove(&req_id);
         }
         result
+    }
+
+    /// A fresh [`RetryBudget`] from this Core's rpc configuration.
+    pub(crate) fn retry_budget(&self) -> reliable::RetryBudget {
+        let cfg = &self.inner.config;
+        reliable::RetryBudget::new(
+            cfg.clock.clone(),
+            cfg.rpc_timeout,
+            cfg.rpc_max_retries,
+            cfg.rpc_retry_base,
+            cfg.rpc_retry_cap,
+        )
+    }
+
+    /// Issues a request without waiting for its reply: the envelope is
+    /// transmitted immediately and a [`PendingRpc`] tracks the
+    /// correlation slot. The caller later blocks in
+    /// [`PendingRpc::wait`], which retransmits on the same budget rules
+    /// as [`Core::rpc`]. This is what lets one Core hold tens of
+    /// thousands of requests in flight: issuing costs one send, not one
+    /// parked thread.
+    pub(crate) fn rpc_begin(&self, node: u32, body: Request) -> Result<PendingRpc> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(FargoError::ShuttingDown);
+        }
+        let req_id = self.inner.req_seq.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::Request {
+            req_id,
+            origin: self.inner.node.index(),
+            trace: crate::telemetry::current_trace(),
+            body,
+        };
+        let budget = self.retry_budget();
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(req_id, tx);
+        // First transmission happens at issue time, so the request ages
+        // (and the peer works on it) while the caller does other things.
+        if let Err(e) = self.send_to(node, &msg) {
+            self.inner.pending.lock().remove(&req_id);
+            return Err(e);
+        }
+        Ok(PendingRpc {
+            core: self.clone(),
+            node,
+            req_id,
+            msg,
+            rx,
+            budget,
+        })
+    }
+
+    /// Requests issued by this Core still awaiting their reply (both
+    /// blocking rpcs and unresolved [`PendingCall`]s).
+    pub fn inflight_rpcs(&self) -> usize {
+        self.inner.pending.lock().len()
     }
 
     pub(crate) fn reply_to(&self, node: u32, req_id: ReqId, body: Reply) {
@@ -1345,7 +1457,7 @@ impl Core {
     /// loop), so a pool saturated with requests blocked in nested rpcs
     /// can still be unblocked by incoming replies.
     fn spawn_workers(&self, work_rx: Receiver<WorkRequest>) {
-        for i in 0..self.inner.config.worker_threads.max(1) {
+        for i in 0..self.inner.config.worker_threads {
             let core = self.clone();
             let rx = work_rx.clone();
             thread::Builder::new()
@@ -1382,7 +1494,7 @@ impl Core {
             if self.inner.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            match self.inner.endpoint.recv_timeout(Duration::from_millis(25)) {
+            match self.inner.transport.recv_timeout(Duration::from_millis(25)) {
                 Ok(incoming) => match Message::decode_with_meta(&incoming.payload) {
                     Ok((msg, hlc, ts)) => {
                         let t = &self.inner.telemetry;
@@ -1398,18 +1510,18 @@ impl Core {
                             let us = t.phase_now_us().saturating_sub(sent_us);
                             t.observe_phase(&t.latency_network_us, us);
                             self.inner.net.record_observed_latency(
-                                incoming.src,
+                                NodeId::from_index(incoming.src),
                                 self.inner.node,
                                 us,
                             );
                         }
                         t.record_msg_in(msg.kind_label(), incoming.payload.len());
-                        t.queue_depth.set(self.inner.endpoint.queue_len() as f64);
+                        t.queue_depth.set(self.inner.transport.queue_len() as f64);
                         self.dispatch(msg);
                     }
                     Err(_) => { /* malformed datagram: drop, as a real core would */ }
                 },
-                Err(NetError::RecvTimeout) => {}
+                Err(e) if e.is_timeout() => {}
                 Err(_) => return,
             }
         }
@@ -1423,11 +1535,23 @@ impl Core {
                 trace,
                 body,
             } => {
-                // Requests run on the bounded worker pool. A full queue
-                // drops the request — never blocks the receiver loop
-                // (replies must keep flowing or workers blocked in nested
-                // rpcs would deadlock) — and the sender's retransmission
-                // recovers it once workers drain.
+                // Read-only snapshot requests are served right here on
+                // the dispatch loop: they never run complet code, never
+                // block, and never rpc, so they cannot stall the loop —
+                // and they no longer occupy (or get shed from) pool
+                // slots while the pool is saturated with slow work.
+                if body.inline_safe() {
+                    self.inner.telemetry.worker_inline_total.inc();
+                    self.inner.busy_workers.fetch_add(1, Ordering::SeqCst);
+                    self.handle_request(origin, req_id, trace, body);
+                    self.inner.busy_workers.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                // Everything else runs on the bounded worker pool. A full
+                // queue drops the request — never blocks the receiver
+                // loop (replies must keep flowing or workers blocked in
+                // nested rpcs would deadlock) — and the sender's
+                // retransmission recovers it once workers drain.
                 let job = WorkRequest {
                     origin,
                     req_id,
@@ -1435,10 +1559,15 @@ impl Core {
                     enqueued_us: self.inner.telemetry.phase_send_stamp(),
                     body,
                 };
-                if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =
-                    self.inner.work_tx.try_send(job)
-                {
-                    self.inner.telemetry.worker_rejections_total.inc();
+                match self.inner.work_tx.try_send(job) {
+                    Ok(()) => {}
+                    // One shed, one count. Disconnection is shutdown, not
+                    // load shedding — counting it inflated the rejection
+                    // series on every teardown.
+                    Err(TrySendError::Full(_)) => {
+                        self.inner.telemetry.worker_rejections_total.inc();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
                 }
             }
             Message::Reply {
@@ -1778,7 +1907,7 @@ impl Core {
     /// cluster is quiescent — the deterministic checker's step barrier.
     #[doc(hidden)]
     pub fn pending_work(&self) -> usize {
-        self.inner.endpoint.queue_len()
+        self.inner.transport.queue_len()
             + self.inner.work_rx.len()
             + self.inner.busy_workers.load(Ordering::SeqCst) as usize
     }
@@ -1869,7 +1998,7 @@ fn sample_service(inner: &Arc<CoreInner>, service: &Service) -> Option<f64> {
             }
             Some(total as f64)
         }
-        Service::QueueLen => Some(inner.endpoint.queue_len() as f64),
+        Service::QueueLen => Some(inner.transport.queue_len() as f64),
     }
 }
 
@@ -1918,6 +2047,161 @@ impl RemoteSubscription {
     }
 }
 
+/// One issued request awaiting its reply (transport-level correlation).
+///
+/// Created by [`Core::rpc_begin`]; dropping it abandons the request and
+/// releases its correlation slot.
+pub(crate) struct PendingRpc {
+    core: Core,
+    node: u32,
+    req_id: ReqId,
+    msg: Message,
+    rx: Receiver<Reply>,
+    budget: reliable::RetryBudget,
+}
+
+impl PendingRpc {
+    /// Blocks for the reply, retransmitting on the same budget rules as
+    /// the synchronous rpc path (the request has been aging since
+    /// `rpc_begin`, so a long-issued call may time out immediately).
+    pub(crate) fn wait(mut self) -> Result<Reply> {
+        let result = loop {
+            let Some(wait) = self.budget.attempt_wait() else {
+                break Err(FargoError::Timeout);
+            };
+            match self.rx.recv_timeout(wait) {
+                Ok(reply) => break Ok(reply),
+                Err(_) => {
+                    if !self.budget.advance() {
+                        break Err(FargoError::Timeout);
+                    }
+                    self.core.inner.telemetry.rpc_retries_total.inc();
+                    if let Err(e) = self.core.send_to(self.node, &self.msg) {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        if result.is_err() {
+            self.core.inner.pending.lock().remove(&self.req_id);
+        }
+        result
+    }
+}
+
+impl Drop for PendingRpc {
+    fn drop(&mut self) {
+        // Answered requests were already removed by `handle_reply`;
+        // abandoned ones must not leak their correlation slot.
+        self.core.inner.pending.lock().remove(&self.req_id);
+    }
+}
+
+/// An invocation in flight, returned by [`BoundRef::call_async`] /
+/// [`Core::invoke_async`]. The request was transmitted at issue time;
+/// [`PendingCall::wait`] collects the result (retransmitting within the
+/// rpc budget as needed). Dropping it abandons the call.
+pub struct PendingCall {
+    state: PendingCallState,
+}
+
+enum PendingCallState {
+    /// The target was remote at issue time; a request is in flight.
+    /// Boxed: the in-flight arm is several hundred bytes of retry
+    /// state, the resolved arm just a `Result`.
+    Remote {
+        rpc: Box<PendingRpc>,
+        target: CompletRef,
+        method: String,
+        args: Vec<Value>,
+    },
+    /// Resolved at issue time (local execution or an immediate error).
+    Ready(Result<Value>),
+}
+
+impl PendingCall {
+    pub(crate) fn ready(result: Result<Value>) -> Self {
+        PendingCall {
+            state: PendingCallState::Ready(result),
+        }
+    }
+
+    pub(crate) fn remote(
+        rpc: PendingRpc,
+        target: CompletRef,
+        method: String,
+        args: Vec<Value>,
+    ) -> Self {
+        PendingCall {
+            state: PendingCallState::Remote {
+                rpc: Box::new(rpc),
+                target,
+                method,
+                args,
+            },
+        }
+    }
+
+    /// Blocks until the invocation resolves and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation failures exactly as [`BoundRef::call`]
+    /// does.
+    pub fn wait(self) -> Result<Value> {
+        match self.state {
+            PendingCallState::Ready(r) => r,
+            PendingCallState::Remote {
+                rpc,
+                target,
+                method,
+                args,
+            } => {
+                let core = rpc.core.clone();
+                match rpc.wait()? {
+                    Reply::InvokeOk {
+                        value,
+                        final_location,
+                        target: id,
+                        ..
+                    } => {
+                        core.inner.trackers.credit(id);
+                        target.set_last_known(final_location);
+                        Ok(value)
+                    }
+                    Reply::Err(FargoError::UnknownComplet(_)) => {
+                        // The fast-path destination neither hosts nor
+                        // tracks the target (it moved, or the tracker was
+                        // collected). The blocking path re-routes through
+                        // trackers and the home registry.
+                        core.invoke(&target, &method, &args)
+                    }
+                    Reply::Err(e) => Err(e),
+                    other => Err(FargoError::Protocol(format!(
+                        "unexpected invoke reply {other:?}"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.state {
+            PendingCallState::Remote { rpc, method, .. } => f
+                .debug_struct("PendingCall")
+                .field("req_id", &rpc.req_id)
+                .field("method", method)
+                .finish(),
+            PendingCallState::Ready(r) => f
+                .debug_struct("PendingCall")
+                .field("ready", &r.is_ok())
+                .finish(),
+        }
+    }
+}
+
 /// A complet reference bound to a local Core: the callable **stub**.
 ///
 /// `BoundRef` is what application code outside any complet holds; it
@@ -1938,6 +2222,15 @@ impl BoundRef {
     /// application errors, network failures, …).
     pub fn call(&self, method: &str, args: &[Value]) -> Result<Value> {
         self.core.invoke(&self.r, method, args)
+    }
+
+    /// Begins an invocation without blocking for its result: the request
+    /// goes on the wire immediately and the returned [`PendingCall`]
+    /// collects it later. Thousands of calls can be in flight from one
+    /// thread this way; `wait` applies the same retransmission budget
+    /// and at-most-once semantics as [`BoundRef::call`].
+    pub fn call_async(&self, method: &str, args: &[Value]) -> PendingCall {
+        self.core.invoke_async(&self.r, method, args)
     }
 
     /// The underlying portable reference (shared, not a copy: retyping

@@ -134,6 +134,84 @@ pub(crate) fn retry_delay(attempt: u32, base: Duration, cap: Duration) -> Durati
     base.checked_mul(factor).unwrap_or(cap).min(cap)
 }
 
+/// One request's retransmission budget, shared by the blocking
+/// [`Core::rpc`](crate::Core) path and asynchronous
+/// [`PendingCall`](crate::PendingCall) waits so both age a request by
+/// exactly the same rules.
+///
+/// The overall deadline is a *protocol* deadline and reads the Core's
+/// shared [`Clock`] (the deterministic checker's virtual time governs
+/// when a request is declared dead); the per-attempt channel waits the
+/// caller performs with [`RetryBudget::attempt_wait`] are physical
+/// blocking and stay on real time.
+pub(crate) struct RetryBudget {
+    clock: fargo_telemetry::Clock,
+    deadline_us: u64,
+    max_retries: u32,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl RetryBudget {
+    /// Opens a budget of `timeout` total with up to `max_retries`
+    /// retransmissions, starting now on `clock`.
+    pub(crate) fn new(
+        clock: fargo_telemetry::Clock,
+        timeout: Duration,
+        max_retries: u32,
+        base: Duration,
+        cap: Duration,
+    ) -> Self {
+        let deadline_us = clock.deadline_us(timeout);
+        RetryBudget {
+            clock,
+            deadline_us,
+            max_retries,
+            base,
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// Budget time left on the protocol clock.
+    pub(crate) fn remaining(&self) -> Duration {
+        Duration::from_micros(self.deadline_us.saturating_sub(self.clock.now_us()))
+    }
+
+    /// How long the current attempt should block waiting for the reply:
+    /// the final attempt waits out the rest of the budget, earlier ones
+    /// wait one backoff step (never past the deadline). `None` when the
+    /// budget is already exhausted.
+    pub(crate) fn attempt_wait(&self) -> Option<Duration> {
+        let remaining = self.remaining();
+        if remaining.is_zero() {
+            return None;
+        }
+        Some(if self.attempt >= self.max_retries {
+            remaining
+        } else {
+            retry_delay(self.attempt, self.base, self.cap).min(remaining)
+        })
+    }
+
+    /// Call after a wait expired unanswered: advances to the next
+    /// attempt. Returns `false` when no retransmission is allowed (the
+    /// retry count or the deadline ran out) — the request is dead.
+    pub(crate) fn advance(&mut self) -> bool {
+        if self.attempt >= self.max_retries || self.clock.now_us() >= self.deadline_us {
+            return false;
+        }
+        self.attempt += 1;
+        true
+    }
+
+    /// Attempts performed so far (0 = the initial transmission).
+    pub(crate) fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
 /// Bounded log of two-phase move verdicts, keyed `(root, epoch)`:
 /// `true` = committed, `false` = aborted. The source Core records its
 /// decision here *before* sending `MoveCommit`, so either side can
@@ -260,6 +338,44 @@ mod tests {
         assert_eq!(retry_delay(2, base, cap), Duration::from_millis(40));
         assert_eq!(retry_delay(3, base, cap), cap);
         assert_eq!(retry_delay(40, base, cap), cap);
+    }
+
+    #[test]
+    fn retry_budget_paces_and_expires() {
+        let clock = fargo_telemetry::Clock::new_virtual(0);
+        let mut b = RetryBudget::new(
+            clock.clone(),
+            Duration::from_millis(100),
+            2,
+            Duration::from_millis(10),
+            Duration::from_millis(40),
+        );
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.attempt_wait(), Some(Duration::from_millis(10)));
+        assert!(b.advance());
+        assert_eq!(b.attempt_wait(), Some(Duration::from_millis(20)));
+        assert!(b.advance());
+        // The final attempt waits out the whole remaining budget.
+        assert_eq!(b.attempt_wait(), Some(Duration::from_millis(100)));
+        assert!(!b.advance(), "retry count exhausted");
+        clock.advance(Duration::from_millis(200));
+        assert_eq!(b.attempt_wait(), None, "deadline passed");
+    }
+
+    #[test]
+    fn retry_budget_deadline_preempts_retries() {
+        let clock = fargo_telemetry::Clock::new_virtual(0);
+        let mut b = RetryBudget::new(
+            clock.clone(),
+            Duration::from_millis(50),
+            8,
+            Duration::from_millis(10),
+            Duration::from_millis(40),
+        );
+        assert!(b.advance());
+        clock.advance(Duration::from_millis(60));
+        assert!(!b.advance(), "past the deadline no retry is allowed");
+        assert_eq!(b.attempt_wait(), None);
     }
 
     #[test]

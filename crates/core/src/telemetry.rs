@@ -122,6 +122,9 @@ pub(crate) struct CoreTelemetry {
     pub move_indoubt_total: Counter,
     /// Requests dropped because the worker-pool queue was full.
     pub worker_rejections_total: Counter,
+    /// Read-only requests served directly on the dispatch loop (the
+    /// fast path that never occupies a pool slot).
+    pub worker_inline_total: Counter,
     /// Tracker updates rejected for carrying a stale move epoch.
     pub tracker_stale_total: Counter,
 
@@ -235,6 +238,7 @@ impl CoreTelemetry {
             reply_send_failures: registry.counter("fargo_reply_send_failures", l),
             move_indoubt_total: registry.counter("fargo_move_indoubt_total", l),
             worker_rejections_total: registry.counter("fargo_worker_rejections_total", l),
+            worker_inline_total: registry.counter("fargo_worker_inline_total", l),
             tracker_stale_total: registry.counter("fargo_tracker_stale_rejections_total", l),
             accounting: config.accounting,
             accountant: Accountant::new(config.account_capacity),

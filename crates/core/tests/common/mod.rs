@@ -72,9 +72,41 @@ pub fn cluster(n: usize) -> (Network, CompletRegistry, Vec<Core>) {
 }
 
 /// Spawns `n` cores with a custom configuration.
+///
+/// Which transport carries the cluster's envelopes is selected by the
+/// `FARGO_TRANSPORT` environment variable: unset or `simnet` uses the
+/// in-process network, `tcp` pre-binds one loopback listener per Core
+/// and runs the whole suite over real sockets (the simnet network stays
+/// attached as the fault-injection control plane, so partition/loss
+/// scenarios behave identically).
 pub fn cluster_with_config(n: usize, config: CoreConfig) -> (Network, CompletRegistry, Vec<Core>) {
     let net = fast_network();
     let reg = registry();
+    if std::env::var("FARGO_TRANSPORT").as_deref() == Ok("tcp") {
+        // Bind everything first so the full peer table exists before any
+        // Core spawns (ephemeral ports — no fixed-port collisions when
+        // test binaries run in parallel).
+        let listeners: Vec<std::net::TcpListener> = (0..n)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr").to_string())
+            .collect();
+        let cores = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                Core::builder(&net, &format!("core{i}"))
+                    .registry(&reg)
+                    .config(config.clone())
+                    .tcp_transport(listener, peers.clone())
+                    .spawn()
+                    .expect("core must spawn")
+            })
+            .collect();
+        return (net, reg, cores);
+    }
     let cores = (0..n)
         .map(|i| {
             Core::builder(&net, &format!("core{i}"))

@@ -1,0 +1,139 @@
+//! Worker-pool semantics: sizing is validated at spawn, shed requests are
+//! counted exactly once, and read-only requests bypass the pool entirely.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{cluster_with_config, registry, teardown, test_config};
+use fargo_core::{define_complet, Core, MetricValue, Value};
+use simnet::{LinkConfig, Network, NetworkConfig};
+
+define_complet! {
+    /// Holds a worker thread hostage for a caller-chosen duration.
+    pub complet Sleeper {
+        state {
+            naps: i64 = 0,
+        }
+        fn nap(&mut self, _ctx, args) {
+            let ms = args.first().and_then(Value::as_i64).unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            self.naps += 1;
+            Ok(Value::I64(self.naps))
+        }
+    }
+}
+
+fn counter(core: &Core, name: &str) -> u64 {
+    core.telemetry()
+        .snapshot()
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| match s.value {
+            MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[test]
+fn zero_sized_worker_pool_is_a_config_error() {
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant()),
+        ..NetworkConfig::default()
+    });
+    let reg = registry();
+
+    let err = Core::builder(&net, "no-threads")
+        .registry(&reg)
+        .config(test_config().with_worker_pool(0, 8))
+        .spawn()
+        .expect_err("zero worker threads must be rejected");
+    assert!(
+        err.to_string().contains("worker_threads"),
+        "error should name the offending knob: {err}"
+    );
+
+    let err = Core::builder(&net, "no-queue")
+        .registry(&reg)
+        .config(test_config().with_worker_pool(2, 0))
+        .spawn()
+        .expect_err("zero queue depth must be rejected, not silently clamped");
+    assert!(
+        err.to_string().contains("worker_queue_depth"),
+        "error should name the offending knob: {err}"
+    );
+}
+
+/// With one worker and a depth-1 queue, saturate the pool, then send `K`
+/// single-transmission requests. Each must be shed and counted exactly
+/// once: no double counting, no silent drops.
+#[test]
+fn shed_requests_are_counted_exactly_once() {
+    let mut cfg = test_config().with_worker_pool(1, 1);
+    cfg.rpc_max_retries = 0; // one transmission per call: counts are exact
+    cfg.rpc_timeout = Duration::from_secs(10);
+    let (_net, reg, cores) = cluster_with_config(2, cfg);
+    Sleeper::register(&reg);
+
+    let sleeper = cores[0]
+        .new_complet_at("core1", "Sleeper", &[])
+        .expect("spawn sleeper");
+
+    // Occupy the only worker...
+    let busy = sleeper.call_async("nap", &[Value::I64(900)]);
+    std::thread::sleep(Duration::from_millis(200));
+    // ...and fill the depth-1 queue behind it.
+    let queued = sleeper.call_async("nap", &[Value::I64(0)]);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let before = counter(&cores[1], "fargo_worker_rejections_total");
+    const K: usize = 5;
+    let shed: Vec<_> = (0..K)
+        .map(|_| sleeper.call_async("nap", &[Value::I64(0)]))
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+
+    let rejected = counter(&cores[1], "fargo_worker_rejections_total") - before;
+    assert_eq!(
+        rejected, K as u64,
+        "each shed request must be counted exactly once"
+    );
+
+    // The accepted work still completes.
+    assert_eq!(busy.wait().expect("busy nap"), Value::I64(1));
+    assert_eq!(queued.wait().expect("queued nap"), Value::I64(2));
+    drop(shed);
+    teardown(&cores);
+}
+
+/// Read-only control requests are served inline by the receiver thread:
+/// a saturated worker pool must not make the Core unobservable.
+#[test]
+fn inline_requests_bypass_a_saturated_pool() {
+    let mut cfg = test_config().with_worker_pool(1, 1);
+    cfg.rpc_timeout = Duration::from_secs(10);
+    let (_net, reg, cores) = cluster_with_config(2, cfg);
+    Sleeper::register(&reg);
+
+    let sleeper = cores[0]
+        .new_complet_at("core1", "Sleeper", &[])
+        .expect("spawn sleeper");
+    let busy = sleeper.call_async("nap", &[Value::I64(700)]);
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = sleeper.call_async("nap", &[Value::I64(0)]);
+    std::thread::sleep(Duration::from_millis(150));
+
+    let inline_before = counter(&cores[1], "fargo_worker_inline_total");
+    cores[0]
+        .ping("core1")
+        .expect("ping must be served inline while the pool is saturated");
+    assert!(
+        counter(&cores[1], "fargo_worker_inline_total") > inline_before,
+        "inline fast path should have served the ping"
+    );
+
+    busy.wait().expect("busy nap");
+    queued.wait().expect("queued nap");
+    teardown(&cores);
+}

@@ -1,0 +1,34 @@
+//! Pluggable point-to-point transports for FarGo Cores.
+//!
+//! A [`Core`](../fargo_core) talks to its peers through the [`Transport`]
+//! trait: an unreliable, unordered-across-peers datagram service addressed
+//! by node *index* (the position a Core's name was registered at in the
+//! cluster directory). Two backends implement it:
+//!
+//! * [`SimnetTransport`] — an adapter over [`simnet::Endpoint`]. Bytes
+//!   travel through the in-process link model exactly as before; the
+//!   adapter additionally routes receive *waits* through the shared
+//!   [`Clock`](fargo_telemetry::Clock), so a runtime on virtual time no
+//!   longer parks on wall-clock-only timeouts.
+//! * [`TcpTransport`] — real sockets. Envelopes are framed with a version
+//!   byte and a `u32` length prefix ([`frame`]), one reader thread per
+//!   accepted connection feeds a single dispatch queue, and outbound
+//!   connections are cached per peer (a links map) and lazily redialed.
+//!
+//! Delivery guarantees are deliberately weak — at-most-once, drop on any
+//! trouble — because the Core's reliable-messaging layer (retransmission
+//! plus receiver-side dedup) is built on exactly that contract. A TCP
+//! connection reset is indistinguishable from simnet packet loss: the
+//! sender's retransmission recovers either.
+
+mod error;
+pub mod frame;
+mod simnet_backend;
+mod tcp;
+mod transport;
+
+pub use error::TransportError;
+pub use frame::{read_frame, write_frame, FrameError, FRAME_VERSION, MAX_FRAME};
+pub use simnet_backend::SimnetTransport;
+pub use tcp::{TcpTransport, TcpTransportConfig};
+pub use transport::{Datagram, DeliveryGate, Transport};

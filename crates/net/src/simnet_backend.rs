@@ -1,0 +1,192 @@
+//! [`SimnetTransport`]: the [`Transport`] adapter over [`simnet::Endpoint`].
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use fargo_telemetry::Clock;
+use simnet::{Endpoint, NetError, NodeId};
+
+use crate::error::TransportError;
+use crate::transport::{Datagram, Transport};
+
+/// How long a virtual-clock receive may block the OS thread in one slice
+/// before re-checking the virtual deadline. Arrivals still wake the
+/// thread immediately (the underlying channel signals); this only bounds
+/// how stale the *deadline* check can get.
+const VIRTUAL_SLICE: Duration = Duration::from_millis(1);
+
+/// Adapter presenting a [`simnet::Endpoint`] as a [`Transport`].
+///
+/// Besides the trivial delegation, this is where transport waits join the
+/// shared clock: `Endpoint::recv_timeout` blocks on *wall* time only,
+/// which made it the one runtime path that ignored
+/// [`Clock::Virtual`](fargo_telemetry::Clock). Under a virtual clock the
+/// adapter instead waits in short wall slices and declares the timeout as
+/// soon as **either** clock passes its deadline — so when a checker
+/// schedule advances virtual time past the wait, the receive returns
+/// promptly instead of parking for the full wall duration, and timeout
+/// decisions stay a function of the schedule, not of host scheduling.
+pub struct SimnetTransport {
+    endpoint: Endpoint,
+    clock: Clock,
+}
+
+impl SimnetTransport {
+    /// Wraps an endpoint; `clock` is the runtime's shared clock.
+    #[must_use]
+    pub fn new(endpoint: Endpoint, clock: Clock) -> Self {
+        SimnetTransport { endpoint, clock }
+    }
+
+    /// The underlying endpoint's node id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.endpoint.id()
+    }
+}
+
+impl Transport for SimnetTransport {
+    fn local_index(&self) -> u32 {
+        self.endpoint.id().index()
+    }
+
+    fn send(&self, dst: u32, payload: Bytes) -> Result<(), TransportError> {
+        self.endpoint
+            .send(NodeId::from_index(dst), payload)
+            .map_err(TransportError::from)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, TransportError> {
+        if !self.clock.is_virtual() {
+            return self
+                .endpoint
+                .recv_timeout(timeout)
+                .map(|m| Datagram {
+                    src: m.src.index(),
+                    payload: m.payload,
+                })
+                .map_err(TransportError::from);
+        }
+        // Virtual clock: the protocol deadline lives on virtual time, the
+        // wall bound below is pure liveness (a schedule that never
+        // advances must not hang the receiver).
+        let virtual_deadline = self.clock.deadline_us(timeout);
+        let wall_deadline = Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.endpoint.try_recv()? {
+                return Ok(Datagram {
+                    src: m.src.index(),
+                    payload: m.payload,
+                });
+            }
+            if self.clock.now_us() >= virtual_deadline {
+                return Err(NetError::RecvTimeout.into());
+            }
+            let now = Instant::now();
+            if now >= wall_deadline {
+                return Err(NetError::RecvTimeout.into());
+            }
+            let slice = VIRTUAL_SLICE.min(wall_deadline - now);
+            match self.endpoint.recv_timeout(slice) {
+                Ok(m) => {
+                    return Ok(Datagram {
+                        src: m.src.index(),
+                        payload: m.payload,
+                    })
+                }
+                Err(NetError::RecvTimeout) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Datagram>, TransportError> {
+        Ok(self.endpoint.try_recv()?.map(|m| Datagram {
+            src: m.src.index(),
+            payload: m.payload,
+        }))
+    }
+
+    fn queue_len(&self) -> usize {
+        self.endpoint.queue_len()
+    }
+
+    fn shutdown(&self) {
+        // Nothing to stop: the endpoint owns no threads, and marking the
+        // node down is the Core's (control-plane) responsibility.
+    }
+
+    fn kind(&self) -> &'static str {
+        "simnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LinkConfig, Network, NetworkConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn instant_net() -> Network {
+        Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::instant()),
+            ..NetworkConfig::default()
+        })
+    }
+
+    #[test]
+    fn delivers_and_times_out_on_wall_clock() {
+        let net = instant_net();
+        let a = SimnetTransport::new(net.add_node("a").unwrap(), Clock::Wall);
+        let b = SimnetTransport::new(net.add_node("b").unwrap(), Clock::Wall);
+        a.send(1, Bytes::from_static(b"ping")).unwrap();
+        let d = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.payload.as_ref(), b"ping");
+        assert!(b
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap_err()
+            .is_timeout());
+    }
+
+    /// The satellite bugfix: a receive wait under `Clock::Virtual` must
+    /// observe the shared clock. Advancing virtual time past the wait's
+    /// deadline releases it promptly — the thread must not stay parked
+    /// for the full 10 s of wall time the old path would have waited.
+    #[test]
+    fn virtual_clock_advance_releases_the_wait() {
+        let net = instant_net();
+        let ticks = Arc::new(AtomicU64::new(1_000));
+        let clock = Clock::Virtual(ticks.clone());
+        let t = SimnetTransport::new(net.add_node("a").unwrap(), clock);
+        let advancer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            // Jump virtual time far past the 10-second deadline.
+            ticks.fetch_add(60_000_000, Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        let err = t.recv_timeout(Duration::from_secs(10)).unwrap_err();
+        assert!(err.is_timeout());
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "virtual advance must release the wait well before the wall deadline"
+        );
+        advancer.join().unwrap();
+    }
+
+    /// Arrivals wake a virtual-clock wait immediately even though virtual
+    /// time never moves.
+    #[test]
+    fn virtual_clock_wait_wakes_on_arrival() {
+        let net = instant_net();
+        let clock = Clock::Virtual(Arc::new(AtomicU64::new(0)));
+        let a = net.add_node("a").unwrap();
+        let b = SimnetTransport::new(net.add_node("b").unwrap(), clock);
+        a.send(NodeId::from_index(1), Bytes::from_static(b"x"))
+            .unwrap();
+        let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.payload.as_ref(), b"x");
+    }
+}

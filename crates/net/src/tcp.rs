@@ -1,0 +1,441 @@
+//! [`TcpTransport`]: FarGo envelopes over real sockets.
+//!
+//! Topology: every node knows the listen address of every peer, indexed
+//! by node index (the same index order as the cluster directory). One
+//! acceptor thread takes inbound connections; each accepted connection
+//! gets a reader thread that first expects a 4-byte *hello* payload
+//! carrying the dialer's node index, then forwards every following frame
+//! into the transport's single receive queue. Outbound connections are
+//! cached per peer in a links map and lazily (re)dialed.
+//!
+//! Failure philosophy: a connect refusal, reset, or short write is
+//! *packet loss*, not an error — the link is torn down, the datagram is
+//! dropped, and the reliable layer's retransmission dials again. Only
+//! conditions retransmission cannot cure (an out-of-range destination, a
+//! gate refusal, local shutdown) surface as errors, mirroring
+//! `simnet::Network::send`.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use simnet::NetError;
+
+use crate::error::TransportError;
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::transport::{Datagram, DeliveryGate, Transport};
+
+/// Poll cadence of the reader threads' read timeout: the worst-case
+/// extra shutdown latency. Data arrival wakes a read immediately; this
+/// only bounds how stale the shutdown-flag check can get.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Poll cadence of the acceptor thread. Unlike the readers, the
+/// acceptor's sleep sits on the *first-message* critical path (a fresh
+/// connection is not read until accepted), so it must stay well under
+/// the smallest retransmission backoff anyone configures — otherwise
+/// every first contact between two Cores costs a spurious retransmit.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// How long an outbound dial may take before the datagram is dropped.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Static description of one node's place in a TCP cluster.
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// This node's index; `peers[local]` is (nominally) our own address.
+    pub local: u32,
+    /// Listen address of every cluster member, by node index.
+    pub peers: Vec<String>,
+}
+
+struct Shared {
+    local: u32,
+    peers: Vec<String>,
+    /// The links map: cached outbound connection per peer index. Each
+    /// stream has its own lock so concurrent sends to different peers
+    /// don't serialise; `None` entries are redialed on the next send.
+    links: Mutex<HashMap<u32, Arc<Mutex<TcpStream>>>>,
+    queue_tx: Sender<Datagram>,
+    down: AtomicBool,
+    /// Datagrams dropped at this sender (dial/write failures). Loss the
+    /// retransmission layer is expected to absorb; exposed for tests and
+    /// diagnostics.
+    dropped: AtomicU64,
+    gate: Option<DeliveryGate>,
+}
+
+/// The TCP backend. See the [module docs](self).
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    queue_rx: Receiver<Datagram>,
+}
+
+impl TcpTransport {
+    /// Starts the transport on an already-bound listener (binding is the
+    /// caller's job so ephemeral ports can be discovered first and raced
+    /// rebinds avoided). `gate` optionally keeps a simnet network as the
+    /// fault-injection control plane.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot be switched to the polling mode the
+    /// acceptor thread needs.
+    pub fn start(
+        config: TcpTransportConfig,
+        listener: TcpListener,
+        gate: Option<DeliveryGate>,
+    ) -> Result<Self, TransportError> {
+        listener.set_nonblocking(true)?;
+        let (queue_tx, queue_rx) = channel::unbounded();
+        let shared = Arc::new(Shared {
+            local: config.local,
+            peers: config.peers,
+            links: Mutex::new(HashMap::new()),
+            queue_tx,
+            down: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            gate,
+        });
+        spawn_acceptor(Arc::clone(&shared), listener);
+        Ok(TcpTransport { shared, queue_rx })
+    }
+
+    /// Binds `bind_addr` and starts the transport on it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind(
+        config: TcpTransportConfig,
+        bind_addr: &str,
+        gate: Option<DeliveryGate>,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(bind_addr)?;
+        Self::start(config, listener, gate)
+    }
+
+    /// Datagrams this sender dropped on dial or write failures.
+    #[must_use]
+    pub fn dropped_sends(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local_index(&self) -> u32 {
+        self.shared.local
+    }
+
+    fn send(&self, dst: u32, payload: Bytes) -> Result<(), TransportError> {
+        if self.shared.down.load(Ordering::SeqCst) {
+            return Err(NetError::Closed.into());
+        }
+        if dst as usize >= self.shared.peers.len() {
+            return Err(NetError::UnknownNode(simnet::NodeId::from_index(dst)).into());
+        }
+        if let Some(gate) = &self.shared.gate {
+            if !gate(self.shared.local, dst, payload.len())? {
+                return Ok(()); // injected loss: silent, like simnet
+            }
+        }
+        if dst == self.shared.local {
+            // Loopback without a socket, like simnet's self-send bypass.
+            let _ = self.shared.queue_tx.send(Datagram { src: dst, payload });
+            return Ok(());
+        }
+        let link = self.shared.link_to(dst);
+        let Some(link) = link else {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // dial failed: drop, retransmission redials
+        };
+        let mut stream = link.lock();
+        if write_frame(&mut *stream, &payload).is_err() {
+            // Half-dead connection: tear it down so the next send redials.
+            let _ = stream.shutdown(Shutdown::Both);
+            drop(stream);
+            self.shared.links.lock().remove(&dst);
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, TransportError> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.queue_rx.recv_timeout(timeout) {
+            Ok(d) => Ok(d),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.shared.down.load(Ordering::SeqCst) {
+                    Err(NetError::Closed.into())
+                } else {
+                    Err(NetError::RecvTimeout.into())
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed.into()),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Datagram>, TransportError> {
+        use crossbeam::channel::TryRecvError;
+        match self.queue_rx.try_recv() {
+            Ok(d) => Ok(Some(d)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Closed.into()),
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue_rx.len()
+    }
+
+    fn shutdown(&self) {
+        self.shared.down.store(true, Ordering::SeqCst);
+        // Closing the cached outbound streams unblocks the peers' reader
+        // threads promptly; our own readers notice `down` within `POLL`.
+        let links = std::mem::take(&mut *self.shared.links.lock());
+        for (_, link) in links {
+            let _ = link.lock().shutdown(Shutdown::Both);
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Shared {
+    /// The cached outbound link to `dst`, dialing (with a hello frame
+    /// announcing our index) when absent. `None` when the dial failed.
+    fn link_to(&self, dst: u32) -> Option<Arc<Mutex<TcpStream>>> {
+        if let Some(link) = self.links.lock().get(&dst) {
+            return Some(Arc::clone(link));
+        }
+        // Dial outside the map lock: a slow peer must not stall sends to
+        // the others. A racing second dial is harmless — last one wins.
+        let addr: SocketAddr = self.peers.get(dst as usize)?.parse().ok()?;
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).ok()?;
+        stream.set_nodelay(true).ok()?;
+        let mut hello = stream.try_clone().ok()?;
+        write_frame(&mut hello, &self.local.to_be_bytes()).ok()?;
+        let link = Arc::new(Mutex::new(stream));
+        self.links.lock().insert(dst, Arc::clone(&link));
+        Some(link)
+    }
+}
+
+fn spawn_acceptor(shared: Arc<Shared>, listener: TcpListener) {
+    thread::Builder::new()
+        .name(format!("fargo-net-accept-{}", shared.local))
+        .spawn(move || loop {
+            if shared.down.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => spawn_reader(Arc::clone(&shared), stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        })
+        .expect("failed to spawn tcp acceptor thread");
+}
+
+/// Wraps a read-timeout socket so `read_frame` sees an ordinary blocking
+/// stream: timeouts are retried (checking the shutdown flag between
+/// slices) instead of surfacing mid-frame and desynchronising it.
+struct PatientReader {
+    stream: TcpStream,
+    down: Arc<Shared>,
+}
+
+impl Read for PatientReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.down.down.load(Ordering::SeqCst) {
+                return Err(std::io::Error::other("transport shut down"));
+            }
+            match self.stream.read(buf) {
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+fn spawn_reader(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    thread::Builder::new()
+        .name(format!("fargo-net-reader-{}", shared.local))
+        .spawn(move || {
+            let mut reader = PatientReader {
+                stream,
+                down: Arc::clone(&shared),
+            };
+            // The first frame is the hello: the dialer's node index.
+            let src = match read_frame(&mut reader) {
+                Ok(b) if b.len() == 4 => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+                _ => return, // not one of ours; hang up
+            };
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(payload) => {
+                        if shared.queue_tx.send(Datagram { src, payload }).is_err() {
+                            return;
+                        }
+                    }
+                    // A framing violation is unrecoverable on a stream —
+                    // there is no resync point — so the connection dies
+                    // and the peer's next send redials.
+                    Err(
+                        FrameError::BadVersion(_) | FrameError::TooLarge(_) | FrameError::Io(_),
+                    ) => {
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn tcp reader thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let a = TcpTransport::start(
+            TcpTransportConfig {
+                local: 0,
+                peers: peers.clone(),
+            },
+            l0,
+            None,
+        )
+        .unwrap();
+        let b = TcpTransport::start(TcpTransportConfig { local: 1, peers }, l1, None).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn round_trip_and_sender_identity() {
+        let (a, b) = pair();
+        a.send(1, Bytes::from_static(b"over tcp")).unwrap();
+        let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.payload.as_ref(), b"over tcp");
+        // And the other direction (b dials its own connection).
+        b.send(0, Bytes::from_static(b"back")).unwrap();
+        let d = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.src, 1);
+        assert_eq!(d.payload.as_ref(), b"back");
+    }
+
+    #[test]
+    fn self_send_loops_back_without_a_socket() {
+        let (a, _b) = pair();
+        a.send(0, Bytes::from_static(b"me")).unwrap();
+        let d = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.payload.as_ref(), b"me");
+    }
+
+    #[test]
+    fn unknown_destination_is_definitive() {
+        let (a, _b) = pair();
+        assert!(a.send(9, Bytes::from_static(b"x")).is_err());
+    }
+
+    #[test]
+    fn unreachable_peer_drops_silently() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            // A port nobody listens on: reserve one and close it.
+            {
+                let tmp = TcpListener::bind("127.0.0.1:0").unwrap();
+                tmp.local_addr().unwrap().to_string()
+            },
+        ];
+        let a = TcpTransport::start(TcpTransportConfig { local: 0, peers }, l0, None).unwrap();
+        assert!(a.send(1, Bytes::from_static(b"void")).is_ok());
+        assert_eq!(a.dropped_sends(), 1);
+    }
+
+    #[test]
+    fn gate_refusal_and_loss() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let gate: DeliveryGate = Arc::new(|_, dst, len| {
+            if len > 100 {
+                return Err(NetError::LinkDown(
+                    simnet::NodeId::from_index(0),
+                    simnet::NodeId::from_index(dst),
+                )
+                .into());
+            }
+            Ok(len % 2 == 0) // odd payloads "lost"
+        });
+        let a = TcpTransport::start(
+            TcpTransportConfig {
+                local: 0,
+                peers: peers.clone(),
+            },
+            l0,
+            Some(gate),
+        )
+        .unwrap();
+        let b = TcpTransport::start(TcpTransportConfig { local: 1, peers }, l1, None).unwrap();
+        // Refused by the gate: an error, like a partition.
+        assert!(a.send(1, Bytes::from(vec![0u8; 128])).is_err());
+        // Dropped by the gate: silent.
+        a.send(1, Bytes::from(vec![0u8; 3])).unwrap();
+        // Admitted.
+        a.send(1, Bytes::from(vec![0u8; 4])).unwrap();
+        let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.payload.len(), 4);
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn shutdown_refuses_and_closes() {
+        let (a, b) = pair();
+        a.send(1, Bytes::from_static(b"pre")).unwrap();
+        b.recv_timeout(Duration::from_secs(5)).unwrap();
+        a.shutdown();
+        assert!(a.send(1, Bytes::from_static(b"post")).is_err());
+    }
+
+    #[test]
+    fn many_messages_keep_order_per_peer() {
+        let (a, b) = pair();
+        for i in 0..200u32 {
+            a.send(1, Bytes::from(i.to_be_bytes().to_vec())).unwrap();
+        }
+        for i in 0..200u32 {
+            let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(d.payload.as_ref(), i.to_be_bytes());
+        }
+    }
+}

@@ -388,6 +388,65 @@ impl Network {
         Ok(())
     }
 
+    /// Control-plane admission check for out-of-band transports.
+    ///
+    /// When envelopes travel over a real transport (e.g. TCP loopback),
+    /// the simnet network stays attached as the cluster's fault-injection
+    /// control plane: the transport consults `offer` before putting a
+    /// payload on the wire. `offer` applies the same admission rules and
+    /// bookkeeping as [`Network::send`] — node/link up checks, the loss
+    /// model, link statistics — but never schedules a delivery.
+    ///
+    /// Returns `Ok(true)` if the payload may be transmitted, `Ok(false)`
+    /// if the loss model dropped it (the caller must discard it silently,
+    /// exactly like a lost packet).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Network::send`]: unknown or
+    /// down node, down or missing link.
+    pub fn offer(&self, src: NodeId, dst: NodeId, len: usize) -> Result<bool, NetError> {
+        {
+            let nodes = self.inner.nodes.read();
+            let s = nodes
+                .get(src.0 as usize)
+                .ok_or(NetError::UnknownNode(src))?;
+            if !s.up {
+                return Err(NetError::NodeDown(src));
+            }
+            let d = nodes
+                .get(dst.0 as usize)
+                .ok_or(NetError::UnknownNode(dst))?;
+            if !d.up {
+                return Err(NetError::NodeDown(dst));
+            }
+        }
+
+        if src == dst {
+            return Ok(true);
+        }
+
+        let cfg = self.link_config(src, dst)?;
+        if !cfg.up {
+            return Err(NetError::LinkDown(src, dst));
+        }
+
+        let now = Instant::now();
+        let mut links = self.inner.links.lock();
+        let window = self.inner.config.stats_window;
+        let link = links.entry((src, dst)).or_insert_with(|| LinkState {
+            config: cfg.clone(),
+            busy_until: now,
+            stats: StatsWindow::new(window),
+        });
+        if cfg.loss > 0.0 && self.inner.rng.lock().gen_f64() < cfg.loss {
+            link.stats.record_drop();
+            return Ok(false);
+        }
+        link.stats.record(now, len as u64);
+        Ok(true)
+    }
+
     /// Packets currently travelling through the link model: accepted by
     /// [`Network::send`] but not yet delivered into their destination
     /// queue. Reaching zero (with all endpoint queues drained) is the

@@ -11,6 +11,22 @@ use crate::varint::{get_uvarint, put_uvarint, unzigzag, zigzag};
 /// Maximum permitted nesting depth when decoding (stack-safety bound).
 pub(crate) const MAX_DEPTH: usize = 128;
 
+/// Hard cap on a single decoded string or byte blob. Declared lengths are
+/// also bounded by the remaining input, but a transport frame can be tens
+/// of megabytes — this keeps one corrupt length prefix from turning into
+/// one allocation of that entire budget.
+pub const MAX_BLOB_BYTES: u64 = 1 << 26; // 64 MiB
+
+/// Hard cap on one list's or map's declared element count. Without it a
+/// hostile prefix could declare (input-length) elements and trigger a
+/// `Vec` pre-allocation dozens of times larger than the input itself.
+pub const MAX_COLLECTION_ITEMS: u64 = 1 << 20;
+
+/// Pre-allocation hint clamp: a *declared* count is attacker-controlled
+/// until the elements actually parse, so reserve at most this many slots
+/// up front and let the vector grow normally past it.
+const PREALLOC_HINT: u64 = 4096;
+
 const TAG_NULL: u8 = 0;
 const TAG_FALSE: u8 = 1;
 const TAG_TRUE: u8 = 2;
@@ -220,10 +236,11 @@ impl WireReader {
     ///
     /// # Errors
     ///
-    /// Fails when the declared length exceeds the remaining input.
+    /// Fails when the declared length exceeds the remaining input or the
+    /// [`MAX_BLOB_BYTES`] bound.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let len = self.get_u64()?;
-        if len > self.buf.remaining() as u64 {
+        if len > self.buf.remaining() as u64 || len > MAX_BLOB_BYTES {
             return Err(WireError::BadLength(len));
         }
         let mut out = vec![0u8; len as usize];
@@ -284,10 +301,10 @@ impl WireReader {
             TAG_BYTES => Ok(Value::Bytes(self.get_bytes()?)),
             TAG_LIST => {
                 let n = self.get_u64()?;
-                if n > self.buf.remaining() as u64 {
+                if n > self.buf.remaining() as u64 || n > MAX_COLLECTION_ITEMS {
                     return Err(WireError::BadLength(n));
                 }
-                let mut items = Vec::with_capacity(n as usize);
+                let mut items = Vec::with_capacity(n.min(PREALLOC_HINT) as usize);
                 for _ in 0..n {
                     items.push(self.get_value_at(depth + 1)?);
                 }
@@ -295,7 +312,7 @@ impl WireReader {
             }
             TAG_MAP => {
                 let n = self.get_u64()?;
-                if n > self.buf.remaining() as u64 {
+                if n > self.buf.remaining() as u64 || n > MAX_COLLECTION_ITEMS {
                     return Err(WireError::BadLength(n));
                 }
                 let mut m = std::collections::BTreeMap::new();
@@ -422,72 +439,37 @@ mod tests {
         r.expect_end().unwrap();
     }
 
-    // --- randomized tests (deterministic seeded generator) --------------
+    // --- randomized tests (deterministic seeded generator, shared with
+    // --- the fargo-net framing property tests via crate::testgen) -------
 
-    /// SplitMix64 — enough randomness for structure fuzzing, fully seeded.
-    struct TestRng(u64);
+    use crate::testgen::{gen_value, TestRng};
 
-    impl TestRng {
-        fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        }
+    #[test]
+    fn hostile_collection_count_rejected_without_allocation() {
+        // TAG_LIST declaring more elements than MAX_COLLECTION_ITEMS but
+        // fewer than the (padded) remaining bytes: before the cap this
+        // would pre-allocate a Vec<Value> far larger than the input.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_LIST).put_u64(MAX_COLLECTION_ITEMS + 1);
+        let mut bytes = w.finish().to_vec();
+        bytes.resize(bytes.len() + (MAX_COLLECTION_ITEMS as usize + 2), 0);
+        assert!(matches!(decode_value(&bytes), Err(WireError::BadLength(_))));
 
-        fn below(&mut self, n: u64) -> u64 {
-            self.next() % n
-        }
-
-        fn string(&mut self, max: usize) -> String {
-            let len = self.below(max as u64 + 1) as usize;
-            (0..len)
-                .map(|_| (b'a' + self.below(26) as u8) as char)
-                .collect()
-        }
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_MAP).put_u64(MAX_COLLECTION_ITEMS + 1);
+        let mut bytes = w.finish().to_vec();
+        bytes.resize(bytes.len() + (MAX_COLLECTION_ITEMS as usize + 2), 0);
+        assert!(matches!(decode_value(&bytes), Err(WireError::BadLength(_))));
     }
 
-    fn gen_ref(rng: &mut TestRng) -> RefDescriptor {
-        RefDescriptor {
-            target: CompletId::new(rng.next() as u32, rng.next()),
-            target_type: rng.string(12),
-            relocator: rng.string(10),
-            last_known: rng.next() as u32,
-        }
-    }
-
-    fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
-        let pick = if depth == 0 {
-            rng.below(7)
-        } else {
-            rng.below(9)
-        };
-        match pick {
-            0 => Value::Null,
-            1 => Value::Bool(rng.next() & 1 == 0),
-            2 => Value::I64(rng.next() as i64),
-            // Finite floats only (NaN breaks PartialEq comparison).
-            3 => Value::F64((rng.next() as i64 as f64) / 1e6),
-            4 => Value::Str(rng.string(24)),
-            5 => {
-                let len = rng.below(64) as usize;
-                Value::Bytes((0..len).map(|_| rng.next() as u8).collect())
-            }
-            6 => Value::Ref(gen_ref(rng)),
-            7 => {
-                let len = rng.below(8) as usize;
-                Value::List((0..len).map(|_| gen_value(rng, depth - 1)).collect())
-            }
-            _ => {
-                let len = rng.below(8) as usize;
-                Value::Map(
-                    (0..len)
-                        .map(|_| (rng.string(6), gen_value(rng, depth - 1)))
-                        .collect(),
-                )
-            }
-        }
+    #[test]
+    fn hostile_blob_length_rejected() {
+        // A declared blob length over MAX_BLOB_BYTES errors even when the
+        // buffer claims to contain that many bytes.
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_BYTES).put_u64(MAX_BLOB_BYTES + 1);
+        let bytes = w.finish();
+        assert!(matches!(decode_value(&bytes), Err(WireError::BadLength(_))));
     }
 
     #[test]
@@ -504,7 +486,7 @@ mod tests {
         let mut rng = TestRng(0xdec0de);
         for _ in 0..512 {
             let len = rng.below(256) as usize;
-            let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let _ = decode_value(&bytes);
         }
     }

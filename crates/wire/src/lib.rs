@@ -32,10 +32,14 @@ mod codec;
 mod error;
 mod id;
 mod refdesc;
+#[doc(hidden)]
+pub mod testgen;
 mod value;
 mod varint;
 
-pub use codec::{decode_value, encode_value, WireReader, WireWriter};
+pub use codec::{
+    decode_value, encode_value, WireReader, WireWriter, MAX_BLOB_BYTES, MAX_COLLECTION_ITEMS,
+};
 pub use error::WireError;
 pub use id::CompletId;
 pub use refdesc::RefDescriptor;

@@ -1,0 +1,82 @@
+//! Deterministic test-data generators (test support, not a public API).
+//!
+//! Shared by this crate's randomized codec tests and by downstream test
+//! suites that need representative [`Value`] trees — notably the
+//! transport-framing round-trip properties in `fargo-net`. Hidden from
+//! docs: the shapes generated here may change at any time.
+
+use crate::id::CompletId;
+use crate::refdesc::RefDescriptor;
+use crate::value::Value;
+
+/// SplitMix64 — enough randomness for structure fuzzing, fully seeded.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub u64);
+
+impl TestRng {
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A lowercase ASCII string of length `0..=max`.
+    pub fn string(&mut self, max: usize) -> String {
+        let len = self.below(max as u64 + 1) as usize;
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
+    }
+}
+
+/// A random [`RefDescriptor`].
+pub fn gen_ref(rng: &mut TestRng) -> RefDescriptor {
+    RefDescriptor {
+        target: CompletId::new(rng.next_u64() as u32, rng.next_u64()),
+        target_type: rng.string(12),
+        relocator: rng.string(10),
+        last_known: rng.next_u64() as u32,
+    }
+}
+
+/// A random [`Value`] tree of at most `depth` nesting levels.
+pub fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        rng.below(7)
+    } else {
+        rng.below(9)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 0),
+        2 => Value::I64(rng.next_u64() as i64),
+        // Finite floats only (NaN breaks PartialEq comparison).
+        3 => Value::F64((rng.next_u64() as i64 as f64) / 1e6),
+        4 => Value::Str(rng.string(24)),
+        5 => {
+            let len = rng.below(64) as usize;
+            Value::Bytes((0..len).map(|_| rng.next_u64() as u8).collect())
+        }
+        6 => Value::Ref(gen_ref(rng)),
+        7 => {
+            let len = rng.below(8) as usize;
+            Value::List((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.below(8) as usize;
+            Value::Map(
+                (0..len)
+                    .map(|_| (rng.string(6), gen_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
