@@ -102,6 +102,20 @@ for seed in 7 11 23; do
     echo "$e21" | grep -q 'guardrail ok (tcp window'
 done
 
+# E22 guardrails, swept over the same simnet seeds: the sharded
+# location service must resolve a querier's three-hop-stale hint in at
+# most 2 network hops (p99) at every population size, both over simnet
+# and with every envelope framed on loopback TCP sockets; the chain-walk
+# baseline rows are informational.
+for seed in 7 11 23; do
+    echo "==> experiments json smoke (E22, seed $seed)"
+    e22=$(FARGO_SIMNET_SEED=$seed \
+        cargo run -q -p fargo-bench --bin experiments --release -- json E22)
+    echo "$e22" | grep -q 'guardrail ok ('
+    echo "$e22" | grep -q 'shard/tcp'
+    if echo "$e22" | grep -q 'guardrail FAILED'; then exit 1; fi
+done
+
 # Multi-process smoke test: three OS processes, one Core each, framed
 # envelopes over loopback sockets. The parent drives an invoke + migrate
 # script through node 0 and insists on clean child shutdown.

@@ -53,8 +53,12 @@ pub fn run(full: bool) -> Table {
 /// Builds a k-hop wanderer and times the first and second invocation from
 /// the origin Core.
 fn chain_run(k: usize, tracking: TrackingMode) -> (Duration, Duration) {
+    // Naming off: E1 is the chains-vs-home ablation; shard lookups and
+    // gossip repairs would flatten the chain walk being measured (E22
+    // measures that effect deliberately).
     let cluster = ClusterSpec::with_latency(k + 1, HOP_LATENCY)
         .tracking(tracking)
+        .config_tweak(|c| c.with_naming_shards(false))
         .build();
     let servant = cluster.cores[0]
         .new_complet("Servant", &[])

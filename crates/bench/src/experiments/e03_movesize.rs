@@ -41,8 +41,11 @@ pub fn run(full: bool) -> Table {
 }
 
 fn move_run(size: usize) -> (Duration, u64, u64) {
+    // Naming off: shard-publish notifies would pollute the per-move
+    // byte accounting.
     let cluster = ClusterSpec::instant(2)
         .link(LinkConfig::new(Duration::from_millis(1)).with_bandwidth(100_000_000))
+        .config_tweak(|c| c.with_naming_shards(false))
         .build();
     let servant = cluster.cores[0]
         .new_complet("Servant", &[])

@@ -41,7 +41,11 @@ pub fn run(full: bool) -> Table {
 
 /// Root holder pulls a star of k dependants; one move request.
 fn comove_run(k: usize) -> (Duration, u64) {
-    let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2)).build();
+    // Naming off: constant-size shard publishes would skew the raw
+    // message counts this experiment reports.
+    let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2))
+        .config_tweak(|c| c.with_naming_shards(false))
+        .build();
     let root = cluster.cores[0].new_complet("Holder", &[]).expect("root");
     for _ in 0..k {
         let dep = cluster.cores[0].new_complet("Servant", &[]).expect("dep");
@@ -58,7 +62,11 @@ fn comove_run(k: usize) -> (Duration, u64) {
 
 /// k + 1 unrelated complets moved one by one.
 fn independent_run(k: usize) -> (Duration, u64) {
-    let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2)).build();
+    // Naming off: constant-size shard publishes would skew the raw
+    // message counts this experiment reports.
+    let cluster = ClusterSpec::with_latency(2, Duration::from_millis(2))
+        .config_tweak(|c| c.with_naming_shards(false))
+        .build();
     let complets: Vec<_> = (0..=k)
         .map(|_| {
             cluster.cores[0]

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E21; E19/E20 are reserved by ROADMAP items). Each module regenerates one experiment
+//! The experiment suite (E1–E22; E19/E20 are reserved by ROADMAP items). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -20,6 +20,7 @@ pub mod e16_checker;
 pub mod e17_tail;
 pub mod e18_account;
 pub mod e21_transport;
+pub mod e22_naming;
 
 use crate::Table;
 
@@ -136,6 +137,12 @@ pub fn all() -> Vec<Experiment> {
             summary:
                 "transport scaling: >=10k concurrent in-flight RPCs on one Core; TCP-loopback vs simnet request-reply throughput",
             run: e21_transport::run,
+        },
+        Experiment {
+            id: "E22",
+            summary:
+                "sharded location service: lookup hops and latency flat vs population; chain-walk baseline; TCP backend",
+            run: e22_naming::run,
         },
     ]
 }

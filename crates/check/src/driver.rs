@@ -437,7 +437,14 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
             ));
         } else {
             let events = cl.merged_journal();
-            violations.extend(oracles::check_all(&events));
+            let mut found = oracles::check_all(&events);
+            if cfg.stress {
+                // Location publishes are one-shot notifies: injected loss
+                // can legitimately leave a shard stale at rest, so the
+                // shard oracle only binds on lossless links.
+                found.retain(|v| v.oracle != "shard");
+            }
+            violations.extend(found);
             violations.extend(audit_counters(&cl, &refs, &audits, cfg.stress));
         }
     }

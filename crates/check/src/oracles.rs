@@ -16,7 +16,8 @@ use fargo_telemetry::{JournalEvent, JournalKind, LayoutHistory};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which oracle fired (`"single-copy"`, `"tracker-chain"`, `"hlc"`,
-    /// `"chain-growth"`, `"counter"`, `"stuck"`, `"op-error"`).
+    /// `"shard"`, `"chain-growth"`, `"counter"`, `"stuck"`,
+    /// `"op-error"`).
     pub oracle: &'static str,
     /// The complet / core the breach is about.
     pub subject: String,
@@ -45,10 +46,15 @@ impl fmt::Display for Violation {
 }
 
 /// Runs every journal-only oracle over a merged, quiescent timeline.
+///
+/// Includes [`shard_consistency`], which assumes location publishes were
+/// actually delivered — true on the deterministic checker's lossless
+/// links; under injected loss the driver filters its findings out.
 pub fn check_all(events: &[JournalEvent]) -> Vec<Violation> {
     let mut out = single_live_copy(events);
     out.extend(tracker_chains(events));
     out.extend(hlc_causality(events));
+    out.extend(shard_consistency(events));
     out
 }
 
@@ -176,6 +182,67 @@ pub fn hlc_causality(events: &[JournalEvent]) -> Vec<Violation> {
                     ),
                 ));
             }
+        }
+    }
+    out
+}
+
+/// **Shard map matches ground truth at quiescence.** Replaying the
+/// accepted shard applies (`shard_apply` journal entries), the
+/// highest-epoch belief for every complet must agree with the final
+/// placement reconstructed from arrivals/departures: a live belief must
+/// name the hosting Core, and a tombstone must mean the complet is
+/// gone. At equal epochs a tombstone beats a live entry, mirroring the
+/// shard's own apply rule. Complets that never touched a shard (naming
+/// disabled) are skipped, so chains-only runs stay clean.
+pub fn shard_consistency(events: &[JournalEvent]) -> Vec<Violation> {
+    // Highest-epoch belief per complet: (epoch, node, alive). The merge
+    // is order-independent on purpose — handoffs re-journal the same
+    // entry at the new owner, and overlap may interleave epochs.
+    let mut belief: BTreeMap<&str, (u64, u32, bool)> = BTreeMap::new();
+    for ev in events {
+        if ev.kind != JournalKind::ShardApplied {
+            continue;
+        }
+        let epoch: u64 = ev.detail.parse().unwrap_or(0);
+        let alive = ev.object != "gone";
+        let node = ev.peer.unwrap_or(u32::MAX);
+        match belief.get_mut(ev.subject.as_str()) {
+            Some(b) => {
+                if epoch > b.0 || (epoch == b.0 && b.2 && !alive) {
+                    *b = (epoch, node, alive);
+                }
+            }
+            None => {
+                belief.insert(ev.subject.as_str(), (epoch, node, alive));
+            }
+        }
+    }
+    if belief.is_empty() {
+        return Vec::new();
+    }
+    let placement = LayoutHistory::from_events(events.to_vec())
+        .final_state()
+        .placement;
+    let mut out = Vec::new();
+    for (id, (epoch, node, alive)) in belief {
+        match placement.get(id) {
+            Some(&host) if alive && host != node => out.push(Violation::new(
+                "shard",
+                id,
+                format!("shard believes n{node} (epoch {epoch}) but the live copy is on n{host}"),
+            )),
+            Some(&host) if !alive => out.push(Violation::new(
+                "shard",
+                id,
+                format!("shard holds a tombstone (epoch {epoch}) but the complet lives on n{host}"),
+            )),
+            None if alive => out.push(Violation::new(
+                "shard",
+                id,
+                format!("shard believes n{node} (epoch {epoch}) but the complet is retired"),
+            )),
+            _ => {}
         }
     }
     out

@@ -5,7 +5,9 @@
 
 use std::collections::BTreeMap;
 
-use fargo_check::oracles::{check_all, hlc_causality, single_live_copy, tracker_chains};
+use fargo_check::oracles::{
+    check_all, hlc_causality, shard_consistency, single_live_copy, tracker_chains,
+};
 use fargo_telemetry::{Hlc, JournalEvent, JournalKind};
 
 /// Builds journals with per-core monotone seqs and a global HLC order,
@@ -40,6 +42,39 @@ impl Journal {
             object: String::new(),
             detail: String::new(),
             peer,
+        });
+        self
+    }
+
+    /// A `shard_apply` entry as the runtime journals it: object = node
+    /// (or `"gone"` for a tombstone), detail = move epoch, peer = node.
+    fn push_shard(
+        &mut self,
+        core: u32,
+        subject: &str,
+        node: u32,
+        epoch: u64,
+        alive: bool,
+    ) -> &mut Self {
+        self.t += 1;
+        let seq = self.seqs.entry(core).or_insert(0);
+        *seq += 1;
+        self.events.push(JournalEvent {
+            hlc: Hlc {
+                wall_us: self.t,
+                logical: 0,
+            },
+            core,
+            seq: *seq,
+            kind: JournalKind::ShardApplied,
+            subject: subject.to_owned(),
+            object: if alive {
+                node.to_string()
+            } else {
+                "gone".to_owned()
+            },
+            detail: epoch.to_string(),
+            peer: Some(node),
         });
         self
     }
@@ -173,6 +208,95 @@ fn retired_complets_need_no_chain() {
     let mut j = Journal::default();
     j.push(0, JournalKind::TrackerForwarded, "c0.9", Some(1));
     assert_eq!(tracker_chains(&j.events), vec![]);
+}
+
+#[test]
+fn consistent_shard_history_is_clean() {
+    // Create on n1 (published at the owner, n2), move to n2 (republished
+    // at the bumped epoch): shard belief tracks the live copy throughout.
+    let mut j = Journal::default();
+    j.push(1, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, true)
+        .push(1, JournalKind::CompletDeparted, "c1.1", None)
+        .push(2, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 2, 1, true);
+    assert_eq!(check_all(&j.events), vec![]);
+}
+
+#[test]
+fn stale_shard_belief_fires() {
+    // The move's publish never reached the shard: its highest-epoch
+    // belief still names the old host at rest.
+    let mut j = Journal::default();
+    j.push(1, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, true)
+        .push(1, JournalKind::CompletDeparted, "c1.1", None)
+        .push(0, JournalKind::CompletArrived, "c1.1", None);
+    let v = shard_consistency(&j.events);
+    assert_eq!(oracle_names(&v), ["shard"]);
+    assert!(v[0].detail.contains("live copy is on n0"), "{v:?}");
+}
+
+#[test]
+fn tombstone_for_live_complet_fires() {
+    let mut j = Journal::default();
+    j.push(1, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, true)
+        .push_shard(2, "c1.1", 1, 1, false); // no departure: still live
+    let v = shard_consistency(&j.events);
+    assert_eq!(oracle_names(&v), ["shard"]);
+    assert!(v[0].detail.contains("tombstone"), "{v:?}");
+}
+
+#[test]
+fn live_belief_for_retired_complet_fires() {
+    // Released without the release's tombstone publish landing.
+    let mut j = Journal::default();
+    j.push(1, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, true)
+        .push(1, JournalKind::CompletDeparted, "c1.1", None);
+    let v = shard_consistency(&j.events);
+    assert_eq!(oracle_names(&v), ["shard"]);
+    assert!(v[0].detail.contains("retired"), "{v:?}");
+}
+
+#[test]
+fn tombstoned_release_is_clean() {
+    let mut j = Journal::default();
+    j.push(1, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, true)
+        .push(1, JournalKind::CompletDeparted, "c1.1", None)
+        .push_shard(2, "c1.1", 1, 0, false); // tombstone at the same epoch
+    assert_eq!(shard_consistency(&j.events), vec![]);
+}
+
+#[test]
+fn shard_oracle_skips_unpublished_complets() {
+    // Naming disabled: moves journal no shard applies; the oracle must
+    // stay quiet rather than flag every complet as unknown to the shard.
+    let mut j = Journal::default();
+    j.push(0, JournalKind::CompletArrived, "c0.1", None)
+        .push(0, JournalKind::CompletDeparted, "c0.1", None)
+        .push(1, JournalKind::CompletArrived, "c0.1", None);
+    assert_eq!(shard_consistency(&j.events), vec![]);
+}
+
+#[test]
+fn shard_belief_merge_is_order_independent() {
+    // A handoff re-journals an older entry at the new owner *after* the
+    // newer epoch was applied elsewhere: highest epoch still wins.
+    let mut j = Journal::default();
+    j.push(2, JournalKind::CompletArrived, "c1.1", None)
+        .push_shard(0, "c1.1", 2, 1, true)
+        .push_shard(3, "c1.1", 1, 0, true); // stale duplicate, late
+    assert_eq!(shard_consistency(&j.events), vec![]);
+
+    // At equal epochs the tombstone wins regardless of journal order,
+    // mirroring the shard's apply rule.
+    let mut j = Journal::default();
+    j.push_shard(2, "c1.2", 1, 3, false)
+        .push_shard(3, "c1.2", 1, 3, true);
+    assert_eq!(shard_consistency(&j.events), vec![]);
 }
 
 #[test]

@@ -146,6 +146,19 @@ pub struct CoreConfig {
     pub slo_rules: Vec<fargo_telemetry::SloRule>,
     /// Which transport backend carries this Core's envelopes.
     pub transport: TransportKind,
+    /// Whether the sharded location service runs: the home-registry role
+    /// is consistent-hashed across Cores, each Core holds a
+    /// `LocationShard` of authoritative `(complet → Core, epoch)`
+    /// entries, and layout deltas are gossiped. Off restores pure
+    /// chain/home tracking.
+    pub naming_shards: bool,
+    /// Virtual nodes per Core on the consistent-hash ring; more vnodes
+    /// spread ownership more evenly and shrink handoffs on membership
+    /// change.
+    pub naming_vnodes: usize,
+    /// Maximum shard deltas piggybacked on one outbound envelope (the
+    /// rest wait for later traffic or the anti-entropy pass).
+    pub naming_gossip_batch: usize,
 }
 
 impl Default for CoreConfig {
@@ -185,6 +198,9 @@ impl Default for CoreConfig {
             account_capacity: 512,
             slo_rules: fargo_telemetry::default_slo_rules(),
             transport: TransportKind::Simnet,
+            naming_shards: true,
+            naming_vnodes: 16,
+            naming_gossip_batch: 32,
         }
     }
 }
@@ -332,6 +348,27 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with the sharded location service switched on or
+    /// off.
+    pub fn with_naming_shards(mut self, enabled: bool) -> Self {
+        self.naming_shards = enabled;
+        self
+    }
+
+    /// Configuration with the consistent-hash ring's virtual-node count
+    /// replaced (minimum one).
+    pub fn with_naming_vnodes(mut self, vnodes: usize) -> Self {
+        self.naming_vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Configuration with the per-envelope gossip batch size replaced
+    /// (`0` disables piggybacking; anti-entropy still runs).
+    pub fn with_naming_gossip_batch(mut self, batch: usize) -> Self {
+        self.naming_gossip_batch = batch;
+        self
+    }
+
     /// The anomaly thresholds as the telemetry-layer struct.
     pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
         fargo_telemetry::AnomalyThresholds {
@@ -400,6 +437,21 @@ mod tests {
         assert!(!c.accounting);
         assert_eq!(c.account_capacity, 64);
         assert_eq!(c.slo_rules.len(), 1);
+    }
+
+    #[test]
+    fn naming_knobs() {
+        let c = CoreConfig::default();
+        assert!(c.naming_shards, "sharded naming is on by default");
+        assert_eq!(c.naming_vnodes, 16);
+        assert!(c.naming_gossip_batch > 0);
+        let c = c
+            .with_naming_shards(false)
+            .with_naming_vnodes(0)
+            .with_naming_gossip_batch(0);
+        assert!(!c.naming_shards);
+        assert_eq!(c.naming_vnodes, 1, "vnodes clamp to >= 1");
+        assert_eq!(c.naming_gossip_batch, 0);
     }
 
     #[test]

@@ -143,6 +143,14 @@ pub(crate) enum Request {
     MoveRequest { id: CompletId, dest: u32 },
     /// Where does the receiver (a home registry) believe this complet is?
     WhereIs { id: CompletId },
+    /// Where does the receiver's *location shard* believe this complet
+    /// is? Asked of the complet's ring owner; answered with
+    /// [`Reply::LocateOk`] carrying the entry's move epoch so the caller
+    /// can rank it against its own hints.
+    LocateQuery { id: CompletId },
+    /// List the live entries of the receiver's location shard (the
+    /// planner's one-RPC-per-Core placement read).
+    ShardList,
     /// Subscribe a listener to the receiver's events.
     Subscribe {
         selector: String,
@@ -191,6 +199,8 @@ impl Request {
             Request::FetchState { .. } => "fetch",
             Request::MoveRequest { .. } => "move_req",
             Request::WhereIs { .. } => "where",
+            Request::LocateQuery { .. } => "locate",
+            Request::ShardList => "shard_list",
             Request::Subscribe { .. } => "subscribe",
             Request::Unsubscribe { .. } => "unsubscribe",
             Request::ListComplets => "list",
@@ -212,6 +222,8 @@ impl Request {
             Request::NameLookup { .. }
                 | Request::FetchState { .. }
                 | Request::WhereIs { .. }
+                | Request::LocateQuery { .. }
+                | Request::ShardList
                 | Request::ListComplets
                 | Request::ListTrackers
                 | Request::TraceSpans { .. }
@@ -236,6 +248,8 @@ impl Request {
             self,
             Request::NameLookup { .. }
                 | Request::WhereIs { .. }
+                | Request::LocateQuery { .. }
+                | Request::ShardList
                 | Request::ListComplets
                 | Request::ListTrackers
                 | Request::TraceSpans { .. }
@@ -289,6 +303,19 @@ pub(crate) enum Reply {
     WhereOk {
         node: Option<u32>,
     },
+    /// A location shard's answer to [`Request::LocateQuery`]: the node
+    /// the shard believes hosts the complet (`None` = no entry or a
+    /// tombstone) and the move epoch of that belief (0 = never moved;
+    /// omitted on the wire).
+    LocateOk {
+        node: Option<u32>,
+        epoch: u64,
+    },
+    /// The replying Core's live location-shard entries:
+    /// `(complet, node, epoch)`.
+    ShardEntries {
+        entries: Vec<(CompletId, u32, u64)>,
+    },
     /// Complets resident at the replying Core: `(id, type_name)`.
     Complets {
         items: Vec<(CompletId, String)>,
@@ -333,6 +360,12 @@ pub(crate) enum Notify {
     },
     /// An event fired at a remote Core this Core subscribed to.
     Event { token: u64, payload: EventPayload },
+    /// A batch of location-shard deltas gossiped to the owning shard (or
+    /// anti-entropy peers): `(complet, node, epoch, alive)`. `alive =
+    /// false` is a tombstone (the complet was released).
+    ShardDelta {
+        entries: Vec<(CompletId, u32, u64, bool)>,
+    },
     /// The sending Core is about to shut down.
     CoreShutdown { node: u32 },
 }
@@ -636,6 +669,37 @@ fn matrix_cell_from_value(v: &Value) -> Result<MatrixCell> {
     })
 }
 
+/// Shard deltas cross the wire as flat 4-element lists:
+/// `[id, node, epoch, alive]`.
+fn shard_delta_to_value(d: &(CompletId, u32, u64, bool)) -> Value {
+    Value::list([
+        id_to_value(d.0),
+        Value::from(d.1),
+        Value::I64(d.2 as i64),
+        Value::from(d.3),
+    ])
+}
+
+fn shard_delta_from_value(v: &Value) -> Result<(CompletId, u32, u64, bool)> {
+    let id = id_from_value(
+        v.index(0)
+            .ok_or_else(|| FargoError::Protocol("bad shard delta".into()))?,
+    )?;
+    let node = v
+        .index(1)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| FargoError::Protocol("bad shard delta node".into()))? as u32;
+    let epoch =
+        v.index(2)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| FargoError::Protocol("bad shard delta epoch".into()))? as u64;
+    let alive = v
+        .index(3)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| FargoError::Protocol("bad shard delta alive".into()))?;
+    Ok((id, node, epoch, alive))
+}
+
 fn journal_event_from_value(v: &Value) -> Result<JournalEvent> {
     let int = |i: usize| -> Result<i64> {
         v.index(i)
@@ -849,6 +913,10 @@ impl Request {
             Request::WhereIs { id } => {
                 Value::map([("kind", Value::from("where")), ("id", id_to_value(*id))])
             }
+            Request::LocateQuery { id } => {
+                Value::map([("kind", Value::from("locate")), ("id", id_to_value(*id))])
+            }
+            Request::ShardList => Value::map([("kind", Value::from("shard_list"))]),
             Request::Subscribe {
                 selector,
                 threshold,
@@ -935,6 +1003,10 @@ impl Request {
             "where" => Ok(Request::WhereIs {
                 id: id_from_value(&value_field(v, "id")?)?,
             }),
+            "locate" => Ok(Request::LocateQuery {
+                id: id_from_value(&value_field(v, "id")?)?,
+            }),
+            "shard_list" => Ok(Request::ShardList),
             "subscribe" => Ok(Request::Subscribe {
                 selector: str_field(v, "selector")?,
                 threshold: v.get("threshold").and_then(Value::as_f64),
@@ -1017,6 +1089,35 @@ impl Reply {
             Reply::WhereOk { node } => Value::map([
                 ("kind", Value::from("where_ok")),
                 ("node", Value::from(node.map(i64::from))),
+            ]),
+            Reply::LocateOk { node, epoch } => {
+                let mut m = Value::map([
+                    ("kind", Value::from("locate_ok")),
+                    ("node", Value::from(node.map(i64::from))),
+                ]);
+                // Non-zero only, as for `Reply::InvokeOk::epoch`.
+                if *epoch != 0 {
+                    m.insert("epoch", Value::I64(*epoch as i64));
+                }
+                m
+            }
+            Reply::ShardEntries { entries } => Value::map([
+                ("kind", Value::from("shard_entries")),
+                (
+                    "entries",
+                    Value::List(
+                        entries
+                            .iter()
+                            .map(|(id, node, epoch)| {
+                                Value::list([
+                                    id_to_value(*id),
+                                    Value::from(*node),
+                                    Value::I64(*epoch as i64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Reply::Complets { items } => Value::map([
                 ("kind", Value::from("complets")),
@@ -1124,6 +1225,33 @@ impl Reply {
             "where_ok" => Ok(Reply::WhereOk {
                 node: v.get("node").and_then(Value::as_i64).map(|n| n as u32),
             }),
+            "locate_ok" => Ok(Reply::LocateOk {
+                node: v.get("node").and_then(Value::as_i64).map(|n| n as u32),
+                epoch: v
+                    .get("epoch")
+                    .and_then(Value::as_i64)
+                    .map_or(0, |e| e as u64),
+            }),
+            "shard_entries" => {
+                let entries =
+                    list_field(v, "entries")?
+                        .iter()
+                        .map(|item| {
+                            let id =
+                                id_from_value(item.index(0).ok_or_else(|| {
+                                    FargoError::Protocol("bad shard entry".into())
+                                })?)?;
+                            let node = item.index(1).and_then(Value::as_i64).ok_or_else(|| {
+                                FargoError::Protocol("bad shard entry node".into())
+                            })? as u32;
+                            let epoch = item.index(2).and_then(Value::as_i64).ok_or_else(|| {
+                                FargoError::Protocol("bad shard entry epoch".into())
+                            })? as u64;
+                            Ok((id, node, epoch))
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                Ok(Reply::ShardEntries { entries })
+            }
             "complets" => {
                 let items = list_field(v, "items")?
                     .iter()
@@ -1218,6 +1346,13 @@ impl Notify {
                 ("token", Value::I64(*token as i64)),
                 ("payload", payload.to_value()),
             ]),
+            Notify::ShardDelta { entries } => Value::map([
+                ("kind", Value::from("shard_delta")),
+                (
+                    "entries",
+                    Value::List(entries.iter().map(shard_delta_to_value).collect()),
+                ),
+            ]),
             Notify::CoreShutdown { node } => Value::map([
                 ("kind", Value::from("shutdown")),
                 ("node", Value::from(*node)),
@@ -1238,6 +1373,12 @@ impl Notify {
             "event" => Ok(Notify::Event {
                 token: u64_field(v, "token")?,
                 payload: EventPayload::from_value(&value_field(v, "payload")?)?,
+            }),
+            "shard_delta" => Ok(Notify::ShardDelta {
+                entries: list_field(v, "entries")?
+                    .iter()
+                    .map(shard_delta_from_value)
+                    .collect::<Result<Vec<_>>>()?,
             }),
             "shutdown" => Ok(Notify::CoreShutdown {
                 node: u64_field(v, "node")? as u32,
@@ -1285,6 +1426,20 @@ impl Message {
     /// omitted entirely when `None`, so envelopes stay byte-compatible
     /// with peers (and configurations) that never stamp them.
     pub fn encode_with_meta(&self, hlc: Option<Hlc>, ts: Option<u64>) -> bytes::Bytes {
+        self.encode_with_meta_nd(hlc, ts, &[])
+    }
+
+    /// Encodes the message with the optional envelope metadata plus a
+    /// batch of piggybacked location-shard deltas (`nd` field, flat
+    /// `[id, node, epoch, alive]` lists). Gossip rides whatever traffic
+    /// is already flowing between two Cores; an empty batch omits the
+    /// field entirely, so delta-free envelopes stay byte-compatible.
+    pub fn encode_with_meta_nd(
+        &self,
+        hlc: Option<Hlc>,
+        ts: Option<u64>,
+        nd: &[(CompletId, u32, u64, bool)],
+    ) -> bytes::Bytes {
         let mut v = match self {
             Message::Request {
                 req_id,
@@ -1333,6 +1488,12 @@ impl Message {
         if let Some(ts) = ts {
             v.insert("ts", Value::I64(ts as i64));
         }
+        if !nd.is_empty() {
+            v.insert(
+                "nd",
+                Value::List(nd.iter().map(shard_delta_to_value).collect()),
+            );
+        }
         encode_value(&v)
     }
 
@@ -1362,6 +1523,23 @@ impl Message {
     /// receive path subtracts `ts` from its own clock to attribute the
     /// network phase of the request's latency.
     pub fn decode_with_meta(bytes: &[u8]) -> Result<(Message, Option<Hlc>, Option<u64>)> {
+        let (msg, hlc, ts, _) = Message::decode_with_meta_nd(bytes)?;
+        Ok((msg, hlc, ts))
+    }
+
+    /// Decodes a message plus all optional envelope metadata *and* any
+    /// piggybacked location-shard deltas (`nd` field). The receive path
+    /// feeds the deltas to the local shard/cache before dispatching the
+    /// message itself.
+    #[allow(clippy::type_complexity)]
+    pub fn decode_with_meta_nd(
+        bytes: &[u8],
+    ) -> Result<(
+        Message,
+        Option<Hlc>,
+        Option<u64>,
+        Vec<(CompletId, u32, u64, bool)>,
+    )> {
         let v = decode_value(bytes)?;
         let hlc = v.get("hlc").and_then(|h| {
             Some(Hlc {
@@ -1392,7 +1570,14 @@ impl Message {
             )?)?)),
             other => Err(FargoError::Protocol(format!("unknown envelope {other:?}"))),
         }?;
-        Ok((msg, hlc, ts))
+        let nd = match v.get("nd").and_then(Value::as_list) {
+            Some(items) => items
+                .iter()
+                .map(shard_delta_from_value)
+                .collect::<Result<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Ok((msg, hlc, ts, nd))
     }
 }
 
@@ -1664,6 +1849,109 @@ mod tests {
             stamped.to_value().get("epoch").and_then(Value::as_i64),
             Some(9)
         );
+    }
+
+    #[test]
+    fn naming_messages_roundtrip() {
+        let id = CompletId::new(2, 9);
+        roundtrip(Message::Request {
+            req_id: 11,
+            origin: 0,
+            trace: None,
+            body: Request::LocateQuery { id },
+        });
+        roundtrip(Message::Request {
+            req_id: 12,
+            origin: 0,
+            trace: None,
+            body: Request::ShardList,
+        });
+        for body in [
+            Reply::LocateOk {
+                node: Some(3),
+                epoch: 5,
+            },
+            Reply::LocateOk {
+                node: Some(3),
+                epoch: 0,
+            },
+            Reply::LocateOk {
+                node: None,
+                epoch: 0,
+            },
+            Reply::ShardEntries {
+                entries: vec![(id, 3, 5), (CompletId::new(0, 1), 1, 0)],
+            },
+            Reply::ShardEntries { entries: vec![] },
+        ] {
+            roundtrip(Message::Reply {
+                req_id: 11,
+                route: vec![0],
+                body,
+            });
+        }
+        roundtrip(Message::Notify(Notify::ShardDelta {
+            entries: vec![(id, 3, 5, true), (CompletId::new(0, 1), 1, 2, false)],
+        }));
+    }
+
+    #[test]
+    fn epochless_locate_reply_stays_byte_compatible() {
+        // As for `Reply::InvokeOk`: epoch 0 must not appear on the wire.
+        let reply = Reply::LocateOk {
+            node: Some(1),
+            epoch: 0,
+        };
+        assert!(reply.to_value().get("epoch").is_none());
+        let stamped = Reply::LocateOk {
+            node: Some(1),
+            epoch: 4,
+        };
+        assert_eq!(
+            stamped.to_value().get("epoch").and_then(Value::as_i64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn envelope_shard_deltas_piggyback_and_are_optional() {
+        let msg = Message::Request {
+            req_id: 8,
+            origin: 0,
+            trace: None,
+            body: Request::Ping,
+        };
+        // No deltas → byte-identical to the plain encoding.
+        assert_eq!(msg.encode_with_meta_nd(None, None, &[]), msg.encode());
+        let deltas = vec![
+            (CompletId::new(0, 1), 2, 3, true),
+            (CompletId::new(1, 4), 0, 7, false),
+        ];
+        let stamped = msg.encode_with_meta_nd(
+            Some(Hlc {
+                wall_us: 10,
+                logical: 1,
+            }),
+            Some(99),
+            &deltas,
+        );
+        let (back, hlc, ts, nd) = Message::decode_with_meta_nd(&stamped).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(
+            hlc,
+            Some(Hlc {
+                wall_us: 10,
+                logical: 1
+            })
+        );
+        assert_eq!(ts, Some(99));
+        assert_eq!(nd, deltas);
+        // Plain decode ignores the field without failing.
+        let (back, _, _) = Message::decode_with_meta(&stamped).unwrap();
+        assert_eq!(back, msg);
+        // Delta-free envelopes decode with an empty batch.
+        let (_, _, _, nd) = Message::decode_with_meta_nd(&msg.encode()).unwrap();
+        assert!(nd.is_empty());
     }
 
     #[test]

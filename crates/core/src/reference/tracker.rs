@@ -99,6 +99,12 @@ impl TrackerTable {
         self.map.lock().get(&id).map(|t| t.target)
     }
 
+    /// Reads a tracker together with the move epoch it was accepted at,
+    /// so resolvers can rank it against other location hints.
+    pub fn peek_with_epoch(&self, id: CompletId) -> Option<(TrackerTarget, u64)> {
+        self.map.lock().get(&id).map(|t| (t.target, t.epoch))
+    }
+
     /// Records one successful dispatch through the tracker for `id` and
     /// refreshes its idle timestamp.
     pub fn credit(&self, id: CompletId) {

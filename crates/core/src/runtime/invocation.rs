@@ -350,6 +350,15 @@ impl Core {
     /// origin Core knows its current location).
     fn route_via_home(&self, id: CompletId) -> Route {
         let me = self.inner.node.index();
+        // The sharded location service answers in at most one hop,
+        // whoever originated the complet; the origin-bound home registry
+        // below is the fallback when naming is disabled or the shard has
+        // no entry yet.
+        if let Some((n, _epoch, _hops)) = self.shard_consult(id) {
+            if n != me {
+                return Route::Remote(n);
+            }
+        }
         if id.origin == me {
             return match self.inner.home.lock().get(&id) {
                 Some(&(n, _)) if n != me => Route::Remote(n),

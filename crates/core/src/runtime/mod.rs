@@ -11,6 +11,9 @@ pub(crate) mod movement;
 pub(crate) mod naming;
 pub(crate) mod persistence;
 pub(crate) mod reliable;
+pub(crate) mod shards;
+
+pub use shards::{LocateReport, ResolveVia};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +51,11 @@ use crate::telemetry::CoreTelemetry;
 /// How many two-phase move verdicts each Core retains for in-doubt
 /// resolution (FIFO-evicted; far above any realistic concurrent load).
 const MOVE_DECISION_LOG: usize = 1024;
+
+/// How many recent shard deltas the gossip log retains. A cursor that
+/// falls off this window resumes at the window start; anti-entropy
+/// republish covers the gap.
+const SHARD_DELTA_LOG: usize = 1024;
 
 /// The synthetic "source complet" id used when application code outside
 /// any complet invokes through a reference; profiling keys on it.
@@ -123,6 +131,20 @@ pub(crate) struct CoreInner {
     pub tick_hook_seq: AtomicU64,
     /// The SLO/health engine, fed one [`HealthSample`] per monitor tick.
     pub health: Mutex<HealthEngine>,
+    /// Consistent-hash ring assigning each complet id's authoritative
+    /// location shard to a Core (rebuilt when membership changes).
+    pub ring: Mutex<fargo_naming::HashRing>,
+    /// This Core's slice of the sharded location service: the
+    /// authoritative `(complet → node, epoch)` entries for ids the ring
+    /// assigns here.
+    pub shard: fargo_naming::LocationShard,
+    /// Recent accepted shard deltas — the feed piggybacked gossip and
+    /// anti-entropy republish drain from.
+    pub shard_deltas: fargo_naming::DeltaLog,
+    /// Per-peer read cursor into `shard_deltas` (next sequence to ship).
+    pub gossip_cursors: Mutex<HashMap<u32, u64>>,
+    /// Rotation position of the anti-entropy republish pass.
+    pub antientropy_pos: AtomicU64,
 }
 
 /// Percentile summary of one latency histogram, as returned by
@@ -340,6 +362,22 @@ impl<'a> CoreBuilder<'a> {
             tick_hooks: Mutex::new(Vec::new()),
             tick_hook_seq: AtomicU64::new(1),
             health: Mutex::new(HealthEngine::new(config.slo_rules.clone())),
+            // Membership may still be growing while Cores spawn one by
+            // one; every use refreshes the ring against the live node
+            // list, so starting from what is visible now is safe.
+            ring: Mutex::new(fargo_naming::HashRing::new(
+                &self
+                    .net
+                    .node_ids()
+                    .iter()
+                    .map(|n| n.index())
+                    .collect::<Vec<u32>>(),
+                config.naming_vnodes,
+            )),
+            shard: fargo_naming::LocationShard::new(),
+            shard_deltas: fargo_naming::DeltaLog::new(SHARD_DELTA_LOG),
+            gossip_cursors: Mutex::new(HashMap::new()),
+            antientropy_pos: AtomicU64::new(0),
             config,
         });
         let core = Core { inner };
@@ -866,6 +904,7 @@ impl Core {
         self.inner
             .telemetry
             .journal(JournalKind::TrackerCreated, &id, type_name, "", None);
+        self.publish_location(id, self.inner.node.index(), epoch, true);
     }
 
     /// Whether a complet currently lives on this Core.
@@ -952,6 +991,14 @@ impl Core {
         );
         t.journal(JournalKind::TrackerRetired, &id, "", "released", None);
         t.journal(JournalKind::RefEdgeDropped, &id, "*", "", None);
+        // Tombstone the shard entry at the current epoch so a delayed
+        // publish cannot resurrect the released complet.
+        self.publish_location(
+            id,
+            self.inner.node.index(),
+            self.current_move_epoch(id),
+            false,
+        );
         Ok(())
     }
 
@@ -1286,7 +1333,14 @@ impl Core {
         // before encoding (it rides inside the payload), so the network
         // measurement absorbs the marshal time also recorded here.
         let ts = t.phase_send_stamp();
-        let payload = msg.encode_with_meta(t.hlc_send_stamp(), ts);
+        // Gossip piggyback: whatever shard deltas this peer has not seen
+        // yet ride along in the envelope's optional `nd` field (absent —
+        // and byte-identical to the plain encoding — when caught up).
+        let nd = self.gossip_batch_for(node);
+        let payload = msg.encode_with_meta_nd(t.hlc_send_stamp(), ts, &nd);
+        if !nd.is_empty() {
+            t.naming_gossip_bytes_total.add(payload.len() as u64);
+        }
         if let Some(t0) = ts {
             t.latency_marshal_us
                 .observe(t.phase_now_us().saturating_sub(t0));
@@ -1495,8 +1549,8 @@ impl Core {
                 return;
             }
             match self.inner.transport.recv_timeout(Duration::from_millis(25)) {
-                Ok(incoming) => match Message::decode_with_meta(&incoming.payload) {
-                    Ok((msg, hlc, ts)) => {
+                Ok(incoming) => match Message::decode_with_meta_nd(&incoming.payload) {
+                    Ok((msg, hlc, ts, nd)) => {
                         let t = &self.inner.telemetry;
                         if let Some(h) = hlc {
                             t.observe_hlc(h);
@@ -1517,6 +1571,7 @@ impl Core {
                         }
                         t.record_msg_in(msg.kind_label(), incoming.payload.len());
                         t.queue_depth.set(self.inner.transport.queue_len() as f64);
+                        self.absorb_gossip(nd);
                         self.dispatch(msg);
                     }
                     Err(_) => { /* malformed datagram: drop, as a real core would */ }
@@ -1688,6 +1743,27 @@ impl Core {
                 };
                 self.finish_request(origin, req_id, reply);
             }
+            Request::LocateQuery { id } => {
+                // The authoritative answer of this Core's shard slice.
+                // `None` covers tombstones and unknown ids alike; the
+                // epoch still rides back so the asker can rank hints.
+                let (node, epoch) = match self.inner.shard.lookup(id) {
+                    Some(e) if e.alive => (Some(e.node), e.epoch),
+                    Some(e) => (None, e.epoch),
+                    None => (None, 0),
+                };
+                self.reply_to(origin, req_id, Reply::LocateOk { node, epoch });
+            }
+            Request::ShardList => {
+                let entries = self
+                    .inner
+                    .shard
+                    .alive()
+                    .into_iter()
+                    .map(|(id, e)| (id, e.node, e.epoch))
+                    .collect();
+                self.reply_to(origin, req_id, Reply::ShardEntries { entries });
+            }
             Request::Subscribe {
                 selector,
                 threshold,
@@ -1789,6 +1865,9 @@ impl Core {
                 if let Some(h) = handler {
                     thread::spawn(move || h(&payload));
                 }
+            }
+            Notify::ShardDelta { entries } => {
+                self.absorb_shard_publishes(entries);
             }
             Notify::CoreShutdown { node } => {
                 self.fire_event(EventPayload::CoreShutdown { core: node });
@@ -1932,6 +2011,9 @@ impl Core {
                     }
                     core.sweep_held_moves();
                     core.evaluate_health();
+                    // Ring refresh + anti-entropy republish for the
+                    // sharded location service (a no-op when disabled).
+                    core.naming_rebalance();
                     // Clone out of the lock: a hook may add/remove hooks.
                     let hooks: Vec<TickHook> = {
                         let guard = core.inner.tick_hooks.lock();

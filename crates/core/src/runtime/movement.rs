@@ -474,6 +474,9 @@ impl Core {
                 Some(dest_node),
             );
             self.note_location(d.id, dest_node, epoch);
+            // Commit point of the two-phase move: publish the new
+            // placement to its owning location shard.
+            self.publish_location(d.id, dest_node, epoch, true);
             if d.id.origin != me {
                 let _ = self.send_to(
                     d.id.origin,
@@ -1042,47 +1045,5 @@ impl Core {
             },
             _ => Reply::Err(FargoError::AlreadyMoving(id)),
         }
-    }
-
-    /// Resolves a complet's current host by walking location knowledge
-    /// (trackers or the home registry, depending on the mode of the Cores
-    /// consulted).
-    ///
-    /// # Errors
-    ///
-    /// Fails when no Core admits to knowing the complet.
-    pub fn locate(&self, id: CompletId) -> Result<u32> {
-        let me = self.inner.node.index();
-        if self.hosts(id) {
-            return Ok(me);
-        }
-        let mut cur = match self.inner.trackers.peek(id) {
-            Some(TrackerTarget::Forward(n)) => n,
-            _ => id.origin,
-        };
-        if cur == me {
-            // No outbound tracker and the trail leads to ourselves: we
-            // are the origin (or hold a stale self-forward), so the home
-            // registry is the remaining lead — the local tracker may
-            // simply have been idle-collected.
-            match self.local_belief(id) {
-                Some(n) if n != me => cur = n,
-                _ => return Err(FargoError::UnknownComplet(id)),
-            }
-        }
-        for _ in 0..self.inner.config.max_hops {
-            match self.rpc(cur, Request::WhereIs { id })? {
-                Reply::WhereOk { node: Some(n) } => {
-                    if n == cur {
-                        return Ok(n);
-                    }
-                    cur = n;
-                }
-                Reply::WhereOk { node: None } => return Err(FargoError::UnknownComplet(id)),
-                Reply::Err(e) => return Err(e),
-                other => return Err(FargoError::Protocol(format!("unexpected reply {other:?}"))),
-            }
-        }
-        Err(FargoError::HopLimit(self.inner.config.max_hops))
     }
 }

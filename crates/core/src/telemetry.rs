@@ -12,6 +12,8 @@ use std::collections::HashMap;
 
 use std::fmt;
 
+use parking_lot::Mutex;
+
 use fargo_telemetry::{
     Accountant, Clock, Counter, Gauge, Histogram, Hlc, HlcClock, Journal, JournalEvent,
     JournalKind, Registry, SlowLog, SpanLog, TraceContext, TrafficMatrix, WindowedHistogram,
@@ -45,6 +47,8 @@ const MSG_KINDS: &[&str] = &[
     "move_abort",
     "move_query",
     "move_decision",
+    "locate",
+    "shard_list",
     "reply",
     "notify",
 ];
@@ -63,6 +67,12 @@ pub(crate) struct CoreTelemetry {
     pub journal: Journal,
     pub clock: HlcClock,
     pub journal_enabled: bool,
+    /// Serializes the tick-then-append pair in [`journal`](Self::journal)
+    /// so ring order always matches HLC order: shard gossip journals
+    /// from the receive/notify threads while invokes journal from the
+    /// worker pool, and an unserialized interleave can append a larger
+    /// stamp at a smaller ring seq.
+    journal_stamp: Mutex<()>,
     /// Network node index of this Core, recorded on every journal event.
     node: u32,
     journal_events_total: Counter,
@@ -144,6 +154,25 @@ pub(crate) struct CoreTelemetry {
     /// Per-SLO-rule alert series: `fargo_alerts_total` edges and the
     /// `fargo_health_status` 0/1 gauge, pre-registered per rule.
     pub health_series: HashMap<String, (Counter, Gauge)>,
+
+    // Sharded location service.
+    /// `locate()` resolutions, by any path.
+    pub naming_lookups_total: Counter,
+    /// Network hops a resolution needed (0 = local/cached answer).
+    pub naming_lookup_hops: Histogram,
+    /// Shard entries published (created, moved, or tombstoned) by this
+    /// Core as the event source.
+    pub naming_publishes_total: Counter,
+    /// Stale hints detected by move-epoch mismatch and repaired.
+    pub naming_repairs_total: Counter,
+    /// Shard deltas applied from gossip (piggyback or anti-entropy).
+    pub naming_deltas_in_total: Counter,
+    /// Shard deltas sent to peers (piggyback or anti-entropy).
+    pub naming_deltas_out_total: Counter,
+    /// Encoded bytes of gossiped deltas, both directions.
+    pub naming_gossip_bytes_total: Counter,
+    /// Shard entries re-homed after a ring membership change.
+    pub naming_handoffs_total: Counter,
 }
 
 impl CoreTelemetry {
@@ -200,6 +229,7 @@ impl CoreTelemetry {
             journal: Journal::new(journal_capacity),
             clock: HlcClock::with_source(clock.clone()),
             journal_enabled,
+            journal_stamp: Mutex::new(()),
             node,
             journal_events_total: registry.counter("fargo_journal_events_total", l),
             invoke_total: registry.counter("fargo_invoke_total", l),
@@ -247,6 +277,14 @@ impl CoreTelemetry {
             moves_attempted_total: registry.counter("fargo_moves_attempted_total", l),
             move_failures_total: registry.counter("fargo_move_failures_total", l),
             health_series,
+            naming_lookups_total: registry.counter("fargo_naming_lookups_total", l),
+            naming_lookup_hops: registry.histogram("fargo_naming_lookup_hops", l, BUCKETS_COUNT),
+            naming_publishes_total: registry.counter("fargo_naming_publishes_total", l),
+            naming_repairs_total: registry.counter("fargo_naming_repairs_total", l),
+            naming_deltas_in_total: registry.counter("fargo_naming_deltas_in_total", l),
+            naming_deltas_out_total: registry.counter("fargo_naming_deltas_out_total", l),
+            naming_gossip_bytes_total: registry.counter("fargo_naming_gossip_bytes_total", l),
+            naming_handoffs_total: registry.counter("fargo_naming_handoffs_total", l),
             registry,
         }
     }
@@ -300,17 +338,25 @@ impl CoreTelemetry {
         if !self.journal_enabled {
             return;
         }
-        let hlc = self.clock.tick();
-        self.journal.append(JournalEvent {
-            hlc,
-            core: self.node,
-            seq: 0, // assigned by the ring
-            kind,
-            subject: subject.to_string(),
-            object: object.to_owned(),
-            detail: detail.to_owned(),
-            peer,
-        });
+        // Format outside the stamp lock; only the tick+append pair needs
+        // to be atomic (ring seq must be monotone in HLC per node).
+        let subject = subject.to_string();
+        let object = object.to_owned();
+        let detail = detail.to_owned();
+        {
+            let _stamp = self.journal_stamp.lock();
+            let hlc = self.clock.tick();
+            self.journal.append(JournalEvent {
+                hlc,
+                core: self.node,
+                seq: 0, // assigned by the ring
+                kind,
+                subject,
+                object,
+                detail,
+                peer,
+            });
+        }
         self.journal_events_total.inc();
     }
 

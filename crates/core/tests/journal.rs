@@ -11,7 +11,9 @@ use fargo_core::{define_complet, Anomaly, Core, Hlc, JournalEvent, JournalKind, 
 use simnet::{LinkConfig, Network, NetworkConfig};
 
 /// A cluster whose links add 1–5 ms of seeded random jitter, so messages
-/// between different Core pairs genuinely arrive out of order.
+/// between different Core pairs genuinely arrive out of order. Location
+/// gossip is pinned off: the scenario asserts chain-routed forwarding,
+/// which piggybacked shard deltas would otherwise repair away.
 fn jittery_cluster(n: usize) -> (Network, Vec<Core>) {
     let net = Network::new(NetworkConfig {
         default_link: Some(
@@ -25,7 +27,7 @@ fn jittery_cluster(n: usize) -> (Network, Vec<Core>) {
         .map(|i| {
             Core::builder(&net, &format!("core{i}"))
                 .registry(&reg)
-                .config(test_config())
+                .config(test_config().with_naming_gossip_batch(0))
                 .spawn()
                 .expect("core must spawn")
         })
@@ -128,7 +130,9 @@ fn layout_at_reconstructs_each_movement_boundary() {
 /// no return ever shortens the chain.
 #[test]
 fn anomaly_pass_flags_long_forwarding_chain() {
-    let (_net, _reg, cores) = cluster(5);
+    // Gossip off: piggybacked shard deltas would shorten the chain this
+    // scenario deliberately grows.
+    let (_net, _reg, cores) = cluster_with_config(5, test_config().with_naming_gossip_batch(0));
     let msg = cores[0].new_complet("Message", &[]).unwrap();
     let id = msg.id().to_string();
     for dest in ["core1", "core2", "core3", "core4"] {

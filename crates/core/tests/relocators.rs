@@ -99,8 +99,10 @@ fn pull_closure_moves_in_one_message() {
     // request are part of the same stream, thus only a single inter-Core
     // message is involved" (§3.3). The two-phase transfer adds one
     // constant-size MoveCommit: the closure still ships in exactly one
-    // data-bearing message (the MovePrepare).
-    let (net, _reg, cores) = cluster(2);
+    // data-bearing message (the MovePrepare). Naming is pinned off —
+    // shard publishes are constant-size control notifies, but they would
+    // skew this raw message count.
+    let (net, _reg, cores) = cluster_with_config(2, test_config().with_naming_shards(false));
     let (holder, _dep) = setup_holder_with_dep("pull", &cores);
     let before = net.link_stats(cores[0].node(), cores[1].node()).messages;
     holder.move_to("core1").unwrap();

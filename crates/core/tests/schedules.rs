@@ -158,6 +158,36 @@ fn stale_epoch_repoint_rejected() {
     teardown(&cores);
 }
 
+/// `locate()` must start the walk from the *highest-epoch* local hint.
+/// The origin's tracker stays at the first move's target while each
+/// later move's `LocationUpdate` refreshes only the home registry — the
+/// old resolver re-walked the chain from the stale tracker anyway,
+/// paying one hop per intermediate Core.
+#[test]
+fn locate_prefers_freshest_hint_epoch() {
+    // Naming off: the shard would answer in one hop by itself, hiding
+    // the hint-ordering this test pins down (gossip is off with it).
+    let (_net, _reg, cores) = cluster_with_config(3, test_config().with_naming_shards(false));
+    let msg = cores[0].new_complet("Message", &[]).unwrap();
+    let id = msg.id();
+    cores[0].move_complet(id, "core1", None).unwrap();
+    cores[1].move_complet(id, "core2", None).unwrap();
+    // Let the second move's async LocationUpdate land at the origin.
+    std::thread::sleep(Duration::from_millis(30));
+    // Precondition: the origin's tracker still points at the first hop.
+    assert_eq!(
+        tracker_of(&cores[0], id).unwrap().target,
+        TrackerTarget::Forward(cores[1].node().index())
+    );
+    let r = cores[0].locate_explain(id).unwrap();
+    assert_eq!(r.node, cores[2].node().index());
+    assert_eq!(
+        r.hops, 1,
+        "must start from the fresher home entry, not re-walk the chain"
+    );
+    teardown(&cores);
+}
+
 /// Tracker `hits` count successful dispatches only: a failed invocation
 /// must not inflate the traffic statistics the layout planner feeds on.
 #[test]

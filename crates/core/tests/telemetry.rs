@@ -11,8 +11,14 @@ use fargo_core::TrackingMode;
 /// and the host's `exec` span, each parented on the previous hop.
 #[test]
 fn trace_spans_follow_chained_invocation() {
-    let (_net, _reg, cores) =
-        cluster_with_config(3, test_config().with_tracking(TrackingMode::Chains));
+    // Gossip off: the scenario needs core0 to still believe core1 so
+    // the invocation is chain-forwarded.
+    let (_net, _reg, cores) = cluster_with_config(
+        3,
+        test_config()
+            .with_tracking(TrackingMode::Chains)
+            .with_naming_gossip_batch(0),
+    );
     let msg = cores[0].new_complet("Message", &[]).unwrap();
     msg.move_to("core1").unwrap();
     msg.move_to("core2").unwrap();
@@ -73,8 +79,14 @@ fn tracing_disabled_records_no_spans() {
 /// Shortening a tracker chain after a chained invocation is counted.
 #[test]
 fn chain_shortening_is_counted() {
-    let (_net, _reg, cores) =
-        cluster_with_config(3, test_config().with_tracking(TrackingMode::Chains));
+    // Gossip off: the scenario needs core0 to still believe core1 so
+    // the invocation is chain-forwarded.
+    let (_net, _reg, cores) = cluster_with_config(
+        3,
+        test_config()
+            .with_tracking(TrackingMode::Chains)
+            .with_naming_gossip_batch(0),
+    );
     let msg = cores[0].new_complet("Message", &[]).unwrap();
     msg.move_to("core1").unwrap();
     msg.move_to("core2").unwrap();

@@ -60,8 +60,14 @@ fn home_mode_uses_constant_messages_regardless_of_hops() {
 
 #[test]
 fn chains_mode_walks_every_intermediate_core() {
-    let (net, _reg, cores) =
-        cluster_with_config(4, test_config().with_tracking(TrackingMode::Chains));
+    // Gossip off: the test asserts the pure chain-walk message pattern,
+    // which piggybacked shard deltas would shortcut.
+    let (net, _reg, cores) = cluster_with_config(
+        4,
+        test_config()
+            .with_tracking(TrackingMode::Chains)
+            .with_naming_gossip_batch(0),
+    );
     let msg = cores[0].new_complet("Message", &[]).unwrap();
     msg.move_to("core1").unwrap();
     msg.move_to("core2").unwrap();

@@ -109,7 +109,32 @@ impl Planner {
     /// Live placement: every complet hosted on a reachable Core.
     /// Unreachable Cores simply contribute nothing — their complets are
     /// left alone this round.
+    ///
+    /// Preferred source: the sharded location service. The union of the
+    /// live shard entries across Cores is the whole placement in one
+    /// `ShardList` RPC per Core, independent of how many complets each
+    /// Core hosts (duplicates from handoff overlap resolve by highest
+    /// move epoch). When the union is empty — naming disabled, or simply
+    /// nothing published — the planner falls back to the chain-era
+    /// per-Core inventory walk.
     pub fn placement(&self) -> BTreeMap<CompletId, u32> {
+        let mut best: BTreeMap<CompletId, (u32, u64)> = BTreeMap::new();
+        for node in self.core.network().node_ids() {
+            let Ok(entries) = self.core.shard_live_at(node.index()) else {
+                continue;
+            };
+            for (id, host, epoch) in entries {
+                match best.get(&id) {
+                    Some(&(_, e)) if e >= epoch => {}
+                    _ => {
+                        best.insert(id, (host, epoch));
+                    }
+                }
+            }
+        }
+        if !best.is_empty() {
+            return best.into_iter().map(|(id, (host, _))| (id, host)).collect();
+        }
         let mut out = BTreeMap::new();
         for node in self.core.network().node_ids() {
             let name = self.core.core_name_of(node.index());

@@ -21,7 +21,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
@@ -47,6 +47,14 @@ const ACCEPT_POLL: Duration = Duration::from_millis(1);
 /// How long an outbound dial may take before the datagram is dropped.
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// First re-dial delay after a failed connect to a peer.
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Ceiling of the per-peer exponential re-dial backoff. A dead peer
+/// costs at most one `CONNECT_TIMEOUT` stall every two seconds instead
+/// of one per send.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
 /// Static description of one node's place in a TCP cluster.
 #[derive(Debug, Clone)]
 pub struct TcpTransportConfig {
@@ -63,13 +71,27 @@ struct Shared {
     /// stream has its own lock so concurrent sends to different peers
     /// don't serialise; `None` entries are redialed on the next send.
     links: Mutex<HashMap<u32, Arc<Mutex<TcpStream>>>>,
+    /// Per-peer re-dial backoff after a failed connect. Without it every
+    /// send to a dead peer eats a full `CONNECT_TIMEOUT`, stalling the
+    /// sender far harder than the loss it models.
+    backoff: Mutex<HashMap<u32, DialBackoff>>,
     queue_tx: Sender<Datagram>,
     down: AtomicBool,
     /// Datagrams dropped at this sender (dial/write failures). Loss the
     /// retransmission layer is expected to absorb; exposed for tests and
     /// diagnostics.
     dropped: AtomicU64,
+    /// Dials skipped because the peer was still in backoff; a subset of
+    /// `dropped`.
+    suppressed: AtomicU64,
     gate: Option<DeliveryGate>,
+}
+
+/// Backoff state for one peer: when the next dial may happen and the
+/// delay to impose if that dial fails too.
+struct DialBackoff {
+    next_allowed: Instant,
+    delay: Duration,
 }
 
 /// The TCP backend. See the [module docs](self).
@@ -99,9 +121,11 @@ impl TcpTransport {
             local: config.local,
             peers: config.peers,
             links: Mutex::new(HashMap::new()),
+            backoff: Mutex::new(HashMap::new()),
             queue_tx,
             down: AtomicBool::new(false),
             dropped: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
             gate,
         });
         spawn_acceptor(Arc::clone(&shared), listener);
@@ -126,6 +150,14 @@ impl TcpTransport {
     #[must_use]
     pub fn dropped_sends(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Dials skipped because the peer was still in re-dial backoff.
+    /// These sends count in [`dropped_sends`](Self::dropped_sends) too;
+    /// the difference is that no connect was attempted.
+    #[must_use]
+    pub fn suppressed_dials(&self) -> u64 {
+        self.shared.suppressed.load(Ordering::Relaxed)
     }
 }
 
@@ -218,13 +250,44 @@ impl Drop for TcpTransport {
 
 impl Shared {
     /// The cached outbound link to `dst`, dialing (with a hello frame
-    /// announcing our index) when absent. `None` when the dial failed.
+    /// announcing our index) when absent. `None` when the dial failed or
+    /// the peer is still in re-dial backoff.
     fn link_to(&self, dst: u32) -> Option<Arc<Mutex<TcpStream>>> {
         if let Some(link) = self.links.lock().get(&dst) {
             return Some(Arc::clone(link));
         }
+        if let Some(b) = self.backoff.lock().get(&dst) {
+            if Instant::now() < b.next_allowed {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         // Dial outside the map lock: a slow peer must not stall sends to
         // the others. A racing second dial is harmless — last one wins.
+        match self.dial(dst) {
+            Some(link) => {
+                self.backoff.lock().remove(&dst);
+                Some(link)
+            }
+            None => {
+                let mut backoff = self.backoff.lock();
+                let delay = backoff
+                    .get(&dst)
+                    .map_or(DIAL_BACKOFF_BASE, |b| (b.delay * 2).min(DIAL_BACKOFF_CAP));
+                backoff.insert(
+                    dst,
+                    DialBackoff {
+                        next_allowed: Instant::now() + delay,
+                        delay,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// One dial attempt: connect, hello, cache. `None` on any failure.
+    fn dial(&self, dst: u32) -> Option<Arc<Mutex<TcpStream>>> {
         let addr: SocketAddr = self.peers.get(dst as usize)?.parse().ok()?;
         let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).ok()?;
         stream.set_nodelay(true).ok()?;
@@ -377,6 +440,70 @@ mod tests {
         let a = TcpTransport::start(TcpTransportConfig { local: 0, peers }, l0, None).unwrap();
         assert!(a.send(1, Bytes::from_static(b"void")).is_ok());
         assert_eq!(a.dropped_sends(), 1);
+    }
+
+    #[test]
+    fn failed_dials_back_off_exponentially() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            // A port nobody listens on: reserve one and close it.
+            {
+                let tmp = TcpListener::bind("127.0.0.1:0").unwrap();
+                tmp.local_addr().unwrap().to_string()
+            },
+        ];
+        let a = TcpTransport::start(TcpTransportConfig { local: 0, peers }, l0, None).unwrap();
+        // First send dials for real and fails, arming the backoff.
+        a.send(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.dropped_sends(), 1);
+        assert_eq!(a.suppressed_dials(), 0);
+        // A send inside the backoff window is dropped without dialing.
+        a.send(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.dropped_sends(), 2);
+        assert_eq!(a.suppressed_dials(), 1);
+        // Past the base delay the dial is retried (and fails again,
+        // doubling the delay).
+        thread::sleep(DIAL_BACKOFF_BASE + Duration::from_millis(10));
+        a.send(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.dropped_sends(), 3);
+        assert_eq!(a.suppressed_dials(), 1);
+        // The doubled window still covers a point just past the base
+        // delay: exponential, not constant.
+        thread::sleep(DIAL_BACKOFF_BASE + Duration::from_millis(10));
+        a.send(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.dropped_sends(), 4);
+        assert_eq!(a.suppressed_dials(), 2);
+    }
+
+    #[test]
+    fn backoff_resets_after_successful_dial() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr1 = l1.local_addr().unwrap();
+        let peers = vec![l0.local_addr().unwrap().to_string(), addr1.to_string()];
+        let a = TcpTransport::start(
+            TcpTransportConfig {
+                local: 0,
+                peers: peers.clone(),
+            },
+            l0,
+            None,
+        )
+        .unwrap();
+        drop(l1); // peer down: the first dial fails and arms the backoff
+        a.send(1, Bytes::from_static(b"void")).unwrap();
+        assert_eq!(a.dropped_sends(), 1);
+        // The peer comes back on the same port; once the backoff expires
+        // the next send dials, succeeds, and clears the backoff state.
+        let l1 = TcpListener::bind(addr1).unwrap();
+        let b = TcpTransport::start(TcpTransportConfig { local: 1, peers }, l1, None).unwrap();
+        thread::sleep(DIAL_BACKOFF_BASE + Duration::from_millis(10));
+        a.send(1, Bytes::from_static(b"hello again")).unwrap();
+        let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.payload.as_ref(), b"hello again");
+        assert_eq!(a.dropped_sends(), 1);
+        assert_eq!(a.suppressed_dials(), 0);
     }
 
     #[test]

@@ -81,6 +81,9 @@ FarGo shell commands:
   refs [<core>]                      tracker table of a core (default: here)
   retype <target> <relocator>        change a named reference's relocator
   whereis <target>                   locate a complet
+  where <target>                     locate with the resolution path
+                                     (hosted/cache/shard/chain, hops,
+                                     move epoch)
   profile <service>                  instant profiling (e.g. completLoad)
   layout [at <hlc>]                  complets across every core; with
                                      'at', reconstructed from the journal
@@ -154,6 +157,7 @@ impl Shell {
             "refs" => self.cmd_refs(rest.first().copied()),
             "retype" => self.cmd_retype(&rest),
             "whereis" => self.cmd_whereis(&rest),
+            "where" => self.cmd_where(&rest),
             "profile" => self.cmd_profile(&rest),
             "layout" => self.cmd_layout(&rest),
             "journal" => self.cmd_journal(&rest),
@@ -310,6 +314,24 @@ impl Shell {
         let r = self.resolve(target)?;
         let node = self.core.locate(r.id())?;
         Ok(format!("{} is at {}", r.id(), self.core.core_name_of(node)))
+    }
+
+    /// Like `whereis`, but shows which layer of the naming stack answered
+    /// (hosted / cache / shard / chain), how many network hops the
+    /// resolution spent, and the winning move epoch.
+    fn cmd_where(&self, args: &[&str]) -> Result<String, ShellError> {
+        let target = args.first().ok_or(ShellError::Usage("where <target>"))?;
+        let r = self.resolve(target)?;
+        let report = self.core.locate_explain(r.id())?;
+        Ok(format!(
+            "{} is at {} (via {}, {} hop{}, epoch {})",
+            r.id(),
+            self.core.core_name_of(report.node),
+            report.via.label(),
+            report.hops,
+            if report.hops == 1 { "" } else { "s" },
+            report.epoch,
+        ))
     }
 
     fn cmd_profile(&self, args: &[&str]) -> Result<String, ShellError> {

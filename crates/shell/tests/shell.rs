@@ -415,6 +415,38 @@ fn stats_json_is_parseable_and_carries_quantiles() {
 }
 
 #[test]
+fn where_command_reports_resolution_path() {
+    let (cores, shell) = setup();
+    shell.exec("new Message at core1 as postbox").unwrap();
+    shell.exec("move postbox to core2").unwrap();
+    let out = shell.exec("where postbox").unwrap();
+    assert!(out.contains("is at core2"), "{out}");
+    assert!(out.contains("(via "), "{out}");
+    assert!(
+        ["hosted", "cache", "shard", "chain"]
+            .iter()
+            .any(|l| out.contains(l)),
+        "{out}"
+    );
+    assert!(out.contains("epoch"), "{out}");
+    assert!(matches!(shell.exec("where"), Err(ShellError::Usage(_))));
+
+    // The lookup left naming counters behind; `stats json` carries them.
+    let json = shell.exec("stats json").unwrap();
+    assert!(
+        json.contains("\"name\":\"fargo_naming_lookups_total\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"name\":\"fargo_naming_lookup_hops\""),
+        "{json}"
+    );
+    for c in &cores {
+        c.stop();
+    }
+}
+
+#[test]
 fn plan_and_autolayout_commands_drive_the_loop() {
     let (cores, shell) = setup();
 

@@ -239,6 +239,10 @@ pub enum JournalKind {
     /// object = "firing"/"resolved", detail = the window means vs the
     /// threshold).
     Alert,
+    /// A location-shard entry was accepted by the recording Core's
+    /// shard (subject = complet, object = the placement node or "gone"
+    /// for a tombstone, detail = the move epoch of the entry).
+    ShardApplied,
 }
 
 impl JournalKind {
@@ -267,6 +271,7 @@ impl JournalKind {
             JournalKind::PlanRollback => "plan_rollback",
             JournalKind::TrackerStale => "trk_stale",
             JournalKind::Alert => "alert",
+            JournalKind::ShardApplied => "shard_apply",
         }
     }
 
@@ -295,6 +300,7 @@ impl JournalKind {
             "plan_rollback" => JournalKind::PlanRollback,
             "trk_stale" => JournalKind::TrackerStale,
             "alert" => JournalKind::Alert,
+            "shard_apply" => JournalKind::ShardApplied,
             _ => return None,
         })
     }
@@ -496,7 +502,10 @@ impl LayoutState {
             // A rejected stale update changes nothing, by design.
             | JournalKind::TrackerStale
             // Health alerts describe the cluster, not its layout.
-            | JournalKind::Alert => {}
+            | JournalKind::Alert
+            // Shard entries are the naming service's *belief* about the
+            // layout; ground truth stays with arrive/depart.
+            | JournalKind::ShardApplied => {}
         }
     }
 
@@ -874,6 +883,14 @@ mod tests {
         assert_eq!(
             JournalKind::parse(JournalKind::Alert.as_str()),
             Some(JournalKind::Alert)
+        );
+    }
+
+    #[test]
+    fn shard_apply_kind_round_trips() {
+        assert_eq!(
+            JournalKind::parse(JournalKind::ShardApplied.as_str()),
+            Some(JournalKind::ShardApplied)
         );
     }
 

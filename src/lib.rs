@@ -51,6 +51,7 @@
 
 pub use fargo_core as core;
 pub use fargo_layout as layout;
+pub use fargo_naming as naming;
 pub use fargo_script as script;
 pub use fargo_shell as shell;
 pub use fargo_viz as viz;

@@ -91,6 +91,26 @@ pub fn cluster(n: usize) -> (Network, Vec<Core>) {
     (net, cores)
 }
 
+/// `n` cores on instantaneous links, with an explicit Core config.
+#[allow(dead_code)] // not every test binary that includes common/ uses it
+pub fn cluster_with_config(n: usize, config: CoreConfig) -> (Network, Vec<Core>) {
+    let net = Network::new(NetworkConfig {
+        default_link: Some(LinkConfig::instant()),
+        ..NetworkConfig::default()
+    });
+    let reg = registry();
+    let cores = (0..n)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(config.clone())
+                .spawn()
+                .expect("spawn core")
+        })
+        .collect();
+    (net, cores)
+}
+
 /// Polls `cond` until it holds or `timeout` expires.
 #[allow(dead_code)] // not every test binary that includes common/ uses it
 pub fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
