@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E22; E19/E20 are reserved by ROADMAP items). Each module regenerates one experiment
+//! The experiment suite (E1–E23; E19/E20 are reserved by ROADMAP items). Each module regenerates one experiment
 //! from DESIGN.md's index and returns a [`crate::Table`].
 
 pub mod e01_chains;
@@ -21,6 +21,7 @@ pub mod e17_tail;
 pub mod e18_account;
 pub mod e21_transport;
 pub mod e22_naming;
+pub mod e23_recovery;
 
 use crate::Table;
 
@@ -143,6 +144,12 @@ pub fn all() -> Vec<Experiment> {
             summary:
                 "sharded location service: lookup hops and latency flat vs population; chain-walk baseline; TCP backend",
             run: e22_naming::run,
+        },
+        Experiment {
+            id: "E23",
+            summary:
+                "crash-safe durability: acked state recovered after a Core kill; WAL replay time; post-recovery lookup hops; fault-injection sweep",
+            run: e23_recovery::run,
         },
     ]
 }

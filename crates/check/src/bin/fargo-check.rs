@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fargo-check [--seeds N] [--start S] [--ops K] [--cores C] [--stress]
-//!             [--replay SEED] [--schedule FILE] [--no-shrink] [--quiet]
+//!             [--faults] [--replay SEED] [--schedule FILE] [--no-shrink]
+//!             [--quiet]
 //! ```
 //!
 //! `FARGO_CHECK_SEED=<seed>` (printed by a failing sweep) replays one
@@ -62,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--schedule" => args.schedule_file = Some(value("--schedule")?),
             "--stress" => args.sweep.stress = true,
+            "--faults" => args.sweep.faults = true,
             "--no-shrink" => {
                 args.sweep.shrink = false;
                 args.sweep.perturb = false;
@@ -70,7 +72,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "fargo-check [--seeds N] [--start S] [--ops K] [--cores C] [--stress]\n\
-                     \x20           [--replay SEED] [--schedule FILE] [--no-shrink] [--quiet]"
+                     \x20           [--faults] [--replay SEED] [--schedule FILE] [--no-shrink]\n\
+                     \x20           [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -136,7 +139,11 @@ fn main() -> ExitCode {
     }
 
     if let Some(seed) = args.replay {
-        let schedule = Schedule::generate(seed, args.sweep.ops, args.sweep.cores);
+        let schedule = if args.sweep.faults {
+            Schedule::generate_faulty(seed, args.sweep.ops, args.sweep.cores)
+        } else {
+            Schedule::generate(seed, args.sweep.ops, args.sweep.cores)
+        };
         return replay(&schedule, args.sweep.stress, args.quiet);
     }
 
@@ -181,8 +188,11 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("  (could not write {file}: {e})"),
         }
         eprintln!(
-            "  replay: FARGO_CHECK_SEED={} cargo run -p fargo-check -- --ops {} --cores {}",
-            f.seed, args.sweep.ops, args.sweep.cores
+            "  replay: FARGO_CHECK_SEED={} cargo run -p fargo-check -- --ops {} --cores {}{}",
+            f.seed,
+            args.sweep.ops,
+            args.sweep.cores,
+            if args.sweep.faults { " --faults" } else { "" },
         );
         eprintln!("  or:     cargo run -p fargo-check -- --schedule {file}");
     }

@@ -15,7 +15,8 @@
 //! guards must keep them true regardless.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
@@ -73,6 +74,10 @@ pub struct RunConfig {
     /// Record spans during the run and return them in the report (the
     /// span-determinism regression turns this on).
     pub trace: bool,
+    /// Provision per-Core write-ahead log directories and tolerate op
+    /// errors, so crash/restart/partition ops can run. Implied whenever
+    /// the schedule itself contains fault ops.
+    pub faults: bool,
 }
 
 impl Default for RunConfig {
@@ -82,6 +87,7 @@ impl Default for RunConfig {
             step_oracles: true,
             quiesce_polls: 4000,
             trace: false,
+            faults: false,
         }
     }
 }
@@ -129,14 +135,40 @@ impl RunReport {
     }
 }
 
+/// Disambiguates WAL scratch directories when one process runs the same
+/// seed concurrently (the explorer's perturbation pass does).
+static WAL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
 struct Cluster {
     net: Network,
     cores: Vec<Core>,
     clock: Clock,
+    reg: CompletRegistry,
+    /// Base config every Core (re)spawns with; per-Core WAL dirs are
+    /// layered on top by [`Cluster::core_config`].
+    cc: CoreConfig,
+    /// Scratch root for the per-Core WAL directories (fault runs only);
+    /// removed wholesale at teardown.
+    wal_root: Option<PathBuf>,
+    /// Which cores are currently crashed.
+    down: Vec<bool>,
+    /// Journal sequence each core resumes from after a restart, so one
+    /// logical core keeps one gap-free timeline across incarnations.
+    seq_base: Vec<u64>,
+    /// Journal snapshots captured from crashed incarnations (their
+    /// telemetry dies with the handle; the merge still needs the events).
+    retired: Vec<Vec<JournalEvent>>,
+    /// Currently severed node pairs, normalized `(min, max)`.
+    cut: Vec<(usize, usize)>,
 }
 
 impl Cluster {
-    fn spawn(schedule: &Schedule, stress: bool, trace: bool) -> Result<Cluster, FargoError> {
+    fn spawn(
+        schedule: &Schedule,
+        stress: bool,
+        trace: bool,
+        faults: bool,
+    ) -> Result<Cluster, FargoError> {
         let (clock, link) = if stress {
             (
                 Clock::Wall,
@@ -179,15 +211,147 @@ impl Cluster {
             cc.monitor_tick = Duration::from_secs(3600);
             cc.monitor_cache_ttl = Duration::from_secs(3600);
         }
-        let cores = (0..schedule.cores)
+        let mut wal_root = None;
+        if faults {
+            // RPC deadlines are virtual but waited out on the wall, so a
+            // send into a crashed core or a cut link must give up fast or
+            // every such op stalls the run for the full window.
+            cc.rpc_timeout = Duration::from_millis(250);
+            cc.transit_wait = Duration::from_millis(400);
+            let root = std::env::temp_dir().join(format!(
+                "fargo-check-wal-{}-{}",
+                std::process::id(),
+                WAL_DIR_SEQ.fetch_add(1, Ordering::SeqCst),
+            ));
+            std::fs::create_dir_all(&root)
+                .map_err(|e| FargoError::App(format!("wal scratch dir: {e}")))?;
+            wal_root = Some(root);
+        }
+        let mut cl = Cluster {
+            net,
+            cores: Vec::new(),
+            clock,
+            reg,
+            cc,
+            wal_root,
+            down: vec![false; schedule.cores],
+            seq_base: vec![0; schedule.cores],
+            retired: Vec::new(),
+            cut: Vec::new(),
+        };
+        cl.cores = (0..schedule.cores)
             .map(|i| {
-                Core::builder(&net, &format!("core{i}"))
-                    .registry(&reg)
-                    .config(cc.clone())
+                Core::builder(&cl.net, &format!("core{i}"))
+                    .registry(&cl.reg)
+                    .config(cl.core_config(i))
                     .spawn()
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Cluster { net, cores, clock })
+        Ok(cl)
+    }
+
+    /// The base config plus core `i`'s WAL directory (fault runs only).
+    fn core_config(&self, i: usize) -> CoreConfig {
+        let mut cc = self.cc.clone();
+        if let Some(root) = &self.wal_root {
+            cc = cc.with_wal_dir(root.join(format!("core{i}")));
+        }
+        cc
+    }
+
+    /// Applies one fault op. Faults that make no sense in the current
+    /// state — crashing core 0 or a dead core, restarting a live one,
+    /// partitioning a core from itself — are skipped, not errors, so
+    /// ddmin can delete arbitrary ops and the remainder still replays.
+    fn apply_fault(&mut self, op: &Op) {
+        match *op {
+            Op::Crash { core } => {
+                if core == 0 || core >= self.cores.len() || self.down[core] {
+                    return;
+                }
+                // The handle's telemetry dies with it; keep the journal
+                // for the merged timeline and note where its sequence
+                // left off so the next incarnation continues it.
+                self.retired.push(self.cores[core].journal_snapshot());
+                self.seq_base[core] = self.cores[core].journal_next_seq();
+                self.cores[core].stop();
+                self.down[core] = true;
+            }
+            Op::Restart { core } => {
+                if core >= self.cores.len() || !self.down[core] {
+                    return;
+                }
+                // A restarted Core stamps fresh HLCs from the shared
+                // clock; jump it past any logical catch-up accumulated at
+                // the frozen virtual instant so the core's merged
+                // timeline stays HLC-monotonic across the incarnation
+                // boundary.
+                self.clock.advance(Duration::from_secs(2));
+                let node = self.cores[core].node();
+                let Ok(ep) = self.net.restart_node(node) else {
+                    return;
+                };
+                let spawned = Core::builder(&self.net, &format!("core{core}"))
+                    .endpoint(ep)
+                    .registry(&self.reg)
+                    .config(
+                        self.core_config(core)
+                            .with_journal_seq_base(self.seq_base[core]),
+                    )
+                    .spawn();
+                let Ok(c) = spawned else {
+                    let _ = self.net.set_node_up(node, false);
+                    return;
+                };
+                // spawn() already replayed the WAL; moves parked as held
+                // state are re-resolved against their sources now.
+                c.resolve_held_now();
+                self.cores[core] = c;
+                self.down[core] = false;
+            }
+            Op::Partition { a, b } => {
+                if a == b || a >= self.cores.len() || b >= self.cores.len() {
+                    return;
+                }
+                if self
+                    .net
+                    .partition(self.cores[a].node(), self.cores[b].node())
+                    .is_ok()
+                {
+                    let key = (a.min(b), a.max(b));
+                    if !self.cut.contains(&key) {
+                        self.cut.push(key);
+                    }
+                }
+            }
+            Op::Heal { a, b } => {
+                if a == b || a >= self.cores.len() || b >= self.cores.len() {
+                    return;
+                }
+                if self
+                    .net
+                    .heal(self.cores[a].node(), self.cores[b].node())
+                    .is_ok()
+                {
+                    self.cut.retain(|&k| k != (a.min(b), a.max(b)));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether `op` touches a crashed core and must be skipped. Invokes
+    /// are only skipped when the *calling* core is down — a call into a
+    /// dead host is exactly the ambiguity the acked-loss oracle audits.
+    fn references_down_core(&self, op: &Op) -> bool {
+        match *op {
+            Op::New { core, .. } | Op::Collect { core } => {
+                self.down.get(core).copied().unwrap_or(false)
+            }
+            Op::Invoke { from, .. } => self.down.get(from).copied().unwrap_or(false),
+            Op::Move { to, .. } => self.down.get(to).copied().unwrap_or(false),
+            _ => false,
+        }
     }
 
     /// Waits until no packet is in the link model, no Core has queued or
@@ -198,11 +362,19 @@ impl Cluster {
         let mut last_len = u64::MAX;
         for i in 0..polls {
             let pending = self.net.in_flight() as usize
-                + self.cores.iter().map(Core::pending_work).sum::<usize>();
+                + self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.down[*i])
+                    .map(|(_, c)| c.pending_work())
+                    .sum::<usize>();
             let len = self
                 .cores
                 .iter()
-                .map(|c| c.journal_snapshot().len() as u64)
+                .enumerate()
+                .filter(|(i, _)| !self.down[*i])
+                .map(|(_, c)| c.journal_snapshot().len() as u64)
                 .sum::<u64>();
             if pending == 0 && len == last_len {
                 stable += 1;
@@ -223,7 +395,18 @@ impl Cluster {
     }
 
     fn merged_journal(&self) -> Vec<JournalEvent> {
-        merge_timelines(self.cores.iter().map(|c| c.journal_snapshot()))
+        // Crashed incarnations contribute their retired snapshots; a
+        // down core's live handle is excluded (its events are already in
+        // `retired`, captured at the moment it crashed).
+        merge_timelines(
+            self.retired.iter().cloned().chain(
+                self.cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.down[*i])
+                    .map(|(_, c)| c.journal_snapshot()),
+            ),
+        )
     }
 
     /// Renders every Core's accounting state without sending a single
@@ -263,6 +446,9 @@ impl Cluster {
     fn teardown(&self) {
         for c in &self.cores {
             c.stop();
+        }
+        if let Some(root) = &self.wal_root {
+            let _ = std::fs::remove_dir_all(root);
         }
     }
 }
@@ -342,13 +528,17 @@ fn apply(
             cl.cores[core].collect_trackers(Duration::from_millis(100));
             Ok(())
         }
+        // Faults need `&mut Cluster` and go through `Cluster::apply_fault`
+        // in the deterministic loop; stress mode drops them entirely.
+        Op::Crash { .. } | Op::Restart { .. } | Op::Partition { .. } | Op::Heal { .. } => Ok(()),
     }
 }
 
 /// Runs `schedule` under `cfg` and reports violations plus the merged
 /// journal.
 pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
-    let cl = match Cluster::spawn(schedule, cfg.stress, cfg.trace) {
+    let faults = cfg.faults || schedule.ops.iter().any(Op::is_fault);
+    let mut cl = match Cluster::spawn(schedule, cfg.stress, cfg.trace, faults) {
         Ok(cl) => cl,
         Err(e) => {
             return RunReport {
@@ -371,9 +561,28 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
         ops_applied = schedule.ops.len();
     } else {
         for op in &schedule.ops {
+            if op.is_fault() {
+                cl.apply_fault(op);
+                ops_applied += 1;
+                if !cl.quiesce(cfg.quiesce_polls) {
+                    violations.push(Violation::new(
+                        "stuck",
+                        format!("op {}", ops_applied - 1),
+                        format!("cluster failed to quiesce after {op:?}"),
+                    ));
+                    break;
+                }
+                continue;
+            }
+            if faults && cl.references_down_core(op) {
+                ops_applied += 1;
+                continue;
+            }
             // Chain-growth oracle: an invocation return may shorten the
-            // invoker's chain but must never lengthen it.
-            let before = if let Op::Invoke { slot, from } = op {
+            // invoker's chain but must never lengthen it. A restart
+            // rebuilds chains from scratch, so the check only binds on
+            // fault-free schedules.
+            let before = if let (false, Op::Invoke { slot, from }) = (faults, op) {
                 refs[*slot].get().map(|r| {
                     let node = cl.cores[*from].node().index();
                     (
@@ -396,16 +605,26 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
                 break;
             }
             if let Err(detail) = op_result {
-                violations.push(Violation::new(
-                    "op-error",
-                    format!("op {}", ops_applied - 1),
-                    detail,
-                ));
-                break;
+                // Under faults an op may legitimately fail (dead host,
+                // cut link); the failure already fed the audit bounds.
+                if !faults {
+                    violations.push(Violation::new(
+                        "op-error",
+                        format!("op {}", ops_applied - 1),
+                        detail,
+                    ));
+                    break;
+                }
             }
             if cfg.step_oracles {
                 let events = cl.merged_journal();
                 let mut found = oracles::check_all(&events);
+                if faults {
+                    // Mid-partition the one-shot location publishes may
+                    // not have landed; the shard oracle binds only at the
+                    // healed, quiescent end.
+                    found.retain(|v| v.oracle != "shard");
+                }
                 if let Some((node, id, Some(len_before))) = before {
                     if let Some(len_after) = oracles::chain_len(&events, node, &id) {
                         if len_after > len_before {
@@ -428,6 +647,27 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
         }
     }
 
+    if faults && violations.is_empty() {
+        // Make the cluster whole before the end-state audit: heal every
+        // cut, restart every crashed core (replaying its WAL), resolve
+        // any moves still parked as held state, and let it settle.
+        for (a, b) in cl.cut.clone() {
+            cl.apply_fault(&Op::Heal { a, b });
+        }
+        for i in 0..cl.cores.len() {
+            if cl.down[i] {
+                cl.apply_fault(&Op::Restart { core: i });
+            }
+        }
+        let _ = cl.quiesce(cfg.quiesce_polls);
+        for (i, c) in cl.cores.iter().enumerate() {
+            if !cl.down[i] {
+                c.resolve_held_now();
+            }
+        }
+        let _ = cl.quiesce(cfg.quiesce_polls);
+    }
+
     if violations.is_empty() {
         if !cl.quiesce(cfg.quiesce_polls) {
             violations.push(Violation::new(
@@ -438,14 +678,15 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
         } else {
             let events = cl.merged_journal();
             let mut found = oracles::check_all(&events);
-            if cfg.stress {
+            if cfg.stress || faults {
                 // Location publishes are one-shot notifies: injected loss
-                // can legitimately leave a shard stale at rest, so the
-                // shard oracle only binds on lossless links.
+                // (or a crash taking a shard slice down with it) can
+                // legitimately leave a shard stale at rest, so the shard
+                // oracle only binds on lossless fault-free links.
                 found.retain(|v| v.oracle != "shard");
             }
             violations.extend(found);
-            violations.extend(audit_counters(&cl, &refs, &audits, cfg.stress));
+            violations.extend(audit_counters(&cl, &refs, &audits, cfg.stress || faults));
         }
     }
 
@@ -466,15 +707,17 @@ pub fn run(schedule: &Schedule, cfg: &RunConfig) -> RunReport {
     }
 }
 
-/// At-most-once audit: each slot's counter must equal the number of
-/// successful `add`s — or, under faults, land between the successes and
-/// successes + failures (a failed invocation may still have executed,
-/// but a retry must never execute twice).
+/// At-most-once / no-acked-loss audit: each slot's counter must equal
+/// the number of successful `add`s — or, in `lenient` mode (stress or
+/// faults), land between the successes and successes + failures. The
+/// lower bound is the durability oracle: every *acknowledged* add must
+/// survive any crash; the upper bound is at-most-once: a failed
+/// invocation may still have executed, but never twice.
 fn audit_counters(
     cl: &Cluster,
     refs: &[slotcell::SlotCell],
     audits: &[SlotAudit],
-    stress: bool,
+    lenient: bool,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     for (slot, cell) in refs.iter().enumerate() {
@@ -492,12 +735,12 @@ fn audit_counters(
             }
         }
         match value {
-            Some(n) if stress && (n < ok || n > ok + failed) => out.push(Violation::new(
+            Some(n) if lenient && (n < ok || n > ok + failed) => out.push(Violation::new(
                 "counter",
                 format!("slot{slot}"),
                 format!("counter {n} outside [{ok}, {}]", ok + failed),
             )),
-            Some(n) if !stress && n != ok => out.push(Violation::new(
+            Some(n) if !lenient && n != ok => out.push(Violation::new(
                 "counter",
                 format!("slot{slot}"),
                 format!("counter {n} after {ok} successful adds"),
@@ -524,6 +767,9 @@ fn stress_phase(
 ) {
     let mut rest = Vec::new();
     for op in &schedule.ops {
+        if op.is_fault() {
+            continue; // stress runs race threads on wall time; faults are deterministic-mode only
+        }
         if matches!(op, Op::New { .. }) {
             let _ = apply(cl, refs, audits, op);
             let _ = cl.quiesce(1000);

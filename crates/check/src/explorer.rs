@@ -29,6 +29,10 @@ pub struct SweepConfig {
     pub shrink: bool,
     /// Perturb shrunk failures to classify them.
     pub perturb: bool,
+    /// Generate fault schedules ([`Schedule::generate_faulty`]): the
+    /// normal workload mix interleaved with crashes, restarts, and
+    /// partitions, run over per-Core write-ahead logs.
+    pub faults: bool,
 }
 
 impl Default for SweepConfig {
@@ -41,6 +45,7 @@ impl Default for SweepConfig {
             stress: false,
             shrink: true,
             perturb: true,
+            faults: false,
         }
     }
 }
@@ -87,11 +92,16 @@ pub fn run_seed(seed: u64, ops: usize, cores: usize, stress: bool) -> RunReport 
 pub fn sweep(cfg: &SweepConfig) -> SweepReport {
     let run_cfg = RunConfig {
         stress: cfg.stress,
+        faults: cfg.faults,
         ..RunConfig::default()
     };
     let mut report = SweepReport::default();
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
-        let schedule = Schedule::generate(seed, cfg.ops, cfg.cores);
+        let schedule = if cfg.faults {
+            Schedule::generate_faulty(seed, cfg.ops, cfg.cores)
+        } else {
+            Schedule::generate(seed, cfg.ops, cfg.cores)
+        };
         let outcome = run(&schedule, &run_cfg);
         report.seeds_run += 1;
         if !outcome.failed() {

@@ -16,8 +16,8 @@ use fargo_telemetry::{JournalEvent, JournalKind, LayoutHistory};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which oracle fired (`"single-copy"`, `"tracker-chain"`, `"hlc"`,
-    /// `"shard"`, `"chain-growth"`, `"counter"`, `"stuck"`,
-    /// `"op-error"`).
+    /// `"shard"`, `"acked-loss"`, `"chain-growth"`, `"counter"`,
+    /// `"stuck"`, `"op-error"`).
     pub oracle: &'static str,
     /// The complet / core the breach is about.
     pub subject: String,
@@ -55,6 +55,7 @@ pub fn check_all(events: &[JournalEvent]) -> Vec<Violation> {
     out.extend(tracker_chains(events));
     out.extend(hlc_causality(events));
     out.extend(shard_consistency(events));
+    out.extend(acked_durability(events));
     out
 }
 
@@ -87,6 +88,14 @@ pub fn single_live_copy(events: &[JournalEvent]) -> Vec<Violation> {
             }
             JournalKind::CompletDeparted => {
                 if let Some(nodes) = live.get_mut(ev.subject.as_str()) {
+                    nodes.remove(&ev.core);
+                }
+            }
+            // A crash wipes the core's memory without departure entries;
+            // recovery journals this before re-installing the WAL's
+            // survivors (which arrive again as `CompletArrived`).
+            JournalKind::RecoveryStarted => {
+                for nodes in live.values_mut() {
                     nodes.remove(&ev.core);
                 }
             }
@@ -243,6 +252,48 @@ pub fn shard_consistency(events: &[JournalEvent]) -> Vec<Violation> {
                 format!("shard believes n{node} (epoch {epoch}) but the complet is retired"),
             )),
             _ => {}
+        }
+    }
+    out
+}
+
+/// **No acknowledged state is ever lost.** Cores journal `ExecAcked`
+/// with the returned counter value whenever an invocation result is
+/// acknowledged durably (write-ahead runs only). The workload counter
+/// only grows, so along the merged timeline the acked values per complet
+/// must be non-decreasing: a drop means a crash discarded state whose
+/// effects were already acknowledged to a caller — exactly the loss the
+/// write-ahead log exists to prevent. Runs without a WAL journal no
+/// `ExecAcked` events and pass vacuously.
+pub fn acked_durability(events: &[JournalEvent]) -> Vec<Violation> {
+    let mut high: BTreeMap<&str, (i64, u64)> = BTreeMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.kind != JournalKind::ExecAcked {
+            continue;
+        }
+        let Ok(value) = ev.detail.parse::<i64>() else {
+            continue; // non-numeric result (e.g. a ref-returning method)
+        };
+        match high.get_mut(ev.subject.as_str()) {
+            Some((hi, hi_seq)) => {
+                if value < *hi {
+                    out.push(Violation::new(
+                        "acked-loss",
+                        &ev.subject,
+                        format!(
+                            "acked value went back: {} (seq {}) then {} (n{} seq {})",
+                            hi, hi_seq, value, ev.core, ev.seq
+                        ),
+                    ));
+                } else {
+                    *hi = value;
+                    *hi_seq = ev.seq;
+                }
+            }
+            None => {
+                high.insert(ev.subject.as_str(), (value, ev.seq));
+            }
         }
     }
     out

@@ -37,6 +37,29 @@ pub enum Op {
     Advance { micros: u64 },
     /// Collect idle trackers on `core`.
     Collect { core: usize },
+    /// Kill `core` abruptly: no shutdown protocol, in-flight work lost,
+    /// only its write-ahead log survives. Core 0 is the coordinator the
+    /// driver audits through and is never crashed (the driver skips it).
+    Crash { core: usize },
+    /// Restart a crashed `core` on the same network node and WAL
+    /// directory; recovery replays the log. Skipped when `core` is up.
+    Restart { core: usize },
+    /// Cut both link directions between `a` and `b`.
+    Partition { a: usize, b: usize },
+    /// Restore the links between `a` and `b`.
+    Heal { a: usize, b: usize },
+}
+
+impl Op {
+    /// Whether this op injects a fault (crash, restart, partition, heal).
+    /// The driver provisions write-ahead log directories whenever a
+    /// schedule contains any.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Op::Crash { .. } | Op::Restart { .. } | Op::Partition { .. } | Op::Heal { .. }
+        )
+    }
 }
 
 /// A generated (or replayed) sequence of ops against `cores` Cores.
@@ -93,6 +116,72 @@ impl Schedule {
         Schedule { seed, cores, ops }
     }
 
+    /// Generates a fault schedule for `seed`: the workload mix of
+    /// [`Schedule::generate`] interleaved with crashes, restarts, and
+    /// partitions. Core 0 never crashes (it is the driver's audit
+    /// coordinator); fault ops that turn out nonsensical at run time
+    /// (crashing a dead core, healing an open link) are skipped by the
+    /// driver rather than forbidden here, so ddmin can delete any op and
+    /// the remainder still replays.
+    pub fn generate_faulty(seed: u64, n_ops: usize, n_cores: usize) -> Schedule {
+        let cores = n_cores.max(3);
+        let mut rng = Rng::new(seed);
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut created = 0usize;
+        while ops.len() < n_ops {
+            let roll = rng.below(100);
+            let op = if created == 0 || (roll < 14 && created < MAX_SLOTS) {
+                created += 1;
+                Op::New {
+                    slot: created - 1,
+                    core: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 38 {
+                Op::Invoke {
+                    slot: rng.below(created as u64) as usize,
+                    from: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 58 {
+                Op::Move {
+                    slot: rng.below(created as u64) as usize,
+                    to: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 64 {
+                Op::Link {
+                    holder: rng.below(created as u64) as usize,
+                    dep: rng.below(created as u64) as usize,
+                    relocator: rng.below(RELOCATORS.len() as u64) as usize,
+                }
+            } else if roll < 72 {
+                Op::Advance {
+                    micros: (1 + rng.below(5)) * 100_000,
+                }
+            } else if roll < 76 {
+                Op::Collect {
+                    core: rng.below(cores as u64) as usize,
+                }
+            } else if roll < 84 {
+                Op::Crash {
+                    core: 1 + rng.below((cores - 1) as u64) as usize,
+                }
+            } else if roll < 92 {
+                Op::Restart {
+                    core: 1 + rng.below((cores - 1) as u64) as usize,
+                }
+            } else if roll < 96 {
+                let a = rng.below(cores as u64) as usize;
+                let b = (a + 1 + rng.below((cores - 1) as u64) as usize) % cores;
+                Op::Partition { a, b }
+            } else {
+                let a = rng.below(cores as u64) as usize;
+                let b = (a + 1 + rng.below((cores - 1) as u64) as usize) % cores;
+                Op::Heal { a, b }
+            };
+            ops.push(op);
+        }
+        Schedule { seed, cores, ops }
+    }
+
     /// Number of slots the schedule references (created or not).
     pub fn slot_count(&self) -> usize {
         self.ops
@@ -100,7 +189,12 @@ impl Schedule {
             .map(|op| match *op {
                 Op::New { slot, .. } | Op::Invoke { slot, .. } | Op::Move { slot, .. } => slot + 1,
                 Op::Link { holder, dep, .. } => holder.max(dep) + 1,
-                Op::Advance { .. } | Op::Collect { .. } => 0,
+                Op::Advance { .. }
+                | Op::Collect { .. }
+                | Op::Crash { .. }
+                | Op::Restart { .. }
+                | Op::Partition { .. }
+                | Op::Heal { .. } => 0,
             })
             .max()
             .unwrap_or(0)
@@ -125,6 +219,10 @@ impl Schedule {
                 } => format!("link {holder} {dep} {}", RELOCATORS[relocator]),
                 Op::Advance { micros } => format!("advance {micros}"),
                 Op::Collect { core } => format!("collect {core}"),
+                Op::Crash { core } => format!("crash {core}"),
+                Op::Restart { core } => format!("restart {core}"),
+                Op::Partition { a, b } => format!("partition {a} {b}"),
+                Op::Heal { a, b } => format!("heal {a} {b}"),
             };
             out.push_str(&line);
             out.push('\n');
@@ -186,6 +284,20 @@ impl Schedule {
                 ["collect", core] => Op::Collect {
                     core: num(core, "core")?,
                 },
+                ["crash", core] => Op::Crash {
+                    core: num(core, "core")?,
+                },
+                ["restart", core] => Op::Restart {
+                    core: num(core, "core")?,
+                },
+                ["partition", a, b] => Op::Partition {
+                    a: num(a, "core")?,
+                    b: num(b, "core")?,
+                },
+                ["heal", a, b] => Op::Heal {
+                    a: num(a, "core")?,
+                    b: num(b, "core")?,
+                },
                 _ => return Err(bad("op")),
             };
             ops.push(op);
@@ -226,5 +338,30 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(Schedule::parse("teleport 3 -> 9").is_err());
         assert!(Schedule::parse("link 0 1 osmosis").is_err());
+    }
+
+    #[test]
+    fn faulty_generation_is_deterministic_and_spares_core0() {
+        let s = Schedule::generate_faulty(7, 60, 3);
+        assert_eq!(s, Schedule::generate_faulty(7, 60, 3));
+        for op in &s.ops {
+            if let Op::Crash { core } | Op::Restart { core } = op {
+                assert_ne!(*core, 0, "core 0 must never be crashed/restarted");
+            }
+            if let Op::Partition { a, b } | Op::Heal { a, b } = op {
+                assert_ne!(a, b, "partition endpoints must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_schedules_contain_faults_and_roundtrip() {
+        let mut saw_fault = false;
+        for seed in 0..20 {
+            let s = Schedule::generate_faulty(seed, 40, 4);
+            saw_fault |= s.ops.iter().any(Op::is_fault);
+            assert_eq!(Schedule::parse(&s.to_text()).unwrap(), s);
+        }
+        assert!(saw_fault, "20 fault schedules produced zero fault ops");
     }
 }

@@ -1,12 +1,13 @@
 //! Explorer-found counterexamples, checked in verbatim.
 //!
 //! Each schedule below is the ddmin-shrunk output of a failing seed from
-//! the first full 1000-seed sweep. They all hit one bug class — idle
-//! tracker collection severing routing because neither the invoke
-//! handler, `locate()`, nor the calling stub fell back to the complet's
-//! home registry — and they must stay green now that those recovery
-//! paths exist. The same scenarios are also encoded API-level in
-//! `crates/core/tests/schedules.rs`.
+//! a full sweep. The first batch hit one bug class — idle tracker
+//! collection severing routing because neither the invoke handler,
+//! `locate()`, nor the calling stub fell back to the complet's home
+//! registry — and they must stay green now that those recovery paths
+//! exist. The same scenarios are also encoded API-level in
+//! `crates/core/tests/schedules.rs`. Later entries come from the fault
+//! sweep (`--faults`).
 
 use fargo_check::driver::{run, RunConfig};
 use fargo_check::workload::Schedule;
@@ -88,5 +89,75 @@ fn seed_707_collect_at_origin() {
          move 0 -> 1\n\
          advance 500000\n\
          collect 2\n",
+    );
+}
+
+/// Fault-sweep find: creating a complet on a freshly recovered Core
+/// re-minted the id of a WAL-replayed survivor, installing two complets
+/// under one identity. Recovery now re-seeds the id allocator past every
+/// locally minted id in the log.
+#[test]
+fn seed_22_id_reuse_after_recovery() {
+    assert_clean(
+        22,
+        "# fargo-check schedule v1 seed=22 cores=3\n\
+         new 0 @1\n\
+         crash 1\n\
+         restart 1\n\
+         new 2 @1\n",
+    );
+}
+
+/// Fault-sweep find: a restarted Core re-minted request ids from 1, so
+/// its fresh requests collided with the previous incarnation's entries
+/// in peers' reply-dedup caches — the peer served the *cached* old
+/// reply and never executed the call. Request ids are now salted with
+/// the WAL's durable incarnation generation.
+#[test]
+fn seed_215_request_id_reuse_hits_dedup_cache() {
+    assert_clean(
+        215,
+        "# fargo-check schedule v1 seed=215 cores=3\n\
+         new 0 @0\n\
+         invoke 0 from 1\n\
+         crash 1\n\
+         restart 1\n\
+         invoke 0 from 1\n",
+    );
+}
+
+/// Fault-sweep find: a crashed origin Core recovered its *complets* but
+/// not its *forwarding trackers*, so every chain through it dead-ended
+/// and complets living on intact elsewhere became unreachable. `Departed`
+/// records now carry the destination, recovery reinstalls the forwards,
+/// and compaction re-emits them from the tracker table.
+#[test]
+fn seed_779_origin_crash_loses_forwarding_trackers() {
+    assert_clean(
+        779,
+        "# fargo-check schedule v1 seed=779 cores=3\n\
+         partition 2 0\n\
+         new 1 @1\n\
+         partition 1 0\n\
+         new 2 @1\n\
+         move 2 -> 2\n\
+         crash 1\n",
+    );
+}
+
+/// Same root cause as seed 215, caught through the move path: the
+/// restarted Core's move/locate RPCs were answered from stale dedup
+/// entries, leaving the moved complet unreachable.
+#[test]
+fn seed_107_stale_dedup_reply_breaks_move_after_restart() {
+    assert_clean(
+        107,
+        "# fargo-check schedule v1 seed=107 cores=3\n\
+         new 0 @2\n\
+         new 1 @2\n\
+         move 0 -> 0\n\
+         crash 2\n\
+         restart 2\n\
+         move 1 -> 0\n",
     );
 }

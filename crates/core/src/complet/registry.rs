@@ -20,6 +20,13 @@ use crate::error::{FargoError, Result};
 /// Constructor for a complet type: receives the instantiation arguments.
 pub type CompletFactory = Arc<dyn Fn(&[Value]) -> Result<Box<dyn Complet>> + Send + Sync + 'static>;
 
+/// Bare shell constructor for a complet type: builds default state and
+/// runs **no** `init` side effects. Used when existing marshaled state is
+/// about to be unmarshaled over the shell (arrival, restore, recovery),
+/// so a constructor's side effects run exactly once per complet lifetime
+/// — at instantiation.
+pub type CompletReviver = Arc<dyn Fn() -> Box<dyn Complet> + Send + Sync + 'static>;
+
 /// A shared map from complet type names to constructors.
 ///
 /// ```
@@ -30,6 +37,7 @@ pub type CompletFactory = Arc<dyn Fn(&[Value]) -> Result<Box<dyn Complet>> + Sen
 #[derive(Clone, Default)]
 pub struct CompletRegistry {
     factories: Arc<RwLock<HashMap<String, CompletFactory>>>,
+    revivers: Arc<RwLock<HashMap<String, CompletReviver>>>,
 }
 
 impl CompletRegistry {
@@ -47,6 +55,20 @@ impl CompletRegistry {
         self.factories
             .write()
             .insert(type_name.to_owned(), Arc::new(factory));
+    }
+
+    /// Registers a side-effect-free shell constructor under `type_name`.
+    /// `define_complet!`'s `register()` does this automatically; hand
+    /// written complets may skip it, in which case state restoration
+    /// falls back to the argument factory with empty arguments (and any
+    /// `init` side effects run again — the pre-reviver behaviour).
+    pub fn register_reviver<F>(&self, type_name: &str, reviver: F)
+    where
+        F: Fn() -> Box<dyn Complet> + Send + Sync + 'static,
+    {
+        self.revivers
+            .write()
+            .insert(type_name.to_owned(), Arc::new(reviver));
     }
 
     /// Whether a type is registered.
@@ -77,14 +99,21 @@ impl CompletRegistry {
         factory(args)
     }
 
-    /// Constructs an instance and immediately restores marshaled state
-    /// into it — the unmarshal path of complet arrival.
+    /// Builds an instance and immediately restores marshaled state into
+    /// it — the unmarshal path of complet arrival, checkpoint restore,
+    /// and crash recovery. Prefers the registered reviver (no `init`
+    /// side effects) and falls back to the argument factory with empty
+    /// arguments for types registered without one.
     ///
     /// # Errors
     ///
     /// Fails when the type is unknown or the state does not match.
     pub fn reconstruct(&self, type_name: &str, state: Value) -> Result<Box<dyn Complet>> {
-        let mut complet = self.construct(type_name, &[])?;
+        let reviver = self.revivers.read().get(type_name).cloned();
+        let mut complet = match reviver {
+            Some(revive) => revive(),
+            None => self.construct(type_name, &[])?,
+        };
         complet.unmarshal(state)?;
         Ok(complet)
     }

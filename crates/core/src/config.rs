@@ -159,6 +159,28 @@ pub struct CoreConfig {
     /// Maximum shard deltas piggybacked on one outbound envelope (the
     /// rest wait for later traffic or the anti-entropy pass).
     pub naming_gossip_batch: usize,
+    /// Directory of this Core's write-ahead passivation log. `None`
+    /// (the default) disables durability: complets are memory-only, as
+    /// in the paper. When set, every acknowledged state transition is
+    /// appended to `<dir>/<core>.wal` before the acknowledgement leaves
+    /// the Core, and a restarted Core replays the log on spawn.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Whether every acknowledged invocation re-captures the complet's
+    /// state into the log (the strongest guarantee: no acknowledged
+    /// state lost). Off logs only lifecycle transitions (create, move,
+    /// depart), so a crash can roll a complet back to its last
+    /// lifecycle capture.
+    pub wal_sync_acks: bool,
+    /// Appends between monitor-tick log compactions (a compaction
+    /// rewrites the log as a fresh snapshot of live state).
+    pub wal_compact_records: u64,
+    /// Whether spawn replays an existing log before serving (off lets
+    /// tooling open a Core over a log without mutating it).
+    pub wal_recover: bool,
+    /// First journal sequence number this Core emits. A restarted Core
+    /// passes its predecessor's high-water mark so merged timelines
+    /// never collide on `(core, seq)`.
+    pub journal_seq_base: u64,
 }
 
 impl Default for CoreConfig {
@@ -201,6 +223,11 @@ impl Default for CoreConfig {
             naming_shards: true,
             naming_vnodes: 16,
             naming_gossip_batch: 32,
+            wal_dir: None,
+            wal_sync_acks: true,
+            wal_compact_records: 512,
+            wal_recover: true,
+            journal_seq_base: 0,
         }
     }
 }
@@ -369,6 +396,40 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with durability enabled: the write-ahead log lives
+    /// under `dir` (created if missing).
+    pub fn with_wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Configuration with per-acknowledged-invocation state capture
+    /// switched on or off (only meaningful with a WAL directory).
+    pub fn with_wal_sync_acks(mut self, enabled: bool) -> Self {
+        self.wal_sync_acks = enabled;
+        self
+    }
+
+    /// Configuration with the compaction threshold replaced (appends
+    /// between monitor-tick log rewrites; minimum 1).
+    pub fn with_wal_compact_records(mut self, records: u64) -> Self {
+        self.wal_compact_records = records.max(1);
+        self
+    }
+
+    /// Configuration with spawn-time log replay switched on or off.
+    pub fn with_wal_recovery(mut self, enabled: bool) -> Self {
+        self.wal_recover = enabled;
+        self
+    }
+
+    /// Configuration with the journal sequence base replaced (restart
+    /// continuity for merged timelines).
+    pub fn with_journal_seq_base(mut self, base: u64) -> Self {
+        self.journal_seq_base = base;
+        self
+    }
+
     /// The anomaly thresholds as the telemetry-layer struct.
     pub fn anomaly_thresholds(&self) -> fargo_telemetry::AnomalyThresholds {
         fargo_telemetry::AnomalyThresholds {
@@ -452,6 +513,29 @@ mod tests {
         assert!(!c.naming_shards);
         assert_eq!(c.naming_vnodes, 1, "vnodes clamp to >= 1");
         assert_eq!(c.naming_gossip_batch, 0);
+    }
+
+    #[test]
+    fn wal_knobs() {
+        let c = CoreConfig::default();
+        assert!(c.wal_dir.is_none(), "durability is opt-in");
+        assert!(c.wal_sync_acks, "acked-state capture defaults on");
+        assert!(c.wal_recover, "spawn-time replay defaults on");
+        assert_eq!(c.journal_seq_base, 0);
+        let c = c
+            .with_wal_dir("/tmp/fargo-wal")
+            .with_wal_sync_acks(false)
+            .with_wal_compact_records(0)
+            .with_wal_recovery(false)
+            .with_journal_seq_base(42);
+        assert_eq!(
+            c.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/fargo-wal"))
+        );
+        assert!(!c.wal_sync_acks);
+        assert_eq!(c.wal_compact_records, 1, "threshold clamps to >= 1");
+        assert!(!c.wal_recover);
+        assert_eq!(c.journal_seq_base, 42);
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub use reference::{
     TrackerSnapshot, TrackerTarget,
 };
 pub use runtime::{
-    BoundRef, Core, CoreBuilder, LatencySummary, LocateReport, PendingCall, RemoteSubscription,
-    ResolveVia, TickHook,
+    BoundRef, Checkpoint, Core, CoreBuilder, LatencySummary, LocateReport, PendingCall,
+    RecoveryReport, RemoteSubscription, ResolveVia, TickHook,
 };
 
 // Re-exported so `define_complet!` expansions and user code agree on the

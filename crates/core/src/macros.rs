@@ -80,7 +80,11 @@ macro_rules! define_complet {
             }
 
             /// Registers this complet type in a registry under its type
-            /// name (`stringify!($name)`).
+            /// name (`stringify!($name)`). Also registers the reviver
+            /// (shell constructor) used by arrival, restore, and crash
+            /// recovery, so `init` side effects run exactly once — at
+            /// instantiation, never again when saved state is
+            /// unmarshaled over a fresh shell.
             $vis fn register(registry: &$crate::CompletRegistry) {
                 registry.register(stringify!($name), |args| {
                     #[allow(unused_mut)]
@@ -89,6 +93,7 @@ macro_rules! define_complet {
                     let _ = args;
                     Ok(Box::new(complet))
                 });
+                registry.register_reviver(stringify!($name), || Box::new($name::new()));
             }
 
             $(
@@ -286,6 +291,39 @@ mod tests {
             c.marshal().get("greeting").and_then(Value::as_str),
             Some("shalom")
         );
+    }
+
+    #[test]
+    fn reconstruct_skips_init_side_effects() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static INITS: AtomicU32 = AtomicU32::new(0);
+
+        define_complet! {
+            /// Regression: a constructor with side effects must run once
+            /// per complet lifetime, not again on restore/arrival.
+            pub complet InitCounter {
+                state {
+                    n: i64 = 0,
+                }
+                init(&mut self, _args) {
+                    INITS.fetch_add(1, Ordering::SeqCst);
+                    self.n = 1;
+                    Ok(())
+                }
+            }
+        }
+
+        let reg = CompletRegistry::new();
+        InitCounter::register(&reg);
+        let c = reg.construct("InitCounter", &[]).unwrap();
+        assert_eq!(INITS.load(Ordering::SeqCst), 1);
+        let r = reg.reconstruct("InitCounter", c.marshal()).unwrap();
+        assert_eq!(
+            INITS.load(Ordering::SeqCst),
+            1,
+            "reviver must not re-run init"
+        );
+        assert_eq!(r.marshal().get("n").and_then(Value::as_i64), Some(1));
     }
 
     #[test]

@@ -413,7 +413,28 @@ impl Core {
                     if result.is_err() {
                         t.invoke_errors_total.inc();
                     }
+                    // Write-ahead before acknowledging: a successful
+                    // reply promises the caller that the complet's
+                    // post-invocation state survives a Core crash, so
+                    // the state is captured while the slot is still
+                    // locked and logged before the reply goes out.
+                    let durable = if result.is_ok()
+                        && self.inner.config.wal_sync_acks
+                        && self.inner.wal.is_some()
+                    {
+                        Some(complet.marshal())
+                    } else {
+                        None
+                    };
                     drop(guard);
+                    if let Some(state) = durable {
+                        self.wal_capture_state(id, &slot.type_name, state);
+                        let detail = match result.as_ref() {
+                            Ok(Value::I64(v)) => v.to_string(),
+                            _ => String::new(),
+                        };
+                        t.journal(JournalKind::ExecAcked, &id, method, &detail, None);
+                    }
                     // Weak mobility: deferred self-moves run only now,
                     // after the method body released the complet (§3.3).
                     self.run_deferred(ctx);

@@ -12,8 +12,11 @@ pub(crate) mod naming;
 pub(crate) mod persistence;
 pub(crate) mod reliable;
 pub(crate) mod shards;
+pub(crate) mod wal;
 
+pub use persistence::Checkpoint;
 pub use shards::{LocateReport, ResolveVia};
+pub use wal::RecoveryReport;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -145,6 +148,12 @@ pub(crate) struct CoreInner {
     pub gossip_cursors: Mutex<HashMap<u32, u64>>,
     /// Rotation position of the anti-entropy republish pass.
     pub antientropy_pos: AtomicU64,
+    /// Write-ahead passivation log; `None` when durability is off
+    /// (`CoreConfig::wal_dir` unset).
+    pub wal: Option<wal::Wal>,
+    /// What the spawn-time recovery pass replayed (`None` when no pass
+    /// ran: durability off, recovery disabled, or an empty log).
+    pub recovery: Mutex<Option<wal::RecoveryReport>>,
 }
 
 /// Percentile summary of one latency histogram, as returned by
@@ -329,6 +338,13 @@ impl<'a> CoreBuilder<'a> {
             config.clock.clone(),
         );
         monitor.register_metrics(&telemetry.registry, &name);
+        let wal_log = match &config.wal_dir {
+            Some(dir) => Some(
+                wal::Wal::open(dir, &name)
+                    .map_err(|e| FargoError::App(format!("wal open: {e}")))?,
+            ),
+            None => None,
+        };
         let (work_tx, work_rx) = bounded(config.worker_queue_depth);
         let inner = Arc::new(CoreInner {
             name,
@@ -346,7 +362,11 @@ impl<'a> CoreBuilder<'a> {
             pending: Mutex::new(HashMap::new()),
             sinks: Mutex::new(HashMap::new()),
             sink_seq: AtomicU64::new(1),
-            req_seq: AtomicU64::new(1),
+            // Salt request ids with the WAL's durable incarnation number:
+            // a restarted Core that re-minted ids from 1 would hit peers'
+            // reply-dedup caches and be served the previous incarnation's
+            // cached replies instead of executing.
+            req_seq: AtomicU64::new(wal_log.as_ref().map_or(1, |w| (w.generation() << 32) | 1)),
             // Seq 0 is reserved for the application pseudo-complet.
             complet_seq: AtomicU64::new(1),
             hub: EventHub::new(),
@@ -378,6 +398,8 @@ impl<'a> CoreBuilder<'a> {
             shard_deltas: fargo_naming::DeltaLog::new(SHARD_DELTA_LOG),
             gossip_cursors: Mutex::new(HashMap::new()),
             antientropy_pos: AtomicU64::new(0),
+            wal: wal_log,
+            recovery: Mutex::new(None),
             config,
         });
         let core = Core { inner };
@@ -385,6 +407,9 @@ impl<'a> CoreBuilder<'a> {
         core.spawn_workers(work_rx);
         core.spawn_receiver();
         core.spawn_monitor_thread();
+        if core.inner.wal.is_some() && core.inner.config.wal_recover {
+            core.recover_from_wal();
+        }
         Ok(core)
     }
 }
@@ -577,6 +602,14 @@ impl Core {
     /// This Core's layout-event journal, oldest first.
     pub fn journal_snapshot(&self) -> Vec<JournalEvent> {
         self.inner.telemetry.journal.snapshot()
+    }
+
+    /// The sequence number this Core's next journal entry will take.
+    /// Restart harnesses feed it to
+    /// [`CoreConfig::with_journal_seq_base`](crate::CoreConfig) so a
+    /// replacement incarnation's entries never collide with this one's.
+    pub fn journal_next_seq(&self) -> u64 {
+        self.inner.telemetry.journal.next_seq()
     }
 
     /// Collects the journals of this Core **and** every reachable peer
@@ -837,6 +870,7 @@ impl Core {
         self.admit(1)?;
         let complet = self.inner.registry.construct(type_name, args)?;
         let id = self.install_complet(type_name, complet);
+        self.wal_capture(id);
         self.fire_event(EventPayload::CompletArrived {
             id,
             type_name: type_name.to_owned(),
@@ -999,6 +1033,11 @@ impl Core {
             self.current_move_epoch(id),
             false,
         );
+        self.wal_append(&wal::WalRecord::Departed {
+            id,
+            epoch: self.current_move_epoch(id),
+            dest: None,
+        });
         Ok(())
     }
 
@@ -2010,6 +2049,7 @@ impl Core {
                         core.fire_event(event);
                     }
                     core.sweep_held_moves();
+                    core.wal_compact_if_due();
                     core.evaluate_health();
                     // Ring refresh + anti-entropy republish for the
                     // sharded location service (a no-op when disabled).

@@ -353,6 +353,13 @@ impl Core {
             .unwrap_or(0);
         let abort = |core: &Core, e: &FargoError| {
             core.inner.move_decisions.record(root, txn_epoch, false);
+            core.wal_append(&crate::runtime::wal::WalRecord::Decision {
+                root,
+                epoch: txn_epoch,
+                committed: false,
+                ids: vec![],
+                dest: dest_node,
+            });
             core.inner.telemetry.journal(
                 JournalKind::MoveAborted,
                 &root,
@@ -383,7 +390,17 @@ impl Core {
                 // The point of no return: once the commit verdict is
                 // recorded, the destination owns the complets and the
                 // source must never restore (that would duplicate them).
+                // The write-ahead Decision record makes the verdict — and
+                // the set of complets it gives away — survive a source
+                // crash: recovery must not resurrect them.
                 self.inner.move_decisions.record(root, txn_epoch, true);
+                self.wal_append(&crate::runtime::wal::WalRecord::Decision {
+                    root,
+                    epoch: txn_epoch,
+                    committed: true,
+                    ids: departing.iter().map(|d| d.id).collect(),
+                    dest: dest_node,
+                });
                 self.inner.telemetry.journal(
                     JournalKind::MoveCommitted,
                     &root,
@@ -477,6 +494,11 @@ impl Core {
             // Commit point of the two-phase move: publish the new
             // placement to its owning location shard.
             self.publish_location(d.id, dest_node, epoch, true);
+            self.wal_append(&crate::runtime::wal::WalRecord::Departed {
+                id: d.id,
+                epoch,
+                dest: Some(dest_node),
+            });
             if d.id.origin != me {
                 let _ = self.send_to(
                     d.id.origin,
@@ -729,8 +751,7 @@ impl Core {
         }
         let mut out = Vec::with_capacity(prepared.len());
         for (packet, state) in prepared {
-            let mut complet = self.inner.registry.construct(&packet.type_name, &[])?;
-            complet.unmarshal(state)?;
+            let complet = self.inner.registry.reconstruct(&packet.type_name, state)?;
             out.push((packet, complet));
         }
         Ok(out)
@@ -777,6 +798,10 @@ impl Core {
             );
         }
         self.run_post_arrival(packet.id);
+        // Write-ahead: from this point the arrival is visible to
+        // invocation, so its state (possibly rewritten by
+        // `post_arrival`) must survive a crash of this Core.
+        self.wal_capture(packet.id);
         self.fire_event(EventPayload::CompletArrived {
             id: packet.id,
             type_name: packet.type_name.clone(),
@@ -827,10 +852,30 @@ impl Core {
         if let Err(e) = self.admit(packets.len()) {
             return Reply::Err(e);
         }
+        // Snapshot the stream for the write-ahead log *before*
+        // reconstruction consumes the packets: once this Core replies
+        // `PrepareOk` it may hold the only copy of a committed move, so
+        // the held state must survive a crash of this process.
+        let wal_held = crate::runtime::wal::WalHeld {
+            root,
+            epoch,
+            source: origin,
+            packets: packets
+                .iter()
+                .map(|p| crate::runtime::wal::WalState {
+                    id: p.id,
+                    type_name: p.type_name.clone(),
+                    state: p.state.clone(),
+                    epoch: p.epoch,
+                    names: p.names.clone(),
+                })
+                .collect(),
+        };
         let complets = match self.reconstruct_stream(packets) {
             Ok(c) => c,
             Err(e) => return Reply::Err(e),
         };
+        self.wal_append(&crate::runtime::wal::WalRecord::Held(wal_held));
         let held = HeldMove {
             complets,
             continuation,
@@ -887,6 +932,11 @@ impl Core {
             self.inner.move_outcomes.record(root, epoch, false);
         }
         if held.is_some() {
+            self.wal_append(&crate::runtime::wal::WalRecord::HeldResolved {
+                root,
+                epoch,
+                committed: false,
+            });
             self.inner.telemetry.journal(
                 JournalKind::MoveAborted,
                 &root,
@@ -952,6 +1002,14 @@ impl Core {
             self.install_arrival(&packet, complet);
             arrived.push(packet.id);
         }
+        // The live State records written by `install_arrival` supersede
+        // the Held snapshot; resolving it keeps replay from re-holding a
+        // transaction that already activated.
+        self.wal_append(&crate::runtime::wal::WalRecord::HeldResolved {
+            root,
+            epoch,
+            committed: true,
+        });
         t.journal(
             JournalKind::MoveCommitted,
             &root,
@@ -1013,6 +1071,93 @@ impl Core {
                 },
             );
         }
+    }
+
+    /// Re-holds a move stream recovered from the write-ahead log after a
+    /// Core restart: the complets are reconstructed but stay invisible
+    /// until the source's verdict arrives (via `MoveCommit`/`MoveAbort`
+    /// retransmits, the monitor sweep, or [`Core::resolve_held_now`]).
+    /// The continuation does not survive the crash — it had not been
+    /// acknowledged to any caller. Returns `false` when reconstruction
+    /// fails (e.g. the type is no longer registered).
+    pub(crate) fn rehold_recovered(&self, held: crate::runtime::wal::WalHeld) -> bool {
+        let key = (held.root, held.epoch);
+        if self.inner.held_moves.lock().contains_key(&key)
+            || self
+                .inner
+                .move_outcomes
+                .get(held.root, held.epoch)
+                .is_some()
+        {
+            return false;
+        }
+        let mut complets = Vec::with_capacity(held.packets.len());
+        for s in held.packets {
+            let complet = match self
+                .inner
+                .registry
+                .reconstruct(&s.type_name, s.state.clone())
+            {
+                Ok(c) => c,
+                Err(_) => return false,
+            };
+            let packet = CompletPacket {
+                id: s.id,
+                type_name: s.type_name,
+                state: s.state,
+                names: s.names,
+                epoch: s.epoch,
+            };
+            complets.push((packet, complet));
+        }
+        let rearmed = HeldMove {
+            complets,
+            continuation: None,
+            source: held.source,
+            deadline: self
+                .inner
+                .config
+                .clock
+                .deadline_us(self.inner.config.move_hold_timeout),
+        };
+        self.inner.held_moves.lock().insert(key, rearmed);
+        true
+    }
+
+    /// Synchronously resolves every held move by asking its source for
+    /// the recorded verdict — the deterministic counterpart of the
+    /// monitor-thread sweep, for recovery paths and tests that park the
+    /// monitor. Streams whose source answers `Unknown` (or is
+    /// unreachable) stay held. Returns how many were resolved.
+    pub fn resolve_held_now(&self) -> usize {
+        let pending: Vec<(CompletId, u64, u32)> = self
+            .inner
+            .held_moves
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.0, k.1, h.source))
+            .collect();
+        let mut resolved = 0;
+        for (root, epoch, source) in pending {
+            match self.rpc(source, Request::MoveDecision { root, epoch }) {
+                Ok(Reply::MoveState {
+                    state: MoveTxnState::Committed,
+                }) => {
+                    if let Some(h) = self.inner.held_moves.lock().remove(&(root, epoch)) {
+                        self.activate_held(root, epoch, h, None);
+                        resolved += 1;
+                    }
+                }
+                Ok(Reply::MoveState {
+                    state: MoveTxnState::Aborted,
+                }) => {
+                    let _ = self.handle_move_abort(root, epoch);
+                    resolved += 1;
+                }
+                _ => {}
+            }
+        }
+        resolved
     }
 
     /// Runs the `post_arrival` callback on a freshly installed complet,

@@ -254,6 +254,16 @@ impl DecisionLog {
     pub(crate) fn get(&self, root: CompletId, epoch: u64) -> Option<bool> {
         self.inner.lock().verdicts.get(&(root, epoch)).copied()
     }
+
+    /// Every recorded verdict in insertion order — the write-ahead log's
+    /// compaction snapshot, so verdict queries survive a Core restart.
+    pub(crate) fn snapshot(&self) -> Vec<(CompletId, u64, bool)> {
+        let g = self.inner.lock();
+        g.order
+            .iter()
+            .filter_map(|k| g.verdicts.get(k).map(|v| (k.0, k.1, *v)))
+            .collect()
+    }
 }
 
 /// One request handed from the receiver loop to the worker pool.

@@ -173,6 +173,22 @@ pub(crate) struct CoreTelemetry {
     pub naming_gossip_bytes_total: Counter,
     /// Shard entries re-homed after a ring membership change.
     pub naming_handoffs_total: Counter,
+
+    // Durability (write-ahead passivation log + restart recovery).
+    /// Records appended to the write-ahead log.
+    pub wal_appends_total: Counter,
+    /// Log compactions (monitor-tick or explicit rewrites).
+    pub wal_compactions_total: Counter,
+    /// Write-ahead log append or compaction failures.
+    pub wal_errors_total: Counter,
+    /// Complets re-installed from the log by restart recovery.
+    pub recovery_replayed_total: Counter,
+    /// Prepared moves re-held by restart recovery.
+    pub recovery_held_total: Counter,
+    /// Logs whose tail was torn or corrupted at replay.
+    pub recovery_corrupt_total: Counter,
+    /// Wall-clock microseconds the last recovery pass took.
+    pub recovery_duration_us: Gauge,
 }
 
 impl CoreTelemetry {
@@ -226,7 +242,7 @@ impl CoreTelemetry {
         CoreTelemetry {
             spans: SpanLog::with_clock(trace_capacity, clock.clone()),
             trace_enabled,
-            journal: Journal::new(journal_capacity),
+            journal: Journal::with_base(journal_capacity, config.journal_seq_base),
             clock: HlcClock::with_source(clock.clone()),
             journal_enabled,
             journal_stamp: Mutex::new(()),
@@ -285,6 +301,13 @@ impl CoreTelemetry {
             naming_deltas_out_total: registry.counter("fargo_naming_deltas_out_total", l),
             naming_gossip_bytes_total: registry.counter("fargo_naming_gossip_bytes_total", l),
             naming_handoffs_total: registry.counter("fargo_naming_handoffs_total", l),
+            wal_appends_total: registry.counter("fargo_wal_appends_total", l),
+            wal_compactions_total: registry.counter("fargo_wal_compactions_total", l),
+            wal_errors_total: registry.counter("fargo_wal_errors_total", l),
+            recovery_replayed_total: registry.counter("fargo_recovery_replayed_total", l),
+            recovery_held_total: registry.counter("fargo_recovery_held_total", l),
+            recovery_corrupt_total: registry.counter("fargo_recovery_corrupt_total", l),
+            recovery_duration_us: registry.gauge("fargo_recovery_duration_us", l),
             registry,
         }
     }

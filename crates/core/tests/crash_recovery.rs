@@ -1,0 +1,414 @@
+//! Crash/restart durability tests: the four crash-mid-move
+//! interleavings, partition + crash + heal, restart storms, and
+//! checkpoint/restore edge cases. Every scenario runs with the
+//! write-ahead log enabled and verifies the invariant the fault checker
+//! sweeps for: *no acknowledged state is ever lost* — every state a
+//! caller saw acknowledged survives the crash, and the complet stays
+//! reachable afterwards.
+
+mod common;
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use common::{fast_network, registry, test_config};
+use fargo_core::{
+    BoundRef, CompletId, CompletRef, CompletRegistry, Core, CoreConfig, FargoError, JournalKind,
+    RefDescriptor, Value,
+};
+use simnet::{LinkConfig, Network};
+
+/// Per-test scratch directory for the cores' write-ahead logs.
+fn wal_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fargo-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("wal scratch dir");
+    dir
+}
+
+fn wal_config(base: CoreConfig, root: &Path, i: usize) -> CoreConfig {
+    base.with_wal_dir(root.join(format!("core{i}")))
+}
+
+/// Spawns `n` cores named `core0..` with per-core WAL directories.
+fn wal_cluster_with(
+    n: usize,
+    tag: &str,
+    base: CoreConfig,
+) -> (Network, CompletRegistry, Vec<Core>, PathBuf) {
+    let root = wal_root(tag);
+    let net = fast_network();
+    let reg = registry();
+    let cores = (0..n)
+        .map(|i| {
+            Core::builder(&net, &format!("core{i}"))
+                .registry(&reg)
+                .config(wal_config(base.clone(), &root, i))
+                .spawn()
+                .expect("core must spawn")
+        })
+        .collect();
+    (net, reg, cores, root)
+}
+
+fn wal_cluster(n: usize, tag: &str) -> (Network, CompletRegistry, Vec<Core>, PathBuf) {
+    wal_cluster_with(n, tag, test_config())
+}
+
+/// Restarts a crashed core on its old node with its old WAL directory;
+/// spawn re-runs recovery automatically.
+fn restart(
+    net: &Network,
+    reg: &CompletRegistry,
+    base: CoreConfig,
+    root: &Path,
+    old: &Core,
+    i: usize,
+) -> Core {
+    let ep = net.restart_node(old.node()).expect("restart node");
+    Core::builder(net, &format!("core{i}"))
+        .endpoint(ep)
+        .registry(reg)
+        .config(wal_config(base, root, i))
+        .spawn()
+        .expect("restarted core must spawn")
+}
+
+/// A reference seeded fresh at `core` (old stubs die with their Core).
+fn fresh_stub(core: &Core, id: CompletId, type_name: &str) -> BoundRef {
+    core.stub(CompletRef::from_descriptor(RefDescriptor::link(
+        id,
+        type_name,
+        core.node().index(),
+    )))
+}
+
+fn cleanup(root: &Path, cores: &[Core]) {
+    for c in cores {
+        c.stop();
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+// --- the four crash-mid-move interleavings ---------------------------------
+
+/// Interleaving A: the destination is already dead when the move starts.
+/// The prepare round fails, the source keeps the complet, and after the
+/// destination restarts the same move succeeds.
+#[test]
+fn crash_a_dest_dead_before_prepare() {
+    let (net, reg, mut cores, root) = wal_cluster(2, "a");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(5)]).unwrap();
+
+    cores[1].stop();
+    assert!(counter.move_to("core1").is_err(), "dest is down");
+    assert!(cores[0].hosts(counter.id()), "source keeps the complet");
+    assert_eq!(counter.call("get", &[]).unwrap(), Value::I64(5));
+
+    cores[1] = restart(&net, &reg, test_config(), &root, &cores[1], 1);
+    counter.move_to("core1").unwrap();
+    assert!(cores[1].hosts(counter.id()));
+    assert!(!cores[0].hosts(counter.id()));
+    assert_eq!(
+        counter.call("add", &[Value::I64(1)]).unwrap(),
+        Value::I64(6)
+    );
+    cleanup(&root, &cores);
+}
+
+/// Interleaving B: the destination crashes *between* holding the
+/// prepared closure and receiving the commit. The source presume-commits
+/// off its decision log; the restarted destination finds the held stream
+/// in its WAL, queries the source's decision, and activates. Exactly one
+/// copy survives, with the acknowledged state.
+#[test]
+fn crash_b_dest_crash_between_hold_and_commit() {
+    let (net, reg, mut cores, root) = wal_cluster(2, "b");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(7)]).unwrap();
+
+    // Slow the src->dst direction only: the prepare arrives late, its
+    // reply returns instantly, and the commit spends another 400 ms in
+    // flight — a wide window where the destination holds but has not
+    // committed.
+    net.set_link_directed(
+        cores[0].node(),
+        cores[1].node(),
+        LinkConfig::new(Duration::from_millis(400)),
+    )
+    .unwrap();
+
+    let mover = counter.clone();
+    let moving = std::thread::spawn(move || mover.move_to("core1"));
+
+    // Crash the destination as soon as it journals the hold.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let held = cores[1]
+            .journal_snapshot()
+            .iter()
+            .any(|e| e.kind == JournalKind::MovePrepared);
+        if held {
+            break;
+        }
+        assert!(Instant::now() < deadline, "prepare never reached the dest");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cores[1].stop();
+
+    // The source recorded the commit verdict before sending the commit:
+    // it must finalize the departure (presumed commit), not restore.
+    let result = moving.join().unwrap();
+    assert!(
+        matches!(result, Ok(()) | Err(FargoError::MoveInDoubt(_))),
+        "got {result:?}"
+    );
+    assert!(!cores[0].hosts(counter.id()), "source finalized departure");
+
+    // Restart the destination: recovery re-holds the prepared stream and
+    // resolves it against the source's decision log.
+    net.set_link_directed(cores[0].node(), cores[1].node(), LinkConfig::instant())
+        .unwrap();
+    cores[1] = restart(&net, &reg, test_config(), &root, &cores[1], 1);
+    let report = cores[1].recovery_report().expect("recovery ran");
+    assert!(report.held >= 1, "held stream must be re-held: {report:?}");
+    cores[1].resolve_held_now();
+
+    assert!(cores[1].hosts(counter.id()), "held move activated");
+    assert!(!cores[0].hosts(counter.id()), "exactly one copy");
+    let fresh = fresh_stub(&cores[1], counter.id(), "Counter");
+    assert_eq!(fresh.call("get", &[]).unwrap(), Value::I64(7));
+    cleanup(&root, &cores);
+}
+
+/// Interleaving C: the destination crashes *after* the move completed
+/// and more acknowledged work landed. Restart replays the WAL and every
+/// acknowledged state — including the post-move calls — survives.
+#[test]
+fn crash_c_dest_crash_after_commit_replays_state() {
+    let (net, reg, mut cores, root) = wal_cluster(2, "c");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(3)]).unwrap();
+    counter.move_to("core1").unwrap();
+    counter.call("add", &[Value::I64(4)]).unwrap();
+
+    cores[1].stop();
+    cores[1] = restart(&net, &reg, test_config(), &root, &cores[1], 1);
+    let report = cores[1].recovery_report().expect("recovery ran");
+    assert_eq!(report.replayed, 1, "one survivor: {report:?}");
+
+    assert!(cores[1].hosts(counter.id()));
+    // The pre-crash stub at core0 still reaches it, and both
+    // acknowledged adds survived.
+    assert_eq!(counter.call("get", &[]).unwrap(), Value::I64(7));
+    assert_eq!(counter.call("history_len", &[]).unwrap(), Value::I64(2));
+    cleanup(&root, &cores);
+}
+
+/// Interleaving D: the *source* crashes after a completed move. Restart
+/// must not resurrect the departed complet — and must rebuild the
+/// forwarding tracker, because the source is the complet's origin and
+/// every chain lookup runs through it.
+#[test]
+fn crash_d_source_crash_after_departure_does_not_resurrect() {
+    let (net, reg, mut cores, root) = wal_cluster(2, "d");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(2)]).unwrap();
+    counter.move_to("core1").unwrap();
+
+    cores[0].stop();
+    cores[0] = restart(&net, &reg, test_config(), &root, &cores[0], 0);
+    let report = cores[0].recovery_report().expect("recovery ran");
+    assert_eq!(report.replayed, 0, "nothing lives here: {report:?}");
+    assert!(report.forwards >= 1, "forward rebuilt: {report:?}");
+
+    assert!(!cores[0].hosts(counter.id()), "no resurrection");
+    assert!(cores[1].hosts(counter.id()), "the real copy is untouched");
+    // A fresh reference seeded at the restarted origin still routes to
+    // the complet through the recovered forwarding tracker.
+    let fresh = fresh_stub(&cores[0], counter.id(), "Counter");
+    assert_eq!(fresh.call("get", &[]).unwrap(), Value::I64(2));
+    cleanup(&root, &cores);
+}
+
+// --- partition + crash + heal ----------------------------------------------
+
+/// A partition isolates the host, the host crashes mid-partition, the
+/// partition heals, and the host restarts: acknowledged state recovers
+/// and the old reference works again.
+#[test]
+fn partition_crash_heal_restart_recovers() {
+    let base = test_config().with_rpc_timeout(Duration::from_millis(500));
+    let (net, reg, mut cores, root) = wal_cluster_with(2, "phr", base.clone());
+    let counter = cores[0].new_complet_at("core1", "Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(5)]).unwrap();
+
+    net.partition(cores[0].node(), cores[1].node()).unwrap();
+    assert!(counter.call("get", &[]).is_err(), "partitioned");
+
+    cores[1].stop();
+    net.heal(cores[0].node(), cores[1].node()).unwrap();
+    cores[1] = restart(&net, &reg, base, &root, &cores[1], 1);
+
+    assert!(cores[1].hosts(counter.id()));
+    assert_eq!(counter.call("get", &[]).unwrap(), Value::I64(5));
+    assert_eq!(
+        counter.call("add", &[Value::I64(1)]).unwrap(),
+        Value::I64(6)
+    );
+    cleanup(&root, &cores);
+}
+
+// --- restart storm ----------------------------------------------------------
+
+/// Five crash/restart cycles of the same Core, accumulating state across
+/// every incarnation, with the compaction threshold set low enough that
+/// the log is rewritten mid-storm. Every acknowledged add must survive
+/// every cycle, and each recovery stays fast.
+#[test]
+fn restart_storm_preserves_accumulated_state() {
+    let base = test_config().with_wal_compact_records(4);
+    let (net, reg, mut cores, root) = wal_cluster_with(2, "storm", base.clone());
+    let counter = cores[0].new_complet_at("core1", "Counter", &[]).unwrap();
+
+    let mut expect = 0i64;
+    for round in 1..=5 {
+        counter.call("add", &[Value::I64(round)]).unwrap();
+        counter.call("add", &[Value::I64(round)]).unwrap();
+        expect += 2 * round;
+
+        cores[1].stop();
+        cores[1] = restart(&net, &reg, base.clone(), &root, &cores[1], 1);
+        let report = cores[1].recovery_report().expect("recovery ran");
+        assert_eq!(report.replayed, 1, "round {round}: {report:?}");
+        assert!(
+            report.duration_us < 5_000_000,
+            "round {round}: recovery must be fast, took {}us",
+            report.duration_us
+        );
+        assert_eq!(
+            counter.call("get", &[]).unwrap(),
+            Value::I64(expect),
+            "round {round} lost acknowledged state"
+        );
+    }
+    assert_eq!(counter.call("history_len", &[]).unwrap(), Value::I64(10));
+    cleanup(&root, &cores);
+}
+
+// --- checkpoint/restore edge cases -----------------------------------------
+
+/// Restoring the same snapshot twice is idempotent: the second restore
+/// overwrites the first, leaving one working copy.
+#[test]
+fn restore_checkpoint_is_idempotent() {
+    let (_net, _reg, cores, root) = wal_cluster(2, "idem");
+    let counter = cores[0].new_named_complet("tally", "Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(2)]).unwrap();
+
+    let snapshot = cores[0].checkpoint().unwrap().snapshot;
+    cores[0].release_complet(counter.id()).unwrap();
+
+    let first = cores[1].restore_checkpoint(&snapshot).unwrap();
+    let second = cores[1].restore_checkpoint(&snapshot).unwrap();
+    assert_eq!(first, second, "same ids both times");
+    assert!(cores[1].hosts(counter.id()));
+
+    let tally = cores[1].lookup_stub("tally").unwrap();
+    assert_eq!(tally.call("get", &[]).unwrap(), Value::I64(2));
+    assert_eq!(tally.call("add", &[Value::I64(1)]).unwrap(), Value::I64(3));
+    cleanup(&root, &cores);
+}
+
+/// A structurally valid checkpoint with a truncated complet entry is
+/// rejected with a typed error, not installed half-way.
+#[test]
+fn truncated_snapshot_entries_are_rejected() {
+    let (_net, _reg, cores, root) = wal_cluster(1, "trunc");
+    // Entry has an id but no type/state: must fail cleanly.
+    let snapshot = Value::map([
+        ("fargo_checkpoint", Value::I64(1)),
+        (
+            "complets",
+            Value::List(vec![Value::map([("id", Value::from("c0.1"))])]),
+        ),
+    ]);
+    assert!(matches!(
+        cores[0].restore_checkpoint(&snapshot),
+        Err(FargoError::InvalidArgument(_))
+    ));
+    assert_eq!(cores[0].complet_count(), 0, "nothing was installed");
+    cleanup(&root, &cores);
+}
+
+/// A restore racing a concurrent inbound move: both land on the same
+/// Core at once, and both complets come out live and callable.
+#[test]
+fn restore_races_concurrent_inbound_move() {
+    let (_net, _reg, cores, root) = wal_cluster(3, "race");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+    counter.call("add", &[Value::I64(3)]).unwrap();
+    let snapshot = cores[0].checkpoint().unwrap().snapshot;
+    cores[0].release_complet(counter.id()).unwrap();
+
+    let msg = cores[2]
+        .new_complet("Message", &[Value::from("racer")])
+        .unwrap();
+
+    let restorer = cores[1].clone();
+    let restoring = std::thread::spawn(move || restorer.restore_checkpoint(&snapshot));
+    msg.move_to("core1").unwrap();
+    restoring.join().unwrap().unwrap();
+
+    assert!(cores[1].hosts(counter.id()));
+    assert!(cores[1].hosts(msg.id()));
+    let fresh = fresh_stub(&cores[1], counter.id(), "Counter");
+    assert_eq!(fresh.call("get", &[]).unwrap(), Value::I64(3));
+    assert_eq!(msg.call("print", &[]).unwrap(), Value::from("racer"));
+    cleanup(&root, &cores);
+}
+
+/// E23-found regression: compaction used to re-marshal live slots and
+/// then swap the log file — a mutation acknowledged between the slot
+/// snapshot and the swap was silently erased, so a later crash lost
+/// acked state. Compaction now folds the log itself under the append
+/// lock, so hammering acknowledged adds while compacting concurrently
+/// must lose nothing across a crash.
+#[test]
+fn compaction_never_drops_concurrently_acked_state() {
+    let (net, reg, mut cores, root) = wal_cluster(1, "compact-race");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+
+    const ACKS: i64 = 300;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let compactor = &cores[0];
+        s.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                compactor.wal_compact_now();
+            }
+        });
+        for _ in 0..ACKS {
+            counter.call("add", &[Value::I64(1)]).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    cores[0].stop();
+    cores[0] = restart(&net, &reg, test_config(), &root, &cores[0], 0);
+    assert_eq!(cores[0].recovery_report().expect("recovered").replayed, 1);
+
+    let fresh = fresh_stub(&cores[0], counter.id(), "Counter");
+    assert_eq!(
+        fresh.call("get", &[]).unwrap(),
+        Value::I64(ACKS),
+        "every acknowledged add must survive concurrent compaction + crash"
+    );
+    assert_eq!(
+        fresh.call("history_len", &[]).unwrap(),
+        Value::I64(ACKS),
+        "the acked history must be intact"
+    );
+    cleanup(&root, &cores);
+}

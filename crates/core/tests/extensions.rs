@@ -19,7 +19,9 @@ fn checkpoint_restores_complets_names_and_state() {
         .new_complet("Message", &[Value::from("persist me")])
         .unwrap();
 
-    let snapshot = cores[0].checkpoint().unwrap();
+    let ckpt = cores[0].checkpoint().unwrap();
+    assert!(ckpt.skipped.is_empty(), "nothing was in transit");
+    let snapshot = ckpt.snapshot;
     // Simulate a cold restart: the original Core dies, a replacement
     // restores the snapshot.
     cores[0].stop();
@@ -57,7 +59,7 @@ fn restored_complets_are_reachable_from_peers() {
     store.call("add", &[Value::I64(3)]).unwrap();
 
     // Checkpoint core1, drop the complet there, restore into core2.
-    let snapshot = cores[1].checkpoint().unwrap();
+    let snapshot = cores[1].checkpoint().unwrap().snapshot;
     cores[1].release_complet(store.id()).unwrap();
     cores[2].restore_checkpoint(&snapshot).unwrap();
 

@@ -124,6 +124,28 @@ impl Network {
         Ok(Endpoint::new(self.clone(), id, rx))
     }
 
+    /// Crash-restarts a node: its old inbox (and any [`Endpoint`] still
+    /// holding it) is abandoned, a fresh queue is installed, the node is
+    /// marked up, and a new [`Endpoint`] for the same id and name is
+    /// returned. Packets already scheduled toward the old queue are lost —
+    /// exactly what a process crash does to its socket buffers. The name
+    /// registration is unchanged, so peers keep addressing the node by the
+    /// same id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for an id not in this network.
+    pub fn restart_node(&self, id: NodeId) -> Result<Endpoint, NetError> {
+        let mut nodes = self.inner.nodes.write();
+        let rec = nodes
+            .get_mut(id.0 as usize)
+            .ok_or(NetError::UnknownNode(id))?;
+        let (tx, rx) = channel::unbounded();
+        rec.tx = tx;
+        rec.up = true;
+        Ok(Endpoint::new(self.clone(), id, rx))
+    }
+
     /// Looks up a node by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
         self.inner.names.read().get(name).copied()
@@ -561,6 +583,38 @@ mod tests {
             Err(NetError::NodeDown(_))
         ));
         assert!(!n.node_up(b.id()).unwrap());
+    }
+
+    #[test]
+    fn restart_replaces_queue_and_revives_node() {
+        let n = net();
+        let a = n.add_node("a").unwrap();
+        let b = n.add_node("b").unwrap();
+        // Message sitting in b's old queue is lost across the restart.
+        a.send(b.id(), b"pre-crash".to_vec()).unwrap();
+        n.set_node_up(b.id(), false).unwrap();
+        assert!(matches!(
+            a.send(b.id(), b"while-down".to_vec()),
+            Err(NetError::NodeDown(_))
+        ));
+        let b2 = n.restart_node(b.id()).unwrap();
+        assert_eq!(b2.id(), b.id());
+        assert!(n.node_up(b.id()).unwrap());
+        assert_eq!(n.node_name(b2.id()).unwrap(), "b");
+        a.send(b.id(), b"post-restart".to_vec()).unwrap();
+        let m = b2.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.payload.as_ref(), b"post-restart");
+        // The fresh queue never saw the pre-crash packet.
+        assert!(b2.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn restart_unknown_node_fails() {
+        let n = net();
+        assert!(matches!(
+            n.restart_node(NodeId(9)),
+            Err(NetError::UnknownNode(_))
+        ));
     }
 
     #[test]

@@ -243,6 +243,24 @@ pub enum JournalKind {
     /// shard (subject = complet, object = the placement node or "gone"
     /// for a tombstone, detail = the move epoch of the entry).
     ShardApplied,
+    /// A checkpoint skipped a complet that was not at rest (subject =
+    /// complet, detail = the slot state that made it unsnapshotable).
+    CheckpointSkipped,
+    /// An invocation's effect was made durable before the reply left the
+    /// Core (subject = complet, object = method, detail = the returned
+    /// value when it is an integer). This is the event the
+    /// "no acknowledged state lost" oracle audits.
+    ExecAcked,
+    /// The write-ahead log was compacted (subject = record count kept,
+    /// detail = appends folded away).
+    WalCompacted,
+    /// A restarted Core began recovery: everything it hosted before the
+    /// crash is gone until replayed (the layout observatory clears this
+    /// Core's placements and trackers at this point).
+    RecoveryStarted,
+    /// Recovery re-installed one complet from the write-ahead log
+    /// (subject = complet, object = type, detail = re-install epoch).
+    RecoveryReplayed,
 }
 
 impl JournalKind {
@@ -272,6 +290,11 @@ impl JournalKind {
             JournalKind::TrackerStale => "trk_stale",
             JournalKind::Alert => "alert",
             JournalKind::ShardApplied => "shard_apply",
+            JournalKind::CheckpointSkipped => "ckpt_skip",
+            JournalKind::ExecAcked => "exec_ack",
+            JournalKind::WalCompacted => "wal_compact",
+            JournalKind::RecoveryStarted => "recovery_start",
+            JournalKind::RecoveryReplayed => "recovered",
         }
     }
 
@@ -301,6 +324,11 @@ impl JournalKind {
             "trk_stale" => JournalKind::TrackerStale,
             "alert" => JournalKind::Alert,
             "shard_apply" => JournalKind::ShardApplied,
+            "ckpt_skip" => JournalKind::CheckpointSkipped,
+            "exec_ack" => JournalKind::ExecAcked,
+            "wal_compact" => JournalKind::WalCompacted,
+            "recovery_start" => JournalKind::RecoveryStarted,
+            "recovered" => JournalKind::RecoveryReplayed,
             _ => return None,
         })
     }
@@ -364,16 +392,28 @@ impl fmt::Display for JournalEvent {
 pub struct Journal {
     slots: Box<[Mutex<Option<JournalEvent>>]>,
     cursor: AtomicU64,
+    base: u64,
 }
 
 impl Journal {
     /// A journal holding at most `capacity` events (minimum 1).
     pub fn new(capacity: usize) -> Journal {
+        Journal::with_base(capacity, 0)
+    }
+
+    /// A journal whose first event takes sequence number `base`.
+    ///
+    /// A crash-restarted Core resumes its journal above the last
+    /// sequence its previous incarnation emitted, so merged timelines
+    /// (deduplicated on `(core, seq)`) never conflate pre-crash and
+    /// post-crash events.
+    pub fn with_base(capacity: usize, base: u64) -> Journal {
         let cap = capacity.max(1);
         let slots = (0..cap).map(|_| Mutex::new(None)).collect::<Vec<_>>();
         Journal {
             slots: slots.into_boxed_slice(),
-            cursor: AtomicU64::new(0),
+            cursor: AtomicU64::new(base),
+            base,
         }
     }
 
@@ -390,8 +430,14 @@ impl Journal {
         seq
     }
 
-    /// Total number of events ever appended (including evicted ones).
+    /// Total number of events ever appended to *this* journal instance
+    /// (including evicted ones; a restart base does not count).
     pub fn appended(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire) - self.base
+    }
+
+    /// The sequence number the next appended event will take.
+    pub fn next_seq(&self) -> u64 {
         self.cursor.load(Ordering::Acquire)
     }
 
@@ -505,7 +551,19 @@ impl LayoutState {
             | JournalKind::Alert
             // Shard entries are the naming service's *belief* about the
             // layout; ground truth stays with arrive/depart.
-            | JournalKind::ShardApplied => {}
+            | JournalKind::ShardApplied
+            // Durability bookkeeping; layout changes arrive as the
+            // subsequent RecoveryStarted / arrive events.
+            | JournalKind::CheckpointSkipped
+            | JournalKind::ExecAcked
+            | JournalKind::WalCompacted
+            | JournalKind::RecoveryReplayed => {}
+            JournalKind::RecoveryStarted => {
+                // A crash-restarted Core lost everything it hosted; the
+                // survivors re-announce themselves as arrivals.
+                self.placement.retain(|_, node| *node != ev.core);
+                self.trackers.retain(|(node, _), _| *node != ev.core);
+            }
         }
     }
 
@@ -892,6 +950,42 @@ mod tests {
             JournalKind::parse(JournalKind::ShardApplied.as_str()),
             Some(JournalKind::ShardApplied)
         );
+    }
+
+    #[test]
+    fn durability_kinds_round_trip() {
+        for kind in [
+            JournalKind::CheckpointSkipped,
+            JournalKind::ExecAcked,
+            JournalKind::WalCompacted,
+            JournalKind::RecoveryStarted,
+            JournalKind::RecoveryReplayed,
+        ] {
+            assert_eq!(JournalKind::parse(kind.as_str()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn journal_base_offsets_sequences() {
+        let j = Journal::with_base(4, 100);
+        assert_eq!(j.next_seq(), 100);
+        let seq = j.append(ev((1, 0), 0, 0, JournalKind::Invoke, "c0.1"));
+        assert_eq!(seq, 100);
+        assert_eq!(j.appended(), 1, "base does not count as appends");
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.next_seq(), 101);
+    }
+
+    #[test]
+    fn recovery_start_clears_one_core() {
+        let history = LayoutHistory::from_events(vec![
+            ev((1, 0), 0, 0, JournalKind::CompletArrived, "c0.1"),
+            ev((2, 0), 1, 0, JournalKind::CompletArrived, "c1.1"),
+            ev((3, 0), 0, 1, JournalKind::RecoveryStarted, ""),
+        ]);
+        let state = history.final_state();
+        assert!(!state.placement.contains_key("c0.1"), "crashed core wiped");
+        assert_eq!(state.placement.get("c1.1"), Some(&1), "peer unaffected");
     }
 
     #[test]
