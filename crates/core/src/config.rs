@@ -171,6 +171,12 @@ pub struct CoreConfig {
     /// depart), so a crash can roll a complet back to its last
     /// lifecycle capture.
     pub wal_sync_acks: bool,
+    /// Whether every log append is fsynced (`sync_data`) before the
+    /// acknowledgement leaves the Core. On (the default), durability
+    /// covers OS crashes and power loss; off, records reach the OS page
+    /// cache only, so durability covers process crashes but an OS crash
+    /// can drop the unsynced tail.
+    pub wal_fsync: bool,
     /// Appends between monitor-tick log compactions (a compaction
     /// rewrites the log as a fresh snapshot of live state).
     pub wal_compact_records: u64,
@@ -225,6 +231,7 @@ impl Default for CoreConfig {
             naming_gossip_batch: 32,
             wal_dir: None,
             wal_sync_acks: true,
+            wal_fsync: true,
             wal_compact_records: 512,
             wal_recover: true,
             journal_seq_base: 0,
@@ -410,6 +417,15 @@ impl CoreConfig {
         self
     }
 
+    /// Configuration with per-append fsync switched on or off. Off
+    /// trades power-loss durability for append latency: a process
+    /// crash still loses nothing, but an OS crash can drop the tail
+    /// that never left the page cache.
+    pub fn with_wal_fsync(mut self, enabled: bool) -> Self {
+        self.wal_fsync = enabled;
+        self
+    }
+
     /// Configuration with the compaction threshold replaced (appends
     /// between monitor-tick log rewrites; minimum 1).
     pub fn with_wal_compact_records(mut self, records: u64) -> Self {
@@ -520,11 +536,13 @@ mod tests {
         let c = CoreConfig::default();
         assert!(c.wal_dir.is_none(), "durability is opt-in");
         assert!(c.wal_sync_acks, "acked-state capture defaults on");
+        assert!(c.wal_fsync, "power-loss durability defaults on");
         assert!(c.wal_recover, "spawn-time replay defaults on");
         assert_eq!(c.journal_seq_base, 0);
         let c = c
             .with_wal_dir("/tmp/fargo-wal")
             .with_wal_sync_acks(false)
+            .with_wal_fsync(false)
             .with_wal_compact_records(0)
             .with_wal_recovery(false)
             .with_journal_seq_base(42);
@@ -533,6 +551,7 @@ mod tests {
             Some(std::path::Path::new("/tmp/fargo-wal"))
         );
         assert!(!c.wal_sync_acks);
+        assert!(!c.wal_fsync);
         assert_eq!(c.wal_compact_records, 1, "threshold clamps to >= 1");
         assert!(!c.wal_recover);
         assert_eq!(c.journal_seq_base, 42);

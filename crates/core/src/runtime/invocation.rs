@@ -415,20 +415,21 @@ impl Core {
                     }
                     // Write-ahead before acknowledging: a successful
                     // reply promises the caller that the complet's
-                    // post-invocation state survives a Core crash, so
-                    // the state is captured while the slot is still
-                    // locked and logged before the reply goes out.
-                    let durable = if result.is_ok()
+                    // post-invocation state survives a Core crash. The
+                    // record is appended while the slot is still locked
+                    // so log order matches invocation order — released
+                    // first, a concurrent invocation could mutate the
+                    // complet, append its newer state, and then be
+                    // durably superseded by this one's stale snapshot
+                    // (fold keeps the last record per id).
+                    let acked = result.is_ok()
                         && self.inner.config.wal_sync_acks
-                        && self.inner.wal.is_some()
-                    {
-                        Some(complet.marshal())
-                    } else {
-                        None
-                    };
+                        && self.inner.wal.is_some();
+                    if acked {
+                        self.wal_capture_state(id, &slot.type_name, complet.marshal());
+                    }
                     drop(guard);
-                    if let Some(state) = durable {
-                        self.wal_capture_state(id, &slot.type_name, state);
+                    if acked {
                         let detail = match result.as_ref() {
                             Ok(Value::I64(v)) => v.to_string(),
                             _ => String::new(),

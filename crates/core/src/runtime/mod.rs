@@ -340,7 +340,7 @@ impl<'a> CoreBuilder<'a> {
         monitor.register_metrics(&telemetry.registry, &name);
         let wal_log = match &config.wal_dir {
             Some(dir) => Some(
-                wal::Wal::open(dir, &name)
+                wal::Wal::open(dir, &name, config.wal_fsync)
                     .map_err(|e| FargoError::App(format!("wal open: {e}")))?,
             ),
             None => None,

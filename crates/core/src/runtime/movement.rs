@@ -999,6 +999,20 @@ impl Core {
         self.inner.move_outcomes.record(root, epoch, true);
         let mut arrived = Vec::with_capacity(held.complets.len());
         for (packet, complet) in held.complets {
+            // A packet is stale if this Core already advanced the
+            // complet to the packet's epoch or past it. That happens
+            // when a crash landed between `install_arrival`'s State
+            // appends and the HeldResolved append: recovery re-installs
+            // the survivor from its fresher State records *and*
+            // re-holds the transaction, so the late Committed verdict
+            // re-runs this activation. Re-installing would clobber
+            // acknowledged (possibly since-mutated) state with the
+            // pre-arrival snapshot and re-fire the arrival callbacks —
+            // acknowledge the duplicate without installing instead.
+            if packet.epoch > 0 && self.current_move_epoch(packet.id) >= packet.epoch {
+                arrived.push(packet.id);
+                continue;
+            }
             self.install_arrival(&packet, complet);
             arrived.push(packet.id);
         }
@@ -1190,5 +1204,136 @@ impl Core {
             },
             _ => Reply::Err(FargoError::AlreadyMoving(id)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use fargo_wire::{CompletId, RefDescriptor, Value};
+    use simnet::{LinkConfig, Network, NetworkConfig};
+
+    use crate::runtime::wal::{Wal, WalHeld, WalRecord, WalState};
+    use crate::runtime::Core;
+    use crate::{CompletRef, CompletRegistry, CoreConfig};
+
+    crate::define_complet! {
+        complet HeldCounter {
+            state { n: i64 = 0 }
+            fn add(&mut self, _ctx, args) {
+                self.n += args.first().and_then(Value::as_i64).unwrap_or(1);
+                Ok(Value::I64(self.n))
+            }
+            fn get(&mut self, _ctx, _args) {
+                Ok(Value::I64(self.n))
+            }
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fargo-movement-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Crash window between `install_arrival`'s State appends and the
+    /// HeldResolved append: recovery re-installs the survivor from its
+    /// fresher State records *and* re-holds the transaction. When the
+    /// source later answers Committed, the duplicate activation must not
+    /// re-run `install_arrival` — that would overwrite acknowledged
+    /// (since-mutated) state with the stale pre-arrival packet snapshot.
+    #[test]
+    fn recovered_partial_activation_does_not_clobber_newer_state() {
+        let root_dir = scratch("partial-activation");
+        let id = CompletId::new(0, 7);
+        let arrived_state = |n: i64| WalState {
+            id,
+            type_name: "HeldCounter".into(),
+            state: Value::map([("n", Value::from(n))]),
+            epoch: 1,
+            names: vec![],
+        };
+        // Source core0 recorded the commit verdict (point of no return)
+        // before the crash; recovery reloads it into the decision log.
+        {
+            let wal = Wal::open(&root_dir.join("core0"), "core0", false).unwrap();
+            wal.append(&WalRecord::Decision {
+                root: id,
+                epoch: 1,
+                committed: true,
+                ids: vec![id],
+                dest: 1,
+            })
+            .unwrap();
+        }
+        // Destination core1 crashed mid-activation: the Held record and
+        // the installed State are on disk, the HeldResolved is not.
+        {
+            let wal = Wal::open(&root_dir.join("core1"), "core1", false).unwrap();
+            wal.append(&WalRecord::Held(WalHeld {
+                root: id,
+                epoch: 1,
+                source: 0,
+                packets: vec![arrived_state(7)],
+            }))
+            .unwrap();
+            wal.append(&WalRecord::State(arrived_state(7))).unwrap();
+        }
+
+        let net = Network::new(NetworkConfig {
+            default_link: Some(LinkConfig::instant()),
+            ..NetworkConfig::default()
+        });
+        let reg = CompletRegistry::new();
+        HeldCounter::register(&reg);
+        // A long hold timeout keeps the monitor sweep from racing the
+        // explicit resolve below.
+        let config = |i: usize| {
+            let mut c = CoreConfig::default().with_wal_dir(root_dir.join(format!("core{i}")));
+            c.move_hold_timeout = Duration::from_secs(60);
+            c
+        };
+        let core0 = Core::builder(&net, "core0")
+            .registry(&reg)
+            .config(config(0))
+            .spawn()
+            .unwrap();
+        let core1 = Core::builder(&net, "core1")
+            .registry(&reg)
+            .config(config(1))
+            .spawn()
+            .unwrap();
+
+        // Recovery re-installed the survivor and re-held the transaction.
+        let report = core1.recovery_report().expect("recovery ran");
+        assert_eq!(report.replayed, 1, "{report:?}");
+        assert_eq!(report.held, 1, "{report:?}");
+        assert!(core1.hosts(id));
+
+        // New acknowledged work lands on the recovered complet before the
+        // in-doubt transaction resolves.
+        let stub = core1.stub(CompletRef::from_descriptor(RefDescriptor::link(
+            id,
+            "HeldCounter",
+            core1.node().index(),
+        )));
+        assert_eq!(stub.call("add", &[Value::I64(1)]).unwrap(), Value::I64(8));
+
+        // The source answers Committed; the duplicate activation must be
+        // acknowledged without re-installing the stale packet.
+        assert_eq!(core1.resolve_held_now(), 1);
+        assert_eq!(
+            stub.call("get", &[]).unwrap(),
+            Value::I64(8),
+            "duplicate activation clobbered acknowledged state"
+        );
+        assert!(!core0.hosts(id), "exactly one live copy");
+
+        core0.stop();
+        core1.stop();
+        let _ = std::fs::remove_dir_all(&root_dir);
     }
 }

@@ -22,7 +22,10 @@
 //!   set, the Core appends every state the caller could have observed as
 //!   acknowledged — instantiation, each successful invocation (under
 //!   `wal_sync_acks`), arrival, departure, and the two-phase move
-//!   verdicts — *before* the acknowledgement leaves this process. A
+//!   verdicts — *before* the acknowledgement leaves this process, and
+//!   (under `wal_fsync`, the default) fsyncs each append so the
+//!   guarantee covers OS crashes and power loss, not just process
+//!   deaths. A
 //!   restarted Core replays the log ([`Core::recover_from_wal`], run
 //!   automatically at spawn), folds it to crash-time truth, re-installs
 //!   survivors at their recorded epochs, re-holds prepared-but-undecided
@@ -252,8 +255,10 @@ impl Core {
         self.wal_capture_state(id, &slot.type_name, state);
     }
 
-    /// Appends a `State` record from an already-marshaled state (the
-    /// invocation path marshals while it still holds the slot lock).
+    /// Appends a `State` record from an already-marshaled state. Safe
+    /// to call while the caller holds the slot lock — the invocation
+    /// path does exactly that, so a concurrent invocation of the same
+    /// complet cannot interleave a newer append under this one.
     pub(crate) fn wal_capture_state(&self, id: CompletId, type_name: &str, state: Value) {
         if self.inner.wal.is_none() {
             return;

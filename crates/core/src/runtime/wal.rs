@@ -9,7 +9,10 @@
 //! use — encoded with `fargo-wire` and framed with `fargo-net`'s
 //! length-prefixed frame format, with a CRC32 over the encoded payload
 //! so a torn or corrupted tail is detected and cleanly ignored on
-//! replay.
+//! replay. With `CoreConfig::wal_fsync` on (the default) each append is
+//! fsynced before the acknowledgement leaves, so durability covers OS
+//! crashes and power loss; off, records stop at the OS page cache and
+//! the guarantee narrows to process crashes.
 //!
 //! On restart, [`Wal::replay_path`] reads the surviving prefix and
 //! [`fold`] reduces it to the set of complets that were live (and the
@@ -39,9 +42,13 @@ pub struct WalState {
     pub type_name: String,
     /// Marshaled state, exactly as `Complet::marshal` produced it.
     pub state: Value,
-    /// Move epoch the complet was at when captured. Recovery re-installs
-    /// at `epoch + 1` so the restarted incarnation supersedes every
-    /// pre-crash location record.
+    /// Move epoch the complet was at when captured. WAL recovery
+    /// re-installs at this *recorded* epoch — the epoch the location
+    /// shards already associate with the placement — so the republished
+    /// delta is idempotent rather than a spurious new incarnation.
+    /// (Checkpoint restore is the path that bumps to `epoch + 1`: it
+    /// installs on a different host and must beat the stale entry still
+    /// naming the pre-checkpoint one.)
     pub epoch: u64,
     /// Logical names bound to this complet on the logging Core.
     pub names: Vec<String>,
@@ -160,6 +167,7 @@ pub struct Wal {
     file: Mutex<File>,
     appends: AtomicU64,
     generation: u64,
+    fsync: bool,
 }
 
 impl Wal {
@@ -168,20 +176,49 @@ impl Wal {
     /// Each open also bumps the sidecar *generation* counter — a durable
     /// incarnation number for the Core. Request ids, dedup keys, and
     /// anything else that must never collide across a crash/restart
-    /// boundary can be salted with [`Wal::generation`].
+    /// boundary can be salted with [`Wal::generation`]. The sidecar is
+    /// rewritten via temp-file-and-rename so a crash mid-bump cannot
+    /// leave a partial file; an existing sidecar that does not parse is
+    /// corruption and refuses to open (silently restarting at 1 would
+    /// re-enable exactly the stale-request-id collisions the counter
+    /// exists to prevent).
+    ///
+    /// With `fsync` on, every append (and the sidecar bump) is synced
+    /// to stable storage before it is acknowledged; off, records stop
+    /// at the OS page cache — durable across a process crash only.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn open(dir: &Path, core: &str) -> io::Result<Wal> {
+    /// Propagates filesystem errors; fails with `InvalidData` on a
+    /// corrupt generation sidecar.
+    pub fn open(dir: &Path, core: &str, fsync: bool) -> io::Result<Wal> {
         fs::create_dir_all(dir)?;
         let gen_path = dir.join(format!("{core}.gen"));
         let generation = match fs::read_to_string(&gen_path) {
-            Ok(s) => s.trim().parse::<u64>().unwrap_or(0) + 1,
+            Ok(s) => match s.trim().parse::<u64>() {
+                Ok(g) => g + 1,
+                Err(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt wal generation sidecar {}", gen_path.display()),
+                    ))
+                }
+            },
             Err(e) if e.kind() == io::ErrorKind::NotFound => 1,
             Err(e) => return Err(e),
         };
-        fs::write(&gen_path, generation.to_string())?;
+        let gen_tmp = dir.join(format!("{core}.gen.tmp"));
+        {
+            let mut f = File::create(&gen_tmp)?;
+            f.write_all(generation.to_string().as_bytes())?;
+            if fsync {
+                f.sync_data()?;
+            }
+        }
+        fs::rename(&gen_tmp, &gen_path)?;
+        if fsync {
+            sync_dir(dir)?;
+        }
         let path = Self::log_path(dir, core);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Wal {
@@ -189,6 +226,7 @@ impl Wal {
             file: Mutex::new(file),
             appends: AtomicU64::new(0),
             generation,
+            fsync,
         })
     }
 
@@ -208,7 +246,9 @@ impl Wal {
         &self.path
     }
 
-    /// Appends one record (CRC-framed) and flushes it to the OS.
+    /// Appends one record (CRC-framed) and — with fsync on — syncs it
+    /// to stable storage before returning, so the acknowledgement the
+    /// caller is about to send cannot outlive the record it promises.
     ///
     /// # Errors
     ///
@@ -223,7 +263,9 @@ impl Wal {
             FrameError::Io(io) => io,
             other => io::Error::other(other.to_string()),
         })?;
-        file.flush()?;
+        if self.fsync {
+            file.sync_data()?;
+        }
         self.appends.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -309,10 +351,23 @@ impl Wal {
             out.sync_data()?;
         }
         fs::rename(&tmp, &self.path)?;
+        // The rename itself lives in the directory: without a directory
+        // fsync a power loss can un-do it, resurrecting the old inode
+        // and silently dropping every append written to the new one.
+        if self.fsync {
+            if let Some(parent) = self.path.parent() {
+                sync_dir(parent)?;
+            }
+        }
         *file = OpenOptions::new().append(true).open(&self.path)?;
         self.appends.store(0, Ordering::Relaxed);
         Ok(records.len())
     }
+}
+
+/// Fsyncs a directory so a rename performed in it survives power loss.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 /// Reduces a replayed record sequence to crash-time truth: the newest
@@ -610,6 +665,31 @@ mod tests {
     }
 
     #[test]
+    fn generation_increments_across_reopens() {
+        let dir = tmpdir("gen");
+        assert_eq!(Wal::open(&dir, "core0", true).unwrap().generation(), 1);
+        assert_eq!(Wal::open(&dir, "core0", true).unwrap().generation(), 2);
+        assert_eq!(Wal::open(&dir, "core0", false).unwrap().generation(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_generation_sidecar_refuses_to_open() {
+        let dir = tmpdir("gen-corrupt");
+        let _ = Wal::open(&dir, "core0", false).unwrap();
+        fs::write(dir.join("core0.gen"), "not a number").unwrap();
+        let err = Wal::open(&dir, "core0", false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // An empty sidecar (what a torn non-atomic rewrite used to
+        // leave) is corruption too: silently restarting at generation 1
+        // would re-enable the stale request-id collisions the counter
+        // exists to prevent.
+        fs::write(dir.join("core0.gen"), "").unwrap();
+        assert!(Wal::open(&dir, "core0", false).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn crc32_known_vector() {
         // IEEE CRC-32 of "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -618,7 +698,7 @@ mod tests {
     #[test]
     fn append_replay_round_trip() {
         let dir = tmpdir("roundtrip");
-        let wal = Wal::open(&dir, "core0").unwrap();
+        let wal = Wal::open(&dir, "core0", true).unwrap();
         let records = vec![
             WalRecord::State(sample_state(1, 7)),
             WalRecord::Departed {
@@ -670,7 +750,7 @@ mod tests {
     #[test]
     fn torn_tail_keeps_valid_prefix() {
         let dir = tmpdir("torn");
-        let wal = Wal::open(&dir, "core0").unwrap();
+        let wal = Wal::open(&dir, "core0", true).unwrap();
         wal.append(&WalRecord::State(sample_state(1, 1))).unwrap();
         wal.append(&WalRecord::State(sample_state(2, 2))).unwrap();
         // Truncate mid-way through the second frame.
@@ -686,7 +766,7 @@ mod tests {
     #[test]
     fn flipped_bit_is_detected() {
         let dir = tmpdir("bitrot");
-        let wal = Wal::open(&dir, "core0").unwrap();
+        let wal = Wal::open(&dir, "core0", true).unwrap();
         wal.append(&WalRecord::State(sample_state(1, 1))).unwrap();
         let mut bytes = fs::read(wal.path()).unwrap();
         let last = bytes.len() - 1;
@@ -786,7 +866,7 @@ mod tests {
     #[test]
     fn compact_folds_and_keeps_appending() {
         let dir = tmpdir("rewrite");
-        let wal = Wal::open(&dir, "core0").unwrap();
+        let wal = Wal::open(&dir, "core0", true).unwrap();
         for i in 0..10 {
             wal.append(&WalRecord::State(sample_state(1, i))).unwrap();
         }
@@ -820,7 +900,7 @@ mod tests {
     #[test]
     fn compact_appends_extra_records_last() {
         let dir = tmpdir("compact-extra");
-        let wal = Wal::open(&dir, "core0").unwrap();
+        let wal = Wal::open(&dir, "core0", true).unwrap();
         wal.append(&WalRecord::State(sample_state(1, 1))).unwrap();
         wal.append(&WalRecord::Departed {
             id: CompletId::new(0, 2),

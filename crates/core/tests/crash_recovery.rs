@@ -369,6 +369,52 @@ fn restore_races_concurrent_inbound_move() {
     cleanup(&root, &cores);
 }
 
+/// Review-found regression: the acked-invocation State record used to
+/// be appended *after* the slot lock was released, so with concurrent
+/// invocations of the same complet, thread A could marshal state S1,
+/// unlock, lose the race to thread B (which locked, mutated, and
+/// appended S2), and then append the stale S1 last — which fold() keeps.
+/// The append now happens under the slot lock; hammering one complet
+/// from many threads and crashing must preserve the final acked state.
+#[test]
+fn concurrent_acked_invocations_survive_crash() {
+    let (net, reg, mut cores, root) = wal_cluster(1, "concurrent-acks");
+    let counter = cores[0].new_complet("Counter", &[]).unwrap();
+
+    const THREADS: i64 = 4;
+    const PER_THREAD: i64 = 100;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let stub = counter.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    stub.call("add", &[Value::I64(1)]).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        counter.call("get", &[]).unwrap(),
+        Value::I64(THREADS * PER_THREAD)
+    );
+
+    cores[0].stop();
+    cores[0] = restart(&net, &reg, test_config(), &root, &cores[0], 0);
+    assert_eq!(cores[0].recovery_report().expect("recovered").replayed, 1);
+
+    let fresh = fresh_stub(&cores[0], counter.id(), "Counter");
+    assert_eq!(
+        fresh.call("get", &[]).unwrap(),
+        Value::I64(THREADS * PER_THREAD),
+        "a stale snapshot won the log tail over a newer acknowledged state"
+    );
+    assert_eq!(
+        fresh.call("history_len", &[]).unwrap(),
+        Value::I64(THREADS * PER_THREAD)
+    );
+    cleanup(&root, &cores);
+}
+
 /// E23-found regression: compaction used to re-marshal live slots and
 /// then swap the log file — a mutation acknowledged between the slot
 /// snapshot and the swap was silently erased, so a later crash lost
